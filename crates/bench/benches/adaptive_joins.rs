@@ -1,0 +1,116 @@
+//! Ablation: the adaptive feedback producers of Section 3.3 — THRIFTY JOIN
+//! (assumed feedback for empty probe windows) and IMPATIENT JOIN (desired
+//! feedback for build keys) — compared with the plain symmetric hash join on
+//! the same sparse probe workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsms_engine::{Operator, OperatorContext};
+use dsms_operators::{ImpatientJoin, SymmetricHashJoin, ThriftyJoin};
+use dsms_punctuation::Punctuation;
+use dsms_types::{DataType, Schema, SchemaRef, StreamDuration, Timestamp, Tuple, Value};
+
+fn sensor_schema() -> SchemaRef {
+    Schema::shared(&[
+        ("timestamp", DataType::Timestamp),
+        ("segment", DataType::Int),
+        ("speed", DataType::Float),
+    ])
+}
+
+fn probe_schema() -> SchemaRef {
+    Schema::shared(&[
+        ("timestamp", DataType::Timestamp),
+        ("segment", DataType::Int),
+        ("avg", DataType::Float),
+    ])
+}
+
+fn sensor(ts: i64, seg: i64) -> Tuple {
+    Tuple::new(
+        sensor_schema(),
+        vec![Value::Timestamp(Timestamp::from_secs(ts)), Value::Int(seg), Value::Float(50.0)],
+    )
+}
+
+fn probe(ts: i64, seg: i64) -> Tuple {
+    Tuple::new(
+        probe_schema(),
+        vec![Value::Timestamp(Timestamp::from_secs(ts)), Value::Int(seg), Value::Float(40.0)],
+    )
+}
+
+fn base_join() -> SymmetricHashJoin {
+    SymmetricHashJoin::new(
+        "JOIN",
+        sensor_schema(),
+        probe_schema(),
+        &["segment"],
+        "timestamp",
+        StreamDuration::from_secs(60),
+    )
+    .unwrap()
+}
+
+/// Drives a join variant over `minutes` of a sparse probe workload: sensors
+/// report every second for 9 segments, probes appear only in every third
+/// window.
+fn drive(op: &mut dyn Operator, minutes: i64) {
+    let mut ctx = OperatorContext::new();
+    for minute in 0..minutes {
+        for sec in 0..60 {
+            let ts = minute * 60 + sec;
+            for seg in 0..9 {
+                op.on_tuple(0, sensor(ts, seg), &mut ctx).unwrap();
+            }
+            if minute % 3 == 0 && sec % 10 == 0 {
+                op.on_tuple(1, probe(ts, sec % 9), &mut ctx).unwrap();
+            }
+            let _ = ctx.take_emitted();
+            let _ = ctx.take_feedback();
+        }
+        let watermark = Timestamp::from_secs((minute + 1) * 60);
+        op.on_punctuation(0, Punctuation::progress(sensor_schema(), "timestamp", watermark).unwrap(), &mut ctx)
+            .unwrap();
+        op.on_punctuation(1, Punctuation::progress(probe_schema(), "timestamp", watermark).unwrap(), &mut ctx)
+            .unwrap();
+        let _ = ctx.take_emitted();
+        let _ = ctx.take_feedback();
+    }
+    op.on_flush(&mut ctx).unwrap();
+}
+
+fn adaptive_joins(c: &mut Criterion) {
+    let minutes = 12;
+    let mut group = c.benchmark_group("adaptive_join_variants");
+    group.sample_size(10);
+
+    group.bench_with_input(BenchmarkId::from_parameter("plain"), &minutes, |b, &m| {
+        b.iter(|| {
+            let mut op = base_join();
+            drive(&mut op, m);
+        })
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("thrifty"), &minutes, |b, &m| {
+        b.iter(|| {
+            let mut op = ThriftyJoin::new(
+                "THRIFTY",
+                base_join(),
+                sensor_schema(),
+                "timestamp",
+                StreamDuration::from_secs(60),
+            );
+            drive(&mut op, m);
+        })
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("impatient"), &minutes, |b, &m| {
+        b.iter(|| {
+            let mut op =
+                ImpatientJoin::new("IMPATIENT", base_join(), probe_schema(), "segment").with_batch(4);
+            drive(&mut op, m);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, adaptive_joins);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Benchmarks of the characterization machinery behind Tables 1 and 2: how
+//! expensive it is for an operator to decide, on feedback arrival, which
+//! actions are correct and what can be propagated safely.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsms_feedback::{
+    characterize_aggregate, characterize_join, AggregateSpec, AttributeMapping, JoinSpec,
+    Monotonicity,
+};
+use dsms_punctuation::{Pattern, PatternItem};
+use dsms_types::{DataType, Schema, Value};
+use std::hint::black_box;
+
+fn count_spec() -> AggregateSpec {
+    let output = Schema::shared(&[("g", DataType::Int), ("a", DataType::Int)]);
+    let input = Schema::shared(&[("g", DataType::Int), ("v", DataType::Float)]);
+    AggregateSpec {
+        output: output.clone(),
+        input: input.clone(),
+        group_attributes: vec![0],
+        aggregate_attribute: 1,
+        input_mapping: AttributeMapping::by_name(output, input).unwrap(),
+        monotonicity: Monotonicity::NonDecreasing,
+    }
+}
+
+fn join_spec() -> JoinSpec {
+    let left = Schema::shared(&[("l", DataType::Int), ("j", DataType::Int)]);
+    let right = Schema::shared(&[("j", DataType::Int), ("r", DataType::Int)]);
+    let output = Schema::shared(&[("l", DataType::Int), ("j", DataType::Int), ("r", DataType::Int)]);
+    JoinSpec {
+        output: output.clone(),
+        left: left.clone(),
+        right: right.clone(),
+        left_attributes: vec![0],
+        join_attributes: vec![1],
+        right_attributes: vec![2],
+        left_mapping: AttributeMapping::by_name(output.clone(), left).unwrap(),
+        right_mapping: AttributeMapping::by_name(output, right).unwrap(),
+    }
+}
+
+fn characterization(c: &mut Criterion) {
+    let agg = count_spec();
+    let group_feedback =
+        Pattern::for_attributes(agg.output.clone(), &[("g", PatternItem::Eq(Value::Int(7)))]).unwrap();
+    let value_feedback =
+        Pattern::for_attributes(agg.output.clone(), &[("a", PatternItem::Ge(Value::Int(100)))]).unwrap();
+    c.bench_function("characterize_count_group_feedback", |b| {
+        b.iter(|| characterize_aggregate(black_box(&agg), black_box(&group_feedback)).unwrap())
+    });
+    c.bench_function("characterize_count_value_feedback", |b| {
+        b.iter(|| characterize_aggregate(black_box(&agg), black_box(&value_feedback)).unwrap())
+    });
+
+    let join = join_spec();
+    let join_feedback =
+        Pattern::for_attributes(join.output.clone(), &[("j", PatternItem::Eq(Value::Int(4)))]).unwrap();
+    c.bench_function("characterize_join_key_feedback", |b| {
+        b.iter(|| characterize_join(black_box(&join), black_box(&join_feedback)).unwrap())
+    });
+}
+
+criterion_group!(benches, characterization);
+criterion_main!(benches);

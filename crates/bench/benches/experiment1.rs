@@ -1,0 +1,33 @@
+//! Criterion bench for Experiment 1 (Figures 5 and 6), scaled down so a run
+//! completes in CI time.  The measured quantity is end-to-end execution of the
+//! imputation plan with and without PACE + feedback; the figure-shaped series
+//! are produced by the `figure5_6` binary instead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsms_bench::{run_experiment1, Experiment1Config};
+use dsms_workloads::ImputationConfig;
+use std::time::Duration;
+
+fn bench_config() -> Experiment1Config {
+    Experiment1Config {
+        stream: ImputationConfig { tuples: 300, ..ImputationConfig::experiment1() },
+        speedup: 40.0,
+        lookup_cost: Duration::from_micros(2_800),
+        ..Experiment1Config::small()
+    }
+}
+
+fn experiment1(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = c.benchmark_group("experiment1_imputation_plan");
+    group.sample_size(10);
+    for (label, feedback) in [("no_feedback", false), ("pace_feedback", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &feedback, |b, &feedback| {
+            b.iter(|| run_experiment1(&config, feedback).expect("run failed"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, experiment1);
+criterion_main!(benches);

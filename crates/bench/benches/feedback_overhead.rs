@@ -1,0 +1,53 @@
+//! Ablation for the paper's "no discernible overhead as the frequency of
+//! feedback increases" observation: the speed-map plan under scheme F2 with
+//! viewport changes every 1, 2, 4 and 6 minutes, plus the feedback-free
+//! baseline, on the same (scaled-down) stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsms_bench::experiments::Scheme;
+use dsms_bench::plans::speedmap_plan;
+use dsms_bench::Experiment2Config;
+use dsms_engine::ThreadedExecutor;
+use dsms_types::StreamDuration;
+use dsms_workloads::TrafficConfig;
+
+fn bench_config() -> Experiment2Config {
+    Experiment2Config {
+        stream: TrafficConfig {
+            duration: StreamDuration::from_minutes(20),
+            detectors_per_segment: 4,
+            ..TrafficConfig::default()
+        },
+        ..Experiment2Config::small()
+    }
+}
+
+fn feedback_overhead(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = c.benchmark_group("feedback_frequency_overhead");
+    group.sample_size(10);
+
+    group.bench_function("baseline_F0", |b| {
+        b.iter(|| {
+            let (plan, _h) = speedmap_plan(&config, Scheme::F0, StreamDuration::from_minutes(2)).unwrap();
+            ThreadedExecutor::run(plan).expect("run failed")
+        })
+    });
+    for minutes in [1i64, 2, 4, 6] {
+        group.bench_with_input(
+            BenchmarkId::new("F2_every_minutes", minutes),
+            &minutes,
+            |b, &minutes| {
+                b.iter(|| {
+                    let (plan, _h) =
+                        speedmap_plan(&config, Scheme::F2, StreamDuration::from_minutes(minutes)).unwrap();
+                    ThreadedExecutor::run(plan).expect("run failed")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, feedback_overhead);
+criterion_main!(benches);

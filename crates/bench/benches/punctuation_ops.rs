@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the punctuation substrate: pattern matching,
+//! subsumption and registry guard checks — the per-tuple costs that feedback
+//! adds to every operator, and therefore the "no discernible overhead"
+//! claim's microscopic counterpart.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dsms_feedback::{FeedbackPunctuation, FeedbackRegistry};
+use dsms_punctuation::{Pattern, PatternItem, Punctuation};
+use dsms_types::{DataType, Schema, SchemaRef, Timestamp, Tuple, Value};
+use std::hint::black_box;
+
+fn schema() -> SchemaRef {
+    Schema::shared(&[
+        ("timestamp", DataType::Timestamp),
+        ("segment", DataType::Int),
+        ("speed", DataType::Float),
+    ])
+}
+
+fn tuple(seg: i64) -> Tuple {
+    Tuple::new(
+        schema(),
+        vec![Value::Timestamp(Timestamp::from_secs(seg)), Value::Int(seg), Value::Float(50.0)],
+    )
+}
+
+fn punctuation_ops(c: &mut Criterion) {
+    let pattern = Pattern::for_attributes(
+        schema(),
+        &[
+            ("segment", PatternItem::InSet((0..6).map(Value::Int).collect())),
+            ("timestamp", PatternItem::Le(Value::Timestamp(Timestamp::from_secs(1_000)))),
+        ],
+    )
+    .unwrap();
+    let tuples: Vec<Tuple> = (0..1_000).map(tuple).collect();
+
+    c.bench_function("pattern_match_1000_tuples", |b| {
+        b.iter(|| tuples.iter().filter(|t| pattern.matches(black_box(t))).count())
+    });
+
+    let wide = Pattern::for_attributes(
+        schema(),
+        &[("timestamp", PatternItem::Le(Value::Timestamp(Timestamp::from_secs(2_000))))],
+    )
+    .unwrap();
+    c.bench_function("pattern_subsumption", |b| {
+        b.iter(|| black_box(&wide).subsumes(black_box(&pattern)))
+    });
+
+    c.bench_function("registry_guard_decision_1000_tuples", |b| {
+        b.iter_batched(
+            || {
+                let mut reg = FeedbackRegistry::new("bench");
+                reg.register(FeedbackPunctuation::assumed(pattern.clone(), "bench")).unwrap();
+                reg
+            },
+            |mut reg| tuples.iter().map(|t| reg.decide(t)).filter(|d| *d == dsms_feedback::GuardDecision::Suppress).count(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("progress_punctuation_construction", |b| {
+        b.iter(|| Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(black_box(500))).unwrap())
+    });
+}
+
+criterion_group!(benches, punctuation_ops);
+criterion_main!(benches);

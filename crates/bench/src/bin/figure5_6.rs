@@ -1,0 +1,48 @@
+//! Regenerates Figures 5 and 6: the imputation-plan output pattern without
+//! feedback (PACE as plain UNION) and with PACE + assumed feedback.
+//!
+//! Usage:
+//!   cargo run --release -p dsms-bench --bin figure5_6 [--small] [--csv DIR]
+//!
+//! Prints the headline numbers (fraction of imputed tuples lost, paper: 97%
+//! without feedback vs 29% with feedback) and, with `--csv`, writes the two
+//! scatter series (tuple id vs output time, clean vs imputed) that the
+//! figures plot.
+
+use dsms_bench::report::{experiment1_csv, experiment1_summary};
+use dsms_bench::{run_experiment1, Experiment1Config};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let csv_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+
+    let config = if small { Experiment1Config::small() } else { Experiment1Config::paper() };
+    eprintln!(
+        "running experiment 1 ({} tuples, lookup cost {:?}, tolerance {} ms)…",
+        config.stream.tuples,
+        config.lookup_cost,
+        config.tolerance.as_millis()
+    );
+
+    let baseline = run_experiment1(&config, false).expect("baseline run failed");
+    eprintln!("baseline (no feedback) finished in {:.2}s", baseline.elapsed.as_secs_f64());
+    let feedback = run_experiment1(&config, true).expect("feedback run failed");
+    eprintln!("feedback run finished in {:.2}s", feedback.elapsed.as_secs_f64());
+
+    print!("{}", experiment1_summary(&baseline, &feedback));
+
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(&dir).expect("cannot create csv directory");
+        std::fs::write(dir.join("figure5_no_feedback.csv"), experiment1_csv(&baseline))
+            .expect("cannot write figure5 csv");
+        std::fs::write(dir.join("figure6_with_feedback.csv"), experiment1_csv(&feedback))
+            .expect("cannot write figure6 csv");
+        println!("series written to {}", dir.display());
+    }
+}

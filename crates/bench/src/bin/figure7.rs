@@ -1,0 +1,36 @@
+//! Regenerates Figure 7: total execution time of the speed-map plan under
+//! feedback schemes F0–F3 at viewport-change frequencies of 2, 4 and 6
+//! minutes.
+//!
+//! Usage:
+//!   cargo run --release -p dsms-bench --bin figure7 [--small] [--csv FILE]
+
+use dsms_bench::report::{experiment2_csv, experiment2_table};
+use dsms_bench::{run_experiment2, Experiment2Config};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let csv_file: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+
+    let config = if small { Experiment2Config::small() } else { Experiment2Config::paper() };
+    let frequencies = [2i64, 4, 6];
+    eprintln!(
+        "running experiment 2 ({} tuples per run, {} runs)…",
+        config.stream.expected_tuples(),
+        frequencies.len() * 4
+    );
+
+    let result = run_experiment2(&config, &frequencies).expect("experiment 2 failed");
+    print!("{}", experiment2_table(&result, &frequencies));
+
+    if let Some(file) = csv_file {
+        std::fs::write(&file, experiment2_csv(&result)).expect("cannot write csv");
+        println!("grid written to {}", file.display());
+    }
+}

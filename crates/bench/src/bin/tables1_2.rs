@@ -1,0 +1,91 @@
+//! Prints Tables 1 and 2 of the paper — the operator characterizations for
+//! COUNT and JOIN — as derived by `dsms_feedback::characterization`, so the
+//! analytic tables can be checked against the implementation directly.
+//!
+//! Usage:
+//!   cargo run -p dsms-bench --bin tables1_2
+
+use dsms_feedback::{
+    characterize_aggregate, characterize_join, AggregateSpec, AttributeMapping, Characterization,
+    JoinSpec, Monotonicity, PropagationRule,
+};
+use dsms_punctuation::{Pattern, PatternItem};
+use dsms_types::{DataType, Schema, Value};
+
+fn describe(ch: &Characterization) -> String {
+    let actions: Vec<String> = ch.actions.iter().map(|a| a.name().to_string()).collect();
+    let propagation = match &ch.propagation {
+        PropagationRule::ToInputs(v) => format!(
+            "propagate to inputs {:?}",
+            v.iter().map(|(i, p)| format!("{i}: {p}")).collect::<Vec<_>>()
+        ),
+        PropagationRule::GroupsFromState => "propagate matching groups (from state)".to_string(),
+        PropagationRule::None => "no propagation".to_string(),
+    };
+    if actions.is_empty() {
+        format!("null response; {propagation}")
+    } else {
+        format!("{}; {propagation}", actions.join(" + "))
+    }
+}
+
+fn main() {
+    // ----- Table 1: COUNT with output (g, a) -----
+    let output = Schema::shared(&[("g", DataType::Int), ("a", DataType::Int)]);
+    let input = Schema::shared(&[("g", DataType::Int), ("v", DataType::Float)]);
+    let spec = AggregateSpec {
+        output: output.clone(),
+        input: input.clone(),
+        group_attributes: vec![0],
+        aggregate_attribute: 1,
+        input_mapping: AttributeMapping::by_name(output.clone(), input).unwrap(),
+        monotonicity: Monotonicity::NonDecreasing,
+    };
+    println!("Table 1 — characterization of COUNT (output schema (g, a))");
+    let rows = [
+        ("¬[g, *]", Pattern::for_attributes(output.clone(), &[("g", PatternItem::Eq(Value::Int(7)))]).unwrap()),
+        ("¬[*, a]", Pattern::for_attributes(output.clone(), &[("a", PatternItem::Eq(Value::Int(10)))]).unwrap()),
+        ("¬[*, ≥a]", Pattern::for_attributes(output.clone(), &[("a", PatternItem::Ge(Value::Int(10)))]).unwrap()),
+        ("¬[*, >a]", Pattern::for_attributes(output.clone(), &[("a", PatternItem::Gt(Value::Int(10)))]).unwrap()),
+        ("¬[*, ≤a]", Pattern::for_attributes(output.clone(), &[("a", PatternItem::Le(Value::Int(10)))]).unwrap()),
+        ("¬[*, <a]", Pattern::for_attributes(output.clone(), &[("a", PatternItem::Lt(Value::Int(10)))]).unwrap()),
+    ];
+    for (label, pattern) in rows {
+        let ch = characterize_aggregate(&spec, &pattern).unwrap();
+        println!("  {label:<10} {}", describe(&ch));
+    }
+
+    // ----- Table 2: JOIN over A(l, j) ⋈ B(j, r), output (l, j, r) -----
+    let left = Schema::shared(&[("l", DataType::Int), ("j", DataType::Int)]);
+    let right = Schema::shared(&[("j", DataType::Int), ("r", DataType::Int)]);
+    let join_output = Schema::shared(&[("l", DataType::Int), ("j", DataType::Int), ("r", DataType::Int)]);
+    let join_spec = JoinSpec {
+        output: join_output.clone(),
+        left: left.clone(),
+        right: right.clone(),
+        left_attributes: vec![0],
+        join_attributes: vec![1],
+        right_attributes: vec![2],
+        left_mapping: AttributeMapping::by_name(join_output.clone(), left).unwrap(),
+        right_mapping: AttributeMapping::by_name(join_output.clone(), right).unwrap(),
+    };
+    println!();
+    println!("Table 2 — characterization of JOIN (output schema (L, J, R))");
+    let rows = [
+        ("¬[*, j, *]", Pattern::for_attributes(join_output.clone(), &[("j", PatternItem::Eq(Value::Int(4)))]).unwrap()),
+        ("¬[l, *, *]", Pattern::for_attributes(join_output.clone(), &[("l", PatternItem::Eq(Value::Int(50)))]).unwrap()),
+        ("¬[*, *, r]", Pattern::for_attributes(join_output.clone(), &[("r", PatternItem::Eq(Value::Int(9)))]).unwrap()),
+        (
+            "¬[l, *, r]",
+            Pattern::for_attributes(
+                join_output.clone(),
+                &[("l", PatternItem::Eq(Value::Int(50))), ("r", PatternItem::Eq(Value::Int(50)))],
+            )
+            .unwrap(),
+        ),
+    ];
+    for (label, pattern) in rows {
+        let ch = characterize_join(&join_spec, &pattern).unwrap();
+        println!("  {label:<11} {}", describe(&ch));
+    }
+}

@@ -1,0 +1,249 @@
+//! The speed-map display: an event-driven feedback source.
+//!
+//! In Experiment 2 a navigation display shows the speed map and the user zooms
+//! into a subset of segments every few minutes.  Each zoom is an event-driven
+//! feedback opportunity: segments outside the viewport are of no interest
+//! until the next zoom, so the display sends assumed punctuation
+//! `¬[segment ∈ hidden]` up the plan (to AVERAGE, which may relay it further
+//! under scheme F3).
+//!
+//! The display is also where result *rendering* cost is paid — constructing
+//! and drawing a map update per aggregate result — which is why mounting a
+//! guard on AVERAGE's output (scheme F1) already saves substantial time.
+
+use dsms_engine::{EngineResult, Operator, OperatorContext};
+use dsms_feedback::{EventDrivenPolicy, FeedbackPunctuation};
+use dsms_operators::simulate_cost;
+use dsms_types::{SchemaRef, Timestamp, Tuple};
+use dsms_workloads::ZoomSchedule;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared handle to the rendered results.
+pub type DisplayHandle = Arc<Mutex<Vec<Tuple>>>;
+
+/// A sink that renders aggregate results and issues viewport feedback.
+pub struct SpeedMapDisplay {
+    name: String,
+    /// Attribute of the incoming result tuples carrying the window start time
+    /// (drives the zoom schedule).
+    time_attribute: String,
+    /// Attribute identifying the segment of a result tuple.
+    segment_attribute: String,
+    schedule: ZoomSchedule,
+    next_event: usize,
+    policy: EventDrivenPolicy,
+    feedback_enabled: bool,
+    render_cost: Duration,
+    rendered: DisplayHandle,
+    feedback_sent: u64,
+    schema: SchemaRef,
+}
+
+impl SpeedMapDisplay {
+    /// Creates a display over the aggregate's output schema.
+    ///
+    /// * `schema` — schema of the incoming result tuples;
+    /// * `segments` — the full segment universe;
+    /// * `schedule` — when the viewport changes and what stays visible;
+    /// * `render_cost` — simulated cost of drawing one result on the map;
+    /// * `feedback_enabled` — whether zoom events are turned into feedback
+    ///   (false reproduces the F0 baseline where the display stays silent).
+    pub fn new(
+        name: impl Into<String>,
+        schema: SchemaRef,
+        time_attribute: impl Into<String>,
+        segment_attribute: impl Into<String>,
+        segments: impl IntoIterator<Item = i64>,
+        schedule: ZoomSchedule,
+        render_cost: Duration,
+        feedback_enabled: bool,
+    ) -> (Self, DisplayHandle) {
+        let rendered: DisplayHandle = Arc::new(Mutex::new(Vec::new()));
+        let segment_attribute = segment_attribute.into();
+        (
+            SpeedMapDisplay {
+                name: name.into(),
+                time_attribute: time_attribute.into(),
+                policy: EventDrivenPolicy::viewport(segment_attribute.clone(), segments),
+                segment_attribute,
+                schedule,
+                next_event: 0,
+                feedback_enabled,
+                render_cost,
+                rendered: rendered.clone(),
+                feedback_sent: 0,
+                schema,
+            },
+            rendered,
+        )
+    }
+
+    /// Number of feedback messages issued.
+    pub fn feedback_sent(&self) -> u64 {
+        self.feedback_sent
+    }
+
+    fn fire_due_events(&mut self, now: Timestamp, ctx: &mut OperatorContext) -> EngineResult<()> {
+        while self.next_event < self.schedule.len() && self.schedule.events()[self.next_event].at <= now {
+            let event = &self.schedule.events()[self.next_event];
+            self.next_event += 1;
+            if !self.feedback_enabled {
+                continue;
+            }
+            if let Some(feedback) = self
+                .policy
+                .feedback(self.schema.clone(), &event.visible, &self.name)
+                .map_err(dsms_engine::EngineError::from)?
+            {
+                self.feedback_sent += 1;
+                ctx.send_feedback(0, feedback);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Operator for SpeedMapDisplay {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> usize {
+        1
+    }
+
+    fn outputs(&self) -> usize {
+        0
+    }
+
+    fn on_tuple(&mut self, _input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+        if let Ok(ts) = tuple.timestamp(&self.time_attribute) {
+            self.fire_due_events(ts, ctx)?;
+        }
+        let _ = &self.segment_attribute;
+        simulate_cost(self.render_cost);
+        self.rendered.lock().push(tuple);
+        Ok(())
+    }
+
+    fn on_punctuation(
+        &mut self,
+        _input: usize,
+        punctuation: dsms_punctuation::Punctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        if let Some(w) = punctuation.watermark_for(&self.time_attribute) {
+            self.fire_due_events(w, ctx)?;
+        }
+        Ok(())
+    }
+
+    fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
+        let mut stats = dsms_feedback::FeedbackStats::default();
+        stats.issued.assumed = self.feedback_sent;
+        Some(stats)
+    }
+}
+
+/// A feedback punctuation constructor reused by tests: the assumed pattern a
+/// display would send for a given visible set (exposed for unit testing the
+/// plan wiring without running a whole experiment).
+pub fn viewport_feedback(
+    schema: SchemaRef,
+    segment_attribute: &str,
+    universe: impl IntoIterator<Item = i64>,
+    visible: impl IntoIterator<Item = i64>,
+    issuer: &str,
+) -> Option<FeedbackPunctuation> {
+    let policy = EventDrivenPolicy::viewport(segment_attribute, universe);
+    let visible = visible.into_iter().collect();
+    policy.feedback(schema, &visible, issuer).ok().flatten()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_types::{DataType, Schema, StreamDuration, Value};
+
+    fn result_schema() -> SchemaRef {
+        Schema::shared(&[
+            ("window", DataType::Timestamp),
+            ("segment", DataType::Int),
+            ("avg", DataType::Float),
+        ])
+    }
+
+    fn result(window_secs: i64, segment: i64) -> Tuple {
+        Tuple::new(
+            result_schema(),
+            vec![
+                Value::Timestamp(Timestamp::from_secs(window_secs)),
+                Value::Int(segment),
+                Value::Float(42.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn zoom_events_fire_as_stream_time_passes() {
+        let schedule = ZoomSchedule::new(
+            9,
+            3,
+            StreamDuration::from_minutes(2),
+            StreamDuration::from_minutes(10),
+            1,
+        );
+        let (mut display, rendered) = SpeedMapDisplay::new(
+            "MAP",
+            result_schema(),
+            "window",
+            "segment",
+            0..9,
+            schedule,
+            Duration::ZERO,
+            true,
+        );
+        let mut ctx = OperatorContext::new();
+        display.on_tuple(0, result(0, 1), &mut ctx).unwrap();
+        assert_eq!(display.feedback_sent(), 1, "the time-zero viewport fires immediately");
+        display.on_tuple(0, result(300, 1), &mut ctx).unwrap(); // 5 minutes in
+        assert_eq!(display.feedback_sent(), 3, "2- and 4-minute viewports have fired");
+        assert_eq!(rendered.lock().len(), 2);
+        assert_eq!(ctx.take_feedback().len(), 3);
+    }
+
+    #[test]
+    fn silent_display_renders_but_sends_nothing() {
+        let schedule = ZoomSchedule::new(
+            9,
+            3,
+            StreamDuration::from_minutes(2),
+            StreamDuration::from_minutes(10),
+            1,
+        );
+        let (mut display, _rendered) = SpeedMapDisplay::new(
+            "MAP",
+            result_schema(),
+            "window",
+            "segment",
+            0..9,
+            schedule,
+            Duration::ZERO,
+            false,
+        );
+        let mut ctx = OperatorContext::new();
+        display.on_tuple(0, result(600, 1), &mut ctx).unwrap();
+        assert_eq!(display.feedback_sent(), 0);
+        assert!(ctx.take_feedback().is_empty());
+    }
+
+    #[test]
+    fn viewport_feedback_helper_builds_assumed_patterns() {
+        let fb = viewport_feedback(result_schema(), "segment", 0..9, [0, 1], "MAP").unwrap();
+        assert!(fb.describes(&result(0, 5)));
+        assert!(!fb.describes(&result(0, 1)));
+        assert!(viewport_feedback(result_schema(), "segment", 0..3, 0..3, "MAP").is_none());
+    }
+}

@@ -1,0 +1,31 @@
+//! # dsms-bench
+//!
+//! Experiment harness regenerating every figure of the paper's evaluation
+//! (Section 6) plus the analytic tables, and Criterion micro/meso benchmarks.
+//!
+//! * [`plans`] — builders for the two query plans of Figure 4:
+//!   the imputation plan (Experiment 1) and the speed-map plan (Experiment 2).
+//! * [`experiments`] — runnable experiment drivers returning structured
+//!   results: [`experiments::run_experiment1`] (Figures 5 and 6) and
+//!   [`experiments::run_experiment2`] (Figure 7).
+//! * [`display`] — the speed-map viewport operator that turns zoom events into
+//!   event-driven assumed feedback.
+//! * [`report`] — plain-text/CSV rendering of the results in the same shape as
+//!   the paper's figures.
+//!
+//! The binaries `figure5_6`, `figure7` and `tables1_2` print paper-shaped
+//! output; the Criterion benches under `benches/` run scaled-down versions of
+//! the same drivers plus ablations.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod display;
+pub mod experiments;
+pub mod plans;
+pub mod report;
+
+pub use experiments::{
+    run_experiment1, run_experiment2, Experiment1Config, Experiment1Result, Experiment2Config,
+    Experiment2Result, OutputRecord, Scheme,
+};

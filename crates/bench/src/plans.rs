@@ -1,0 +1,201 @@
+//! Builders for the two query plans of Figure 4.
+//!
+//! * [`imputation_plan`] — Figure 4(a): a stream of sensor readings is split
+//!   into a clean path and a dirty path; the dirty path goes through the
+//!   expensive IMPUTE operator; PACE (or a plain UNION for the baseline)
+//!   merges both paths under a disorder bound.
+//! * [`speedmap_plan`] — Figure 4(b): a data-quality filter feeds a windowed
+//!   AVERAGE per segment whose results drive the speed-map display; the
+//!   display issues event-driven viewport feedback exploited under schemes
+//!   F0–F3.
+
+use crate::display::{DisplayHandle, SpeedMapDisplay};
+use crate::experiments::{Experiment1Config, Experiment2Config, Scheme};
+use dsms_engine::{EngineResult, QueryPlan};
+use dsms_operators::{
+    AggregateFunction, ArchivalStore, GeneratorSource, Impute, Pace, QualityFilter, Split,
+    TimedSink, TimedSinkHandle, TuplePredicate, Union,
+};
+use dsms_operators::aggregate::FeedbackMode;
+use dsms_operators::WindowAggregate;
+use dsms_types::StreamDuration;
+use dsms_workloads::{ImputationGenerator, TrafficGenerator, ZoomSchedule};
+
+/// Handles needed to evaluate Experiment 1 after the plan has run.
+pub struct ImputationPlanHandles {
+    /// Arrival-timed output of the merge operator.
+    pub output: TimedSinkHandle,
+}
+
+/// Builds the imputation plan (Figure 4a).
+///
+/// With `feedback` set, the merge operator is PACE (drops late tuples and
+/// issues assumed feedback that IMPUTE and the split exploit); without it, the
+/// merge is a plain UNION and nothing is dropped or fed back — the Figure 5
+/// baseline.
+pub fn imputation_plan(
+    config: &Experiment1Config,
+    feedback: bool,
+) -> EngineResult<(QueryPlan, ImputationPlanHandles)> {
+    let schema = ImputationGenerator::schema();
+    let mut plan = QueryPlan::new().with_page_capacity(config.page_capacity);
+
+    let generator = ImputationGenerator::new(config.stream.clone());
+    let source = plan.add(
+        GeneratorSource::new("sensor-source", generator)
+            .with_punctuation("timestamp", config.punctuation_period)
+            .with_batch_size(config.source_batch)
+            .with_pacing(config.speedup),
+    );
+
+    let split = plan.add(Split::new(
+        "split-dirty-clean",
+        schema.clone(),
+        TuplePredicate::new("speed is null", |t| t.has_null()),
+    ));
+
+    let impute = plan.add(Impute::new(
+        "IMPUTE",
+        "speed",
+        "detector",
+        ArchivalStore::synthetic(config.lookup_cost, 45.0),
+    ));
+
+    let (sink, output) = TimedSink::new("speed-map-feed");
+    let sink = plan.add(sink.with_watermark("timestamp"));
+
+    if feedback {
+        let pace = plan.add(
+            Pace::new("PACE", schema, 2, "timestamp", config.tolerance)
+                .with_feedback_granularity(config.feedback_granularity),
+        );
+        plan.connect_simple(source, split)?;
+        plan.connect(split, 0, impute, 0)?; // dirty path
+        plan.connect(impute, 0, pace, 0)?;
+        plan.connect(split, 1, pace, 1)?; // clean path
+        plan.connect_simple(pace, sink)?;
+    } else {
+        let union = plan.add(Union::new("UNION", schema, 2));
+        plan.connect_simple(source, split)?;
+        plan.connect(split, 0, impute, 0)?;
+        plan.connect(impute, 0, union, 0)?;
+        plan.connect(split, 1, union, 1)?;
+        plan.connect_simple(union, sink)?;
+    }
+    Ok((plan, ImputationPlanHandles { output }))
+}
+
+/// Handles needed to evaluate Experiment 2 after the plan has run.
+pub struct SpeedmapPlanHandles {
+    /// Results actually rendered by the display.
+    pub rendered: DisplayHandle,
+}
+
+/// Builds the speed-map plan (Figure 4b) wired for one of the schemes F0–F3
+/// and one feedback frequency.
+pub fn speedmap_plan(
+    config: &Experiment2Config,
+    scheme: Scheme,
+    zoom_frequency: StreamDuration,
+) -> EngineResult<(QueryPlan, SpeedmapPlanHandles)> {
+    let schema = TrafficGenerator::schema();
+    let mut plan = QueryPlan::new().with_page_capacity(config.page_capacity);
+
+    let generator = TrafficGenerator::new(config.stream.clone());
+    let segments = config.stream.segments;
+    let duration = config.stream.duration;
+    let source = plan.add(
+        GeneratorSource::new("detector-source", generator)
+            .with_punctuation("timestamp", config.punctuation_period)
+            .with_batch_size(config.source_batch),
+    );
+
+    // σQ — the data-quality filter at the bottom of the plan.  It exploits
+    // (relayed) feedback only under scheme F3.
+    let mut quality = QualityFilter::new(
+        "QUALITY",
+        schema.clone(),
+        TuplePredicate::new("plausible speed", |t| {
+            t.value_by_name("speed").map(|v| !v.is_null()).unwrap_or(false)
+                && t.float("speed").map(|s| (0.0..=120.0).contains(&s)).unwrap_or(false)
+        }),
+        config.validation_cost,
+    )
+    .without_relay();
+    if scheme != Scheme::F3 {
+        quality = quality.without_feedback();
+    }
+    let quality = plan.add(quality);
+
+    // AVERAGE per (window, segment).
+    let feedback_mode = match scheme {
+        Scheme::F0 => FeedbackMode::Ignore,
+        Scheme::F1 => FeedbackMode::GuardOutput,
+        Scheme::F2 => FeedbackMode::Exploit,
+        Scheme::F3 => FeedbackMode::ExploitAndPropagate,
+    };
+    let average = WindowAggregate::new(
+        "AVERAGE",
+        schema,
+        "timestamp",
+        config.window,
+        &["segment"],
+        AggregateFunction::Avg("speed".into()),
+    )
+    .map_err(dsms_engine::EngineError::from)?
+    .with_feedback_mode(feedback_mode);
+    let average_schema = average.output_schema().clone();
+    let average = plan.add(average);
+
+    // The display: renders results and issues viewport feedback on zoom.
+    let schedule = ZoomSchedule::new(
+        segments,
+        config.visible_segments,
+        zoom_frequency,
+        duration,
+        config.zoom_seed,
+    );
+    let (display, rendered) = SpeedMapDisplay::new(
+        "MAP",
+        average_schema,
+        "window",
+        "segment",
+        0..segments,
+        schedule,
+        config.render_cost,
+        true,
+    );
+    let display = plan.add(display);
+
+    plan.connect_simple(source, quality)?;
+    plan.connect_simple(quality, average)?;
+    plan.connect_simple(average, display)?;
+    Ok((plan, SpeedmapPlanHandles { rendered }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{Experiment1Config, Experiment2Config};
+
+    #[test]
+    fn imputation_plans_validate() {
+        let config = Experiment1Config::small();
+        for feedback in [false, true] {
+            let (plan, _handles) = imputation_plan(&config, feedback).unwrap();
+            plan.validate().unwrap();
+            assert_eq!(plan.node_count(), 5);
+        }
+    }
+
+    #[test]
+    fn speedmap_plans_validate_for_every_scheme() {
+        let config = Experiment2Config::small();
+        for scheme in [Scheme::F0, Scheme::F1, Scheme::F2, Scheme::F3] {
+            let (plan, _handles) =
+                speedmap_plan(&config, scheme, StreamDuration::from_minutes(2)).unwrap();
+            plan.validate().unwrap();
+            assert_eq!(plan.node_count(), 4);
+        }
+    }
+}

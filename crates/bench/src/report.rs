@@ -1,0 +1,149 @@
+//! Plain-text and CSV rendering of experiment results, shaped like the
+//! paper's figures so EXPERIMENTS.md can be filled in directly from the
+//! binaries' output.
+
+use crate::experiments::{Experiment1Result, Experiment2Result, Scheme};
+use std::fmt::Write as _;
+
+/// Renders the Figure 5/6 scatter series as CSV
+/// (`tuple_id,path,output_time_secs,lag_ms`).
+pub fn experiment1_csv(result: &Experiment1Result) -> String {
+    let mut out = String::from("tuple_id,path,output_time_secs,lag_ms\n");
+    for r in &result.series {
+        let _ = writeln!(
+            out,
+            "{},{},{:.4},{}",
+            r.tuple_id,
+            if r.imputed { "imputed" } else { "clean" },
+            r.output_time_secs,
+            r.lag.as_millis()
+        );
+    }
+    out
+}
+
+/// Renders the Figure 5/6 headline numbers (fraction of imputed tuples lost).
+pub fn experiment1_summary(baseline: &Experiment1Result, feedback: &Experiment1Result) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Experiment 1 — imputation plan (Figures 5 and 6)");
+    let _ = writeln!(out, "  dirty tuples in input ........... {}", baseline.dirty_input);
+    let _ = writeln!(
+        out,
+        "  without feedback (Figure 5) ..... {:5.1}% of imputed tuples beyond tolerance   [paper: 97%]",
+        baseline.dropped_fraction * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  with PACE + feedback (Figure 6) . {:5.1}% of imputed tuples dropped            [paper: 29%]",
+        feedback.dropped_fraction * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  run time: baseline {:.2}s, feedback {:.2}s",
+        baseline.elapsed.as_secs_f64(),
+        feedback.elapsed.as_secs_f64()
+    );
+    out
+}
+
+/// Renders the Figure 7 grid (execution time per scheme and frequency).
+pub fn experiment2_table(result: &Experiment2Result, frequencies: &[i64]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Experiment 2 — speed-map plan (Figure 7)");
+    let _ = writeln!(out, "  execution time in seconds (relative to F0 in parentheses)");
+    let mut header = String::from("  freq(min)");
+    for scheme in Scheme::ALL {
+        let _ = write!(header, " {:>16}", scheme.label());
+    }
+    let _ = writeln!(out, "{header}");
+    for &minutes in frequencies {
+        let mut row = format!("  {minutes:>9}");
+        for scheme in Scheme::ALL {
+            match (result.cell(scheme, minutes), result.relative_to_baseline(scheme, minutes)) {
+                (Some(cell), Some(rel)) => {
+                    let _ = write!(row, " {:>9.2}s ({:>4.0}%)", cell.execution_time.as_secs_f64(), rel * 100.0);
+                }
+                _ => {
+                    let _ = write!(row, " {:>16}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    let _ = writeln!(out, "  paper: F1 ≈ 50% of F0, F2 ≈ 39%, F3 ≈ 35%; flat across frequencies");
+    out
+}
+
+/// Renders the Figure 7 grid as CSV (`frequency_min,scheme,seconds,rendered`).
+pub fn experiment2_csv(result: &Experiment2Result) -> String {
+    let mut out = String::from("frequency_min,scheme,seconds,rendered_results\n");
+    for cell in &result.cells {
+        let _ = writeln!(
+            out,
+            "{},{},{:.4},{}",
+            cell.zoom_frequency_minutes,
+            cell.scheme.label(),
+            cell.execution_time.as_secs_f64(),
+            cell.rendered_results
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{Experiment2Cell, OutputRecord};
+    use dsms_types::StreamDuration;
+    use std::time::Duration;
+
+    fn fake_exp1(feedback: bool, dropped: f64) -> Experiment1Result {
+        Experiment1Result {
+            feedback,
+            series: vec![OutputRecord {
+                tuple_id: 1,
+                imputed: true,
+                output_time_secs: 0.5,
+                lag: StreamDuration::from_millis(10),
+            }],
+            dirty_input: 2_500,
+            timely_imputed: ((1.0 - dropped) * 2_500.0) as u64,
+            dropped_fraction: dropped,
+            elapsed: Duration::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn experiment1_rendering() {
+        let csv = experiment1_csv(&fake_exp1(false, 0.97));
+        assert!(csv.starts_with("tuple_id,path"));
+        assert!(csv.contains("imputed"));
+        let summary = experiment1_summary(&fake_exp1(false, 0.97), &fake_exp1(true, 0.29));
+        assert!(summary.contains("97.0%"));
+        assert!(summary.contains("29.0%"));
+    }
+
+    #[test]
+    fn experiment2_rendering() {
+        let cells = vec![
+            Experiment2Cell {
+                scheme: Scheme::F0,
+                zoom_frequency_minutes: 2,
+                execution_time: Duration::from_secs(10),
+                rendered_results: 100,
+            },
+            Experiment2Cell {
+                scheme: Scheme::F1,
+                zoom_frequency_minutes: 2,
+                execution_time: Duration::from_secs(5),
+                rendered_results: 40,
+            },
+        ];
+        let result = Experiment2Result { cells };
+        let table = experiment2_table(&result, &[2]);
+        assert!(table.contains("F1"));
+        assert!(table.contains("50%"), "{table}");
+        let csv = experiment2_csv(&result);
+        assert!(csv.contains("2,F0,10.0000,100"));
+    }
+}

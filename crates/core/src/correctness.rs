@@ -1,0 +1,293 @@
+//! Executable notions of correctness (paper Section 4).
+//!
+//! * **Definition 1 (correct exploitation).**  An operator `O` correctly
+//!   exploits a processing opportunity expressed by assumed punctuation `f`
+//!   iff, upon exploitation, `O` produces an output stream `S` such that
+//!   `SR − subset(SR, f) ⊆ S ⊆ SR`, where `SR` is the output `O` would have
+//!   produced without exploitation.
+//!
+//!   The lower bound allows maximum exploitation (drop everything the feedback
+//!   describes); the upper bound allows the *null response* (change nothing)
+//!   and forbids inventing tuples that would not have appeared.
+//!
+//! * **Definition 2 (safe propagation).**  An operator `O` safely propagates
+//!   feedback `g` if any antecedent's exploitation of `g` does not alter `O`'s
+//!   own correct exploitation — operationally: removing from `O`'s *input* any
+//!   subset of the tuples described by `g` must not remove from `O`'s output
+//!   any tuple outside the subset described by the feedback `f` that `O` is
+//!   exploiting.
+//!
+//! These are *testing/validation* utilities: they compare recorded streams
+//! (multisets of tuples).  The engine's debug validation mode and the
+//! integration tests use them to certify that every feedback-aware operator in
+//! `dsms-operators` exploits and propagates correctly.
+
+use crate::intent::FeedbackPunctuation;
+use dsms_punctuation::Pattern;
+use dsms_types::Tuple;
+use std::collections::HashMap;
+
+/// `subset(stream, punctuation)` from the paper: the tuples of `stream` that
+/// match the punctuation's pattern.
+pub fn subset<'a>(stream: &'a [Tuple], pattern: &Pattern) -> Vec<&'a Tuple> {
+    stream.iter().filter(|t| pattern.matches(t)).collect()
+}
+
+/// Outcome of a Definition-1 check, with enough detail to explain a failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploitationReport {
+    /// Tuples that appear in the exploited output but not in the reference
+    /// output (violates `S ⊆ SR`).
+    pub invented: Vec<Tuple>,
+    /// Tuples missing from the exploited output that the reference output
+    /// contains and that the feedback does **not** describe (violates
+    /// `SR − subset ⊆ S`).
+    pub wrongly_dropped: Vec<Tuple>,
+    /// Tuples the feedback describes that the operator nevertheless produced.
+    /// This is *allowed* (null response) but reported for visibility.
+    pub unexploited: Vec<Tuple>,
+}
+
+impl ExploitationReport {
+    /// True when the exploitation satisfies Definition 1.
+    pub fn is_correct(&self) -> bool {
+        self.invented.is_empty() && self.wrongly_dropped.is_empty()
+    }
+
+    /// True when the operator achieved *maximum* exploitation: it dropped
+    /// every tuple the feedback describes (and nothing else).
+    pub fn is_maximal(&self) -> bool {
+        self.is_correct() && self.unexploited.is_empty()
+    }
+}
+
+/// Multiset view of a stream: tuple → multiplicity.
+fn multiset(stream: &[Tuple]) -> HashMap<&Tuple, usize> {
+    let mut m: HashMap<&Tuple, usize> = HashMap::new();
+    for t in stream {
+        *m.entry(t).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Checks Definition 1: compares the output stream the operator produced while
+/// exploiting feedback `f` (`exploited`) against the output it would have
+/// produced without feedback (`reference`), as multisets.
+pub fn check_correct_exploitation(
+    reference: &[Tuple],
+    exploited: &[Tuple],
+    feedback: &FeedbackPunctuation,
+) -> ExploitationReport {
+    let pattern = feedback.pattern();
+    let ref_counts = multiset(reference);
+    let expl_counts = multiset(exploited);
+
+    // S ⊆ SR: anything in the exploited output must exist (with sufficient
+    // multiplicity) in the reference output.
+    let mut invented = Vec::new();
+    for (tuple, &count) in &expl_counts {
+        let allowed = ref_counts.get(tuple).copied().unwrap_or(0);
+        if count > allowed {
+            for _ in 0..(count - allowed) {
+                invented.push((*tuple).clone());
+            }
+        }
+    }
+
+    // SR − subset(SR, f) ⊆ S: reference tuples *not* described by the feedback
+    // must all still be present.
+    let mut wrongly_dropped = Vec::new();
+    let mut unexploited = Vec::new();
+    for (tuple, &count) in &ref_counts {
+        let produced = expl_counts.get(tuple).copied().unwrap_or(0);
+        if pattern.matches(tuple) {
+            // Dropping is allowed; producing is the (correct) null response.
+            if produced > 0 {
+                for _ in 0..produced.min(count) {
+                    unexploited.push((*tuple).clone());
+                }
+            }
+        } else if produced < count {
+            for _ in 0..(count - produced) {
+                wrongly_dropped.push((*tuple).clone());
+            }
+        }
+    }
+
+    ExploitationReport { invented, wrongly_dropped, unexploited }
+}
+
+/// Checks Definition 2 empirically for one antecedent input.
+///
+/// Arguments:
+/// * `full_input` — the input stream the antecedent would deliver without
+///   exploiting the propagated feedback `g`;
+/// * `reduced_input` — the input stream after the antecedent exploited `g`
+///   (some subset of the tuples described by `g` removed);
+/// * `propagated` — the feedback `g` the operator sent upstream;
+/// * `exploited_feedback` — the feedback `f` the operator itself received and
+///   is exploiting;
+/// * `apply` — the operator as a function from an input stream to an output
+///   stream (its other inputs, if any, held fixed by the caller).
+///
+/// The propagation is safe when (a) the antecedent only removed tuples that
+/// `g` describes, and (b) the operator's output over the reduced input is
+/// still a correct exploitation of `f` relative to its output over the full
+/// input.
+pub fn check_safe_propagation<F>(
+    full_input: &[Tuple],
+    reduced_input: &[Tuple],
+    propagated: &FeedbackPunctuation,
+    exploited_feedback: &FeedbackPunctuation,
+    mut apply: F,
+) -> Result<ExploitationReport, String>
+where
+    F: FnMut(&[Tuple]) -> Vec<Tuple>,
+{
+    // (a) the antecedent must only have removed tuples described by g.
+    let full_counts = multiset(full_input);
+    let reduced_counts = multiset(reduced_input);
+    for (tuple, &count) in &full_counts {
+        let remaining = reduced_counts.get(tuple).copied().unwrap_or(0);
+        if remaining < count && !propagated.pattern().matches(tuple) {
+            return Err(format!(
+                "antecedent removed tuple {tuple} that the propagated feedback {propagated} does not describe"
+            ));
+        }
+    }
+    for (tuple, &count) in &reduced_counts {
+        let original = full_counts.get(tuple).copied().unwrap_or(0);
+        if count > original {
+            return Err(format!("antecedent introduced tuple {tuple} that was not in its original output"));
+        }
+    }
+
+    // (b) the operator's output over the reduced input must still be a correct
+    // exploitation of f relative to its reference output.
+    let reference = apply(full_input);
+    let with_reduced = apply(reduced_input);
+    Ok(check_correct_exploitation(&reference, &with_reduced, exploited_feedback))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intent::FeedbackPunctuation;
+    use dsms_punctuation::PatternItem;
+    use dsms_types::{DataType, Schema, SchemaRef, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::shared(&[("seg", DataType::Int), ("speed", DataType::Float)])
+    }
+
+    fn t(seg: i64, speed: f64) -> Tuple {
+        Tuple::new(schema(), vec![Value::Int(seg), Value::Float(speed)])
+    }
+
+    fn fast_feedback() -> FeedbackPunctuation {
+        // ¬[*, ≥50]
+        FeedbackPunctuation::assumed(
+            Pattern::for_attributes(schema(), &[("speed", PatternItem::Ge(Value::Float(50.0)))])
+                .unwrap(),
+            "test",
+        )
+    }
+
+    #[test]
+    fn subset_selects_matching_tuples() {
+        let stream = vec![t(1, 40.0), t(2, 55.0), t(3, 60.0)];
+        let sel = subset(&stream, fast_feedback().pattern());
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn null_response_is_correct_but_not_maximal() {
+        let reference = vec![t(1, 40.0), t(2, 55.0)];
+        let report = check_correct_exploitation(&reference, &reference, &fast_feedback());
+        assert!(report.is_correct());
+        assert!(!report.is_maximal());
+        assert_eq!(report.unexploited.len(), 1);
+    }
+
+    #[test]
+    fn maximum_exploitation_is_correct_and_maximal() {
+        let reference = vec![t(1, 40.0), t(2, 55.0), t(3, 70.0)];
+        let exploited = vec![t(1, 40.0)];
+        let report = check_correct_exploitation(&reference, &exploited, &fast_feedback());
+        assert!(report.is_correct());
+        assert!(report.is_maximal());
+    }
+
+    #[test]
+    fn dropping_undescribed_tuples_is_incorrect() {
+        let reference = vec![t(1, 40.0), t(2, 55.0)];
+        let exploited = vec![t(2, 55.0)]; // dropped the slow tuple instead
+        let report = check_correct_exploitation(&reference, &exploited, &fast_feedback());
+        assert!(!report.is_correct());
+        assert_eq!(report.wrongly_dropped, vec![t(1, 40.0)]);
+    }
+
+    #[test]
+    fn inventing_tuples_is_incorrect() {
+        let reference = vec![t(1, 40.0)];
+        let exploited = vec![t(1, 40.0), t(9, 10.0)];
+        let report = check_correct_exploitation(&reference, &exploited, &fast_feedback());
+        assert!(!report.is_correct());
+        assert_eq!(report.invented, vec![t(9, 10.0)]);
+    }
+
+    #[test]
+    fn multiplicities_matter() {
+        // Reference contains the slow tuple twice; producing it once is a
+        // wrongly-dropped occurrence because the feedback does not describe it.
+        let reference = vec![t(1, 40.0), t(1, 40.0)];
+        let exploited = vec![t(1, 40.0)];
+        let report = check_correct_exploitation(&reference, &exploited, &fast_feedback());
+        assert!(!report.is_correct());
+        assert_eq!(report.wrongly_dropped.len(), 1);
+    }
+
+    #[test]
+    fn safe_propagation_accepts_consistent_reduction() {
+        // Operator: a filter keeping speeds >= 50 (so removing slow tuples
+        // upstream cannot change its output outside the feedback subset).
+        let f = fast_feedback();
+        // The operator exploits ¬[*,>=50]; propagates the same pattern upstream.
+        let full = vec![t(1, 40.0), t(2, 55.0), t(3, 70.0)];
+        let reduced = vec![t(1, 40.0)]; // antecedent removed the fast tuples (described by g)
+        let report = check_safe_propagation(&full, &reduced, &f, &f, |input| {
+            input.iter().filter(|t| t.float("speed").unwrap() >= 50.0).cloned().collect()
+        })
+        .unwrap();
+        assert!(report.is_correct());
+    }
+
+    #[test]
+    fn safe_propagation_rejects_overreach() {
+        let f = fast_feedback();
+        let full = vec![t(1, 40.0), t(2, 55.0)];
+        let reduced = vec![t(2, 55.0)]; // antecedent removed a tuple g does not describe
+        let err = check_safe_propagation(&full, &reduced, &f, &f, |input| input.to_vec());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn safe_propagation_detects_collateral_damage() {
+        // Pathological operator: emits a marker tuple only if it has seen a
+        // fast tuple; removing fast tuples upstream then changes output
+        // *outside* the feedback subset -> propagation is unsafe.
+        let f = fast_feedback();
+        let full = vec![t(1, 40.0), t(2, 55.0)];
+        let reduced = vec![t(1, 40.0)];
+        let report = check_safe_propagation(&full, &reduced, &f, &f, |input| {
+            let mut out = input.to_vec();
+            if input.iter().any(|t| t.float("speed").unwrap() >= 50.0) {
+                out.push(t(99, 1.0)); // marker, not described by the feedback
+            }
+            out
+        })
+        .unwrap();
+        assert!(!report.is_correct());
+        assert_eq!(report.wrongly_dropped, vec![t(99, 1.0)]);
+    }
+}

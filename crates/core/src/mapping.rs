@@ -1,0 +1,319 @@
+//! Output→input schema mappings and safe propagation of feedback patterns.
+//!
+//! When an operator relays feedback to its antecedents it must rewrite the
+//! feedback pattern, which is expressed over the operator's *output* schema,
+//! into each antecedent's *input* schema (paper Section 4.2).  Such a
+//! rewrite exists only for attributes that map one-to-one onto an input
+//! attribute; and — critically — when the feedback constrains attributes from
+//! *more than one* input at once (the `¬[50,*,*,50]` example), no safe
+//! per-input propagation exists: sending the projections separately could
+//! suppress tuples (such as `<49,2,3,50>`) that the original feedback does not
+//! describe.
+
+use crate::error::{FeedbackError, FeedbackResult};
+use crate::intent::FeedbackPunctuation;
+use dsms_punctuation::Pattern;
+use dsms_types::{SchemaRef, TypeResult};
+
+/// A mapping from an operator's output schema onto one input schema.
+///
+/// `sources[i]` gives, for input attribute `i`, the output attribute it
+/// corresponds to (or `None` when the input attribute does not appear in the
+/// output, e.g. an attribute projected away).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeMapping {
+    output: SchemaRef,
+    input: SchemaRef,
+    sources: Vec<Option<usize>>,
+}
+
+impl AttributeMapping {
+    /// Creates a mapping by explicitly listing, for each input attribute, the
+    /// corresponding output attribute index.
+    pub fn new(output: SchemaRef, input: SchemaRef, sources: Vec<Option<usize>>) -> FeedbackResult<Self> {
+        if sources.len() != input.arity() {
+            return Err(FeedbackError::SchemaMismatch {
+                detail: format!(
+                    "mapping lists {} sources but input schema {} has {} attributes",
+                    sources.len(),
+                    input.describe(),
+                    input.arity()
+                ),
+            });
+        }
+        for s in sources.iter().flatten() {
+            if *s >= output.arity() {
+                return Err(FeedbackError::SchemaMismatch {
+                    detail: format!(
+                        "mapping references output attribute {s} but output schema {} has {} attributes",
+                        output.describe(),
+                        output.arity()
+                    ),
+                });
+            }
+        }
+        Ok(AttributeMapping { output, input, sources })
+    }
+
+    /// Builds a mapping by matching attribute *names* between the output and
+    /// input schemas — the common case for operators that carry attributes
+    /// through unchanged (select, union, PACE, aggregates keeping group
+    /// attributes).
+    pub fn by_name(output: SchemaRef, input: SchemaRef) -> TypeResult<Self> {
+        let sources = input
+            .fields()
+            .iter()
+            .map(|f| output.index_of(f.name()).ok())
+            .collect();
+        Ok(AttributeMapping { output, input, sources })
+    }
+
+    /// Builds a mapping from explicit `(output_attribute, input_attribute)`
+    /// name pairs; input attributes not listed are unmapped.
+    pub fn by_pairs(
+        output: SchemaRef,
+        input: SchemaRef,
+        pairs: &[(&str, &str)],
+    ) -> TypeResult<Self> {
+        let mut sources: Vec<Option<usize>> = vec![None; input.arity()];
+        for (out_name, in_name) in pairs {
+            let out_idx = output.index_of(out_name)?;
+            let in_idx = input.index_of(in_name)?;
+            sources[in_idx] = Some(out_idx);
+        }
+        Ok(AttributeMapping { output, input, sources })
+    }
+
+    /// The output schema.
+    pub fn output(&self) -> &SchemaRef {
+        &self.output
+    }
+
+    /// The input schema.
+    pub fn input(&self) -> &SchemaRef {
+        &self.input
+    }
+
+    /// For each input attribute, the output attribute it maps from.
+    pub fn sources(&self) -> &[Option<usize>] {
+        &self.sources
+    }
+
+    /// Output attribute indices that are covered by this mapping (i.e. have a
+    /// corresponding input attribute).
+    pub fn covered_output_attributes(&self) -> Vec<usize> {
+        let mut covered: Vec<usize> = self.sources.iter().flatten().copied().collect();
+        covered.sort_unstable();
+        covered.dedup();
+        covered
+    }
+
+    /// Rewrites an output-schema pattern into the input schema.  Constrained
+    /// output attributes without a corresponding input attribute are *not*
+    /// silently widened — that would be unsafe — instead the rewrite reports
+    /// them so the caller can decide (see [`propagate_through`]).
+    pub fn rewrite(&self, pattern: &Pattern) -> FeedbackResult<(Pattern, Vec<usize>)> {
+        if pattern.schema() != &self.output {
+            return Err(FeedbackError::SchemaMismatch {
+                detail: format!(
+                    "pattern is over {} but mapping expects output {}",
+                    pattern.schema().describe(),
+                    self.output.describe()
+                ),
+            });
+        }
+        let covered = self.covered_output_attributes();
+        let uncovered_constrained: Vec<usize> = pattern
+            .constrained_attributes()
+            .into_iter()
+            .filter(|idx| !covered.contains(idx))
+            .collect();
+        let rewritten = pattern.remap(self.input.clone(), &self.sources)?;
+        Ok((rewritten, uncovered_constrained))
+    }
+}
+
+/// The outcome of attempting to propagate feedback to one antecedent input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropagationOutcome {
+    /// Safe propagation exists; the rewritten feedback is ready to send.
+    Propagate(FeedbackPunctuation),
+    /// The feedback constrains no attribute visible to this input; relaying
+    /// an unconstrained pattern would describe *everything*, so nothing is
+    /// sent (but local exploitation may still be possible).
+    NothingToPropagate,
+    /// No safe propagation exists for this input (the feedback constrains
+    /// attributes this input cannot see, so projecting it would widen the
+    /// described set and could suppress tuples the original feedback does not
+    /// describe).
+    Unsafe {
+        /// Output attribute indices that are constrained but invisible to the
+        /// input.
+        uncovered_attributes: Vec<usize>,
+    },
+}
+
+/// Rewrites `feedback` for one antecedent input, enforcing the safe-propagation
+/// rule of Section 4.2:
+///
+/// * if **every** constrained attribute of the feedback maps onto the input,
+///   propagation is safe → [`PropagationOutcome::Propagate`];
+/// * if **none** does, there is nothing to say to this input →
+///   [`PropagationOutcome::NothingToPropagate`];
+/// * if **some but not all** do, per-input projection would widen the
+///   described subset (the `¬[50,*,*,50]` case) → [`PropagationOutcome::Unsafe`].
+///
+/// For multi-input operators the caller applies this per input; it is
+/// perfectly possible (and common, cf. Table 2) for propagation to be safe
+/// toward one input and unsafe toward the other.
+pub fn propagate_through(
+    feedback: &FeedbackPunctuation,
+    mapping: &AttributeMapping,
+    relayer: &str,
+) -> FeedbackResult<PropagationOutcome> {
+    let (rewritten, uncovered) = mapping.rewrite(feedback.pattern())?;
+    let constrained = feedback.pattern().constrained_attributes();
+    if constrained.is_empty() {
+        return Ok(PropagationOutcome::NothingToPropagate);
+    }
+    if uncovered.is_empty() {
+        Ok(PropagationOutcome::Propagate(feedback.relay(rewritten, relayer)))
+    } else if uncovered.len() == constrained.len() {
+        Ok(PropagationOutcome::NothingToPropagate)
+    } else {
+        Ok(PropagationOutcome::Unsafe { uncovered_attributes: uncovered })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_punctuation::PatternItem;
+    use dsms_types::{DataType, Schema, Value};
+
+    /// The paper's Section 4.2 example: A(a,t,id) ⋈ B(t,id,b) → C(a,t,id,b).
+    fn schemas() -> (SchemaRef, SchemaRef, SchemaRef) {
+        let a = Schema::shared(&[("a", DataType::Int), ("t", DataType::Int), ("id", DataType::Int)]);
+        let b = Schema::shared(&[("t", DataType::Int), ("id", DataType::Int), ("b", DataType::Int)]);
+        let c = Schema::shared(&[
+            ("a", DataType::Int),
+            ("t", DataType::Int),
+            ("id", DataType::Int),
+            ("b", DataType::Int),
+        ]);
+        (a, b, c)
+    }
+
+    fn feedback(items: &[(&str, PatternItem)]) -> FeedbackPunctuation {
+        let (_, _, c) = schemas();
+        FeedbackPunctuation::assumed(Pattern::for_attributes(c, items).unwrap(), "JOIN")
+    }
+
+    #[test]
+    fn mapping_by_name_matches_shared_attributes() {
+        let (a, _, c) = schemas();
+        let m = AttributeMapping::by_name(c, a).unwrap();
+        assert_eq!(m.sources(), &[Some(0), Some(1), Some(2)]);
+        assert_eq!(m.covered_output_attributes(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn join_key_feedback_propagates_to_both_inputs() {
+        // f = ¬[*,3,4,*] → ¬[*,3,4] to A and ¬[3,4,*] to B.
+        let (a, b, c) = schemas();
+        let f = feedback(&[("t", PatternItem::Eq(Value::Int(3))), ("id", PatternItem::Eq(Value::Int(4)))]);
+
+        let to_a = propagate_through(&f, &AttributeMapping::by_name(c.clone(), a).unwrap(), "JOIN").unwrap();
+        match to_a {
+            PropagationOutcome::Propagate(g) => assert_eq!(g.pattern().to_string(), "[*, 3, 4]"),
+            other => panic!("expected propagation to A, got {other:?}"),
+        }
+        let to_b = propagate_through(&f, &AttributeMapping::by_name(c, b).unwrap(), "JOIN").unwrap();
+        match to_b {
+            PropagationOutcome::Propagate(g) => assert_eq!(g.pattern().to_string(), "[3, 4, *]"),
+            other => panic!("expected propagation to B, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_only_feedback_propagates_to_left_only() {
+        // f = ¬[50,*,*,*] → ¬[50,*,*] to A; nothing to B.
+        let (a, b, c) = schemas();
+        let f = feedback(&[("a", PatternItem::Eq(Value::Int(50)))]);
+        match propagate_through(&f, &AttributeMapping::by_name(c.clone(), a).unwrap(), "JOIN").unwrap() {
+            PropagationOutcome::Propagate(g) => assert_eq!(g.pattern().to_string(), "[50, *, *]"),
+            other => panic!("expected propagation to A, got {other:?}"),
+        }
+        assert_eq!(
+            propagate_through(&f, &AttributeMapping::by_name(c, b).unwrap(), "JOIN").unwrap(),
+            PropagationOutcome::NothingToPropagate
+        );
+    }
+
+    #[test]
+    fn cross_input_feedback_has_no_safe_propagation() {
+        // f = ¬[50,*,*,50]: constrains `a` (left-only) and `b` (right-only);
+        // propagating either projection alone could suppress <49,2,3,50>.
+        let (a, b, c) = schemas();
+        let f = feedback(&[
+            ("a", PatternItem::Eq(Value::Int(50))),
+            ("b", PatternItem::Eq(Value::Int(50))),
+        ]);
+        for input in [a, b] {
+            match propagate_through(&f, &AttributeMapping::by_name(c.clone(), input).unwrap(), "JOIN")
+                .unwrap()
+            {
+                PropagationOutcome::Unsafe { uncovered_attributes } => {
+                    assert_eq!(uncovered_attributes.len(), 1);
+                }
+                other => panic!("expected unsafe propagation, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unconstrained_feedback_propagates_nothing() {
+        let (a, _, c) = schemas();
+        let f = FeedbackPunctuation::assumed(Pattern::all_wildcards(c.clone()), "JOIN");
+        assert_eq!(
+            propagate_through(&f, &AttributeMapping::by_name(c, a).unwrap(), "JOIN").unwrap(),
+            PropagationOutcome::NothingToPropagate
+        );
+    }
+
+    #[test]
+    fn mapping_validates_arity_and_indices() {
+        let (a, _, c) = schemas();
+        assert!(AttributeMapping::new(c.clone(), a.clone(), vec![Some(0)]).is_err());
+        assert!(AttributeMapping::new(c.clone(), a.clone(), vec![Some(99), None, None]).is_err());
+        assert!(AttributeMapping::new(c, a, vec![Some(0), Some(1), Some(2)]).is_ok());
+    }
+
+    #[test]
+    fn by_pairs_maps_renamed_attributes() {
+        // An aggregate with output (minute, avg_speed) and input (timestamp, speed):
+        // only the group attribute maps, under a different name.
+        let out = Schema::shared(&[("minute", DataType::Int), ("avg_speed", DataType::Float)]);
+        let inp = Schema::shared(&[("timestamp", DataType::Int), ("speed", DataType::Float)]);
+        let m = AttributeMapping::by_pairs(out.clone(), inp, &[("minute", "timestamp")]).unwrap();
+        assert_eq!(m.sources(), &[Some(0), None]);
+
+        let f = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(out, &[("minute", PatternItem::Lt(Value::Int(9)))]).unwrap(),
+            "AVERAGE",
+        );
+        match propagate_through(&f, &m, "AVERAGE").unwrap() {
+            PropagationOutcome::Propagate(g) => assert_eq!(g.pattern().to_string(), "[<9, *]"),
+            other => panic!("expected propagation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rewrite_rejects_wrong_schema() {
+        let (a, b, c) = schemas();
+        let m = AttributeMapping::by_name(c, a.clone()).unwrap();
+        let foreign = Pattern::all_wildcards(b);
+        assert!(m.rewrite(&foreign).is_err());
+        let _ = a;
+    }
+}

@@ -1,0 +1,383 @@
+//! Per-operator bookkeeping of active feedback.
+//!
+//! Keeping track of enacted feedback entails state accumulation — not of tuple
+//! data, but of predicates (paper Section 4.4).  A [`FeedbackRegistry`] owns
+//! that predicate state for one operator:
+//!
+//! * **assumed** feedback becomes an input/output *guard*: tuples matching any
+//!   active assumed pattern are suppressed;
+//! * **desired** feedback becomes a *priority* set: tuples matching any active
+//!   desired pattern should be processed/produced first;
+//! * **demanded** feedback is recorded for the operator to act on once (e.g.
+//!   emit partial results) and then retired.
+//!
+//! The registry also implements *expiration*: when embedded punctuation
+//! arrives that subsumes a guard on every attribute the guard constrains, the
+//! guard can never suppress anything again and is dropped — this is exactly
+//! why the paper restricts supportable feedback to delimited attributes.
+//! Registration can optionally be *strict*, rejecting feedback that the
+//! stream's punctuation scheme cannot support.
+
+use crate::error::{FeedbackError, FeedbackResult};
+use crate::intent::{FeedbackIntent, FeedbackPunctuation};
+use crate::stats::FeedbackStats;
+use dsms_punctuation::{Punctuation, PunctuationScheme};
+use dsms_types::Tuple;
+
+/// The decision a guard makes about one tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardDecision {
+    /// The tuple is not described by any active feedback: process normally.
+    Pass,
+    /// The tuple is described by an active *assumed* guard: suppress it.
+    Suppress,
+    /// The tuple is described by an active *desired* pattern: process it with
+    /// priority.
+    Prioritize,
+}
+
+/// Registry of active feedback for a single operator.
+#[derive(Debug, Clone)]
+pub struct FeedbackRegistry {
+    operator: String,
+    scheme: Option<PunctuationScheme>,
+    strict: bool,
+    assumed: Vec<FeedbackPunctuation>,
+    desired: Vec<FeedbackPunctuation>,
+    demanded: Vec<FeedbackPunctuation>,
+    stats: FeedbackStats,
+}
+
+impl FeedbackRegistry {
+    /// Creates a registry for the named operator with no supportability
+    /// checking.
+    pub fn new(operator: impl Into<String>) -> Self {
+        FeedbackRegistry {
+            operator: operator.into(),
+            scheme: None,
+            strict: false,
+            assumed: Vec::new(),
+            desired: Vec::new(),
+            demanded: Vec::new(),
+            stats: FeedbackStats::default(),
+        }
+    }
+
+    /// Attaches the punctuation scheme of the stream the guards apply to.
+    /// With `strict` set, [`register`](Self::register) rejects feedback whose
+    /// pattern constrains undelimited attributes (it would accumulate state
+    /// forever); without it, such feedback is accepted but counted in the
+    /// statistics as unexpirable.
+    pub fn with_scheme(mut self, scheme: PunctuationScheme, strict: bool) -> Self {
+        self.scheme = Some(scheme);
+        self.strict = strict;
+        self
+    }
+
+    /// The operator this registry belongs to.
+    pub fn operator(&self) -> &str {
+        &self.operator
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &FeedbackStats {
+        &self.stats
+    }
+
+    /// Mutable access to the statistics (operators add their own counters,
+    /// e.g. suppressed output tuples).
+    pub fn stats_mut(&mut self) -> &mut FeedbackStats {
+        &mut self.stats
+    }
+
+    /// Number of active assumed guards.
+    pub fn active_assumed(&self) -> usize {
+        self.assumed.len()
+    }
+
+    /// Number of active desired patterns.
+    pub fn active_desired(&self) -> usize {
+        self.desired.len()
+    }
+
+    /// Number of pending demanded requests.
+    pub fn pending_demanded(&self) -> usize {
+        self.demanded.len()
+    }
+
+    /// The active assumed guards (most recent last).
+    pub fn assumed_guards(&self) -> &[FeedbackPunctuation] {
+        &self.assumed
+    }
+
+    /// The active desired patterns (most recent last).
+    pub fn desired_patterns(&self) -> &[FeedbackPunctuation] {
+        &self.desired
+    }
+
+    /// Registers newly received feedback.  Duplicate or subsumed assumed
+    /// guards are coalesced: a new guard that is already implied by an active
+    /// one is dropped, and active guards implied by the new one are replaced.
+    pub fn register(&mut self, feedback: FeedbackPunctuation) -> FeedbackResult<()> {
+        if let (Some(scheme), true) = (&self.scheme, self.strict) {
+            if !scheme.supports(feedback.pattern()) {
+                self.stats.rejected_unsupportable += 1;
+                return Err(FeedbackError::Unsupportable {
+                    attributes: scheme.unsupportable_attributes(feedback.pattern()),
+                });
+            }
+        }
+        if let Some(scheme) = &self.scheme {
+            if !scheme.supports(feedback.pattern()) {
+                self.stats.unexpirable_guards += 1;
+            }
+        }
+        self.stats.received.record(feedback.intent());
+        match feedback.intent() {
+            FeedbackIntent::Assumed => {
+                if self.assumed.iter().any(|g| g.pattern().subsumes(feedback.pattern())) {
+                    self.stats.coalesced += 1;
+                    return Ok(());
+                }
+                self.assumed.retain(|g| {
+                    let replaced = feedback.pattern().subsumes(g.pattern());
+                    if replaced {
+                        self.stats.coalesced += 1;
+                    }
+                    !replaced
+                });
+                self.assumed.push(feedback);
+            }
+            FeedbackIntent::Desired => {
+                if self.desired.iter().any(|g| g.pattern() == feedback.pattern()) {
+                    self.stats.coalesced += 1;
+                    return Ok(());
+                }
+                self.desired.push(feedback);
+            }
+            FeedbackIntent::Demanded => self.demanded.push(feedback),
+        }
+        Ok(())
+    }
+
+    /// The paper's model forbids retracting enacted feedback (Section 4.4);
+    /// this method exists to make that explicit at the API level.
+    pub fn retract(&mut self, _feedback_id: u64) -> FeedbackResult<()> {
+        Err(FeedbackError::RetractionUnsupported)
+    }
+
+    /// Decides what to do with an input (or output) tuple under the active
+    /// guards.  Assumed guards win over desired priorities: a tuple that is
+    /// both assumed-away and desired is suppressed.
+    pub fn decide(&mut self, tuple: &Tuple) -> GuardDecision {
+        if self.assumed.iter().any(|g| g.describes(tuple)) {
+            self.stats.tuples_suppressed += 1;
+            return GuardDecision::Suppress;
+        }
+        if self.desired.iter().any(|g| g.describes(tuple)) {
+            self.stats.tuples_prioritized += 1;
+            return GuardDecision::Prioritize;
+        }
+        GuardDecision::Pass
+    }
+
+    /// Like [`decide`](Self::decide) but without mutating statistics; useful
+    /// for look-ahead checks.
+    pub fn peek(&self, tuple: &Tuple) -> GuardDecision {
+        if self.assumed.iter().any(|g| g.describes(tuple)) {
+            GuardDecision::Suppress
+        } else if self.desired.iter().any(|g| g.describes(tuple)) {
+            GuardDecision::Prioritize
+        } else {
+            GuardDecision::Pass
+        }
+    }
+
+    /// Takes the pending demanded feedback, leaving the registry's demanded
+    /// list empty; the operator acts on each exactly once (e.g. emitting
+    /// partial results).
+    pub fn take_demanded(&mut self) -> Vec<FeedbackPunctuation> {
+        std::mem::take(&mut self.demanded)
+    }
+
+    /// Folds an embedded punctuation into the registry, dropping every guard
+    /// that the punctuation releases (the punctuation subsumes the guard on
+    /// every attribute the guard constrains).  Returns the number of guards
+    /// expired.
+    pub fn expire_with(&mut self, punctuation: &Punctuation) -> usize {
+        let Some(scheme) = &self.scheme else {
+            return 0;
+        };
+        let before = self.assumed.len() + self.desired.len();
+        let pattern = punctuation.pattern();
+        self.assumed.retain(|g| !scheme.releases(pattern, g.pattern()));
+        self.desired.retain(|g| !scheme.releases(pattern, g.pattern()));
+        let expired = before - (self.assumed.len() + self.desired.len());
+        self.stats.guards_expired += expired as u64;
+        expired
+    }
+
+    /// Total number of predicates currently held — the state-accumulation
+    /// figure the paper worries about in Section 4.4.
+    pub fn predicate_state_size(&self) -> usize {
+        self.assumed.len() + self.desired.len() + self.demanded.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_punctuation::{Pattern, PatternItem};
+    use dsms_punctuation::scheme::Delimitation;
+    use dsms_types::{DataType, Schema, SchemaRef, Timestamp, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::shared(&[
+            ("timestamp", DataType::Timestamp),
+            ("segment", DataType::Int),
+            ("speed", DataType::Float),
+        ])
+    }
+
+    fn scheme() -> PunctuationScheme {
+        PunctuationScheme::new(
+            schema(),
+            &[("timestamp", Delimitation::Progressive), ("segment", Delimitation::Grouped)],
+        )
+        .unwrap()
+    }
+
+    fn tuple(ts: i64, seg: i64, speed: f64) -> Tuple {
+        Tuple::new(
+            schema(),
+            vec![
+                Value::Timestamp(Timestamp::from_secs(ts)),
+                Value::Int(seg),
+                Value::Float(speed),
+            ],
+        )
+    }
+
+    fn before(ts: i64) -> Pattern {
+        Pattern::for_attributes(
+            schema(),
+            &[("timestamp", PatternItem::Lt(Value::Timestamp(Timestamp::from_secs(ts))))],
+        )
+        .unwrap()
+    }
+
+    fn segment(seg: i64) -> Pattern {
+        Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(seg)))]).unwrap()
+    }
+
+    #[test]
+    fn assumed_guard_suppresses_matching_tuples() {
+        let mut reg = FeedbackRegistry::new("IMPUTE");
+        reg.register(FeedbackPunctuation::assumed(before(100), "PACE")).unwrap();
+        assert_eq!(reg.decide(&tuple(50, 1, 10.0)), GuardDecision::Suppress);
+        assert_eq!(reg.decide(&tuple(150, 1, 10.0)), GuardDecision::Pass);
+        assert_eq!(reg.stats().tuples_suppressed, 1);
+        assert_eq!(reg.active_assumed(), 1);
+    }
+
+    #[test]
+    fn desired_patterns_prioritize_but_assumed_wins() {
+        let mut reg = FeedbackRegistry::new("CLEAN");
+        reg.register(FeedbackPunctuation::desired(segment(3), "IMPATIENT")).unwrap();
+        assert_eq!(reg.decide(&tuple(10, 3, 1.0)), GuardDecision::Prioritize);
+        reg.register(FeedbackPunctuation::assumed(segment(3), "JOIN")).unwrap();
+        assert_eq!(reg.decide(&tuple(10, 3, 1.0)), GuardDecision::Suppress);
+        assert_eq!(reg.peek(&tuple(10, 4, 1.0)), GuardDecision::Pass);
+    }
+
+    #[test]
+    fn subsumed_guards_are_coalesced() {
+        let mut reg = FeedbackRegistry::new("IMPUTE");
+        reg.register(FeedbackPunctuation::assumed(before(100), "PACE")).unwrap();
+        // A narrower guard is already implied.
+        reg.register(FeedbackPunctuation::assumed(before(50), "PACE")).unwrap();
+        assert_eq!(reg.active_assumed(), 1);
+        // A wider guard replaces the existing one.
+        reg.register(FeedbackPunctuation::assumed(before(200), "PACE")).unwrap();
+        assert_eq!(reg.active_assumed(), 1);
+        assert_eq!(reg.stats().coalesced, 2);
+        assert_eq!(reg.peek(&tuple(150, 1, 1.0)), GuardDecision::Suppress);
+    }
+
+    #[test]
+    fn strict_registration_rejects_unsupportable_feedback() {
+        let mut reg = FeedbackRegistry::new("AVG").with_scheme(scheme(), true);
+        // speed is not a delimited attribute.
+        let f = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(schema(), &[("speed", PatternItem::Ge(Value::Float(50.0)))])
+                .unwrap(),
+            "JOIN",
+        );
+        let err = reg.register(f).unwrap_err();
+        assert!(matches!(err, FeedbackError::Unsupportable { ref attributes } if attributes == &["speed"]));
+        assert_eq!(reg.stats().rejected_unsupportable, 1);
+        assert_eq!(reg.active_assumed(), 0);
+    }
+
+    #[test]
+    fn lenient_registration_counts_unexpirable_guards() {
+        let mut reg = FeedbackRegistry::new("AVG").with_scheme(scheme(), false);
+        let f = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(schema(), &[("speed", PatternItem::Ge(Value::Float(50.0)))])
+                .unwrap(),
+            "JOIN",
+        );
+        reg.register(f).unwrap();
+        assert_eq!(reg.active_assumed(), 1);
+        assert_eq!(reg.stats().unexpirable_guards, 1);
+    }
+
+    #[test]
+    fn guards_expire_when_punctuation_catches_up() {
+        let mut reg = FeedbackRegistry::new("IMPUTE").with_scheme(scheme(), true);
+        reg.register(FeedbackPunctuation::assumed(before(100), "PACE")).unwrap();
+        assert_eq!(reg.predicate_state_size(), 1);
+
+        let early = Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(60)).unwrap();
+        assert_eq!(reg.expire_with(&early), 0, "punctuation has not caught up");
+
+        let late = Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(100)).unwrap();
+        assert_eq!(reg.expire_with(&late), 1);
+        assert_eq!(reg.predicate_state_size(), 0);
+        assert_eq!(reg.stats().guards_expired, 1);
+        // Once expired, previously suppressed tuples pass again (they are now
+        // late with respect to embedded punctuation and will be handled by the
+        // operator's own lateness logic instead).
+        assert_eq!(reg.peek(&tuple(50, 1, 1.0)), GuardDecision::Pass);
+    }
+
+    #[test]
+    fn demanded_feedback_is_taken_once() {
+        let mut reg = FeedbackRegistry::new("AVG");
+        reg.register(FeedbackPunctuation::demanded(segment(2), "client")).unwrap();
+        assert_eq!(reg.pending_demanded(), 1);
+        let taken = reg.take_demanded();
+        assert_eq!(taken.len(), 1);
+        assert_eq!(reg.pending_demanded(), 0);
+        assert!(reg.take_demanded().is_empty());
+    }
+
+    #[test]
+    fn retraction_is_rejected() {
+        let mut reg = FeedbackRegistry::new("JOIN");
+        let f = FeedbackPunctuation::assumed(segment(1), "x");
+        let id = f.id();
+        reg.register(f).unwrap();
+        assert_eq!(reg.retract(id), Err(FeedbackError::RetractionUnsupported));
+        assert_eq!(reg.active_assumed(), 1);
+    }
+
+    #[test]
+    fn duplicate_desired_patterns_coalesce() {
+        let mut reg = FeedbackRegistry::new("CLEAN");
+        reg.register(FeedbackPunctuation::desired(segment(3), "a")).unwrap();
+        reg.register(FeedbackPunctuation::desired(segment(3), "b")).unwrap();
+        assert_eq!(reg.active_desired(), 1);
+        assert_eq!(reg.stats().coalesced, 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Counters describing how much work feedback saved (and cost).
+//!
+//! The experiments of Section 6 quantify feedback benefit as "timely tuples in
+//! the result" (Experiment 1) and "total query execution time" (Experiment 2).
+//! The per-operator counters collected here are the raw material for those
+//! measurements and for the ablation benches.
+
+use crate::intent::FeedbackIntent;
+use std::fmt;
+
+/// Per-intent counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntentCounts {
+    /// Assumed (`¬`) messages.
+    pub assumed: u64,
+    /// Desired (`?`) messages.
+    pub desired: u64,
+    /// Demanded (`!`) messages.
+    pub demanded: u64,
+}
+
+impl IntentCounts {
+    /// Increments the counter for the given intent.
+    pub fn record(&mut self, intent: FeedbackIntent) {
+        match intent {
+            FeedbackIntent::Assumed => self.assumed += 1,
+            FeedbackIntent::Desired => self.desired += 1,
+            FeedbackIntent::Demanded => self.demanded += 1,
+        }
+    }
+
+    /// Total across intents.
+    pub fn total(&self) -> u64 {
+        self.assumed + self.desired + self.demanded
+    }
+}
+
+/// Feedback-related statistics for one operator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FeedbackStats {
+    /// Feedback messages this operator issued, per intent.
+    pub issued: IntentCounts,
+    /// Feedback messages this operator received, per intent.
+    pub received: IntentCounts,
+    /// Feedback messages this operator relayed upstream, per intent.
+    pub relayed: IntentCounts,
+    /// Input/output tuples suppressed by assumed guards.
+    pub tuples_suppressed: u64,
+    /// Tuples processed with priority due to desired patterns.
+    pub tuples_prioritized: u64,
+    /// State entries (groups, windows, hash-table rows) purged due to feedback.
+    pub state_purged: u64,
+    /// Partial results emitted due to demanded feedback.
+    pub partial_results: u64,
+    /// Guards dropped because embedded punctuation subsumed them.
+    pub guards_expired: u64,
+    /// Feedback rejected in strict mode because the punctuation scheme cannot
+    /// support it.
+    pub rejected_unsupportable: u64,
+    /// Guards accepted that the scheme cannot expire (lenient mode).
+    pub unexpirable_guards: u64,
+    /// Feedback messages coalesced because an equivalent/subsuming guard was
+    /// already active.
+    pub coalesced: u64,
+}
+
+impl FeedbackStats {
+    /// Merges another operator's statistics into this one (used to aggregate
+    /// per-plan totals in the experiment harness).
+    pub fn merge(&mut self, other: &FeedbackStats) {
+        self.issued.assumed += other.issued.assumed;
+        self.issued.desired += other.issued.desired;
+        self.issued.demanded += other.issued.demanded;
+        self.received.assumed += other.received.assumed;
+        self.received.desired += other.received.desired;
+        self.received.demanded += other.received.demanded;
+        self.relayed.assumed += other.relayed.assumed;
+        self.relayed.desired += other.relayed.desired;
+        self.relayed.demanded += other.relayed.demanded;
+        self.tuples_suppressed += other.tuples_suppressed;
+        self.tuples_prioritized += other.tuples_prioritized;
+        self.state_purged += other.state_purged;
+        self.partial_results += other.partial_results;
+        self.guards_expired += other.guards_expired;
+        self.rejected_unsupportable += other.rejected_unsupportable;
+        self.unexpirable_guards += other.unexpirable_guards;
+        self.coalesced += other.coalesced;
+    }
+}
+
+impl fmt::Display for FeedbackStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "issued={} received={} relayed={} suppressed={} prioritized={} purged={} partial={} expired={}",
+            self.issued.total(),
+            self.received.total(),
+            self.relayed.total(),
+            self.tuples_suppressed,
+            self.tuples_prioritized,
+            self.state_purged,
+            self.partial_results,
+            self.guards_expired,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intent_counts_record_and_total() {
+        let mut c = IntentCounts::default();
+        c.record(FeedbackIntent::Assumed);
+        c.record(FeedbackIntent::Assumed);
+        c.record(FeedbackIntent::Desired);
+        c.record(FeedbackIntent::Demanded);
+        assert_eq!(c.assumed, 2);
+        assert_eq!(c.desired, 1);
+        assert_eq!(c.demanded, 1);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn merge_accumulates_every_counter() {
+        let mut a = FeedbackStats { tuples_suppressed: 5, state_purged: 2, ..Default::default() };
+        a.issued.record(FeedbackIntent::Assumed);
+        let mut b = FeedbackStats { tuples_suppressed: 7, guards_expired: 1, ..Default::default() };
+        b.issued.record(FeedbackIntent::Desired);
+        a.merge(&b);
+        assert_eq!(a.tuples_suppressed, 12);
+        assert_eq!(a.state_purged, 2);
+        assert_eq!(a.guards_expired, 1);
+        assert_eq!(a.issued.total(), 2);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = FeedbackStats { tuples_suppressed: 3, ..Default::default() };
+        assert!(s.to_string().contains("suppressed=3"));
+    }
+}

@@ -1,0 +1,845 @@
+//! Plan execution.
+//!
+//! Two executors run the same [`QueryPlan`]s and the same operator code:
+//!
+//! * [`ThreadedExecutor`] — NiagaraST's model: one OS thread per operator,
+//!   bounded page queues between them (back-pressure), and an out-of-band
+//!   control channel per connection that is drained with priority before data
+//!   is processed.  This is the executor the paper's experiments correspond
+//!   to: pipelined, inter-operator parallel, timing-sensitive.
+//! * [`SyncExecutor`] — a deterministic single-threaded scheduler that
+//!   round-robins operators in topological order.  It produces bit-identical
+//!   results run-to-run and is what most unit and integration tests use.
+//!
+//! Both deliver feedback punctuation *against* the data flow: an operator
+//! calls [`OperatorContext::send_feedback`] naming one of its *input* ports,
+//! and the executor hands the message to the operator attached upstream of
+//! that port, invoking its [`Operator::on_feedback`] callback with high
+//! priority.
+
+use crate::control::ControlMessage;
+use crate::error::{EngineError, EngineResult};
+use crate::metrics::OperatorMetrics;
+use crate::operator::{Operator, OperatorContext, SourceState, StreamItem};
+use crate::page::{Page, PageBuilder};
+use crate::plan::{Edge, NodeId, QueryPlan};
+use crate::queue::{ConsumerEnd, DataQueue, ProducerEnd, QueueMessage};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// The result of executing a plan: wall-clock time plus per-operator metrics.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionReport {
+    /// Total wall-clock execution time.
+    pub elapsed: Duration,
+    /// Per-operator metrics, in plan node order.
+    pub metrics: Vec<OperatorMetrics>,
+}
+
+impl ExecutionReport {
+    /// Metrics for the first operator with the given name, if any.
+    pub fn operator(&self, name: &str) -> Option<&OperatorMetrics> {
+        self.metrics.iter().find(|m| m.operator == name)
+    }
+
+    /// Sum of tuples emitted by all operators.
+    pub fn total_tuples_out(&self) -> u64 {
+        self.metrics.iter().map(|m| m.tuples_out).sum()
+    }
+
+    /// Sum of feedback messages sent by all operators.
+    pub fn total_feedback(&self) -> u64 {
+        self.metrics.iter().map(|m| m.feedback_out).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Synchronous (deterministic) executor
+// ---------------------------------------------------------------------------
+
+/// Deterministic single-threaded executor.
+pub struct SyncExecutor;
+
+struct SyncEdgeState {
+    edge: Edge,
+    builder: PageBuilder,
+    queue: VecDeque<Page>,
+    eos: bool,
+    control: VecDeque<ControlMessage>,
+}
+
+impl SyncExecutor {
+    /// Runs the plan to completion.
+    pub fn run(mut plan: QueryPlan) -> EngineResult<ExecutionReport> {
+        plan.validate()?;
+        let started = Instant::now();
+        let order = plan.topological_order();
+        let page_capacity = plan.page_capacity;
+
+        let mut edges: Vec<SyncEdgeState> = plan
+            .edges
+            .iter()
+            .map(|e| SyncEdgeState {
+                edge: *e,
+                builder: PageBuilder::new(page_capacity),
+                queue: VecDeque::new(),
+                eos: false,
+                control: VecDeque::new(),
+            })
+            .collect();
+
+        let node_count = plan.nodes.len();
+        let mut metrics: Vec<OperatorMetrics> =
+            plan.nodes.iter().map(|n| OperatorMetrics::new(n.name.clone())).collect();
+        let mut done = vec![false; node_count];
+        let mut exhausted = vec![false; node_count];
+        let mut ctx = OperatorContext::new();
+
+        loop {
+            let mut activity = false;
+
+            // 1. Deliver pending upstream control messages (high priority).
+            for e in 0..edges.len() {
+                while let Some(msg) = edges[e].control.pop_front() {
+                    activity = true;
+                    let producer = edges[e].edge.from.0;
+                    let port = edges[e].edge.from_port;
+                    if done[producer] {
+                        continue;
+                    }
+                    let op = &mut plan.nodes[producer].operator;
+                    match msg {
+                        ControlMessage::Feedback(fb) => {
+                            metrics[producer].feedback_in += 1;
+                            op.on_feedback(port, fb, &mut ctx).map_err(|err| wrap(&plan, producer, err))?;
+                        }
+                        ControlMessage::RequestResults => {
+                            op.on_request_results(port, &mut ctx)
+                                .map_err(|err| wrap(&plan, producer, err))?;
+                        }
+                        ControlMessage::Shutdown | ControlMessage::EndOfStream => {}
+                    }
+                    route_sync(&mut ctx, producer, &mut edges, &mut metrics);
+                }
+            }
+
+            // 2. Step every node once, in topological order.
+            for &NodeId(n) in &order {
+                if done[n] {
+                    continue;
+                }
+                let is_source = plan.nodes[n].inputs == 0;
+                if is_source {
+                    if !exhausted[n] {
+                        let timer = Instant::now();
+                        let state = plan.nodes[n]
+                            .operator
+                            .poll_source(&mut ctx)
+                            .map_err(|err| wrap(&plan, n, err))?;
+                        metrics[n].busy += timer.elapsed();
+                        route_sync(&mut ctx, n, &mut edges, &mut metrics);
+                        match state {
+                            SourceState::Producing => activity = true,
+                            SourceState::Exhausted | SourceState::NotASource => {
+                                exhausted[n] = true;
+                                activity = true;
+                            }
+                        }
+                    }
+                    if exhausted[n] {
+                        finish_sync(&mut plan, n, &mut edges, &mut metrics, &mut ctx, &mut done)?;
+                        activity = true;
+                    }
+                    continue;
+                }
+
+                // Consume at most one page per input this round.
+                let mut consumed = false;
+                for e in 0..edges.len() {
+                    if edges[e].edge.to.0 != n {
+                        continue;
+                    }
+                    if let Some(page) = edges[e].queue.pop_front() {
+                        consumed = true;
+                        activity = true;
+                        metrics[n].pages_in += 1;
+                        let port = edges[e].edge.to_port;
+                        let timer = Instant::now();
+                        for item in page.into_items() {
+                            match item {
+                                StreamItem::Tuple(t) => {
+                                    metrics[n].tuples_in += 1;
+                                    plan.nodes[n]
+                                        .operator
+                                        .on_tuple(port, t, &mut ctx)
+                                        .map_err(|err| wrap(&plan, n, err))?;
+                                }
+                                StreamItem::Punctuation(p) => {
+                                    metrics[n].punctuations_in += 1;
+                                    plan.nodes[n]
+                                        .operator
+                                        .on_punctuation(port, p, &mut ctx)
+                                        .map_err(|err| wrap(&plan, n, err))?;
+                                }
+                            }
+                        }
+                        metrics[n].busy += timer.elapsed();
+                        route_sync(&mut ctx, n, &mut edges, &mut metrics);
+                    }
+                }
+
+                // End-of-stream: all incoming edges exhausted and drained.
+                if !consumed {
+                    let inputs_done = edges
+                        .iter()
+                        .filter(|e| e.edge.to.0 == n)
+                        .all(|e| e.eos && e.queue.is_empty());
+                    if inputs_done {
+                        finish_sync(&mut plan, n, &mut edges, &mut metrics, &mut ctx, &mut done)?;
+                        activity = true;
+                    }
+                }
+            }
+
+            if done.iter().all(|d| *d) {
+                break;
+            }
+            if !activity {
+                return Err(EngineError::ExecutionFailed {
+                    detail: "execution stalled: no operator made progress".into(),
+                });
+            }
+        }
+
+        // Fold in feedback stats.
+        for (n, node) in plan.nodes.iter().enumerate() {
+            if let Some(stats) = node.operator.feedback_stats() {
+                metrics[n].feedback = stats;
+            }
+        }
+
+        Ok(ExecutionReport { elapsed: started.elapsed(), metrics })
+    }
+}
+
+fn wrap(plan: &QueryPlan, node: usize, err: EngineError) -> EngineError {
+    EngineError::OperatorFailed { operator: plan.nodes[node].name.clone(), detail: err.to_string() }
+}
+
+/// Routes one node's buffered emissions and feedback into the sync edge state.
+fn route_sync(
+    ctx: &mut OperatorContext,
+    node: usize,
+    edges: &mut [SyncEdgeState],
+    metrics: &mut [OperatorMetrics],
+) {
+    for (port, item) in ctx.take_emitted() {
+        let Some(edge) = edges
+            .iter_mut()
+            .find(|e| e.edge.from.0 == node && e.edge.from_port == port)
+        else {
+            // Unconnected output (sink side-channel): count and drop.
+            match item {
+                StreamItem::Tuple(_) => metrics[node].tuples_out += 1,
+                StreamItem::Punctuation(_) => metrics[node].punctuations_out += 1,
+            }
+            continue;
+        };
+        match item {
+            StreamItem::Tuple(t) => {
+                metrics[node].tuples_out += 1;
+                if let Some(page) = edge.builder.push_tuple(t) {
+                    metrics[node].pages_out += 1;
+                    edge.queue.push_back(page);
+                }
+            }
+            StreamItem::Punctuation(p) => {
+                metrics[node].punctuations_out += 1;
+                let page = edge.builder.push_punctuation(p);
+                metrics[node].pages_out += 1;
+                edge.queue.push_back(page);
+            }
+        }
+    }
+    for (input, fb) in ctx.take_feedback() {
+        if let Some(edge) = edges
+            .iter_mut()
+            .find(|e| e.edge.to.0 == node && e.edge.to_port == input)
+        {
+            metrics[node].feedback_out += 1;
+            edge.control.push_back(ControlMessage::Feedback(fb));
+        }
+    }
+    for input in ctx.take_result_requests() {
+        if let Some(edge) = edges
+            .iter_mut()
+            .find(|e| e.edge.to.0 == node && e.edge.to_port == input)
+        {
+            edge.control.push_back(ControlMessage::RequestResults);
+        }
+    }
+}
+
+/// Flushes a finished node and marks end-of-stream on its outgoing edges.
+fn finish_sync(
+    plan: &mut QueryPlan,
+    node: usize,
+    edges: &mut [SyncEdgeState],
+    metrics: &mut [OperatorMetrics],
+    ctx: &mut OperatorContext,
+    done: &mut [bool],
+) -> EngineResult<()> {
+    if done[node] {
+        return Ok(());
+    }
+    let timer = Instant::now();
+    plan.nodes[node].operator.on_flush(ctx).map_err(|err| wrap(plan, node, err))?;
+    metrics[node].busy += timer.elapsed();
+    route_sync(ctx, node, edges, metrics);
+    for edge in edges.iter_mut().filter(|e| e.edge.from.0 == node) {
+        if let Some(page) = edge.builder.flush() {
+            metrics[node].pages_out += 1;
+            edge.queue.push_back(page);
+        }
+        edge.eos = true;
+    }
+    done[node] = true;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Threaded (NiagaraST-style) executor
+// ---------------------------------------------------------------------------
+
+/// One OS thread per operator, bounded page queues, out-of-band control.
+pub struct ThreadedExecutor;
+
+struct ThreadedNode {
+    name: String,
+    operator: Box<dyn Operator>,
+    /// (input port, consumer endpoint of the incoming connection)
+    inputs: Vec<(usize, ConsumerEnd)>,
+    /// (output port, producer endpoint of the outgoing connection)
+    outputs: Vec<(usize, ProducerEnd)>,
+    page_capacity: usize,
+}
+
+impl ThreadedExecutor {
+    /// How long an idle operator thread sleeps before re-polling its inputs.
+    const IDLE_SLEEP: Duration = Duration::from_micros(50);
+
+    /// Runs the plan to completion, one thread per operator.
+    pub fn run(mut plan: QueryPlan) -> EngineResult<ExecutionReport> {
+        plan.validate()?;
+        let started = Instant::now();
+        let page_capacity = plan.page_capacity;
+        let queue_capacity = plan.queue_capacity;
+
+        // Build one connection per edge.
+        let mut producer_ends: Vec<Option<ProducerEnd>> = Vec::new();
+        let mut consumer_ends: Vec<Option<ConsumerEnd>> = Vec::new();
+        for _ in &plan.edges {
+            let (p, c) = DataQueue::connection(queue_capacity);
+            producer_ends.push(Some(p));
+            consumer_ends.push(Some(c));
+        }
+
+        // Assemble per-node runtimes.
+        let mut runtimes: Vec<ThreadedNode> = Vec::with_capacity(plan.nodes.len());
+        let edges = plan.edges.clone();
+        for (idx, node) in plan.nodes.drain(..).enumerate() {
+            let mut inputs = Vec::new();
+            let mut outputs = Vec::new();
+            for (e_idx, e) in edges.iter().enumerate() {
+                if e.to.0 == idx {
+                    inputs.push((e.to_port, consumer_ends[e_idx].take().expect("consumer end taken once")));
+                }
+                if e.from.0 == idx {
+                    outputs.push((e.from_port, producer_ends[e_idx].take().expect("producer end taken once")));
+                }
+            }
+            runtimes.push(ThreadedNode {
+                name: node.name,
+                operator: node.operator,
+                inputs,
+                outputs,
+                page_capacity,
+            });
+        }
+
+        // Run each node on its own thread.
+        let handles: Vec<_> = runtimes
+            .into_iter()
+            .map(|node| std::thread::spawn(move || run_threaded_node(node)))
+            .collect();
+
+        let mut metrics = Vec::with_capacity(handles.len());
+        let mut first_error: Option<EngineError> = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(m)) => metrics.push(m),
+                Ok(Err(e)) => first_error = first_error.or(Some(e)),
+                Err(_) => {
+                    first_error = first_error.or(Some(EngineError::ExecutionFailed {
+                        detail: "operator thread panicked".into(),
+                    }))
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        Ok(ExecutionReport { elapsed: started.elapsed(), metrics })
+    }
+}
+
+fn run_threaded_node(mut node: ThreadedNode) -> Result<OperatorMetrics, EngineError> {
+    let mut metrics = OperatorMetrics::new(node.name.clone());
+    let mut ctx = OperatorContext::new();
+    let mut builders: Vec<(usize, PageBuilder)> =
+        node.outputs.iter().map(|(port, _)| (*port, PageBuilder::new(node.page_capacity))).collect();
+    let is_source = node.inputs.is_empty();
+    let mut open: Vec<bool> = vec![true; node.inputs.len()];
+    let mut shutdown = false;
+
+    let wrap = |name: &str, err: EngineError| EngineError::OperatorFailed {
+        operator: name.to_string(),
+        detail: err.to_string(),
+    };
+
+    loop {
+        // 1. Control first (feedback from downstream), with priority.
+        for (port, producer) in &node.outputs {
+            for msg in producer.drain_control() {
+                match msg {
+                    ControlMessage::Feedback(fb) => {
+                        metrics.feedback_in += 1;
+                        node.operator
+                            .on_feedback(*port, fb, &mut ctx)
+                            .map_err(|e| wrap(&node.name, e))?;
+                    }
+                    ControlMessage::RequestResults => {
+                        node.operator
+                            .on_request_results(*port, &mut ctx)
+                            .map_err(|e| wrap(&node.name, e))?;
+                    }
+                    ControlMessage::Shutdown => shutdown = true,
+                    ControlMessage::EndOfStream => {}
+                }
+            }
+        }
+        route_threaded(&mut ctx, &node, &mut builders, &mut metrics);
+        if shutdown {
+            break;
+        }
+
+        // 2. Data (or source stepping).
+        if is_source {
+            let timer = Instant::now();
+            let state = node.operator.poll_source(&mut ctx).map_err(|e| wrap(&node.name, e))?;
+            metrics.busy += timer.elapsed();
+            route_threaded(&mut ctx, &node, &mut builders, &mut metrics);
+            match state {
+                SourceState::Producing => continue,
+                SourceState::Exhausted | SourceState::NotASource => break,
+            }
+        }
+
+        let mut received = false;
+        for (i, (port, consumer)) in node.inputs.iter().enumerate() {
+            if !open[i] {
+                continue;
+            }
+            match consumer.try_recv() {
+                Some(QueueMessage::Page(page)) => {
+                    received = true;
+                    metrics.pages_in += 1;
+                    let timer = Instant::now();
+                    for item in page.into_items() {
+                        match item {
+                            StreamItem::Tuple(t) => {
+                                metrics.tuples_in += 1;
+                                node.operator
+                                    .on_tuple(*port, t, &mut ctx)
+                                    .map_err(|e| wrap(&node.name, e))?;
+                            }
+                            StreamItem::Punctuation(p) => {
+                                metrics.punctuations_in += 1;
+                                node.operator
+                                    .on_punctuation(*port, p, &mut ctx)
+                                    .map_err(|e| wrap(&node.name, e))?;
+                            }
+                        }
+                    }
+                    metrics.busy += timer.elapsed();
+                    route_threaded(&mut ctx, &node, &mut builders, &mut metrics);
+                }
+                Some(QueueMessage::EndOfStream) => {
+                    received = true;
+                    open[i] = false;
+                }
+                None => {}
+            }
+        }
+        if open.iter().all(|o| !*o) {
+            break;
+        }
+        if !received {
+            std::thread::sleep(ThreadedExecutor::IDLE_SLEEP);
+        }
+    }
+
+    // Final flush.
+    let timer = Instant::now();
+    node.operator.on_flush(&mut ctx).map_err(|e| wrap(&node.name, e))?;
+    metrics.busy += timer.elapsed();
+    route_threaded(&mut ctx, &node, &mut builders, &mut metrics);
+    for (port, builder) in &mut builders {
+        if let Some(page) = builder.flush() {
+            metrics.pages_out += 1;
+            if let Some((_, producer)) = node.outputs.iter().find(|(p, _)| p == port) {
+                producer.send_page(page);
+            }
+        }
+    }
+    for (_, producer) in &node.outputs {
+        producer.send_end_of_stream();
+    }
+    if let Some(stats) = node.operator.feedback_stats() {
+        metrics.feedback = stats;
+    }
+    Ok(metrics)
+}
+
+fn route_threaded(
+    ctx: &mut OperatorContext,
+    node: &ThreadedNode,
+    builders: &mut [(usize, PageBuilder)],
+    metrics: &mut OperatorMetrics,
+) {
+    for (port, item) in ctx.take_emitted() {
+        let producer = node.outputs.iter().find(|(p, _)| *p == port).map(|(_, prod)| prod);
+        let builder = builders.iter_mut().find(|(p, _)| *p == port).map(|(_, b)| b);
+        match (producer, builder) {
+            (Some(producer), Some(builder)) => match item {
+                StreamItem::Tuple(t) => {
+                    metrics.tuples_out += 1;
+                    if let Some(page) = builder.push_tuple(t) {
+                        metrics.pages_out += 1;
+                        producer.send_page(page);
+                    }
+                }
+                StreamItem::Punctuation(p) => {
+                    metrics.punctuations_out += 1;
+                    let page = builder.push_punctuation(p);
+                    metrics.pages_out += 1;
+                    producer.send_page(page);
+                }
+            },
+            _ => match item {
+                // Unconnected output: count and drop.
+                StreamItem::Tuple(_) => metrics.tuples_out += 1,
+                StreamItem::Punctuation(_) => metrics.punctuations_out += 1,
+            },
+        }
+    }
+    for (input, fb) in ctx.take_feedback() {
+        if let Some((_, consumer)) = node.inputs.iter().find(|(p, _)| *p == input) {
+            metrics.feedback_out += 1;
+            consumer.send_control(ControlMessage::Feedback(fb));
+        }
+    }
+    for input in ctx.take_result_requests() {
+        if let Some((_, consumer)) = node.inputs.iter().find(|(p, _)| *p == input) {
+            consumer.send_control(ControlMessage::RequestResults);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_feedback::FeedbackPunctuation;
+    use dsms_punctuation::{Pattern, PatternItem, Punctuation};
+    use dsms_types::{DataType, Schema, SchemaRef, Timestamp, Tuple, Value};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn schema() -> SchemaRef {
+        Schema::shared(&[("timestamp", DataType::Timestamp), ("v", DataType::Int)])
+    }
+
+    fn tuple(ts: i64, v: i64) -> Tuple {
+        Tuple::new(schema(), vec![Value::Timestamp(Timestamp::from_secs(ts)), Value::Int(v)])
+    }
+
+    /// Source emitting `0..n` with punctuation every `punct_every` tuples.
+    struct CountingSource {
+        n: i64,
+        next: i64,
+        punct_every: i64,
+        suppressed_below: Option<i64>,
+        feedback_seen: Arc<Mutex<Vec<FeedbackPunctuation>>>,
+    }
+
+    impl CountingSource {
+        fn new(n: i64, punct_every: i64) -> Self {
+            CountingSource {
+                n,
+                next: 0,
+                punct_every,
+                suppressed_below: None,
+                feedback_seen: Arc::new(Mutex::new(Vec::new())),
+            }
+        }
+    }
+
+    impl Operator for CountingSource {
+        fn name(&self) -> &str {
+            "source"
+        }
+        fn inputs(&self) -> usize {
+            0
+        }
+        fn on_tuple(&mut self, _i: usize, _t: Tuple, _c: &mut OperatorContext) -> EngineResult<()> {
+            Ok(())
+        }
+        fn on_feedback(
+            &mut self,
+            _output: usize,
+            feedback: FeedbackPunctuation,
+            _ctx: &mut OperatorContext,
+        ) -> EngineResult<()> {
+            // Exploit "v >= k is assumed away" by remembering the bound.
+            if let Ok(PatternItem::Ge(Value::Int(k))) = feedback.pattern().item_for("v").map(Clone::clone)
+            {
+                self.suppressed_below = Some(k);
+            }
+            self.feedback_seen.lock().push(feedback);
+            Ok(())
+        }
+        fn poll_source(&mut self, ctx: &mut OperatorContext) -> EngineResult<SourceState> {
+            if self.next >= self.n {
+                return Ok(SourceState::Exhausted);
+            }
+            let v = self.next;
+            self.next += 1;
+            let skip = self.suppressed_below.map(|k| v >= k).unwrap_or(false);
+            if !skip {
+                ctx.emit(0, tuple(v, v));
+            }
+            if self.punct_every > 0 && v % self.punct_every == self.punct_every - 1 {
+                ctx.emit_punctuation(
+                    0,
+                    Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(v)).unwrap(),
+                );
+            }
+            Ok(SourceState::Producing)
+        }
+    }
+
+    /// Filter keeping even values, forwarding punctuation.
+    struct EvenFilter;
+
+    impl Operator for EvenFilter {
+        fn name(&self) -> &str {
+            "even"
+        }
+        fn inputs(&self) -> usize {
+            1
+        }
+        fn on_tuple(&mut self, _i: usize, t: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+            if t.int("v").unwrap_or(0) % 2 == 0 {
+                ctx.emit(0, t);
+            }
+            Ok(())
+        }
+    }
+
+    /// Sink collecting tuples; optionally sends feedback after a threshold.
+    struct CollectingSink {
+        collected: Arc<Mutex<Vec<Tuple>>>,
+        punctuations: Arc<Mutex<Vec<Punctuation>>>,
+        feedback_after: Option<i64>,
+        sent_feedback: bool,
+    }
+
+    impl CollectingSink {
+        fn new() -> (Self, Arc<Mutex<Vec<Tuple>>>) {
+            let collected = Arc::new(Mutex::new(Vec::new()));
+            (
+                CollectingSink {
+                    collected: collected.clone(),
+                    punctuations: Arc::new(Mutex::new(Vec::new())),
+                    feedback_after: None,
+                    sent_feedback: false,
+                },
+                collected,
+            )
+        }
+    }
+
+    impl Operator for CollectingSink {
+        fn name(&self) -> &str {
+            "sink"
+        }
+        fn inputs(&self) -> usize {
+            1
+        }
+        fn outputs(&self) -> usize {
+            0
+        }
+        fn on_tuple(&mut self, _i: usize, t: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+            let v = t.int("v").unwrap_or(0);
+            self.collected.lock().push(t);
+            if let Some(threshold) = self.feedback_after {
+                if !self.sent_feedback && v >= threshold {
+                    self.sent_feedback = true;
+                    ctx.send_feedback(
+                        0,
+                        FeedbackPunctuation::assumed(
+                            Pattern::for_attributes(
+                                schema(),
+                                &[("v", PatternItem::Ge(Value::Int(threshold + 10)))],
+                            )
+                            .unwrap(),
+                            "sink",
+                        ),
+                    );
+                }
+            }
+            Ok(())
+        }
+        fn on_punctuation(
+            &mut self,
+            _i: usize,
+            p: Punctuation,
+            _ctx: &mut OperatorContext,
+        ) -> EngineResult<()> {
+            self.punctuations.lock().push(p);
+            Ok(())
+        }
+    }
+
+    fn linear_plan(n: i64, feedback_after: Option<i64>) -> (QueryPlan, Arc<Mutex<Vec<Tuple>>>) {
+        let mut plan = QueryPlan::new().with_page_capacity(8);
+        let src = plan.add(CountingSource::new(n, 10));
+        let filter = plan.add(EvenFilter);
+        let (mut sink, collected) = CollectingSink::new();
+        sink.feedback_after = feedback_after;
+        let sink = plan.add(sink);
+        plan.connect_simple(src, filter).unwrap();
+        plan.connect_simple(filter, sink).unwrap();
+        (plan, collected)
+    }
+
+    #[test]
+    fn sync_executor_runs_linear_plan() {
+        let (plan, collected) = linear_plan(100, None);
+        let report = SyncExecutor::run(plan).unwrap();
+        assert_eq!(collected.lock().len(), 50, "even values of 0..100");
+        let src = report.operator("source").unwrap();
+        assert_eq!(src.tuples_out, 100);
+        assert_eq!(src.punctuations_out, 10);
+        let sink = report.operator("sink").unwrap();
+        assert_eq!(sink.tuples_in, 50);
+        assert!(sink.punctuations_in >= 1);
+    }
+
+    #[test]
+    fn threaded_executor_matches_sync_results() {
+        let (plan, collected) = linear_plan(200, None);
+        let report = ThreadedExecutor::run(plan).unwrap();
+        assert_eq!(collected.lock().len(), 100);
+        assert_eq!(report.operator("source").unwrap().tuples_out, 200);
+        assert!(report.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn feedback_travels_upstream_in_sync_executor() {
+        let (plan, collected) = linear_plan(1_000, Some(100));
+        let report = SyncExecutor::run(plan).unwrap();
+        // The sink asks (once it sees v >= 100) that v >= 110 be assumed away; the
+        // feedback-unaware filter ignores it, but the source receives nothing —
+        // the filter does not relay.  So the full stream still arrives.
+        assert_eq!(collected.lock().len(), 500);
+        assert_eq!(report.operator("sink").unwrap().feedback_out, 1);
+        assert_eq!(report.operator("even").unwrap().feedback_in, 1);
+        assert_eq!(report.operator("source").unwrap().feedback_in, 0, "unaware operators do not relay");
+    }
+
+    /// A filter variant that *relays* feedback upstream unchanged.
+    struct RelayingFilter;
+
+    impl Operator for RelayingFilter {
+        fn name(&self) -> &str {
+            "relay"
+        }
+        fn inputs(&self) -> usize {
+            1
+        }
+        fn on_tuple(&mut self, _i: usize, t: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+            ctx.emit(0, t);
+            Ok(())
+        }
+        fn on_feedback(
+            &mut self,
+            _output: usize,
+            feedback: FeedbackPunctuation,
+            ctx: &mut OperatorContext,
+        ) -> EngineResult<()> {
+            ctx.send_feedback(0, feedback.relay(feedback.pattern().clone(), "relay"));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn relayed_feedback_reaches_the_source_and_is_exploited() {
+        for threaded in [false, true] {
+            let mut plan = QueryPlan::new().with_page_capacity(4).with_queue_capacity(4);
+            let source = CountingSource::new(5_000, 50);
+            let feedback_seen = source.feedback_seen.clone();
+            let src = plan.add(source);
+            let relay = plan.add(RelayingFilter);
+            let (mut sink, collected) = CollectingSink::new();
+            sink.feedback_after = Some(50);
+            let sink = plan.add(sink);
+            plan.connect_simple(src, relay).unwrap();
+            plan.connect_simple(relay, sink).unwrap();
+
+            let report = if threaded {
+                ThreadedExecutor::run(plan).unwrap()
+            } else {
+                SyncExecutor::run(plan).unwrap()
+            };
+            assert_eq!(report.operator("sink").unwrap().feedback_out, 1);
+            assert_eq!(report.operator("relay").unwrap().feedback_in, 1);
+            assert_eq!(report.operator("source").unwrap().feedback_in, 1);
+            assert_eq!(feedback_seen.lock().len(), 1);
+            // The source exploited ¬[*, >=60]: far fewer than 5000 tuples arrive.
+            let n = collected.lock().len();
+            assert!(n < 5_000, "source suppression must reduce output (got {n})");
+            assert!(n >= 60, "tuples below the bound must still arrive (got {n})");
+        }
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected_by_both_executors() {
+        let mut plan = QueryPlan::new();
+        plan.add(EvenFilter); // input never connected
+        assert!(matches!(SyncExecutor::run(plan), Err(EngineError::InvalidPlan { .. })));
+
+        let mut plan = QueryPlan::new();
+        plan.add(EvenFilter);
+        assert!(matches!(ThreadedExecutor::run(plan), Err(EngineError::InvalidPlan { .. })));
+    }
+
+    #[test]
+    fn execution_report_helpers() {
+        let (plan, _collected) = linear_plan(20, None);
+        let report = SyncExecutor::run(plan).unwrap();
+        assert!(report.operator("missing").is_none());
+        assert!(report.total_tuples_out() >= 20);
+        assert_eq!(report.total_feedback(), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # dsms-engine
+//!
+//! The push-based stream-engine substrate modelled on NiagaraST's query
+//! execution architecture (paper Section 5):
+//!
+//! * operators connected by **inter-operator queues of pages of tuples** —
+//!   batching limits context switching; a page is flushed when it is full *or*
+//!   when a punctuation is written to it ([`page`], [`queue`]);
+//! * an out-of-band **control channel** per connection carrying high-priority
+//!   messages in both directions — shutdown and end-of-stream downstream,
+//!   feedback punctuation and shutdown upstream ([`control`]);
+//! * a per-operator [`operator::Operator`] trait with explicit callbacks for
+//!   tuples, embedded punctuation, feedback punctuation and end-of-stream;
+//! * a [`plan::QueryPlan`] builder describing the operator graph; and
+//! * two executors: [`executor::ThreadedExecutor`] runs one OS thread per
+//!   operator (NiagaraST's model), while [`executor::SyncExecutor`] runs the
+//!   same plans deterministically on a single thread for reproducible tests.
+//!
+//! The engine knows nothing about specific operators; those live in
+//! `dsms-operators`.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod error;
+pub mod executor;
+pub mod metrics;
+pub mod operator;
+pub mod page;
+pub mod plan;
+pub mod queue;
+
+pub use control::ControlMessage;
+pub use error::{EngineError, EngineResult};
+pub use executor::{ExecutionReport, SyncExecutor, ThreadedExecutor};
+pub use metrics::OperatorMetrics;
+pub use operator::{Operator, OperatorContext, SourceState, StreamItem};
+pub use page::{Page, PageBuilder};
+pub use plan::{NodeId, QueryPlan};
+pub use queue::DataQueue;

@@ -1,0 +1,62 @@
+//! Per-operator execution metrics.
+
+use dsms_feedback::FeedbackStats;
+use std::time::Duration;
+
+/// Counters collected for each operator during execution.
+#[derive(Debug, Clone, Default)]
+pub struct OperatorMetrics {
+    /// Operator name.
+    pub operator: String,
+    /// Tuples received across all inputs.
+    pub tuples_in: u64,
+    /// Tuples emitted across all outputs.
+    pub tuples_out: u64,
+    /// Embedded punctuations received.
+    pub punctuations_in: u64,
+    /// Embedded punctuations emitted.
+    pub punctuations_out: u64,
+    /// Pages received.
+    pub pages_in: u64,
+    /// Pages emitted.
+    pub pages_out: u64,
+    /// Feedback messages received (from downstream).
+    pub feedback_in: u64,
+    /// Feedback messages sent (to upstream).
+    pub feedback_out: u64,
+    /// Time spent inside operator callbacks.
+    pub busy: Duration,
+    /// Feedback-layer statistics reported by the operator, if any.
+    pub feedback: FeedbackStats,
+}
+
+impl OperatorMetrics {
+    /// Creates metrics for the named operator.
+    pub fn new(operator: impl Into<String>) -> Self {
+        OperatorMetrics { operator: operator.into(), ..Default::default() }
+    }
+
+    /// Selectivity proxy: output tuples per input tuple.
+    pub fn selectivity(&self) -> f64 {
+        if self.tuples_in == 0 {
+            0.0
+        } else {
+            self.tuples_out as f64 / self.tuples_in as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectivity_handles_zero_input() {
+        let mut m = OperatorMetrics::new("SELECT");
+        assert_eq!(m.selectivity(), 0.0);
+        m.tuples_in = 10;
+        m.tuples_out = 4;
+        assert!((m.selectivity() - 0.4).abs() < 1e-12);
+        assert_eq!(m.operator, "SELECT");
+    }
+}

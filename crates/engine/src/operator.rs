@@ -1,0 +1,270 @@
+//! The operator abstraction.
+//!
+//! Operators are written against a small push-based callback interface: the
+//! executor delivers tuples, embedded punctuation, feedback punctuation and
+//! end-of-stream notifications; the operator responds by emitting items and
+//! feedback into an [`OperatorContext`], which the executor then routes.
+//! Keeping the context as a plain buffer (rather than handing operators raw
+//! channel endpoints) lets the same operator code run unchanged under the
+//! threaded executor and the deterministic single-threaded executor.
+
+use crate::error::EngineResult;
+use dsms_feedback::FeedbackPunctuation;
+use dsms_punctuation::Punctuation;
+use dsms_types::Tuple;
+
+/// One element of a data stream: a tuple or an embedded punctuation.
+#[derive(Debug, Clone)]
+pub enum StreamItem {
+    /// A data tuple.
+    Tuple(Tuple),
+    /// An embedded punctuation.
+    Punctuation(Punctuation),
+}
+
+impl StreamItem {
+    /// The tuple, if this item is one.
+    pub fn as_tuple(&self) -> Option<&Tuple> {
+        match self {
+            StreamItem::Tuple(t) => Some(t),
+            StreamItem::Punctuation(_) => None,
+        }
+    }
+
+    /// The punctuation, if this item is one.
+    pub fn as_punctuation(&self) -> Option<&Punctuation> {
+        match self {
+            StreamItem::Punctuation(p) => Some(p),
+            StreamItem::Tuple(_) => None,
+        }
+    }
+}
+
+/// Whether a source operator has more data to produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceState {
+    /// The operator is not a source (it has inputs).
+    NotASource,
+    /// The source produced work this step and has more.
+    Producing,
+    /// The source has emitted everything.
+    Exhausted,
+}
+
+/// Buffer the executor hands to every operator callback; the operator records
+/// its outputs here and the executor routes them afterwards.
+#[derive(Debug, Default)]
+pub struct OperatorContext {
+    emitted: Vec<(usize, StreamItem)>,
+    feedback: Vec<(usize, FeedbackPunctuation)>,
+    request_results: Vec<usize>,
+}
+
+impl OperatorContext {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        OperatorContext::default()
+    }
+
+    /// Emits a tuple on the given output port.
+    pub fn emit(&mut self, output: usize, tuple: Tuple) {
+        self.emitted.push((output, StreamItem::Tuple(tuple)));
+    }
+
+    /// Emits an embedded punctuation on the given output port.
+    pub fn emit_punctuation(&mut self, output: usize, punctuation: Punctuation) {
+        self.emitted.push((output, StreamItem::Punctuation(punctuation)));
+    }
+
+    /// Sends feedback punctuation upstream on the given *input* port (against
+    /// the data flow, via the control channel).
+    pub fn send_feedback(&mut self, input: usize, feedback: FeedbackPunctuation) {
+        self.feedback.push((input, feedback));
+    }
+
+    /// Sends an on-demand result request upstream on the given input port.
+    pub fn request_results(&mut self, input: usize) {
+        self.request_results.push(input);
+    }
+
+    /// Number of items emitted so far (all ports).
+    pub fn emitted_len(&self) -> usize {
+        self.emitted.len()
+    }
+
+    /// Drains the emitted items (used by the executor).
+    pub fn take_emitted(&mut self) -> Vec<(usize, StreamItem)> {
+        std::mem::take(&mut self.emitted)
+    }
+
+    /// Drains the outgoing feedback (used by the executor).
+    pub fn take_feedback(&mut self) -> Vec<(usize, FeedbackPunctuation)> {
+        std::mem::take(&mut self.feedback)
+    }
+
+    /// Drains the outgoing result requests (used by the executor).
+    pub fn take_result_requests(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.request_results)
+    }
+}
+
+/// A stream operator.
+///
+/// All callbacks receive the input (or output) port index so that multi-input
+/// operators (joins, unions) and multi-output operators (duplicate, split) can
+/// tell their connections apart.  Implementations must be `Send` so the
+/// threaded executor can move them onto their own thread.
+pub trait Operator: Send {
+    /// The operator's display name (used in metrics and errors).
+    fn name(&self) -> &str;
+
+    /// Number of input ports.
+    fn inputs(&self) -> usize;
+
+    /// Number of output ports.
+    fn outputs(&self) -> usize {
+        1
+    }
+
+    /// Called for every tuple arriving on `input`.
+    fn on_tuple(&mut self, input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()>;
+
+    /// Called for every embedded punctuation arriving on `input`.  The default
+    /// forwards the punctuation unchanged on output port 0, which is correct
+    /// for stateless operators whose output schema equals their input schema.
+    fn on_punctuation(
+        &mut self,
+        input: usize,
+        punctuation: Punctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        let _ = input;
+        ctx.emit_punctuation(0, punctuation);
+        Ok(())
+    }
+
+    /// Called when feedback punctuation arrives from the consumer attached to
+    /// `output`.  Feedback-unaware operators keep the default (ignore), which
+    /// also means they cannot relay it — exactly the behaviour the paper
+    /// describes for unaware operators.
+    fn on_feedback(
+        &mut self,
+        output: usize,
+        feedback: FeedbackPunctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        let _ = (output, feedback, ctx);
+        Ok(())
+    }
+
+    /// Called when an on-demand result request arrives from the consumer
+    /// attached to `output` (paper Example 4).  Default: ignore.
+    fn on_request_results(&mut self, output: usize, ctx: &mut OperatorContext) -> EngineResult<()> {
+        let _ = (output, ctx);
+        Ok(())
+    }
+
+    /// Called once all inputs have reached end-of-stream, before the
+    /// end-of-stream is forwarded downstream.  Stateful operators emit any
+    /// remaining results here.
+    fn on_flush(&mut self, ctx: &mut OperatorContext) -> EngineResult<()> {
+        let _ = ctx;
+        Ok(())
+    }
+
+    /// Source stepping: called repeatedly by the executor for operators with
+    /// zero inputs.  Produce a bounded amount of work per call and return
+    /// [`SourceState::Producing`] until done.
+    fn poll_source(&mut self, ctx: &mut OperatorContext) -> EngineResult<SourceState> {
+        let _ = ctx;
+        Ok(SourceState::NotASource)
+    }
+
+    /// Feedback statistics to fold into the operator's metrics at the end of
+    /// the run, if the operator keeps any.
+    fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_punctuation::Pattern;
+    use dsms_types::{DataType, Schema, SchemaRef, Timestamp, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::shared(&[("timestamp", DataType::Timestamp), ("v", DataType::Int)])
+    }
+
+    fn tuple(v: i64) -> Tuple {
+        Tuple::new(schema(), vec![Value::Timestamp(Timestamp::EPOCH), Value::Int(v)])
+    }
+
+    /// Minimal pass-through operator used to exercise the trait defaults.
+    struct PassThrough;
+
+    impl Operator for PassThrough {
+        fn name(&self) -> &str {
+            "pass"
+        }
+        fn inputs(&self) -> usize {
+            1
+        }
+        fn on_tuple(&mut self, _input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+            ctx.emit(0, tuple);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn context_buffers_and_drains() {
+        let mut ctx = OperatorContext::new();
+        ctx.emit(0, tuple(1));
+        ctx.emit_punctuation(0, Punctuation::progress(schema(), "timestamp", Timestamp::EPOCH).unwrap());
+        ctx.send_feedback(
+            0,
+            FeedbackPunctuation::assumed(Pattern::all_wildcards(schema()), "t"),
+        );
+        ctx.request_results(0);
+        assert_eq!(ctx.emitted_len(), 2);
+        assert_eq!(ctx.take_emitted().len(), 2);
+        assert_eq!(ctx.take_feedback().len(), 1);
+        assert_eq!(ctx.take_result_requests(), vec![0]);
+        assert_eq!(ctx.emitted_len(), 0, "drained");
+    }
+
+    #[test]
+    fn trait_defaults_are_sensible() {
+        let mut op = PassThrough;
+        let mut ctx = OperatorContext::new();
+        assert_eq!(op.outputs(), 1);
+        op.on_tuple(0, tuple(7), &mut ctx).unwrap();
+        op.on_punctuation(0, Punctuation::progress(schema(), "timestamp", Timestamp::EPOCH).unwrap(), &mut ctx)
+            .unwrap();
+        // default feedback handler ignores
+        op.on_feedback(
+            0,
+            FeedbackPunctuation::assumed(Pattern::all_wildcards(schema()), "x"),
+            &mut ctx,
+        )
+        .unwrap();
+        op.on_request_results(0, &mut ctx).unwrap();
+        op.on_flush(&mut ctx).unwrap();
+        assert_eq!(op.poll_source(&mut ctx).unwrap(), SourceState::NotASource);
+        assert!(op.feedback_stats().is_none());
+        assert_eq!(ctx.take_emitted().len(), 2);
+    }
+
+    #[test]
+    fn stream_item_accessors() {
+        let item = StreamItem::Tuple(tuple(1));
+        assert!(item.as_tuple().is_some());
+        assert!(item.as_punctuation().is_none());
+        let p = StreamItem::Punctuation(
+            Punctuation::progress(schema(), "timestamp", Timestamp::EPOCH).unwrap(),
+        );
+        assert!(p.as_punctuation().is_some());
+        assert!(p.as_tuple().is_none());
+    }
+}

@@ -1,0 +1,202 @@
+//! Pages of tuples.
+//!
+//! NiagaraST's inter-operator queues carry *pages* of tuples rather than
+//! individual tuples: batching limits context switching between operator
+//! threads.  The downside — a slow stream may take a long time to fill a
+//! page — is resolved by having punctuation flush pages: a page is handed to
+//! the queue when it is full *or* when a punctuation is appended
+//! (paper Section 5, "Inter-Operator Communication").
+
+use crate::operator::StreamItem;
+use dsms_punctuation::Punctuation;
+use dsms_types::Tuple;
+
+/// A batch of stream items (tuples and embedded punctuation, in order).
+#[derive(Debug, Clone, Default)]
+pub struct Page {
+    items: Vec<StreamItem>,
+}
+
+impl Page {
+    /// Creates an empty page.
+    pub fn new() -> Self {
+        Page { items: Vec::new() }
+    }
+
+    /// Creates a page from items (used by tests).
+    pub fn from_items(items: Vec<StreamItem>) -> Self {
+        Page { items }
+    }
+
+    /// The items in arrival order.
+    pub fn items(&self) -> &[StreamItem] {
+        &self.items
+    }
+
+    /// Consumes the page, yielding its items.
+    pub fn into_items(self) -> Vec<StreamItem> {
+        self.items
+    }
+
+    /// Number of items (tuples + punctuations).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the page holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of tuples on the page.
+    pub fn tuple_count(&self) -> usize {
+        self.items.iter().filter(|i| matches!(i, StreamItem::Tuple(_))).count()
+    }
+
+    /// Number of punctuations on the page.
+    pub fn punctuation_count(&self) -> usize {
+        self.items.iter().filter(|i| matches!(i, StreamItem::Punctuation(_))).count()
+    }
+
+    /// Iterates over just the tuples.
+    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> {
+        self.items.iter().filter_map(|i| match i {
+            StreamItem::Tuple(t) => Some(t),
+            StreamItem::Punctuation(_) => None,
+        })
+    }
+}
+
+/// Accumulates stream items into pages, flushing on capacity or punctuation.
+#[derive(Debug)]
+pub struct PageBuilder {
+    capacity: usize,
+    current: Page,
+}
+
+impl PageBuilder {
+    /// Default page capacity (tuples per page), mirroring a small NiagaraST
+    /// tuple page.
+    pub const DEFAULT_CAPACITY: usize = 128;
+
+    /// Creates a builder with the given page capacity (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        PageBuilder { capacity: capacity.max(1), current: Page::new() }
+    }
+
+    /// The page capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a tuple.  Returns a full page when the append filled it.
+    pub fn push_tuple(&mut self, tuple: Tuple) -> Option<Page> {
+        self.current.items.push(StreamItem::Tuple(tuple));
+        if self.current.len() >= self.capacity {
+            Some(self.take())
+        } else {
+            None
+        }
+    }
+
+    /// Appends a punctuation.  Punctuation always flushes the page
+    /// (NiagaraST's rule), so this always returns a page.
+    pub fn push_punctuation(&mut self, punctuation: Punctuation) -> Page {
+        self.current.items.push(StreamItem::Punctuation(punctuation));
+        self.take()
+    }
+
+    /// Number of items buffered in the partially built page.
+    pub fn pending(&self) -> usize {
+        self.current.len()
+    }
+
+    /// Takes whatever has been buffered (possibly empty), leaving the builder
+    /// empty.  Used at end-of-stream.
+    pub fn take(&mut self) -> Page {
+        std::mem::take(&mut self.current)
+    }
+
+    /// Flushes the buffered items if any, returning `None` when empty.
+    pub fn flush(&mut self) -> Option<Page> {
+        if self.current.is_empty() {
+            None
+        } else {
+            Some(self.take())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_types::{DataType, Schema, SchemaRef, Timestamp, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::shared(&[("timestamp", DataType::Timestamp), ("v", DataType::Int)])
+    }
+
+    fn tuple(ts: i64, v: i64) -> Tuple {
+        Tuple::new(schema(), vec![Value::Timestamp(Timestamp::from_secs(ts)), Value::Int(v)])
+    }
+
+    fn punct(ts: i64) -> Punctuation {
+        Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(ts)).unwrap()
+    }
+
+    #[test]
+    fn page_fills_at_capacity() {
+        let mut b = PageBuilder::new(3);
+        assert!(b.push_tuple(tuple(1, 1)).is_none());
+        assert!(b.push_tuple(tuple(2, 2)).is_none());
+        let page = b.push_tuple(tuple(3, 3)).expect("third tuple fills the page");
+        assert_eq!(page.len(), 3);
+        assert_eq!(page.tuple_count(), 3);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn punctuation_flushes_partial_page() {
+        let mut b = PageBuilder::new(100);
+        b.push_tuple(tuple(1, 1));
+        b.push_tuple(tuple(2, 2));
+        let page = b.push_punctuation(punct(2));
+        assert_eq!(page.len(), 3);
+        assert_eq!(page.tuple_count(), 2);
+        assert_eq!(page.punctuation_count(), 1);
+        assert_eq!(b.pending(), 0, "punctuation flushed everything");
+    }
+
+    #[test]
+    fn flush_and_take_handle_empty_builders() {
+        let mut b = PageBuilder::new(4);
+        assert!(b.flush().is_none());
+        assert!(b.take().is_empty());
+        b.push_tuple(tuple(1, 1));
+        let page = b.flush().unwrap();
+        assert_eq!(page.len(), 1);
+        assert!(b.flush().is_none());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut b = PageBuilder::new(0);
+        assert_eq!(b.capacity(), 1);
+        assert!(b.push_tuple(tuple(1, 1)).is_some(), "every tuple fills a 1-capacity page");
+    }
+
+    #[test]
+    fn page_iterators_and_counts() {
+        let page = Page::from_items(vec![
+            StreamItem::Tuple(tuple(1, 10)),
+            StreamItem::Punctuation(punct(1)),
+            StreamItem::Tuple(tuple(2, 20)),
+        ]);
+        assert_eq!(page.tuple_count(), 2);
+        assert_eq!(page.punctuation_count(), 1);
+        let values: Vec<i64> = page.tuples().map(|t| t.int("v").unwrap()).collect();
+        assert_eq!(values, vec![10, 20]);
+        assert!(!page.is_empty());
+        assert_eq!(page.into_items().len(), 3);
+    }
+}

@@ -1,0 +1,340 @@
+//! Query-plan construction.
+//!
+//! A [`QueryPlan`] is a directed acyclic graph of operators.  Edges connect an
+//! output port of one operator to an input port of another and become
+//! page-based data queues (downstream) paired with control channels
+//! (upstream) at execution time.
+
+use crate::error::{EngineError, EngineResult};
+use crate::operator::Operator;
+use crate::page::PageBuilder;
+use crate::queue::DataQueue;
+
+/// Identifier of an operator node within a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+/// A connection between two operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Producing node.
+    pub from: NodeId,
+    /// Output port on the producing node.
+    pub from_port: usize,
+    /// Consuming node.
+    pub to: NodeId,
+    /// Input port on the consuming node.
+    pub to_port: usize,
+}
+
+pub(crate) struct Node {
+    pub(crate) name: String,
+    pub(crate) inputs: usize,
+    pub(crate) outputs: usize,
+    pub(crate) operator: Box<dyn Operator>,
+}
+
+/// A directed acyclic graph of operators, ready to be executed.
+pub struct QueryPlan {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) edges: Vec<Edge>,
+    pub(crate) page_capacity: usize,
+    pub(crate) queue_capacity: usize,
+}
+
+impl Default for QueryPlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QueryPlan {
+    /// Creates an empty plan with default page and queue capacities.
+    pub fn new() -> Self {
+        QueryPlan {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            page_capacity: PageBuilder::DEFAULT_CAPACITY,
+            queue_capacity: DataQueue::DEFAULT_CAPACITY,
+        }
+    }
+
+    /// Sets the tuples-per-page capacity used on every connection.
+    pub fn with_page_capacity(mut self, capacity: usize) -> Self {
+        self.page_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the pages-in-flight bound used on every connection (threaded
+    /// executor back-pressure).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// The tuples-per-page capacity.
+    pub fn page_capacity(&self) -> usize {
+        self.page_capacity
+    }
+
+    /// The pages-in-flight bound.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Adds an operator to the plan, returning its node id.
+    pub fn add(&mut self, operator: impl Operator + 'static) -> NodeId {
+        self.add_boxed(Box::new(operator))
+    }
+
+    /// Adds an already-boxed operator to the plan.
+    pub fn add_boxed(&mut self, operator: Box<dyn Operator>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            name: operator.name().to_string(),
+            inputs: operator.inputs(),
+            outputs: operator.outputs(),
+            operator,
+        });
+        id
+    }
+
+    /// Connects output port `from_port` of `from` to input port `to_port` of
+    /// `to`.
+    pub fn connect(
+        &mut self,
+        from: NodeId,
+        from_port: usize,
+        to: NodeId,
+        to_port: usize,
+    ) -> EngineResult<()> {
+        let from_node = self.nodes.get(from.0).ok_or_else(|| EngineError::InvalidPlan {
+            detail: format!("unknown source node {:?}", from),
+        })?;
+        let to_node = self.nodes.get(to.0).ok_or_else(|| EngineError::InvalidPlan {
+            detail: format!("unknown target node {:?}", to),
+        })?;
+        if from_port >= from_node.outputs {
+            return Err(EngineError::InvalidPlan {
+                detail: format!(
+                    "operator `{}` has {} outputs, port {} does not exist",
+                    from_node.name, from_node.outputs, from_port
+                ),
+            });
+        }
+        if to_port >= to_node.inputs {
+            return Err(EngineError::InvalidPlan {
+                detail: format!(
+                    "operator `{}` has {} inputs, port {} does not exist",
+                    to_node.name, to_node.inputs, to_port
+                ),
+            });
+        }
+        if self.edges.iter().any(|e| e.from == from && e.from_port == from_port) {
+            return Err(EngineError::InvalidPlan {
+                detail: format!("output port {from_port} of `{}` is already connected", from_node.name),
+            });
+        }
+        if self.edges.iter().any(|e| e.to == to && e.to_port == to_port) {
+            return Err(EngineError::InvalidPlan {
+                detail: format!("input port {to_port} of `{}` is already connected", to_node.name),
+            });
+        }
+        self.edges.push(Edge { from, from_port, to, to_port });
+        Ok(())
+    }
+
+    /// Convenience: connect port 0 to port 0.
+    pub fn connect_simple(&mut self, from: NodeId, to: NodeId) -> EngineResult<()> {
+        self.connect(from, 0, to, 0)
+    }
+
+    /// Number of operators.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of connections.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The name of a node.
+    pub fn node_name(&self, id: NodeId) -> Option<&str> {
+        self.nodes.get(id.0).map(|n| n.name.as_str())
+    }
+
+    /// The edges of the plan.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Validates the plan: every input port of every operator must be
+    /// connected, and the graph must be acyclic.  (Unconnected *output* ports
+    /// are allowed — their emissions are discarded — so sinks are simply
+    /// operators with zero outputs or unconnected outputs.)
+    pub fn validate(&self) -> EngineResult<()> {
+        for (idx, node) in self.nodes.iter().enumerate() {
+            for port in 0..node.inputs {
+                let connected = self
+                    .edges
+                    .iter()
+                    .any(|e| e.to == NodeId(idx) && e.to_port == port);
+                if !connected {
+                    return Err(EngineError::InvalidPlan {
+                        detail: format!("input port {port} of `{}` is not connected", node.name),
+                    });
+                }
+            }
+        }
+        // Kahn's algorithm for cycle detection.
+        let mut in_degree = vec![0usize; self.nodes.len()];
+        for e in &self.edges {
+            in_degree[e.to.0] += 1;
+        }
+        let mut queue: Vec<usize> =
+            (0..self.nodes.len()).filter(|i| in_degree[*i] == 0).collect();
+        let mut visited = 0;
+        while let Some(n) = queue.pop() {
+            visited += 1;
+            for e in self.edges.iter().filter(|e| e.from.0 == n) {
+                in_degree[e.to.0] -= 1;
+                if in_degree[e.to.0] == 0 {
+                    queue.push(e.to.0);
+                }
+            }
+        }
+        if visited != self.nodes.len() {
+            return Err(EngineError::InvalidPlan { detail: "plan contains a cycle".into() });
+        }
+        Ok(())
+    }
+
+    /// Returns the node ids in a topological order (sources first).  The plan
+    /// must be valid.
+    pub fn topological_order(&self) -> Vec<NodeId> {
+        let mut in_degree = vec![0usize; self.nodes.len()];
+        for e in &self.edges {
+            in_degree[e.to.0] += 1;
+        }
+        let mut queue: std::collections::VecDeque<usize> =
+            (0..self.nodes.len()).filter(|i| in_degree[*i] == 0).collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(n) = queue.pop_front() {
+            order.push(NodeId(n));
+            for e in self.edges.iter().filter(|e| e.from.0 == n) {
+                in_degree[e.to.0] -= 1;
+                if in_degree[e.to.0] == 0 {
+                    queue.push_back(e.to.0);
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{OperatorContext, SourceState};
+    use dsms_types::Tuple;
+
+    struct Dummy {
+        name: String,
+        inputs: usize,
+        outputs: usize,
+    }
+
+    impl Dummy {
+        fn new(name: &str, inputs: usize, outputs: usize) -> Self {
+            Dummy { name: name.into(), inputs, outputs }
+        }
+    }
+
+    impl Operator for Dummy {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn inputs(&self) -> usize {
+            self.inputs
+        }
+        fn outputs(&self) -> usize {
+            self.outputs
+        }
+        fn on_tuple(&mut self, _i: usize, _t: Tuple, _c: &mut OperatorContext) -> EngineResult<()> {
+            Ok(())
+        }
+        fn poll_source(&mut self, _c: &mut OperatorContext) -> EngineResult<SourceState> {
+            Ok(if self.inputs == 0 { SourceState::Exhausted } else { SourceState::NotASource })
+        }
+    }
+
+    #[test]
+    fn build_and_validate_linear_plan() {
+        let mut plan = QueryPlan::new();
+        let src = plan.add(Dummy::new("source", 0, 1));
+        let map = plan.add(Dummy::new("map", 1, 1));
+        let sink = plan.add(Dummy::new("sink", 1, 0));
+        plan.connect_simple(src, map).unwrap();
+        plan.connect_simple(map, sink).unwrap();
+        assert_eq!(plan.node_count(), 3);
+        assert_eq!(plan.edge_count(), 2);
+        plan.validate().unwrap();
+        let order = plan.topological_order();
+        assert_eq!(order.first(), Some(&src));
+        assert_eq!(order.last(), Some(&sink));
+        assert_eq!(plan.node_name(map), Some("map"));
+    }
+
+    #[test]
+    fn unconnected_input_is_rejected() {
+        let mut plan = QueryPlan::new();
+        let _src = plan.add(Dummy::new("source", 0, 1));
+        let _map = plan.add(Dummy::new("map", 1, 1));
+        let err = plan.validate().unwrap_err();
+        assert!(matches!(err, EngineError::InvalidPlan { .. }));
+    }
+
+    #[test]
+    fn double_connection_is_rejected() {
+        let mut plan = QueryPlan::new();
+        let src = plan.add(Dummy::new("source", 0, 1));
+        let a = plan.add(Dummy::new("a", 1, 1));
+        let b = plan.add(Dummy::new("b", 1, 1));
+        plan.connect_simple(src, a).unwrap();
+        assert!(plan.connect_simple(src, b).is_err(), "output port reused");
+        let src2 = plan.add(Dummy::new("source2", 0, 1));
+        assert!(plan.connect_simple(src2, a).is_err(), "input port reused");
+    }
+
+    #[test]
+    fn invalid_ports_are_rejected() {
+        let mut plan = QueryPlan::new();
+        let src = plan.add(Dummy::new("source", 0, 1));
+        let sink = plan.add(Dummy::new("sink", 1, 0));
+        assert!(plan.connect(src, 1, sink, 0).is_err());
+        assert!(plan.connect(src, 0, sink, 3).is_err());
+        assert!(plan.connect(NodeId(99), 0, sink, 0).is_err());
+        assert!(plan.connect(src, 0, NodeId(99), 0).is_err());
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let mut plan = QueryPlan::new();
+        let a = plan.add(Dummy::new("a", 1, 1));
+        let b = plan.add(Dummy::new("b", 1, 1));
+        plan.connect_simple(a, b).unwrap();
+        plan.connect_simple(b, a).unwrap();
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn capacities_are_configurable() {
+        let plan = QueryPlan::new().with_page_capacity(16).with_queue_capacity(8);
+        assert_eq!(plan.page_capacity(), 16);
+        assert_eq!(plan.queue_capacity(), 8);
+        let clamped = QueryPlan::new().with_page_capacity(0).with_queue_capacity(0);
+        assert_eq!(clamped.page_capacity(), 1);
+        assert_eq!(clamped.queue_capacity(), 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Inter-operator queues.
+//!
+//! A connection between two operators consists of a bounded *data queue* of
+//! pages flowing downstream and an unbounded *control queue* flowing upstream
+//! (feedback punctuation, result requests).  The bounded data queue provides
+//! back-pressure: a fast producer blocks once the consumer falls behind by
+//! `capacity` pages, which is how NiagaraST-style pipelined engines keep
+//! memory bounded.  Control messages are never blocked — they are small,
+//! high-priority and must overtake data (paper Section 5).
+
+use crate::control::ControlMessage;
+use crate::page::Page;
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TryRecvError, TrySendError};
+
+/// A message on the data queue.
+#[derive(Debug, Clone)]
+pub enum QueueMessage {
+    /// A page of tuples and embedded punctuation.
+    Page(Page),
+    /// The producer is done; no more pages will follow.
+    EndOfStream,
+}
+
+/// Producer endpoint of a connection: sends pages downstream, receives control
+/// messages from the consumer.
+#[derive(Debug, Clone)]
+pub struct ProducerEnd {
+    data: Sender<QueueMessage>,
+    control: Receiver<ControlMessage>,
+}
+
+/// Consumer endpoint of a connection: receives pages, sends control messages
+/// (feedback) upstream.
+#[derive(Debug, Clone)]
+pub struct ConsumerEnd {
+    data: Receiver<QueueMessage>,
+    control: Sender<ControlMessage>,
+}
+
+/// A paged, bounded inter-operator queue with an unbounded upstream control
+/// channel.
+#[derive(Debug)]
+pub struct DataQueue;
+
+impl DataQueue {
+    /// Default bound on in-flight pages per connection.
+    pub const DEFAULT_CAPACITY: usize = 64;
+
+    /// Creates a connection with the given page capacity, returning the
+    /// producer and consumer endpoints.
+    pub fn connection(capacity: usize) -> (ProducerEnd, ConsumerEnd) {
+        let (data_tx, data_rx) = bounded(capacity.max(1));
+        let (ctrl_tx, ctrl_rx) = unbounded();
+        (
+            ProducerEnd { data: data_tx, control: ctrl_rx },
+            ConsumerEnd { data: data_rx, control: ctrl_tx },
+        )
+    }
+}
+
+impl ProducerEnd {
+    /// Sends a page downstream, blocking when the queue is full
+    /// (back-pressure).  Returns `false` when the consumer has hung up.
+    pub fn send_page(&self, page: Page) -> bool {
+        self.data.send(QueueMessage::Page(page)).is_ok()
+    }
+
+    /// Attempts to send a page without blocking.  Returns the page back when
+    /// the queue is full.
+    pub fn try_send_page(&self, page: Page) -> Result<(), Page> {
+        match self.data.try_send(QueueMessage::Page(page)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(QueueMessage::Page(p)))
+            | Err(TrySendError::Disconnected(QueueMessage::Page(p))) => Err(p),
+            Err(_) => unreachable!("only pages are try-sent"),
+        }
+    }
+
+    /// Signals end-of-stream to the consumer.
+    pub fn send_end_of_stream(&self) {
+        let _ = self.data.send(QueueMessage::EndOfStream);
+    }
+
+    /// Drains any control messages (feedback) the consumer has sent upstream.
+    pub fn drain_control(&self) -> Vec<ControlMessage> {
+        let mut msgs = Vec::new();
+        loop {
+            match self.control.try_recv() {
+                Ok(m) => msgs.push(m),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        msgs
+    }
+}
+
+impl ConsumerEnd {
+    /// Attempts to receive the next data message without blocking.
+    pub fn try_recv(&self) -> Option<QueueMessage> {
+        self.data.try_recv().ok()
+    }
+
+    /// Receives the next data message, blocking until one arrives or the
+    /// producer hangs up.
+    pub fn recv(&self) -> Option<QueueMessage> {
+        self.data.recv().ok()
+    }
+
+    /// Sends a control message (feedback punctuation, result request)
+    /// upstream.  Never blocks.
+    pub fn send_control(&self, message: ControlMessage) {
+        let _ = self.control.send(message);
+    }
+
+    /// Number of pages currently buffered (approximate).
+    pub fn pending(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::StreamItem;
+    use dsms_feedback::FeedbackPunctuation;
+    use dsms_punctuation::Pattern;
+    use dsms_types::{DataType, Schema, Tuple, Value};
+
+    fn page() -> Page {
+        let schema = Schema::shared(&[("v", DataType::Int)]);
+        Page::from_items(vec![StreamItem::Tuple(Tuple::new(schema, vec![Value::Int(1)]))])
+    }
+
+    #[test]
+    fn pages_flow_downstream_in_order() {
+        let (producer, consumer) = DataQueue::connection(4);
+        assert!(producer.send_page(page()));
+        producer.send_end_of_stream();
+        assert!(matches!(consumer.recv(), Some(QueueMessage::Page(_))));
+        assert!(matches!(consumer.recv(), Some(QueueMessage::EndOfStream)));
+    }
+
+    #[test]
+    fn control_messages_flow_upstream() {
+        let (producer, consumer) = DataQueue::connection(4);
+        let schema = Schema::shared(&[("v", DataType::Int)]);
+        consumer.send_control(ControlMessage::Feedback(FeedbackPunctuation::assumed(
+            Pattern::all_wildcards(schema),
+            "consumer",
+        )));
+        consumer.send_control(ControlMessage::RequestResults);
+        let drained = producer.drain_control();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].kind(), "feedback");
+        assert_eq!(drained[1].kind(), "request-results");
+        assert!(producer.drain_control().is_empty());
+    }
+
+    #[test]
+    fn try_send_reports_full_queue() {
+        let (producer, consumer) = DataQueue::connection(1);
+        assert!(producer.try_send_page(page()).is_ok());
+        assert!(producer.try_send_page(page()).is_err(), "capacity 1 queue is full");
+        assert_eq!(consumer.pending(), 1);
+        assert!(consumer.try_recv().is_some());
+        assert!(consumer.try_recv().is_none());
+    }
+
+    #[test]
+    fn hung_up_consumer_is_reported() {
+        let (producer, consumer) = DataQueue::connection(1);
+        drop(consumer);
+        assert!(!producer.send_page(page()));
+    }
+}

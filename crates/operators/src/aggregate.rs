@@ -1,0 +1,849 @@
+//! Windowed, grouped aggregates (COUNT, SUM, AVG, MAX, MIN).
+//!
+//! The aggregate follows the WID / OOP evaluation strategy: every input tuple
+//! is assigned to a tumbling window by its timestamp, partial aggregates are
+//! kept per `(window, group)` pair, and **embedded punctuation** — not arrival
+//! order — decides when a window is complete, its result emitted and its state
+//! purged.
+//!
+//! Feedback behaviour implements Table 1 of the paper (generalized by the
+//! aggregate's monotonicity, see `dsms_feedback::characterization`) and the
+//! three optimization schemes of Experiment 2:
+//!
+//! * [`FeedbackMode::Ignore`] — F0: feedback-unaware baseline;
+//! * [`FeedbackMode::GuardOutput`] — F1: mount a guard on the output of the
+//!   aggregate;
+//! * [`FeedbackMode::Exploit`] — F2: additionally guard the input and purge
+//!   state, avoiding aggregation work for groups known to be of no interest;
+//! * [`FeedbackMode::ExploitAndPropagate`] — F3: additionally relay the
+//!   feedback to the antecedent (the data-quality filter in Figure 4b).
+//!
+//! Demanded punctuation (`![p]`) unblocks the aggregate: it immediately emits
+//! the current partial aggregates for matching groups (a partial result is
+//! better than no result within the issuer's margin of action).
+
+use dsms_engine::{EngineResult, Operator, OperatorContext};
+use dsms_feedback::{
+    characterize_aggregate, AggregateSpec, AttributeMapping, ExploitAction, FeedbackIntent,
+    FeedbackPunctuation, FeedbackRegistry, Monotonicity, PropagationRule,
+};
+use dsms_punctuation::{Pattern, PatternItem, Punctuation};
+use dsms_types::{DataType, Schema, SchemaRef, StreamDuration, Timestamp, Tuple, Value};
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+/// The aggregate function computed per window and group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggregateFunction {
+    /// COUNT of tuples.
+    Count,
+    /// SUM of the named numeric attribute.
+    Sum(String),
+    /// AVG of the named numeric attribute.
+    Avg(String),
+    /// MAX of the named numeric attribute.
+    Max(String),
+    /// MIN of the named numeric attribute.
+    Min(String),
+}
+
+impl AggregateFunction {
+    /// The output attribute name for this aggregate.
+    pub fn output_name(&self) -> &'static str {
+        match self {
+            AggregateFunction::Count => "count",
+            AggregateFunction::Sum(_) => "sum",
+            AggregateFunction::Avg(_) => "avg",
+            AggregateFunction::Max(_) => "max",
+            AggregateFunction::Min(_) => "min",
+        }
+    }
+
+    /// The input attribute aggregated over, if any.
+    pub fn input_attribute(&self) -> Option<&str> {
+        match self {
+            AggregateFunction::Count => None,
+            AggregateFunction::Sum(a)
+            | AggregateFunction::Avg(a)
+            | AggregateFunction::Max(a)
+            | AggregateFunction::Min(a) => Some(a),
+        }
+    }
+
+    /// Output type of the aggregate value.
+    pub fn output_type(&self) -> DataType {
+        match self {
+            AggregateFunction::Count => DataType::Int,
+            _ => DataType::Float,
+        }
+    }
+
+    /// Monotonicity of the partial aggregate as tuples are folded in, which
+    /// drives the feedback characterization (paper Section 3.5).
+    pub fn monotonicity(&self) -> Monotonicity {
+        match self {
+            AggregateFunction::Count | AggregateFunction::Max(_) => Monotonicity::NonDecreasing,
+            AggregateFunction::Min(_) => Monotonicity::NonIncreasing,
+            AggregateFunction::Sum(_) | AggregateFunction::Avg(_) => Monotonicity::None,
+        }
+    }
+}
+
+/// How the aggregate responds to assumed feedback — the F0–F3 schemes of
+/// Experiment 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedbackMode {
+    /// F0: ignore feedback entirely.
+    Ignore,
+    /// F1: guard the output only.
+    GuardOutput,
+    /// F2: guard input, purge state, guard output.
+    Exploit,
+    /// F3: F2 plus relay the feedback to the antecedent.
+    ExploitAndPropagate,
+}
+
+#[derive(Debug, Clone)]
+enum Accumulator {
+    Count(u64),
+    Sum(f64),
+    Avg { sum: f64, count: u64 },
+    Max(f64),
+    Min(f64),
+}
+
+impl Accumulator {
+    fn new(function: &AggregateFunction) -> Self {
+        match function {
+            AggregateFunction::Count => Accumulator::Count(0),
+            AggregateFunction::Sum(_) => Accumulator::Sum(0.0),
+            AggregateFunction::Avg(_) => Accumulator::Avg { sum: 0.0, count: 0 },
+            AggregateFunction::Max(_) => Accumulator::Max(f64::NEG_INFINITY),
+            AggregateFunction::Min(_) => Accumulator::Min(f64::INFINITY),
+        }
+    }
+
+    fn fold(&mut self, value: Option<f64>) {
+        match self {
+            Accumulator::Count(c) => *c += 1,
+            Accumulator::Sum(s) => *s += value.unwrap_or(0.0),
+            Accumulator::Avg { sum, count } => {
+                if let Some(v) = value {
+                    *sum += v;
+                    *count += 1;
+                }
+            }
+            Accumulator::Max(m) => {
+                if let Some(v) = value {
+                    *m = m.max(v);
+                }
+            }
+            Accumulator::Min(m) => {
+                if let Some(v) = value {
+                    *m = m.min(v);
+                }
+            }
+        }
+    }
+
+    fn value(&self) -> Value {
+        match self {
+            Accumulator::Count(c) => Value::Int(*c as i64),
+            Accumulator::Sum(s) => Value::Float(*s),
+            Accumulator::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*sum / *count as f64)
+                }
+            }
+            Accumulator::Max(m) => {
+                if m.is_finite() {
+                    Value::Float(*m)
+                } else {
+                    Value::Null
+                }
+            }
+            Accumulator::Min(m) => {
+                if m.is_finite() {
+                    Value::Float(*m)
+                } else {
+                    Value::Null
+                }
+            }
+        }
+    }
+}
+
+/// Key of one partial aggregate: the window id plus the group-by values.
+type StateKey = (i64, Vec<Value>);
+
+/// A tumbling-window grouped aggregate with Table-1 feedback behaviour.
+pub struct WindowAggregate {
+    name: String,
+    input_schema: SchemaRef,
+    output_schema: SchemaRef,
+    timestamp_attribute: String,
+    window: StreamDuration,
+    group_attributes: Vec<String>,
+    group_indices: Vec<usize>,
+    function: AggregateFunction,
+    value_index: Option<usize>,
+    feedback_mode: FeedbackMode,
+    spec: AggregateSpec,
+    state: BTreeMap<StateKey, Accumulator>,
+    /// Output guards (patterns over the output schema).
+    output_guards: Vec<Pattern>,
+    /// Input guards (patterns over the input schema).
+    input_guards: Vec<Pattern>,
+    /// Group keys suppressed by PurgeAndGuardMatchingGroups.
+    guarded_groups: HashSet<Vec<Value>>,
+    registry: FeedbackRegistry,
+    emitted_watermark: Option<Timestamp>,
+}
+
+impl WindowAggregate {
+    /// Creates a tumbling-window aggregate.
+    ///
+    /// Output schema: `(window: timestamp, <group attributes…>, <aggregate>)`,
+    /// where `window` is the start of the tumbling window.
+    pub fn new(
+        name: impl Into<String>,
+        input_schema: SchemaRef,
+        timestamp_attribute: impl Into<String>,
+        window: StreamDuration,
+        group_attributes: &[&str],
+        function: AggregateFunction,
+    ) -> dsms_types::TypeResult<Self> {
+        let name = name.into();
+        let timestamp_attribute = timestamp_attribute.into();
+        let group_indices: Vec<usize> = group_attributes
+            .iter()
+            .map(|a| input_schema.index_of(a))
+            .collect::<Result<_, _>>()?;
+        let value_index = match function.input_attribute() {
+            Some(attr) => Some(input_schema.index_of(attr)?),
+            None => None,
+        };
+        let mut fields = vec![dsms_types::Field::new("window", DataType::Timestamp)];
+        for (i, attr) in group_attributes.iter().enumerate() {
+            fields.push(dsms_types::Field::new(
+                *attr,
+                input_schema.field(group_indices[i])?.data_type(),
+            ));
+        }
+        fields.push(dsms_types::Field::new(function.output_name(), function.output_type()));
+        let output_schema: SchemaRef = Arc::new(Schema::try_new(fields)?);
+
+        // Mapping output → input: the window attribute maps onto the
+        // timestamp attribute (coarsened), group attributes map by name.
+        let mut pairs: Vec<(&str, &str)> = vec![("window", timestamp_attribute.as_str())];
+        for attr in group_attributes {
+            pairs.push((attr, attr));
+        }
+        let input_mapping =
+            AttributeMapping::by_pairs(output_schema.clone(), input_schema.clone(), &pairs)?;
+
+        let spec = AggregateSpec {
+            output: output_schema.clone(),
+            input: input_schema.clone(),
+            group_attributes: (1..=group_attributes.len()).collect(),
+            aggregate_attribute: group_attributes.len() + 1,
+            input_mapping,
+            monotonicity: function.monotonicity(),
+        };
+
+        Ok(WindowAggregate {
+            registry: FeedbackRegistry::new(name.clone()),
+            name,
+            input_schema,
+            output_schema,
+            timestamp_attribute,
+            window,
+            group_attributes: group_attributes.iter().map(|s| s.to_string()).collect(),
+            group_indices,
+            function,
+            value_index,
+            feedback_mode: FeedbackMode::ExploitAndPropagate,
+            spec,
+            state: BTreeMap::new(),
+            output_guards: Vec::new(),
+            input_guards: Vec::new(),
+            guarded_groups: HashSet::new(),
+            emitted_watermark: None,
+        })
+    }
+
+    /// Sets the feedback mode (F0–F3).
+    pub fn with_feedback_mode(mut self, mode: FeedbackMode) -> Self {
+        self.feedback_mode = mode;
+        self
+    }
+
+    /// The output schema.
+    pub fn output_schema(&self) -> &SchemaRef {
+        &self.output_schema
+    }
+
+    /// Number of open `(window, group)` partial aggregates.
+    pub fn open_groups(&self) -> usize {
+        self.state.len()
+    }
+
+    fn output_tuple(&self, key: &StateKey, acc: &Accumulator) -> Tuple {
+        let mut values = Vec::with_capacity(self.output_schema.arity());
+        values.push(Value::Timestamp(Timestamp::from_millis(key.0 * self.window.as_millis())));
+        values.extend(key.1.iter().cloned());
+        values.push(acc.value());
+        Tuple::new(self.output_schema.clone(), values)
+    }
+
+    fn output_guarded(&self, tuple: &Tuple) -> bool {
+        self.output_guards.iter().any(|p| p.matches(tuple))
+    }
+
+    fn input_guarded(&self, tuple: &Tuple, group: &[Value]) -> bool {
+        self.guarded_groups.contains(group) || self.input_guards.iter().any(|p| p.matches(tuple))
+    }
+
+    fn emit_window(&self, key: &StateKey, acc: &Accumulator, ctx: &mut OperatorContext) -> bool {
+        let out = self.output_tuple(key, acc);
+        if self.output_guarded(&out) {
+            return false;
+        }
+        ctx.emit(0, out);
+        true
+    }
+
+    /// Closes every window whose end is at or before the watermark.
+    fn close_windows_up_to(&mut self, watermark: Timestamp, ctx: &mut OperatorContext) {
+        let closeable: Vec<StateKey> = self
+            .state
+            .keys()
+            .filter(|(wid, _)| {
+                let window_end = Timestamp::from_millis((wid + 1) * self.window.as_millis())
+                    - StreamDuration::from_millis(1);
+                window_end <= watermark
+            })
+            .cloned()
+            .collect();
+        let mut suppressed = 0u64;
+        for key in closeable {
+            if let Some(acc) = self.state.remove(&key) {
+                if !self.emit_window(&key, &acc, ctx) {
+                    suppressed += 1;
+                }
+            }
+        }
+        self.registry.stats_mut().tuples_suppressed += suppressed;
+        // Forward progress: everything up to the watermark is complete on the
+        // output's window attribute too.
+        let should_emit = match self.emitted_watermark {
+            None => true,
+            Some(prev) => watermark > prev,
+        };
+        if should_emit {
+            self.emitted_watermark = Some(watermark);
+            if let Ok(p) = Punctuation::progress(self.output_schema.clone(), "window", watermark) {
+                ctx.emit_punctuation(0, p);
+            }
+        }
+    }
+}
+
+impl Operator for WindowAggregate {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> usize {
+        1
+    }
+
+    fn on_tuple(&mut self, _input: usize, tuple: Tuple, _ctx: &mut OperatorContext) -> EngineResult<()> {
+        let group: Vec<Value> = self.group_indices.iter().map(|i| tuple.values()[*i].clone()).collect();
+        if self.feedback_mode != FeedbackMode::Ignore && self.input_guarded(&tuple, &group) {
+            self.registry.stats_mut().tuples_suppressed += 1;
+            return Ok(());
+        }
+        let ts = tuple.timestamp(&self.timestamp_attribute)?;
+        let wid = ts.window_id(self.window);
+        let value = self.value_index.and_then(|i| tuple.values()[i].numeric());
+        let acc = self
+            .state
+            .entry((wid, group))
+            .or_insert_with(|| Accumulator::new(&self.function));
+        acc.fold(value);
+        Ok(())
+    }
+
+    fn on_punctuation(
+        &mut self,
+        _input: usize,
+        punctuation: Punctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        if let Some(watermark) = punctuation.watermark_for(&self.timestamp_attribute) {
+            self.close_windows_up_to(watermark, ctx);
+        }
+        // Group-complete punctuation on a grouping attribute closes that
+        // group's windows (all of them — no more tuples for the group).
+        for (i, attr) in self.group_attributes.clone().iter().enumerate() {
+            if let Some(group_value) = punctuation.completed_group(attr) {
+                let closeable: Vec<StateKey> = self
+                    .state
+                    .keys()
+                    .filter(|(_, g)| g.get(i) == Some(&group_value))
+                    .cloned()
+                    .collect();
+                for key in closeable {
+                    if let Some(acc) = self.state.remove(&key) {
+                        self.emit_window(&key, &acc, ctx);
+                    }
+                }
+            }
+        }
+        // Punctuation also expires feedback guards it subsumes.
+        self.registry.expire_with(&punctuation);
+        Ok(())
+    }
+
+    fn on_feedback(
+        &mut self,
+        _output: usize,
+        feedback: FeedbackPunctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        if self.feedbackmode_is_ignore() {
+            return Ok(());
+        }
+        self.registry.stats_mut().received.record(feedback.intent());
+        match feedback.intent() {
+            FeedbackIntent::Assumed => self.exploit_assumed(&feedback, ctx)?,
+            FeedbackIntent::Desired => {
+                // Prioritization inside a blocking aggregate means closing the
+                // desired groups as early as possible; we record the pattern so
+                // demanded/desired-aware consumers can be served first, but the
+                // aggregate's result set is unchanged.
+                let _ = self.registry.register(feedback);
+            }
+            FeedbackIntent::Demanded => {
+                // Emit partial results for matching groups right now.
+                let keys: Vec<StateKey> = self.state.keys().cloned().collect();
+                for key in keys {
+                    if let Some(acc) = self.state.get(&key) {
+                        let out = self.output_tuple(&key, acc);
+                        if feedback.pattern().matches(&out) && !self.output_guarded(&out) {
+                            ctx.emit(0, out);
+                            self.registry.stats_mut().partial_results += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn on_request_results(&mut self, _output: usize, ctx: &mut OperatorContext) -> EngineResult<()> {
+        // Poll-based result production (paper Example 4): emit current partial
+        // aggregates without purging state.
+        let keys: Vec<StateKey> = self.state.keys().cloned().collect();
+        for key in keys {
+            if let Some(acc) = self.state.get(&key) {
+                let out = self.output_tuple(&key, acc);
+                if !self.output_guarded(&out) {
+                    ctx.emit(0, out);
+                    self.registry.stats_mut().partial_results += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn on_flush(&mut self, ctx: &mut OperatorContext) -> EngineResult<()> {
+        let remaining: Vec<(StateKey, Accumulator)> = std::mem::take(&mut self.state).into_iter().collect();
+        for (key, acc) in remaining {
+            self.emit_window(&key, &acc, ctx);
+        }
+        Ok(())
+    }
+
+    fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
+        Some(self.registry.stats().clone())
+    }
+}
+
+impl WindowAggregate {
+    fn feedbackmode_is_ignore(&self) -> bool {
+        self.feedback_mode == FeedbackMode::Ignore
+    }
+
+    fn exploit_assumed(
+        &mut self,
+        feedback: &FeedbackPunctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        // F1 restricts the response to mounting a guard on the aggregate's
+        // output, regardless of what the full characterization would allow.
+        if self.feedback_mode == FeedbackMode::GuardOutput {
+            self.output_guards.push(feedback.pattern().clone());
+            let _ = self.registry.register(feedback.clone());
+            return Ok(());
+        }
+        let characterization = characterize_aggregate(&self.spec, feedback.pattern())?;
+        let guard_output_only = false;
+        for action in &characterization.actions {
+            match action {
+                ExploitAction::GuardOutput(pattern) => self.output_guards.push(pattern.clone()),
+                ExploitAction::GuardInput { pattern, .. } => {
+                    if !guard_output_only {
+                        self.input_guards.push(pattern.clone());
+                    }
+                }
+                ExploitAction::PurgeState(pattern) => {
+                    if !guard_output_only {
+                        let before = self.state.len();
+                        let keys: Vec<StateKey> = self.state.keys().cloned().collect();
+                        for key in keys {
+                            if let Some(acc) = self.state.get(&key) {
+                                let out = self.output_tuple(&key, acc);
+                                if pattern.matches(&out) {
+                                    self.state.remove(&key);
+                                }
+                            }
+                        }
+                        self.registry.stats_mut().state_purged += (before - self.state.len()) as u64;
+                    }
+                }
+                ExploitAction::PurgeAndGuardMatchingGroups => {
+                    if !guard_output_only {
+                        let keys: Vec<StateKey> = self.state.keys().cloned().collect();
+                        let mut purged = 0u64;
+                        for key in keys {
+                            if let Some(acc) = self.state.get(&key) {
+                                let out = self.output_tuple(&key, acc);
+                                if feedback.pattern().matches(&out) {
+                                    self.guarded_groups.insert(key.1.clone());
+                                    self.state.remove(&key);
+                                    purged += 1;
+                                }
+                            }
+                        }
+                        self.registry.stats_mut().state_purged += purged;
+                    }
+                }
+            }
+        }
+        // F3: relay to the antecedent following the characterization.
+        if self.feedback_mode == FeedbackMode::ExploitAndPropagate {
+            match &characterization.propagation {
+                PropagationRule::ToInputs(targets) => {
+                    for (input, pattern) in targets {
+                        ctx.send_feedback(*input, feedback.relay(pattern.clone(), &self.name));
+                        self.registry.stats_mut().relayed.record(feedback.intent());
+                    }
+                }
+                PropagationRule::GroupsFromState => {
+                    // Propagate the guarded groups in terms of the input schema,
+                    // only expressible when there is exactly one group attribute.
+                    if self.group_attributes.len() == 1 && !self.guarded_groups.is_empty() {
+                        let keys: Vec<Value> =
+                            self.guarded_groups.iter().filter_map(|g| g.first().cloned()).collect();
+                        let pattern = Pattern::for_attributes(
+                            self.input_schema.clone(),
+                            &[(self.group_attributes[0].as_str(), PatternItem::InSet(keys))],
+                        )?;
+                        ctx.send_feedback(0, feedback.relay(pattern, &self.name));
+                        self.registry.stats_mut().relayed.record(feedback.intent());
+                    }
+                }
+                PropagationRule::None => {}
+            }
+        }
+        let _ = self.registry.register(feedback.clone());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_engine::StreamItem;
+
+    fn schema() -> SchemaRef {
+        Schema::shared(&[
+            ("timestamp", DataType::Timestamp),
+            ("segment", DataType::Int),
+            ("speed", DataType::Float),
+        ])
+    }
+
+    fn tuple(ts: i64, seg: i64, speed: f64) -> Tuple {
+        Tuple::new(
+            schema(),
+            vec![
+                Value::Timestamp(Timestamp::from_secs(ts)),
+                Value::Int(seg),
+                Value::Float(speed),
+            ],
+        )
+    }
+
+    fn avg_per_segment() -> WindowAggregate {
+        WindowAggregate::new(
+            "AVERAGE",
+            schema(),
+            "timestamp",
+            StreamDuration::from_secs(60),
+            &["segment"],
+            AggregateFunction::Avg("speed".into()),
+        )
+        .unwrap()
+    }
+
+    fn progress(ts: i64) -> Punctuation {
+        Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(ts)).unwrap()
+    }
+
+    fn emitted_tuples(ctx: &mut OperatorContext) -> Vec<Tuple> {
+        ctx.take_emitted()
+            .into_iter()
+            .filter_map(|(_, item)| match item {
+                StreamItem::Tuple(t) => Some(t),
+                StreamItem::Punctuation(_) => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn punctuation_closes_windows_and_purges_state() {
+        let mut op = avg_per_segment();
+        let mut ctx = OperatorContext::new();
+        op.on_tuple(0, tuple(10, 1, 40.0), &mut ctx).unwrap();
+        op.on_tuple(0, tuple(20, 1, 60.0), &mut ctx).unwrap();
+        op.on_tuple(0, tuple(70, 1, 30.0), &mut ctx).unwrap(); // next window
+        assert_eq!(op.open_groups(), 2);
+        assert!(emitted_tuples(&mut ctx).is_empty(), "blocking until punctuation");
+
+        op.on_punctuation(0, progress(59), &mut ctx).unwrap();
+        assert_eq!(op.open_groups(), 2, "a tuple at 59.5s could still arrive for window 0");
+        op.on_punctuation(0, progress(60), &mut ctx).unwrap();
+        let out = emitted_tuples(&mut ctx);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].float("avg").unwrap(), 50.0);
+        assert_eq!(op.open_groups(), 1, "window 0 purged, window 1 still open");
+    }
+
+    #[test]
+    fn flush_emits_remaining_windows() {
+        let mut op = avg_per_segment();
+        let mut ctx = OperatorContext::new();
+        op.on_tuple(0, tuple(10, 1, 40.0), &mut ctx).unwrap();
+        op.on_tuple(0, tuple(10, 2, 80.0), &mut ctx).unwrap();
+        op.on_flush(&mut ctx).unwrap();
+        let out = emitted_tuples(&mut ctx);
+        assert_eq!(out.len(), 2);
+        assert_eq!(op.open_groups(), 0);
+    }
+
+    #[test]
+    fn count_and_max_and_min_and_sum_compute_correct_values() {
+        for (function, expected) in [
+            (AggregateFunction::Count, Value::Int(3)),
+            (AggregateFunction::Sum("speed".into()), Value::Float(150.0)),
+            (AggregateFunction::Max("speed".into()), Value::Float(70.0)),
+            (AggregateFunction::Min("speed".into()), Value::Float(30.0)),
+            (AggregateFunction::Avg("speed".into()), Value::Float(50.0)),
+        ] {
+            let mut op = WindowAggregate::new(
+                "agg",
+                schema(),
+                "timestamp",
+                StreamDuration::from_secs(60),
+                &["segment"],
+                function.clone(),
+            )
+            .unwrap();
+            let mut ctx = OperatorContext::new();
+            op.on_tuple(0, tuple(1, 1, 50.0), &mut ctx).unwrap();
+            op.on_tuple(0, tuple(2, 1, 30.0), &mut ctx).unwrap();
+            op.on_tuple(0, tuple(3, 1, 70.0), &mut ctx).unwrap();
+            op.on_flush(&mut ctx).unwrap();
+            let out = emitted_tuples(&mut ctx);
+            assert_eq!(out.len(), 1, "{function:?}");
+            assert_eq!(out[0].values()[2], expected, "{function:?}");
+        }
+    }
+
+    #[test]
+    fn group_feedback_purges_guards_and_propagates() {
+        // Table 1 row ¬[g, *] with g = segment 3.
+        let mut op = avg_per_segment();
+        let mut ctx = OperatorContext::new();
+        op.on_tuple(0, tuple(10, 3, 40.0), &mut ctx).unwrap();
+        op.on_tuple(0, tuple(10, 4, 40.0), &mut ctx).unwrap();
+        assert_eq!(op.open_groups(), 2);
+
+        let fb = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(
+                op.output_schema().clone(),
+                &[("segment", PatternItem::Eq(Value::Int(3)))],
+            )
+            .unwrap(),
+            "MAP",
+        );
+        op.on_feedback(0, fb, &mut ctx).unwrap();
+        assert_eq!(op.open_groups(), 1, "segment 3 state purged");
+        let relayed = ctx.take_feedback();
+        assert_eq!(relayed.len(), 1, "propagated to the antecedent");
+        assert_eq!(relayed[0].1.pattern().to_string(), "[*, 3, *]");
+
+        // New tuples for segment 3 are guarded on the input.
+        op.on_tuple(0, tuple(20, 3, 99.0), &mut ctx).unwrap();
+        assert_eq!(op.open_groups(), 1, "group not recreated");
+        op.on_flush(&mut ctx).unwrap();
+        let out = emitted_tuples(&mut ctx);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].int("segment").unwrap(), 4);
+    }
+
+    #[test]
+    fn f1_guard_output_mode_keeps_aggregating_but_suppresses_results() {
+        let mut op = avg_per_segment().with_feedback_mode(FeedbackMode::GuardOutput);
+        let mut ctx = OperatorContext::new();
+        let fb = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(
+                op.output_schema().clone(),
+                &[("segment", PatternItem::Eq(Value::Int(3)))],
+            )
+            .unwrap(),
+            "MAP",
+        );
+        op.on_feedback(0, fb, &mut ctx).unwrap();
+        assert!(ctx.take_feedback().is_empty(), "F1 does not propagate");
+        op.on_tuple(0, tuple(10, 3, 40.0), &mut ctx).unwrap();
+        assert_eq!(op.open_groups(), 1, "F1 still aggregates the group");
+        op.on_flush(&mut ctx).unwrap();
+        assert!(emitted_tuples(&mut ctx).is_empty(), "but its result is suppressed");
+    }
+
+    #[test]
+    fn f0_ignore_mode_is_feedback_unaware() {
+        let mut op = avg_per_segment().with_feedback_mode(FeedbackMode::Ignore);
+        let mut ctx = OperatorContext::new();
+        let fb = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(
+                op.output_schema().clone(),
+                &[("segment", PatternItem::Eq(Value::Int(3)))],
+            )
+            .unwrap(),
+            "MAP",
+        );
+        op.on_feedback(0, fb, &mut ctx).unwrap();
+        op.on_tuple(0, tuple(10, 3, 40.0), &mut ctx).unwrap();
+        op.on_flush(&mut ctx).unwrap();
+        assert_eq!(emitted_tuples(&mut ctx).len(), 1, "feedback ignored");
+    }
+
+    #[test]
+    fn value_feedback_on_avg_only_guards_output() {
+        // Section 3.5: AVERAGE at 51 may still drop below 50 — no purge allowed.
+        let mut op = avg_per_segment();
+        let mut ctx = OperatorContext::new();
+        op.on_tuple(0, tuple(10, 1, 51.0), &mut ctx).unwrap();
+        let fb = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(
+                op.output_schema().clone(),
+                &[("avg", PatternItem::Ge(Value::Float(50.0)))],
+            )
+            .unwrap(),
+            "MAP",
+        );
+        op.on_feedback(0, fb, &mut ctx).unwrap();
+        assert_eq!(op.open_groups(), 1, "no purge for non-monotone aggregate");
+        // More input drags the average below 50 → result must appear.
+        op.on_tuple(0, tuple(20, 1, 9.0), &mut ctx).unwrap();
+        op.on_flush(&mut ctx).unwrap();
+        let out = emitted_tuples(&mut ctx);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].float("avg").unwrap(), 30.0);
+    }
+
+    #[test]
+    fn value_feedback_on_max_purges_matching_windows() {
+        let mut op = WindowAggregate::new(
+            "MAX",
+            schema(),
+            "timestamp",
+            StreamDuration::from_secs(60),
+            &["segment"],
+            AggregateFunction::Max("speed".into()),
+        )
+        .unwrap();
+        let mut ctx = OperatorContext::new();
+        op.on_tuple(0, tuple(10, 1, 55.0), &mut ctx).unwrap(); // partial max 55 ≥ 50
+        op.on_tuple(0, tuple(10, 2, 20.0), &mut ctx).unwrap(); // partial max 20
+        let fb = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(
+                op.output_schema().clone(),
+                &[("max", PatternItem::Ge(Value::Float(50.0)))],
+            )
+            .unwrap(),
+            "MAP",
+        );
+        op.on_feedback(0, fb, &mut ctx).unwrap();
+        assert_eq!(op.open_groups(), 1, "matching window closed");
+        // Tuples for the purged group are guarded; the surviving group closes
+        // below the threshold and is emitted.
+        op.on_tuple(0, tuple(20, 1, 10.0), &mut ctx).unwrap();
+        op.on_flush(&mut ctx).unwrap();
+        let out = emitted_tuples(&mut ctx);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].int("segment").unwrap(), 2);
+    }
+
+    #[test]
+    fn demanded_feedback_emits_partial_results() {
+        let mut op = avg_per_segment();
+        let mut ctx = OperatorContext::new();
+        op.on_tuple(0, tuple(10, 1, 40.0), &mut ctx).unwrap();
+        op.on_tuple(0, tuple(11, 2, 80.0), &mut ctx).unwrap();
+        let fb = FeedbackPunctuation::demanded(
+            Pattern::for_attributes(
+                op.output_schema().clone(),
+                &[("segment", PatternItem::Eq(Value::Int(1)))],
+            )
+            .unwrap(),
+            "client",
+        );
+        op.on_feedback(0, fb, &mut ctx).unwrap();
+        let out = emitted_tuples(&mut ctx);
+        assert_eq!(out.len(), 1, "partial result for the demanded segment only");
+        assert_eq!(out[0].float("avg").unwrap(), 40.0);
+        assert_eq!(op.open_groups(), 2, "state is kept; partials are extra");
+    }
+
+    #[test]
+    fn request_results_emits_everything_partial() {
+        let mut op = avg_per_segment();
+        let mut ctx = OperatorContext::new();
+        op.on_tuple(0, tuple(10, 1, 40.0), &mut ctx).unwrap();
+        op.on_tuple(0, tuple(11, 2, 80.0), &mut ctx).unwrap();
+        op.on_request_results(0, &mut ctx).unwrap();
+        assert_eq!(emitted_tuples(&mut ctx).len(), 2);
+    }
+
+    #[test]
+    fn output_punctuation_is_emitted_on_window_close() {
+        let mut op = avg_per_segment();
+        let mut ctx = OperatorContext::new();
+        op.on_tuple(0, tuple(10, 1, 40.0), &mut ctx).unwrap();
+        op.on_punctuation(0, progress(59), &mut ctx).unwrap();
+        let punct_count = ctx
+            .take_emitted()
+            .iter()
+            .filter(|(_, item)| matches!(item, StreamItem::Punctuation(_)))
+            .count();
+        assert_eq!(punct_count, 1);
+    }
+}

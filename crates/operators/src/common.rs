@@ -1,0 +1,82 @@
+//! Shared helpers for operators.
+
+use dsms_types::Tuple;
+use std::time::{Duration, Instant};
+
+/// A predicate over tuples, usable as a select condition or a split condition.
+///
+/// Closures are boxed so operators stay object-safe and `Send`.
+pub struct TuplePredicate {
+    description: String,
+    f: Box<dyn Fn(&Tuple) -> bool + Send>,
+}
+
+impl TuplePredicate {
+    /// Wraps a closure with a human-readable description (used in operator
+    /// names and error messages).
+    pub fn new(description: impl Into<String>, f: impl Fn(&Tuple) -> bool + Send + 'static) -> Self {
+        TuplePredicate { description: description.into(), f: Box::new(f) }
+    }
+
+    /// A predicate that accepts every tuple.
+    pub fn always() -> Self {
+        TuplePredicate::new("true", |_| true)
+    }
+
+    /// Evaluates the predicate.
+    pub fn eval(&self, tuple: &Tuple) -> bool {
+        (self.f)(tuple)
+    }
+
+    /// The description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+}
+
+impl std::fmt::Debug for TuplePredicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TuplePredicate({})", self.description)
+    }
+}
+
+/// Spins for (at least) the given duration, simulating per-tuple processing
+/// cost — used by IMPUTE's archival lookup and the data-quality filter.
+/// A spin loop is used instead of `thread::sleep` because the interesting
+/// costs are in the tens of microseconds to low milliseconds, where sleep
+/// granularity and scheduler wake-up latency would distort the experiments.
+pub fn simulate_cost(cost: Duration) {
+    if cost.is_zero() {
+        return;
+    }
+    let start = Instant::now();
+    while start.elapsed() < cost {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_types::{DataType, Schema, Value};
+
+    #[test]
+    fn predicate_evaluates_and_describes() {
+        let schema = Schema::shared(&[("v", DataType::Int)]);
+        let p = TuplePredicate::new("v > 5", |t| t.int("v").unwrap_or(0) > 5);
+        assert!(p.eval(&Tuple::new(schema.clone(), vec![Value::Int(6)])));
+        assert!(!p.eval(&Tuple::new(schema.clone(), vec![Value::Int(5)])));
+        assert_eq!(p.description(), "v > 5");
+        assert!(TuplePredicate::always().eval(&Tuple::new(schema, vec![Value::Int(0)])));
+        assert!(format!("{p:?}").contains("v > 5"));
+    }
+
+    #[test]
+    fn simulate_cost_spins_for_at_least_the_duration() {
+        let start = Instant::now();
+        simulate_cost(Duration::from_micros(200));
+        assert!(start.elapsed() >= Duration::from_micros(200));
+        // zero cost returns immediately
+        simulate_cost(Duration::ZERO);
+    }
+}

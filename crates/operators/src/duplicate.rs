@@ -1,0 +1,201 @@
+//! DUPLICATE: copy a stream to several outputs.
+//!
+//! The paper uses DUPLICATE in the imputation plan (Figure 4a) to send the
+//! same input to the clean-path filter and the dirty-path filter.  Its
+//! feedback behaviour is subtle (Section 4.1): the operator's definition
+//! requires all outputs to stay identical, so exploiting an assumed
+//! punctuation is only correct once *equivalent* feedback has been received
+//! from **every** output; until then the correct response is the null
+//! response (and no propagation).
+
+use dsms_engine::{EngineResult, Operator, OperatorContext};
+use dsms_feedback::{characterize_duplicate, FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, GuardDecision};
+use dsms_punctuation::{Pattern, Punctuation};
+use dsms_types::{SchemaRef, Tuple};
+
+/// Copies its input stream to `outputs` identical output streams.
+pub struct Duplicate {
+    name: String,
+    schema: SchemaRef,
+    outputs: usize,
+    /// Assumed patterns received so far, per output port.
+    assumed_per_output: Vec<Vec<Pattern>>,
+    registry: FeedbackRegistry,
+}
+
+impl Duplicate {
+    /// Creates a duplicate operator with the given number of outputs.
+    pub fn new(name: impl Into<String>, schema: SchemaRef, outputs: usize) -> Self {
+        let name = name.into();
+        Duplicate {
+            registry: FeedbackRegistry::new(name.clone()),
+            name,
+            schema,
+            outputs: outputs.max(2),
+            assumed_per_output: vec![Vec::new(); outputs.max(2)],
+        }
+    }
+
+    /// True when an equivalent (subsuming) assumed pattern has been received
+    /// on every output, so exploiting `pattern` keeps the outputs identical.
+    fn assumed_on_all_outputs(&self, pattern: &Pattern) -> bool {
+        self.assumed_per_output
+            .iter()
+            .all(|patterns| patterns.iter().any(|p| p.subsumes(pattern)))
+    }
+}
+
+impl Operator for Duplicate {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> usize {
+        1
+    }
+
+    fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    fn on_tuple(&mut self, _input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+        if self.registry.decide(&tuple) == GuardDecision::Suppress {
+            return Ok(());
+        }
+        for port in 0..self.outputs {
+            ctx.emit(port, tuple.clone());
+        }
+        Ok(())
+    }
+
+    fn on_punctuation(
+        &mut self,
+        _input: usize,
+        punctuation: Punctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        for port in 0..self.outputs {
+            ctx.emit_punctuation(port, punctuation.clone());
+        }
+        Ok(())
+    }
+
+    fn on_feedback(
+        &mut self,
+        output: usize,
+        feedback: FeedbackPunctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        if feedback.intent() != FeedbackIntent::Assumed {
+            // Desired/demanded feedback is recorded but DUPLICATE itself takes
+            // no action (it has no state and no production ordering freedom).
+            let _ = self.registry.register(feedback);
+            return Ok(());
+        }
+        if let Some(patterns) = self.assumed_per_output.get_mut(output) {
+            patterns.push(feedback.pattern().clone());
+        }
+        let all = self.assumed_on_all_outputs(feedback.pattern());
+        let ch = characterize_duplicate(&self.schema, all, feedback.pattern())?;
+        if !ch.is_null() {
+            // Every output has assumed this subset away: the guard becomes
+            // active and the feedback is safe to propagate upstream.
+            ctx.send_feedback(0, feedback.relay(feedback.pattern().clone(), &self.name));
+            self.registry.stats_mut().relayed.record(feedback.intent());
+            let _ = self.registry.register(feedback);
+        } else {
+            // Null response: remember the message but do not enact a guard.
+            self.registry.stats_mut().received.record(feedback.intent());
+        }
+        Ok(())
+    }
+
+    fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
+        Some(self.registry.stats().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_punctuation::PatternItem;
+    use dsms_types::{DataType, Schema, Timestamp, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::shared(&[("timestamp", DataType::Timestamp), ("segment", DataType::Int)])
+    }
+
+    fn tuple(seg: i64) -> Tuple {
+        Tuple::new(schema(), vec![Value::Timestamp(Timestamp::EPOCH), Value::Int(seg)])
+    }
+
+    fn seg_pattern(seg: i64) -> Pattern {
+        Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(seg)))]).unwrap()
+    }
+
+    #[test]
+    fn duplicate_copies_to_every_output() {
+        let mut op = Duplicate::new("dup", schema(), 2);
+        let mut ctx = OperatorContext::new();
+        op.on_tuple(0, tuple(1), &mut ctx).unwrap();
+        op.on_punctuation(
+            0,
+            Punctuation::progress(schema(), "timestamp", Timestamp::EPOCH).unwrap(),
+            &mut ctx,
+        )
+        .unwrap();
+        let emitted = ctx.take_emitted();
+        assert_eq!(emitted.len(), 4, "1 tuple + 1 punctuation on each of 2 outputs");
+        let ports: Vec<usize> = emitted.iter().map(|(p, _)| *p).collect();
+        assert!(ports.contains(&0) && ports.contains(&1));
+    }
+
+    #[test]
+    fn feedback_from_one_output_is_a_null_response() {
+        let mut op = Duplicate::new("dup", schema(), 2);
+        let mut ctx = OperatorContext::new();
+        op.on_feedback(0, FeedbackPunctuation::assumed(seg_pattern(3), "left"), &mut ctx).unwrap();
+        assert!(ctx.take_feedback().is_empty(), "not propagated yet");
+        op.on_tuple(0, tuple(3), &mut ctx).unwrap();
+        assert_eq!(ctx.take_emitted().len(), 2, "still copied to both outputs");
+    }
+
+    #[test]
+    fn feedback_from_all_outputs_enables_exploitation() {
+        let mut op = Duplicate::new("dup", schema(), 2);
+        let mut ctx = OperatorContext::new();
+        op.on_feedback(0, FeedbackPunctuation::assumed(seg_pattern(3), "left"), &mut ctx).unwrap();
+        op.on_feedback(1, FeedbackPunctuation::assumed(seg_pattern(3), "right"), &mut ctx).unwrap();
+        let relayed = ctx.take_feedback();
+        assert_eq!(relayed.len(), 1, "propagated once both outputs agree");
+        op.on_tuple(0, tuple(3), &mut ctx).unwrap();
+        op.on_tuple(0, tuple(4), &mut ctx).unwrap();
+        let emitted = ctx.take_emitted();
+        assert_eq!(emitted.len(), 2, "segment 3 suppressed on both outputs, segment 4 copied");
+    }
+
+    #[test]
+    fn wider_feedback_on_one_output_covers_narrower_on_the_other() {
+        let mut op = Duplicate::new("dup", schema(), 2);
+        let mut ctx = OperatorContext::new();
+        // Output 0 assumes away *everything* (wildcard pattern subsumes all).
+        op.on_feedback(
+            0,
+            FeedbackPunctuation::assumed(Pattern::all_wildcards(schema()), "left"),
+            &mut ctx,
+        )
+        .unwrap();
+        // Output 1 assumes away segment 5 only → both outputs agree on segment 5.
+        op.on_feedback(1, FeedbackPunctuation::assumed(seg_pattern(5), "right"), &mut ctx).unwrap();
+        op.on_tuple(0, tuple(5), &mut ctx).unwrap();
+        assert!(ctx.take_emitted().is_empty(), "segment 5 suppressed");
+        op.on_tuple(0, tuple(6), &mut ctx).unwrap();
+        assert_eq!(ctx.take_emitted().len(), 2, "segment 6 unaffected");
+    }
+
+    #[test]
+    fn at_least_two_outputs() {
+        let op = Duplicate::new("dup", schema(), 0);
+        assert_eq!(op.outputs(), 2);
+    }
+}

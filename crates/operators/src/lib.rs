@@ -1,0 +1,64 @@
+//! # dsms-operators
+//!
+//! The operator library for the feedback-punctuation DSMS reproduction.
+//! Every operator implements the engine's [`dsms_engine::Operator`] trait and,
+//! where the paper describes it, the feedback roles (producer, exploiter,
+//! relayer) with the exact characterizations of `dsms-feedback`.
+//!
+//! | Operator | Paper role | Feedback behaviour |
+//! |---|---|---|
+//! | [`source::VecSource`], [`source::GeneratorSource`] | stream input | exploits assumed feedback by skipping described tuples at the source |
+//! | [`sink::CollectSink`], [`sink::TimedSink`] | query result | optionally issues event-driven feedback |
+//! | [`select::Select`] | σ (stateless filter) | adds assumed patterns to its condition; relays |
+//! | [`project::Project`] | π | relays feedback through its attribute mapping |
+//! | [`duplicate::Duplicate`] | DUPLICATE | exploits only when all outputs assume the same subset |
+//! | [`split::Split`] | σC / σ¬C pair | content-based routing for the imputation plan |
+//! | [`union::Union`] | UNION | merges inputs, relays feedback to both |
+//! | [`pace::Pace`] | PACE | *produces* assumed feedback from its disorder bound |
+//! | [`impute::Impute`] | IMPUTE | *exploits* assumed feedback by purging/skipping late tuples |
+//! | [`aggregate::WindowAggregate`] | COUNT/SUM/AVG/MAX/MIN | Table 1 characterization; schemes F1/F2 |
+//! | [`join::SymmetricHashJoin`] | JOIN | Table 2 characterization |
+//! | [`thrifty_join::ThriftyJoin`] | THRIFTY JOIN | adaptive producer: empty probe windows |
+//! | [`impatient_join::ImpatientJoin`] | IMPATIENT JOIN | adaptive producer of desired punctuation |
+//! | [`quality_filter::QualityFilter`] | σQ data-quality filter | exploits relayed feedback (scheme F3) |
+//! | [`prioritizer::Prioritizer`] | — | exploits desired punctuation by reordering |
+//! | [`demand::OnDemandGate`] | Example 4 | answers demanded punctuation / result requests |
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod common;
+pub mod demand;
+pub mod duplicate;
+pub mod impatient_join;
+pub mod impute;
+pub mod join;
+pub mod pace;
+pub mod prioritizer;
+pub mod project;
+pub mod quality_filter;
+pub mod select;
+pub mod sink;
+pub mod source;
+pub mod split;
+pub mod thrifty_join;
+pub mod union;
+
+pub use aggregate::{AggregateFunction, WindowAggregate};
+pub use common::{simulate_cost, TuplePredicate};
+pub use demand::OnDemandGate;
+pub use duplicate::Duplicate;
+pub use impatient_join::ImpatientJoin;
+pub use impute::{ArchivalStore, Impute};
+pub use join::{JoinSide, SymmetricHashJoin};
+pub use pace::Pace;
+pub use prioritizer::Prioritizer;
+pub use project::Project;
+pub use quality_filter::QualityFilter;
+pub use select::Select;
+pub use sink::{CollectSink, SinkHandle, TimedSink, TimedSinkHandle};
+pub use source::{GeneratorSource, VecSource};
+pub use split::Split;
+pub use thrifty_join::ThriftyJoin;
+pub use union::Union;

@@ -1,0 +1,262 @@
+//! PRIORITIZER: exploiting *desired* punctuation.
+//!
+//! Desired feedback (`?[p]`) asks that the described subset be produced as
+//! soon as possible without changing the overall result.  The prioritizer is a
+//! reordering buffer that realizes this: it holds up to `buffer_capacity`
+//! tuples and, whenever it releases one, releases desired tuples first.
+//! Embedded punctuation flushes the buffer completely (so no tuple is held
+//! past a progress boundary and correctness of downstream windowing is
+//! unaffected).
+
+use dsms_engine::{EngineResult, Operator, OperatorContext};
+use dsms_feedback::{FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, GuardDecision};
+use dsms_punctuation::Punctuation;
+use dsms_types::{SchemaRef, Tuple};
+use std::collections::VecDeque;
+
+/// A bounded reordering buffer that serves desired subsets first.
+pub struct Prioritizer {
+    name: String,
+    schema: SchemaRef,
+    buffer_capacity: usize,
+    priority: VecDeque<Tuple>,
+    normal: VecDeque<Tuple>,
+    registry: FeedbackRegistry,
+    reordered: u64,
+}
+
+impl Prioritizer {
+    /// Creates a prioritizer holding at most `buffer_capacity` tuples.
+    pub fn new(name: impl Into<String>, schema: SchemaRef, buffer_capacity: usize) -> Self {
+        let name = name.into();
+        Prioritizer {
+            registry: FeedbackRegistry::new(name.clone()),
+            name,
+            schema,
+            buffer_capacity: buffer_capacity.max(1),
+            priority: VecDeque::new(),
+            normal: VecDeque::new(),
+            reordered: 0,
+        }
+    }
+
+    /// Number of tuples that were released ahead of earlier-arrived tuples.
+    pub fn reordered(&self) -> u64 {
+        self.reordered
+    }
+
+    /// The stream schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    fn buffered(&self) -> usize {
+        self.priority.len() + self.normal.len()
+    }
+
+    fn release_one(&mut self, ctx: &mut OperatorContext) {
+        if let Some(t) = self.priority.pop_front() {
+            if !self.normal.is_empty() {
+                self.reordered += 1;
+            }
+            ctx.emit(0, t);
+        } else if let Some(t) = self.normal.pop_front() {
+            ctx.emit(0, t);
+        }
+    }
+
+    fn release_all(&mut self, ctx: &mut OperatorContext) {
+        while self.buffered() > 0 {
+            self.release_one(ctx);
+        }
+    }
+}
+
+impl Operator for Prioritizer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> usize {
+        1
+    }
+
+    fn on_tuple(&mut self, _input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+        match self.registry.decide(&tuple) {
+            GuardDecision::Suppress => return Ok(()),
+            GuardDecision::Prioritize => self.priority.push_back(tuple),
+            GuardDecision::Pass => self.normal.push_back(tuple),
+        }
+        while self.buffered() > self.buffer_capacity {
+            self.release_one(ctx);
+        }
+        Ok(())
+    }
+
+    fn on_punctuation(
+        &mut self,
+        _input: usize,
+        punctuation: Punctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        // Never hold tuples across a progress boundary.
+        self.release_all(ctx);
+        self.registry.expire_with(&punctuation);
+        ctx.emit_punctuation(0, punctuation);
+        Ok(())
+    }
+
+    fn on_feedback(
+        &mut self,
+        _output: usize,
+        feedback: FeedbackPunctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        let is_desired = feedback.intent() == FeedbackIntent::Desired;
+        let _ = self.registry.register(feedback);
+        if is_desired {
+            // Re-triage the already-buffered tuples under the new priority and
+            // relay the request upstream (prioritization compounds).
+            let drained: Vec<Tuple> = self.normal.drain(..).collect();
+            for t in drained {
+                if self.registry.peek(&t) == GuardDecision::Prioritize {
+                    self.priority.push_back(t);
+                } else {
+                    self.normal.push_back(t);
+                }
+            }
+            if let Some(last) = self.registry.desired_patterns().last() {
+                ctx.send_feedback(0, last.clone());
+            }
+        }
+        Ok(())
+    }
+
+    fn on_flush(&mut self, ctx: &mut OperatorContext) -> EngineResult<()> {
+        self.release_all(ctx);
+        Ok(())
+    }
+
+    fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
+        Some(self.registry.stats().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_engine::StreamItem;
+    use dsms_punctuation::{Pattern, PatternItem};
+    use dsms_types::{DataType, Schema, Timestamp, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::shared(&[("timestamp", DataType::Timestamp), ("segment", DataType::Int)])
+    }
+
+    fn tuple(seg: i64) -> Tuple {
+        Tuple::new(schema(), vec![Value::Timestamp(Timestamp::EPOCH), Value::Int(seg)])
+    }
+
+    fn desired(seg: i64) -> FeedbackPunctuation {
+        FeedbackPunctuation::desired(
+            Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(seg)))]).unwrap(),
+            "consumer",
+        )
+    }
+
+    fn emitted_segments(ctx: &mut OperatorContext) -> Vec<i64> {
+        ctx.take_emitted()
+            .into_iter()
+            .filter_map(|(_, item)| match item {
+                StreamItem::Tuple(t) => Some(t.int("segment").unwrap()),
+                StreamItem::Punctuation(_) => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn without_feedback_order_is_preserved() {
+        let mut op = Prioritizer::new("prio", schema(), 2);
+        let mut ctx = OperatorContext::new();
+        for seg in [1, 2, 3, 4, 5] {
+            op.on_tuple(0, tuple(seg), &mut ctx).unwrap();
+        }
+        op.on_flush(&mut ctx).unwrap();
+        assert_eq!(emitted_segments(&mut ctx), vec![1, 2, 3, 4, 5]);
+        assert_eq!(op.reordered(), 0);
+    }
+
+    #[test]
+    fn desired_tuples_overtake_buffered_ones() {
+        let mut op = Prioritizer::new("prio", schema(), 3);
+        let mut ctx = OperatorContext::new();
+        op.on_feedback(0, desired(9), &mut ctx).unwrap();
+        let _ = ctx.take_feedback();
+        for seg in [1, 2, 9, 3, 9] {
+            op.on_tuple(0, tuple(seg), &mut ctx).unwrap();
+        }
+        op.on_flush(&mut ctx).unwrap();
+        let order = emitted_segments(&mut ctx);
+        assert_eq!(order.len(), 5);
+        let first_nine = order.iter().position(|s| *s == 9).unwrap();
+        let last_normal = order.iter().rposition(|s| *s != 9).unwrap();
+        assert!(first_nine < last_normal, "desired tuples released before some earlier arrivals");
+        assert!(op.reordered() > 0);
+        // Same multiset either way.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2, 3, 9, 9]);
+    }
+
+    #[test]
+    fn desired_feedback_retriages_existing_buffer_and_is_relayed() {
+        let mut op = Prioritizer::new("prio", schema(), 10);
+        let mut ctx = OperatorContext::new();
+        for seg in [1, 9, 2] {
+            op.on_tuple(0, tuple(seg), &mut ctx).unwrap();
+        }
+        op.on_feedback(0, desired(9), &mut ctx).unwrap();
+        assert_eq!(ctx.take_feedback().len(), 1, "relayed upstream");
+        op.on_flush(&mut ctx).unwrap();
+        let order = emitted_segments(&mut ctx);
+        assert_eq!(order[0], 9, "buffered desired tuple released first");
+    }
+
+    #[test]
+    fn punctuation_flushes_the_buffer() {
+        let mut op = Prioritizer::new("prio", schema(), 100);
+        let mut ctx = OperatorContext::new();
+        for seg in [1, 2, 3] {
+            op.on_tuple(0, tuple(seg), &mut ctx).unwrap();
+        }
+        assert!(emitted_segments(&mut ctx).is_empty(), "buffered");
+        op.on_punctuation(
+            0,
+            Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(1)).unwrap(),
+            &mut ctx,
+        )
+        .unwrap();
+        let emitted = ctx.take_emitted();
+        assert_eq!(emitted.len(), 4, "3 tuples + the punctuation itself");
+    }
+
+    #[test]
+    fn assumed_feedback_suppresses_tuples() {
+        let mut op = Prioritizer::new("prio", schema(), 2);
+        let mut ctx = OperatorContext::new();
+        op.on_feedback(
+            0,
+            FeedbackPunctuation::assumed(
+                Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(1)))])
+                    .unwrap(),
+                "consumer",
+            ),
+            &mut ctx,
+        )
+        .unwrap();
+        op.on_tuple(0, tuple(1), &mut ctx).unwrap();
+        op.on_tuple(0, tuple(2), &mut ctx).unwrap();
+        op.on_flush(&mut ctx).unwrap();
+        assert_eq!(emitted_segments(&mut ctx), vec![2]);
+    }
+}

@@ -1,0 +1,203 @@
+//! PROJECT (π): attribute projection.
+//!
+//! Projection changes the schema, so relaying feedback requires rewriting the
+//! pattern from the (projected) output schema back onto the input schema via
+//! an attribute mapping.  Attributes the feedback constrains always exist in
+//! the input (they survived the projection), so safe propagation always exists
+//! and is computed with [`dsms_feedback::mapping::propagate_through`].
+
+use dsms_engine::{EngineResult, Operator, OperatorContext};
+use dsms_feedback::{
+    mapping::propagate_through, AttributeMapping, FeedbackIntent, FeedbackPunctuation,
+    FeedbackRegistry, GuardDecision, PropagationOutcome,
+};
+use dsms_punctuation::Punctuation;
+use dsms_types::{SchemaRef, Tuple};
+use std::sync::Arc;
+
+/// A projection onto a subset of attributes (by name), preserving order.
+pub struct Project {
+    name: String,
+    input_schema: SchemaRef,
+    output_schema: SchemaRef,
+    indices: Vec<usize>,
+    mapping: AttributeMapping,
+    registry: FeedbackRegistry,
+}
+
+impl Project {
+    /// Creates a projection keeping the named attributes of `input_schema`, in
+    /// the order given.
+    pub fn new(
+        name: impl Into<String>,
+        input_schema: SchemaRef,
+        keep: &[&str],
+    ) -> dsms_types::TypeResult<Self> {
+        let name = name.into();
+        let indices: Vec<usize> =
+            keep.iter().map(|a| input_schema.index_of(a)).collect::<Result<_, _>>()?;
+        let output_schema = Arc::new(input_schema.project(&indices)?);
+        let mapping = AttributeMapping::by_name(output_schema.clone(), input_schema.clone())?;
+        Ok(Project {
+            registry: FeedbackRegistry::new(name.clone()),
+            name,
+            input_schema,
+            output_schema,
+            indices,
+            mapping,
+        })
+    }
+
+    /// The output schema.
+    pub fn output_schema(&self) -> &SchemaRef {
+        &self.output_schema
+    }
+}
+
+impl Operator for Project {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> usize {
+        1
+    }
+
+    fn on_tuple(&mut self, _input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+        let projected = tuple.project(&self.indices, self.output_schema.clone())?;
+        if self.registry.decide(&projected) == GuardDecision::Suppress {
+            return Ok(());
+        }
+        ctx.emit(0, projected);
+        Ok(())
+    }
+
+    fn on_punctuation(
+        &mut self,
+        _input: usize,
+        punctuation: Punctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        // Project the punctuation pattern onto the output schema; attributes
+        // projected away simply disappear from the pattern (the punctuation
+        // still correctly describes a completed subset of the output).
+        let mapping: Vec<Option<usize>> = self.indices.iter().map(|i| Some(*i)).collect();
+        let pattern = punctuation.pattern().remap(self.output_schema.clone(), &mapping)?;
+        if !pattern.is_unconstrained() {
+            ctx.emit_punctuation(0, Punctuation::new(pattern));
+        }
+        Ok(())
+    }
+
+    fn on_feedback(
+        &mut self,
+        _output: usize,
+        feedback: FeedbackPunctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        if feedback.intent() == FeedbackIntent::Assumed {
+            match propagate_through(&feedback, &self.mapping, &self.name)? {
+                PropagationOutcome::Propagate(relayed) => {
+                    self.registry.stats_mut().relayed.record(feedback.intent());
+                    ctx.send_feedback(0, relayed);
+                }
+                PropagationOutcome::NothingToPropagate | PropagationOutcome::Unsafe { .. } => {}
+            }
+        }
+        let _ = self.registry.register(feedback);
+        let _ = &self.input_schema;
+        Ok(())
+    }
+
+    fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
+        Some(self.registry.stats().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_engine::StreamItem;
+    use dsms_punctuation::{Pattern, PatternItem};
+    use dsms_types::{DataType, Schema, Timestamp, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::shared(&[
+            ("timestamp", DataType::Timestamp),
+            ("segment", DataType::Int),
+            ("speed", DataType::Float),
+            ("detector", DataType::Int),
+        ])
+    }
+
+    fn tuple(seg: i64, speed: f64) -> Tuple {
+        Tuple::new(
+            schema(),
+            vec![
+                Value::Timestamp(Timestamp::from_secs(1)),
+                Value::Int(seg),
+                Value::Float(speed),
+                Value::Int(7),
+            ],
+        )
+    }
+
+    #[test]
+    fn project_narrows_tuples() {
+        let mut op = Project::new("proj", schema(), &["segment", "speed"]).unwrap();
+        assert_eq!(op.output_schema().names(), vec!["segment", "speed"]);
+        let mut ctx = OperatorContext::new();
+        op.on_tuple(0, tuple(3, 55.0), &mut ctx).unwrap();
+        let out = ctx.take_emitted();
+        assert_eq!(out.len(), 1);
+        let t = out[0].1.as_tuple().unwrap();
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.int("segment").unwrap(), 3);
+    }
+
+    #[test]
+    fn unknown_attribute_is_rejected() {
+        assert!(Project::new("proj", schema(), &["volume"]).is_err());
+    }
+
+    #[test]
+    fn punctuation_is_projected() {
+        let mut op = Project::new("proj", schema(), &["segment", "speed"]).unwrap();
+        let mut ctx = OperatorContext::new();
+        let p = Punctuation::group_complete(schema(), "segment", Value::Int(4)).unwrap();
+        op.on_punctuation(0, p, &mut ctx).unwrap();
+        let out = ctx.take_emitted();
+        assert_eq!(out.len(), 1);
+        match &out[0].1 {
+            StreamItem::Punctuation(p) => assert_eq!(p.to_string(), "[4, *]"),
+            other => panic!("expected punctuation, got {other:?}"),
+        }
+
+        // A punctuation only about a projected-away attribute is dropped (it
+        // says nothing about the output).
+        let p = Punctuation::group_complete(schema(), "detector", Value::Int(7)).unwrap();
+        op.on_punctuation(0, p, &mut ctx).unwrap();
+        assert!(ctx.take_emitted().is_empty());
+    }
+
+    #[test]
+    fn feedback_is_rewritten_onto_the_input_schema() {
+        let mut op = Project::new("proj", schema(), &["segment", "speed"]).unwrap();
+        let mut ctx = OperatorContext::new();
+        let fb = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(
+                op.output_schema().clone(),
+                &[("segment", PatternItem::Eq(Value::Int(3)))],
+            )
+            .unwrap(),
+            "downstream",
+        );
+        op.on_feedback(0, fb, &mut ctx).unwrap();
+        let relayed = ctx.take_feedback();
+        assert_eq!(relayed.len(), 1);
+        assert_eq!(relayed[0].1.pattern().to_string(), "[*, 3, *, *]");
+        // Subsequent matching tuples are suppressed locally too.
+        op.on_tuple(0, tuple(3, 50.0), &mut ctx).unwrap();
+        assert!(ctx.take_emitted().is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+//! Data-quality filter (σQ in the speed-map plan, Figure 4b).
+//!
+//! The quality filter sits at the bottom of the speed-map query: it validates
+//! raw detector readings (range checks, timestamp sanity) before they are
+//! aggregated, paying a per-tuple validation cost.  It is the operator that
+//! benefits from *propagated* feedback in scheme F3 of Experiment 2: once the
+//! AVERAGE operator relays "segments outside the viewport are of no interest",
+//! the filter can skip validating those tuples entirely.
+
+use crate::common::{simulate_cost, TuplePredicate};
+use dsms_engine::{EngineResult, Operator, OperatorContext};
+use dsms_feedback::{FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, GuardDecision};
+use dsms_punctuation::Punctuation;
+use dsms_types::{SchemaRef, Tuple};
+use std::time::Duration;
+
+/// A validating filter with configurable per-tuple cost and feedback support.
+pub struct QualityFilter {
+    name: String,
+    schema: SchemaRef,
+    check: TuplePredicate,
+    check_cost: Duration,
+    feedback_enabled: bool,
+    relay: bool,
+    validated: u64,
+    rejected: u64,
+    registry: FeedbackRegistry,
+}
+
+impl QualityFilter {
+    /// Creates a quality filter keeping tuples for which `check` holds,
+    /// spending `check_cost` of work per validated tuple.
+    pub fn new(
+        name: impl Into<String>,
+        schema: SchemaRef,
+        check: TuplePredicate,
+        check_cost: Duration,
+    ) -> Self {
+        let name = name.into();
+        QualityFilter {
+            registry: FeedbackRegistry::new(name.clone()),
+            name,
+            schema,
+            check,
+            check_cost,
+            feedback_enabled: true,
+            relay: true,
+            validated: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Disables feedback exploitation (the F0–F2 configurations of
+    /// Experiment 2, where the filter never hears about the viewport).
+    pub fn without_feedback(mut self) -> Self {
+        self.feedback_enabled = false;
+        self
+    }
+
+    /// Disables relaying feedback further upstream.
+    pub fn without_relay(mut self) -> Self {
+        self.relay = false;
+        self
+    }
+
+    /// Number of tuples that went through the (costly) validation.
+    pub fn validated(&self) -> u64 {
+        self.validated
+    }
+
+    /// Number of tuples rejected by the quality check.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// The stream schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+}
+
+impl Operator for QualityFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> usize {
+        1
+    }
+
+    fn on_tuple(&mut self, _input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+        // Exploit feedback *before* paying the validation cost.
+        if self.feedback_enabled && self.registry.decide(&tuple) == GuardDecision::Suppress {
+            return Ok(());
+        }
+        simulate_cost(self.check_cost);
+        self.validated += 1;
+        if self.check.eval(&tuple) {
+            ctx.emit(0, tuple);
+        } else {
+            self.rejected += 1;
+        }
+        Ok(())
+    }
+
+    fn on_punctuation(
+        &mut self,
+        _input: usize,
+        punctuation: Punctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        self.registry.expire_with(&punctuation);
+        ctx.emit_punctuation(0, punctuation);
+        Ok(())
+    }
+
+    fn on_feedback(
+        &mut self,
+        _output: usize,
+        feedback: FeedbackPunctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        if !self.feedback_enabled {
+            return Ok(());
+        }
+        if feedback.intent() == FeedbackIntent::Assumed && self.relay {
+            ctx.send_feedback(0, feedback.relay(feedback.pattern().clone(), &self.name));
+            self.registry.stats_mut().relayed.record(feedback.intent());
+        }
+        let _ = self.registry.register(feedback);
+        Ok(())
+    }
+
+    fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
+        Some(self.registry.stats().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_punctuation::{Pattern, PatternItem};
+    use dsms_types::{DataType, Schema, Timestamp, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::shared(&[
+            ("timestamp", DataType::Timestamp),
+            ("segment", DataType::Int),
+            ("speed", DataType::Float),
+        ])
+    }
+
+    fn tuple(seg: i64, speed: f64) -> Tuple {
+        Tuple::new(
+            schema(),
+            vec![Value::Timestamp(Timestamp::EPOCH), Value::Int(seg), Value::Float(speed)],
+        )
+    }
+
+    fn filter() -> QualityFilter {
+        QualityFilter::new(
+            "QUALITY",
+            schema(),
+            TuplePredicate::new("0 <= speed <= 120", |t| {
+                let v = t.float("speed").unwrap_or(-1.0);
+                (0.0..=120.0).contains(&v)
+            }),
+            Duration::ZERO,
+        )
+    }
+
+    #[test]
+    fn quality_check_rejects_out_of_range_readings() {
+        let mut op = filter();
+        let mut ctx = OperatorContext::new();
+        op.on_tuple(0, tuple(1, 55.0), &mut ctx).unwrap();
+        op.on_tuple(0, tuple(1, 250.0), &mut ctx).unwrap();
+        assert_eq!(ctx.take_emitted().len(), 1);
+        assert_eq!(op.validated(), 2);
+        assert_eq!(op.rejected(), 1);
+    }
+
+    #[test]
+    fn feedback_skips_validation_for_described_tuples() {
+        let mut op = filter();
+        let mut ctx = OperatorContext::new();
+        op.on_feedback(
+            0,
+            FeedbackPunctuation::assumed(
+                Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(7)))])
+                    .unwrap(),
+                "AVERAGE",
+            ),
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(ctx.take_feedback().len(), 1, "relayed further upstream");
+        op.on_tuple(0, tuple(7, 55.0), &mut ctx).unwrap();
+        op.on_tuple(0, tuple(8, 55.0), &mut ctx).unwrap();
+        assert_eq!(op.validated(), 1, "segment 7 skipped without validation cost");
+        assert_eq!(ctx.take_emitted().len(), 1);
+    }
+
+    #[test]
+    fn disabled_feedback_ignores_messages() {
+        let mut op = filter().without_feedback();
+        let mut ctx = OperatorContext::new();
+        op.on_feedback(
+            0,
+            FeedbackPunctuation::assumed(Pattern::all_wildcards(schema()), "AVERAGE"),
+            &mut ctx,
+        )
+        .unwrap();
+        assert!(ctx.take_feedback().is_empty());
+        op.on_tuple(0, tuple(7, 55.0), &mut ctx).unwrap();
+        assert_eq!(ctx.take_emitted().len(), 1);
+    }
+
+    #[test]
+    fn relay_can_be_disabled_independently() {
+        let mut op = filter().without_relay();
+        let mut ctx = OperatorContext::new();
+        op.on_feedback(
+            0,
+            FeedbackPunctuation::assumed(
+                Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(7)))])
+                    .unwrap(),
+                "AVERAGE",
+            ),
+            &mut ctx,
+        )
+        .unwrap();
+        assert!(ctx.take_feedback().is_empty());
+        op.on_tuple(0, tuple(7, 55.0), &mut ctx).unwrap();
+        assert!(ctx.take_emitted().is_empty(), "still exploited locally");
+    }
+
+    #[test]
+    fn punctuation_flows_through() {
+        let mut op = filter();
+        let mut ctx = OperatorContext::new();
+        op.on_punctuation(
+            0,
+            Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(1)).unwrap(),
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(ctx.take_emitted().len(), 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! SELECT (σ): stateless filtering.
+//!
+//! The paper singles SELECT out as the easiest operator to make feedback
+//! aware: it maintains no internal state, so an assumed punctuation "can
+//! simply be added to its select condition" (Section 4.3).  That is exactly
+//! what this implementation does — incoming assumed patterns become negative
+//! conjuncts of the condition — and because the input and output schemas are
+//! identical, safe propagation is the identity rewrite.
+
+use crate::common::TuplePredicate;
+use dsms_engine::{EngineResult, Operator, OperatorContext};
+use dsms_feedback::{characterize_select, FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, GuardDecision};
+use dsms_types::{SchemaRef, Tuple};
+
+/// A stateless selection with a feedback-extensible condition.
+pub struct Select {
+    name: String,
+    schema: SchemaRef,
+    predicate: TuplePredicate,
+    registry: FeedbackRegistry,
+    relay: bool,
+}
+
+impl Select {
+    /// Creates a selection over `schema` keeping tuples for which `predicate`
+    /// holds.
+    pub fn new(name: impl Into<String>, schema: SchemaRef, predicate: TuplePredicate) -> Self {
+        let name = name.into();
+        Select {
+            registry: FeedbackRegistry::new(name.clone()),
+            name,
+            schema,
+            predicate,
+            relay: true,
+        }
+    }
+
+    /// Disables relaying feedback to the antecedent (exploit locally only).
+    pub fn without_relay(mut self) -> Self {
+        self.relay = false;
+        self
+    }
+
+    /// The stream schema (input and output are identical).
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+}
+
+impl Operator for Select {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> usize {
+        1
+    }
+
+    fn on_tuple(&mut self, _input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+        // Assumed feedback acts as an additional (negated) conjunct.
+        if self.registry.decide(&tuple) == GuardDecision::Suppress {
+            return Ok(());
+        }
+        if self.predicate.eval(&tuple) {
+            ctx.emit(0, tuple);
+        }
+        Ok(())
+    }
+
+    fn on_feedback(
+        &mut self,
+        _output: usize,
+        feedback: FeedbackPunctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        // The characterization confirms the response (guard + propagate); it is
+        // computed so that debug assertions and tests can validate it, and to
+        // mirror how a NiagaraST operator would consult its characterization.
+        let characterization = characterize_select(&self.schema, feedback.pattern())?;
+        debug_assert!(
+            characterization.is_null() || characterization.guards_input(),
+            "select characterization must guard its input"
+        );
+        if feedback.intent() == FeedbackIntent::Assumed && self.relay && !characterization.is_null() {
+            ctx.send_feedback(0, feedback.relay(feedback.pattern().clone(), &self.name));
+            self.registry.stats_mut().relayed.record(feedback.intent());
+        }
+        let _ = self.registry.register(feedback);
+        Ok(())
+    }
+
+    fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
+        Some(self.registry.stats().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_punctuation::{Pattern, PatternItem};
+    use dsms_types::{DataType, Schema, Timestamp, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::shared(&[
+            ("timestamp", DataType::Timestamp),
+            ("segment", DataType::Int),
+            ("speed", DataType::Float),
+        ])
+    }
+
+    fn tuple(seg: i64, speed: f64) -> Tuple {
+        Tuple::new(
+            schema(),
+            vec![Value::Timestamp(Timestamp::EPOCH), Value::Int(seg), Value::Float(speed)],
+        )
+    }
+
+    fn fast_only() -> Select {
+        Select::new(
+            "fast",
+            schema(),
+            TuplePredicate::new("speed >= 45", |t| t.float("speed").unwrap_or(0.0) >= 45.0),
+        )
+    }
+
+    #[test]
+    fn select_filters_by_predicate() {
+        let mut op = fast_only();
+        let mut ctx = OperatorContext::new();
+        op.on_tuple(0, tuple(1, 60.0), &mut ctx).unwrap();
+        op.on_tuple(0, tuple(1, 30.0), &mut ctx).unwrap();
+        assert_eq!(ctx.take_emitted().len(), 1);
+    }
+
+    #[test]
+    fn assumed_feedback_extends_the_condition_and_is_relayed() {
+        let mut op = fast_only();
+        let mut ctx = OperatorContext::new();
+        let fb = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(3)))]).unwrap(),
+            "downstream",
+        );
+        op.on_feedback(0, fb, &mut ctx).unwrap();
+        assert_eq!(ctx.take_feedback().len(), 1, "select relays assumed feedback");
+
+        op.on_tuple(0, tuple(3, 60.0), &mut ctx).unwrap(); // suppressed by feedback
+        op.on_tuple(0, tuple(4, 60.0), &mut ctx).unwrap(); // passes
+        op.on_tuple(0, tuple(4, 10.0), &mut ctx).unwrap(); // fails original predicate
+        let emitted = ctx.take_emitted();
+        assert_eq!(emitted.len(), 1);
+        assert_eq!(op.feedback_stats().unwrap().tuples_suppressed, 1);
+    }
+
+    #[test]
+    fn desired_feedback_is_not_relayed_as_assumed() {
+        let mut op = fast_only();
+        let mut ctx = OperatorContext::new();
+        let fb = FeedbackPunctuation::desired(
+            Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(3)))]).unwrap(),
+            "downstream",
+        );
+        op.on_feedback(0, fb, &mut ctx).unwrap();
+        assert!(ctx.take_feedback().is_empty());
+        // Desired tuples still pass (prioritization does not drop anything).
+        op.on_tuple(0, tuple(3, 60.0), &mut ctx).unwrap();
+        assert_eq!(ctx.take_emitted().len(), 1);
+    }
+
+    #[test]
+    fn relay_can_be_disabled() {
+        let mut op = fast_only().without_relay();
+        let mut ctx = OperatorContext::new();
+        let fb = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(3)))]).unwrap(),
+            "downstream",
+        );
+        op.on_feedback(0, fb, &mut ctx).unwrap();
+        assert!(ctx.take_feedback().is_empty());
+        op.on_tuple(0, tuple(3, 60.0), &mut ctx).unwrap();
+        assert!(ctx.take_emitted().is_empty(), "still exploited locally");
+    }
+}

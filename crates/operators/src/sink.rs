@@ -1,0 +1,251 @@
+//! Sinks: result collection and arrival-time recording.
+//!
+//! [`CollectSink`] gathers result tuples into a shared buffer the test or
+//! experiment harness can read after execution.  [`TimedSink`] additionally
+//! records the wall-clock arrival time of every tuple relative to the start of
+//! the run — the raw data behind Figures 5 and 6 (tuple id vs. output time).
+//! Sinks can also act as *event-driven feedback sources* (e.g. the speed-map
+//! display sending viewport feedback): callers attach a feedback schedule that
+//! the sink emits as it observes the stream advance.
+
+use dsms_engine::{EngineResult, Operator, OperatorContext};
+use dsms_feedback::FeedbackPunctuation;
+use dsms_punctuation::Punctuation;
+use dsms_types::{Timestamp, Tuple};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared handle to a [`CollectSink`]'s results.
+pub type SinkHandle = Arc<Mutex<Vec<Tuple>>>;
+
+/// A sink that collects every arriving tuple.
+pub struct CollectSink {
+    name: String,
+    collected: SinkHandle,
+    punctuations: Arc<Mutex<Vec<Punctuation>>>,
+}
+
+impl CollectSink {
+    /// Creates a sink and returns it with a handle to its result buffer.
+    pub fn new(name: impl Into<String>) -> (Self, SinkHandle) {
+        let collected: SinkHandle = Arc::new(Mutex::new(Vec::new()));
+        (
+            CollectSink {
+                name: name.into(),
+                collected: collected.clone(),
+                punctuations: Arc::new(Mutex::new(Vec::new())),
+            },
+            collected,
+        )
+    }
+
+    /// A handle to the punctuations observed by the sink.
+    pub fn punctuation_handle(&self) -> Arc<Mutex<Vec<Punctuation>>> {
+        self.punctuations.clone()
+    }
+}
+
+impl Operator for CollectSink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> usize {
+        1
+    }
+
+    fn outputs(&self) -> usize {
+        0
+    }
+
+    fn on_tuple(&mut self, _input: usize, tuple: Tuple, _ctx: &mut OperatorContext) -> EngineResult<()> {
+        self.collected.lock().push(tuple);
+        Ok(())
+    }
+
+    fn on_punctuation(
+        &mut self,
+        _input: usize,
+        punctuation: Punctuation,
+        _ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        self.punctuations.lock().push(punctuation);
+        Ok(())
+    }
+}
+
+/// One recorded arrival at a [`TimedSink`].
+#[derive(Debug, Clone)]
+pub struct TimedArrival {
+    /// The tuple that arrived.
+    pub tuple: Tuple,
+    /// Wall-clock delay between sink construction and arrival.
+    pub arrival: Duration,
+}
+
+/// Shared handle to a [`TimedSink`]'s recorded arrivals.
+pub type TimedSinkHandle = Arc<Mutex<Vec<TimedArrival>>>;
+
+/// A scheduled piece of feedback: once the sink has seen `after_tuples`
+/// arrivals, it sends `feedback` upstream (used to script event-driven
+/// feedback such as viewport changes in tests and experiments).
+pub struct ScheduledFeedback {
+    /// Number of arrivals after which the feedback fires.
+    pub after_tuples: u64,
+    /// The feedback to send.
+    pub feedback: FeedbackPunctuation,
+}
+
+/// A sink recording arrival times, optionally emitting scheduled feedback.
+pub struct TimedSink {
+    name: String,
+    started: Instant,
+    arrivals: TimedSinkHandle,
+    seen: u64,
+    schedule: Vec<ScheduledFeedback>,
+    watermark_attribute: Option<String>,
+    high_watermark: Option<Timestamp>,
+}
+
+impl TimedSink {
+    /// Creates a timed sink and returns it with a handle to its arrivals.
+    pub fn new(name: impl Into<String>) -> (Self, TimedSinkHandle) {
+        let arrivals: TimedSinkHandle = Arc::new(Mutex::new(Vec::new()));
+        (
+            TimedSink {
+                name: name.into(),
+                started: Instant::now(),
+                arrivals: arrivals.clone(),
+                seen: 0,
+                schedule: Vec::new(),
+                watermark_attribute: None,
+                high_watermark: None,
+            },
+            arrivals,
+        )
+    }
+
+    /// Attaches a scheduled feedback message (fires after the given number of
+    /// arrivals; multiple messages may be scheduled).
+    pub fn with_scheduled_feedback(mut self, after_tuples: u64, feedback: FeedbackPunctuation) -> Self {
+        self.schedule.push(ScheduledFeedback { after_tuples, feedback });
+        self.schedule.sort_by_key(|s| s.after_tuples);
+        self
+    }
+
+    /// Tracks the high-watermark of the named timestamp attribute across
+    /// arrivals (useful for lateness accounting in experiments).
+    pub fn with_watermark(mut self, attribute: impl Into<String>) -> Self {
+        self.watermark_attribute = Some(attribute.into());
+        self
+    }
+
+    /// The highest timestamp observed, if watermark tracking is enabled.
+    pub fn high_watermark(&self) -> Option<Timestamp> {
+        self.high_watermark
+    }
+}
+
+impl Operator for TimedSink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> usize {
+        1
+    }
+
+    fn outputs(&self) -> usize {
+        0
+    }
+
+    fn on_tuple(&mut self, _input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+        if let Some(attr) = &self.watermark_attribute {
+            if let Ok(ts) = tuple.timestamp(attr) {
+                self.high_watermark =
+                    Some(self.high_watermark.map(|w| w.max(ts)).unwrap_or(ts));
+            }
+        }
+        self.arrivals
+            .lock()
+            .push(TimedArrival { tuple, arrival: self.started.elapsed() });
+        self.seen += 1;
+        while let Some(next) = self.schedule.first() {
+            if self.seen >= next.after_tuples {
+                let scheduled = self.schedule.remove(0);
+                ctx.send_feedback(0, scheduled.feedback);
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_punctuation::{Pattern, PatternItem};
+    use dsms_types::{DataType, Schema, SchemaRef, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::shared(&[("timestamp", DataType::Timestamp), ("v", DataType::Int)])
+    }
+
+    fn tuple(ts: i64, v: i64) -> Tuple {
+        Tuple::new(schema(), vec![Value::Timestamp(Timestamp::from_secs(ts)), Value::Int(v)])
+    }
+
+    #[test]
+    fn collect_sink_gathers_tuples_and_punctuation() {
+        let (mut sink, handle) = CollectSink::new("out");
+        let puncts = sink.punctuation_handle();
+        let mut ctx = OperatorContext::new();
+        sink.on_tuple(0, tuple(1, 10), &mut ctx).unwrap();
+        sink.on_tuple(0, tuple(2, 20), &mut ctx).unwrap();
+        sink.on_punctuation(
+            0,
+            Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(2)).unwrap(),
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(handle.lock().len(), 2);
+        assert_eq!(puncts.lock().len(), 1);
+        assert_eq!(sink.outputs(), 0);
+    }
+
+    #[test]
+    fn timed_sink_records_monotone_arrival_times() {
+        let (mut sink, handle) = TimedSink::new("timed");
+        let mut ctx = OperatorContext::new();
+        for i in 0..5 {
+            sink.on_tuple(0, tuple(i, i), &mut ctx).unwrap();
+        }
+        let arrivals = handle.lock();
+        assert_eq!(arrivals.len(), 5);
+        for w in arrivals.windows(2) {
+            assert!(w[1].arrival >= w[0].arrival);
+        }
+    }
+
+    #[test]
+    fn timed_sink_tracks_watermark_and_fires_scheduled_feedback() {
+        let feedback = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(schema(), &[("v", PatternItem::Ge(Value::Int(100)))]).unwrap(),
+            "display",
+        );
+        let (sink, _handle) = TimedSink::new("timed");
+        let mut sink = sink.with_watermark("timestamp").with_scheduled_feedback(3, feedback);
+        let mut ctx = OperatorContext::new();
+        for i in 0..2 {
+            sink.on_tuple(0, tuple(i, i), &mut ctx).unwrap();
+        }
+        assert!(ctx.take_feedback().is_empty(), "not yet");
+        sink.on_tuple(0, tuple(10, 2), &mut ctx).unwrap();
+        let fired = ctx.take_feedback();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].0, 0);
+        assert_eq!(sink.high_watermark(), Some(Timestamp::from_secs(10)));
+    }
+}

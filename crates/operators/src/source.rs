@@ -1,0 +1,384 @@
+//! Stream sources.
+//!
+//! Sources adapt finite, pre-generated workloads (from `dsms-workloads`) or
+//! arbitrary iterators into the engine's pull-stepped source protocol.  They
+//! inject embedded progress punctuation on a timestamp attribute at a
+//! configurable period, mirroring how NiagaraST's stream scans punctuate on
+//! application time, and they are feedback-aware: assumed feedback received
+//! from downstream suppresses matching tuples *at the source*, the cheapest
+//! possible exploitation.
+
+use dsms_engine::{EngineResult, Operator, OperatorContext, SourceState};
+use dsms_feedback::{FeedbackPunctuation, FeedbackRegistry, GuardDecision};
+use dsms_punctuation::Punctuation;
+use dsms_types::{StreamDuration, Timestamp, Tuple};
+
+/// A source that replays a pre-materialized vector of tuples in order,
+/// punctuating progress on a timestamp attribute.
+pub struct VecSource {
+    name: String,
+    tuples: std::vec::IntoIter<Tuple>,
+    timestamp_attribute: Option<String>,
+    punctuation_period: StreamDuration,
+    last_punctuated: Option<Timestamp>,
+    batch_size: usize,
+    registry: FeedbackRegistry,
+    exhausted: bool,
+}
+
+impl VecSource {
+    /// Creates a source named `name` replaying `tuples`.
+    pub fn new(name: impl Into<String>, tuples: Vec<Tuple>) -> Self {
+        let name = name.into();
+        VecSource {
+            registry: FeedbackRegistry::new(name.clone()),
+            name,
+            tuples: tuples.into_iter(),
+            timestamp_attribute: None,
+            punctuation_period: StreamDuration::from_secs(60),
+            last_punctuated: None,
+            batch_size: 64,
+            exhausted: false,
+        }
+    }
+
+    /// Enables progress punctuation on `attribute` every `period` of stream
+    /// time.  Tuples are assumed to be timestamp-ordered on that attribute
+    /// (the punctuation asserts completeness of everything at or before the
+    /// previous period boundary).
+    pub fn with_punctuation(mut self, attribute: impl Into<String>, period: StreamDuration) -> Self {
+        self.timestamp_attribute = Some(attribute.into());
+        self.punctuation_period = period;
+        self
+    }
+
+    /// Sets how many tuples are emitted per `poll_source` call.
+    pub fn with_batch_size(mut self, batch: usize) -> Self {
+        self.batch_size = batch.max(1);
+        self
+    }
+
+    fn maybe_punctuate(&mut self, tuple: &Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+        let Some(attr) = &self.timestamp_attribute else {
+            return Ok(());
+        };
+        let ts = tuple.timestamp(attr)?;
+        let boundary = ts.align_down(self.punctuation_period);
+        let due = match self.last_punctuated {
+            None => true,
+            Some(prev) => boundary > prev,
+        };
+        if due && boundary > Timestamp::MIN {
+            // Everything strictly before the boundary is complete.
+            let watermark = boundary - StreamDuration::from_millis(1);
+            if watermark >= Timestamp::EPOCH || self.last_punctuated.is_none() {
+                let p = Punctuation::progress(tuple.schema().clone(), attr, watermark)?;
+                ctx.emit_punctuation(0, p);
+                self.last_punctuated = Some(boundary);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Operator for VecSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> usize {
+        0
+    }
+
+    fn on_tuple(&mut self, _input: usize, _tuple: Tuple, _ctx: &mut OperatorContext) -> EngineResult<()> {
+        Ok(())
+    }
+
+    fn on_feedback(
+        &mut self,
+        _output: usize,
+        feedback: FeedbackPunctuation,
+        _ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        // Lenient registration: the source does not know the downstream
+        // punctuation scheme; guards naturally stop mattering once the stream
+        // moves past them.
+        let _ = self.registry.register(feedback);
+        Ok(())
+    }
+
+    fn poll_source(&mut self, ctx: &mut OperatorContext) -> EngineResult<SourceState> {
+        if self.exhausted {
+            return Ok(SourceState::Exhausted);
+        }
+        for _ in 0..self.batch_size {
+            match self.tuples.next() {
+                Some(tuple) => {
+                    self.maybe_punctuate(&tuple, ctx)?;
+                    if self.registry.decide(&tuple) == GuardDecision::Suppress {
+                        continue;
+                    }
+                    ctx.emit(0, tuple);
+                }
+                None => {
+                    self.exhausted = true;
+                    return Ok(SourceState::Exhausted);
+                }
+            }
+        }
+        Ok(SourceState::Producing)
+    }
+
+    fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
+        Some(self.registry.stats().clone())
+    }
+}
+
+/// A source driven by an arbitrary iterator of [`Tuple`]s (possibly lazily
+/// generated), with the same punctuation and feedback behaviour as
+/// [`VecSource`], plus optional *real-time pacing*: with a pacing factor set,
+/// the source releases tuples so that stream time advances at
+/// `speedup × wall-clock time`, which is how live sources behave and what the
+/// divergence dynamics of Experiment 1 depend on.
+pub struct GeneratorSource {
+    name: String,
+    generator: Box<dyn Iterator<Item = Tuple> + Send>,
+    timestamp_attribute: Option<String>,
+    punctuation_period: StreamDuration,
+    last_punctuated: Option<Timestamp>,
+    batch_size: usize,
+    registry: FeedbackRegistry,
+    exhausted: bool,
+    /// Stream seconds per wall-clock second (None = replay as fast as possible).
+    pacing_speedup: Option<f64>,
+    pacing_origin: Option<(std::time::Instant, Timestamp)>,
+    pending: Option<Tuple>,
+}
+
+impl GeneratorSource {
+    /// Creates a source pulling tuples from the iterator.
+    pub fn new(
+        name: impl Into<String>,
+        generator: impl Iterator<Item = Tuple> + Send + 'static,
+    ) -> Self {
+        let name = name.into();
+        GeneratorSource {
+            registry: FeedbackRegistry::new(name.clone()),
+            name,
+            generator: Box::new(generator),
+            timestamp_attribute: None,
+            punctuation_period: StreamDuration::from_secs(60),
+            last_punctuated: None,
+            batch_size: 64,
+            exhausted: false,
+            pacing_speedup: None,
+            pacing_origin: None,
+            pending: None,
+        }
+    }
+
+    /// Enables progress punctuation on `attribute` every `period`.
+    pub fn with_punctuation(mut self, attribute: impl Into<String>, period: StreamDuration) -> Self {
+        self.timestamp_attribute = Some(attribute.into());
+        self.punctuation_period = period;
+        self
+    }
+
+    /// Sets how many tuples are emitted per `poll_source` call.
+    pub fn with_batch_size(mut self, batch: usize) -> Self {
+        self.batch_size = batch.max(1);
+        self
+    }
+
+    /// Enables real-time pacing: stream time advances at `speedup` stream
+    /// seconds per wall-clock second (requires punctuation/pacing to know the
+    /// timestamp attribute via [`with_punctuation`](Self::with_punctuation)).
+    pub fn with_pacing(mut self, speedup: f64) -> Self {
+        self.pacing_speedup = Some(speedup.max(f64::MIN_POSITIVE));
+        self
+    }
+
+    /// Returns how long the release of a tuple timestamped `ts` should still
+    /// be delayed under the pacing policy.
+    fn pacing_delay(&mut self, ts: Timestamp) -> Option<std::time::Duration> {
+        let speedup = self.pacing_speedup?;
+        let (origin_wall, origin_ts) =
+            *self.pacing_origin.get_or_insert_with(|| (std::time::Instant::now(), ts));
+        let stream_elapsed_ms = (ts - origin_ts).as_millis().max(0) as f64;
+        let target = origin_wall + std::time::Duration::from_secs_f64(stream_elapsed_ms / 1_000.0 / speedup);
+        let now = std::time::Instant::now();
+        if now < target {
+            Some(target - now)
+        } else {
+            None
+        }
+    }
+}
+
+impl Operator for GeneratorSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> usize {
+        0
+    }
+
+    fn on_tuple(&mut self, _input: usize, _tuple: Tuple, _ctx: &mut OperatorContext) -> EngineResult<()> {
+        Ok(())
+    }
+
+    fn on_feedback(
+        &mut self,
+        _output: usize,
+        feedback: FeedbackPunctuation,
+        _ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        let _ = self.registry.register(feedback);
+        Ok(())
+    }
+
+    fn poll_source(&mut self, ctx: &mut OperatorContext) -> EngineResult<SourceState> {
+        if self.exhausted {
+            return Ok(SourceState::Exhausted);
+        }
+        for _ in 0..self.batch_size {
+            match self.pending.take().or_else(|| self.generator.next()) {
+                Some(tuple) => {
+                    if let Some(attr) = self.timestamp_attribute.clone() {
+                        let ts = tuple.timestamp(&attr)?;
+                        if let Some(delay) = self.pacing_delay(ts) {
+                            // Not yet due: hold the tuple, yield briefly so the
+                            // executor keeps servicing control messages, and
+                            // retry on the next poll.
+                            self.pending = Some(tuple);
+                            std::thread::sleep(delay.min(std::time::Duration::from_millis(1)));
+                            return Ok(SourceState::Producing);
+                        }
+                        let boundary = ts.align_down(self.punctuation_period);
+                        let due = match self.last_punctuated {
+                            None => true,
+                            Some(prev) => boundary > prev,
+                        };
+                        if due {
+                            let watermark = boundary - StreamDuration::from_millis(1);
+                            let p = Punctuation::progress(tuple.schema().clone(), &attr, watermark)?;
+                            ctx.emit_punctuation(0, p);
+                            self.last_punctuated = Some(boundary);
+                        }
+                    }
+                    if self.registry.decide(&tuple) == GuardDecision::Suppress {
+                        continue;
+                    }
+                    ctx.emit(0, tuple);
+                }
+                None => {
+                    self.exhausted = true;
+                    return Ok(SourceState::Exhausted);
+                }
+            }
+        }
+        Ok(SourceState::Producing)
+    }
+
+    fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
+        Some(self.registry.stats().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_punctuation::{Pattern, PatternItem};
+    use dsms_types::{DataType, Schema, SchemaRef, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::shared(&[("timestamp", DataType::Timestamp), ("segment", DataType::Int)])
+    }
+
+    fn tuple(ts_secs: i64, seg: i64) -> Tuple {
+        Tuple::new(
+            schema(),
+            vec![Value::Timestamp(Timestamp::from_secs(ts_secs)), Value::Int(seg)],
+        )
+    }
+
+    fn drain(source: &mut dyn Operator) -> (Vec<Tuple>, usize) {
+        let mut ctx = OperatorContext::new();
+        let mut tuples = Vec::new();
+        let mut punctuations = 0;
+        loop {
+            let state = source.poll_source(&mut ctx).unwrap();
+            for (_, item) in ctx.take_emitted() {
+                match item {
+                    dsms_engine::StreamItem::Tuple(t) => tuples.push(t),
+                    dsms_engine::StreamItem::Punctuation(_) => punctuations += 1,
+                }
+            }
+            if state == SourceState::Exhausted {
+                break;
+            }
+        }
+        (tuples, punctuations)
+    }
+
+    #[test]
+    fn vec_source_replays_everything_in_order() {
+        let data: Vec<Tuple> = (0..100).map(|i| tuple(i, i % 9)).collect();
+        let mut src = VecSource::new("sensors", data.clone()).with_batch_size(7);
+        let (tuples, _) = drain(&mut src);
+        assert_eq!(tuples, data);
+    }
+
+    #[test]
+    fn vec_source_punctuates_on_period_boundaries() {
+        let data: Vec<Tuple> = (0..240).map(|i| tuple(i, 0)).collect(); // 4 minutes of seconds
+        let mut src = VecSource::new("sensors", data)
+            .with_punctuation("timestamp", StreamDuration::from_secs(60))
+            .with_batch_size(10);
+        let (tuples, punctuations) = drain(&mut src);
+        assert_eq!(tuples.len(), 240);
+        assert!(punctuations >= 3, "one punctuation per minute boundary (got {punctuations})");
+    }
+
+    #[test]
+    fn assumed_feedback_suppresses_matching_tuples_at_the_source() {
+        let data: Vec<Tuple> = (0..100).map(|i| tuple(i, i % 9)).collect();
+        let mut src = VecSource::new("sensors", data);
+        let mut ctx = OperatorContext::new();
+        // Downstream assumes away segment 3 before the replay starts.
+        src.on_feedback(
+            0,
+            FeedbackPunctuation::assumed(
+                Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(3)))])
+                    .unwrap(),
+                "sink",
+            ),
+            &mut ctx,
+        )
+        .unwrap();
+        let (tuples, _) = drain(&mut src);
+        assert!(tuples.iter().all(|t| t.int("segment").unwrap() != 3));
+        assert_eq!(tuples.len(), 100 - 11, "segments 0..9 cycle over 100 tuples; 11 fall on segment 3");
+        assert_eq!(src.feedback_stats().unwrap().tuples_suppressed, 11);
+    }
+
+    #[test]
+    fn generator_source_is_equivalent_to_vec_source() {
+        let data: Vec<Tuple> = (0..50).map(|i| tuple(i, i)).collect();
+        let mut gen_src = GeneratorSource::new("gen", data.clone().into_iter())
+            .with_punctuation("timestamp", StreamDuration::from_secs(10))
+            .with_batch_size(3);
+        let (tuples, punctuations) = drain(&mut gen_src);
+        assert_eq!(tuples, data);
+        assert!(punctuations > 0);
+    }
+
+    #[test]
+    fn exhausted_source_stays_exhausted() {
+        let mut src = VecSource::new("s", vec![tuple(0, 0)]);
+        let mut ctx = OperatorContext::new();
+        while src.poll_source(&mut ctx).unwrap() != SourceState::Exhausted {}
+        assert_eq!(src.poll_source(&mut ctx).unwrap(), SourceState::Exhausted);
+    }
+}

@@ -1,0 +1,214 @@
+//! SPLIT: content-based routing into two disjoint streams.
+//!
+//! The imputation plan (paper Example 3 / Figure 4a) filters the input into
+//! two disjoint streams — tuples that need imputation (σC) and tuples that are
+//! already clean (σ¬C).  `Split` implements that pair of filters as a single
+//! two-output operator: output 0 receives tuples satisfying the condition,
+//! output 1 the rest.  Punctuation is forwarded to *both* outputs, since a
+//! subset declared complete in the input is complete in each routed stream.
+
+use crate::common::TuplePredicate;
+use dsms_engine::{EngineResult, Operator, OperatorContext};
+use dsms_feedback::{FeedbackIntent, FeedbackPunctuation, FeedbackRegistry};
+use dsms_punctuation::{Pattern, Punctuation};
+use dsms_types::{SchemaRef, Tuple};
+
+/// Routes tuples matching a condition to output 0 and the rest to output 1.
+pub struct Split {
+    name: String,
+    schema: SchemaRef,
+    condition: TuplePredicate,
+    /// Assumed patterns received per output; a tuple routed to an output whose
+    /// feedback describes it can be dropped (the consumer has assumed it away),
+    /// which is stronger than DUPLICATE because the outputs are disjoint.
+    assumed_per_output: Vec<Vec<Pattern>>,
+    registry: FeedbackRegistry,
+}
+
+impl Split {
+    /// Creates a split over `schema` with the given routing condition.
+    pub fn new(name: impl Into<String>, schema: SchemaRef, condition: TuplePredicate) -> Self {
+        let name = name.into();
+        Split {
+            registry: FeedbackRegistry::new(name.clone()),
+            name,
+            schema,
+            condition,
+            assumed_per_output: vec![Vec::new(), Vec::new()],
+        }
+    }
+
+    /// The stream schema (identical on the input and both outputs).
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    fn suppressed(&self, output: usize, tuple: &Tuple) -> bool {
+        self.assumed_per_output[output].iter().any(|p| p.matches(tuple))
+    }
+}
+
+impl Operator for Split {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> usize {
+        1
+    }
+
+    fn outputs(&self) -> usize {
+        2
+    }
+
+    fn on_tuple(&mut self, _input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+        let output = if self.condition.eval(&tuple) { 0 } else { 1 };
+        if self.suppressed(output, &tuple) {
+            self.registry.stats_mut().tuples_suppressed += 1;
+            return Ok(());
+        }
+        ctx.emit(output, tuple);
+        Ok(())
+    }
+
+    fn on_punctuation(
+        &mut self,
+        _input: usize,
+        punctuation: Punctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        ctx.emit_punctuation(0, punctuation.clone());
+        ctx.emit_punctuation(1, punctuation);
+        Ok(())
+    }
+
+    fn on_feedback(
+        &mut self,
+        output: usize,
+        feedback: FeedbackPunctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        self.registry.stats_mut().received.record(feedback.intent());
+        if feedback.intent() != FeedbackIntent::Assumed {
+            return Ok(());
+        }
+        if let Some(patterns) = self.assumed_per_output.get_mut(output) {
+            patterns.push(feedback.pattern().clone());
+        }
+        // Unlike DUPLICATE, the split's outputs partition the input, so the
+        // subset assumed away by one output is only producible on that output;
+        // exploitation (dropping it before routing) is correct immediately.
+        // Propagation upstream, however, is only safe when *both* outputs have
+        // assumed it away — otherwise the antecedent would also stop producing
+        // the other output's copy... which does not exist.  It is therefore
+        // safe to propagate the *conjunction* of the feedback with the routing
+        // condition; we conservatively propagate only when both outputs have
+        // assumed the same subset (mirroring DUPLICATE) to avoid encoding the
+        // routing predicate as a pattern.
+        let on_both = self
+            .assumed_per_output
+            .iter()
+            .all(|patterns| patterns.iter().any(|p| p.subsumes(feedback.pattern())));
+        if on_both {
+            ctx.send_feedback(0, feedback.relay(feedback.pattern().clone(), &self.name));
+            self.registry.stats_mut().relayed.record(feedback.intent());
+        }
+        Ok(())
+    }
+
+    fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
+        Some(self.registry.stats().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_punctuation::PatternItem;
+    use dsms_types::{DataType, Schema, Timestamp, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::shared(&[("timestamp", DataType::Timestamp), ("speed", DataType::Float)])
+    }
+
+    fn dirty_tuple(ts: i64) -> Tuple {
+        Tuple::new(schema(), vec![Value::Timestamp(Timestamp::from_secs(ts)), Value::Null])
+    }
+
+    fn clean_tuple(ts: i64, speed: f64) -> Tuple {
+        Tuple::new(schema(), vec![Value::Timestamp(Timestamp::from_secs(ts)), Value::Float(speed)])
+    }
+
+    fn needs_imputation() -> Split {
+        Split::new(
+            "split",
+            schema(),
+            TuplePredicate::new("speed is null", |t| t.has_null()),
+        )
+    }
+
+    #[test]
+    fn split_routes_by_condition() {
+        let mut op = needs_imputation();
+        let mut ctx = OperatorContext::new();
+        op.on_tuple(0, dirty_tuple(1), &mut ctx).unwrap();
+        op.on_tuple(0, clean_tuple(2, 55.0), &mut ctx).unwrap();
+        let emitted = ctx.take_emitted();
+        assert_eq!(emitted.len(), 2);
+        assert_eq!(emitted[0].0, 0, "dirty tuple routed to the imputation path");
+        assert_eq!(emitted[1].0, 1, "clean tuple routed to the clean path");
+    }
+
+    #[test]
+    fn punctuation_goes_to_both_outputs() {
+        let mut op = needs_imputation();
+        let mut ctx = OperatorContext::new();
+        op.on_punctuation(
+            0,
+            Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(1)).unwrap(),
+            &mut ctx,
+        )
+        .unwrap();
+        let emitted = ctx.take_emitted();
+        assert_eq!(emitted.len(), 2);
+        assert_ne!(emitted[0].0, emitted[1].0);
+    }
+
+    #[test]
+    fn feedback_from_one_output_suppresses_only_that_route() {
+        let mut op = needs_imputation();
+        let mut ctx = OperatorContext::new();
+        // The imputation path (output 0) assumes away everything before t=100.
+        let fb = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(
+                schema(),
+                &[("timestamp", PatternItem::Lt(Value::Timestamp(Timestamp::from_secs(100))))],
+            )
+            .unwrap(),
+            "IMPUTE",
+        );
+        op.on_feedback(0, fb, &mut ctx).unwrap();
+        assert!(ctx.take_feedback().is_empty(), "only one output has assumed the subset");
+
+        op.on_tuple(0, dirty_tuple(50), &mut ctx).unwrap(); // suppressed (imputation path)
+        op.on_tuple(0, clean_tuple(50, 60.0), &mut ctx).unwrap(); // clean path unaffected
+        let emitted = ctx.take_emitted();
+        assert_eq!(emitted.len(), 1);
+        assert_eq!(emitted[0].0, 1);
+        assert_eq!(op.feedback_stats().unwrap().tuples_suppressed, 1);
+    }
+
+    #[test]
+    fn feedback_from_both_outputs_is_relayed() {
+        let mut op = needs_imputation();
+        let mut ctx = OperatorContext::new();
+        let pattern = Pattern::for_attributes(
+            schema(),
+            &[("timestamp", PatternItem::Lt(Value::Timestamp(Timestamp::from_secs(100))))],
+        )
+        .unwrap();
+        op.on_feedback(0, FeedbackPunctuation::assumed(pattern.clone(), "IMPUTE"), &mut ctx).unwrap();
+        op.on_feedback(1, FeedbackPunctuation::assumed(pattern, "PACE"), &mut ctx).unwrap();
+        assert_eq!(ctx.take_feedback().len(), 1);
+    }
+}

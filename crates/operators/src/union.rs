@@ -1,0 +1,228 @@
+//! UNION: merge several streams of the same schema.
+//!
+//! Plain UNION interleaves its inputs in arrival order.  Its punctuation
+//! handling follows the classic rule: a subset of the *output* is complete
+//! only once **every** input has declared it complete, so UNION holds the
+//! per-input progress watermarks and emits the minimum.  Feedback received
+//! from downstream applies to all inputs equally and is relayed to each.
+
+use dsms_engine::{EngineResult, Operator, OperatorContext};
+use dsms_feedback::{FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, GuardDecision};
+use dsms_punctuation::Punctuation;
+use dsms_types::{SchemaRef, Timestamp, Tuple};
+
+/// Merges `inputs` streams of identical schema into one.
+pub struct Union {
+    name: String,
+    schema: SchemaRef,
+    inputs: usize,
+    /// The attribute progress punctuation is tracked on (if any).
+    progress_attribute: Option<String>,
+    /// Per-input progress watermark.
+    watermarks: Vec<Option<Timestamp>>,
+    /// Last combined watermark already emitted downstream.
+    emitted_watermark: Option<Timestamp>,
+    registry: FeedbackRegistry,
+}
+
+impl Union {
+    /// Creates a union over `inputs` streams of the given schema.
+    pub fn new(name: impl Into<String>, schema: SchemaRef, inputs: usize) -> Self {
+        let name = name.into();
+        Union {
+            registry: FeedbackRegistry::new(name.clone()),
+            name,
+            schema,
+            inputs: inputs.max(2),
+            progress_attribute: None,
+            watermarks: vec![None; inputs.max(2)],
+            emitted_watermark: None,
+        }
+    }
+
+    /// Enables combined progress-punctuation handling on the named timestamp
+    /// attribute: the union emits progress punctuation at the minimum of its
+    /// inputs' watermarks.
+    pub fn with_progress_on(mut self, attribute: impl Into<String>) -> Self {
+        self.progress_attribute = Some(attribute.into());
+        self
+    }
+
+    /// The stream schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    fn combined_watermark(&self) -> Option<Timestamp> {
+        let mut min: Option<Timestamp> = None;
+        for w in &self.watermarks {
+            match w {
+                None => return None, // some input has not punctuated yet
+                Some(ts) => {
+                    min = Some(match min {
+                        None => *ts,
+                        Some(cur) => cur.min(*ts),
+                    })
+                }
+            }
+        }
+        min
+    }
+}
+
+impl Operator for Union {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    fn on_tuple(&mut self, _input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+        if self.registry.decide(&tuple) == GuardDecision::Suppress {
+            return Ok(());
+        }
+        ctx.emit(0, tuple);
+        Ok(())
+    }
+
+    fn on_punctuation(
+        &mut self,
+        input: usize,
+        punctuation: Punctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        let Some(attr) = &self.progress_attribute else {
+            // Without progress tracking, forwarding a per-input punctuation
+            // would be incorrect (the other inputs may still produce matching
+            // tuples), so punctuation is absorbed.
+            return Ok(());
+        };
+        if let Some(w) = punctuation.watermark_for(attr) {
+            let slot = &mut self.watermarks[input.min(self.inputs - 1)];
+            *slot = Some(slot.map(|cur| cur.max(w)).unwrap_or(w));
+            if let Some(combined) = self.combined_watermark() {
+                let should_emit = match self.emitted_watermark {
+                    None => true,
+                    Some(prev) => combined > prev,
+                };
+                if should_emit {
+                    self.emitted_watermark = Some(combined);
+                    ctx.emit_punctuation(
+                        0,
+                        Punctuation::progress(self.schema.clone(), attr, combined)?,
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn on_feedback(
+        &mut self,
+        _output: usize,
+        feedback: FeedbackPunctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        // The union's output is the disjoint-ish merge of its inputs; a subset
+        // assumed away downstream can be assumed away on every input, so the
+        // feedback is relayed to each input unchanged (schemas are identical).
+        if feedback.intent() == FeedbackIntent::Assumed {
+            for input in 0..self.inputs {
+                ctx.send_feedback(input, feedback.relay(feedback.pattern().clone(), &self.name));
+                self.registry.stats_mut().relayed.record(feedback.intent());
+            }
+        }
+        let _ = self.registry.register(feedback);
+        Ok(())
+    }
+
+    fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
+        Some(self.registry.stats().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_engine::StreamItem;
+    use dsms_punctuation::{Pattern, PatternItem};
+    use dsms_types::{DataType, Schema, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::shared(&[("timestamp", DataType::Timestamp), ("v", DataType::Int)])
+    }
+
+    fn tuple(ts: i64, v: i64) -> Tuple {
+        Tuple::new(schema(), vec![Value::Timestamp(Timestamp::from_secs(ts)), Value::Int(v)])
+    }
+
+    fn progress(ts: i64) -> Punctuation {
+        Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(ts)).unwrap()
+    }
+
+    #[test]
+    fn union_interleaves_inputs() {
+        let mut op = Union::new("union", schema(), 2);
+        let mut ctx = OperatorContext::new();
+        op.on_tuple(0, tuple(1, 10), &mut ctx).unwrap();
+        op.on_tuple(1, tuple(2, 20), &mut ctx).unwrap();
+        assert_eq!(ctx.take_emitted().len(), 2);
+    }
+
+    #[test]
+    fn progress_punctuation_is_the_minimum_across_inputs() {
+        let mut op = Union::new("union", schema(), 2).with_progress_on("timestamp");
+        let mut ctx = OperatorContext::new();
+        op.on_punctuation(0, progress(100), &mut ctx).unwrap();
+        assert!(ctx.take_emitted().is_empty(), "second input has not punctuated");
+        op.on_punctuation(1, progress(60), &mut ctx).unwrap();
+        let emitted = ctx.take_emitted();
+        assert_eq!(emitted.len(), 1);
+        match &emitted[0].1 {
+            StreamItem::Punctuation(p) => {
+                assert_eq!(p.watermark_for("timestamp"), Some(Timestamp::from_secs(60)))
+            }
+            other => panic!("expected punctuation, got {other:?}"),
+        }
+        // Advancing the slower input emits the new minimum exactly once.
+        op.on_punctuation(1, progress(90), &mut ctx).unwrap();
+        op.on_punctuation(1, progress(80), &mut ctx).unwrap(); // regression ignored
+        let emitted = ctx.take_emitted();
+        assert_eq!(emitted.len(), 1);
+        match &emitted[0].1 {
+            StreamItem::Punctuation(p) => {
+                assert_eq!(p.watermark_for("timestamp"), Some(Timestamp::from_secs(90)))
+            }
+            other => panic!("expected punctuation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn punctuation_is_absorbed_without_progress_tracking() {
+        let mut op = Union::new("union", schema(), 2);
+        let mut ctx = OperatorContext::new();
+        op.on_punctuation(0, progress(100), &mut ctx).unwrap();
+        assert!(ctx.take_emitted().is_empty());
+    }
+
+    #[test]
+    fn assumed_feedback_is_relayed_to_every_input_and_exploited() {
+        let mut op = Union::new("union", schema(), 3);
+        let mut ctx = OperatorContext::new();
+        let fb = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(schema(), &[("v", PatternItem::Ge(Value::Int(100)))]).unwrap(),
+            "sink",
+        );
+        op.on_feedback(0, fb, &mut ctx).unwrap();
+        let relayed = ctx.take_feedback();
+        assert_eq!(relayed.len(), 3);
+        let ports: Vec<usize> = relayed.iter().map(|(p, _)| *p).collect();
+        assert_eq!(ports, vec![0, 1, 2]);
+
+        op.on_tuple(0, tuple(1, 150), &mut ctx).unwrap(); // suppressed
+        op.on_tuple(1, tuple(1, 50), &mut ctx).unwrap(); // passes
+        assert_eq!(ctx.take_emitted().len(), 1);
+    }
+}

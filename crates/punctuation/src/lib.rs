@@ -1,0 +1,39 @@
+//! # dsms-punctuation
+//!
+//! Embedded punctuation, pattern algebra, punctuation schemes and
+//! stream-progress tracking.
+//!
+//! Punctuation (Tucker et al.) is the substrate the paper's feedback
+//! mechanism is built on: a punctuation is a tuple-shaped *pattern* that
+//! asserts "no further tuples matching this pattern will appear in the
+//! stream".  The out-of-order-processing (OOP) architecture of NiagaraST uses
+//! punctuation on timestamp attributes to communicate stream progress, unblock
+//! windowed aggregates and purge operator state.
+//!
+//! This crate provides:
+//!
+//! * [`PatternItem`] and [`Pattern`] — per-attribute match specifications
+//!   (wildcard, equality, ranges, sets) and whole-tuple patterns.
+//! * [`Punctuation`] — an *embedded* punctuation: a pattern that flows with
+//!   the data stream and describes a completed subset.
+//! * [`scheme::PunctuationScheme`] — which attributes of a stream are
+//!   *delimited* (covered by embedded punctuation), which bounds the feedback
+//!   that is *supportable* without unbounded state (paper Section 4.4).
+//! * [`progress::ProgressTracker`] — per-attribute high-watermarks derived
+//!   from embedded punctuation, used by PACE and by feedback expiration.
+//!
+//! Feedback punctuation itself (assumed `¬`, desired `?`, demanded `!`) lives
+//! in the `dsms-feedback` crate and reuses [`Pattern`] for its predicates.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pattern;
+pub mod progress;
+pub mod punctuation;
+pub mod scheme;
+
+pub use pattern::{Pattern, PatternItem};
+pub use progress::ProgressTracker;
+pub use punctuation::Punctuation;
+pub use scheme::PunctuationScheme;

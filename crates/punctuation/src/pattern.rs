@@ -1,0 +1,504 @@
+//! Per-attribute and whole-tuple match patterns.
+//!
+//! A punctuation (embedded or feedback) describes a *set of tuples* by giving
+//! one [`PatternItem`] per attribute of the stream schema.  The paper writes
+//! these as e.g. `[*, *, ≤'2008-12-08 9:00 AM']` — a wildcard on the first two
+//! attributes and an upper bound on the third.  Feedback punctuation reuses
+//! the same pattern language but typically punctuates a wider variety of
+//! attributes (e.g. `[*, ≥50]` for "all tuples whose value is at least 50").
+
+use dsms_types::{SchemaRef, Tuple, TypeError, TypeResult, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The match specification for a single attribute of a pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternItem {
+    /// `*` — matches any value.
+    Wildcard,
+    /// `= v` — matches exactly `v`.
+    Eq(Value),
+    /// `< v` — matches values strictly below `v`.
+    Lt(Value),
+    /// `≤ v` — matches values at or below `v`.
+    Le(Value),
+    /// `> v` — matches values strictly above `v`.
+    Gt(Value),
+    /// `≥ v` — matches values at or above `v`.
+    Ge(Value),
+    /// `[lo, hi]` — matches values in the closed interval.
+    Between(Value, Value),
+    /// `∈ {v₁, …}` — matches any of the listed values.
+    InSet(Vec<Value>),
+}
+
+impl PatternItem {
+    /// True when this item matches the given value.
+    ///
+    /// `Null` values match only the wildcard: a null reading is "unknown", so
+    /// no relational predicate can claim it.
+    pub fn matches(&self, value: &Value) -> bool {
+        if value.is_null() {
+            return matches!(self, PatternItem::Wildcard);
+        }
+        match self {
+            PatternItem::Wildcard => true,
+            PatternItem::Eq(v) => value == v,
+            PatternItem::Lt(v) => value < v,
+            PatternItem::Le(v) => value <= v,
+            PatternItem::Gt(v) => value > v,
+            PatternItem::Ge(v) => value >= v,
+            PatternItem::Between(lo, hi) => value >= lo && value <= hi,
+            PatternItem::InSet(vs) => vs.contains(value),
+        }
+    }
+
+    /// True when this item is the wildcard.
+    pub fn is_wildcard(&self) -> bool {
+        matches!(self, PatternItem::Wildcard)
+    }
+
+    /// True when every value matched by `other` is also matched by `self`
+    /// (conservative: returns `false` when subsumption cannot be proven
+    /// syntactically).
+    pub fn subsumes(&self, other: &PatternItem) -> bool {
+        use PatternItem::*;
+        match (self, other) {
+            (Wildcard, _) => true,
+            (_, Wildcard) => false,
+            (Eq(a), Eq(b)) => a == b,
+            (Eq(a), InSet(bs)) => bs.iter().all(|b| b == a),
+            (Lt(a), Lt(b)) => b <= a,
+            (Lt(a), Le(b)) => b < a,
+            (Lt(a), Eq(b)) => b < a,
+            (Le(a), Le(b)) => b <= a,
+            (Le(a), Lt(b)) => b <= a,
+            (Le(a), Eq(b)) => b <= a,
+            (Gt(a), Gt(b)) => b >= a,
+            (Gt(a), Ge(b)) => b > a,
+            (Gt(a), Eq(b)) => b > a,
+            (Ge(a), Ge(b)) => b >= a,
+            (Ge(a), Gt(b)) => b >= a,
+            (Ge(a), Eq(b)) => b >= a,
+            (Between(lo, hi), Eq(b)) => b >= lo && b <= hi,
+            (Between(lo, hi), Between(lo2, hi2)) => lo2 >= lo && hi2 <= hi,
+            (Between(lo, hi), InSet(bs)) => bs.iter().all(|b| b >= lo && b <= hi),
+            (InSet(avs), Eq(b)) => avs.contains(b),
+            (InSet(avs), InSet(bvs)) => bvs.iter().all(|b| avs.contains(b)),
+            (Lt(a), Between(_, hi)) => hi < a,
+            (Le(a), Between(_, hi)) => hi <= a,
+            (Gt(a), Between(lo, _)) => lo > a,
+            (Ge(a), Between(lo, _)) => lo >= a,
+            (Lt(a), InSet(bs)) => bs.iter().all(|b| b < a),
+            (Le(a), InSet(bs)) => bs.iter().all(|b| b <= a),
+            (Gt(a), InSet(bs)) => bs.iter().all(|b| b > a),
+            (Ge(a), InSet(bs)) => bs.iter().all(|b| b >= a),
+            _ => false,
+        }
+    }
+
+    /// True when there exists no value matched by both items (conservative:
+    /// returns `false` when disjointness cannot be proven syntactically).
+    pub fn disjoint_from(&self, other: &PatternItem) -> bool {
+        use PatternItem::*;
+        match (self, other) {
+            (Wildcard, _) | (_, Wildcard) => false,
+            (Eq(a), Eq(b)) => a != b,
+            (Eq(a), Lt(b)) | (Lt(b), Eq(a)) => a >= b,
+            (Eq(a), Le(b)) | (Le(b), Eq(a)) => a > b,
+            (Eq(a), Gt(b)) | (Gt(b), Eq(a)) => a <= b,
+            (Eq(a), Ge(b)) | (Ge(b), Eq(a)) => a < b,
+            (Eq(a), Between(lo, hi)) | (Between(lo, hi), Eq(a)) => a < lo || a > hi,
+            (Eq(a), InSet(bs)) | (InSet(bs), Eq(a)) => !bs.contains(a),
+            (Lt(a), Gt(b)) | (Gt(b), Lt(a)) => a <= b || {
+                // (< a) and (> b) overlap iff b < x < a has a solution; for our
+                // totally ordered domains treat non-empty open interval as overlap.
+                false
+            },
+            (Lt(a), Ge(b)) | (Ge(b), Lt(a)) => a <= b,
+            (Le(a), Gt(b)) | (Gt(b), Le(a)) => a <= b,
+            (Le(a), Ge(b)) | (Ge(b), Le(a)) => a < b,
+            (Between(lo1, hi1), Between(lo2, hi2)) => hi1 < lo2 || hi2 < lo1,
+            (Between(lo, hi), Lt(a)) | (Lt(a), Between(lo, hi)) => {
+                let _ = hi;
+                lo >= a
+            }
+            (Between(lo, hi), Le(a)) | (Le(a), Between(lo, hi)) => {
+                let _ = hi;
+                lo > a
+            }
+            (Between(lo, hi), Gt(a)) | (Gt(a), Between(lo, hi)) => {
+                let _ = lo;
+                hi <= a
+            }
+            (Between(lo, hi), Ge(a)) | (Ge(a), Between(lo, hi)) => {
+                let _ = lo;
+                hi < a
+            }
+            (InSet(avs), InSet(bvs)) => avs.iter().all(|a| !bvs.contains(a)),
+            (InSet(vs), other) | (other, InSet(vs)) => {
+                vs.iter().all(|v| !other.matches(v))
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for PatternItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternItem::Wildcard => write!(f, "*"),
+            PatternItem::Eq(v) => write!(f, "{v}"),
+            PatternItem::Lt(v) => write!(f, "<{v}"),
+            PatternItem::Le(v) => write!(f, "<={v}"),
+            PatternItem::Gt(v) => write!(f, ">{v}"),
+            PatternItem::Ge(v) => write!(f, ">={v}"),
+            PatternItem::Between(lo, hi) => write!(f, "[{lo}..{hi}]"),
+            PatternItem::InSet(vs) => {
+                let parts: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
+                write!(f, "{{{}}}", parts.join(","))
+            }
+        }
+    }
+}
+
+/// A whole-tuple pattern: one [`PatternItem`] per attribute of a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    schema: SchemaRef,
+    items: Vec<PatternItem>,
+}
+
+impl Pattern {
+    /// Creates a pattern, checking that the item count matches the schema
+    /// arity.
+    pub fn try_new(schema: SchemaRef, items: Vec<PatternItem>) -> TypeResult<Self> {
+        if items.len() != schema.arity() {
+            return Err(TypeError::ArityMismatch {
+                values: items.len(),
+                attributes: schema.arity(),
+            });
+        }
+        Ok(Pattern { schema, items })
+    }
+
+    /// Creates a pattern, panicking when the arity does not match.
+    pub fn new(schema: SchemaRef, items: Vec<PatternItem>) -> Self {
+        Self::try_new(schema, items).expect("pattern arity must match schema")
+    }
+
+    /// A pattern of all wildcards (matches every tuple of the schema).
+    pub fn all_wildcards(schema: SchemaRef) -> Self {
+        let items = vec![PatternItem::Wildcard; schema.arity()];
+        Pattern { schema, items }
+    }
+
+    /// Builds a pattern that is wildcard everywhere except the named
+    /// attributes, which get the supplied items.
+    pub fn for_attributes(
+        schema: SchemaRef,
+        constraints: &[(&str, PatternItem)],
+    ) -> TypeResult<Self> {
+        let mut items = vec![PatternItem::Wildcard; schema.arity()];
+        for (name, item) in constraints {
+            let idx = schema.index_of(name)?;
+            items[idx] = item.clone();
+        }
+        Ok(Pattern { schema, items })
+    }
+
+    /// The schema this pattern is defined over.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// The per-attribute items.
+    pub fn items(&self) -> &[PatternItem] {
+        &self.items
+    }
+
+    /// The item for the attribute at `index`.
+    pub fn item(&self, index: usize) -> Option<&PatternItem> {
+        self.items.get(index)
+    }
+
+    /// The item for the named attribute.
+    pub fn item_for(&self, name: &str) -> TypeResult<&PatternItem> {
+        let idx = self.schema.index_of(name)?;
+        Ok(&self.items[idx])
+    }
+
+    /// Indices of attributes that are *not* wildcards — the attributes this
+    /// pattern actually constrains.
+    pub fn constrained_attributes(&self) -> Vec<usize> {
+        self.items
+            .iter()
+            .enumerate()
+            .filter(|(_, item)| !item.is_wildcard())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// True when the pattern constrains nothing (all wildcards).
+    pub fn is_unconstrained(&self) -> bool {
+        self.items.iter().all(PatternItem::is_wildcard)
+    }
+
+    /// True when this pattern matches the tuple.  The tuple must have the same
+    /// arity; callers are expected to only apply patterns to tuples of the
+    /// pattern's stream.
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        debug_assert_eq!(tuple.arity(), self.items.len(), "pattern/tuple arity mismatch");
+        self.items.iter().zip(tuple.values()).all(|(item, value)| item.matches(value))
+    }
+
+    /// True when every tuple matched by `other` is matched by `self`
+    /// (attribute-wise subsumption; conservative).
+    pub fn subsumes(&self, other: &Pattern) -> bool {
+        self.items.len() == other.items.len()
+            && self.items.iter().zip(&other.items).all(|(a, b)| a.subsumes(b))
+    }
+
+    /// True when no tuple can match both patterns (some attribute is provably
+    /// disjoint; conservative).
+    pub fn disjoint_from(&self, other: &Pattern) -> bool {
+        self.items.len() == other.items.len()
+            && self.items.iter().zip(&other.items).any(|(a, b)| a.disjoint_from(b))
+    }
+
+    /// Rewrites this pattern onto a different schema using an attribute
+    /// mapping: `mapping[i]` gives, for output attribute `i` of the target
+    /// schema, the index of the source attribute in `self`'s schema (or `None`
+    /// when the target attribute has no corresponding source attribute, in
+    /// which case it becomes a wildcard).
+    pub fn remap(&self, target: SchemaRef, mapping: &[Option<usize>]) -> TypeResult<Pattern> {
+        if mapping.len() != target.arity() {
+            return Err(TypeError::ArityMismatch {
+                values: mapping.len(),
+                attributes: target.arity(),
+            });
+        }
+        let mut items = Vec::with_capacity(target.arity());
+        for source in mapping {
+            match source {
+                Some(idx) => {
+                    let item = self.items.get(*idx).ok_or(TypeError::IndexOutOfBounds {
+                        index: *idx,
+                        len: self.items.len(),
+                    })?;
+                    items.push(item.clone());
+                }
+                None => items.push(PatternItem::Wildcard),
+            }
+        }
+        Ok(Pattern { schema: target, items })
+    }
+
+    /// Attribute-wise conjunction of two patterns over the same schema:
+    /// the result matches a tuple iff both inputs match it.  When both
+    /// attributes are constrained and neither subsumes the other, the more
+    /// restrictive combination is approximated by keeping `self`'s item
+    /// (conservative over-approximation of the intersection is not acceptable
+    /// for guards, so callers that need exactness should keep both patterns);
+    /// returns `None` when the two patterns are provably disjoint.
+    pub fn tighten(&self, other: &Pattern) -> Option<Pattern> {
+        if self.disjoint_from(other) {
+            return None;
+        }
+        let items = self
+            .items
+            .iter()
+            .zip(&other.items)
+            .map(|(a, b)| {
+                if a.is_wildcard() {
+                    b.clone()
+                } else if b.is_wildcard() || a.subsumes(b) {
+                    // keep the more restrictive of the two when provable
+                    if b.is_wildcard() {
+                        a.clone()
+                    } else {
+                        b.clone()
+                    }
+                } else if b.subsumes(a) {
+                    a.clone()
+                } else {
+                    a.clone()
+                }
+            })
+            .collect();
+        Some(Pattern { schema: self.schema.clone(), items })
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.items.iter().map(|i| i.to_string()).collect();
+        write!(f, "[{}]", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_types::{DataType, Schema, Timestamp};
+
+    fn schema() -> SchemaRef {
+        Schema::shared(&[
+            ("segment", DataType::Int),
+            ("timestamp", DataType::Timestamp),
+            ("speed", DataType::Float),
+        ])
+    }
+
+    fn tuple(seg: i64, ts: i64, speed: f64) -> Tuple {
+        Tuple::new(
+            schema(),
+            vec![
+                Value::Int(seg),
+                Value::Timestamp(Timestamp::from_secs(ts)),
+                Value::Float(speed),
+            ],
+        )
+    }
+
+    #[test]
+    fn item_matching_relational_operators() {
+        let v = Value::Int(50);
+        assert!(PatternItem::Wildcard.matches(&v));
+        assert!(PatternItem::Eq(Value::Int(50)).matches(&v));
+        assert!(!PatternItem::Eq(Value::Int(51)).matches(&v));
+        assert!(PatternItem::Le(Value::Int(50)).matches(&v));
+        assert!(!PatternItem::Lt(Value::Int(50)).matches(&v));
+        assert!(PatternItem::Ge(Value::Int(50)).matches(&v));
+        assert!(!PatternItem::Gt(Value::Int(50)).matches(&v));
+        assert!(PatternItem::Between(Value::Int(40), Value::Int(60)).matches(&v));
+        assert!(!PatternItem::Between(Value::Int(51), Value::Int(60)).matches(&v));
+        assert!(PatternItem::InSet(vec![Value::Int(1), Value::Int(50)]).matches(&v));
+    }
+
+    #[test]
+    fn null_matches_only_wildcard() {
+        assert!(PatternItem::Wildcard.matches(&Value::Null));
+        assert!(!PatternItem::Eq(Value::Null).matches(&Value::Null));
+        assert!(!PatternItem::Le(Value::Int(5)).matches(&Value::Null));
+    }
+
+    #[test]
+    fn item_subsumption() {
+        use PatternItem::*;
+        assert!(Wildcard.subsumes(&Eq(Value::Int(3))));
+        assert!(!Eq(Value::Int(3)).subsumes(&Wildcard));
+        assert!(Le(Value::Int(10)).subsumes(&Le(Value::Int(5))));
+        assert!(Le(Value::Int(10)).subsumes(&Lt(Value::Int(10))));
+        assert!(!Lt(Value::Int(10)).subsumes(&Le(Value::Int(10))));
+        assert!(Ge(Value::Int(5)).subsumes(&Eq(Value::Int(5))));
+        assert!(Between(Value::Int(0), Value::Int(10))
+            .subsumes(&Between(Value::Int(2), Value::Int(8))));
+        assert!(InSet(vec![Value::Int(1), Value::Int(2)]).subsumes(&Eq(Value::Int(2))));
+        assert!(!InSet(vec![Value::Int(1)]).subsumes(&Eq(Value::Int(2))));
+    }
+
+    #[test]
+    fn item_disjointness() {
+        use PatternItem::*;
+        assert!(Eq(Value::Int(1)).disjoint_from(&Eq(Value::Int(2))));
+        assert!(!Eq(Value::Int(1)).disjoint_from(&Eq(Value::Int(1))));
+        assert!(Lt(Value::Int(5)).disjoint_from(&Ge(Value::Int(5))));
+        assert!(!Le(Value::Int(5)).disjoint_from(&Ge(Value::Int(5))));
+        assert!(Between(Value::Int(0), Value::Int(4))
+            .disjoint_from(&Between(Value::Int(5), Value::Int(9))));
+        assert!(InSet(vec![Value::Int(1)]).disjoint_from(&InSet(vec![Value::Int(2)])));
+        assert!(!Wildcard.disjoint_from(&Eq(Value::Int(1))));
+    }
+
+    #[test]
+    fn pattern_matches_tuples() {
+        // ¬[*, ≥50] style predicate: "speeds at or above 50"
+        let p = Pattern::for_attributes(schema(), &[("speed", PatternItem::Ge(Value::Float(50.0)))])
+            .unwrap();
+        assert!(p.matches(&tuple(1, 10, 55.0)));
+        assert!(!p.matches(&tuple(1, 10, 45.0)));
+        assert_eq!(p.constrained_attributes(), vec![2]);
+        assert!(!p.is_unconstrained());
+        assert!(Pattern::all_wildcards(schema()).is_unconstrained());
+    }
+
+    #[test]
+    fn pattern_for_unknown_attribute_errors() {
+        assert!(Pattern::for_attributes(schema(), &[("volume", PatternItem::Wildcard)]).is_err());
+    }
+
+    #[test]
+    fn pattern_subsumption_and_disjointness() {
+        let before_10 = Pattern::for_attributes(
+            schema(),
+            &[("timestamp", PatternItem::Le(Value::Timestamp(Timestamp::from_secs(10))))],
+        )
+        .unwrap();
+        let before_5 = Pattern::for_attributes(
+            schema(),
+            &[("timestamp", PatternItem::Le(Value::Timestamp(Timestamp::from_secs(5))))],
+        )
+        .unwrap();
+        let after_20 = Pattern::for_attributes(
+            schema(),
+            &[("timestamp", PatternItem::Ge(Value::Timestamp(Timestamp::from_secs(20))))],
+        )
+        .unwrap();
+        assert!(before_10.subsumes(&before_5));
+        assert!(!before_5.subsumes(&before_10));
+        assert!(before_10.disjoint_from(&after_20));
+        assert!(!before_10.disjoint_from(&before_5));
+    }
+
+    #[test]
+    fn remap_projects_items_and_fills_wildcards() {
+        // feedback over join output (segment, timestamp, speed) remapped onto an
+        // input with schema (timestamp, segment): mapping gives for each target
+        // attribute the source index.
+        let target = Schema::shared(&[("timestamp", DataType::Timestamp), ("segment", DataType::Int)]);
+        let p = Pattern::for_attributes(
+            schema(),
+            &[
+                ("segment", PatternItem::Eq(Value::Int(3))),
+                ("speed", PatternItem::Ge(Value::Float(50.0))),
+            ],
+        )
+        .unwrap();
+        let remapped = p.remap(target.clone(), &[Some(1), Some(0)]).unwrap();
+        assert_eq!(remapped.item_for("segment").unwrap(), &PatternItem::Eq(Value::Int(3)));
+        assert_eq!(remapped.item_for("timestamp").unwrap(), &PatternItem::Wildcard);
+        // dropping an attribute (None) yields a wildcard
+        let remapped2 = p.remap(target, &[None, Some(0)]).unwrap();
+        assert!(remapped2.item_for("timestamp").unwrap().is_wildcard());
+    }
+
+    #[test]
+    fn tighten_combines_constraints() {
+        let seg3 = Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(3)))])
+            .unwrap();
+        let fast = Pattern::for_attributes(schema(), &[("speed", PatternItem::Ge(Value::Float(50.0)))])
+            .unwrap();
+        let both = seg3.tighten(&fast).unwrap();
+        assert!(both.matches(&tuple(3, 1, 60.0)));
+        assert!(!both.matches(&tuple(3, 1, 40.0)));
+        assert!(!both.matches(&tuple(4, 1, 60.0)));
+
+        let seg4 = Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(4)))])
+            .unwrap();
+        assert!(seg3.tighten(&seg4).is_none(), "disjoint patterns have no tightening");
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let p = Pattern::for_attributes(
+            schema(),
+            &[
+                ("segment", PatternItem::Eq(Value::Int(11))),
+                ("speed", PatternItem::Ge(Value::Float(50.0))),
+            ],
+        )
+        .unwrap();
+        assert_eq!(p.to_string(), "[11, *, >=50]");
+    }
+}

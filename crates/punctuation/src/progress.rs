@@ -1,0 +1,212 @@
+//! Stream-progress tracking.
+//!
+//! Operators such as PACE and windowed aggregates need to know, per input,
+//! how far the stream has progressed.  A [`ProgressTracker`] folds embedded
+//! punctuation (and optionally observed data timestamps) into per-attribute
+//! high-watermarks.  PACE in particular compares the high-watermark of the
+//! timestamps *seen* against the timestamps of tuples *arriving* to decide
+//! when divergence exceeds its tolerance and feedback should be issued
+//! (paper Example 3 / Experiment 1).
+
+use crate::punctuation::Punctuation;
+use dsms_types::{StreamDuration, Timestamp, Tuple, TypeResult};
+use std::fmt;
+
+/// Tracks the progress of a single stream on one timestamp attribute.
+#[derive(Debug, Clone)]
+pub struct ProgressTracker {
+    attribute: String,
+    /// Highest timestamp asserted complete by embedded punctuation.
+    punctuated_watermark: Option<Timestamp>,
+    /// Highest timestamp observed in the data itself.
+    observed_high: Option<Timestamp>,
+    /// Number of punctuations folded in.
+    punctuation_count: u64,
+    /// Number of tuples observed.
+    tuple_count: u64,
+    /// Number of observed tuples that violated a previously seen punctuation
+    /// (late tuples).
+    late_tuples: u64,
+}
+
+impl ProgressTracker {
+    /// Creates a tracker for the named timestamp attribute.
+    pub fn new(attribute: impl Into<String>) -> Self {
+        ProgressTracker {
+            attribute: attribute.into(),
+            punctuated_watermark: None,
+            observed_high: None,
+            punctuation_count: 0,
+            tuple_count: 0,
+            late_tuples: 0,
+        }
+    }
+
+    /// The attribute being tracked.
+    pub fn attribute(&self) -> &str {
+        &self.attribute
+    }
+
+    /// Folds an observed tuple into the tracker.  Returns `true` when the
+    /// tuple is *late*, i.e. it matches a punctuation already seen (its
+    /// timestamp is at or below the punctuated watermark).
+    pub fn observe_tuple(&mut self, tuple: &Tuple) -> TypeResult<bool> {
+        let ts = tuple.timestamp(&self.attribute)?;
+        self.tuple_count += 1;
+        self.observed_high = Some(match self.observed_high {
+            Some(h) => h.max(ts),
+            None => ts,
+        });
+        let late = self.punctuated_watermark.map(|w| ts <= w).unwrap_or(false);
+        if late {
+            self.late_tuples += 1;
+        }
+        Ok(late)
+    }
+
+    /// Folds an embedded punctuation into the tracker.  Non-progress
+    /// punctuations (that do not carry a watermark for this attribute) are
+    /// counted but do not advance the watermark.
+    pub fn observe_punctuation(&mut self, punctuation: &Punctuation) {
+        self.punctuation_count += 1;
+        if let Some(w) = punctuation.watermark_for(&self.attribute) {
+            self.punctuated_watermark = Some(match self.punctuated_watermark {
+                Some(cur) => cur.max(w),
+                None => w,
+            });
+        }
+    }
+
+    /// Directly advances the watermark (used by operators that derive progress
+    /// from sources other than punctuation, e.g. PACE's high-watermark of
+    /// observed output timestamps).
+    pub fn advance_watermark(&mut self, to: Timestamp) {
+        self.punctuated_watermark = Some(match self.punctuated_watermark {
+            Some(cur) => cur.max(to),
+            None => to,
+        });
+    }
+
+    /// Highest timestamp asserted complete by punctuation, if any.
+    pub fn watermark(&self) -> Option<Timestamp> {
+        self.punctuated_watermark
+    }
+
+    /// Highest timestamp observed in the data, if any.
+    pub fn observed_high(&self) -> Option<Timestamp> {
+        self.observed_high
+    }
+
+    /// The *divergence* between observed data and another tracker's observed
+    /// data: how far this stream's high timestamp lags behind the other's.
+    /// Positive means `self` is behind `other`.
+    pub fn lag_behind(&self, other: &ProgressTracker) -> Option<StreamDuration> {
+        match (self.observed_high, other.observed_high) {
+            (Some(a), Some(b)) => Some(b - a),
+            _ => None,
+        }
+    }
+
+    /// Number of punctuations folded in.
+    pub fn punctuation_count(&self) -> u64 {
+        self.punctuation_count
+    }
+
+    /// Number of tuples observed.
+    pub fn tuple_count(&self) -> u64 {
+        self.tuple_count
+    }
+
+    /// Number of observed tuples that were late with respect to punctuation.
+    pub fn late_tuples(&self) -> u64 {
+        self.late_tuples
+    }
+}
+
+impl fmt::Display for ProgressTracker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "progress({}: watermark={:?}, observed={:?}, tuples={}, late={})",
+            self.attribute,
+            self.punctuated_watermark,
+            self.observed_high,
+            self.tuple_count,
+            self.late_tuples
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_types::{DataType, Schema, SchemaRef, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::shared(&[("timestamp", DataType::Timestamp), ("v", DataType::Float)])
+    }
+
+    fn tuple(ts: i64) -> Tuple {
+        Tuple::new(
+            schema(),
+            vec![Value::Timestamp(Timestamp::from_secs(ts)), Value::Float(1.0)],
+        )
+    }
+
+    #[test]
+    fn watermark_advances_monotonically() {
+        let mut tr = ProgressTracker::new("timestamp");
+        assert_eq!(tr.watermark(), None);
+        tr.observe_punctuation(
+            &Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(100)).unwrap(),
+        );
+        tr.observe_punctuation(
+            &Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(50)).unwrap(),
+        );
+        assert_eq!(tr.watermark(), Some(Timestamp::from_secs(100)), "watermark never regresses");
+        assert_eq!(tr.punctuation_count(), 2);
+    }
+
+    #[test]
+    fn late_tuples_are_flagged_and_counted() {
+        let mut tr = ProgressTracker::new("timestamp");
+        assert!(!tr.observe_tuple(&tuple(10)).unwrap());
+        tr.observe_punctuation(
+            &Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(20)).unwrap(),
+        );
+        assert!(tr.observe_tuple(&tuple(15)).unwrap(), "15 <= watermark 20 is late");
+        assert!(!tr.observe_tuple(&tuple(25)).unwrap());
+        assert_eq!(tr.late_tuples(), 1);
+        assert_eq!(tr.tuple_count(), 3);
+        assert_eq!(tr.observed_high(), Some(Timestamp::from_secs(25)));
+    }
+
+    #[test]
+    fn lag_between_two_streams() {
+        let mut clean = ProgressTracker::new("timestamp");
+        let mut imputed = ProgressTracker::new("timestamp");
+        assert_eq!(imputed.lag_behind(&clean), None);
+        clean.observe_tuple(&tuple(120)).unwrap();
+        imputed.observe_tuple(&tuple(40)).unwrap();
+        assert_eq!(imputed.lag_behind(&clean), Some(StreamDuration::from_secs(80)));
+        assert_eq!(clean.lag_behind(&imputed), Some(StreamDuration::from_secs(-80)));
+    }
+
+    #[test]
+    fn manual_watermark_advance() {
+        let mut tr = ProgressTracker::new("timestamp");
+        tr.advance_watermark(Timestamp::from_secs(33));
+        tr.advance_watermark(Timestamp::from_secs(22));
+        assert_eq!(tr.watermark(), Some(Timestamp::from_secs(33)));
+    }
+
+    #[test]
+    fn group_punctuation_does_not_advance_time_watermark() {
+        let mut tr = ProgressTracker::new("timestamp");
+        tr.observe_punctuation(
+            &Punctuation::group_complete(schema(), "v", Value::Float(1.0)).unwrap(),
+        );
+        assert_eq!(tr.watermark(), None);
+        assert_eq!(tr.punctuation_count(), 1);
+    }
+}

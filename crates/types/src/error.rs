@@ -1,0 +1,121 @@
+//! Error types for the type layer.
+
+use std::fmt;
+
+/// Result alias used throughout the type layer.
+pub type TypeResult<T> = Result<T, TypeError>;
+
+/// Errors raised when constructing or manipulating schemas, tuples and values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// An attribute name was not found in a schema.
+    UnknownAttribute {
+        /// The attribute that was requested.
+        name: String,
+        /// The schema's attribute names, for diagnostics.
+        available: Vec<String>,
+    },
+    /// An attribute index was out of bounds for a schema or tuple.
+    IndexOutOfBounds {
+        /// The requested index.
+        index: usize,
+        /// The number of attributes actually present.
+        len: usize,
+    },
+    /// A value had a different runtime type than the schema declared.
+    TypeMismatch {
+        /// The attribute (by name) that mismatched.
+        attribute: String,
+        /// The declared type.
+        expected: String,
+        /// The runtime type of the offending value.
+        actual: String,
+    },
+    /// A tuple had a different arity than its schema.
+    ArityMismatch {
+        /// Number of values supplied.
+        values: usize,
+        /// Number of attributes in the schema.
+        attributes: usize,
+    },
+    /// Two schemas that were required to be identical differ.
+    SchemaMismatch {
+        /// Human-readable description of the difference.
+        detail: String,
+    },
+    /// A schema was constructed with a duplicate attribute name.
+    DuplicateAttribute {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A value could not be parsed from text.
+    ParseError {
+        /// The input text.
+        input: String,
+        /// The target type.
+        target: String,
+    },
+    /// An arithmetic or aggregation operation was applied to incompatible values.
+    InvalidOperation {
+        /// Description of the operation and operands.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnknownAttribute { name, available } => {
+                write!(f, "unknown attribute `{name}` (available: {})", available.join(", "))
+            }
+            TypeError::IndexOutOfBounds { index, len } => {
+                write!(f, "attribute index {index} out of bounds for arity {len}")
+            }
+            TypeError::TypeMismatch { attribute, expected, actual } => {
+                write!(f, "attribute `{attribute}` expects {expected}, got {actual}")
+            }
+            TypeError::ArityMismatch { values, attributes } => {
+                write!(f, "tuple has {values} values but schema has {attributes} attributes")
+            }
+            TypeError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
+            TypeError::DuplicateAttribute { name } => {
+                write!(f, "duplicate attribute name `{name}` in schema")
+            }
+            TypeError::ParseError { input, target } => {
+                write!(f, "cannot parse `{input}` as {target}")
+            }
+            TypeError::InvalidOperation { detail } => write!(f, "invalid operation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_attribute() {
+        let err = TypeError::UnknownAttribute {
+            name: "speed".into(),
+            available: vec!["ts".into(), "segment".into()],
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("speed"));
+        assert!(msg.contains("segment"));
+    }
+
+    #[test]
+    fn display_arity_mismatch() {
+        let err = TypeError::ArityMismatch { values: 2, attributes: 3 };
+        assert_eq!(err.to_string(), "tuple has 2 values but schema has 3 attributes");
+    }
+
+    #[test]
+    fn errors_are_cloneable_and_comparable() {
+        let a = TypeError::DuplicateAttribute { name: "x".into() };
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,36 @@
+//! # dsms-types
+//!
+//! Tuple, value, schema and time model for the feedback-punctuation DSMS
+//! reproduction ("Inter-Operator Feedback in Data Stream Management Systems
+//! via Punctuation", CIDR 2009).
+//!
+//! The paper's host system, NiagaraST, processes streams of flat relational
+//! tuples annotated with timestamps.  This crate provides that substrate:
+//!
+//! * [`Value`] — a dynamically typed scalar (null, bool, int, float, text,
+//!   timestamp) with a *total* order so values can appear in punctuation
+//!   predicates and in hash keys.
+//! * [`DataType`], [`Field`] and [`Schema`] — stream schemas, shared between
+//!   operators via [`SchemaRef`] (an `Arc`).
+//! * [`Tuple`] — a schema-tagged row of values.
+//! * [`Timestamp`] and [`StreamDuration`] — millisecond-resolution stream
+//!   (application) time, used both for data timestamps and for window
+//!   arithmetic.
+//!
+//! Everything in this crate is engine-agnostic: the punctuation algebra,
+//! the feedback framework and the operators are all layered on top of it.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod schema;
+pub mod time;
+pub mod tuple;
+pub mod value;
+
+pub use error::{TypeError, TypeResult};
+pub use schema::{DataType, Field, Schema, SchemaBuilder, SchemaRef};
+pub use time::{StreamDuration, Timestamp};
+pub use tuple::{Tuple, TupleBuilder};
+pub use value::Value;

@@ -1,0 +1,305 @@
+//! Stream (application) time.
+//!
+//! NiagaraST experiments use traffic data reported at a 20-second resolution
+//! over an 18-hour horizon.  All stream timestamps in this reproduction are
+//! application-time milliseconds since an arbitrary stream epoch, wrapped in
+//! [`Timestamp`].  Durations between timestamps are [`StreamDuration`]s.
+//!
+//! The types are deliberately small `Copy` newtypes so they can be embedded in
+//! values, punctuation patterns and window arithmetic without allocation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in stream (application) time, in milliseconds since the stream epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Timestamp(i64);
+
+/// A span of stream time, in milliseconds.  May be negative when produced by
+/// subtracting a later timestamp from an earlier one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct StreamDuration(i64);
+
+impl Timestamp {
+    /// The stream epoch (time zero).
+    pub const EPOCH: Timestamp = Timestamp(0);
+    /// The largest representable timestamp.
+    pub const MAX: Timestamp = Timestamp(i64::MAX);
+    /// The smallest representable timestamp.
+    pub const MIN: Timestamp = Timestamp(i64::MIN);
+
+    /// Creates a timestamp from raw milliseconds since the stream epoch.
+    pub const fn from_millis(millis: i64) -> Self {
+        Timestamp(millis)
+    }
+
+    /// Creates a timestamp from whole seconds since the stream epoch.
+    pub const fn from_secs(secs: i64) -> Self {
+        Timestamp(secs * 1_000)
+    }
+
+    /// Creates a timestamp from whole minutes since the stream epoch.
+    pub const fn from_minutes(minutes: i64) -> Self {
+        Timestamp(minutes * 60_000)
+    }
+
+    /// Creates a timestamp from whole hours since the stream epoch.
+    pub const fn from_hours(hours: i64) -> Self {
+        Timestamp(hours * 3_600_000)
+    }
+
+    /// Raw milliseconds since the stream epoch.
+    pub const fn as_millis(self) -> i64 {
+        self.0
+    }
+
+    /// Whole seconds since the stream epoch (truncating).
+    pub const fn as_secs(self) -> i64 {
+        self.0 / 1_000
+    }
+
+    /// Saturating addition of a duration.
+    pub const fn saturating_add(self, d: StreamDuration) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+
+    /// Saturating subtraction of a duration.
+    pub const fn saturating_sub(self, d: StreamDuration) -> Timestamp {
+        Timestamp(self.0.saturating_sub(d.0))
+    }
+
+    /// The duration elapsed since `earlier` (negative if `self` is earlier).
+    pub const fn duration_since(self, earlier: Timestamp) -> StreamDuration {
+        StreamDuration(self.0 - earlier.0)
+    }
+
+    /// Aligns this timestamp down to the start of the window of `width` that
+    /// contains it, following the WID window-id convention (windows start at
+    /// the epoch).
+    pub fn align_down(self, width: StreamDuration) -> Timestamp {
+        assert!(width.0 > 0, "window width must be positive");
+        Timestamp(self.0.div_euclid(width.0) * width.0)
+    }
+
+    /// The (zero-based) id of the tumbling window of `width` containing this
+    /// timestamp.
+    pub fn window_id(self, width: StreamDuration) -> i64 {
+        assert!(width.0 > 0, "window width must be positive");
+        self.0.div_euclid(width.0)
+    }
+
+    /// Returns the larger of two timestamps.
+    pub fn max(self, other: Timestamp) -> Timestamp {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two timestamps.
+    pub fn min(self, other: Timestamp) -> Timestamp {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl StreamDuration {
+    /// The zero duration.
+    pub const ZERO: StreamDuration = StreamDuration(0);
+
+    /// Creates a duration from raw milliseconds.
+    pub const fn from_millis(millis: i64) -> Self {
+        StreamDuration(millis)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: i64) -> Self {
+        StreamDuration(secs * 1_000)
+    }
+
+    /// Creates a duration from whole minutes.
+    pub const fn from_minutes(minutes: i64) -> Self {
+        StreamDuration(minutes * 60_000)
+    }
+
+    /// Creates a duration from whole hours.
+    pub const fn from_hours(hours: i64) -> Self {
+        StreamDuration(hours * 3_600_000)
+    }
+
+    /// Raw milliseconds.
+    pub const fn as_millis(self) -> i64 {
+        self.0
+    }
+
+    /// Whole seconds (truncating).
+    pub const fn as_secs(self) -> i64 {
+        self.0 / 1_000
+    }
+
+    /// Whole minutes (truncating).
+    pub const fn as_minutes(self) -> i64 {
+        self.0 / 60_000
+    }
+
+    /// True when the duration is strictly positive.
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    /// True when the duration is negative.
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Absolute value of the duration.
+    pub const fn abs(self) -> StreamDuration {
+        StreamDuration(self.0.abs())
+    }
+
+    /// Multiplies the duration by an integer factor.
+    pub const fn times(self, factor: i64) -> StreamDuration {
+        StreamDuration(self.0 * factor)
+    }
+}
+
+impl Add<StreamDuration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: StreamDuration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<StreamDuration> for Timestamp {
+    fn add_assign(&mut self, rhs: StreamDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<StreamDuration> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, rhs: StreamDuration) -> Timestamp {
+        Timestamp(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<StreamDuration> for Timestamp {
+    fn sub_assign(&mut self, rhs: StreamDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = StreamDuration;
+    fn sub(self, rhs: Timestamp) -> StreamDuration {
+        StreamDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add<StreamDuration> for StreamDuration {
+    type Output = StreamDuration;
+    fn add(self, rhs: StreamDuration) -> StreamDuration {
+        StreamDuration(self.0 + rhs.0)
+    }
+}
+
+impl Sub<StreamDuration> for StreamDuration {
+    type Output = StreamDuration;
+    fn sub(self, rhs: StreamDuration) -> StreamDuration {
+        StreamDuration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total_secs = self.0.div_euclid(1_000);
+        let millis = self.0.rem_euclid(1_000);
+        let hours = total_secs.div_euclid(3_600);
+        let minutes = total_secs.rem_euclid(3_600) / 60;
+        let secs = total_secs.rem_euclid(60);
+        if millis == 0 {
+            write!(f, "{hours:02}:{minutes:02}:{secs:02}")
+        } else {
+            write!(f, "{hours:02}:{minutes:02}:{secs:02}.{millis:03}")
+        }
+    }
+}
+
+impl fmt::Display for StreamDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Timestamp::from_secs(2), Timestamp::from_millis(2_000));
+        assert_eq!(Timestamp::from_minutes(3), Timestamp::from_secs(180));
+        assert_eq!(Timestamp::from_hours(1), Timestamp::from_minutes(60));
+        assert_eq!(StreamDuration::from_hours(18).as_minutes(), 18 * 60);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = Timestamp::from_secs(100);
+        let d = StreamDuration::from_secs(20);
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d) - t, d);
+        let mut u = t;
+        u += d;
+        u -= d;
+        assert_eq!(u, t);
+    }
+
+    #[test]
+    fn window_alignment_follows_wid() {
+        let width = StreamDuration::from_secs(60);
+        assert_eq!(Timestamp::from_secs(0).window_id(width), 0);
+        assert_eq!(Timestamp::from_secs(59).window_id(width), 0);
+        assert_eq!(Timestamp::from_secs(60).window_id(width), 1);
+        assert_eq!(Timestamp::from_secs(61).align_down(width), Timestamp::from_secs(60));
+        // negative timestamps still align down (floor semantics)
+        assert_eq!(Timestamp::from_secs(-1).window_id(width), -1);
+        assert_eq!(Timestamp::from_secs(-1).align_down(width), Timestamp::from_secs(-60));
+    }
+
+    #[test]
+    fn display_formats_wall_clock_style() {
+        assert_eq!(Timestamp::from_secs(3_661).to_string(), "01:01:01");
+        assert_eq!(Timestamp::from_millis(1_500).to_string(), "00:00:01.500");
+    }
+
+    #[test]
+    fn saturating_operations_do_not_overflow() {
+        let max = Timestamp::MAX;
+        assert_eq!(max.saturating_add(StreamDuration::from_millis(10)), Timestamp::MAX);
+        let min = Timestamp::MIN;
+        assert_eq!(min.saturating_sub(StreamDuration::from_millis(10)), Timestamp::MIN);
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        let a = Timestamp::from_secs(10);
+        let b = Timestamp::from_secs(20);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn duration_helpers() {
+        let d = StreamDuration::from_minutes(-2);
+        assert!(d.is_negative());
+        assert!(!d.is_positive());
+        assert_eq!(d.abs(), StreamDuration::from_minutes(2));
+        assert_eq!(StreamDuration::from_secs(20).times(3), StreamDuration::from_secs(60));
+    }
+}

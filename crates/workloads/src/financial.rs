@@ -1,0 +1,137 @@
+//! Currency exchange-rate ticks.
+//!
+//! The paper's demanded-punctuation example features a financial speculator
+//! whose margin of action is a few seconds and who prefers a partial answer
+//! now over a complete answer too late.  This generator produces a random-walk
+//! tick stream `(timestamp, pair, rate)` over a configurable set of currency
+//! pairs, used by the demanded-punctuation example and tests.
+
+use dsms_types::{DataType, Schema, SchemaRef, StreamDuration, Timestamp, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the tick stream.
+#[derive(Debug, Clone)]
+pub struct FinancialConfig {
+    /// Currency pairs (e.g. "EUR/USD").
+    pub pairs: Vec<String>,
+    /// Tick period.
+    pub tick_period: StreamDuration,
+    /// Total duration.
+    pub duration: StreamDuration,
+    /// Per-tick relative volatility.
+    pub volatility: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FinancialConfig {
+    fn default() -> Self {
+        FinancialConfig {
+            pairs: vec!["EUR/USD".into(), "USD/JPY".into(), "GBP/USD".into(), "USD/MXN".into()],
+            tick_period: StreamDuration::from_millis(250),
+            duration: StreamDuration::from_minutes(5),
+            volatility: 0.002,
+            seed: 23,
+        }
+    }
+}
+
+/// Generates the tick stream in timestamp order.
+pub struct FinancialGenerator {
+    config: FinancialConfig,
+    schema: SchemaRef,
+    rng: StdRng,
+    rates: Vec<f64>,
+    tick: i64,
+    pair: usize,
+}
+
+impl FinancialGenerator {
+    /// The tick schema: `(timestamp, pair, rate)`.
+    pub fn schema() -> SchemaRef {
+        Schema::shared(&[
+            ("timestamp", DataType::Timestamp),
+            ("pair", DataType::Text),
+            ("rate", DataType::Float),
+        ])
+    }
+
+    /// Creates a generator.
+    pub fn new(config: FinancialConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let rates = (0..config.pairs.len()).map(|_| rng.gen_range(0.5..150.0)).collect();
+        FinancialGenerator { config, schema: Self::schema(), rng, rates, tick: 0, pair: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FinancialConfig {
+        &self.config
+    }
+}
+
+impl Iterator for FinancialGenerator {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        let total_ticks = self.config.duration.as_millis() / self.config.tick_period.as_millis();
+        if self.tick >= total_ticks {
+            return None;
+        }
+        let ts = Timestamp::EPOCH
+            + StreamDuration::from_millis(self.tick * self.config.tick_period.as_millis());
+        let pair_idx = self.pair;
+        let step: f64 = self.rng.gen_range(-self.config.volatility..self.config.volatility);
+        self.rates[pair_idx] *= 1.0 + step;
+        let tuple = Tuple::new(
+            self.schema.clone(),
+            vec![
+                Value::Timestamp(ts),
+                Value::Text(self.config.pairs[pair_idx].clone()),
+                Value::Float(self.rates[pair_idx]),
+            ],
+        );
+        self.pair += 1;
+        if self.pair >= self.config.pairs.len() {
+            self.pair = 0;
+            self.tick += 1;
+        }
+        Some(tuple)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_pair_ticks_every_period() {
+        let config = FinancialConfig { duration: StreamDuration::from_secs(10), ..Default::default() };
+        let pairs = config.pairs.len();
+        let ticks = (config.duration.as_millis() / config.tick_period.as_millis()) as usize;
+        let tuples: Vec<Tuple> = FinancialGenerator::new(config).collect();
+        assert_eq!(tuples.len(), pairs * ticks);
+    }
+
+    #[test]
+    fn rates_random_walk_but_stay_positive() {
+        let tuples: Vec<Tuple> = FinancialGenerator::new(FinancialConfig::default()).take(5_000).collect();
+        assert!(tuples.iter().all(|t| t.float("rate").unwrap() > 0.0));
+        let first = tuples.first().unwrap().float("rate").unwrap();
+        let last_same_pair = tuples
+            .iter()
+            .rev()
+            .find(|t| t.value_by_name("pair").unwrap() == tuples[0].value_by_name("pair").unwrap())
+            .unwrap()
+            .float("rate")
+            .unwrap();
+        assert_ne!(first, last_same_pair, "the walk moves");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<Tuple> = FinancialGenerator::new(FinancialConfig::default()).take(100).collect();
+        let b: Vec<Tuple> = FinancialGenerator::new(FinancialConfig::default()).take(100).collect();
+        assert_eq!(a, b);
+    }
+}

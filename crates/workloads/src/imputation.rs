@@ -1,0 +1,162 @@
+//! The Experiment-1 imputation stream.
+//!
+//! The paper induces "an extreme case in which tuples that require imputation
+//! alternate with non-imputed tuples in the stream" and runs 5 000 tuples
+//! through the imputation plan.  This generator reproduces that stream shape:
+//! a single detector stream whose readings alternate (or are randomly chosen,
+//! at a configurable rate) between clean values and nulls requiring
+//! imputation, plus a `tuple_id` attribute so Figures 5 and 6 (tuple id vs.
+//! output time) can be regenerated directly.
+
+use dsms_types::{DataType, Schema, SchemaRef, StreamDuration, Timestamp, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the imputation stream.
+#[derive(Debug, Clone)]
+pub struct ImputationConfig {
+    /// Total number of tuples (5 000 in the paper).
+    pub tuples: u64,
+    /// Inter-arrival gap in stream time.
+    pub inter_arrival: StreamDuration,
+    /// Fraction of tuples requiring imputation.  With
+    /// [`strict_alternation`](Self::strict_alternation) set this is ignored
+    /// and exactly every other tuple is dirty.
+    pub dirty_fraction: f64,
+    /// Alternate clean/dirty strictly (the paper's extreme case).
+    pub strict_alternation: bool,
+    /// Number of distinct detectors the readings come from.
+    pub detectors: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ImputationConfig {
+    fn default() -> Self {
+        ImputationConfig {
+            tuples: 5_000,
+            inter_arrival: StreamDuration::from_millis(40),
+            dirty_fraction: 0.5,
+            strict_alternation: true,
+            detectors: 20,
+            seed: 11,
+        }
+    }
+}
+
+impl ImputationConfig {
+    /// The paper's Experiment-1 configuration.
+    pub fn experiment1() -> Self {
+        ImputationConfig::default()
+    }
+
+    /// A scaled-down configuration for tests.
+    pub fn small() -> Self {
+        ImputationConfig { tuples: 200, ..ImputationConfig::default() }
+    }
+}
+
+/// Generates the imputation stream in timestamp (and tuple-id) order.
+pub struct ImputationGenerator {
+    config: ImputationConfig,
+    schema: SchemaRef,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl ImputationGenerator {
+    /// The stream schema: `(tuple_id, timestamp, detector, speed)` where
+    /// `speed` is null for tuples requiring imputation.
+    pub fn schema() -> SchemaRef {
+        Schema::shared(&[
+            ("tuple_id", DataType::Int),
+            ("timestamp", DataType::Timestamp),
+            ("detector", DataType::Int),
+            ("speed", DataType::Float),
+        ])
+    }
+
+    /// Creates a generator.
+    pub fn new(config: ImputationConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        ImputationGenerator { config, schema: Self::schema(), rng, next_id: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ImputationConfig {
+        &self.config
+    }
+}
+
+impl Iterator for ImputationGenerator {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.next_id >= self.config.tuples {
+            return None;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let ts = Timestamp::EPOCH
+            + StreamDuration::from_millis(id as i64 * self.config.inter_arrival.as_millis());
+        let dirty = if self.config.strict_alternation {
+            id % 2 == 1
+        } else {
+            self.rng.gen_bool(self.config.dirty_fraction.clamp(0.0, 1.0))
+        };
+        let detector = self.rng.gen_range(0..self.config.detectors);
+        let speed = if dirty {
+            Value::Null
+        } else {
+            Value::Float(self.rng.gen_range(20.0..70.0))
+        };
+        Some(Tuple::new(
+            self.schema.clone(),
+            vec![Value::Int(id as i64), Value::Timestamp(ts), Value::Int(detector), speed],
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_alternation_matches_the_papers_extreme_case() {
+        let tuples: Vec<Tuple> = ImputationGenerator::new(ImputationConfig::small()).collect();
+        assert_eq!(tuples.len(), 200);
+        for (i, t) in tuples.iter().enumerate() {
+            assert_eq!(t.int("tuple_id").unwrap(), i as i64);
+            assert_eq!(t.has_null(), i % 2 == 1, "odd tuple ids require imputation");
+        }
+    }
+
+    #[test]
+    fn random_mode_approximates_the_dirty_fraction() {
+        let config = ImputationConfig {
+            strict_alternation: false,
+            dirty_fraction: 0.25,
+            tuples: 4_000,
+            ..ImputationConfig::default()
+        };
+        let tuples: Vec<Tuple> = ImputationGenerator::new(config).collect();
+        let dirty = tuples.iter().filter(|t| t.has_null()).count() as f64 / tuples.len() as f64;
+        assert!((dirty - 0.25).abs() < 0.05, "got {dirty}");
+    }
+
+    #[test]
+    fn timestamps_progress_at_the_inter_arrival_rate() {
+        let config = ImputationConfig { inter_arrival: StreamDuration::from_millis(100), ..ImputationConfig::small() };
+        let tuples: Vec<Tuple> = ImputationGenerator::new(config).collect();
+        assert_eq!(tuples[0].timestamp("timestamp").unwrap(), Timestamp::EPOCH);
+        assert_eq!(
+            tuples[10].timestamp("timestamp").unwrap(),
+            Timestamp::EPOCH + StreamDuration::from_millis(1_000)
+        );
+    }
+
+    #[test]
+    fn paper_configuration_has_5000_tuples() {
+        assert_eq!(ImputationConfig::experiment1().tuples, 5_000);
+    }
+}

@@ -1,0 +1,30 @@
+//! # dsms-workloads
+//!
+//! Deterministic, seeded workload generators standing in for the paper's data
+//! sources (Portland-metro loop detectors, probe-vehicle GPS traces and the
+//! archival imputation database), plus the auxiliary streams used in the
+//! paper's motivating examples (financial ticks for demanded punctuation,
+//! bid/auction streams for the punctuation-scheme discussion) and the
+//! event-driven zoom schedule of Experiment 2.
+//!
+//! All generators are parameterized so benches can scale down for CI and up to
+//! paper scale (Experiment 2 uses 18 hours × 20-second resolution × 9 segments
+//! × 40 detectors ≈ 1 million tuples), and all are seeded so every run of an
+//! experiment sees the same stream.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auction;
+pub mod financial;
+pub mod imputation;
+pub mod probe;
+pub mod traffic;
+pub mod zoom;
+
+pub use auction::{AuctionConfig, AuctionGenerator};
+pub use financial::{FinancialConfig, FinancialGenerator};
+pub use imputation::{ImputationConfig, ImputationGenerator};
+pub use probe::{ProbeConfig, ProbeGenerator};
+pub use traffic::{TrafficConfig, TrafficGenerator};
+pub use zoom::{ZoomEvent, ZoomSchedule};

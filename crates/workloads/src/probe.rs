@@ -1,0 +1,178 @@
+//! Probe-vehicle (GPS) stream.
+//!
+//! Vehicles with on-board GPS report `(timestamp, vehicle, segment, speed)` at
+//! a per-vehicle reporting period.  The data is noisy — a configurable
+//! fraction of readings carries implausible speeds or a wrong segment — which
+//! is what the data-cleaning step in the motivating speed-map plan exists to
+//! handle.  Probe vehicles are far scarcer than fixed detectors (the paper's
+//! IMPATIENT JOIN discussion relies on that asymmetry).
+
+use dsms_types::{DataType, Schema, SchemaRef, StreamDuration, Timestamp, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the probe-vehicle stream.
+#[derive(Debug, Clone)]
+pub struct ProbeConfig {
+    /// Number of probe vehicles on the road.
+    pub vehicles: i64,
+    /// Number of freeway segments they drive over.
+    pub segments: i64,
+    /// Per-vehicle reporting period.
+    pub reporting_period: StreamDuration,
+    /// Total duration of the stream.
+    pub duration: StreamDuration,
+    /// Fraction of readings that are noisy/implausible (0..=1).
+    pub noisy_fraction: f64,
+    /// Typical speed in mph.
+    pub typical_speed: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            vehicles: 25,
+            segments: 9,
+            reporting_period: StreamDuration::from_secs(5),
+            duration: StreamDuration::from_hours(1),
+            noisy_fraction: 0.1,
+            typical_speed: 55.0,
+            seed: 17,
+        }
+    }
+}
+
+impl ProbeConfig {
+    /// Expected number of readings.
+    pub fn expected_tuples(&self) -> u64 {
+        let ticks = (self.duration.as_millis() / self.reporting_period.as_millis()) as u64;
+        ticks * self.vehicles as u64
+    }
+}
+
+/// Generates probe-vehicle readings in timestamp order.
+pub struct ProbeGenerator {
+    config: ProbeConfig,
+    schema: SchemaRef,
+    rng: StdRng,
+    tick: i64,
+    vehicle: i64,
+    positions: Vec<i64>,
+}
+
+impl ProbeGenerator {
+    /// The probe stream schema: `(timestamp, vehicle, segment, speed)`.
+    pub fn schema() -> SchemaRef {
+        Schema::shared(&[
+            ("timestamp", DataType::Timestamp),
+            ("vehicle", DataType::Int),
+            ("segment", DataType::Int),
+            ("speed", DataType::Float),
+        ])
+    }
+
+    /// Creates a generator.
+    pub fn new(config: ProbeConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let positions = (0..config.vehicles).map(|_| rng.gen_range(0..config.segments)).collect();
+        ProbeGenerator { config, schema: Self::schema(), rng, tick: 0, vehicle: 0, positions }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ProbeConfig {
+        &self.config
+    }
+}
+
+impl Iterator for ProbeGenerator {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        let total_ticks = self.config.duration.as_millis() / self.config.reporting_period.as_millis();
+        if self.tick >= total_ticks {
+            return None;
+        }
+        let ts = Timestamp::EPOCH
+            + StreamDuration::from_millis(self.tick * self.config.reporting_period.as_millis());
+        let vehicle = self.vehicle;
+        // Vehicles drift to a neighbouring segment occasionally.
+        if self.rng.gen_bool(0.05) {
+            let delta: i64 = if self.rng.gen_bool(0.5) { 1 } else { -1 };
+            let pos = &mut self.positions[vehicle as usize];
+            *pos = (*pos + delta).clamp(0, self.config.segments - 1);
+        }
+        let segment = self.positions[vehicle as usize];
+        let noisy = self.rng.gen_bool(self.config.noisy_fraction.clamp(0.0, 1.0));
+        let speed = if noisy {
+            // Implausible reading (GPS glitch).
+            self.rng.gen_range(150.0..400.0)
+        } else {
+            (self.config.typical_speed + self.rng.gen_range(-10.0..10.0)).max(1.0)
+        };
+        let tuple = Tuple::new(
+            self.schema.clone(),
+            vec![
+                Value::Timestamp(ts),
+                Value::Int(vehicle),
+                Value::Int(segment),
+                Value::Float(speed),
+            ],
+        );
+        self.vehicle += 1;
+        if self.vehicle >= self.config.vehicles {
+            self.vehicle = 0;
+            self.tick += 1;
+        }
+        Some(tuple)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_expected_count_in_timestamp_order() {
+        let config = ProbeConfig {
+            vehicles: 3,
+            duration: StreamDuration::from_minutes(1),
+            reporting_period: StreamDuration::from_secs(10),
+            ..ProbeConfig::default()
+        };
+        let expected = config.expected_tuples();
+        let tuples: Vec<Tuple> = ProbeGenerator::new(config).collect();
+        assert_eq!(tuples.len() as u64, expected);
+        let mut last = Timestamp::MIN;
+        for t in &tuples {
+            let ts = t.timestamp("timestamp").unwrap();
+            assert!(ts >= last);
+            last = ts;
+        }
+    }
+
+    #[test]
+    fn segments_stay_in_range_and_noise_is_injected() {
+        let config = ProbeConfig { noisy_fraction: 0.3, ..ProbeConfig::default() };
+        let segments = config.segments;
+        let tuples: Vec<Tuple> = ProbeGenerator::new(config).take(5_000).collect();
+        let mut noisy = 0;
+        for t in &tuples {
+            let seg = t.int("segment").unwrap();
+            assert!((0..segments).contains(&seg));
+            if t.float("speed").unwrap() > 120.0 {
+                noisy += 1;
+            }
+        }
+        let fraction = noisy as f64 / tuples.len() as f64;
+        assert!(fraction > 0.15 && fraction < 0.45, "noisy fraction ≈ 0.3, got {fraction}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<Tuple> = ProbeGenerator::new(ProbeConfig::default()).take(200).collect();
+        let b: Vec<Tuple> = ProbeGenerator::new(ProbeConfig::default()).take(200).collect();
+        assert_eq!(a, b);
+    }
+}

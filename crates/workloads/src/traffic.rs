@@ -1,0 +1,271 @@
+//! Fixed-sensor (loop detector) traffic stream.
+//!
+//! Substitutes for the Portland-metro archive used in the paper's experiments:
+//! a freeway of `segments` segments, each with `detectors_per_segment` loop
+//! detectors reporting speed and volume once per `resolution` (20 seconds in
+//! the paper) over `duration` (18 hours in Experiment 2).  A simple diurnal
+//! congestion model makes a configurable subset of segments congested (speeds
+//! below 45 mph) during peak periods so that the speed-map join's congestion
+//! predicate and the viewport feedback have realistic selectivity.
+
+use dsms_types::{DataType, Schema, SchemaRef, StreamDuration, Timestamp, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the fixed-sensor stream.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Number of freeway segments.
+    pub segments: i64,
+    /// Detectors per segment.
+    pub detectors_per_segment: i64,
+    /// Reporting period.
+    pub resolution: StreamDuration,
+    /// Total duration of the stream.
+    pub duration: StreamDuration,
+    /// Fraction of segments that experience congestion during peaks (0..=1).
+    pub congested_fraction: f64,
+    /// Free-flow speed in mph.
+    pub free_flow_speed: f64,
+    /// Congested speed in mph.
+    pub congested_speed: f64,
+    /// Probability that a reading is lost (reported as null) — feeds the
+    /// imputation scenario.
+    pub missing_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            segments: 9,
+            detectors_per_segment: 40,
+            resolution: StreamDuration::from_secs(20),
+            duration: StreamDuration::from_hours(18),
+            congested_fraction: 0.4,
+            free_flow_speed: 60.0,
+            congested_speed: 25.0,
+            missing_probability: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+impl TrafficConfig {
+    /// The paper's Experiment 2 configuration (≈1 M tuples).
+    pub fn experiment2() -> Self {
+        TrafficConfig::default()
+    }
+
+    /// A scaled-down configuration suitable for unit tests and CI benches.
+    pub fn small() -> Self {
+        TrafficConfig {
+            duration: StreamDuration::from_minutes(30),
+            detectors_per_segment: 4,
+            ..TrafficConfig::default()
+        }
+    }
+
+    /// Expected number of tuples the generator will produce.
+    pub fn expected_tuples(&self) -> u64 {
+        let ticks = (self.duration.as_millis() / self.resolution.as_millis()) as u64;
+        ticks * self.segments as u64 * self.detectors_per_segment as u64
+    }
+}
+
+/// Generates the fixed-sensor stream in timestamp order.
+pub struct TrafficGenerator {
+    config: TrafficConfig,
+    schema: SchemaRef,
+    rng: StdRng,
+    tick: i64,
+    segment: i64,
+    detector: i64,
+}
+
+impl TrafficGenerator {
+    /// The sensor stream schema: `(timestamp, segment, detector, speed, volume)`.
+    pub fn schema() -> SchemaRef {
+        Schema::shared(&[
+            ("timestamp", DataType::Timestamp),
+            ("segment", DataType::Int),
+            ("detector", DataType::Int),
+            ("speed", DataType::Float),
+            ("volume", DataType::Int),
+        ])
+    }
+
+    /// Creates a generator.
+    pub fn new(config: TrafficConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        TrafficGenerator { config, schema: Self::schema(), rng, tick: 0, segment: 0, detector: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TrafficConfig {
+        &self.config
+    }
+
+    /// True when the given segment belongs to the congested subset.
+    pub fn is_congested_segment(&self, segment: i64) -> bool {
+        (segment as f64) < self.config.congested_fraction * self.config.segments as f64
+    }
+
+    /// True when stream time `ts` falls in a peak (congested) period: hours
+    /// 7–9 and 16–18 of the stream day.
+    pub fn is_peak(ts: Timestamp) -> bool {
+        let hour = (ts.as_secs() / 3600) % 24;
+        (7..9).contains(&hour) || (16..18).contains(&hour)
+    }
+
+    fn speed_for(&mut self, segment: i64, ts: Timestamp) -> f64 {
+        let base = if self.is_congested_segment(segment) && Self::is_peak(ts) {
+            self.config.congested_speed
+        } else {
+            self.config.free_flow_speed
+        };
+        let noise: f64 = self.rng.gen_range(-5.0..5.0);
+        (base + noise).max(1.0)
+    }
+}
+
+impl Iterator for TrafficGenerator {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        let total_ticks = self.config.duration.as_millis() / self.config.resolution.as_millis();
+        if self.tick >= total_ticks {
+            return None;
+        }
+        let ts = Timestamp::EPOCH + StreamDuration::from_millis(self.tick * self.config.resolution.as_millis());
+        let segment = self.segment;
+        let detector = segment * self.config.detectors_per_segment + self.detector;
+        let speed = if self.rng.gen_bool(self.config.missing_probability.clamp(0.0, 1.0)) {
+            Value::Null
+        } else {
+            Value::Float(self.speed_for(segment, ts))
+        };
+        let volume = self.rng.gen_range(0..40);
+        let tuple = Tuple::new(
+            self.schema.clone(),
+            vec![
+                Value::Timestamp(ts),
+                Value::Int(segment),
+                Value::Int(detector),
+                speed,
+                Value::Int(volume),
+            ],
+        );
+
+        // Advance detector → segment → tick, keeping timestamp order.
+        self.detector += 1;
+        if self.detector >= self.config.detectors_per_segment {
+            self.detector = 0;
+            self.segment += 1;
+            if self.segment >= self.config.segments {
+                self.segment = 0;
+                self.tick += 1;
+            }
+        }
+        Some(tuple)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_expected_tuple_count() {
+        let config = TrafficConfig {
+            segments: 3,
+            detectors_per_segment: 2,
+            duration: StreamDuration::from_minutes(2),
+            resolution: StreamDuration::from_secs(20),
+            ..TrafficConfig::default()
+        };
+        let expected = config.expected_tuples();
+        let count = TrafficGenerator::new(config).count() as u64;
+        assert_eq!(count, expected);
+        assert_eq!(count, 6 * 6); // 6 ticks × 3 segments × 2 detectors
+    }
+
+    #[test]
+    fn timestamps_are_nondecreasing_and_aligned() {
+        let config = TrafficConfig::small();
+        let resolution = config.resolution;
+        let mut last = Timestamp::MIN;
+        for t in TrafficGenerator::new(config).take(2_000) {
+            let ts = t.timestamp("timestamp").unwrap();
+            assert!(ts >= last);
+            assert_eq!(ts.as_millis() % resolution.as_millis(), 0);
+            last = ts;
+        }
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds_and_distinct_for_different() {
+        let a: Vec<Tuple> = TrafficGenerator::new(TrafficConfig::small()).take(100).collect();
+        let b: Vec<Tuple> = TrafficGenerator::new(TrafficConfig::small()).take(100).collect();
+        assert_eq!(a, b);
+        let c: Vec<Tuple> =
+            TrafficGenerator::new(TrafficConfig { seed: 7, ..TrafficConfig::small() }).take(100).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn congestion_model_slows_peak_traffic() {
+        let config = TrafficConfig {
+            duration: StreamDuration::from_hours(18),
+            detectors_per_segment: 1,
+            segments: 9,
+            ..TrafficConfig::default()
+        };
+        let generator = TrafficGenerator::new(config);
+        assert!(generator.is_congested_segment(0));
+        assert!(!generator.is_congested_segment(8));
+        assert!(TrafficGenerator::is_peak(Timestamp::from_hours(8)));
+        assert!(!TrafficGenerator::is_peak(Timestamp::from_hours(12)));
+
+        let mut peak_congested = Vec::new();
+        let mut offpeak_congested = Vec::new();
+        for t in generator {
+            let seg = t.int("segment").unwrap();
+            let ts = t.timestamp("timestamp").unwrap();
+            if seg == 0 {
+                let speed = t.float("speed").unwrap();
+                if TrafficGenerator::is_peak(ts) {
+                    peak_congested.push(speed);
+                } else {
+                    offpeak_congested.push(speed);
+                }
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(avg(&peak_congested) < 35.0);
+        assert!(avg(&offpeak_congested) > 50.0);
+    }
+
+    #[test]
+    fn missing_probability_injects_nulls() {
+        let config = TrafficConfig {
+            missing_probability: 0.5,
+            duration: StreamDuration::from_minutes(10),
+            detectors_per_segment: 2,
+            segments: 2,
+            ..TrafficConfig::default()
+        };
+        let tuples: Vec<Tuple> = TrafficGenerator::new(config).collect();
+        let nulls = tuples.iter().filter(|t| t.has_null()).count();
+        assert!(nulls > 0);
+        assert!(nulls < tuples.len());
+    }
+
+    #[test]
+    fn paper_scale_config_is_about_one_million_tuples() {
+        let config = TrafficConfig::experiment2();
+        let expected = config.expected_tuples();
+        assert!(expected > 900_000 && expected < 1_300_000, "got {expected}");
+    }
+}

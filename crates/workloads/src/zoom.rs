@@ -1,0 +1,114 @@
+//! Speed-map viewport (zoom) events.
+//!
+//! Experiment 2 assumes "the vehicle viewing the map switches segments every
+//! 2, 4, or 6 minutes"; each switch is an event-driven feedback opportunity —
+//! segments outside the new viewport can be assumed away until the next
+//! switch.  A [`ZoomSchedule`] deterministically generates that sequence of
+//! viewport changes for a given feedback frequency.
+
+use dsms_types::{StreamDuration, Timestamp};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// One viewport change: at `at`, only `visible` segments remain displayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZoomEvent {
+    /// Stream time of the viewport change.
+    pub at: Timestamp,
+    /// Segments visible after the change.
+    pub visible: BTreeSet<i64>,
+}
+
+/// A deterministic schedule of viewport changes.
+#[derive(Debug, Clone)]
+pub struct ZoomSchedule {
+    events: Vec<ZoomEvent>,
+}
+
+impl ZoomSchedule {
+    /// Builds a schedule: starting at time zero and then every `frequency`,
+    /// the viewer zooms to a random subset of `visible_count` segments out of
+    /// `0..segments`, over a total horizon of `duration`.
+    pub fn new(
+        segments: i64,
+        visible_count: usize,
+        frequency: StreamDuration,
+        duration: StreamDuration,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let all: Vec<i64> = (0..segments).collect();
+        let mut events = Vec::new();
+        let mut at = Timestamp::EPOCH;
+        let end = Timestamp::EPOCH + duration;
+        while at < end {
+            let visible: BTreeSet<i64> = all
+                .choose_multiple(&mut rng, visible_count.min(all.len()))
+                .copied()
+                .collect();
+            events.push(ZoomEvent { at, visible });
+            at = at + frequency;
+        }
+        ZoomSchedule { events }
+    }
+
+    /// The viewport changes in time order.
+    pub fn events(&self) -> &[ZoomEvent] {
+        &self.events
+    }
+
+    /// Number of viewport changes.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the schedule has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The viewport in effect at stream time `ts` (the last change at or
+    /// before `ts`), if any.
+    pub fn viewport_at(&self, ts: Timestamp) -> Option<&ZoomEvent> {
+        self.events.iter().rev().find(|e| e.at <= ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_covers_the_horizon_at_the_requested_frequency() {
+        let s = ZoomSchedule::new(9, 2, StreamDuration::from_minutes(2), StreamDuration::from_hours(1), 3);
+        assert_eq!(s.len(), 30, "one change every 2 minutes over an hour");
+        for e in s.events() {
+            assert_eq!(e.visible.len(), 2);
+            assert!(e.visible.iter().all(|s| (0..9).contains(s)));
+        }
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn viewport_lookup_returns_the_latest_change() {
+        let s = ZoomSchedule::new(9, 3, StreamDuration::from_minutes(4), StreamDuration::from_minutes(20), 3);
+        let early = s.viewport_at(Timestamp::from_minutes(1)).unwrap();
+        assert_eq!(early.at, Timestamp::EPOCH);
+        let later = s.viewport_at(Timestamp::from_minutes(9)).unwrap();
+        assert_eq!(later.at, Timestamp::from_minutes(8));
+        assert!(ZoomSchedule::new(9, 3, StreamDuration::from_minutes(4), StreamDuration::ZERO, 3)
+            .viewport_at(Timestamp::EPOCH)
+            .is_none());
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_different_across_seeds() {
+        let a = ZoomSchedule::new(9, 2, StreamDuration::from_minutes(2), StreamDuration::from_hours(2), 3);
+        let b = ZoomSchedule::new(9, 2, StreamDuration::from_minutes(2), StreamDuration::from_hours(2), 3);
+        assert_eq!(a.events(), b.events());
+        let c = ZoomSchedule::new(9, 2, StreamDuration::from_minutes(2), StreamDuration::from_hours(2), 4);
+        assert_ne!(a.events(), c.events());
+    }
+}

@@ -1,0 +1,71 @@
+//! # feedback-dsms
+//!
+//! Umbrella crate for the reproduction of *"Inter-Operator Feedback in Data
+//! Stream Management Systems via Punctuation"* (Fernández-Moctezuma, Tufte,
+//! Li — CIDR 2009).
+//!
+//! The actual functionality lives in the workspace crates, re-exported here
+//! for convenience so examples and downstream users can depend on a single
+//! crate:
+//!
+//! * [`types`] — values, schemas, tuples, stream time;
+//! * [`punctuation`] — embedded punctuation, pattern algebra, schemes,
+//!   progress tracking;
+//! * [`feedback`] — **the paper's contribution**: feedback punctuation
+//!   (assumed `¬`, desired `?`, demanded `!`), correctness, characterizations,
+//!   registries and policies;
+//! * [`engine`] — the NiagaraST-style push engine (pages, control channels,
+//!   executors);
+//! * [`operators`] — the feedback-aware operator library;
+//! * [`workloads`] — deterministic synthetic workload generators.
+//!
+//! See `examples/quickstart.rs` for a first end-to-end query and DESIGN.md /
+//! EXPERIMENTS.md for the paper-reproduction map.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dsms_engine as engine;
+pub use dsms_feedback as feedback;
+pub use dsms_operators as operators;
+pub use dsms_punctuation as punctuation;
+pub use dsms_types as types;
+pub use dsms_workloads as workloads;
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use dsms_engine::{
+        ExecutionReport, Operator, OperatorContext, QueryPlan, SourceState, StreamItem,
+        SyncExecutor, ThreadedExecutor,
+    };
+    pub use dsms_feedback::{
+        FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, GuardDecision,
+    };
+    pub use dsms_operators::{
+        AggregateFunction, ArchivalStore, CollectSink, Duplicate, GeneratorSource, ImpatientJoin,
+        Impute, OnDemandGate, Pace, Prioritizer, Project, QualityFilter, Select, Split,
+        SymmetricHashJoin, ThriftyJoin, TimedSink, TuplePredicate, Union, VecSource,
+        WindowAggregate,
+    };
+    pub use dsms_punctuation::{Pattern, PatternItem, Punctuation, PunctuationScheme};
+    pub use dsms_types::{
+        DataType, Field, Schema, SchemaRef, StreamDuration, Timestamp, Tuple, TupleBuilder, Value,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reexports_compile_and_resolve() {
+        use crate::prelude::*;
+        let schema = Schema::shared(&[("ts", DataType::Timestamp), ("v", DataType::Int)]);
+        let tuple = Tuple::new(
+            schema.clone(),
+            vec![Value::Timestamp(Timestamp::EPOCH), Value::Int(1)],
+        );
+        let pattern = Pattern::all_wildcards(schema);
+        assert!(pattern.matches(&tuple));
+        let feedback = FeedbackPunctuation::assumed(pattern, "test");
+        assert_eq!(feedback.intent(), FeedbackIntent::Assumed);
+    }
+}

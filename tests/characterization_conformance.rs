@@ -1,0 +1,209 @@
+//! Conformance tests: the feedback-aware operators enact exactly the
+//! responses that `dsms_feedback::characterization` declares correct for them
+//! (so Tables 1 and 2 are not just derived — they are what the operators do),
+//! and feedback guards expire once embedded punctuation subsumes them
+//! (the supportable-feedback rule of Section 4.4).
+
+use feedback_dsms::feedback::{
+    characterize_join, AttributeMapping, ExploitAction, FeedbackPunctuation, FeedbackRegistry,
+    GuardDecision, JoinSpec, PropagationRule,
+};
+use feedback_dsms::prelude::*;
+use feedback_dsms::punctuation::scheme::Delimitation;
+
+fn sensor_schema() -> SchemaRef {
+    Schema::shared(&[
+        ("timestamp", DataType::Timestamp),
+        ("segment", DataType::Int),
+        ("speed", DataType::Float),
+    ])
+}
+
+fn probe_schema() -> SchemaRef {
+    Schema::shared(&[
+        ("timestamp", DataType::Timestamp),
+        ("segment", DataType::Int),
+        ("avg", DataType::Float),
+    ])
+}
+
+fn sensor(ts: i64, seg: i64, speed: f64) -> Tuple {
+    Tuple::new(
+        sensor_schema(),
+        vec![Value::Timestamp(Timestamp::from_secs(ts)), Value::Int(seg), Value::Float(speed)],
+    )
+}
+
+fn probe(ts: i64, seg: i64, avg: f64) -> Tuple {
+    Tuple::new(
+        probe_schema(),
+        vec![Value::Timestamp(Timestamp::from_secs(ts)), Value::Int(seg), Value::Float(avg)],
+    )
+}
+
+/// The join operator's observable behaviour matches the characterization it
+/// consults: feedback on the join key is propagated to both inputs and purges
+/// both hash tables, exactly as `characterize_join` prescribes.
+#[test]
+fn join_enacts_its_own_characterization() {
+    let join = SymmetricHashJoin::new(
+        "JOIN",
+        sensor_schema(),
+        probe_schema(),
+        &["segment"],
+        "timestamp",
+        StreamDuration::from_secs(60),
+    )
+    .unwrap();
+    let output = join.output_schema().clone();
+
+    // What the characterization says should happen for ¬[segment = 3].
+    let spec = JoinSpec {
+        output: output.clone(),
+        left: sensor_schema(),
+        right: probe_schema(),
+        left_attributes: vec![2],
+        join_attributes: vec![1],
+        right_attributes: vec![3],
+        left_mapping: AttributeMapping::by_name(output.clone(), sensor_schema()).unwrap(),
+        right_mapping: AttributeMapping::by_name(output.clone(), probe_schema()).unwrap(),
+    };
+    let feedback_pattern =
+        Pattern::for_attributes(output, &[("segment", PatternItem::Eq(Value::Int(3)))]).unwrap();
+    let declared = characterize_join(&spec, &feedback_pattern).unwrap();
+    assert!(declared.purges_state());
+    assert!(declared.guards_input());
+    let declared_targets = match &declared.propagation {
+        PropagationRule::ToInputs(targets) => targets.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+        other => panic!("expected propagation to inputs, got {other:?}"),
+    };
+    assert_eq!(declared_targets, vec![0, 1]);
+    assert!(declared
+        .actions
+        .iter()
+        .any(|a| matches!(a, ExploitAction::GuardInput { input: 0, .. })));
+    assert!(declared
+        .actions
+        .iter()
+        .any(|a| matches!(a, ExploitAction::GuardInput { input: 1, .. })));
+
+    // What the operator actually does.
+    let mut join = join;
+    let mut ctx = OperatorContext::new();
+    join.on_tuple(0, sensor(10, 3, 40.0), &mut ctx).unwrap();
+    join.on_tuple(1, probe(20, 3, 38.0), &mut ctx).unwrap();
+    join.on_tuple(0, sensor(10, 4, 50.0), &mut ctx).unwrap();
+    let _ = ctx.take_emitted();
+    assert_eq!(join.buffered(), 3);
+
+    join.on_feedback(
+        0,
+        FeedbackPunctuation::assumed(feedback_pattern, "MAP"),
+        &mut ctx,
+    )
+    .unwrap();
+    let relayed: Vec<usize> = ctx.take_feedback().into_iter().map(|(i, _)| i).collect();
+    assert_eq!(relayed, declared_targets, "operator propagates to exactly the declared inputs");
+    assert_eq!(join.buffered(), 1, "segment-3 state purged from both tables, as declared");
+
+    // Declared input guards hold: segment-3 tuples on either input are ignored.
+    join.on_tuple(0, sensor(30, 3, 99.0), &mut ctx).unwrap();
+    join.on_tuple(1, probe(30, 3, 99.0), &mut ctx).unwrap();
+    assert_eq!(join.buffered(), 1);
+    assert!(ctx.take_emitted().is_empty());
+}
+
+/// Section 4.4: feedback on a delimited (punctuated) attribute is supportable —
+/// its guard state is released once embedded punctuation covers it — while
+/// feedback on an undelimited attribute is rejected in strict mode.
+#[test]
+fn guards_expire_with_embedded_punctuation_and_unsupportable_feedback_is_rejected() {
+    let scheme = PunctuationScheme::new(
+        sensor_schema(),
+        &[("timestamp", Delimitation::Progressive), ("segment", Delimitation::Grouped)],
+    )
+    .unwrap();
+    let mut registry = FeedbackRegistry::new("IMPUTE").with_scheme(scheme, true);
+
+    // Supportable: constrains the progressive timestamp attribute.
+    let before_100 = FeedbackPunctuation::assumed(
+        Pattern::for_attributes(
+            sensor_schema(),
+            &[("timestamp", PatternItem::Lt(Value::Timestamp(Timestamp::from_secs(100))))],
+        )
+        .unwrap(),
+        "PACE",
+    );
+    registry.register(before_100).unwrap();
+    assert_eq!(registry.decide(&sensor(50, 1, 10.0)), GuardDecision::Suppress);
+
+    // Unsupportable: speeds are never punctuated, so this guard could never be
+    // released — strict mode rejects it.
+    let fast = FeedbackPunctuation::assumed(
+        Pattern::for_attributes(sensor_schema(), &[("speed", PatternItem::Ge(Value::Float(50.0)))])
+            .unwrap(),
+        "MAP",
+    );
+    assert!(registry.register(fast).is_err());
+
+    // Embedded punctuation catching up to the guard releases it.
+    let progress = Punctuation::progress(sensor_schema(), "timestamp", Timestamp::from_secs(100)).unwrap();
+    assert_eq!(registry.expire_with(&progress), 1);
+    assert_eq!(registry.predicate_state_size(), 0);
+    assert_eq!(registry.peek(&sensor(50, 1, 10.0)), GuardDecision::Pass);
+}
+
+/// The speed-map viewport feedback of Experiment 2 composes with the
+/// characterization machinery: an InSet pattern over the segment attribute is
+/// group-only feedback, so the aggregate purges, guards and propagates it, and
+/// a later viewport change only adds guards for newly hidden segments.
+#[test]
+fn viewport_feedback_drives_the_aggregate_like_experiment_2() {
+    use feedback_dsms::operators::aggregate::FeedbackMode;
+
+    let aggregate = WindowAggregate::new(
+        "AVERAGE",
+        sensor_schema(),
+        "timestamp",
+        StreamDuration::from_secs(60),
+        &["segment"],
+        AggregateFunction::Avg("speed".into()),
+    )
+    .unwrap()
+    .with_feedback_mode(FeedbackMode::ExploitAndPropagate);
+    let output = aggregate.output_schema().clone();
+    let mut aggregate = aggregate;
+    let mut ctx = OperatorContext::new();
+
+    for seg in 0..9 {
+        aggregate.on_tuple(0, sensor(10, seg, 30.0 + seg as f64), &mut ctx).unwrap();
+    }
+    assert_eq!(aggregate.open_groups(), 9);
+
+    // Viewport: only segments 0 and 1 are visible → hide 2..9.
+    let hidden: Vec<Value> = (2..9).map(Value::Int).collect();
+    let feedback = FeedbackPunctuation::assumed(
+        Pattern::for_attributes(output, &[("segment", PatternItem::InSet(hidden))]).unwrap(),
+        "MAP",
+    );
+    aggregate.on_feedback(0, feedback, &mut ctx).unwrap();
+    assert_eq!(aggregate.open_groups(), 2, "hidden segments purged");
+    assert_eq!(ctx.take_feedback().len(), 1, "relayed to the quality filter (scheme F3)");
+
+    // Hidden segments no longer aggregate; visible ones still do.
+    aggregate.on_tuple(0, sensor(20, 5, 99.0), &mut ctx).unwrap();
+    aggregate.on_tuple(0, sensor(20, 1, 99.0), &mut ctx).unwrap();
+    assert_eq!(aggregate.open_groups(), 2);
+
+    aggregate.on_flush(&mut ctx).unwrap();
+    let emitted: Vec<i64> = ctx
+        .take_emitted()
+        .into_iter()
+        .filter_map(|(_, item)| match item {
+            StreamItem::Tuple(t) => Some(t.int("segment").unwrap()),
+            StreamItem::Punctuation(_) => None,
+        })
+        .collect();
+    assert_eq!(emitted.len(), 2);
+    assert!(emitted.contains(&0) && emitted.contains(&1));
+}

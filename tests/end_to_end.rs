@@ -1,0 +1,250 @@
+//! Cross-crate integration tests: whole query plans executed on both
+//! executors, exercising the feedback loop end to end.
+
+use feedback_dsms::prelude::*;
+use std::time::Duration;
+
+fn sensor_schema() -> SchemaRef {
+    Schema::shared(&[
+        ("timestamp", DataType::Timestamp),
+        ("segment", DataType::Int),
+        ("speed", DataType::Float),
+    ])
+}
+
+fn readings(n: i64, segments: i64) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| {
+            Tuple::new(
+                sensor_schema(),
+                vec![
+                    Value::Timestamp(Timestamp::from_secs(i)),
+                    Value::Int(i % segments),
+                    Value::Float(20.0 + (i % 50) as f64),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// source -> select -> aggregate -> sink, no feedback: both executors produce
+/// the same aggregate results.
+#[test]
+fn executors_agree_on_windowed_aggregation() {
+    let run = |threaded: bool| -> Vec<Tuple> {
+        let mut plan = QueryPlan::new().with_page_capacity(8);
+        let source = plan.add(
+            VecSource::new("sensors", readings(600, 3))
+                .with_punctuation("timestamp", StreamDuration::from_secs(60)),
+        );
+        let select = plan.add(Select::new(
+            "moving",
+            sensor_schema(),
+            TuplePredicate::new("speed > 0", |t| t.float("speed").unwrap_or(0.0) > 0.0),
+        ));
+        let aggregate = plan.add(
+            WindowAggregate::new(
+                "AVG",
+                sensor_schema(),
+                "timestamp",
+                StreamDuration::from_secs(60),
+                &["segment"],
+                AggregateFunction::Avg("speed".into()),
+            )
+            .unwrap(),
+        );
+        let (sink, results) = CollectSink::new("out");
+        let sink = plan.add(sink);
+        plan.connect_simple(source, select).unwrap();
+        plan.connect_simple(select, aggregate).unwrap();
+        plan.connect_simple(aggregate, sink).unwrap();
+        let report = if threaded {
+            ThreadedExecutor::run(plan).unwrap()
+        } else {
+            SyncExecutor::run(plan).unwrap()
+        };
+        assert!(report.operator("AVG").unwrap().tuples_in > 0);
+        let mut out = results.lock().clone();
+        out.sort_by(|a, b| a.values().cmp(b.values()));
+        out
+    };
+    let sync_results = run(false);
+    let threaded_results = run(true);
+    assert_eq!(sync_results.len(), 30, "10 windows × 3 segments");
+    assert_eq!(sync_results, threaded_results);
+}
+
+/// The full feedback loop: a sink assumes a segment away; the aggregate purges
+/// and guards it, relays the feedback to the select, which relays it to the
+/// source.  The segment disappears from the results and from upstream work.
+#[test]
+fn assumed_feedback_propagates_from_sink_to_source() {
+    let mut plan = QueryPlan::new().with_page_capacity(8);
+    let source = plan.add(
+        VecSource::new("sensors", readings(3_000, 3))
+            .with_punctuation("timestamp", StreamDuration::from_secs(60))
+            .with_batch_size(16),
+    );
+    let select = plan.add(Select::new(
+        "moving",
+        sensor_schema(),
+        TuplePredicate::new("speed > 0", |t| t.float("speed").unwrap_or(0.0) > 0.0),
+    ));
+    let aggregate = WindowAggregate::new(
+        "AVG",
+        sensor_schema(),
+        "timestamp",
+        StreamDuration::from_secs(60),
+        &["segment"],
+        AggregateFunction::Avg("speed".into()),
+    )
+    .unwrap();
+    let output_schema = aggregate.output_schema().clone();
+    let aggregate = plan.add(aggregate);
+
+    // After 5 results, the display stops caring about segment 1.
+    let ignore_segment_1 = FeedbackPunctuation::assumed(
+        Pattern::for_attributes(output_schema, &[("segment", PatternItem::Eq(Value::Int(1)))]).unwrap(),
+        "display",
+    );
+    let (sink, results) = TimedSink::new("display");
+    let sink = plan.add(sink.with_scheduled_feedback(5, ignore_segment_1));
+
+    plan.connect_simple(source, select).unwrap();
+    plan.connect_simple(select, aggregate).unwrap();
+    plan.connect_simple(aggregate, sink).unwrap();
+
+    let report = SyncExecutor::run(plan).unwrap();
+
+    // Feedback travelled the whole chain.
+    assert_eq!(report.operator("display").unwrap().feedback_out, 1);
+    assert_eq!(report.operator("AVG").unwrap().feedback_in, 1);
+    assert!(report.operator("AVG").unwrap().feedback_out >= 1, "AVG relays to SELECT");
+    assert_eq!(report.operator("moving").unwrap().feedback_in, 1);
+    assert!(report.operator("moving").unwrap().feedback_out >= 1, "SELECT relays to the source");
+    assert_eq!(report.operator("sensors").unwrap().feedback_in, 1);
+
+    // Results for segment 1 stop appearing after the feedback fired.
+    let results = results.lock();
+    let segment1_after_feedback = results
+        .iter()
+        .skip(6)
+        .filter(|r| r.tuple.int("segment").unwrap() == 1)
+        .count();
+    assert_eq!(segment1_after_feedback, 0);
+    // Other segments keep flowing.
+    assert!(results.iter().filter(|r| r.tuple.int("segment").unwrap() == 0).count() > 5);
+    // Upstream suppression did real work: the source dropped segment-1 readings.
+    assert!(report.operator("sensors").unwrap().feedback.tuples_suppressed > 0);
+}
+
+/// Correct exploitation end to end (Definition 1): with feedback, the result
+/// is a subset of the no-feedback result, and only described tuples are
+/// missing.
+#[test]
+fn feedback_exploitation_satisfies_definition_1() {
+    let run = |with_feedback: bool| -> Vec<Tuple> {
+        let mut plan = QueryPlan::new();
+        let source = plan.add(
+            VecSource::new("sensors", readings(1_200, 4))
+                .with_punctuation("timestamp", StreamDuration::from_secs(60)),
+        );
+        let aggregate = WindowAggregate::new(
+            "COUNT",
+            sensor_schema(),
+            "timestamp",
+            StreamDuration::from_secs(60),
+            &["segment"],
+            AggregateFunction::Count,
+        )
+        .unwrap();
+        let output_schema = aggregate.output_schema().clone();
+        let aggregate = plan.add(aggregate);
+        let (sink, results) = if with_feedback {
+            let fb = FeedbackPunctuation::assumed(
+                Pattern::for_attributes(
+                    output_schema,
+                    &[("segment", PatternItem::Eq(Value::Int(2)))],
+                )
+                .unwrap(),
+                "display",
+            );
+            let (sink, results) = TimedSink::new("display");
+            (sink.with_scheduled_feedback(1, fb), results)
+        } else {
+            TimedSink::new("display")
+        };
+        let sink = plan.add(sink);
+        plan.connect_simple(source, aggregate).unwrap();
+        plan.connect_simple(aggregate, sink).unwrap();
+        SyncExecutor::run(plan).unwrap();
+        let collected: Vec<Tuple> = results.lock().iter().map(|r| r.tuple.clone()).collect();
+        collected
+    };
+
+    let reference = run(false);
+    let exploited = run(true);
+    let feedback = FeedbackPunctuation::assumed(
+        Pattern::for_attributes(
+            reference[0].schema().clone(),
+            &[("segment", PatternItem::Eq(Value::Int(2)))],
+        )
+        .unwrap(),
+        "display",
+    );
+    let report = feedback_dsms::feedback::check_correct_exploitation(&reference, &exploited, &feedback);
+    assert!(report.is_correct(), "invented: {:?}, wrongly dropped: {:?}", report.invented, report.wrongly_dropped);
+    assert!(exploited.len() < reference.len(), "exploitation actually removed something");
+}
+
+/// PACE + IMPUTE end to end on the threaded executor: feedback reduces wasted
+/// archival lookups compared to the same plan without feedback.
+#[test]
+fn pace_feedback_reduces_wasted_imputation_work() {
+    use feedback_dsms::workloads::{ImputationConfig, ImputationGenerator};
+
+    let run = |with_feedback: bool| -> (u64, u64) {
+        let schema = ImputationGenerator::schema();
+        let config = ImputationConfig { tuples: 400, ..ImputationConfig::experiment1() };
+        let mut plan = QueryPlan::new().with_page_capacity(4);
+        let source = plan.add(
+            GeneratorSource::new("sensors", ImputationGenerator::new(config))
+                .with_punctuation("timestamp", StreamDuration::from_secs(1))
+                .with_batch_size(8)
+                .with_pacing(40.0),
+        );
+        let split = plan.add(Split::new(
+            "split",
+            schema.clone(),
+            TuplePredicate::new("dirty", |t| t.has_null()),
+        ));
+        let impute = plan.add(Impute::new(
+            "IMPUTE",
+            "speed",
+            "detector",
+            ArchivalStore::synthetic(Duration::from_millis(3), 45.0),
+        ));
+        let merge = if with_feedback {
+            plan.add(Pace::new("PACE", schema, 2, "timestamp", StreamDuration::from_secs(2)))
+        } else {
+            plan.add(Union::new("UNION", schema, 2))
+        };
+        let (sink, _out) = TimedSink::new("out");
+        let sink = plan.add(sink);
+        plan.connect_simple(source, split).unwrap();
+        plan.connect(split, 0, impute, 0).unwrap();
+        plan.connect(impute, 0, merge, 0).unwrap();
+        plan.connect(split, 1, merge, 1).unwrap();
+        plan.connect_simple(merge, sink).unwrap();
+        let report = ThreadedExecutor::run(plan).unwrap();
+        let impute_metrics = report.operator("IMPUTE").unwrap();
+        (impute_metrics.tuples_out, impute_metrics.feedback.tuples_suppressed)
+    };
+
+    let (baseline_imputed, baseline_suppressed) = run(false);
+    let (feedback_imputed, feedback_suppressed) = run(true);
+    assert_eq!(baseline_suppressed, 0);
+    assert_eq!(baseline_imputed, 200, "without feedback every dirty tuple is imputed");
+    assert!(feedback_suppressed > 0, "feedback must suppress some lookups");
+    assert!(feedback_imputed < baseline_imputed);
+}

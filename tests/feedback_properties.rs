@@ -1,0 +1,188 @@
+//! Property-based integration tests over the feedback framework: Definition 1
+//! and Definition 2 hold for the feedback-aware operators under randomly
+//! generated streams and feedback patterns.
+
+use feedback_dsms::feedback::{check_correct_exploitation, FeedbackPunctuation};
+use feedback_dsms::operators::aggregate::FeedbackMode;
+use feedback_dsms::prelude::*;
+use proptest::prelude::*;
+
+fn schema() -> SchemaRef {
+    Schema::shared(&[
+        ("timestamp", DataType::Timestamp),
+        ("segment", DataType::Int),
+        ("speed", DataType::Float),
+    ])
+}
+
+fn tuple(ts: i64, seg: i64, speed: f64) -> Tuple {
+    Tuple::new(
+        schema(),
+        vec![
+            Value::Timestamp(Timestamp::from_secs(ts)),
+            Value::Int(seg),
+            Value::Float(speed),
+        ],
+    )
+}
+
+/// Drains an operator over a stream of tuples followed by a flush, returning
+/// the emitted tuples.
+fn drive(op: &mut dyn Operator, stream: &[Tuple]) -> Vec<Tuple> {
+    let mut ctx = OperatorContext::new();
+    let mut out = Vec::new();
+    for t in stream {
+        op.on_tuple(0, t.clone(), &mut ctx).unwrap();
+        for (_, item) in ctx.take_emitted() {
+            if let StreamItem::Tuple(t) = item {
+                out.push(t);
+            }
+        }
+    }
+    op.on_flush(&mut ctx).unwrap();
+    for (_, item) in ctx.take_emitted() {
+        if let StreamItem::Tuple(t) = item {
+            out.push(t);
+        }
+    }
+    out
+}
+
+fn stream_strategy() -> impl Strategy<Value = Vec<(i64, i64, i64)>> {
+    proptest::collection::vec((0i64..600, 0i64..5, 0i64..80), 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SELECT: adding assumed feedback to its condition is a correct
+    /// exploitation for any stream and any segment-feedback.
+    #[test]
+    fn select_exploitation_is_correct(raw in stream_strategy(), fb_segment in 0i64..5) {
+        let stream: Vec<Tuple> = raw.iter().map(|(t, s, v)| tuple(*t, *s, *v as f64)).collect();
+        let predicate = || TuplePredicate::new("speed >= 20", |t| t.float("speed").unwrap_or(0.0) >= 20.0);
+        let feedback = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(fb_segment)))]).unwrap(),
+            "test",
+        );
+
+        let mut reference_op = Select::new("select", schema(), predicate());
+        let reference = drive(&mut reference_op, &stream);
+
+        let mut exploited_op = Select::new("select", schema(), predicate());
+        let mut ctx = OperatorContext::new();
+        exploited_op.on_feedback(0, feedback.clone(), &mut ctx).unwrap();
+        let exploited = drive(&mut exploited_op, &stream);
+
+        let report = check_correct_exploitation(&reference, &exploited, &feedback);
+        prop_assert!(report.is_correct(), "invented {:?} dropped {:?}", report.invented, report.wrongly_dropped);
+    }
+
+    /// Windowed COUNT: the Table-1 response to group feedback is a correct
+    /// exploitation, for every feedback mode.
+    #[test]
+    fn count_group_feedback_is_correct(raw in stream_strategy(), fb_segment in 0i64..5) {
+        let stream: Vec<Tuple> = raw.iter().map(|(t, s, v)| tuple(*t, *s, *v as f64)).collect();
+        let make = |mode: FeedbackMode| {
+            WindowAggregate::new(
+                "COUNT",
+                schema(),
+                "timestamp",
+                StreamDuration::from_secs(60),
+                &["segment"],
+                AggregateFunction::Count,
+            )
+            .unwrap()
+            .with_feedback_mode(mode)
+        };
+        let mut reference_op = make(FeedbackMode::Ignore);
+        let reference = drive(&mut reference_op, &stream);
+
+        for mode in [FeedbackMode::GuardOutput, FeedbackMode::Exploit, FeedbackMode::ExploitAndPropagate] {
+            let mut exploited_op = make(mode);
+            let feedback = FeedbackPunctuation::assumed(
+                Pattern::for_attributes(
+                    exploited_op.output_schema().clone(),
+                    &[("segment", PatternItem::Eq(Value::Int(fb_segment)))],
+                )
+                .unwrap(),
+                "test",
+            );
+            let mut ctx = OperatorContext::new();
+            exploited_op.on_feedback(0, feedback.clone(), &mut ctx).unwrap();
+            let exploited = drive(&mut exploited_op, &stream);
+            let report = check_correct_exploitation(&reference, &exploited, &feedback);
+            prop_assert!(
+                report.is_correct(),
+                "{mode:?}: invented {:?} dropped {:?}",
+                report.invented,
+                report.wrongly_dropped
+            );
+        }
+    }
+
+    /// Windowed MAX with an upward-closed value feedback (¬[*, ≥k]) enacts the
+    /// aggressive Section-3.5 response and stays correct.
+    #[test]
+    fn max_value_feedback_is_correct(raw in stream_strategy(), threshold in 10i64..70) {
+        let stream: Vec<Tuple> = raw.iter().map(|(t, s, v)| tuple(*t, *s, *v as f64)).collect();
+        let make = || {
+            WindowAggregate::new(
+                "MAX",
+                schema(),
+                "timestamp",
+                StreamDuration::from_secs(60),
+                &["segment"],
+                AggregateFunction::Max("speed".into()),
+            )
+            .unwrap()
+        };
+        let mut reference_op = make();
+        let reference = drive(&mut reference_op, &stream);
+
+        let mut exploited_op = make();
+        let feedback = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(
+                exploited_op.output_schema().clone(),
+                &[("max", PatternItem::Ge(Value::Float(threshold as f64)))],
+            )
+            .unwrap(),
+            "test",
+        );
+        let mut ctx = OperatorContext::new();
+        exploited_op.on_feedback(0, feedback.clone(), &mut ctx).unwrap();
+        let exploited = drive(&mut exploited_op, &stream);
+        let report = check_correct_exploitation(&reference, &exploited, &feedback);
+        prop_assert!(report.is_correct(), "invented {:?} dropped {:?}", report.invented, report.wrongly_dropped);
+    }
+
+    /// Desired punctuation never changes the result set of a prioritizer, only
+    /// its order.
+    #[test]
+    fn prioritizer_preserves_the_multiset(raw in stream_strategy(), fb_segment in 0i64..5) {
+        let stream: Vec<Tuple> = raw.iter().map(|(t, s, v)| tuple(*t, *s, *v as f64)).collect();
+        let mut reference_op = Prioritizer::new("prio", schema(), 8);
+        let reference = drive(&mut reference_op, &stream);
+
+        let mut exploited_op = Prioritizer::new("prio", schema(), 8);
+        let mut ctx = OperatorContext::new();
+        exploited_op
+            .on_feedback(
+                0,
+                FeedbackPunctuation::desired(
+                    Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(fb_segment)))])
+                        .unwrap(),
+                    "test",
+                ),
+                &mut ctx,
+            )
+            .unwrap();
+        let exploited = drive(&mut exploited_op, &stream);
+
+        let sort = |mut v: Vec<Tuple>| {
+            v.sort_by(|a, b| a.values().cmp(b.values()));
+            v
+        };
+        prop_assert_eq!(sort(reference), sort(exploited));
+    }
+}
