@@ -69,10 +69,18 @@ fn drive(op: &mut dyn Operator, minutes: i64) {
             let _ = ctx.take_feedback();
         }
         let watermark = Timestamp::from_secs((minute + 1) * 60);
-        op.on_punctuation(0, Punctuation::progress(sensor_schema(), "timestamp", watermark).unwrap(), &mut ctx)
-            .unwrap();
-        op.on_punctuation(1, Punctuation::progress(probe_schema(), "timestamp", watermark).unwrap(), &mut ctx)
-            .unwrap();
+        op.on_punctuation(
+            0,
+            Punctuation::progress(sensor_schema(), "timestamp", watermark).unwrap(),
+            &mut ctx,
+        )
+        .unwrap();
+        op.on_punctuation(
+            1,
+            Punctuation::progress(probe_schema(), "timestamp", watermark).unwrap(),
+            &mut ctx,
+        )
+        .unwrap();
         let _ = ctx.take_emitted();
         let _ = ctx.take_feedback();
     }
@@ -104,8 +112,8 @@ fn adaptive_joins(c: &mut Criterion) {
     });
     group.bench_with_input(BenchmarkId::from_parameter("impatient"), &minutes, |b, &m| {
         b.iter(|| {
-            let mut op =
-                ImpatientJoin::new("IMPATIENT", base_join(), probe_schema(), "segment").with_batch(4);
+            let mut op = ImpatientJoin::new("IMPATIENT", base_join(), probe_schema(), "segment")
+                .with_batch(4);
             drive(&mut op, m);
         })
     });

@@ -27,7 +27,8 @@ fn count_spec() -> AggregateSpec {
 fn join_spec() -> JoinSpec {
     let left = Schema::shared(&[("l", DataType::Int), ("j", DataType::Int)]);
     let right = Schema::shared(&[("j", DataType::Int), ("r", DataType::Int)]);
-    let output = Schema::shared(&[("l", DataType::Int), ("j", DataType::Int), ("r", DataType::Int)]);
+    let output =
+        Schema::shared(&[("l", DataType::Int), ("j", DataType::Int), ("r", DataType::Int)]);
     JoinSpec {
         output: output.clone(),
         left: left.clone(),
@@ -43,9 +44,11 @@ fn join_spec() -> JoinSpec {
 fn characterization(c: &mut Criterion) {
     let agg = count_spec();
     let group_feedback =
-        Pattern::for_attributes(agg.output.clone(), &[("g", PatternItem::Eq(Value::Int(7)))]).unwrap();
+        Pattern::for_attributes(agg.output.clone(), &[("g", PatternItem::Eq(Value::Int(7)))])
+            .unwrap();
     let value_feedback =
-        Pattern::for_attributes(agg.output.clone(), &[("a", PatternItem::Ge(Value::Int(100)))]).unwrap();
+        Pattern::for_attributes(agg.output.clone(), &[("a", PatternItem::Ge(Value::Int(100)))])
+            .unwrap();
     c.bench_function("characterize_count_group_feedback", |b| {
         b.iter(|| characterize_aggregate(black_box(&agg), black_box(&group_feedback)).unwrap())
     });
@@ -55,7 +58,8 @@ fn characterization(c: &mut Criterion) {
 
     let join = join_spec();
     let join_feedback =
-        Pattern::for_attributes(join.output.clone(), &[("j", PatternItem::Eq(Value::Int(4)))]).unwrap();
+        Pattern::for_attributes(join.output.clone(), &[("j", PatternItem::Eq(Value::Int(4)))])
+            .unwrap();
     c.bench_function("characterize_join_key_feedback", |b| {
         b.iter(|| characterize_join(black_box(&join), black_box(&join_feedback)).unwrap())
     });

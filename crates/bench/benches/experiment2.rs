@@ -25,13 +25,18 @@ fn experiment2(c: &mut Criterion) {
     let mut group = c.benchmark_group("experiment2_speedmap_schemes");
     group.sample_size(10);
     for scheme in Scheme::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &scheme, |b, &scheme| {
-            b.iter(|| {
-                let (plan, _handles) =
-                    speedmap_plan(&config, scheme, StreamDuration::from_minutes(2)).expect("plan");
-                ThreadedExecutor::run(plan).expect("run failed")
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    let (plan, _handles) =
+                        speedmap_plan(&config, scheme, StreamDuration::from_minutes(2))
+                            .expect("plan");
+                    ThreadedExecutor::run(plan).expect("run failed")
+                });
+            },
+        );
     }
     group.finish();
 }

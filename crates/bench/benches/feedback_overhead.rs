@@ -29,7 +29,8 @@ fn feedback_overhead(c: &mut Criterion) {
 
     group.bench_function("baseline_F0", |b| {
         b.iter(|| {
-            let (plan, _h) = speedmap_plan(&config, Scheme::F0, StreamDuration::from_minutes(2)).unwrap();
+            let (plan, _h) =
+                speedmap_plan(&config, Scheme::F0, StreamDuration::from_minutes(2)).unwrap();
             ThreadedExecutor::run(plan).expect("run failed")
         })
     });
@@ -40,7 +41,8 @@ fn feedback_overhead(c: &mut Criterion) {
             |b, &minutes| {
                 b.iter(|| {
                     let (plan, _h) =
-                        speedmap_plan(&config, Scheme::F2, StreamDuration::from_minutes(minutes)).unwrap();
+                        speedmap_plan(&config, Scheme::F2, StreamDuration::from_minutes(minutes))
+                            .unwrap();
                     ThreadedExecutor::run(plan).expect("run failed")
                 })
             },

@@ -17,7 +17,9 @@ fn schema() -> SchemaRef {
 
 fn stream(n: i64) -> Vec<Tuple> {
     (0..n)
-        .map(|i| Tuple::new(schema(), vec![Value::Timestamp(Timestamp::from_secs(i)), Value::Int(i)]))
+        .map(|i| {
+            Tuple::new(schema(), vec![Value::Timestamp(Timestamp::from_secs(i)), Value::Int(i)])
+        })
         .collect()
 }
 

@@ -55,13 +55,22 @@ fn punctuation_ops(c: &mut Criterion) {
                 reg.register(FeedbackPunctuation::assumed(pattern.clone(), "bench")).unwrap();
                 reg
             },
-            |mut reg| tuples.iter().map(|t| reg.decide(t)).filter(|d| *d == dsms_feedback::GuardDecision::Suppress).count(),
+            |mut reg| {
+                tuples
+                    .iter()
+                    .map(|t| reg.decide(t))
+                    .filter(|d| *d == dsms_feedback::GuardDecision::Suppress)
+                    .count()
+            },
             BatchSize::SmallInput,
         )
     });
 
     c.bench_function("progress_punctuation_construction", |b| {
-        b.iter(|| Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(black_box(500))).unwrap())
+        b.iter(|| {
+            Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(black_box(500)))
+                .unwrap()
+        })
     });
 }
 

@@ -16,11 +16,8 @@ use std::path::PathBuf;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let small = args.iter().any(|a| a == "--small");
-    let csv_dir: Option<PathBuf> = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from);
+    let csv_dir: Option<PathBuf> =
+        args.iter().position(|a| a == "--csv").and_then(|i| args.get(i + 1)).map(PathBuf::from);
 
     let config = if small { Experiment1Config::small() } else { Experiment1Config::paper() };
     eprintln!(

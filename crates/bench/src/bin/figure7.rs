@@ -12,11 +12,8 @@ use std::path::PathBuf;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let small = args.iter().any(|a| a == "--small");
-    let csv_file: Option<PathBuf> = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from);
+    let csv_file: Option<PathBuf> =
+        args.iter().position(|a| a == "--csv").and_then(|i| args.get(i + 1)).map(PathBuf::from);
 
     let config = if small { Experiment2Config::small() } else { Experiment2Config::paper() };
     let frequencies = [2i64, 4, 6];

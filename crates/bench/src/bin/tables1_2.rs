@@ -43,12 +43,36 @@ fn main() {
     };
     println!("Table 1 — characterization of COUNT (output schema (g, a))");
     let rows = [
-        ("¬[g, *]", Pattern::for_attributes(output.clone(), &[("g", PatternItem::Eq(Value::Int(7)))]).unwrap()),
-        ("¬[*, a]", Pattern::for_attributes(output.clone(), &[("a", PatternItem::Eq(Value::Int(10)))]).unwrap()),
-        ("¬[*, ≥a]", Pattern::for_attributes(output.clone(), &[("a", PatternItem::Ge(Value::Int(10)))]).unwrap()),
-        ("¬[*, >a]", Pattern::for_attributes(output.clone(), &[("a", PatternItem::Gt(Value::Int(10)))]).unwrap()),
-        ("¬[*, ≤a]", Pattern::for_attributes(output.clone(), &[("a", PatternItem::Le(Value::Int(10)))]).unwrap()),
-        ("¬[*, <a]", Pattern::for_attributes(output.clone(), &[("a", PatternItem::Lt(Value::Int(10)))]).unwrap()),
+        (
+            "¬[g, *]",
+            Pattern::for_attributes(output.clone(), &[("g", PatternItem::Eq(Value::Int(7)))])
+                .unwrap(),
+        ),
+        (
+            "¬[*, a]",
+            Pattern::for_attributes(output.clone(), &[("a", PatternItem::Eq(Value::Int(10)))])
+                .unwrap(),
+        ),
+        (
+            "¬[*, ≥a]",
+            Pattern::for_attributes(output.clone(), &[("a", PatternItem::Ge(Value::Int(10)))])
+                .unwrap(),
+        ),
+        (
+            "¬[*, >a]",
+            Pattern::for_attributes(output.clone(), &[("a", PatternItem::Gt(Value::Int(10)))])
+                .unwrap(),
+        ),
+        (
+            "¬[*, ≤a]",
+            Pattern::for_attributes(output.clone(), &[("a", PatternItem::Le(Value::Int(10)))])
+                .unwrap(),
+        ),
+        (
+            "¬[*, <a]",
+            Pattern::for_attributes(output.clone(), &[("a", PatternItem::Lt(Value::Int(10)))])
+                .unwrap(),
+        ),
     ];
     for (label, pattern) in rows {
         let ch = characterize_aggregate(&spec, &pattern).unwrap();
@@ -58,7 +82,8 @@ fn main() {
     // ----- Table 2: JOIN over A(l, j) ⋈ B(j, r), output (l, j, r) -----
     let left = Schema::shared(&[("l", DataType::Int), ("j", DataType::Int)]);
     let right = Schema::shared(&[("j", DataType::Int), ("r", DataType::Int)]);
-    let join_output = Schema::shared(&[("l", DataType::Int), ("j", DataType::Int), ("r", DataType::Int)]);
+    let join_output =
+        Schema::shared(&[("l", DataType::Int), ("j", DataType::Int), ("r", DataType::Int)]);
     let join_spec = JoinSpec {
         output: join_output.clone(),
         left: left.clone(),
@@ -72,9 +97,21 @@ fn main() {
     println!();
     println!("Table 2 — characterization of JOIN (output schema (L, J, R))");
     let rows = [
-        ("¬[*, j, *]", Pattern::for_attributes(join_output.clone(), &[("j", PatternItem::Eq(Value::Int(4)))]).unwrap()),
-        ("¬[l, *, *]", Pattern::for_attributes(join_output.clone(), &[("l", PatternItem::Eq(Value::Int(50)))]).unwrap()),
-        ("¬[*, *, r]", Pattern::for_attributes(join_output.clone(), &[("r", PatternItem::Eq(Value::Int(9)))]).unwrap()),
+        (
+            "¬[*, j, *]",
+            Pattern::for_attributes(join_output.clone(), &[("j", PatternItem::Eq(Value::Int(4)))])
+                .unwrap(),
+        ),
+        (
+            "¬[l, *, *]",
+            Pattern::for_attributes(join_output.clone(), &[("l", PatternItem::Eq(Value::Int(50)))])
+                .unwrap(),
+        ),
+        (
+            "¬[*, *, r]",
+            Pattern::for_attributes(join_output.clone(), &[("r", PatternItem::Eq(Value::Int(9)))])
+                .unwrap(),
+        ),
         (
             "¬[l, *, r]",
             Pattern::for_attributes(

@@ -50,6 +50,7 @@ impl SpeedMapDisplay {
     /// * `render_cost` — simulated cost of drawing one result on the map;
     /// * `feedback_enabled` — whether zoom events are turned into feedback
     ///   (false reproduces the F0 baseline where the display stays silent).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: impl Into<String>,
         schema: SchemaRef,
@@ -86,7 +87,9 @@ impl SpeedMapDisplay {
     }
 
     fn fire_due_events(&mut self, now: Timestamp, ctx: &mut OperatorContext) -> EngineResult<()> {
-        while self.next_event < self.schedule.len() && self.schedule.events()[self.next_event].at <= now {
+        while self.next_event < self.schedule.len()
+            && self.schedule.events()[self.next_event].at <= now
+        {
             let event = &self.schedule.events()[self.next_event];
             self.next_event += 1;
             if !self.feedback_enabled {
@@ -118,7 +121,12 @@ impl Operator for SpeedMapDisplay {
         0
     }
 
-    fn on_tuple(&mut self, _input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+    fn on_tuple(
+        &mut self,
+        _input: usize,
+        tuple: Tuple,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
         if let Ok(ts) = tuple.timestamp(&self.time_attribute) {
             self.fire_due_events(ts, ctx)?;
         }

@@ -115,7 +115,10 @@ pub struct Experiment1Result {
 /// plan merges via PACE: late tuples are dropped at PACE and their production
 /// is suppressed upstream via assumed punctuation, so an imputed tuple counts
 /// as lost simply when it never reaches the output (Figure 6's "dropped").
-pub fn run_experiment1(config: &Experiment1Config, feedback: bool) -> EngineResult<Experiment1Result> {
+pub fn run_experiment1(
+    config: &Experiment1Config,
+    feedback: bool,
+) -> EngineResult<Experiment1Result> {
     let (plan, handles) = imputation_plan(config, feedback)?;
     let report = ThreadedExecutor::run(plan)?;
 
@@ -143,11 +146,8 @@ pub fn run_experiment1(config: &Experiment1Config, feedback: bool) -> EngineResu
     drop(arrivals);
 
     let dirty_input = config.stream.tuples / 2;
-    let dropped_fraction = if dirty_input == 0 {
-        0.0
-    } else {
-        1.0 - timely_imputed as f64 / dirty_input as f64
-    };
+    let dropped_fraction =
+        if dirty_input == 0 { 0.0 } else { 1.0 - timely_imputed as f64 / dirty_input as f64 };
     Ok(Experiment1Result {
         feedback,
         series,
@@ -273,9 +273,7 @@ pub struct Experiment2Result {
 impl Experiment2Result {
     /// The cell for a given scheme and frequency, if measured.
     pub fn cell(&self, scheme: Scheme, minutes: i64) -> Option<&Experiment2Cell> {
-        self.cells
-            .iter()
-            .find(|c| c.scheme == scheme && c.zoom_frequency_minutes == minutes)
+        self.cells.iter().find(|c| c.scheme == scheme && c.zoom_frequency_minutes == minutes)
     }
 
     /// Execution time of a scheme relative to F0 at the same frequency

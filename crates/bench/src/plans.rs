@@ -12,12 +12,12 @@
 use crate::display::{DisplayHandle, SpeedMapDisplay};
 use crate::experiments::{Experiment1Config, Experiment2Config, Scheme};
 use dsms_engine::{EngineResult, QueryPlan};
+use dsms_operators::aggregate::FeedbackMode;
+use dsms_operators::WindowAggregate;
 use dsms_operators::{
     AggregateFunction, ArchivalStore, GeneratorSource, Impute, Pace, QualityFilter, Split,
     TimedSink, TimedSinkHandle, TuplePredicate, Union,
 };
-use dsms_operators::aggregate::FeedbackMode;
-use dsms_operators::WindowAggregate;
 use dsms_types::StreamDuration;
 use dsms_workloads::{ImputationGenerator, TrafficGenerator, ZoomSchedule};
 

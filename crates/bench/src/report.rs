@@ -61,7 +61,12 @@ pub fn experiment2_table(result: &Experiment2Result, frequencies: &[i64]) -> Str
         for scheme in Scheme::ALL {
             match (result.cell(scheme, minutes), result.relative_to_baseline(scheme, minutes)) {
                 (Some(cell), Some(rel)) => {
-                    let _ = write!(row, " {:>9.2}s ({:>4.0}%)", cell.execution_time.as_secs_f64(), rel * 100.0);
+                    let _ = write!(
+                        row,
+                        " {:>9.2}s ({:>4.0}%)",
+                        cell.execution_time.as_secs_f64(),
+                        rel * 100.0
+                    );
                 }
                 _ => {
                     let _ = write!(row, " {:>16}", "-");

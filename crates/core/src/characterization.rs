@@ -102,7 +102,10 @@ impl Characterization {
     /// True when the characterization includes an input guard.
     pub fn guards_input(&self) -> bool {
         self.actions.iter().any(|a| {
-            matches!(a, ExploitAction::GuardInput { .. } | ExploitAction::PurgeAndGuardMatchingGroups)
+            matches!(
+                a,
+                ExploitAction::GuardInput { .. } | ExploitAction::PurgeAndGuardMatchingGroups
+            )
         })
     }
 
@@ -405,7 +408,10 @@ pub fn characterize_join(spec: &JoinSpec, feedback: &Pattern) -> FeedbackResult<
 /// a negative conjunct to the select condition — expressed here as an output
 /// guard (equivalently an input guard, since input and output schemas are the
 /// same) plus propagation of the unchanged pattern.
-pub fn characterize_select(schema: &SchemaRef, feedback: &Pattern) -> FeedbackResult<Characterization> {
+pub fn characterize_select(
+    schema: &SchemaRef,
+    feedback: &Pattern,
+) -> FeedbackResult<Characterization> {
     if feedback.schema() != schema {
         return Err(FeedbackError::SchemaMismatch {
             detail: format!(
@@ -700,8 +706,9 @@ mod tests {
     #[test]
     fn select_adds_feedback_to_its_condition_and_propagates() {
         let schema = Schema::shared(&[("ts", DataType::Timestamp), ("v", DataType::Float)]);
-        let f = Pattern::for_attributes(schema.clone(), &[("v", PatternItem::Ge(Value::Float(50.0)))])
-            .unwrap();
+        let f =
+            Pattern::for_attributes(schema.clone(), &[("v", PatternItem::Ge(Value::Float(50.0)))])
+                .unwrap();
         let ch = characterize_select(&schema, &f).unwrap();
         assert!(ch.guards_input());
         assert!(ch.guards_output());
@@ -711,8 +718,9 @@ mod tests {
     #[test]
     fn duplicate_requires_feedback_on_all_outputs() {
         let schema = Schema::shared(&[("ts", DataType::Timestamp), ("v", DataType::Float)]);
-        let f = Pattern::for_attributes(schema.clone(), &[("v", PatternItem::Ge(Value::Float(50.0)))])
-            .unwrap();
+        let f =
+            Pattern::for_attributes(schema.clone(), &[("v", PatternItem::Ge(Value::Float(50.0)))])
+                .unwrap();
         assert!(characterize_duplicate(&schema, false, &f).unwrap().is_null());
         let ch = characterize_duplicate(&schema, true, &f).unwrap();
         assert!(!ch.is_null());

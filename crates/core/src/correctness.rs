@@ -158,7 +158,9 @@ where
     for (tuple, &count) in &reduced_counts {
         let original = full_counts.get(tuple).copied().unwrap_or(0);
         if count > original {
-            return Err(format!("antecedent introduced tuple {tuple} that was not in its original output"));
+            return Err(format!(
+                "antecedent introduced tuple {tuple} that was not in its original output"
+            ));
         }
     }
 

@@ -45,7 +45,9 @@ impl fmt::Display for FeedbackError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FeedbackError::Type(e) => write!(f, "{e}"),
-            FeedbackError::SchemaMismatch { detail } => write!(f, "feedback schema mismatch: {detail}"),
+            FeedbackError::SchemaMismatch { detail } => {
+                write!(f, "feedback schema mismatch: {detail}")
+            }
             FeedbackError::NoSafePropagation { reason } => {
                 write!(f, "no safe propagation exists: {reason}")
             }
@@ -80,7 +82,8 @@ mod tests {
     fn displays_are_informative() {
         let e = FeedbackError::Unsupportable { attributes: vec!["amount".into()] };
         assert!(e.to_string().contains("amount"));
-        let e = FeedbackError::NoSafePropagation { reason: "value constraints on both sides".into() };
+        let e =
+            FeedbackError::NoSafePropagation { reason: "value constraints on both sides".into() };
         assert!(e.to_string().contains("value constraints"));
         assert!(FeedbackError::RetractionUnsupported.to_string().contains("final"));
     }

@@ -159,7 +159,15 @@ impl FeedbackPunctuation {
 
 impl fmt::Display for FeedbackPunctuation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{} (from {}, #{}, {} hops)", self.intent.prefix(), self.pattern, self.issuer, self.id, self.hops)
+        write!(
+            f,
+            "{}{} (from {}, #{}, {} hops)",
+            self.intent.prefix(),
+            self.pattern,
+            self.issuer,
+            self.id,
+            self.hops
+        )
     }
 }
 
@@ -231,6 +239,9 @@ mod tests {
     fn constructors_set_expected_intents() {
         assert_eq!(FeedbackPunctuation::assumed(before(1), "a").intent(), FeedbackIntent::Assumed);
         assert_eq!(FeedbackPunctuation::desired(before(1), "a").intent(), FeedbackIntent::Desired);
-        assert_eq!(FeedbackPunctuation::demanded(before(1), "a").intent(), FeedbackIntent::Demanded);
+        assert_eq!(
+            FeedbackPunctuation::demanded(before(1), "a").intent(),
+            FeedbackIntent::Demanded
+        );
     }
 }

@@ -51,7 +51,9 @@ pub use characterization::{
     characterize_select, AggregateSpec, Characterization, ExploitAction, JoinSpec, Monotonicity,
     OperatorKind, PropagationRule,
 };
-pub use correctness::{check_correct_exploitation, check_safe_propagation, subset, ExploitationReport};
+pub use correctness::{
+    check_correct_exploitation, check_safe_propagation, subset, ExploitationReport,
+};
 pub use error::{FeedbackError, FeedbackResult};
 pub use intent::{FeedbackIntent, FeedbackPunctuation};
 pub use mapping::{AttributeMapping, PropagationOutcome};

@@ -30,7 +30,11 @@ pub struct AttributeMapping {
 impl AttributeMapping {
     /// Creates a mapping by explicitly listing, for each input attribute, the
     /// corresponding output attribute index.
-    pub fn new(output: SchemaRef, input: SchemaRef, sources: Vec<Option<usize>>) -> FeedbackResult<Self> {
+    pub fn new(
+        output: SchemaRef,
+        input: SchemaRef,
+        sources: Vec<Option<usize>>,
+    ) -> FeedbackResult<Self> {
         if sources.len() != input.arity() {
             return Err(FeedbackError::SchemaMismatch {
                 detail: format!(
@@ -60,11 +64,7 @@ impl AttributeMapping {
     /// through unchanged (select, union, PACE, aggregates keeping group
     /// attributes).
     pub fn by_name(output: SchemaRef, input: SchemaRef) -> TypeResult<Self> {
-        let sources = input
-            .fields()
-            .iter()
-            .map(|f| output.index_of(f.name()).ok())
-            .collect();
+        let sources = input.fields().iter().map(|f| output.index_of(f.name()).ok()).collect();
         Ok(AttributeMapping { output, input, sources })
     }
 
@@ -193,8 +193,10 @@ mod tests {
 
     /// The paper's Section 4.2 example: A(a,t,id) ⋈ B(t,id,b) → C(a,t,id,b).
     fn schemas() -> (SchemaRef, SchemaRef, SchemaRef) {
-        let a = Schema::shared(&[("a", DataType::Int), ("t", DataType::Int), ("id", DataType::Int)]);
-        let b = Schema::shared(&[("t", DataType::Int), ("id", DataType::Int), ("b", DataType::Int)]);
+        let a =
+            Schema::shared(&[("a", DataType::Int), ("t", DataType::Int), ("id", DataType::Int)]);
+        let b =
+            Schema::shared(&[("t", DataType::Int), ("id", DataType::Int), ("b", DataType::Int)]);
         let c = Schema::shared(&[
             ("a", DataType::Int),
             ("t", DataType::Int),
@@ -221,14 +223,19 @@ mod tests {
     fn join_key_feedback_propagates_to_both_inputs() {
         // f = ¬[*,3,4,*] → ¬[*,3,4] to A and ¬[3,4,*] to B.
         let (a, b, c) = schemas();
-        let f = feedback(&[("t", PatternItem::Eq(Value::Int(3))), ("id", PatternItem::Eq(Value::Int(4)))]);
+        let f = feedback(&[
+            ("t", PatternItem::Eq(Value::Int(3))),
+            ("id", PatternItem::Eq(Value::Int(4))),
+        ]);
 
-        let to_a = propagate_through(&f, &AttributeMapping::by_name(c.clone(), a).unwrap(), "JOIN").unwrap();
+        let to_a = propagate_through(&f, &AttributeMapping::by_name(c.clone(), a).unwrap(), "JOIN")
+            .unwrap();
         match to_a {
             PropagationOutcome::Propagate(g) => assert_eq!(g.pattern().to_string(), "[*, 3, 4]"),
             other => panic!("expected propagation to A, got {other:?}"),
         }
-        let to_b = propagate_through(&f, &AttributeMapping::by_name(c, b).unwrap(), "JOIN").unwrap();
+        let to_b =
+            propagate_through(&f, &AttributeMapping::by_name(c, b).unwrap(), "JOIN").unwrap();
         match to_b {
             PropagationOutcome::Propagate(g) => assert_eq!(g.pattern().to_string(), "[3, 4, *]"),
             other => panic!("expected propagation to B, got {other:?}"),
@@ -240,7 +247,9 @@ mod tests {
         // f = ¬[50,*,*,*] → ¬[50,*,*] to A; nothing to B.
         let (a, b, c) = schemas();
         let f = feedback(&[("a", PatternItem::Eq(Value::Int(50)))]);
-        match propagate_through(&f, &AttributeMapping::by_name(c.clone(), a).unwrap(), "JOIN").unwrap() {
+        match propagate_through(&f, &AttributeMapping::by_name(c.clone(), a).unwrap(), "JOIN")
+            .unwrap()
+        {
             PropagationOutcome::Propagate(g) => assert_eq!(g.pattern().to_string(), "[50, *, *]"),
             other => panic!("expected propagation to A, got {other:?}"),
         }
@@ -260,8 +269,12 @@ mod tests {
             ("b", PatternItem::Eq(Value::Int(50))),
         ]);
         for input in [a, b] {
-            match propagate_through(&f, &AttributeMapping::by_name(c.clone(), input).unwrap(), "JOIN")
-                .unwrap()
+            match propagate_through(
+                &f,
+                &AttributeMapping::by_name(c.clone(), input).unwrap(),
+                "JOIN",
+            )
+            .unwrap()
             {
                 PropagationOutcome::Unsafe { uncovered_attributes } => {
                     assert_eq!(uncovered_attributes.len(), 1);

@@ -187,11 +187,7 @@ mod tests {
     fn tuple(ts: i64, seg: i64) -> Tuple {
         Tuple::new(
             sensor_schema(),
-            vec![
-                Value::Timestamp(Timestamp::from_secs(ts)),
-                Value::Int(seg),
-                Value::Float(30.0),
-            ],
+            vec![Value::Timestamp(Timestamp::from_secs(ts)), Value::Int(seg), Value::Float(30.0)],
         )
     }
 
@@ -228,7 +224,11 @@ mod tests {
     fn impatient_join_desired_keys_feedback() {
         let policy = AdaptivePolicy::on_attribute("segment");
         let f = policy
-            .desired_keys_feedback(sensor_schema(), &[Value::Int(3), Value::Int(7)], "IMPATIENT-JOIN")
+            .desired_keys_feedback(
+                sensor_schema(),
+                &[Value::Int(3), Value::Int(7)],
+                "IMPATIENT-JOIN",
+            )
             .unwrap();
         assert_eq!(f.intent(), FeedbackIntent::Desired);
         assert!(f.describes(&tuple(0, 3)));

@@ -227,8 +227,8 @@ impl FeedbackRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dsms_punctuation::{Pattern, PatternItem};
     use dsms_punctuation::scheme::Delimitation;
+    use dsms_punctuation::{Pattern, PatternItem};
     use dsms_types::{DataType, Schema, SchemaRef, Timestamp, Value};
 
     fn schema() -> SchemaRef {
@@ -250,11 +250,7 @@ mod tests {
     fn tuple(ts: i64, seg: i64, speed: f64) -> Tuple {
         Tuple::new(
             schema(),
-            vec![
-                Value::Timestamp(Timestamp::from_secs(ts)),
-                Value::Int(seg),
-                Value::Float(speed),
-            ],
+            vec![Value::Timestamp(Timestamp::from_secs(ts)), Value::Int(seg), Value::Float(speed)],
         )
     }
 
@@ -314,7 +310,9 @@ mod tests {
             "JOIN",
         );
         let err = reg.register(f).unwrap_err();
-        assert!(matches!(err, FeedbackError::Unsupportable { ref attributes } if attributes == &["speed"]));
+        assert!(
+            matches!(err, FeedbackError::Unsupportable { ref attributes } if attributes == &["speed"])
+        );
         assert_eq!(reg.stats().rejected_unsupportable, 1);
         assert_eq!(reg.active_assumed(), 0);
     }

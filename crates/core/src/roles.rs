@@ -79,7 +79,8 @@ mod tests {
     impl FeedbackProducer for Toy {
         fn produce_feedback(&mut self) -> Vec<FeedbackPunctuation> {
             vec![FeedbackPunctuation::assumed(
-                Pattern::for_attributes(schema(), &[("seg", PatternItem::Eq(Value::Int(9)))]).unwrap(),
+                Pattern::for_attributes(schema(), &[("seg", PatternItem::Eq(Value::Int(9)))])
+                    .unwrap(),
                 "toy",
             )]
         }

@@ -111,7 +111,8 @@ impl SyncExecutor {
                     match msg {
                         ControlMessage::Feedback(fb) => {
                             metrics[producer].feedback_in += 1;
-                            op.on_feedback(port, fb, &mut ctx).map_err(|err| wrap(&plan, producer, err))?;
+                            op.on_feedback(port, fb, &mut ctx)
+                                .map_err(|err| wrap(&plan, producer, err))?;
                         }
                         ControlMessage::RequestResults => {
                             op.on_request_results(port, &mut ctx)
@@ -234,9 +235,8 @@ fn route_sync(
     metrics: &mut [OperatorMetrics],
 ) {
     for (port, item) in ctx.take_emitted() {
-        let Some(edge) = edges
-            .iter_mut()
-            .find(|e| e.edge.from.0 == node && e.edge.from_port == port)
+        let Some(edge) =
+            edges.iter_mut().find(|e| e.edge.from.0 == node && e.edge.from_port == port)
         else {
             // Unconnected output (sink side-channel): count and drop.
             match item {
@@ -262,18 +262,16 @@ fn route_sync(
         }
     }
     for (input, fb) in ctx.take_feedback() {
-        if let Some(edge) = edges
-            .iter_mut()
-            .find(|e| e.edge.to.0 == node && e.edge.to_port == input)
+        if let Some(edge) =
+            edges.iter_mut().find(|e| e.edge.to.0 == node && e.edge.to_port == input)
         {
             metrics[node].feedback_out += 1;
             edge.control.push_back(ControlMessage::Feedback(fb));
         }
     }
     for input in ctx.take_result_requests() {
-        if let Some(edge) = edges
-            .iter_mut()
-            .find(|e| e.edge.to.0 == node && e.edge.to_port == input)
+        if let Some(edge) =
+            edges.iter_mut().find(|e| e.edge.to.0 == node && e.edge.to_port == input)
         {
             edge.control.push_back(ControlMessage::RequestResults);
         }
@@ -352,10 +350,16 @@ impl ThreadedExecutor {
             let mut outputs = Vec::new();
             for (e_idx, e) in edges.iter().enumerate() {
                 if e.to.0 == idx {
-                    inputs.push((e.to_port, consumer_ends[e_idx].take().expect("consumer end taken once")));
+                    inputs.push((
+                        e.to_port,
+                        consumer_ends[e_idx].take().expect("consumer end taken once"),
+                    ));
                 }
                 if e.from.0 == idx {
-                    outputs.push((e.from_port, producer_ends[e_idx].take().expect("producer end taken once")));
+                    outputs.push((
+                        e.from_port,
+                        producer_ends[e_idx].take().expect("producer end taken once"),
+                    ));
                 }
             }
             runtimes.push(ThreadedNode {
@@ -396,8 +400,11 @@ impl ThreadedExecutor {
 fn run_threaded_node(mut node: ThreadedNode) -> Result<OperatorMetrics, EngineError> {
     let mut metrics = OperatorMetrics::new(node.name.clone());
     let mut ctx = OperatorContext::new();
-    let mut builders: Vec<(usize, PageBuilder)> =
-        node.outputs.iter().map(|(port, _)| (*port, PageBuilder::new(node.page_capacity))).collect();
+    let mut builders: Vec<(usize, PageBuilder)> = node
+        .outputs
+        .iter()
+        .map(|(port, _)| (*port, PageBuilder::new(node.page_capacity)))
+        .collect();
     let is_source = node.inputs.is_empty();
     let mut open: Vec<bool> = vec![true; node.inputs.len()];
     let mut shutdown = false;
@@ -611,8 +618,7 @@ mod tests {
             _ctx: &mut OperatorContext,
         ) -> EngineResult<()> {
             // Exploit "v >= k is assumed away" by remembering the bound.
-            if let Ok(PatternItem::Ge(Value::Int(k))) = feedback.pattern().item_for("v").map(Clone::clone)
-            {
+            if let Ok(PatternItem::Ge(Value::Int(k))) = feedback.pattern().item_for("v").cloned() {
                 self.suppressed_below = Some(k);
             }
             self.feedback_seen.lock().push(feedback);
@@ -765,7 +771,11 @@ mod tests {
         assert_eq!(collected.lock().len(), 500);
         assert_eq!(report.operator("sink").unwrap().feedback_out, 1);
         assert_eq!(report.operator("even").unwrap().feedback_in, 1);
-        assert_eq!(report.operator("source").unwrap().feedback_in, 0, "unaware operators do not relay");
+        assert_eq!(
+            report.operator("source").unwrap().feedback_in,
+            0,
+            "unaware operators do not relay"
+        );
     }
 
     /// A filter variant that *relays* feedback upstream unchanged.

@@ -127,7 +127,12 @@ pub trait Operator: Send {
     }
 
     /// Called for every tuple arriving on `input`.
-    fn on_tuple(&mut self, input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()>;
+    fn on_tuple(
+        &mut self,
+        input: usize,
+        tuple: Tuple,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()>;
 
     /// Called for every embedded punctuation arriving on `input`.  The default
     /// forwards the punctuation unchanged on output port 0, which is correct
@@ -211,7 +216,12 @@ mod tests {
         fn inputs(&self) -> usize {
             1
         }
-        fn on_tuple(&mut self, _input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+        fn on_tuple(
+            &mut self,
+            _input: usize,
+            tuple: Tuple,
+            ctx: &mut OperatorContext,
+        ) -> EngineResult<()> {
             ctx.emit(0, tuple);
             Ok(())
         }
@@ -221,11 +231,11 @@ mod tests {
     fn context_buffers_and_drains() {
         let mut ctx = OperatorContext::new();
         ctx.emit(0, tuple(1));
-        ctx.emit_punctuation(0, Punctuation::progress(schema(), "timestamp", Timestamp::EPOCH).unwrap());
-        ctx.send_feedback(
+        ctx.emit_punctuation(
             0,
-            FeedbackPunctuation::assumed(Pattern::all_wildcards(schema()), "t"),
+            Punctuation::progress(schema(), "timestamp", Timestamp::EPOCH).unwrap(),
         );
+        ctx.send_feedback(0, FeedbackPunctuation::assumed(Pattern::all_wildcards(schema()), "t"));
         ctx.request_results(0);
         assert_eq!(ctx.emitted_len(), 2);
         assert_eq!(ctx.take_emitted().len(), 2);
@@ -240,8 +250,12 @@ mod tests {
         let mut ctx = OperatorContext::new();
         assert_eq!(op.outputs(), 1);
         op.on_tuple(0, tuple(7), &mut ctx).unwrap();
-        op.on_punctuation(0, Punctuation::progress(schema(), "timestamp", Timestamp::EPOCH).unwrap(), &mut ctx)
-            .unwrap();
+        op.on_punctuation(
+            0,
+            Punctuation::progress(schema(), "timestamp", Timestamp::EPOCH).unwrap(),
+            &mut ctx,
+        )
+        .unwrap();
         // default feedback handler ignores
         op.on_feedback(
             0,

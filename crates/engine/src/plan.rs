@@ -132,7 +132,10 @@ impl QueryPlan {
         }
         if self.edges.iter().any(|e| e.from == from && e.from_port == from_port) {
             return Err(EngineError::InvalidPlan {
-                detail: format!("output port {from_port} of `{}` is already connected", from_node.name),
+                detail: format!(
+                    "output port {from_port} of `{}` is already connected",
+                    from_node.name
+                ),
             });
         }
         if self.edges.iter().any(|e| e.to == to && e.to_port == to_port) {
@@ -176,10 +179,7 @@ impl QueryPlan {
     pub fn validate(&self) -> EngineResult<()> {
         for (idx, node) in self.nodes.iter().enumerate() {
             for port in 0..node.inputs {
-                let connected = self
-                    .edges
-                    .iter()
-                    .any(|e| e.to == NodeId(idx) && e.to_port == port);
+                let connected = self.edges.iter().any(|e| e.to == NodeId(idx) && e.to_port == port);
                 if !connected {
                     return Err(EngineError::InvalidPlan {
                         detail: format!("input port {port} of `{}` is not connected", node.name),
@@ -192,8 +192,7 @@ impl QueryPlan {
         for e in &self.edges {
             in_degree[e.to.0] += 1;
         }
-        let mut queue: Vec<usize> =
-            (0..self.nodes.len()).filter(|i| in_degree[*i] == 0).collect();
+        let mut queue: Vec<usize> = (0..self.nodes.len()).filter(|i| in_degree[*i] == 0).collect();
         let mut visited = 0;
         while let Some(n) = queue.pop() {
             visited += 1;

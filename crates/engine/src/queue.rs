@@ -10,7 +10,7 @@
 
 use crate::control::ControlMessage;
 use crate::page::Page;
-use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TryRecvError, TrySendError};
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 
 /// A message on the data queue.
 #[derive(Debug, Clone)]
@@ -84,11 +84,8 @@ impl ProducerEnd {
     /// Drains any control messages (feedback) the consumer has sent upstream.
     pub fn drain_control(&self) -> Vec<ControlMessage> {
         let mut msgs = Vec::new();
-        loop {
-            match self.control.try_recv() {
-                Ok(m) => msgs.push(m),
-                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
-            }
+        while let Ok(m) = self.control.try_recv() {
+            msgs.push(m);
         }
         msgs
     }

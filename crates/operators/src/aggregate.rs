@@ -217,10 +217,8 @@ impl WindowAggregate {
     ) -> dsms_types::TypeResult<Self> {
         let name = name.into();
         let timestamp_attribute = timestamp_attribute.into();
-        let group_indices: Vec<usize> = group_attributes
-            .iter()
-            .map(|a| input_schema.index_of(a))
-            .collect::<Result<_, _>>()?;
+        let group_indices: Vec<usize> =
+            group_attributes.iter().map(|a| input_schema.index_of(a)).collect::<Result<_, _>>()?;
         let value_index = match function.input_attribute() {
             Some(attr) => Some(input_schema.index_of(attr)?),
             None => None,
@@ -360,8 +358,14 @@ impl Operator for WindowAggregate {
         1
     }
 
-    fn on_tuple(&mut self, _input: usize, tuple: Tuple, _ctx: &mut OperatorContext) -> EngineResult<()> {
-        let group: Vec<Value> = self.group_indices.iter().map(|i| tuple.values()[*i].clone()).collect();
+    fn on_tuple(
+        &mut self,
+        _input: usize,
+        tuple: Tuple,
+        _ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        let group: Vec<Value> =
+            self.group_indices.iter().map(|i| tuple.values()[*i].clone()).collect();
         if self.feedback_mode != FeedbackMode::Ignore && self.input_guarded(&tuple, &group) {
             self.registry.stats_mut().tuples_suppressed += 1;
             return Ok(());
@@ -369,10 +373,8 @@ impl Operator for WindowAggregate {
         let ts = tuple.timestamp(&self.timestamp_attribute)?;
         let wid = ts.window_id(self.window);
         let value = self.value_index.and_then(|i| tuple.values()[i].numeric());
-        let acc = self
-            .state
-            .entry((wid, group))
-            .or_insert_with(|| Accumulator::new(&self.function));
+        let acc =
+            self.state.entry((wid, group)).or_insert_with(|| Accumulator::new(&self.function));
         acc.fold(value);
         Ok(())
     }
@@ -444,7 +446,11 @@ impl Operator for WindowAggregate {
         Ok(())
     }
 
-    fn on_request_results(&mut self, _output: usize, ctx: &mut OperatorContext) -> EngineResult<()> {
+    fn on_request_results(
+        &mut self,
+        _output: usize,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
         // Poll-based result production (paper Example 4): emit current partial
         // aggregates without purging state.
         let keys: Vec<StateKey> = self.state.keys().cloned().collect();
@@ -461,7 +467,8 @@ impl Operator for WindowAggregate {
     }
 
     fn on_flush(&mut self, ctx: &mut OperatorContext) -> EngineResult<()> {
-        let remaining: Vec<(StateKey, Accumulator)> = std::mem::take(&mut self.state).into_iter().collect();
+        let remaining: Vec<(StateKey, Accumulator)> =
+            std::mem::take(&mut self.state).into_iter().collect();
         for (key, acc) in remaining {
             self.emit_window(&key, &acc, ctx);
         }
@@ -512,7 +519,8 @@ impl WindowAggregate {
                                 }
                             }
                         }
-                        self.registry.stats_mut().state_purged += (before - self.state.len()) as u64;
+                        self.registry.stats_mut().state_purged +=
+                            (before - self.state.len()) as u64;
                     }
                 }
                 ExploitAction::PurgeAndGuardMatchingGroups => {
@@ -581,11 +589,7 @@ mod tests {
     fn tuple(ts: i64, seg: i64, speed: f64) -> Tuple {
         Tuple::new(
             schema(),
-            vec![
-                Value::Timestamp(Timestamp::from_secs(ts)),
-                Value::Int(seg),
-                Value::Float(speed),
-            ],
+            vec![Value::Timestamp(Timestamp::from_secs(ts)), Value::Int(seg), Value::Float(speed)],
         )
     }
 

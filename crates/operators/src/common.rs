@@ -14,7 +14,10 @@ pub struct TuplePredicate {
 impl TuplePredicate {
     /// Wraps a closure with a human-readable description (used in operator
     /// names and error messages).
-    pub fn new(description: impl Into<String>, f: impl Fn(&Tuple) -> bool + Send + 'static) -> Self {
+    pub fn new(
+        description: impl Into<String>,
+        f: impl Fn(&Tuple) -> bool + Send + 'static,
+    ) -> Self {
         TuplePredicate { description: description.into(), f: Box::new(f) }
     }
 

@@ -62,7 +62,11 @@ impl OnDemandGate {
         &self.schema
     }
 
-    fn release_matching(&mut self, filter: Option<&FeedbackPunctuation>, ctx: &mut OperatorContext) {
+    fn release_matching(
+        &mut self,
+        filter: Option<&FeedbackPunctuation>,
+        ctx: &mut OperatorContext,
+    ) {
         let mut kept = VecDeque::new();
         while let Some(t) = self.buffer.pop_front() {
             let release = filter.map(|f| f.describes(&t)).unwrap_or(true);
@@ -85,7 +89,12 @@ impl Operator for OnDemandGate {
         1
     }
 
-    fn on_tuple(&mut self, _input: usize, tuple: Tuple, _ctx: &mut OperatorContext) -> EngineResult<()> {
+    fn on_tuple(
+        &mut self,
+        _input: usize,
+        tuple: Tuple,
+        _ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
         self.buffer.push_back(tuple);
         while self.buffer.len() > self.buffer_capacity {
             self.buffer.pop_front();
@@ -106,7 +115,11 @@ impl Operator for OnDemandGate {
         Ok(())
     }
 
-    fn on_request_results(&mut self, _output: usize, ctx: &mut OperatorContext) -> EngineResult<()> {
+    fn on_request_results(
+        &mut self,
+        _output: usize,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
         self.served_requests += 1;
         self.release_matching(None, ctx);
         // Propagate the request through the query tree (Example 4): antecedent
@@ -205,7 +218,8 @@ mod tests {
             gate.on_tuple(0, tuple(seg), &mut ctx).unwrap();
         }
         let demand = FeedbackPunctuation::demanded(
-            Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(2)))]).unwrap(),
+            Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(2)))])
+                .unwrap(),
             "client",
         );
         gate.on_feedback(0, demand, &mut ctx).unwrap();
@@ -224,7 +238,8 @@ mod tests {
             gate.on_tuple(0, tuple(seg), &mut ctx).unwrap();
         }
         let fb = FeedbackPunctuation::assumed(
-            Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(3)))]).unwrap(),
+            Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(3)))])
+                .unwrap(),
             "client",
         );
         gate.on_feedback(0, fb, &mut ctx).unwrap();

@@ -9,7 +9,9 @@
 //! response (and no propagation).
 
 use dsms_engine::{EngineResult, Operator, OperatorContext};
-use dsms_feedback::{characterize_duplicate, FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, GuardDecision};
+use dsms_feedback::{
+    characterize_duplicate, FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, GuardDecision,
+};
 use dsms_punctuation::{Pattern, Punctuation};
 use dsms_types::{SchemaRef, Tuple};
 
@@ -39,9 +41,7 @@ impl Duplicate {
     /// True when an equivalent (subsuming) assumed pattern has been received
     /// on every output, so exploiting `pattern` keeps the outputs identical.
     fn assumed_on_all_outputs(&self, pattern: &Pattern) -> bool {
-        self.assumed_per_output
-            .iter()
-            .all(|patterns| patterns.iter().any(|p| p.subsumes(pattern)))
+        self.assumed_per_output.iter().all(|patterns| patterns.iter().any(|p| p.subsumes(pattern)))
     }
 }
 
@@ -58,7 +58,12 @@ impl Operator for Duplicate {
         self.outputs
     }
 
-    fn on_tuple(&mut self, _input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+    fn on_tuple(
+        &mut self,
+        _input: usize,
+        tuple: Tuple,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
         if self.registry.decide(&tuple) == GuardDecision::Suppress {
             return Ok(());
         }

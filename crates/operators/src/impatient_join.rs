@@ -87,7 +87,12 @@ impl Operator for ImpatientJoin {
         2
     }
 
-    fn on_tuple(&mut self, input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+    fn on_tuple(
+        &mut self,
+        input: usize,
+        tuple: Tuple,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
         if input == 0 {
             // Build side: note the key and, once a batch has accumulated, ask
             // the probe side to prioritize those keys.

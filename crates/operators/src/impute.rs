@@ -123,7 +123,12 @@ impl Operator for Impute {
         1
     }
 
-    fn on_tuple(&mut self, _input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+    fn on_tuple(
+        &mut self,
+        _input: usize,
+        tuple: Tuple,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
         // Exploit assumed feedback *before* paying for the lookup: tuples the
         // downstream has declared useless are purged from the pending work.
         if self.registry.decide(&tuple) == GuardDecision::Suppress {

@@ -142,8 +142,11 @@ impl SymmetricHashJoin {
         }
         let right_pairs_ref: Vec<(&str, &str)> =
             right_pairs.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
-        let right_mapping =
-            AttributeMapping::by_pairs(output_schema.clone(), right_schema.clone(), &right_pairs_ref)?;
+        let right_mapping = AttributeMapping::by_pairs(
+            output_schema.clone(),
+            right_schema.clone(),
+            &right_pairs_ref,
+        )?;
 
         let spec = JoinSpec {
             output: output_schema.clone(),
@@ -215,7 +218,9 @@ impl SymmetricHashJoin {
                     values.push(r.values()[i].clone());
                 }
             }
-            None => values.extend(std::iter::repeat(Value::Null).take(self.right_payload_indices.len())),
+            None => {
+                values.extend(std::iter::repeat_n(Value::Null, self.right_payload_indices.len()))
+            }
         }
         Tuple::new(self.output_schema.clone(), values)
     }
@@ -285,7 +290,12 @@ impl Operator for SymmetricHashJoin {
         2
     }
 
-    fn on_tuple(&mut self, input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+    fn on_tuple(
+        &mut self,
+        input: usize,
+        tuple: Tuple,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
         let side = if input == 0 { JoinSide::Left } else { JoinSide::Right };
         if self.input_guarded(side, &tuple) {
             self.registry.stats_mut().tuples_suppressed += 1;
@@ -310,10 +320,7 @@ impl Operator for SymmetricHashJoin {
                 for right in outputs {
                     self.emit_joined(&tuple, Some(&right), ctx);
                 }
-                self.left_state
-                    .entry(window_key)
-                    .or_default()
-                    .push(Buffered { tuple, matched });
+                self.left_state.entry(window_key).or_default().push(Buffered { tuple, matched });
             }
             JoinSide::Right => {
                 let mut outputs: Vec<Tuple> = Vec::new();
@@ -327,10 +334,7 @@ impl Operator for SymmetricHashJoin {
                 for left in outputs {
                     self.emit_joined(&left, Some(&tuple), ctx);
                 }
-                self.right_state
-                    .entry(window_key)
-                    .or_default()
-                    .push(Buffered { tuple, matched });
+                self.right_state.entry(window_key).or_default().push(Buffered { tuple, matched });
             }
         }
         Ok(())
@@ -344,8 +348,7 @@ impl Operator for SymmetricHashJoin {
     ) -> EngineResult<()> {
         if let Some(w) = punctuation.watermark_for(&self.timestamp_attribute) {
             if input == 0 {
-                self.left_watermark =
-                    Some(self.left_watermark.map(|cur| cur.max(w)).unwrap_or(w));
+                self.left_watermark = Some(self.left_watermark.map(|cur| cur.max(w)).unwrap_or(w));
             } else {
                 self.right_watermark =
                     Some(self.right_watermark.map(|cur| cur.max(w)).unwrap_or(w));
@@ -467,22 +470,14 @@ mod tests {
     fn sensor(ts: i64, seg: i64, speed: f64) -> Tuple {
         Tuple::new(
             sensor_schema(),
-            vec![
-                Value::Timestamp(Timestamp::from_secs(ts)),
-                Value::Int(seg),
-                Value::Float(speed),
-            ],
+            vec![Value::Timestamp(Timestamp::from_secs(ts)), Value::Int(seg), Value::Float(speed)],
         )
     }
 
     fn probe(ts: i64, seg: i64, avg: f64) -> Tuple {
         Tuple::new(
             probe_schema(),
-            vec![
-                Value::Timestamp(Timestamp::from_secs(ts)),
-                Value::Int(seg),
-                Value::Float(avg),
-            ],
+            vec![Value::Timestamp(Timestamp::from_secs(ts)), Value::Int(seg), Value::Float(avg)],
         )
     }
 
@@ -545,7 +540,9 @@ mod tests {
         j.on_tuple(0, sensor(10, 3, 42.0), &mut ctx).unwrap();
         j.on_tuple(1, probe(20, 3, 38.0), &mut ctx).unwrap();
         assert_eq!(j.buffered(), 2);
-        let p = |s| Punctuation::progress(sensor_schema(), "timestamp", Timestamp::from_secs(s)).unwrap();
+        let p = |s| {
+            Punctuation::progress(sensor_schema(), "timestamp", Timestamp::from_secs(s)).unwrap()
+        };
         j.on_punctuation(0, p(100), &mut ctx).unwrap();
         assert_eq!(j.buffered(), 2, "waiting for the other input's watermark");
         j.on_punctuation(1, p(100), &mut ctx).unwrap();

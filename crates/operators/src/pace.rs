@@ -117,7 +117,12 @@ impl Operator for Pace {
         self.inputs
     }
 
-    fn on_tuple(&mut self, input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+    fn on_tuple(
+        &mut self,
+        input: usize,
+        tuple: Tuple,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
         let input = input.min(self.inputs - 1);
         let ts = tuple.timestamp(&self.policy.attribute)?;
         self.high_watermark = Some(self.high_watermark.map(|w| w.max(ts)).unwrap_or(ts));
@@ -128,8 +133,7 @@ impl Operator for Pace {
             self.stats_per_input[input].dropped += 1;
             // …and tell the lagging antecedent to stop producing the subset.
             if self.feedback_enabled {
-                let cutoff =
-                    if self.feedback_at_watermark { hw } else { self.policy.cutoff(hw) };
+                let cutoff = if self.feedback_at_watermark { hw } else { self.policy.cutoff(hw) };
                 let due = match self.last_feedback_cutoff[input] {
                     None => true,
                     Some(prev) => cutoff - prev >= self.feedback_granularity,

@@ -81,7 +81,12 @@ impl Operator for Prioritizer {
         1
     }
 
-    fn on_tuple(&mut self, _input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+    fn on_tuple(
+        &mut self,
+        _input: usize,
+        tuple: Tuple,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
         match self.registry.decide(&tuple) {
             GuardDecision::Suppress => return Ok(()),
             GuardDecision::Prioritize => self.priority.push_back(tuple),
@@ -159,7 +164,8 @@ mod tests {
 
     fn desired(seg: i64) -> FeedbackPunctuation {
         FeedbackPunctuation::desired(
-            Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(seg)))]).unwrap(),
+            Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(seg)))])
+                .unwrap(),
             "consumer",
         )
     }

@@ -63,7 +63,12 @@ impl Operator for Project {
         1
     }
 
-    fn on_tuple(&mut self, _input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+    fn on_tuple(
+        &mut self,
+        _input: usize,
+        tuple: Tuple,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
         let projected = tuple.project(&self.indices, self.output_schema.clone())?;
         if self.registry.decide(&projected) == GuardDecision::Suppress {
             return Ok(());

@@ -88,7 +88,12 @@ impl Operator for QualityFilter {
         1
     }
 
-    fn on_tuple(&mut self, _input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+    fn on_tuple(
+        &mut self,
+        _input: usize,
+        tuple: Tuple,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
         // Exploit feedback *before* paying the validation cost.
         if self.feedback_enabled && self.registry.decide(&tuple) == GuardDecision::Suppress {
             return Ok(());

@@ -9,7 +9,9 @@
 
 use crate::common::TuplePredicate;
 use dsms_engine::{EngineResult, Operator, OperatorContext};
-use dsms_feedback::{characterize_select, FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, GuardDecision};
+use dsms_feedback::{
+    characterize_select, FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, GuardDecision,
+};
 use dsms_types::{SchemaRef, Tuple};
 
 /// A stateless selection with a feedback-extensible condition.
@@ -56,7 +58,12 @@ impl Operator for Select {
         1
     }
 
-    fn on_tuple(&mut self, _input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+    fn on_tuple(
+        &mut self,
+        _input: usize,
+        tuple: Tuple,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
         // Assumed feedback acts as an additional (negated) conjunct.
         if self.registry.decide(&tuple) == GuardDecision::Suppress {
             return Ok(());
@@ -81,7 +88,8 @@ impl Operator for Select {
             characterization.is_null() || characterization.guards_input(),
             "select characterization must guard its input"
         );
-        if feedback.intent() == FeedbackIntent::Assumed && self.relay && !characterization.is_null() {
+        if feedback.intent() == FeedbackIntent::Assumed && self.relay && !characterization.is_null()
+        {
             ctx.send_feedback(0, feedback.relay(feedback.pattern().clone(), &self.name));
             self.registry.stats_mut().relayed.record(feedback.intent());
         }
@@ -137,7 +145,8 @@ mod tests {
         let mut op = fast_only();
         let mut ctx = OperatorContext::new();
         let fb = FeedbackPunctuation::assumed(
-            Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(3)))]).unwrap(),
+            Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(3)))])
+                .unwrap(),
             "downstream",
         );
         op.on_feedback(0, fb, &mut ctx).unwrap();
@@ -156,7 +165,8 @@ mod tests {
         let mut op = fast_only();
         let mut ctx = OperatorContext::new();
         let fb = FeedbackPunctuation::desired(
-            Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(3)))]).unwrap(),
+            Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(3)))])
+                .unwrap(),
             "downstream",
         );
         op.on_feedback(0, fb, &mut ctx).unwrap();
@@ -171,7 +181,8 @@ mod tests {
         let mut op = fast_only().without_relay();
         let mut ctx = OperatorContext::new();
         let fb = FeedbackPunctuation::assumed(
-            Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(3)))]).unwrap(),
+            Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(3)))])
+                .unwrap(),
             "downstream",
         );
         op.on_feedback(0, fb, &mut ctx).unwrap();

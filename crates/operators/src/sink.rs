@@ -59,7 +59,12 @@ impl Operator for CollectSink {
         0
     }
 
-    fn on_tuple(&mut self, _input: usize, tuple: Tuple, _ctx: &mut OperatorContext) -> EngineResult<()> {
+    fn on_tuple(
+        &mut self,
+        _input: usize,
+        tuple: Tuple,
+        _ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
         self.collected.lock().push(tuple);
         Ok(())
     }
@@ -128,7 +133,11 @@ impl TimedSink {
 
     /// Attaches a scheduled feedback message (fires after the given number of
     /// arrivals; multiple messages may be scheduled).
-    pub fn with_scheduled_feedback(mut self, after_tuples: u64, feedback: FeedbackPunctuation) -> Self {
+    pub fn with_scheduled_feedback(
+        mut self,
+        after_tuples: u64,
+        feedback: FeedbackPunctuation,
+    ) -> Self {
         self.schedule.push(ScheduledFeedback { after_tuples, feedback });
         self.schedule.sort_by_key(|s| s.after_tuples);
         self
@@ -160,16 +169,18 @@ impl Operator for TimedSink {
         0
     }
 
-    fn on_tuple(&mut self, _input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+    fn on_tuple(
+        &mut self,
+        _input: usize,
+        tuple: Tuple,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
         if let Some(attr) = &self.watermark_attribute {
             if let Ok(ts) = tuple.timestamp(attr) {
-                self.high_watermark =
-                    Some(self.high_watermark.map(|w| w.max(ts)).unwrap_or(ts));
+                self.high_watermark = Some(self.high_watermark.map(|w| w.max(ts)).unwrap_or(ts));
             }
         }
-        self.arrivals
-            .lock()
-            .push(TimedArrival { tuple, arrival: self.started.elapsed() });
+        self.arrivals.lock().push(TimedArrival { tuple, arrival: self.started.elapsed() });
         self.seen += 1;
         while let Some(next) = self.schedule.first() {
             if self.seen >= next.after_tuples {

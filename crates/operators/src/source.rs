@@ -46,7 +46,11 @@ impl VecSource {
     /// time.  Tuples are assumed to be timestamp-ordered on that attribute
     /// (the punctuation asserts completeness of everything at or before the
     /// previous period boundary).
-    pub fn with_punctuation(mut self, attribute: impl Into<String>, period: StreamDuration) -> Self {
+    pub fn with_punctuation(
+        mut self,
+        attribute: impl Into<String>,
+        period: StreamDuration,
+    ) -> Self {
         self.timestamp_attribute = Some(attribute.into());
         self.punctuation_period = period;
         self
@@ -90,7 +94,12 @@ impl Operator for VecSource {
         0
     }
 
-    fn on_tuple(&mut self, _input: usize, _tuple: Tuple, _ctx: &mut OperatorContext) -> EngineResult<()> {
+    fn on_tuple(
+        &mut self,
+        _input: usize,
+        _tuple: Tuple,
+        _ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
         Ok(())
     }
 
@@ -178,7 +187,11 @@ impl GeneratorSource {
     }
 
     /// Enables progress punctuation on `attribute` every `period`.
-    pub fn with_punctuation(mut self, attribute: impl Into<String>, period: StreamDuration) -> Self {
+    pub fn with_punctuation(
+        mut self,
+        attribute: impl Into<String>,
+        period: StreamDuration,
+    ) -> Self {
         self.timestamp_attribute = Some(attribute.into());
         self.punctuation_period = period;
         self
@@ -205,7 +218,8 @@ impl GeneratorSource {
         let (origin_wall, origin_ts) =
             *self.pacing_origin.get_or_insert_with(|| (std::time::Instant::now(), ts));
         let stream_elapsed_ms = (ts - origin_ts).as_millis().max(0) as f64;
-        let target = origin_wall + std::time::Duration::from_secs_f64(stream_elapsed_ms / 1_000.0 / speedup);
+        let target =
+            origin_wall + std::time::Duration::from_secs_f64(stream_elapsed_ms / 1_000.0 / speedup);
         let now = std::time::Instant::now();
         if now < target {
             Some(target - now)
@@ -224,7 +238,12 @@ impl Operator for GeneratorSource {
         0
     }
 
-    fn on_tuple(&mut self, _input: usize, _tuple: Tuple, _ctx: &mut OperatorContext) -> EngineResult<()> {
+    fn on_tuple(
+        &mut self,
+        _input: usize,
+        _tuple: Tuple,
+        _ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
         Ok(())
     }
 
@@ -262,7 +281,8 @@ impl Operator for GeneratorSource {
                         };
                         if due {
                             let watermark = boundary - StreamDuration::from_millis(1);
-                            let p = Punctuation::progress(tuple.schema().clone(), &attr, watermark)?;
+                            let p =
+                                Punctuation::progress(tuple.schema().clone(), &attr, watermark)?;
                             ctx.emit_punctuation(0, p);
                             self.last_punctuated = Some(boundary);
                         }
@@ -297,10 +317,7 @@ mod tests {
     }
 
     fn tuple(ts_secs: i64, seg: i64) -> Tuple {
-        Tuple::new(
-            schema(),
-            vec![Value::Timestamp(Timestamp::from_secs(ts_secs)), Value::Int(seg)],
-        )
+        Tuple::new(schema(), vec![Value::Timestamp(Timestamp::from_secs(ts_secs)), Value::Int(seg)])
     }
 
     fn drain(source: &mut dyn Operator) -> (Vec<Tuple>, usize) {
@@ -359,7 +376,11 @@ mod tests {
         .unwrap();
         let (tuples, _) = drain(&mut src);
         assert!(tuples.iter().all(|t| t.int("segment").unwrap() != 3));
-        assert_eq!(tuples.len(), 100 - 11, "segments 0..9 cycle over 100 tuples; 11 fall on segment 3");
+        assert_eq!(
+            tuples.len(),
+            100 - 11,
+            "segments 0..9 cycle over 100 tuples; 11 fall on segment 3"
+        );
         assert_eq!(src.feedback_stats().unwrap().tuples_suppressed, 11);
     }
 

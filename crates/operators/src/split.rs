@@ -61,7 +61,12 @@ impl Operator for Split {
         2
     }
 
-    fn on_tuple(&mut self, _input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+    fn on_tuple(
+        &mut self,
+        _input: usize,
+        tuple: Tuple,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
         let output = if self.condition.eval(&tuple) { 0 } else { 1 };
         if self.suppressed(output, &tuple) {
             self.registry.stats_mut().tuples_suppressed += 1;
@@ -140,11 +145,7 @@ mod tests {
     }
 
     fn needs_imputation() -> Split {
-        Split::new(
-            "split",
-            schema(),
-            TuplePredicate::new("speed is null", |t| t.has_null()),
-        )
+        Split::new("split", schema(), TuplePredicate::new("speed is null", |t| t.has_null()))
     }
 
     #[test]
@@ -207,7 +208,8 @@ mod tests {
             &[("timestamp", PatternItem::Lt(Value::Timestamp(Timestamp::from_secs(100))))],
         )
         .unwrap();
-        op.on_feedback(0, FeedbackPunctuation::assumed(pattern.clone(), "IMPUTE"), &mut ctx).unwrap();
+        op.on_feedback(0, FeedbackPunctuation::assumed(pattern.clone(), "IMPUTE"), &mut ctx)
+            .unwrap();
         op.on_feedback(1, FeedbackPunctuation::assumed(pattern, "PACE"), &mut ctx).unwrap();
         assert_eq!(ctx.take_feedback().len(), 1);
     }

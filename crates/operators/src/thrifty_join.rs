@@ -82,7 +82,12 @@ impl Operator for ThriftyJoin {
         2
     }
 
-    fn on_tuple(&mut self, input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+    fn on_tuple(
+        &mut self,
+        input: usize,
+        tuple: Tuple,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
         if input == 1 {
             if let Ok(ts) = tuple.timestamp(&self.timestamp_attribute) {
                 self.probe_windows_seen.insert(ts.window_id(self.window));
@@ -183,7 +188,13 @@ mod tests {
             StreamDuration::from_secs(60),
         )
         .unwrap();
-        ThriftyJoin::new("THRIFTY-JOIN", inner, sensor_schema(), "timestamp", StreamDuration::from_secs(60))
+        ThriftyJoin::new(
+            "THRIFTY-JOIN",
+            inner,
+            sensor_schema(),
+            "timestamp",
+            StreamDuration::from_secs(60),
+        )
     }
 
     fn probe_progress(secs: i64) -> Punctuation {

@@ -79,7 +79,12 @@ impl Operator for Union {
         self.inputs
     }
 
-    fn on_tuple(&mut self, _input: usize, tuple: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+    fn on_tuple(
+        &mut self,
+        _input: usize,
+        tuple: Tuple,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
         if self.registry.decide(&tuple) == GuardDecision::Suppress {
             return Ok(());
         }

@@ -110,11 +110,13 @@ impl PatternItem {
             (Eq(a), Ge(b)) | (Ge(b), Eq(a)) => a < b,
             (Eq(a), Between(lo, hi)) | (Between(lo, hi), Eq(a)) => a < lo || a > hi,
             (Eq(a), InSet(bs)) | (InSet(bs), Eq(a)) => !bs.contains(a),
-            (Lt(a), Gt(b)) | (Gt(b), Lt(a)) => a <= b || {
-                // (< a) and (> b) overlap iff b < x < a has a solution; for our
-                // totally ordered domains treat non-empty open interval as overlap.
-                false
-            },
+            (Lt(a), Gt(b)) | (Gt(b), Lt(a)) => {
+                a <= b || {
+                    // (< a) and (> b) overlap iff b < x < a has a solution; for our
+                    // totally ordered domains treat non-empty open interval as overlap.
+                    false
+                }
+            }
             (Lt(a), Ge(b)) | (Ge(b), Lt(a)) => a <= b,
             (Le(a), Gt(b)) | (Gt(b), Le(a)) => a <= b,
             (Le(a), Ge(b)) | (Ge(b), Le(a)) => a < b,
@@ -136,9 +138,7 @@ impl PatternItem {
                 hi < a
             }
             (InSet(avs), InSet(bvs)) => avs.iter().all(|a| !bvs.contains(a)),
-            (InSet(vs), other) | (other, InSet(vs)) => {
-                vs.iter().all(|v| !other.matches(v))
-            }
+            (InSet(vs), other) | (other, InSet(vs)) => vs.iter().all(|v| !other.matches(v)),
             _ => false,
         }
     }
@@ -319,9 +319,9 @@ impl Pattern {
                     } else {
                         b.clone()
                     }
-                } else if b.subsumes(a) {
-                    a.clone()
                 } else {
+                    // `b` subsumes `a`, or the two overlap without a provable
+                    // order: keep `self`'s item, which is sound either way.
                     a.clone()
                 }
             })
@@ -353,11 +353,7 @@ mod tests {
     fn tuple(seg: i64, ts: i64, speed: f64) -> Tuple {
         Tuple::new(
             schema(),
-            vec![
-                Value::Int(seg),
-                Value::Timestamp(Timestamp::from_secs(ts)),
-                Value::Float(speed),
-            ],
+            vec![Value::Int(seg), Value::Timestamp(Timestamp::from_secs(ts)), Value::Float(speed)],
         )
     }
 
@@ -392,8 +388,9 @@ mod tests {
         assert!(Le(Value::Int(10)).subsumes(&Lt(Value::Int(10))));
         assert!(!Lt(Value::Int(10)).subsumes(&Le(Value::Int(10))));
         assert!(Ge(Value::Int(5)).subsumes(&Eq(Value::Int(5))));
-        assert!(Between(Value::Int(0), Value::Int(10))
-            .subsumes(&Between(Value::Int(2), Value::Int(8))));
+        assert!(
+            Between(Value::Int(0), Value::Int(10)).subsumes(&Between(Value::Int(2), Value::Int(8)))
+        );
         assert!(InSet(vec![Value::Int(1), Value::Int(2)]).subsumes(&Eq(Value::Int(2))));
         assert!(!InSet(vec![Value::Int(1)]).subsumes(&Eq(Value::Int(2))));
     }
@@ -414,8 +411,9 @@ mod tests {
     #[test]
     fn pattern_matches_tuples() {
         // ¬[*, ≥50] style predicate: "speeds at or above 50"
-        let p = Pattern::for_attributes(schema(), &[("speed", PatternItem::Ge(Value::Float(50.0)))])
-            .unwrap();
+        let p =
+            Pattern::for_attributes(schema(), &[("speed", PatternItem::Ge(Value::Float(50.0)))])
+                .unwrap();
         assert!(p.matches(&tuple(1, 10, 55.0)));
         assert!(!p.matches(&tuple(1, 10, 45.0)));
         assert_eq!(p.constrained_attributes(), vec![2]);
@@ -456,7 +454,8 @@ mod tests {
         // feedback over join output (segment, timestamp, speed) remapped onto an
         // input with schema (timestamp, segment): mapping gives for each target
         // attribute the source index.
-        let target = Schema::shared(&[("timestamp", DataType::Timestamp), ("segment", DataType::Int)]);
+        let target =
+            Schema::shared(&[("timestamp", DataType::Timestamp), ("segment", DataType::Int)]);
         let p = Pattern::for_attributes(
             schema(),
             &[
@@ -475,17 +474,20 @@ mod tests {
 
     #[test]
     fn tighten_combines_constraints() {
-        let seg3 = Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(3)))])
-            .unwrap();
-        let fast = Pattern::for_attributes(schema(), &[("speed", PatternItem::Ge(Value::Float(50.0)))])
-            .unwrap();
+        let seg3 =
+            Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(3)))])
+                .unwrap();
+        let fast =
+            Pattern::for_attributes(schema(), &[("speed", PatternItem::Ge(Value::Float(50.0)))])
+                .unwrap();
         let both = seg3.tighten(&fast).unwrap();
         assert!(both.matches(&tuple(3, 1, 60.0)));
         assert!(!both.matches(&tuple(3, 1, 40.0)));
         assert!(!both.matches(&tuple(4, 1, 60.0)));
 
-        let seg4 = Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(4)))])
-            .unwrap();
+        let seg4 =
+            Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(4)))])
+                .unwrap();
         assert!(seg3.tighten(&seg4).is_none(), "disjoint patterns have no tightening");
     }
 

@@ -147,10 +147,7 @@ mod tests {
     }
 
     fn tuple(ts: i64) -> Tuple {
-        Tuple::new(
-            schema(),
-            vec![Value::Timestamp(Timestamp::from_secs(ts)), Value::Float(1.0)],
-        )
+        Tuple::new(schema(), vec![Value::Timestamp(Timestamp::from_secs(ts)), Value::Float(1.0)])
     }
 
     #[test]

@@ -37,8 +37,7 @@ impl Punctuation {
     /// A punctuation asserting that a whole group (e.g. a window id or a
     /// segment) is complete: `attribute = value`.
     pub fn group_complete(schema: SchemaRef, attribute: &str, value: Value) -> TypeResult<Self> {
-        let pattern =
-            Pattern::for_attributes(schema, &[(attribute, PatternItem::Eq(value))])?;
+        let pattern = Pattern::for_attributes(schema, &[(attribute, PatternItem::Eq(value))])?;
         Ok(Punctuation { pattern })
     }
 
@@ -113,11 +112,7 @@ mod tests {
     fn tuple(ts: i64, seg: i64, speed: f64) -> Tuple {
         Tuple::new(
             schema(),
-            vec![
-                Value::Timestamp(Timestamp::from_secs(ts)),
-                Value::Int(seg),
-                Value::Float(speed),
-            ],
+            vec![Value::Timestamp(Timestamp::from_secs(ts)), Value::Int(seg), Value::Float(speed)],
         )
     }
 
@@ -142,8 +137,10 @@ mod tests {
 
     #[test]
     fn implication_follows_subsumption() {
-        let later = Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(200)).unwrap();
-        let earlier = Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(100)).unwrap();
+        let later =
+            Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(200)).unwrap();
+        let earlier =
+            Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(100)).unwrap();
         assert!(later.implies(&earlier));
         assert!(!earlier.implies(&later));
     }

@@ -160,10 +160,7 @@ mod tests {
     fn scheme() -> PunctuationScheme {
         PunctuationScheme::new(
             bid_schema(),
-            &[
-                ("timestamp", Delimitation::Progressive),
-                ("auction", Delimitation::Grouped),
-            ],
+            &[("timestamp", Delimitation::Progressive), ("auction", Delimitation::Grouped)],
         )
         .unwrap()
     }
@@ -213,11 +210,9 @@ mod tests {
     #[test]
     fn with_adds_delimitation() {
         let s = scheme().with("bidder", Delimitation::Grouped).unwrap();
-        let bidder = Pattern::for_attributes(
-            bid_schema(),
-            &[("bidder", PatternItem::Eq(Value::Int(2)))],
-        )
-        .unwrap();
+        let bidder =
+            Pattern::for_attributes(bid_schema(), &[("bidder", PatternItem::Eq(Value::Int(2)))])
+                .unwrap();
         assert!(s.supports(&bidder));
         assert!(!scheme().supports(&bidder));
     }

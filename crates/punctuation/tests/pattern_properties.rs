@@ -29,20 +29,14 @@ fn pattern_item() -> impl Strategy<Value = PatternItem> {
         int_value().prop_map(PatternItem::Le),
         int_value().prop_map(PatternItem::Gt),
         int_value().prop_map(PatternItem::Ge),
-        (-50i64..50, 0i64..30).prop_map(|(lo, w)| PatternItem::Between(
-            Value::Int(lo),
-            Value::Int(lo + w)
-        )),
+        (-50i64..50, 0i64..30)
+            .prop_map(|(lo, w)| PatternItem::Between(Value::Int(lo), Value::Int(lo + w))),
         proptest::collection::vec(int_value(), 1..4).prop_map(PatternItem::InSet),
     ]
 }
 
 fn schema3() -> SchemaRef {
-    Schema::shared(&[
-        ("a", DataType::Int),
-        ("b", DataType::Int),
-        ("c", DataType::Int),
-    ])
+    Schema::shared(&[("a", DataType::Int), ("b", DataType::Int), ("c", DataType::Int)])
 }
 
 fn tuple3(a: i64, b: i64, c: i64) -> Tuple {

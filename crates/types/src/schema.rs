@@ -108,9 +108,7 @@ impl Schema {
 
     /// Convenience constructor from `(name, type)` pairs wrapped in an `Arc`.
     pub fn shared(fields: &[(&str, DataType)]) -> SchemaRef {
-        Arc::new(Schema::new(
-            fields.iter().map(|(n, t)| Field::new(*n, *t)).collect::<Vec<_>>(),
-        ))
+        Arc::new(Schema::new(fields.iter().map(|(n, t)| Field::new(*n, *t)).collect::<Vec<_>>()))
     }
 
     /// Number of attributes.
@@ -130,9 +128,7 @@ impl Schema {
 
     /// The field at `index`.
     pub fn field(&self, index: usize) -> TypeResult<&Field> {
-        self.fields
-            .get(index)
-            .ok_or(TypeError::IndexOutOfBounds { index, len: self.fields.len() })
+        self.fields.get(index).ok_or(TypeError::IndexOutOfBounds { index, len: self.fields.len() })
     }
 
     /// The index of the attribute with the given name.
@@ -245,11 +241,9 @@ mod tests {
 
     #[test]
     fn duplicate_names_rejected() {
-        let err = Schema::try_new(vec![
-            Field::new("x", DataType::Int),
-            Field::new("x", DataType::Float),
-        ])
-        .unwrap_err();
+        let err =
+            Schema::try_new(vec![Field::new("x", DataType::Int), Field::new("x", DataType::Float)])
+                .unwrap_err();
         assert!(matches!(err, TypeError::DuplicateAttribute { .. }));
     }
 

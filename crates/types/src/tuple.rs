@@ -65,9 +65,7 @@ impl Tuple {
 
     /// The value at attribute `index`.
     pub fn value(&self, index: usize) -> TypeResult<&Value> {
-        self.values
-            .get(index)
-            .ok_or(TypeError::IndexOutOfBounds { index, len: self.values.len() })
+        self.values.get(index).ok_or(TypeError::IndexOutOfBounds { index, len: self.values.len() })
     }
 
     /// The value of the attribute with the given name.
@@ -208,11 +206,7 @@ mod tests {
     fn tuple(seg: i64, ts: i64, speed: f64) -> Tuple {
         Tuple::new(
             schema(),
-            vec![
-                Value::Int(seg),
-                Value::Timestamp(Timestamp::from_secs(ts)),
-                Value::Float(speed),
-            ],
+            vec![Value::Int(seg), Value::Timestamp(Timestamp::from_secs(ts)), Value::Float(speed)],
         )
     }
 
@@ -269,10 +263,8 @@ mod tests {
     #[test]
     fn has_null_detects_missing_readings() {
         let s = schema();
-        let dirty = Tuple::new(
-            s,
-            vec![Value::Int(1), Value::Timestamp(Timestamp::EPOCH), Value::Null],
-        );
+        let dirty =
+            Tuple::new(s, vec![Value::Int(1), Value::Timestamp(Timestamp::EPOCH), Value::Null]);
         assert!(dirty.has_null());
         assert!(!tuple(1, 1, 1.0).has_null());
     }

@@ -179,7 +179,8 @@ impl Value {
         if trimmed.eq_ignore_ascii_case("null") || trimmed.is_empty() {
             return Ok(Value::Null);
         }
-        let err = || TypeError::ParseError { input: text.to_string(), target: format!("{target:?}") };
+        let err =
+            || TypeError::ParseError { input: text.to_string(), target: format!("{target:?}") };
         match target {
             DataType::Bool => trimmed.parse::<bool>().map(Value::Bool).map_err(|_| err()),
             DataType::Int => trimmed.parse::<i64>().map(Value::Int).map_err(|_| err()),
@@ -203,7 +204,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 

@@ -106,7 +106,8 @@ mod tests {
 
     #[test]
     fn every_pair_ticks_every_period() {
-        let config = FinancialConfig { duration: StreamDuration::from_secs(10), ..Default::default() };
+        let config =
+            FinancialConfig { duration: StreamDuration::from_secs(10), ..Default::default() };
         let pairs = config.pairs.len();
         let ticks = (config.duration.as_millis() / config.tick_period.as_millis()) as usize;
         let tuples: Vec<Tuple> = FinancialGenerator::new(config).collect();
@@ -115,7 +116,8 @@ mod tests {
 
     #[test]
     fn rates_random_walk_but_stay_positive() {
-        let tuples: Vec<Tuple> = FinancialGenerator::new(FinancialConfig::default()).take(5_000).collect();
+        let tuples: Vec<Tuple> =
+            FinancialGenerator::new(FinancialConfig::default()).take(5_000).collect();
         assert!(tuples.iter().all(|t| t.float("rate").unwrap() > 0.0));
         let first = tuples.first().unwrap().float("rate").unwrap();
         let last_same_pair = tuples

@@ -105,11 +105,7 @@ impl Iterator for ImputationGenerator {
             self.rng.gen_bool(self.config.dirty_fraction.clamp(0.0, 1.0))
         };
         let detector = self.rng.gen_range(0..self.config.detectors);
-        let speed = if dirty {
-            Value::Null
-        } else {
-            Value::Float(self.rng.gen_range(20.0..70.0))
-        };
+        let speed = if dirty { Value::Null } else { Value::Float(self.rng.gen_range(20.0..70.0)) };
         Some(Tuple::new(
             self.schema.clone(),
             vec![Value::Int(id as i64), Value::Timestamp(ts), Value::Int(detector), speed],
@@ -146,7 +142,10 @@ mod tests {
 
     #[test]
     fn timestamps_progress_at_the_inter_arrival_rate() {
-        let config = ImputationConfig { inter_arrival: StreamDuration::from_millis(100), ..ImputationConfig::small() };
+        let config = ImputationConfig {
+            inter_arrival: StreamDuration::from_millis(100),
+            ..ImputationConfig::small()
+        };
         let tuples: Vec<Tuple> = ImputationGenerator::new(config).collect();
         assert_eq!(tuples[0].timestamp("timestamp").unwrap(), Timestamp::EPOCH);
         assert_eq!(

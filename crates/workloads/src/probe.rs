@@ -90,7 +90,8 @@ impl Iterator for ProbeGenerator {
     type Item = Tuple;
 
     fn next(&mut self) -> Option<Tuple> {
-        let total_ticks = self.config.duration.as_millis() / self.config.reporting_period.as_millis();
+        let total_ticks =
+            self.config.duration.as_millis() / self.config.reporting_period.as_millis();
         if self.tick >= total_ticks {
             return None;
         }
@@ -109,7 +110,7 @@ impl Iterator for ProbeGenerator {
             // Implausible reading (GPS glitch).
             self.rng.gen_range(150.0..400.0)
         } else {
-            (self.config.typical_speed + self.rng.gen_range(-10.0..10.0)).max(1.0)
+            (self.config.typical_speed + self.rng.gen_range(-10.0f64..10.0)).max(1.0)
         };
         let tuple = Tuple::new(
             self.schema.clone(),

@@ -138,7 +138,8 @@ impl Iterator for TrafficGenerator {
         if self.tick >= total_ticks {
             return None;
         }
-        let ts = Timestamp::EPOCH + StreamDuration::from_millis(self.tick * self.config.resolution.as_millis());
+        let ts = Timestamp::EPOCH
+            + StreamDuration::from_millis(self.tick * self.config.resolution.as_millis());
         let segment = self.segment;
         let detector = segment * self.config.detectors_per_segment + self.detector;
         let speed = if self.rng.gen_bool(self.config.missing_probability.clamp(0.0, 1.0)) {
@@ -210,7 +211,9 @@ mod tests {
         let b: Vec<Tuple> = TrafficGenerator::new(TrafficConfig::small()).take(100).collect();
         assert_eq!(a, b);
         let c: Vec<Tuple> =
-            TrafficGenerator::new(TrafficConfig { seed: 7, ..TrafficConfig::small() }).take(100).collect();
+            TrafficGenerator::new(TrafficConfig { seed: 7, ..TrafficConfig::small() })
+                .take(100)
+                .collect();
         assert_ne!(a, c);
     }
 

@@ -44,12 +44,10 @@ impl ZoomSchedule {
         let mut at = Timestamp::EPOCH;
         let end = Timestamp::EPOCH + duration;
         while at < end {
-            let visible: BTreeSet<i64> = all
-                .choose_multiple(&mut rng, visible_count.min(all.len()))
-                .copied()
-                .collect();
+            let visible: BTreeSet<i64> =
+                all.choose_multiple(&mut rng, visible_count.min(all.len())).copied().collect();
             events.push(ZoomEvent { at, visible });
-            at = at + frequency;
+            at += frequency;
         }
         ZoomSchedule { events }
     }
@@ -82,7 +80,13 @@ mod tests {
 
     #[test]
     fn schedule_covers_the_horizon_at_the_requested_frequency() {
-        let s = ZoomSchedule::new(9, 2, StreamDuration::from_minutes(2), StreamDuration::from_hours(1), 3);
+        let s = ZoomSchedule::new(
+            9,
+            2,
+            StreamDuration::from_minutes(2),
+            StreamDuration::from_hours(1),
+            3,
+        );
         assert_eq!(s.len(), 30, "one change every 2 minutes over an hour");
         for e in s.events() {
             assert_eq!(e.visible.len(), 2);
@@ -93,7 +97,13 @@ mod tests {
 
     #[test]
     fn viewport_lookup_returns_the_latest_change() {
-        let s = ZoomSchedule::new(9, 3, StreamDuration::from_minutes(4), StreamDuration::from_minutes(20), 3);
+        let s = ZoomSchedule::new(
+            9,
+            3,
+            StreamDuration::from_minutes(4),
+            StreamDuration::from_minutes(20),
+            3,
+        );
         let early = s.viewport_at(Timestamp::from_minutes(1)).unwrap();
         assert_eq!(early.at, Timestamp::EPOCH);
         let later = s.viewport_at(Timestamp::from_minutes(9)).unwrap();
@@ -105,10 +115,28 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed_and_different_across_seeds() {
-        let a = ZoomSchedule::new(9, 2, StreamDuration::from_minutes(2), StreamDuration::from_hours(2), 3);
-        let b = ZoomSchedule::new(9, 2, StreamDuration::from_minutes(2), StreamDuration::from_hours(2), 3);
+        let a = ZoomSchedule::new(
+            9,
+            2,
+            StreamDuration::from_minutes(2),
+            StreamDuration::from_hours(2),
+            3,
+        );
+        let b = ZoomSchedule::new(
+            9,
+            2,
+            StreamDuration::from_minutes(2),
+            StreamDuration::from_hours(2),
+            3,
+        );
         assert_eq!(a.events(), b.events());
-        let c = ZoomSchedule::new(9, 2, StreamDuration::from_minutes(2), StreamDuration::from_hours(2), 4);
+        let c = ZoomSchedule::new(
+            9,
+            2,
+            StreamDuration::from_minutes(2),
+            StreamDuration::from_hours(2),
+            4,
+        );
         assert_ne!(a.events(), c.events());
     }
 }

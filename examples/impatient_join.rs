@@ -56,10 +56,12 @@ fn main() {
 
     let mut plan = QueryPlan::new().with_page_capacity(16);
     let vehicle_source = plan.add(
-        VecSource::new("vehicles", vehicles).with_punctuation("timestamp", StreamDuration::from_secs(10)),
+        VecSource::new("vehicles", vehicles)
+            .with_punctuation("timestamp", StreamDuration::from_secs(10)),
     );
     let sensor_source = plan.add(
-        VecSource::new("sensors", sensors).with_punctuation("timestamp", StreamDuration::from_secs(10)),
+        VecSource::new("sensors", sensors)
+            .with_punctuation("timestamp", StreamDuration::from_secs(10)),
     );
 
     // The prioritizer sits on the sensor path and honours desired punctuation.
@@ -74,9 +76,8 @@ fn main() {
         StreamDuration::from_secs(60),
     )
     .expect("valid join");
-    let impatient = plan.add(
-        ImpatientJoin::new("IMPATIENT-JOIN", inner, sensor_schema(), "segment").with_batch(2),
-    );
+    let impatient = plan
+        .add(ImpatientJoin::new("IMPATIENT-JOIN", inner, sensor_schema(), "segment").with_batch(2));
 
     let (sink, results) = CollectSink::new("results");
     let sink = plan.add(sink);
@@ -94,7 +95,7 @@ fn main() {
     let join_metrics = report.operator("IMPATIENT-JOIN").unwrap();
     println!(
         "desired punctuations issued ...... {}",
-        join_metrics.feedback.issued.desired.max(join_metrics.feedback_out as u64)
+        join_metrics.feedback.issued.desired.max(join_metrics.feedback_out)
     );
     println!("prioritizer received feedback .... {}", prioritizer_metrics.feedback_in);
     println!(

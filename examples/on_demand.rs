@@ -40,8 +40,11 @@ fn main() {
     // instead it demands the EUR/USD subset immediately after 2 punctuations
     // worth of stream progress, then polls for the rest at the end.
     let demand_eur_usd = FeedbackPunctuation::demanded(
-        Pattern::for_attributes(avg_schema.clone(), &[("pair", PatternItem::Eq(Value::Text("EUR/USD".into())))])
-            .expect("pair attribute exists"),
+        Pattern::for_attributes(
+            avg_schema.clone(),
+            &[("pair", PatternItem::Eq(Value::Text("EUR/USD".into())))],
+        )
+        .expect("pair attribute exists"),
         "speculator",
     );
     let (client, received) = TimedSink::new("speculator");

@@ -61,8 +61,7 @@ fn main() {
 
     // 4. Inspect what happened.
     let results = results.lock();
-    let segment2_results =
-        results.iter().filter(|r| r.tuple.int("segment").unwrap() == 2).count();
+    let segment2_results = results.iter().filter(|r| r.tuple.int("segment").unwrap() == 2).count();
     println!("results delivered ................ {}", results.len());
     println!("results for the ignored segment .. {segment2_results}");
     for metrics in &report.metrics {

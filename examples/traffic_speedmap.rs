@@ -102,11 +102,14 @@ fn main() {
     let report = ThreadedExecutor::run(plan).expect("execution failed");
 
     let results = results.lock();
-    let with_probe = results.iter().filter(|t| !t.value_by_name("right_avg").unwrap().is_null()).count();
+    let with_probe =
+        results.iter().filter(|t| !t.value_by_name("right_avg").unwrap().is_null()).count();
     println!("speed-map rows produced ........ {}", results.len());
     println!("rows enriched with probe data .. {with_probe}");
     println!("join output schema ............. {}", join_schema.describe());
-    for name in ["fixed-sensors", "probe-vehicles", "CLEAN", "AGGREGATE", "SENSOR-AVG", "SPEEDMAP-JOIN"] {
+    for name in
+        ["fixed-sensors", "probe-vehicles", "CLEAN", "AGGREGATE", "SENSOR-AVG", "SPEEDMAP-JOIN"]
+    {
         if let Some(m) = report.operator(name) {
             println!(
                 "operator {:<14} in={:<6} out={:<6} punctuation_in={:<4} feedback_in={}",

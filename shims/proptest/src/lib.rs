@@ -1,0 +1,372 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators and macros the workspace's property
+//! tests use — [`strategy::Strategy`] with `prop_map`, range/tuple/`Just`
+//! strategies, [`collection::vec()`], `prop_oneof!`, `proptest!`,
+//! `prop_assert!` and `prop_assert_eq!` — on top of the deterministic `rand`
+//! shim.
+//!
+//! Differences from the real crate, acceptable for CI property checks:
+//!
+//! * no shrinking — a failing case reports its inputs via the assertion
+//!   message (all strategies generate `Debug`-friendly values) but is not
+//!   minimized;
+//! * `prop_assert!` panics (fails the test immediately) instead of returning
+//!   a `TestCaseError`;
+//! * case generation is seeded from the test-function name, so every run and
+//!   every machine sees the same inputs.
+
+#![deny(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the combinators the tests use.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A recipe for generating random values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Boxes a strategy, erasing its concrete type (used by `prop_oneof!`).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut StdRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A);
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+        (A, B, C, D, E);
+    }
+
+    /// Uniform choice between boxed alternative strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if `arms` is empty.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let arm = rng.gen_range(0..self.arms.len());
+            self.arms[arm].generate(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec()`]: an exact `usize` or a half-open
+    /// `Range<usize>`.
+    pub trait IntoSizeRange {
+        /// Lower (inclusive) and upper (exclusive) length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// Strategy generating a `Vec` whose elements come from `element` and
+    /// whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        assert!(min < max, "empty length range for collection::vec");
+        VecStrategy { element, min, max }
+    }
+
+    /// Strategy produced by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.min..self.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-runner configuration (`ProptestConfig`).
+
+    /// How many random cases each `proptest!` test executes.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Deterministic per-test seed: FNV-1a over the test name.
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Creates the RNG for one test run.
+pub fn rng_for(test_name: &str) -> StdRng {
+    StdRng::seed_from_u64(seed_for(test_name))
+}
+
+/// Prints the generated inputs of the current case when the test body panics
+/// (any assertion failure unwinds through the guard's `Drop`), so a failing
+/// property test always reports what it was fed.
+#[doc(hidden)]
+pub struct CaseGuard(pub String);
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("proptest: failing {}", self.0);
+        }
+    }
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+/// Defines property tests: each `fn` runs its body over many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let __case_guard = $crate::CaseGuard(format!(
+                    concat!("case {} of {}: ", $(stringify!($arg), " = {:?} "),+),
+                    case, config.cases, $(&$arg),+
+                ));
+                $body
+                drop(__case_guard);
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(i64),
+        Pair(i64, i64),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in -50i64..50, b in 0usize..10) {
+            prop_assert!((-50..50).contains(&a));
+            prop_assert!(b < 10);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(s in prop_oneof![
+            Just(Shape::Dot),
+            (0i64..5).prop_map(Shape::Line),
+            (0i64..5, 0i64..5).prop_map(|(a, b)| Shape::Pair(a, b)),
+        ]) {
+            match s {
+                Shape::Dot => {}
+                Shape::Line(a) => prop_assert!((0..5).contains(&a)),
+                Shape::Pair(a, b) => prop_assert!((0..5).contains(&a) && (0..5).contains(&b)),
+            }
+        }
+
+        #[test]
+        fn vec_lengths_respect_spec(
+            exact in crate::collection::vec(0i64..3, 4),
+            ranged in crate::collection::vec(0i64..3, 1..4),
+        ) {
+            prop_assert_eq!(exact.len(), 4);
+            prop_assert!((1..4).contains(&ranged.len()));
+        }
+    }
+
+    #[test]
+    fn seeding_is_stable_per_name() {
+        assert_eq!(crate::seed_for("a::b"), crate::seed_for("a::b"));
+        assert_ne!(crate::seed_for("a::b"), crate::seed_for("a::c"));
+    }
+}

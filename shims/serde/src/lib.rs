@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this local crate
+//! provides just enough of serde's public surface for the workspace to
+//! compile: the `Serialize`/`Deserialize` trait *names* (with blanket
+//! implementations, so trait bounds are always satisfiable) and the no-op
+//! derive macros from the sibling `serde_derive` shim.  No actual
+//! serialization is performed anywhere in the workspace yet; when a real
+//! format backend (e.g. `serde_json`) is introduced, replace the `[patch]`-
+//! style path dependency in the root `Cargo.toml` with the real crates.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io registry is unreachable in this build environment, so
+//! the workspace ships a minimal local substitute.  Serialization is not yet
+//! exercised by any code path — the derives only need to *accept* the
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` attribute syntax —
+//! so both derives expand to an empty token stream.  Swapping back to the real
+//! `serde`/`serde_derive` is a one-line change in the root `Cargo.toml`.
+
+use proc_macro::TokenStream;
+
+/// Derive macro for `serde::Serialize`; expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derive macro for `serde::Deserialize`; expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -38,9 +38,7 @@ pub mod prelude {
         ExecutionReport, Operator, OperatorContext, QueryPlan, SourceState, StreamItem,
         SyncExecutor, ThreadedExecutor,
     };
-    pub use dsms_feedback::{
-        FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, GuardDecision,
-    };
+    pub use dsms_feedback::{FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, GuardDecision};
     pub use dsms_operators::{
         AggregateFunction, ArchivalStore, CollectSink, Duplicate, GeneratorSource, ImpatientJoin,
         Impute, OnDemandGate, Pace, Prioritizer, Project, QualityFilter, Select, Split,
@@ -55,17 +53,147 @@ pub mod prelude {
 
 #[cfg(test)]
 mod tests {
+    /// Every prelude re-export must compile and resolve; this also drives a
+    /// tiny plan end-to-end on both executors, so a broken re-export of any
+    /// engine or operator type fails here rather than in downstream users.
     #[test]
     fn prelude_reexports_compile_and_resolve() {
         use crate::prelude::*;
+
         let schema = Schema::shared(&[("ts", DataType::Timestamp), ("v", DataType::Int)]);
-        let tuple = Tuple::new(
-            schema.clone(),
-            vec![Value::Timestamp(Timestamp::EPOCH), Value::Int(1)],
-        );
-        let pattern = Pattern::all_wildcards(schema);
+        let tuple =
+            Tuple::new(schema.clone(), vec![Value::Timestamp(Timestamp::EPOCH), Value::Int(1)]);
+        let built = TupleBuilder::new(schema.clone())
+            .set("ts", Value::Timestamp(Timestamp::EPOCH))
+            .unwrap()
+            .set("v", Value::Int(1))
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(tuple, built);
+
+        let pattern = Pattern::all_wildcards(schema.clone());
         assert!(pattern.matches(&tuple));
-        let feedback = FeedbackPunctuation::assumed(pattern, "test");
+        let feedback = FeedbackPunctuation::assumed(pattern.clone(), "test");
         assert_eq!(feedback.intent(), FeedbackIntent::Assumed);
+
+        let mut registry = FeedbackRegistry::new("test");
+        registry.register(feedback).unwrap();
+        assert_eq!(registry.active_assumed(), 1);
+        assert!(matches!(registry.decide(&tuple), GuardDecision::Suppress));
+
+        let scheme = PunctuationScheme::undelimited(schema.clone());
+        assert!(!scheme.is_delimited("ts").unwrap());
+        let punctuation = Punctuation::progress(schema.clone(), "ts", Timestamp::EPOCH).unwrap();
+        let _: &PatternItem = punctuation.pattern().item_for("ts").unwrap();
+
+        // A minimal source -> select -> sink plan, run on both executors.
+        let run = |threaded: bool| -> ExecutionReport {
+            let tuples: Vec<Tuple> = (0..20)
+                .map(|i| {
+                    Tuple::new(
+                        schema.clone(),
+                        vec![Value::Timestamp(Timestamp::from_secs(i)), Value::Int(i % 4)],
+                    )
+                })
+                .collect();
+            let mut plan = QueryPlan::new().with_page_capacity(4);
+            let source = plan.add(
+                VecSource::new("source", tuples)
+                    .with_punctuation("ts", StreamDuration::from_secs(5))
+                    .with_batch_size(4),
+            );
+            let select = plan.add(Select::new(
+                "select",
+                schema.clone(),
+                TuplePredicate::new("v >= 1", |t| t.int("v").unwrap_or(0) >= 1),
+            ));
+            let (sink, results) = CollectSink::new("sink");
+            let sink = plan.add(sink);
+            plan.connect_simple(source, select).unwrap();
+            plan.connect_simple(select, sink).unwrap();
+            let report = if threaded {
+                ThreadedExecutor::run(plan).unwrap()
+            } else {
+                SyncExecutor::run(plan).unwrap()
+            };
+            assert_eq!(results.lock().len(), 15, "threaded={threaded}");
+            report
+        };
+        for threaded in [false, true] {
+            let report = run(threaded);
+            let source_metrics = report.operator("source").unwrap();
+            assert_eq!(source_metrics.tuples_out, 20);
+        }
+
+        // The remaining prelude operators must at least construct through the
+        // re-exported paths (drift in any manifest or rename breaks this).
+        let _ = Project::new("project", schema.clone(), &["v"]).unwrap();
+        let _ = Duplicate::new("dup", schema.clone(), 2);
+        let _ = Split::new(
+            "split",
+            schema.clone(),
+            TuplePredicate::new("v >= 2", |t| t.int("v").unwrap_or(0) >= 2),
+        );
+        let _ = Union::new("union", schema.clone(), 2);
+        let _ = Prioritizer::new("prio", schema.clone(), 4);
+        let _ = QualityFilter::new(
+            "qf",
+            schema.clone(),
+            TuplePredicate::new("ok", |_| true),
+            std::time::Duration::from_micros(1),
+        );
+        let _ = OnDemandGate::new("gate", schema.clone(), 8);
+        let _ = WindowAggregate::new(
+            "COUNT",
+            schema.clone(),
+            "ts",
+            StreamDuration::from_secs(60),
+            &[],
+            AggregateFunction::Count,
+        )
+        .unwrap();
+        let _ = SymmetricHashJoin::new(
+            "join",
+            schema.clone(),
+            schema.clone(),
+            &["v"],
+            "ts",
+            StreamDuration::from_secs(60),
+        )
+        .unwrap();
+        let _ = ArchivalStore::synthetic(std::time::Duration::from_micros(1), 40.0);
+        let state: SourceState = SourceState::Exhausted;
+        assert!(matches!(state, SourceState::Exhausted));
+        let item = StreamItem::Tuple(tuple);
+        assert!(matches!(item, StreamItem::Tuple(_)));
+    }
+
+    /// Every public module re-export (`types`, `punctuation`, `feedback`,
+    /// `engine`, `operators`, `workloads`) must resolve through the umbrella
+    /// paths, catching future manifest or crate-name drift at compile time.
+    #[test]
+    fn module_reexports_resolve_through_umbrella_paths() {
+        let schema = crate::types::Schema::shared(&[("segment", crate::types::DataType::Int)]);
+        let tuple = crate::types::Tuple::new(schema.clone(), vec![crate::types::Value::Int(3)]);
+
+        let pattern = crate::punctuation::Pattern::all_wildcards(schema.clone());
+        assert!(pattern.matches(&tuple));
+
+        let feedback = crate::feedback::FeedbackPunctuation::desired(pattern, "umbrella");
+        assert_eq!(feedback.intent(), crate::feedback::FeedbackIntent::Desired);
+
+        let plan = crate::engine::QueryPlan::new();
+        assert_eq!(plan.node_count(), 0);
+
+        let _ = crate::operators::Select::new(
+            "select",
+            schema,
+            crate::operators::TuplePredicate::new("any", |_| true),
+        );
+
+        let config = crate::workloads::TrafficConfig::small();
+        let generated = crate::workloads::TrafficGenerator::new(config).count();
+        assert!(generated > 0, "the small traffic workload must produce tuples");
     }
 }

@@ -96,12 +96,7 @@ fn join_enacts_its_own_characterization() {
     let _ = ctx.take_emitted();
     assert_eq!(join.buffered(), 3);
 
-    join.on_feedback(
-        0,
-        FeedbackPunctuation::assumed(feedback_pattern, "MAP"),
-        &mut ctx,
-    )
-    .unwrap();
+    join.on_feedback(0, FeedbackPunctuation::assumed(feedback_pattern, "MAP"), &mut ctx).unwrap();
     let relayed: Vec<usize> = ctx.take_feedback().into_iter().map(|(i, _)| i).collect();
     assert_eq!(relayed, declared_targets, "operator propagates to exactly the declared inputs");
     assert_eq!(join.buffered(), 1, "segment-3 state purged from both tables, as declared");
@@ -147,7 +142,8 @@ fn guards_expire_with_embedded_punctuation_and_unsupportable_feedback_is_rejecte
     assert!(registry.register(fast).is_err());
 
     // Embedded punctuation catching up to the guard releases it.
-    let progress = Punctuation::progress(sensor_schema(), "timestamp", Timestamp::from_secs(100)).unwrap();
+    let progress =
+        Punctuation::progress(sensor_schema(), "timestamp", Timestamp::from_secs(100)).unwrap();
     assert_eq!(registry.expire_with(&progress), 1);
     assert_eq!(registry.predicate_state_size(), 0);
     assert_eq!(registry.peek(&sensor(50, 1, 10.0)), GuardDecision::Pass);

@@ -104,7 +104,8 @@ fn assumed_feedback_propagates_from_sink_to_source() {
 
     // After 5 results, the display stops caring about segment 1.
     let ignore_segment_1 = FeedbackPunctuation::assumed(
-        Pattern::for_attributes(output_schema, &[("segment", PatternItem::Eq(Value::Int(1)))]).unwrap(),
+        Pattern::for_attributes(output_schema, &[("segment", PatternItem::Eq(Value::Int(1)))])
+            .unwrap(),
         "display",
     );
     let (sink, results) = TimedSink::new("display");
@@ -126,11 +127,8 @@ fn assumed_feedback_propagates_from_sink_to_source() {
 
     // Results for segment 1 stop appearing after the feedback fired.
     let results = results.lock();
-    let segment1_after_feedback = results
-        .iter()
-        .skip(6)
-        .filter(|r| r.tuple.int("segment").unwrap() == 1)
-        .count();
+    let segment1_after_feedback =
+        results.iter().skip(6).filter(|r| r.tuple.int("segment").unwrap() == 1).count();
     assert_eq!(segment1_after_feedback, 0);
     // Other segments keep flowing.
     assert!(results.iter().filter(|r| r.tuple.int("segment").unwrap() == 0).count() > 5);
@@ -192,8 +190,14 @@ fn feedback_exploitation_satisfies_definition_1() {
         .unwrap(),
         "display",
     );
-    let report = feedback_dsms::feedback::check_correct_exploitation(&reference, &exploited, &feedback);
-    assert!(report.is_correct(), "invented: {:?}, wrongly dropped: {:?}", report.invented, report.wrongly_dropped);
+    let report =
+        feedback_dsms::feedback::check_correct_exploitation(&reference, &exploited, &feedback);
+    assert!(
+        report.is_correct(),
+        "invented: {:?}, wrongly dropped: {:?}",
+        report.invented,
+        report.wrongly_dropped
+    );
     assert!(exploited.len() < reference.len(), "exploitation actually removed something");
 }
 

@@ -18,11 +18,7 @@ fn schema() -> SchemaRef {
 fn tuple(ts: i64, seg: i64, speed: f64) -> Tuple {
     Tuple::new(
         schema(),
-        vec![
-            Value::Timestamp(Timestamp::from_secs(ts)),
-            Value::Int(seg),
-            Value::Float(speed),
-        ],
+        vec![Value::Timestamp(Timestamp::from_secs(ts)), Value::Int(seg), Value::Float(speed)],
     )
 }
 
