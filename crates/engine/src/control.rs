@@ -15,10 +15,16 @@ use std::fmt;
 /// A control message travelling between two adjacent operators.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ControlMessage {
-    /// Downstream: the producer has finished; no more pages will arrive on
-    /// this connection.
+    /// The sender of this control stream is done.  Downstream (on the data
+    /// queue) it means the producer has finished and no more pages will
+    /// arrive.  Upstream (on the control channel) it is the threaded
+    /// executor's *drain handshake*: the consumer promises it will send no
+    /// further control messages on this connection, releasing the producer
+    /// from its post-flush drain phase.
     EndOfStream,
-    /// Either direction: tear the query down.
+    /// Either direction: tear the query down.  The threaded executor sends
+    /// it upstream when an operator fails, so producers stop generating data
+    /// nobody will read.
     Shutdown,
     /// Upstream: feedback punctuation (assumed / desired / demanded) from the
     /// consumer to the producer of a connection.
@@ -39,7 +45,8 @@ impl ControlMessage {
         }
     }
 
-    /// True for messages that flow upstream (against the data flow).
+    /// True for messages that flow *exclusively* upstream (against the data
+    /// flow).  `EndOfStream` and `Shutdown` travel in both directions.
     pub fn flows_upstream(&self) -> bool {
         matches!(self, ControlMessage::Feedback(_) | ControlMessage::RequestResults)
     }

@@ -2,11 +2,14 @@
 //!
 //! Two executors run the same [`QueryPlan`]s and the same operator code:
 //!
-//! * [`ThreadedExecutor`] — NiagaraST's model: one OS thread per operator,
-//!   bounded page queues between them (back-pressure), and an out-of-band
-//!   control channel per connection that is drained with priority before data
-//!   is processed.  This is the executor the paper's experiments correspond
-//!   to: pipelined, inter-operator parallel, timing-sensitive.
+//! * [`ThreadedExecutor`] — NiagaraST's model made event-driven: one OS
+//!   thread per operator, bounded page queues between them (back-pressure),
+//!   and an out-of-band control channel per connection that is drained with
+//!   priority before data is processed.  Idle threads *block* on a
+//!   condvar-based multi-receiver wait spanning every input data queue and
+//!   every downstream control channel — there is no sleep-polling anywhere in
+//!   the runtime, so an idle operator costs zero CPU and reacts to the next
+//!   page or feedback message the moment it arrives.
 //! * [`SyncExecutor`] — a deterministic single-threaded scheduler that
 //!   round-robins operators in topological order.  It produces bit-identical
 //!   results run-to-run and is what most unit and integration tests use.
@@ -15,15 +18,48 @@
 //! calls [`OperatorContext::send_feedback`] naming one of its *input* ports,
 //! and the executor hands the message to the operator attached upstream of
 //! that port, invoking its [`Operator::on_feedback`] callback with high
-//! priority.
+//! priority.  Data moves between operators page-at-a-time through the
+//! [`Operator::on_page`] batch hook, and routing uses precomputed
+//! port-to-edge tables rather than scanning the edge list per item.
+//!
+//! # The drain protocol
+//!
+//! Feedback is often produced exactly at end-of-stream — a sink's
+//! [`Operator::on_flush`] summarising what it no longer needs — which is the
+//! moment a naive runtime has already torn down the upstream threads.  The
+//! threaded executor therefore ends every operator in three phases:
+//!
+//! 1. **flush** — `on_flush`, remaining partial pages, then data
+//!    end-of-stream to every consumer;
+//! 2. **drain** — the thread stays alive, blocked on its downstream control
+//!    channels, processing feedback and result requests (and relaying
+//!    feedback further upstream) until *every* consumer has sent its control
+//!    end-of-stream handshake (or hung up);
+//! 3. **release** — it sends the control end-of-stream handshake on each of
+//!    its own input connections, releasing its upstream producers from their
+//!    drain phases in turn, and exits.
+//!
+//! Teardown therefore propagates sink → source, and feedback sent at or
+//! after end-of-stream still reaches a live upstream operator.  The sync
+//! executor keeps every operator alive for the whole run and delivers queued
+//! control even to operators that have already flushed, giving the same
+//! guarantee.  Anything *genuinely* undeliverable (e.g. feedback named on an
+//! unconnected input port, or a connection whose upstream thread died after
+//! a failure) is counted in [`OperatorMetrics::feedback_dropped`] rather
+//! than dropped silently.  When an operator fails, the threaded executor
+//! sends [`ControlMessage::Shutdown`] upstream so producers stop generating
+//! data nobody will read; the shutdown relays source-ward and the query
+//! tears down promptly.
 
 use crate::control::ControlMessage;
 use crate::error::{EngineError, EngineResult};
 use crate::metrics::OperatorMetrics;
 use crate::operator::{Operator, OperatorContext, SourceState, StreamItem};
 use crate::page::{Page, PageBuilder};
-use crate::plan::{Edge, NodeId, QueryPlan};
-use crate::queue::{ConsumerEnd, DataQueue, ProducerEnd, QueueMessage};
+use crate::plan::{Edge, Node, NodeId, QueryPlan};
+use crate::queue::{
+    wait_any, ConsumerEnd, ControlPoll, DataPoll, DataQueue, ProducerEnd, QueueMessage,
+};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
@@ -51,6 +87,54 @@ impl ExecutionReport {
     pub fn total_feedback(&self) -> u64 {
         self.metrics.iter().map(|m| m.feedback_out).sum()
     }
+
+    /// Sum of feedback messages that could not be delivered (see
+    /// [`OperatorMetrics::feedback_dropped`]).  A healthy run reports 0.
+    pub fn total_feedback_dropped(&self) -> u64 {
+        self.metrics.iter().map(|m| m.feedback_dropped).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing tables
+// ---------------------------------------------------------------------------
+
+/// Precomputed port → edge lookup tables, replacing the O(edges) scans the
+/// routers previously performed for every emitted item.
+struct RoutingTable {
+    /// node → output port → edge index.
+    outputs: Vec<Vec<Option<usize>>>,
+    /// node → input port → edge index.
+    inputs: Vec<Vec<Option<usize>>>,
+}
+
+impl RoutingTable {
+    fn build(nodes: &[Node], edges: &[Edge]) -> Self {
+        let mut outputs: Vec<Vec<Option<usize>>> =
+            nodes.iter().map(|n| vec![None; n.outputs]).collect();
+        let mut inputs: Vec<Vec<Option<usize>>> =
+            nodes.iter().map(|n| vec![None; n.inputs]).collect();
+        for (idx, e) in edges.iter().enumerate() {
+            if let Some(slot) = outputs[e.from.0].get_mut(e.from_port) {
+                *slot = Some(idx);
+            }
+            if let Some(slot) = inputs[e.to.0].get_mut(e.to_port) {
+                *slot = Some(idx);
+            }
+        }
+        RoutingTable { outputs, inputs }
+    }
+
+    /// The edge attached to an output port, if any (out-of-range ports —
+    /// possible at runtime, operators name ports freely — map to `None`).
+    fn out_edge(&self, node: usize, port: usize) -> Option<usize> {
+        self.outputs[node].get(port).copied().flatten()
+    }
+
+    /// The edge attached to an input port, if any.
+    fn in_edge(&self, node: usize, port: usize) -> Option<usize> {
+        self.inputs[node].get(port).copied().flatten()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -75,6 +159,7 @@ impl SyncExecutor {
         let started = Instant::now();
         let order = plan.topological_order();
         let page_capacity = plan.page_capacity;
+        let routes = RoutingTable::build(&plan.nodes, &plan.edges);
 
         let mut edges: Vec<SyncEdgeState> = plan
             .edges
@@ -96,33 +181,15 @@ impl SyncExecutor {
         let mut ctx = OperatorContext::new();
 
         loop {
-            let mut activity = false;
-
             // 1. Deliver pending upstream control messages (high priority).
-            for e in 0..edges.len() {
-                while let Some(msg) = edges[e].control.pop_front() {
-                    activity = true;
-                    let producer = edges[e].edge.from.0;
-                    let port = edges[e].edge.from_port;
-                    if done[producer] {
-                        continue;
-                    }
-                    let op = &mut plan.nodes[producer].operator;
-                    match msg {
-                        ControlMessage::Feedback(fb) => {
-                            metrics[producer].feedback_in += 1;
-                            op.on_feedback(port, fb, &mut ctx)
-                                .map_err(|err| wrap(&plan, producer, err))?;
-                        }
-                        ControlMessage::RequestResults => {
-                            op.on_request_results(port, &mut ctx)
-                                .map_err(|err| wrap(&plan, producer, err))?;
-                        }
-                        ControlMessage::Shutdown | ControlMessage::EndOfStream => {}
-                    }
-                    route_sync(&mut ctx, producer, &mut edges, &mut metrics);
-                }
-            }
+            let mut activity = deliver_control_sync(
+                &mut plan,
+                &routes,
+                &mut edges,
+                &mut metrics,
+                &mut ctx,
+                &done,
+            )?;
 
             // 2. Step every node once, in topological order.
             for &NodeId(n) in &order {
@@ -138,7 +205,7 @@ impl SyncExecutor {
                             .poll_source(&mut ctx)
                             .map_err(|err| wrap(&plan, n, err))?;
                         metrics[n].busy += timer.elapsed();
-                        route_sync(&mut ctx, n, &mut edges, &mut metrics);
+                        route_sync(&mut ctx, n, &routes, &mut edges, &mut metrics, &done);
                         match state {
                             SourceState::Producing => activity = true,
                             SourceState::Exhausted | SourceState::NotASource => {
@@ -148,7 +215,15 @@ impl SyncExecutor {
                         }
                     }
                     if exhausted[n] {
-                        finish_sync(&mut plan, n, &mut edges, &mut metrics, &mut ctx, &mut done)?;
+                        finish_sync(
+                            &mut plan,
+                            n,
+                            &routes,
+                            &mut edges,
+                            &mut metrics,
+                            &mut ctx,
+                            &mut done,
+                        )?;
                         activity = true;
                     }
                     continue;
@@ -156,47 +231,42 @@ impl SyncExecutor {
 
                 // Consume at most one page per input this round.
                 let mut consumed = false;
-                for e in 0..edges.len() {
-                    if edges[e].edge.to.0 != n {
-                        continue;
-                    }
+                for port in 0..plan.nodes[n].inputs {
+                    let Some(e) = routes.in_edge(n, port) else { continue };
                     if let Some(page) = edges[e].queue.pop_front() {
                         consumed = true;
                         activity = true;
                         metrics[n].pages_in += 1;
-                        let port = edges[e].edge.to_port;
+                        metrics[n].tuples_in += page.tuple_count() as u64;
+                        metrics[n].punctuations_in += page.punctuation_count() as u64;
                         let timer = Instant::now();
-                        for item in page.into_items() {
-                            match item {
-                                StreamItem::Tuple(t) => {
-                                    metrics[n].tuples_in += 1;
-                                    plan.nodes[n]
-                                        .operator
-                                        .on_tuple(port, t, &mut ctx)
-                                        .map_err(|err| wrap(&plan, n, err))?;
-                                }
-                                StreamItem::Punctuation(p) => {
-                                    metrics[n].punctuations_in += 1;
-                                    plan.nodes[n]
-                                        .operator
-                                        .on_punctuation(port, p, &mut ctx)
-                                        .map_err(|err| wrap(&plan, n, err))?;
-                                }
-                            }
-                        }
+                        plan.nodes[n]
+                            .operator
+                            .on_page(port, page, &mut ctx)
+                            .map_err(|err| wrap(&plan, n, err))?;
                         metrics[n].busy += timer.elapsed();
-                        route_sync(&mut ctx, n, &mut edges, &mut metrics);
+                        route_sync(&mut ctx, n, &routes, &mut edges, &mut metrics, &done);
                     }
                 }
 
                 // End-of-stream: all incoming edges exhausted and drained.
                 if !consumed {
-                    let inputs_done = edges
-                        .iter()
-                        .filter(|e| e.edge.to.0 == n)
-                        .all(|e| e.eos && e.queue.is_empty());
+                    let inputs_done = (0..plan.nodes[n].inputs).all(|port| {
+                        routes
+                            .in_edge(n, port)
+                            .map(|e| edges[e].eos && edges[e].queue.is_empty())
+                            .unwrap_or(true)
+                    });
                     if inputs_done {
-                        finish_sync(&mut plan, n, &mut edges, &mut metrics, &mut ctx, &mut done)?;
+                        finish_sync(
+                            &mut plan,
+                            n,
+                            &routes,
+                            &mut edges,
+                            &mut metrics,
+                            &mut ctx,
+                            &mut done,
+                        )?;
                         activity = true;
                     }
                 }
@@ -210,6 +280,14 @@ impl SyncExecutor {
                     detail: "execution stalled: no operator made progress".into(),
                 });
             }
+        }
+
+        // 3. Post-run drain: the last operators to finish (typically sinks)
+        // may have sent feedback from `on_flush` after every producer was
+        // already stepped; keep delivering — feedback can relay further
+        // upstream — until the control queues are quiescent.  This is the
+        // sync analogue of the threaded executor's drain phase.
+        while deliver_control_sync(&mut plan, &routes, &mut edges, &mut metrics, &mut ctx, &done)? {
         }
 
         // Fold in feedback stats.
@@ -227,24 +305,67 @@ fn wrap(plan: &QueryPlan, node: usize, err: EngineError) -> EngineError {
     EngineError::OperatorFailed { operator: plan.nodes[node].name.clone(), detail: err.to_string() }
 }
 
-/// Routes one node's buffered emissions and feedback into the sync edge state.
+/// Delivers every queued control message to its producer.  Producers receive
+/// control even after they have flushed — operators stay alive for the whole
+/// run, so flush-time feedback from downstream is never silently lost (the
+/// paper's delivery guarantee; the threaded executor's drain phase provides
+/// the same property).  Returns whether anything was delivered.
+fn deliver_control_sync(
+    plan: &mut QueryPlan,
+    routes: &RoutingTable,
+    edges: &mut [SyncEdgeState],
+    metrics: &mut [OperatorMetrics],
+    ctx: &mut OperatorContext,
+    done: &[bool],
+) -> EngineResult<bool> {
+    let mut delivered = false;
+    for e in 0..edges.len() {
+        while let Some(msg) = edges[e].control.pop_front() {
+            delivered = true;
+            let producer = edges[e].edge.from.0;
+            let port = edges[e].edge.from_port;
+            let op = &mut plan.nodes[producer].operator;
+            match msg {
+                ControlMessage::Feedback(fb) => {
+                    metrics[producer].feedback_in += 1;
+                    op.on_feedback(port, fb, ctx).map_err(|err| wrap(plan, producer, err))?;
+                }
+                ControlMessage::RequestResults => {
+                    op.on_request_results(port, ctx).map_err(|err| wrap(plan, producer, err))?;
+                }
+                ControlMessage::Shutdown | ControlMessage::EndOfStream => {}
+            }
+            route_sync(ctx, producer, routes, edges, metrics, done);
+        }
+    }
+    Ok(delivered)
+}
+
+/// Routes one node's buffered emissions and feedback into the sync edge
+/// state.  Data emitted by a node that has already flushed (possible when a
+/// post-flush feedback callback emits) is counted but not enqueued —
+/// end-of-stream has already been signalled on its edges.  Feedback named on
+/// a port with no connected edge is counted as dropped.
 fn route_sync(
     ctx: &mut OperatorContext,
     node: usize,
+    routes: &RoutingTable,
     edges: &mut [SyncEdgeState],
     metrics: &mut [OperatorMetrics],
+    done: &[bool],
 ) {
     for (port, item) in ctx.take_emitted() {
-        let Some(edge) =
-            edges.iter_mut().find(|e| e.edge.from.0 == node && e.edge.from_port == port)
-        else {
-            // Unconnected output (sink side-channel): count and drop.
+        let deliverable = routes.out_edge(node, port).filter(|_| !done[node]);
+        let Some(e) = deliverable else {
+            // Unconnected output (sink side-channel) or post-flush emission:
+            // count and drop.
             match item {
                 StreamItem::Tuple(_) => metrics[node].tuples_out += 1,
                 StreamItem::Punctuation(_) => metrics[node].punctuations_out += 1,
             }
             continue;
         };
+        let edge = &mut edges[e];
         match item {
             StreamItem::Tuple(t) => {
                 metrics[node].tuples_out += 1;
@@ -262,18 +383,17 @@ fn route_sync(
         }
     }
     for (input, fb) in ctx.take_feedback() {
-        if let Some(edge) =
-            edges.iter_mut().find(|e| e.edge.to.0 == node && e.edge.to_port == input)
-        {
-            metrics[node].feedback_out += 1;
-            edge.control.push_back(ControlMessage::Feedback(fb));
+        match routes.in_edge(node, input) {
+            Some(e) => {
+                metrics[node].feedback_out += 1;
+                edges[e].control.push_back(ControlMessage::Feedback(fb));
+            }
+            None => metrics[node].feedback_dropped += 1,
         }
     }
     for input in ctx.take_result_requests() {
-        if let Some(edge) =
-            edges.iter_mut().find(|e| e.edge.to.0 == node && e.edge.to_port == input)
-        {
-            edge.control.push_back(ControlMessage::RequestResults);
+        if let Some(e) = routes.in_edge(node, input) {
+            edges[e].control.push_back(ControlMessage::RequestResults);
         }
     }
 }
@@ -282,6 +402,7 @@ fn route_sync(
 fn finish_sync(
     plan: &mut QueryPlan,
     node: usize,
+    routes: &RoutingTable,
     edges: &mut [SyncEdgeState],
     metrics: &mut [OperatorMetrics],
     ctx: &mut OperatorContext,
@@ -293,39 +414,64 @@ fn finish_sync(
     let timer = Instant::now();
     plan.nodes[node].operator.on_flush(ctx).map_err(|err| wrap(plan, node, err))?;
     metrics[node].busy += timer.elapsed();
-    route_sync(ctx, node, edges, metrics);
-    for edge in edges.iter_mut().filter(|e| e.edge.from.0 == node) {
-        if let Some(page) = edge.builder.flush() {
-            metrics[node].pages_out += 1;
-            edge.queue.push_back(page);
+    route_sync(ctx, node, routes, edges, metrics, done);
+    for port in 0..plan.nodes[node].outputs {
+        if let Some(e) = routes.out_edge(node, port) {
+            if let Some(page) = edges[e].builder.flush() {
+                metrics[node].pages_out += 1;
+                edges[e].queue.push_back(page);
+            }
+            edges[e].eos = true;
         }
-        edge.eos = true;
     }
     done[node] = true;
     Ok(())
 }
 
 // ---------------------------------------------------------------------------
-// Threaded (NiagaraST-style) executor
+// Threaded (NiagaraST-style, event-driven) executor
 // ---------------------------------------------------------------------------
 
 /// One OS thread per operator, bounded page queues, out-of-band control.
+/// Event-driven: idle threads block on channel events (no sleep-polling),
+/// and end-of-stream runs the flush → drain → release protocol described in
+/// the module docs so flush-time feedback is delivered upstream.
 pub struct ThreadedExecutor;
+
+/// A node's view of one incoming connection.
+struct ThreadedInput {
+    /// Input port the connection is attached to.
+    port: usize,
+    consumer: ConsumerEnd,
+    /// Still expecting data: no end-of-stream (or hang-up) observed yet.
+    open: bool,
+}
+
+/// A node's view of one outgoing connection.
+struct ThreadedOutput {
+    /// Output port the connection is attached to.
+    port: usize,
+    producer: ProducerEnd,
+    builder: PageBuilder,
+    /// The downstream consumer may still send control messages: its control
+    /// end-of-stream handshake has not arrived and it has not hung up.
+    control_open: bool,
+    /// The data queue still has a live consumer (no send has failed).
+    data_open: bool,
+}
 
 struct ThreadedNode {
     name: String,
     operator: Box<dyn Operator>,
-    /// (input port, consumer endpoint of the incoming connection)
-    inputs: Vec<(usize, ConsumerEnd)>,
-    /// (output port, producer endpoint of the outgoing connection)
-    outputs: Vec<(usize, ProducerEnd)>,
-    page_capacity: usize,
+    inputs: Vec<ThreadedInput>,
+    outputs: Vec<ThreadedOutput>,
+    /// input port → index into `inputs` (dense routing table).
+    in_route: Vec<Option<usize>>,
+    /// output port → index into `outputs` (dense routing table).
+    out_route: Vec<Option<usize>>,
 }
 
 impl ThreadedExecutor {
-    /// How long an idle operator thread sleeps before re-polling its inputs.
-    const IDLE_SLEEP: Duration = Duration::from_micros(50);
-
     /// Runs the plan to completion, one thread per operator.
     pub fn run(mut plan: QueryPlan) -> EngineResult<ExecutionReport> {
         plan.validate()?;
@@ -342,24 +488,32 @@ impl ThreadedExecutor {
             consumer_ends.push(Some(c));
         }
 
-        // Assemble per-node runtimes.
+        // Assemble per-node runtimes with dense port routing tables.
         let mut runtimes: Vec<ThreadedNode> = Vec::with_capacity(plan.nodes.len());
         let edges = plan.edges.clone();
         for (idx, node) in plan.nodes.drain(..).enumerate() {
             let mut inputs = Vec::new();
             let mut outputs = Vec::new();
+            let mut in_route = vec![None; node.inputs];
+            let mut out_route = vec![None; node.outputs];
             for (e_idx, e) in edges.iter().enumerate() {
                 if e.to.0 == idx {
-                    inputs.push((
-                        e.to_port,
-                        consumer_ends[e_idx].take().expect("consumer end taken once"),
-                    ));
+                    in_route[e.to_port] = Some(inputs.len());
+                    inputs.push(ThreadedInput {
+                        port: e.to_port,
+                        consumer: consumer_ends[e_idx].take().expect("consumer end taken once"),
+                        open: true,
+                    });
                 }
                 if e.from.0 == idx {
-                    outputs.push((
-                        e.from_port,
-                        producer_ends[e_idx].take().expect("producer end taken once"),
-                    ));
+                    out_route[e.from_port] = Some(outputs.len());
+                    outputs.push(ThreadedOutput {
+                        port: e.from_port,
+                        producer: producer_ends[e_idx].take().expect("producer end taken once"),
+                        builder: PageBuilder::new(page_capacity),
+                        control_open: true,
+                        data_open: true,
+                    });
                 }
             }
             runtimes.push(ThreadedNode {
@@ -367,7 +521,8 @@ impl ThreadedExecutor {
                 operator: node.operator,
                 inputs,
                 outputs,
-                page_capacity,
+                in_route,
+                out_route,
             });
         }
 
@@ -400,169 +555,253 @@ impl ThreadedExecutor {
 fn run_threaded_node(mut node: ThreadedNode) -> Result<OperatorMetrics, EngineError> {
     let mut metrics = OperatorMetrics::new(node.name.clone());
     let mut ctx = OperatorContext::new();
-    let mut builders: Vec<(usize, PageBuilder)> = node
-        .outputs
-        .iter()
-        .map(|(port, _)| (*port, PageBuilder::new(node.page_capacity)))
-        .collect();
+    match drive_node(&mut node, &mut metrics, &mut ctx) {
+        Ok(()) => {
+            if let Some(stats) = node.operator.feedback_stats() {
+                metrics.feedback = stats;
+            }
+            Ok(metrics)
+        }
+        Err(err) => {
+            // Failure teardown: ask upstream producers to stop generating
+            // data nobody will read.  Downstream learns from the dropped
+            // endpoints (its polls report `Closed`), so the whole query
+            // unwinds promptly.
+            for input in &node.inputs {
+                input.consumer.send_control(ControlMessage::Shutdown);
+            }
+            Err(EngineError::OperatorFailed { operator: node.name, detail: err.to_string() })
+        }
+    }
+}
+
+/// The per-thread operator loop: active phase, then flush, drain, release
+/// (see the module docs for the protocol).
+fn drive_node(
+    node: &mut ThreadedNode,
+    metrics: &mut OperatorMetrics,
+    ctx: &mut OperatorContext,
+) -> EngineResult<()> {
     let is_source = node.inputs.is_empty();
-    let mut open: Vec<bool> = vec![true; node.inputs.len()];
     let mut shutdown = false;
 
-    let wrap = |name: &str, err: EngineError| EngineError::OperatorFailed {
-        operator: name.to_string(),
-        detail: err.to_string(),
-    };
-
+    // Phase 1 — active: control first (with priority), then data; block on
+    // channel events when there is nothing to do.
     loop {
-        // 1. Control first (feedback from downstream), with priority.
-        for (port, producer) in &node.outputs {
-            for msg in producer.drain_control() {
-                match msg {
-                    ControlMessage::Feedback(fb) => {
-                        metrics.feedback_in += 1;
-                        node.operator
-                            .on_feedback(*port, fb, &mut ctx)
-                            .map_err(|e| wrap(&node.name, e))?;
-                    }
-                    ControlMessage::RequestResults => {
-                        node.operator
-                            .on_request_results(*port, &mut ctx)
-                            .map_err(|e| wrap(&node.name, e))?;
-                    }
-                    ControlMessage::Shutdown => shutdown = true,
-                    ControlMessage::EndOfStream => {}
-                }
-            }
-        }
-        route_threaded(&mut ctx, &node, &mut builders, &mut metrics);
+        process_control(node, metrics, ctx, false, &mut shutdown)?;
         if shutdown {
+            // Downstream is tearing the query down: relay source-ward and
+            // stop producing.
+            for input in &node.inputs {
+                input.consumer.send_control(ControlMessage::Shutdown);
+            }
             break;
         }
 
-        // 2. Data (or source stepping).
         if is_source {
             let timer = Instant::now();
-            let state = node.operator.poll_source(&mut ctx).map_err(|e| wrap(&node.name, e))?;
+            let state = node.operator.poll_source(ctx)?;
             metrics.busy += timer.elapsed();
-            route_threaded(&mut ctx, &node, &mut builders, &mut metrics);
+            route_threaded(ctx, node, metrics, false);
+            if !node.outputs.is_empty() && node.outputs.iter().all(|o| !o.data_open) {
+                // Every consumer hung up; nothing downstream will read
+                // further output.
+                break;
+            }
             match state {
                 SourceState::Producing => continue,
                 SourceState::Exhausted | SourceState::NotASource => break,
             }
         }
 
-        let mut received = false;
-        for (i, (port, consumer)) in node.inputs.iter().enumerate() {
-            if !open[i] {
+        let mut progressed = false;
+        for i in 0..node.inputs.len() {
+            if !node.inputs[i].open {
                 continue;
             }
-            match consumer.try_recv() {
-                Some(QueueMessage::Page(page)) => {
-                    received = true;
+            let port = node.inputs[i].port;
+            match node.inputs[i].consumer.poll_data() {
+                DataPoll::Message(QueueMessage::Page(page)) => {
+                    progressed = true;
                     metrics.pages_in += 1;
+                    metrics.tuples_in += page.tuple_count() as u64;
+                    metrics.punctuations_in += page.punctuation_count() as u64;
                     let timer = Instant::now();
-                    for item in page.into_items() {
-                        match item {
-                            StreamItem::Tuple(t) => {
-                                metrics.tuples_in += 1;
-                                node.operator
-                                    .on_tuple(*port, t, &mut ctx)
-                                    .map_err(|e| wrap(&node.name, e))?;
-                            }
-                            StreamItem::Punctuation(p) => {
-                                metrics.punctuations_in += 1;
-                                node.operator
-                                    .on_punctuation(*port, p, &mut ctx)
-                                    .map_err(|e| wrap(&node.name, e))?;
-                            }
-                        }
-                    }
+                    node.operator.on_page(port, page, ctx)?;
                     metrics.busy += timer.elapsed();
-                    route_threaded(&mut ctx, &node, &mut builders, &mut metrics);
+                    route_threaded(ctx, node, metrics, false);
                 }
-                Some(QueueMessage::EndOfStream) => {
-                    received = true;
-                    open[i] = false;
+                DataPoll::Message(QueueMessage::EndOfStream) | DataPoll::Closed => {
+                    progressed = true;
+                    node.inputs[i].open = false;
                 }
-                None => {}
+                DataPoll::Empty => {}
             }
         }
-        if open.iter().all(|o| !*o) {
+        if node.inputs.iter().all(|i| !i.open) {
             break;
         }
-        if !received {
-            std::thread::sleep(ThreadedExecutor::IDLE_SLEEP);
+        if !progressed {
+            block_on_events(node, true);
         }
     }
 
-    // Final flush.
+    // Phase 2 — flush: emit remaining state and close the data streams.
     let timer = Instant::now();
-    node.operator.on_flush(&mut ctx).map_err(|e| wrap(&node.name, e))?;
+    node.operator.on_flush(ctx)?;
     metrics.busy += timer.elapsed();
-    route_threaded(&mut ctx, &node, &mut builders, &mut metrics);
-    for (port, builder) in &mut builders {
-        if let Some(page) = builder.flush() {
+    route_threaded(ctx, node, metrics, false);
+    for output in &mut node.outputs {
+        if let Some(page) = output.builder.flush() {
             metrics.pages_out += 1;
-            if let Some((_, producer)) = node.outputs.iter().find(|(p, _)| p == port) {
-                producer.send_page(page);
+            if output.data_open && !output.producer.send_page(page) {
+                output.data_open = false;
+            }
+        }
+        output.producer.send_end_of_stream();
+    }
+
+    // Phase 3 — drain: downstream consumers may still send feedback
+    // (including from their own `on_flush`).  Stay alive, blocked on the
+    // control channels, until each has sent its control end-of-stream
+    // handshake or hung up.
+    while node.outputs.iter().any(|o| o.control_open) {
+        let progressed = process_control(node, metrics, ctx, true, &mut shutdown)?;
+        if !progressed && node.outputs.iter().any(|o| o.control_open) {
+            block_on_events(node, false);
+        }
+    }
+
+    // Release: promise our upstream producers that no further control will
+    // arrive on these connections, ending their drain phases in turn.
+    for input in &node.inputs {
+        input.consumer.send_control(ControlMessage::EndOfStream);
+    }
+    Ok(())
+}
+
+/// Parks the thread until any open input has data or any open downstream
+/// control channel has traffic (or an endpoint hangs up).  Event-driven: the
+/// multi-receiver wait is condvar-based, so an idle operator consumes no CPU.
+fn block_on_events(node: &ThreadedNode, include_inputs: bool) {
+    let inputs: Vec<&ConsumerEnd> = if include_inputs {
+        node.inputs.iter().filter(|i| i.open).map(|i| &i.consumer).collect()
+    } else {
+        Vec::new()
+    };
+    let outputs: Vec<&ProducerEnd> =
+        node.outputs.iter().filter(|o| o.control_open).map(|o| &o.producer).collect();
+    wait_any(&inputs, &outputs);
+}
+
+/// Drains every pending control message from downstream, dispatching
+/// feedback and result requests to the operator with priority.  Returns
+/// whether anything was processed.
+fn process_control(
+    node: &mut ThreadedNode,
+    metrics: &mut OperatorMetrics,
+    ctx: &mut OperatorContext,
+    after_eos: bool,
+    shutdown: &mut bool,
+) -> EngineResult<bool> {
+    let mut progressed = false;
+    for o in 0..node.outputs.len() {
+        while node.outputs[o].control_open {
+            match node.outputs[o].producer.poll_control() {
+                ControlPoll::Message(ControlMessage::Feedback(fb)) => {
+                    progressed = true;
+                    metrics.feedback_in += 1;
+                    let port = node.outputs[o].port;
+                    node.operator.on_feedback(port, fb, ctx)?;
+                    route_threaded(ctx, node, metrics, after_eos);
+                }
+                ControlPoll::Message(ControlMessage::RequestResults) => {
+                    progressed = true;
+                    let port = node.outputs[o].port;
+                    node.operator.on_request_results(port, ctx)?;
+                    route_threaded(ctx, node, metrics, after_eos);
+                }
+                ControlPoll::Message(ControlMessage::Shutdown) => {
+                    progressed = true;
+                    *shutdown = true;
+                }
+                ControlPoll::Message(ControlMessage::EndOfStream) | ControlPoll::Closed => {
+                    progressed = true;
+                    node.outputs[o].control_open = false;
+                }
+                ControlPoll::Empty => break,
             }
         }
     }
-    for (_, producer) in &node.outputs {
-        producer.send_end_of_stream();
-    }
-    if let Some(stats) = node.operator.feedback_stats() {
-        metrics.feedback = stats;
-    }
-    Ok(metrics)
+    Ok(progressed)
 }
 
+/// Routes buffered emissions and feedback through the node's dense port
+/// tables.  `after_eos` marks routing performed during the drain phase: data
+/// end-of-stream has already been sent, so late data emissions (from
+/// post-flush feedback callbacks) are counted but cannot be delivered.
+/// Undeliverable feedback — unconnected port, or upstream thread gone — is
+/// counted in `feedback_dropped`.
 fn route_threaded(
     ctx: &mut OperatorContext,
-    node: &ThreadedNode,
-    builders: &mut [(usize, PageBuilder)],
+    node: &mut ThreadedNode,
     metrics: &mut OperatorMetrics,
+    after_eos: bool,
 ) {
     for (port, item) in ctx.take_emitted() {
-        let producer = node.outputs.iter().find(|(p, _)| *p == port).map(|(_, prod)| prod);
-        let builder = builders.iter_mut().find(|(p, _)| *p == port).map(|(_, b)| b);
-        match (producer, builder) {
-            (Some(producer), Some(builder)) => match item {
-                StreamItem::Tuple(t) => {
-                    metrics.tuples_out += 1;
-                    if let Some(page) = builder.push_tuple(t) {
-                        metrics.pages_out += 1;
-                        producer.send_page(page);
-                    }
-                }
-                StreamItem::Punctuation(p) => {
-                    metrics.punctuations_out += 1;
-                    let page = builder.push_punctuation(p);
-                    metrics.pages_out += 1;
-                    producer.send_page(page);
-                }
-            },
-            _ => match item {
-                // Unconnected output: count and drop.
+        let slot = node.out_route.get(port).copied().flatten();
+        let deliverable = match slot {
+            Some(s) if !after_eos && node.outputs[s].data_open => Some(s),
+            _ => None,
+        };
+        let Some(s) = deliverable else {
+            // Unconnected output, hung-up consumer, or post-EOS emission:
+            // count and drop.
+            match item {
                 StreamItem::Tuple(_) => metrics.tuples_out += 1,
                 StreamItem::Punctuation(_) => metrics.punctuations_out += 1,
-            },
+            }
+            continue;
+        };
+        let output = &mut node.outputs[s];
+        match item {
+            StreamItem::Tuple(t) => {
+                metrics.tuples_out += 1;
+                if let Some(page) = output.builder.push_tuple(t) {
+                    metrics.pages_out += 1;
+                    if !output.producer.send_page(page) {
+                        output.data_open = false;
+                    }
+                }
+            }
+            StreamItem::Punctuation(p) => {
+                metrics.punctuations_out += 1;
+                let page = output.builder.push_punctuation(p);
+                metrics.pages_out += 1;
+                if !output.producer.send_page(page) {
+                    output.data_open = false;
+                }
+            }
         }
     }
     for (input, fb) in ctx.take_feedback() {
-        if let Some((_, consumer)) = node.inputs.iter().find(|(p, _)| *p == input) {
-            metrics.feedback_out += 1;
-            consumer.send_control(ControlMessage::Feedback(fb));
+        match node.in_route.get(input).copied().flatten() {
+            Some(s) => {
+                if node.inputs[s].consumer.send_control(ControlMessage::Feedback(fb)) {
+                    metrics.feedback_out += 1;
+                } else {
+                    metrics.feedback_dropped += 1;
+                }
+            }
+            None => metrics.feedback_dropped += 1,
         }
     }
     for input in ctx.take_result_requests() {
-        if let Some((_, consumer)) = node.inputs.iter().find(|(p, _)| *p == input) {
-            consumer.send_control(ControlMessage::RequestResults);
+        if let Some(s) = node.in_route.get(input).copied().flatten() {
+            node.inputs[s].consumer.send_control(ControlMessage::RequestResults);
         }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -662,12 +901,19 @@ mod tests {
         }
     }
 
-    /// Sink collecting tuples; optionally sends feedback after a threshold.
+    /// Sink collecting tuples; optionally sends feedback after a threshold,
+    /// on a fixed cadence, or from `on_flush` (the regression case: feedback
+    /// produced at end-of-stream).
     struct CollectingSink {
         collected: Arc<Mutex<Vec<Tuple>>>,
         punctuations: Arc<Mutex<Vec<Punctuation>>>,
         feedback_after: Option<i64>,
         sent_feedback: bool,
+        /// Send (non-suppressing) feedback every N arrivals.
+        feedback_every: Option<u64>,
+        /// Send (non-suppressing) feedback from `on_flush`.
+        feedback_on_flush: bool,
+        seen: u64,
     }
 
     impl CollectingSink {
@@ -679,8 +925,21 @@ mod tests {
                     punctuations: Arc::new(Mutex::new(Vec::new())),
                     feedback_after: None,
                     sent_feedback: false,
+                    feedback_every: None,
+                    feedback_on_flush: false,
+                    seen: 0,
                 },
                 collected,
+            )
+        }
+
+        /// Feedback whose bound (`v >= 1_000_000`) no test stream reaches, so
+        /// sending it never changes the data the source produces.
+        fn harmless_feedback() -> FeedbackPunctuation {
+            FeedbackPunctuation::assumed(
+                Pattern::for_attributes(schema(), &[("v", PatternItem::Ge(Value::Int(1_000_000)))])
+                    .unwrap(),
+                "sink",
             )
         }
     }
@@ -698,6 +957,7 @@ mod tests {
         fn on_tuple(&mut self, _i: usize, t: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
             let v = t.int("v").unwrap_or(0);
             self.collected.lock().push(t);
+            self.seen += 1;
             if let Some(threshold) = self.feedback_after {
                 if !self.sent_feedback && v >= threshold {
                     self.sent_feedback = true;
@@ -713,6 +973,18 @@ mod tests {
                         ),
                     );
                 }
+            }
+            if let Some(every) = self.feedback_every {
+                if self.seen % every == 0 {
+                    ctx.send_feedback(0, Self::harmless_feedback());
+                }
+            }
+            Ok(())
+        }
+
+        fn on_flush(&mut self, ctx: &mut OperatorContext) -> EngineResult<()> {
+            if self.feedback_on_flush {
+                ctx.send_feedback(0, Self::harmless_feedback());
             }
             Ok(())
         }
@@ -776,6 +1048,7 @@ mod tests {
             0,
             "unaware operators do not relay"
         );
+        assert_eq!(report.total_feedback_dropped(), 0, "delivered (and absorbed), not dropped");
     }
 
     /// A filter variant that *relays* feedback upstream unchanged.
@@ -825,11 +1098,179 @@ mod tests {
             assert_eq!(report.operator("sink").unwrap().feedback_out, 1);
             assert_eq!(report.operator("relay").unwrap().feedback_in, 1);
             assert_eq!(report.operator("source").unwrap().feedback_in, 1);
+            assert_eq!(report.total_feedback_dropped(), 0, "every relayed message is delivered");
             assert_eq!(feedback_seen.lock().len(), 1);
             // The source exploited ¬[*, >=60]: far fewer than 5000 tuples arrive.
             let n = collected.lock().len();
             assert!(n < 5_000, "source suppression must reduce output (got {n})");
             assert!(n >= 60, "tuples below the bound must still arrive (got {n})");
+        }
+    }
+
+    /// The headline regression for the drain protocol: feedback emitted from
+    /// a sink's `on_flush` — i.e. *after* every upstream operator has already
+    /// finished producing — must still be relayed all the way to the source,
+    /// with nothing counted as dropped, in both executors.
+    #[test]
+    fn flush_feedback_reaches_live_source_in_both_executors() {
+        for threaded in [false, true] {
+            let mut plan = QueryPlan::new().with_page_capacity(4).with_queue_capacity(4);
+            let source = CountingSource::new(500, 50);
+            let feedback_seen = source.feedback_seen.clone();
+            let src = plan.add(source);
+            let relay = plan.add(RelayingFilter);
+            let (mut sink, collected) = CollectingSink::new();
+            sink.feedback_on_flush = true;
+            let sink = plan.add(sink);
+            plan.connect_simple(src, relay).unwrap();
+            plan.connect_simple(relay, sink).unwrap();
+
+            let report = if threaded {
+                ThreadedExecutor::run(plan).unwrap()
+            } else {
+                SyncExecutor::run(plan).unwrap()
+            };
+            assert_eq!(collected.lock().len(), 500, "threaded={threaded}");
+            assert_eq!(report.operator("sink").unwrap().feedback_out, 1, "threaded={threaded}");
+            assert_eq!(report.operator("relay").unwrap().feedback_in, 1, "threaded={threaded}");
+            assert_eq!(
+                report.operator("source").unwrap().feedback_in,
+                1,
+                "flush-time feedback must reach the source (threaded={threaded})"
+            );
+            assert_eq!(feedback_seen.lock().len(), 1, "threaded={threaded}");
+            assert_eq!(report.total_feedback_dropped(), 0, "threaded={threaded}");
+        }
+    }
+
+    /// Back-pressure stress: tiny pages, a single-page queue bound, and
+    /// feedback flowing upstream concurrently with thousands of data pages.
+    /// Nothing may be lost in either direction.
+    #[test]
+    fn threaded_backpressure_with_concurrent_feedback_stress() {
+        let mut plan = QueryPlan::new().with_page_capacity(1).with_queue_capacity(1);
+        let source = CountingSource::new(5_000, 7);
+        let feedback_seen = source.feedback_seen.clone();
+        let src = plan.add(source);
+        let relay = plan.add(RelayingFilter);
+        let (mut sink, collected) = CollectingSink::new();
+        sink.feedback_every = Some(250);
+        sink.feedback_on_flush = true;
+        let sink = plan.add(sink);
+        plan.connect_simple(src, relay).unwrap();
+        plan.connect_simple(relay, sink).unwrap();
+
+        let report = ThreadedExecutor::run(plan).unwrap();
+        assert_eq!(collected.lock().len(), 5_000, "no data lost under back-pressure");
+        let sent = report.operator("sink").unwrap().feedback_out;
+        assert_eq!(sent, 5_000 / 250 + 1, "cadence feedback plus the flush-time message");
+        assert_eq!(report.operator("relay").unwrap().feedback_in, sent);
+        assert_eq!(report.operator("source").unwrap().feedback_in, sent);
+        assert_eq!(feedback_seen.lock().len(), sent as usize);
+        assert_eq!(report.total_feedback_dropped(), 0);
+    }
+
+    /// Filter that fails after a fixed number of tuples.
+    struct FailingFilter {
+        after: u64,
+        seen: u64,
+    }
+
+    impl Operator for FailingFilter {
+        fn name(&self) -> &str {
+            "failing"
+        }
+        fn inputs(&self) -> usize {
+            1
+        }
+        fn on_tuple(&mut self, _i: usize, t: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+            self.seen += 1;
+            if self.seen > self.after {
+                return Err(EngineError::ExecutionFailed { detail: "injected failure".into() });
+            }
+            ctx.emit(0, t);
+            Ok(())
+        }
+    }
+
+    /// An operator failure must shut the whole threaded query down promptly:
+    /// shutdown relays upstream (the source stops producing its 100k tuples)
+    /// and the error surfaces — the test completing at all proves no thread
+    /// deadlocks in the drain protocol.
+    #[test]
+    fn operator_failure_shuts_both_executors_down() {
+        for threaded in [false, true] {
+            let mut plan = QueryPlan::new().with_page_capacity(2).with_queue_capacity(2);
+            let src = plan.add(CountingSource::new(100_000, 0));
+            let failing = plan.add(FailingFilter { after: 10, seen: 0 });
+            let (sink, _collected) = CollectingSink::new();
+            let sink = plan.add(sink);
+            plan.connect_simple(src, failing).unwrap();
+            plan.connect_simple(failing, sink).unwrap();
+
+            let err = if threaded {
+                ThreadedExecutor::run(plan).unwrap_err()
+            } else {
+                SyncExecutor::run(plan).unwrap_err()
+            };
+            assert!(
+                matches!(err, EngineError::OperatorFailed { ref operator, .. } if operator == "failing"),
+                "threaded={threaded}: {err}"
+            );
+        }
+    }
+
+    /// Sink that names a nonexistent input port when sending feedback — the
+    /// one genuinely undeliverable case, which must be *counted*, never
+    /// silently ignored.
+    struct MisroutedFeedbackSink {
+        sent: bool,
+    }
+
+    impl Operator for MisroutedFeedbackSink {
+        fn name(&self) -> &str {
+            "misrouted"
+        }
+        fn inputs(&self) -> usize {
+            1
+        }
+        fn outputs(&self) -> usize {
+            0
+        }
+        fn on_tuple(
+            &mut self,
+            _i: usize,
+            _t: Tuple,
+            ctx: &mut OperatorContext,
+        ) -> EngineResult<()> {
+            if !self.sent {
+                self.sent = true;
+                ctx.send_feedback(
+                    7,
+                    FeedbackPunctuation::assumed(Pattern::all_wildcards(schema()), "misrouted"),
+                );
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn undeliverable_feedback_is_counted_in_both_executors() {
+        for threaded in [false, true] {
+            let mut plan = QueryPlan::new().with_page_capacity(4);
+            let src = plan.add(CountingSource::new(20, 0));
+            let sink = plan.add(MisroutedFeedbackSink { sent: false });
+            plan.connect_simple(src, sink).unwrap();
+
+            let report = if threaded {
+                ThreadedExecutor::run(plan).unwrap()
+            } else {
+                SyncExecutor::run(plan).unwrap()
+            };
+            let sink = report.operator("misrouted").unwrap();
+            assert_eq!(sink.feedback_dropped, 1, "threaded={threaded}");
+            assert_eq!(sink.feedback_out, 0, "threaded={threaded}");
+            assert_eq!(report.total_feedback_dropped(), 1, "threaded={threaded}");
         }
     }
 

@@ -13,8 +13,11 @@
 //!   tuples, embedded punctuation, feedback punctuation and end-of-stream;
 //! * a [`plan::QueryPlan`] builder describing the operator graph; and
 //! * two executors: [`executor::ThreadedExecutor`] runs one OS thread per
-//!   operator (NiagaraST's model), while [`executor::SyncExecutor`] runs the
-//!   same plans deterministically on a single thread for reproducible tests.
+//!   operator (NiagaraST's model) event-driven — idle threads block on a
+//!   multi-receiver channel wait, and a sink→source drain protocol delivers
+//!   even flush-time feedback before threads exit — while
+//!   [`executor::SyncExecutor`] runs the same plans deterministically on a
+//!   single thread for reproducible tests.
 //!
 //! The engine knows nothing about specific operators; those live in
 //! `dsms-operators`.

@@ -24,6 +24,15 @@ pub struct OperatorMetrics {
     pub feedback_in: u64,
     /// Feedback messages sent (to upstream).
     pub feedback_out: u64,
+    /// Feedback messages this operator sent that the executor could not
+    /// deliver.  Cooperating operators must never lose feedback silently
+    /// (the paper's central delivery guarantee), so both executors deliver
+    /// feedback to upstream operators even after those operators have
+    /// flushed; this counter records the residue that is *genuinely*
+    /// undeliverable — feedback named on an input port with no connected
+    /// edge, or (threaded executor only) sent on a connection whose upstream
+    /// thread already exited after a failure.  A healthy run reports 0.
+    pub feedback_dropped: u64,
     /// Time spent inside operator callbacks.
     pub busy: Duration,
     /// Feedback-layer statistics reported by the operator, if any.

@@ -12,20 +12,36 @@ use dsms_punctuation::Punctuation;
 use dsms_types::Tuple;
 
 /// A batch of stream items (tuples and embedded punctuation, in order).
+///
+/// Tuple and punctuation counts are maintained incrementally as items are
+/// appended, so [`Page::tuple_count`] and [`Page::punctuation_count`] are
+/// O(1) — executors consult them for every page they move.
 #[derive(Debug, Clone, Default)]
 pub struct Page {
     items: Vec<StreamItem>,
+    tuples: usize,
+    punctuations: usize,
 }
 
 impl Page {
     /// Creates an empty page.
     pub fn new() -> Self {
-        Page { items: Vec::new() }
+        Page::default()
     }
 
     /// Creates a page from items (used by tests).
     pub fn from_items(items: Vec<StreamItem>) -> Self {
-        Page { items }
+        let tuples = items.iter().filter(|i| matches!(i, StreamItem::Tuple(_))).count();
+        let punctuations = items.len() - tuples;
+        Page { items, tuples, punctuations }
+    }
+
+    fn push(&mut self, item: StreamItem) {
+        match &item {
+            StreamItem::Tuple(_) => self.tuples += 1,
+            StreamItem::Punctuation(_) => self.punctuations += 1,
+        }
+        self.items.push(item);
     }
 
     /// The items in arrival order.
@@ -48,14 +64,14 @@ impl Page {
         self.items.is_empty()
     }
 
-    /// Number of tuples on the page.
+    /// Number of tuples on the page (maintained incrementally; O(1)).
     pub fn tuple_count(&self) -> usize {
-        self.items.iter().filter(|i| matches!(i, StreamItem::Tuple(_))).count()
+        self.tuples
     }
 
-    /// Number of punctuations on the page.
+    /// Number of punctuations on the page (maintained incrementally; O(1)).
     pub fn punctuation_count(&self) -> usize {
-        self.items.iter().filter(|i| matches!(i, StreamItem::Punctuation(_))).count()
+        self.punctuations
     }
 
     /// Iterates over just the tuples.
@@ -91,7 +107,7 @@ impl PageBuilder {
 
     /// Appends a tuple.  Returns a full page when the append filled it.
     pub fn push_tuple(&mut self, tuple: Tuple) -> Option<Page> {
-        self.current.items.push(StreamItem::Tuple(tuple));
+        self.current.push(StreamItem::Tuple(tuple));
         if self.current.len() >= self.capacity {
             Some(self.take())
         } else {
@@ -102,7 +118,7 @@ impl PageBuilder {
     /// Appends a punctuation.  Punctuation always flushes the page
     /// (NiagaraST's rule), so this always returns a page.
     pub fn push_punctuation(&mut self, punctuation: Punctuation) -> Page {
-        self.current.items.push(StreamItem::Punctuation(punctuation));
+        self.current.push(StreamItem::Punctuation(punctuation));
         self.take()
     }
 
@@ -183,6 +199,20 @@ mod tests {
         let mut b = PageBuilder::new(0);
         assert_eq!(b.capacity(), 1);
         assert!(b.push_tuple(tuple(1, 1)).is_some(), "every tuple fills a 1-capacity page");
+    }
+
+    #[test]
+    fn incremental_counts_survive_take_and_reuse() {
+        let mut b = PageBuilder::new(4);
+        b.push_tuple(tuple(1, 1));
+        let page = b.push_punctuation(punct(1));
+        assert_eq!((page.tuple_count(), page.punctuation_count()), (1, 1));
+        // The builder restarts from zero after a flush.
+        b.push_tuple(tuple(2, 2));
+        b.push_tuple(tuple(3, 3));
+        let page = b.flush().unwrap();
+        assert_eq!((page.tuple_count(), page.punctuation_count()), (2, 0));
+        assert!(b.take().is_empty());
     }
 
     #[test]

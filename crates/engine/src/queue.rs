@@ -7,10 +7,19 @@
 //! `capacity` pages, which is how NiagaraST-style pipelined engines keep
 //! memory bounded.  Control messages are never blocked — they are small,
 //! high-priority and must overtake data (paper Section 5).
+//!
+//! Both endpoints implement `crossbeam_channel::SelectHandle`, so an
+//! operator thread can park in a single condvar-based wait ([`wait_any`])
+//! spanning all of its input data queues and downstream control channels —
+//! the event-driven alternative to sleep-polling.  The `poll_*` methods
+//! distinguish "nothing queued yet" from "peer endpoint gone", which the
+//! executor's drain protocol relies on for prompt, loss-free teardown.
 
 use crate::control::ControlMessage;
 use crate::page::Page;
-use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use crossbeam_channel::{
+    bounded, unbounded, Receiver, Select, SelectHandle, Sender, TryRecvError, TrySendError, Waker,
+};
 
 /// A message on the data queue.
 #[derive(Debug, Clone)]
@@ -19,6 +28,30 @@ pub enum QueueMessage {
     Page(Page),
     /// The producer is done; no more pages will follow.
     EndOfStream,
+}
+
+/// The outcome of a non-blocking receive on a data queue.
+#[derive(Debug)]
+pub enum DataPoll {
+    /// A message was waiting.
+    Message(QueueMessage),
+    /// Nothing queued right now; the producer is still attached.
+    Empty,
+    /// The queue is empty and the producer endpoint has been dropped (the
+    /// upstream thread exited).  Equivalent to end-of-stream.
+    Closed,
+}
+
+/// The outcome of a non-blocking receive on a control channel.
+#[derive(Debug)]
+pub enum ControlPoll {
+    /// A control message was waiting.
+    Message(ControlMessage),
+    /// Nothing queued right now; the consumer is still attached.
+    Empty,
+    /// The channel is empty and the consumer endpoint has been dropped (the
+    /// downstream thread exited).  No further control can arrive.
+    Closed,
 }
 
 /// Producer endpoint of a connection: sends pages downstream, receives control
@@ -81,6 +114,16 @@ impl ProducerEnd {
         let _ = self.data.send(QueueMessage::EndOfStream);
     }
 
+    /// Non-blocking receive of one control message the consumer sent
+    /// upstream, distinguishing "nothing yet" from "consumer gone".
+    pub fn poll_control(&self) -> ControlPoll {
+        match self.control.try_recv() {
+            Ok(message) => ControlPoll::Message(message),
+            Err(TryRecvError::Empty) => ControlPoll::Empty,
+            Err(TryRecvError::Disconnected) => ControlPoll::Closed,
+        }
+    }
+
     /// Drains any control messages (feedback) the consumer has sent upstream.
     pub fn drain_control(&self) -> Vec<ControlMessage> {
         let mut msgs = Vec::new();
@@ -91,10 +134,30 @@ impl ProducerEnd {
     }
 }
 
+impl SelectHandle for ProducerEnd {
+    fn is_ready(&self) -> bool {
+        self.control.is_ready()
+    }
+
+    fn register(&self, waker: &Waker) {
+        self.control.register(waker);
+    }
+}
+
 impl ConsumerEnd {
     /// Attempts to receive the next data message without blocking.
     pub fn try_recv(&self) -> Option<QueueMessage> {
         self.data.try_recv().ok()
+    }
+
+    /// Non-blocking receive of one data message, distinguishing "nothing
+    /// yet" from "producer gone" (which a consumer treats as end-of-stream).
+    pub fn poll_data(&self) -> DataPoll {
+        match self.data.try_recv() {
+            Ok(message) => DataPoll::Message(message),
+            Err(TryRecvError::Empty) => DataPoll::Empty,
+            Err(TryRecvError::Disconnected) => DataPoll::Closed,
+        }
     }
 
     /// Receives the next data message, blocking until one arrives or the
@@ -104,15 +167,44 @@ impl ConsumerEnd {
     }
 
     /// Sends a control message (feedback punctuation, result request)
-    /// upstream.  Never blocks.
-    pub fn send_control(&self, message: ControlMessage) {
-        let _ = self.control.send(message);
+    /// upstream.  Never blocks.  Returns `false` when the producer endpoint
+    /// is gone (its thread exited), i.e. the message is undeliverable.
+    pub fn send_control(&self, message: ControlMessage) -> bool {
+        self.control.send(message).is_ok()
     }
 
     /// Number of pages currently buffered (approximate).
     pub fn pending(&self) -> usize {
         self.data.len()
     }
+}
+
+impl SelectHandle for ConsumerEnd {
+    fn is_ready(&self) -> bool {
+        self.data.is_ready()
+    }
+
+    fn register(&self, waker: &Waker) {
+        self.data.register(waker);
+    }
+}
+
+/// Blocks until any of the given endpoints is ready: a data message on some
+/// consumer endpoint, or a control message (or hang-up) on some producer
+/// endpoint.  This is the threaded executor's idle wait — operator threads
+/// park here instead of sleep-polling.  No-ops when both slices are empty.
+pub fn wait_any(inputs: &[&ConsumerEnd], outputs: &[&ProducerEnd]) {
+    let mut select = Select::new();
+    for input in inputs {
+        select.watch(*input);
+    }
+    for output in outputs {
+        select.watch(*output);
+    }
+    if inputs.is_empty() && outputs.is_empty() {
+        return;
+    }
+    select.ready();
 }
 
 #[cfg(test)]
@@ -168,5 +260,55 @@ mod tests {
         let (producer, consumer) = DataQueue::connection(1);
         drop(consumer);
         assert!(!producer.send_page(page()));
+    }
+
+    #[test]
+    fn polls_distinguish_empty_from_closed() {
+        let (producer, consumer) = DataQueue::connection(2);
+        assert!(matches!(consumer.poll_data(), DataPoll::Empty));
+        assert!(matches!(producer.poll_control(), ControlPoll::Empty));
+        producer.send_page(page());
+        assert!(consumer.send_control(ControlMessage::RequestResults));
+        assert!(matches!(consumer.poll_data(), DataPoll::Message(QueueMessage::Page(_))));
+        assert!(matches!(
+            producer.poll_control(),
+            ControlPoll::Message(ControlMessage::RequestResults)
+        ));
+        drop(producer);
+        assert!(matches!(consumer.poll_data(), DataPoll::Closed));
+        assert!(!consumer.send_control(ControlMessage::EndOfStream), "producer gone");
+        let (producer, consumer) = DataQueue::connection(2);
+        drop(consumer);
+        assert!(matches!(producer.poll_control(), ControlPoll::Closed));
+    }
+
+    #[test]
+    fn wait_any_wakes_on_data_and_on_control() {
+        let (producer, consumer) = DataQueue::connection(2);
+        let sender = {
+            let producer = producer.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                producer.send_page(page());
+            })
+        };
+        wait_any(&[&consumer], &[]);
+        assert!(matches!(consumer.poll_data(), DataPoll::Message(_)));
+        sender.join().unwrap();
+
+        let replier = {
+            let consumer = consumer.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                consumer.send_control(ControlMessage::EndOfStream);
+            })
+        };
+        wait_any(&[], &[&producer]);
+        assert!(matches!(
+            producer.poll_control(),
+            ControlPoll::Message(ControlMessage::EndOfStream)
+        ));
+        replier.join().unwrap();
+        wait_any(&[], &[] /* no endpoints: returns immediately */);
     }
 }

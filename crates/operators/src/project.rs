@@ -6,7 +6,7 @@
 //! the input (they survived the projection), so safe propagation always exists
 //! and is computed with [`dsms_feedback::mapping::propagate_through`].
 
-use dsms_engine::{EngineResult, Operator, OperatorContext};
+use dsms_engine::{EngineResult, Operator, OperatorContext, Page, StreamItem};
 use dsms_feedback::{
     mapping::propagate_through, AttributeMapping, FeedbackIntent, FeedbackPunctuation,
     FeedbackRegistry, GuardDecision, PropagationOutcome,
@@ -74,6 +74,21 @@ impl Operator for Project {
             return Ok(());
         }
         ctx.emit(0, projected);
+        Ok(())
+    }
+
+    fn on_page(&mut self, input: usize, page: Page, ctx: &mut OperatorContext) -> EngineResult<()> {
+        // Batch fast path: the executor makes one virtual call per page, and
+        // the per-item calls below dispatch statically (`self` is `Project`
+        // here, not `dyn Operator`).
+        for item in page.into_items() {
+            match item {
+                StreamItem::Tuple(tuple) => self.on_tuple(input, tuple, ctx)?,
+                StreamItem::Punctuation(punctuation) => {
+                    self.on_punctuation(input, punctuation, ctx)?
+                }
+            }
+        }
         Ok(())
     }
 
@@ -183,6 +198,24 @@ mod tests {
         let p = Punctuation::group_complete(schema(), "detector", Value::Int(7)).unwrap();
         op.on_punctuation(0, p, &mut ctx).unwrap();
         assert!(ctx.take_emitted().is_empty());
+    }
+
+    #[test]
+    fn on_page_batch_projects_tuples_and_punctuation() {
+        let mut op = Project::new("proj", schema(), &["segment", "speed"]).unwrap();
+        let mut ctx = OperatorContext::new();
+        let page = Page::from_items(vec![
+            StreamItem::Tuple(tuple(1, 40.0)),
+            StreamItem::Punctuation(
+                Punctuation::group_complete(schema(), "segment", Value::Int(1)).unwrap(),
+            ),
+            StreamItem::Tuple(tuple(2, 50.0)),
+        ]);
+        op.on_page(0, page, &mut ctx).unwrap();
+        let out = ctx.take_emitted();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].1.as_tuple().unwrap().arity(), 2);
+        assert_eq!(out[1].1.as_punctuation().unwrap().to_string(), "[1, *]");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! identical, safe propagation is the identity rewrite.
 
 use crate::common::TuplePredicate;
-use dsms_engine::{EngineResult, Operator, OperatorContext};
+use dsms_engine::{EngineResult, Operator, OperatorContext, Page, StreamItem};
 use dsms_feedback::{
     characterize_select, FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, GuardDecision,
 };
@@ -70,6 +70,21 @@ impl Operator for Select {
         }
         if self.predicate.eval(&tuple) {
             ctx.emit(0, tuple);
+        }
+        Ok(())
+    }
+
+    fn on_page(&mut self, input: usize, page: Page, ctx: &mut OperatorContext) -> EngineResult<()> {
+        // Batch fast path: the executor makes one virtual call per page, and
+        // the per-item calls below dispatch statically (`self` is `Select`
+        // here, not `dyn Operator`).
+        for item in page.into_items() {
+            match item {
+                StreamItem::Tuple(tuple) => self.on_tuple(input, tuple, ctx)?,
+                StreamItem::Punctuation(punctuation) => {
+                    self.on_punctuation(input, punctuation, ctx)?
+                }
+            }
         }
         Ok(())
     }
@@ -157,6 +172,32 @@ mod tests {
         op.on_tuple(0, tuple(4, 10.0), &mut ctx).unwrap(); // fails original predicate
         let emitted = ctx.take_emitted();
         assert_eq!(emitted.len(), 1);
+        assert_eq!(op.feedback_stats().unwrap().tuples_suppressed, 1);
+    }
+
+    #[test]
+    fn on_page_batch_matches_per_tuple_behaviour() {
+        use dsms_punctuation::Punctuation;
+        let mut op = fast_only();
+        let mut ctx = OperatorContext::new();
+        let fb = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(3)))])
+                .unwrap(),
+            "downstream",
+        );
+        op.on_feedback(0, fb, &mut ctx).unwrap();
+        ctx.take_feedback();
+        let page = Page::from_items(vec![
+            StreamItem::Tuple(tuple(3, 60.0)), // suppressed by feedback
+            StreamItem::Tuple(tuple(4, 60.0)), // passes
+            StreamItem::Tuple(tuple(4, 10.0)), // fails predicate
+            StreamItem::Punctuation(
+                Punctuation::progress(schema(), "timestamp", Timestamp::EPOCH).unwrap(),
+            ),
+        ]);
+        op.on_page(0, page, &mut ctx).unwrap();
+        let emitted = ctx.take_emitted();
+        assert_eq!(emitted.len(), 2, "one surviving tuple + forwarded punctuation");
         assert_eq!(op.feedback_stats().unwrap().tuples_suppressed, 1);
     }
 

@@ -8,7 +8,7 @@
 //! display sending viewport feedback): callers attach a feedback schedule that
 //! the sink emits as it observes the stream advance.
 
-use dsms_engine::{EngineResult, Operator, OperatorContext};
+use dsms_engine::{EngineResult, Operator, OperatorContext, Page, StreamItem};
 use dsms_feedback::FeedbackPunctuation;
 use dsms_punctuation::Punctuation;
 use dsms_types::{Timestamp, Tuple};
@@ -66,6 +66,26 @@ impl Operator for CollectSink {
         _ctx: &mut OperatorContext,
     ) -> EngineResult<()> {
         self.collected.lock().push(tuple);
+        Ok(())
+    }
+
+    fn on_page(
+        &mut self,
+        _input: usize,
+        page: Page,
+        _ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        // Batch fast path: take each result lock once per page, not per item.
+        let mut collected = self.collected.lock();
+        let mut punctuations = None;
+        for item in page.into_items() {
+            match item {
+                StreamItem::Tuple(tuple) => collected.push(tuple),
+                StreamItem::Punctuation(punctuation) => {
+                    punctuations.get_or_insert_with(|| self.punctuations.lock()).push(punctuation)
+                }
+            }
+        }
         Ok(())
     }
 
@@ -154,6 +174,32 @@ impl TimedSink {
     pub fn high_watermark(&self) -> Option<Timestamp> {
         self.high_watermark
     }
+
+    /// Records one arrival into an already-locked buffer: watermark update,
+    /// arrival timestamping and any due scheduled feedback.  Shared by the
+    /// per-tuple and per-page paths.
+    fn record_arrival(
+        &mut self,
+        tuple: Tuple,
+        arrivals: &mut Vec<TimedArrival>,
+        ctx: &mut OperatorContext,
+    ) {
+        if let Some(attr) = &self.watermark_attribute {
+            if let Ok(ts) = tuple.timestamp(attr) {
+                self.high_watermark = Some(self.high_watermark.map(|w| w.max(ts)).unwrap_or(ts));
+            }
+        }
+        arrivals.push(TimedArrival { tuple, arrival: self.started.elapsed() });
+        self.seen += 1;
+        while let Some(next) = self.schedule.first() {
+            if self.seen >= next.after_tuples {
+                let scheduled = self.schedule.remove(0);
+                ctx.send_feedback(0, scheduled.feedback);
+            } else {
+                break;
+            }
+        }
+    }
 }
 
 impl Operator for TimedSink {
@@ -175,19 +221,23 @@ impl Operator for TimedSink {
         tuple: Tuple,
         ctx: &mut OperatorContext,
     ) -> EngineResult<()> {
-        if let Some(attr) = &self.watermark_attribute {
-            if let Ok(ts) = tuple.timestamp(attr) {
-                self.high_watermark = Some(self.high_watermark.map(|w| w.max(ts)).unwrap_or(ts));
-            }
-        }
-        self.arrivals.lock().push(TimedArrival { tuple, arrival: self.started.elapsed() });
-        self.seen += 1;
-        while let Some(next) = self.schedule.first() {
-            if self.seen >= next.after_tuples {
-                let scheduled = self.schedule.remove(0);
-                ctx.send_feedback(0, scheduled.feedback);
-            } else {
-                break;
+        let arrivals = self.arrivals.clone();
+        self.record_arrival(tuple, &mut arrivals.lock(), ctx);
+        Ok(())
+    }
+
+    fn on_page(&mut self, input: usize, page: Page, ctx: &mut OperatorContext) -> EngineResult<()> {
+        // Batch fast path: take the arrivals lock once per page.  Arrival
+        // times stay per-tuple and the feedback schedule still fires at the
+        // exact arrival count it names.
+        let arrivals = self.arrivals.clone();
+        let mut arrivals = arrivals.lock();
+        for item in page.into_items() {
+            match item {
+                StreamItem::Tuple(tuple) => self.record_arrival(tuple, &mut arrivals, ctx),
+                StreamItem::Punctuation(punctuation) => {
+                    self.on_punctuation(input, punctuation, ctx)?
+                }
             }
         }
         Ok(())
@@ -224,6 +274,39 @@ mod tests {
         assert_eq!(handle.lock().len(), 2);
         assert_eq!(puncts.lock().len(), 1);
         assert_eq!(sink.outputs(), 0);
+    }
+
+    #[test]
+    fn sinks_process_whole_pages() {
+        let (mut sink, handle) = CollectSink::new("out");
+        let puncts = sink.punctuation_handle();
+        let mut ctx = OperatorContext::new();
+        let page = Page::from_items(vec![
+            StreamItem::Tuple(tuple(1, 10)),
+            StreamItem::Punctuation(
+                Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(1)).unwrap(),
+            ),
+            StreamItem::Tuple(tuple(2, 20)),
+        ]);
+        sink.on_page(0, page, &mut ctx).unwrap();
+        assert_eq!(handle.lock().len(), 2);
+        assert_eq!(puncts.lock().len(), 1);
+
+        let feedback = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(schema(), &[("v", PatternItem::Ge(Value::Int(100)))]).unwrap(),
+            "display",
+        );
+        let (sink, timed_handle) = TimedSink::new("timed");
+        let mut sink = sink.with_watermark("timestamp").with_scheduled_feedback(2, feedback);
+        let page = Page::from_items(vec![
+            StreamItem::Tuple(tuple(1, 1)),
+            StreamItem::Tuple(tuple(9, 2)),
+            StreamItem::Tuple(tuple(3, 3)),
+        ]);
+        sink.on_page(0, page, &mut ctx).unwrap();
+        assert_eq!(timed_handle.lock().len(), 3);
+        assert_eq!(ctx.take_feedback().len(), 1, "schedule fired mid-page");
+        assert_eq!(sink.high_watermark(), Some(Timestamp::from_secs(9)));
     }
 
     #[test]
