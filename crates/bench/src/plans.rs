@@ -8,18 +8,24 @@
 //!   AVERAGE per segment whose results drive the speed-map display; the
 //!   display issues event-driven viewport feedback exploited under schemes
 //!   F0–F3.
+//! * [`partition_scaling_plan`] — the data-parallel scaling experiment: the
+//!   per-detector windowed average, its per-tuple cost modelling a blocking
+//!   archive lookup, replicated N ways behind a shuffle/merge pair.
 
 use crate::display::{DisplayHandle, SpeedMapDisplay};
 use crate::experiments::{Experiment1Config, Experiment2Config, Scheme};
 use dsms_engine::{EngineResult, QueryPlan};
+use dsms_feedback::FeedbackPunctuation;
 use dsms_operators::aggregate::FeedbackMode;
 use dsms_operators::WindowAggregate;
 use dsms_operators::{
-    AggregateFunction, ArchivalStore, GeneratorSource, Impute, Pace, QualityFilter, Split,
-    TimedSink, TimedSinkHandle, TuplePredicate, Union,
+    AggregateFunction, ArchivalStore, Costed, GeneratorSource, Impute, Merge, Pace, PartitionedExt,
+    QualityFilter, Shuffle, Split, TimedSink, TimedSinkHandle, TuplePredicate, Union, VecSource,
 };
-use dsms_types::StreamDuration;
+use dsms_punctuation::{Pattern, PatternItem};
+use dsms_types::{StreamDuration, Tuple, Value};
 use dsms_workloads::{ImputationGenerator, TrafficGenerator, ZoomSchedule};
+use std::time::Duration;
 
 /// Handles needed to evaluate Experiment 1 after the plan has run.
 pub struct ImputationPlanHandles {
@@ -171,6 +177,87 @@ pub fn speedmap_plan(
     plan.connect_simple(quality, average)?;
     plan.connect_simple(average, display)?;
     Ok((plan, SpeedmapPlanHandles { rendered }))
+}
+
+/// Handles needed to evaluate a partition-scaling run after the plan has run.
+pub struct PartitionScalingHandles {
+    /// Arrival-timed sink output (the merged aggregate results).
+    pub output: TimedSinkHandle,
+}
+
+/// The per-detector windowed average replicated by the partition-scaling
+/// experiment: AVG(speed) per (1-minute window, detector).
+fn scaling_aggregate(name: String) -> WindowAggregate {
+    WindowAggregate::new(
+        name,
+        TrafficGenerator::schema(),
+        "timestamp",
+        StreamDuration::from_minutes(1),
+        &["detector"],
+        AggregateFunction::Avg("speed".into()),
+    )
+    .expect("valid aggregate spec")
+}
+
+/// [`scaling_aggregate`] with each input tuple charged `lookup_cost` of
+/// *blocking* time — the archival-lookup model of Experiment 1, and the
+/// reason replicas scale even on a single core (blocked replicas overlap
+/// their waits).
+fn scaling_stage(name: String, lookup_cost: Duration) -> Costed<WindowAggregate> {
+    Costed::blocking_io(scaling_aggregate(name), lookup_cost)
+}
+
+/// Builds the partition-scaling plan over a pre-materialized traffic stream:
+///
+/// ```text
+/// source ─ shuffle(detector) ─ AVG×N ─ merge ─ sink      (partitions ≥ 2)
+/// source ─ AVG ─ sink                                    (partitions = 1)
+/// ```
+///
+/// The sink issues one (never-matching) assumed feedback mid-stream, so every
+/// run also exercises the merge→replica broadcast path under load without
+/// perturbing the output.  The single-replica and partitioned plans produce
+/// the same output multiset: the stage is grouped by `detector`, which is
+/// also the shuffle key.
+pub fn partition_scaling_plan(
+    tuples: Vec<Tuple>,
+    partitions: usize,
+    lookup_cost: Duration,
+) -> EngineResult<(QueryPlan, PartitionScalingHandles)> {
+    let schema = TrafficGenerator::schema();
+    let mut plan = QueryPlan::new().with_page_capacity(32).with_queue_capacity(8);
+    let source = plan.add(
+        VecSource::new("traffic-source", tuples)
+            .with_punctuation("timestamp", StreamDuration::from_secs(60))
+            .with_batch_size(64),
+    );
+
+    let output_schema = scaling_aggregate("probe".into()).output_schema().clone();
+    let harmless = FeedbackPunctuation::assumed(
+        Pattern::for_attributes(
+            output_schema.clone(),
+            &[("detector", PatternItem::Ge(Value::Int(i64::MAX / 2)))],
+        )
+        .map_err(dsms_engine::EngineError::from)?,
+        "scale-sink",
+    );
+    let (sink, output) = TimedSink::new("scale-sink");
+    let sink = plan.add(sink.with_scheduled_feedback(64, harmless));
+
+    if partitions <= 1 {
+        let stage = plan.add(scaling_stage("AVG".into(), lookup_cost));
+        plan.connect_simple(source, stage)?;
+        plan.connect_simple(stage, sink)?;
+    } else {
+        let shuffle = Shuffle::new("scale-shuffle", schema, &["detector"], partitions)?;
+        let merge = Merge::new("scale-merge", output_schema, partitions);
+        let stage = plan.partitioned_stage(shuffle, merge, |i| {
+            scaling_stage(format!("AVG-{i}"), lookup_cost)
+        })?;
+        plan.connect_simple(source, stage.input())?;
+        plan.connect_simple(stage.output(), sink)?;
+    }
+    Ok((plan, PartitionScalingHandles { output }))
 }
 
 #[cfg(test)]

@@ -27,6 +27,11 @@
 //! * [`registry`] — per-operator bookkeeping of active feedback (guards),
 //!   including expiration driven by embedded punctuation on delimited
 //!   attributes (Section 4.4).
+//! * [`merge`] — [`FeedbackMerge`], the cross-partition lattice combinator:
+//!   when an operator is replicated N ways behind a hash partitioner, a
+//!   feedback punctuation crosses the partition point toward the source only
+//!   once **every** replica has asserted it (with a threshold meet for
+//!   disorder-bound cutoffs).
 //! * [`policy`] — the three feedback sources of Section 3.3: explicit
 //!   (declared policies such as PACE's disorder bound), adaptive (operators
 //!   discovering opportunities, e.g. THRIFTY JOIN), and event-driven
@@ -41,6 +46,7 @@ pub mod correctness;
 pub mod error;
 pub mod intent;
 pub mod mapping;
+pub mod merge;
 pub mod policy;
 pub mod registry;
 pub mod roles;
@@ -57,6 +63,7 @@ pub use correctness::{
 pub use error::{FeedbackError, FeedbackResult};
 pub use intent::{FeedbackIntent, FeedbackPunctuation};
 pub use mapping::{AttributeMapping, PropagationOutcome};
+pub use merge::FeedbackMerge;
 pub use policy::{AdaptivePolicy, EventDrivenPolicy, ExplicitPolicy, FeedbackSource};
 pub use registry::{FeedbackRegistry, GuardDecision};
 pub use roles::{FeedbackExploiter, FeedbackProducer, FeedbackRelayer};

@@ -1,0 +1,401 @@
+//! Cross-partition feedback merging.
+//!
+//! When a stateful operator is replicated N ways behind a hash partitioner,
+//! feedback punctuation arriving *from* the replicas must be combined before
+//! it may cross the partition point and continue toward the source: a tuple
+//! routes to exactly one replica, and the pattern language cannot express the
+//! hash route, so a subset is safe to assume away upstream of the partitioner
+//! only when **every** replica has asserted it.  [`FeedbackMerge`] implements
+//! that rule as a lattice meet over per-replica assertions:
+//!
+//! * **Exact unanimity** — an arbitrary feedback pattern is released once all
+//!   N replicas have asserted an *equal* `(intent, pattern)` pair.  This is
+//!   the common case when feedback born downstream of the merge point is
+//!   broadcast to every replica and each replica relays it unchanged: the
+//!   relays preserve the original message id, so the released message carries
+//!   the lineage of the originating punctuation.
+//! * **Threshold meet** — feedback whose pattern is a single strict upper
+//!   bound (`attribute < v`, the shape produced by
+//!   [`ExplicitPolicy::feedback`](crate::policy::ExplicitPolicy::feedback)
+//!   disorder bounds) is merged *by value*: each replica's latest bound is
+//!   tracked, and once every replica has one, the meet — the **minimum**
+//!   bound — is released.  Replicas running per-replica policies thus combine
+//!   even when their cutoffs differ, and the released bound only ever
+//!   advances.
+//!
+//! The same conservative rule is applied to all three intents.  For assumed
+//! (`¬`) and demanded (`!`) feedback unanimity is required for correctness —
+//! exploiting either may drop tuples, and a tuple suppressed upstream of the
+//! partitioner is invisible to *every* replica.  For desired (`?`) feedback
+//! unanimity is not required for correctness (prioritization never changes
+//! the result), but the merge keeps the rule so antecedents are only
+//! re-prioritized on behalf of the whole replica group.
+
+use crate::intent::{FeedbackIntent, FeedbackPunctuation};
+use dsms_punctuation::{Pattern, PatternItem};
+use dsms_types::Value;
+
+/// One exact `(intent, pattern)` pair awaiting unanimity.
+struct ExactPending {
+    intent: FeedbackIntent,
+    pattern: Pattern,
+    /// Which replicas have asserted this pair so far.
+    asserted: Vec<bool>,
+    /// The most recent assertion, returned (unchanged, lineage intact) on
+    /// release.
+    latest: FeedbackPunctuation,
+}
+
+/// Per-replica strict upper bounds on one `(intent, attribute)`, merged by
+/// minimum.
+struct BoundPending {
+    intent: FeedbackIntent,
+    attribute: String,
+    /// Latest bound asserted by each replica (a replica's newer bound
+    /// supersedes its older one).
+    bounds: Vec<Option<Value>>,
+    /// The bound most recently released downstream of the merge; releases are
+    /// monotone, so an unchanged meet is not re-released.
+    released: Option<Value>,
+    /// The assertion that triggered tracking, kept for lineage on release.
+    latest: FeedbackPunctuation,
+}
+
+/// Combines feedback punctuation from N replicas of a partitioned operator,
+/// releasing a message upstream only when every replica has asserted it (see
+/// the module docs for the exact lattice rules).
+///
+/// The combinator is executor-agnostic: a partitioning operator calls
+/// [`assert_from`](FeedbackMerge::assert_from) with the replica index a
+/// feedback message arrived from, and relays the returned message (if any)
+/// toward the source.
+pub struct FeedbackMerge {
+    replicas: usize,
+    exact: Vec<ExactPending>,
+    bounds: Vec<BoundPending>,
+    released: u64,
+    evicted: u64,
+}
+
+impl FeedbackMerge {
+    /// Bound on exact assertions awaiting unanimity.  Replica-specific
+    /// feedback that its siblings never echo (e.g. a per-replica adaptive
+    /// policy) would otherwise accumulate without limit on a long-running
+    /// stream; when the bound is hit the *oldest* pending assertion is
+    /// evicted.  Eviction is safe — feedback is an optimization and the null
+    /// response is always correct (paper Definition 1) — it can only delay a
+    /// release if the evicted pattern is asserted again later.
+    pub const MAX_PENDING: usize = 1024;
+
+    /// Creates a merge point over `replicas` replicas (clamped to at least 1).
+    pub fn new(replicas: usize) -> Self {
+        FeedbackMerge {
+            replicas: replicas.max(1),
+            exact: Vec::new(),
+            bounds: Vec::new(),
+            released: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Number of replicas feeding this merge point.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Number of distinct assertions still awaiting unanimity.
+    pub fn pending(&self) -> usize {
+        self.exact.len() + self.bounds.iter().filter(|b| b.released.is_none()).count()
+    }
+
+    /// Number of merged messages released so far.
+    pub fn released(&self) -> u64 {
+        self.released
+    }
+
+    /// Number of pending assertions evicted at [`MAX_PENDING`](Self::MAX_PENDING).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Records that `replica` asserted `feedback`.  Returns the merged
+    /// message once every replica has asserted it (and `None` until then, or
+    /// for an out-of-range replica index).
+    pub fn assert_from(
+        &mut self,
+        replica: usize,
+        feedback: FeedbackPunctuation,
+    ) -> Option<FeedbackPunctuation> {
+        if replica >= self.replicas {
+            return None;
+        }
+        let result = match upper_bound_of(feedback.pattern()) {
+            Some((attribute, bound)) => self.assert_bound(replica, feedback, attribute, bound),
+            None => self.assert_exact(replica, feedback),
+        };
+        if result.is_some() {
+            self.released += 1;
+        }
+        result
+    }
+
+    fn assert_exact(
+        &mut self,
+        replica: usize,
+        feedback: FeedbackPunctuation,
+    ) -> Option<FeedbackPunctuation> {
+        let position = self
+            .exact
+            .iter()
+            .position(|p| p.intent == feedback.intent() && p.pattern == *feedback.pattern());
+        let index = match position {
+            Some(i) => i,
+            None => {
+                if self.exact.len() >= Self::MAX_PENDING {
+                    self.exact.remove(0); // oldest first; see MAX_PENDING
+                    self.evicted += 1;
+                }
+                self.exact.push(ExactPending {
+                    intent: feedback.intent(),
+                    pattern: feedback.pattern().clone(),
+                    asserted: vec![false; self.replicas],
+                    latest: feedback.clone(),
+                });
+                self.exact.len() - 1
+            }
+        };
+        let entry = &mut self.exact[index];
+        entry.asserted[replica] = true;
+        entry.latest = feedback;
+        if entry.asserted.iter().all(|a| *a) {
+            // `remove`, not `swap_remove`: insertion order doubles as age
+            // order for the oldest-first eviction above.
+            let entry = self.exact.remove(index);
+            Some(entry.latest)
+        } else {
+            None
+        }
+    }
+
+    fn assert_bound(
+        &mut self,
+        replica: usize,
+        feedback: FeedbackPunctuation,
+        attribute: String,
+        bound: Value,
+    ) -> Option<FeedbackPunctuation> {
+        let position = self
+            .bounds
+            .iter()
+            .position(|b| b.intent == feedback.intent() && b.attribute == attribute);
+        let index = match position {
+            Some(i) => i,
+            None => {
+                self.bounds.push(BoundPending {
+                    intent: feedback.intent(),
+                    attribute,
+                    bounds: vec![None; self.replicas],
+                    released: None,
+                    latest: feedback.clone(),
+                });
+                self.bounds.len() - 1
+            }
+        };
+        let entry = &mut self.bounds[index];
+        // A replica's newer bound supersedes its older one (cutoffs only
+        // advance under a disorder policy, but take the max defensively).
+        entry.bounds[replica] = Some(match entry.bounds[replica].take() {
+            Some(prev) if prev.total_cmp(&bound).is_ge() => prev,
+            _ => bound,
+        });
+        entry.latest = feedback;
+        let meet = entry
+            .bounds
+            .iter()
+            .map(|b| b.as_ref())
+            .collect::<Option<Vec<&Value>>>()?
+            .into_iter()
+            .min_by(|a, b| a.total_cmp(b))?
+            .clone();
+        let advanced = match &entry.released {
+            None => true,
+            Some(prev) => meet.total_cmp(prev).is_gt(),
+        };
+        if !advanced {
+            return None;
+        }
+        // Build the released message *before* recording the release: if the
+        // pattern cannot be constructed over this schema, the watermark must
+        // not advance, or the merged cutoff would silently never be delivered.
+        let pattern = Pattern::for_attributes(
+            entry.latest.schema().clone(),
+            &[(entry.attribute.as_str(), PatternItem::Lt(meet.clone()))],
+        )
+        .ok()?;
+        entry.released = Some(meet);
+        let issuer = entry.latest.issuer().to_string();
+        Some(entry.latest.relay(pattern, issuer))
+    }
+}
+
+impl std::fmt::Debug for FeedbackMerge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FeedbackMerge")
+            .field("replicas", &self.replicas)
+            .field("pending", &self.pending())
+            .field("released", &self.released)
+            .finish()
+    }
+}
+
+/// The `(attribute, bound)` of a single-attribute strict-upper-bound pattern
+/// (`attribute < v`), the shape produced by disorder-bound policies — or
+/// `None` for any other pattern shape.
+fn upper_bound_of(pattern: &Pattern) -> Option<(String, Value)> {
+    let constrained = pattern.constrained_attributes();
+    if constrained.len() != 1 {
+        return None;
+    }
+    let index = constrained[0];
+    match pattern.item(index)? {
+        PatternItem::Lt(v) => {
+            let name = pattern.schema().field(index).ok()?.name().to_string();
+            Some((name, v.clone()))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_types::{DataType, Schema, SchemaRef, Timestamp};
+
+    fn schema() -> SchemaRef {
+        Schema::shared(&[("timestamp", DataType::Timestamp), ("segment", DataType::Int)])
+    }
+
+    fn segment_eq(seg: i64) -> Pattern {
+        Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(seg)))]).unwrap()
+    }
+
+    fn before(secs: i64) -> Pattern {
+        Pattern::for_attributes(
+            schema(),
+            &[("timestamp", PatternItem::Lt(Value::Timestamp(Timestamp::from_secs(secs))))],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_pattern_released_only_on_unanimity() {
+        let mut merge = FeedbackMerge::new(3);
+        let fb = FeedbackPunctuation::assumed(segment_eq(4), "sink");
+        assert!(merge.assert_from(0, fb.clone()).is_none());
+        assert!(merge.assert_from(0, fb.clone()).is_none(), "re-assertion is idempotent");
+        assert!(merge.assert_from(2, fb.clone()).is_none());
+        assert_eq!(merge.pending(), 1);
+        let released = merge.assert_from(1, fb.clone()).expect("third replica completes");
+        assert_eq!(released.id(), fb.id(), "lineage preserved across the merge");
+        assert_eq!(released.pattern(), fb.pattern());
+        assert_eq!(merge.pending(), 0);
+        assert_eq!(merge.released(), 1);
+    }
+
+    #[test]
+    fn distinct_patterns_and_intents_do_not_combine() {
+        let mut merge = FeedbackMerge::new(2);
+        assert!(merge.assert_from(0, FeedbackPunctuation::assumed(segment_eq(1), "a")).is_none());
+        assert!(merge.assert_from(1, FeedbackPunctuation::assumed(segment_eq(2), "b")).is_none());
+        assert!(merge.assert_from(1, FeedbackPunctuation::desired(segment_eq(1), "b")).is_none());
+        assert_eq!(merge.pending(), 3, "three independent pending assertions");
+    }
+
+    #[test]
+    fn upper_bounds_merge_to_the_minimum() {
+        let mut merge = FeedbackMerge::new(3);
+        assert!(merge.assert_from(0, FeedbackPunctuation::assumed(before(100), "r0")).is_none());
+        assert!(merge.assert_from(1, FeedbackPunctuation::assumed(before(80), "r1")).is_none());
+        let released = merge
+            .assert_from(2, FeedbackPunctuation::assumed(before(120), "r2"))
+            .expect("all replicas bounded");
+        assert_eq!(
+            released.pattern().item_for("timestamp").unwrap(),
+            &PatternItem::Lt(Value::Timestamp(Timestamp::from_secs(80))),
+            "the meet is the minimum bound"
+        );
+        assert_eq!(released.hops(), 1, "the merged bound is a relay step");
+    }
+
+    #[test]
+    fn bound_releases_are_monotone() {
+        let mut merge = FeedbackMerge::new(2);
+        merge.assert_from(0, FeedbackPunctuation::assumed(before(50), "r0"));
+        let first = merge.assert_from(1, FeedbackPunctuation::assumed(before(60), "r1")).unwrap();
+        assert_eq!(
+            first.pattern().item_for("timestamp").unwrap(),
+            &PatternItem::Lt(Value::Timestamp(Timestamp::from_secs(50)))
+        );
+        // Replica 1 advances, but the meet (still 50) has not: nothing new.
+        assert!(merge.assert_from(1, FeedbackPunctuation::assumed(before(90), "r1")).is_none());
+        // Replica 0 advances past the released bound: the meet advances to 90.
+        let second = merge.assert_from(0, FeedbackPunctuation::assumed(before(200), "r0")).unwrap();
+        assert_eq!(
+            second.pattern().item_for("timestamp").unwrap(),
+            &PatternItem::Lt(Value::Timestamp(Timestamp::from_secs(90)))
+        );
+        // A regressing bound from a replica never regresses the release...
+        assert!(merge.assert_from(0, FeedbackPunctuation::assumed(before(10), "r0")).is_none());
+        // ...and the meet advances again once the slowest replica moves.
+        let third = merge.assert_from(1, FeedbackPunctuation::assumed(before(95), "r1")).unwrap();
+        assert_eq!(
+            third.pattern().item_for("timestamp").unwrap(),
+            &PatternItem::Lt(Value::Timestamp(Timestamp::from_secs(95)))
+        );
+        assert_eq!(merge.released(), 3);
+    }
+
+    #[test]
+    fn exact_pending_is_bounded_with_oldest_eviction() {
+        let mut merge = FeedbackMerge::new(2);
+        for seg in 0..(FeedbackMerge::MAX_PENDING as i64 + 10) {
+            assert!(merge
+                .assert_from(0, FeedbackPunctuation::assumed(segment_eq(seg), "r0"))
+                .is_none());
+        }
+        assert_eq!(merge.pending(), FeedbackMerge::MAX_PENDING);
+        assert_eq!(merge.evicted(), 10);
+        // The oldest assertions were evicted: re-asserting segment 0 from the
+        // other replica starts a fresh round rather than completing one...
+        assert!(merge.assert_from(1, FeedbackPunctuation::assumed(segment_eq(0), "r1")).is_none());
+        // ...while a surviving assertion still completes on unanimity.
+        let seg = FeedbackMerge::MAX_PENDING as i64 + 5;
+        assert!(merge
+            .assert_from(1, FeedbackPunctuation::assumed(segment_eq(seg), "r1"))
+            .is_some());
+    }
+
+    #[test]
+    fn out_of_range_replica_is_ignored() {
+        let mut merge = FeedbackMerge::new(2);
+        assert!(merge.assert_from(7, FeedbackPunctuation::assumed(segment_eq(1), "x")).is_none());
+        assert_eq!(merge.pending(), 0);
+    }
+
+    #[test]
+    fn single_replica_merge_is_transparent() {
+        let mut merge = FeedbackMerge::new(1);
+        let fb = FeedbackPunctuation::desired(segment_eq(3), "sink");
+        let released = merge.assert_from(0, fb.clone()).expect("one replica is unanimity");
+        assert_eq!(released.id(), fb.id());
+        assert_eq!(FeedbackMerge::new(0).replicas(), 1, "clamped");
+    }
+
+    #[test]
+    fn debug_renders_counts() {
+        let mut merge = FeedbackMerge::new(2);
+        merge.assert_from(0, FeedbackPunctuation::assumed(segment_eq(1), "a"));
+        let s = format!("{merge:?}");
+        assert!(s.contains("replicas: 2") && s.contains("pending: 1"), "{s}");
+    }
+}

@@ -154,6 +154,49 @@ struct SyncEdgeState {
 
 impl SyncExecutor {
     /// Runs the plan to completion.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dsms_engine::{Operator, OperatorContext, QueryPlan, SourceState, SyncExecutor};
+    /// # use dsms_engine::EngineResult;
+    /// # use dsms_types::{DataType, Schema, Tuple, Value};
+    /// # struct Nums(i64);
+    /// # impl Operator for Nums {
+    /// #     fn name(&self) -> &str { "nums" }
+    /// #     fn inputs(&self) -> usize { 0 }
+    /// #     fn on_tuple(&mut self, _: usize, _: Tuple, _: &mut OperatorContext) -> EngineResult<()> { Ok(()) }
+    /// #     fn poll_source(&mut self, ctx: &mut OperatorContext) -> EngineResult<SourceState> {
+    /// #         if self.0 >= 10 { return Ok(SourceState::Exhausted); }
+    /// #         let schema = Schema::shared(&[("v", DataType::Int)]);
+    /// #         ctx.emit(0, Tuple::new(schema, vec![Value::Int(self.0)]));
+    /// #         self.0 += 1;
+    /// #         Ok(SourceState::Producing)
+    /// #     }
+    /// # }
+    /// # struct Count(u64);
+    /// # impl Operator for Count {
+    /// #     fn name(&self) -> &str { "count" }
+    /// #     fn inputs(&self) -> usize { 1 }
+    /// #     fn outputs(&self) -> usize { 0 }
+    /// #     fn on_tuple(&mut self, _: usize, _: Tuple, _: &mut OperatorContext) -> EngineResult<()> {
+    /// #         self.0 += 1;
+    /// #         Ok(())
+    /// #     }
+    /// # }
+    ///
+    /// // `Nums` emits 0..10; `Count` tallies arrivals (implementations hidden).
+    /// let mut plan = QueryPlan::new();
+    /// let source = plan.add(Nums(0));
+    /// let sink = plan.add(Count(0));
+    /// plan.connect_simple(source, sink)?;
+    ///
+    /// let report = SyncExecutor::run(plan)?;
+    /// assert_eq!(report.operator("nums").unwrap().tuples_out, 10);
+    /// assert_eq!(report.operator("count").unwrap().tuples_in, 10);
+    /// assert_eq!(report.total_feedback_dropped(), 0);
+    /// # Ok::<(), dsms_engine::EngineError>(())
+    /// ```
     pub fn run(mut plan: QueryPlan) -> EngineResult<ExecutionReport> {
         plan.validate()?;
         let started = Instant::now();
@@ -396,6 +439,37 @@ fn route_sync(
             edges[e].control.push_back(ControlMessage::RequestResults);
         }
     }
+    // Broadcasts: control punctuation to every connected output (a
+    // partitioner keeping its replicas punctuated) and feedback to every
+    // connected input (a merge point fanning feedback out to its replicas).
+    for punctuation in ctx.take_broadcast_punctuations() {
+        let targets: Vec<usize> = if done[node] {
+            Vec::new()
+        } else {
+            routes.outputs[node].iter().copied().flatten().collect()
+        };
+        if targets.is_empty() {
+            metrics[node].punctuations_out += 1; // count-and-drop, as for port emissions
+            continue;
+        }
+        for e in targets {
+            metrics[node].punctuations_out += 1;
+            let page = edges[e].builder.push_punctuation(punctuation.clone());
+            metrics[node].pages_out += 1;
+            edges[e].queue.push_back(page);
+        }
+    }
+    for fb in ctx.take_broadcast_feedback() {
+        let targets: Vec<usize> = routes.inputs[node].iter().copied().flatten().collect();
+        if targets.is_empty() {
+            metrics[node].feedback_dropped += 1;
+            continue;
+        }
+        for e in targets {
+            metrics[node].feedback_out += 1;
+            edges[e].control.push_back(ControlMessage::Feedback(fb.clone()));
+        }
+    }
 }
 
 /// Flushes a finished node and marks end-of-stream on its outgoing edges.
@@ -473,6 +547,49 @@ struct ThreadedNode {
 
 impl ThreadedExecutor {
     /// Runs the plan to completion, one thread per operator.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dsms_engine::{Operator, OperatorContext, QueryPlan, SourceState, ThreadedExecutor};
+    /// # use dsms_engine::EngineResult;
+    /// # use dsms_types::{DataType, Schema, Tuple, Value};
+    /// # struct Nums(i64);
+    /// # impl Operator for Nums {
+    /// #     fn name(&self) -> &str { "nums" }
+    /// #     fn inputs(&self) -> usize { 0 }
+    /// #     fn on_tuple(&mut self, _: usize, _: Tuple, _: &mut OperatorContext) -> EngineResult<()> { Ok(()) }
+    /// #     fn poll_source(&mut self, ctx: &mut OperatorContext) -> EngineResult<SourceState> {
+    /// #         if self.0 >= 100 { return Ok(SourceState::Exhausted); }
+    /// #         let schema = Schema::shared(&[("v", DataType::Int)]);
+    /// #         ctx.emit(0, Tuple::new(schema, vec![Value::Int(self.0)]));
+    /// #         self.0 += 1;
+    /// #         Ok(SourceState::Producing)
+    /// #     }
+    /// # }
+    /// # struct Count(u64);
+    /// # impl Operator for Count {
+    /// #     fn name(&self) -> &str { "count" }
+    /// #     fn inputs(&self) -> usize { 1 }
+    /// #     fn outputs(&self) -> usize { 0 }
+    /// #     fn on_tuple(&mut self, _: usize, _: Tuple, _: &mut OperatorContext) -> EngineResult<()> {
+    /// #         self.0 += 1;
+    /// #         Ok(())
+    /// #     }
+    /// # }
+    ///
+    /// // Same operator code as under `SyncExecutor`, now one thread per
+    /// // operator with bounded queues (back-pressure) between them.
+    /// let mut plan = QueryPlan::new().with_queue_capacity(4);
+    /// let source = plan.add(Nums(0));
+    /// let sink = plan.add(Count(0));
+    /// plan.connect_simple(source, sink)?;
+    ///
+    /// let report = ThreadedExecutor::run(plan)?;
+    /// assert_eq!(report.operator("nums").unwrap().tuples_out, 100);
+    /// assert_eq!(report.total_feedback_dropped(), 0);
+    /// # Ok::<(), dsms_engine::EngineError>(())
+    /// ```
     pub fn run(mut plan: QueryPlan) -> EngineResult<ExecutionReport> {
         plan.validate()?;
         let started = Instant::now();
@@ -799,6 +916,42 @@ fn route_threaded(
     for input in ctx.take_result_requests() {
         if let Some(s) = node.in_route.get(input).copied().flatten() {
             node.inputs[s].consumer.send_control(ControlMessage::RequestResults);
+        }
+    }
+    // Broadcasts (see `route_sync`): `node.outputs` / `node.inputs` hold
+    // exactly the *connected* endpoints, so a broadcast is a walk over them.
+    for punctuation in ctx.take_broadcast_punctuations() {
+        let mut delivered = false;
+        if !after_eos {
+            for s in 0..node.outputs.len() {
+                if !node.outputs[s].data_open {
+                    continue;
+                }
+                delivered = true;
+                metrics.punctuations_out += 1;
+                let output = &mut node.outputs[s];
+                let page = output.builder.push_punctuation(punctuation.clone());
+                metrics.pages_out += 1;
+                if !output.producer.send_page(page) {
+                    output.data_open = false;
+                }
+            }
+        }
+        if !delivered {
+            metrics.punctuations_out += 1; // count-and-drop, as for port emissions
+        }
+    }
+    for fb in ctx.take_broadcast_feedback() {
+        if node.inputs.is_empty() {
+            metrics.feedback_dropped += 1;
+            continue;
+        }
+        for s in 0..node.inputs.len() {
+            if node.inputs[s].consumer.send_control(ControlMessage::Feedback(fb.clone())) {
+                metrics.feedback_out += 1;
+            } else {
+                metrics.feedback_dropped += 1;
+            }
         }
     }
 }
@@ -1271,6 +1424,95 @@ mod tests {
             assert_eq!(sink.feedback_dropped, 1, "threaded={threaded}");
             assert_eq!(sink.feedback_out, 0, "threaded={threaded}");
             assert_eq!(report.total_feedback_dropped(), 1, "threaded={threaded}");
+        }
+    }
+
+    /// A 1→2 router that broadcasts punctuation to both outputs and, per
+    /// tuple, alternates the data route; it also broadcasts any feedback it
+    /// receives upstream on every input.
+    struct BroadcastingRouter {
+        next_out: usize,
+    }
+
+    impl Operator for BroadcastingRouter {
+        fn name(&self) -> &str {
+            "router"
+        }
+        fn inputs(&self) -> usize {
+            1
+        }
+        fn outputs(&self) -> usize {
+            2
+        }
+        fn on_tuple(&mut self, _i: usize, t: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+            ctx.emit(self.next_out, t);
+            self.next_out = (self.next_out + 1) % 2;
+            Ok(())
+        }
+        fn on_punctuation(
+            &mut self,
+            _input: usize,
+            punctuation: Punctuation,
+            ctx: &mut OperatorContext,
+        ) -> EngineResult<()> {
+            ctx.broadcast_punctuation(punctuation);
+            Ok(())
+        }
+        fn on_feedback(
+            &mut self,
+            _output: usize,
+            feedback: FeedbackPunctuation,
+            ctx: &mut OperatorContext,
+        ) -> EngineResult<()> {
+            ctx.broadcast_feedback(feedback.relay(feedback.pattern().clone(), "router"));
+            Ok(())
+        }
+    }
+
+    /// Broadcast routing: punctuation reaches *every* downstream consumer
+    /// while data follows the per-tuple route, and feedback broadcast
+    /// upstream reaches the source — on both executors, with nothing dropped.
+    #[test]
+    fn broadcasts_reach_every_connected_endpoint() {
+        for threaded in [false, true] {
+            let mut plan = QueryPlan::new().with_page_capacity(4).with_queue_capacity(4);
+            let source = CountingSource::new(100, 10);
+            let feedback_seen = source.feedback_seen.clone();
+            let src = plan.add(source);
+            let router = plan.add(BroadcastingRouter { next_out: 0 });
+            let (mut sink_a, collected_a) = CollectingSink::new();
+            sink_a.feedback_on_flush = true;
+            let (sink_b, collected_b) = CollectingSink::new();
+            let punct_b = sink_b.punctuations.clone();
+            let sink_a = plan.add(sink_a);
+            let sink_b = plan.add(sink_b);
+            plan.connect_simple(src, router).unwrap();
+            plan.connect(router, 0, sink_a, 0).unwrap();
+            plan.connect(router, 1, sink_b, 0).unwrap();
+
+            let report = if threaded {
+                ThreadedExecutor::run(plan).unwrap()
+            } else {
+                SyncExecutor::run(plan).unwrap()
+            };
+            assert_eq!(
+                collected_a.lock().len() + collected_b.lock().len(),
+                100,
+                "data is routed, not duplicated (threaded={threaded})"
+            );
+            assert_eq!(
+                report.operator("router").unwrap().punctuations_out,
+                2 * report.operator("router").unwrap().punctuations_in,
+                "punctuation is broadcast to both outputs (threaded={threaded})"
+            );
+            assert!(!punct_b.lock().is_empty(), "threaded={threaded}");
+            assert_eq!(
+                feedback_seen.lock().len(),
+                1,
+                "flush-time feedback, broadcast upstream, reaches the source \
+                 (threaded={threaded})"
+            );
+            assert_eq!(report.total_feedback_dropped(), 0, "threaded={threaded}");
         }
     }
 

@@ -59,6 +59,8 @@ pub struct OperatorContext {
     emitted: Vec<(usize, StreamItem)>,
     feedback: Vec<(usize, FeedbackPunctuation)>,
     request_results: Vec<usize>,
+    broadcast_punctuations: Vec<Punctuation>,
+    broadcast_feedback: Vec<FeedbackPunctuation>,
 }
 
 impl OperatorContext {
@@ -88,6 +90,29 @@ impl OperatorContext {
         self.request_results.push(input);
     }
 
+    /// Emits an embedded punctuation on **every connected output port**.
+    ///
+    /// The executor expands the broadcast through its routing table, so the
+    /// operator does not need to know which of its output ports are
+    /// connected.  Partitioning operators use this to keep control
+    /// punctuation flowing to all replicas while data follows the hash
+    /// route: a punctuation describes a subset of the whole stream, and the
+    /// partitioned streams are subsets of it, so the assertion holds on
+    /// every partition.
+    pub fn broadcast_punctuation(&mut self, punctuation: Punctuation) {
+        self.broadcast_punctuations.push(punctuation);
+    }
+
+    /// Sends feedback punctuation upstream on **every connected input port**.
+    ///
+    /// The merge side of a partitioned stage uses this to fan feedback from
+    /// its single consumer out to all N upstream replicas: the merged stream
+    /// is the union of the replica streams, so a subset assumed away (or
+    /// desired, or demanded) downstream applies to each replica equally.
+    pub fn broadcast_feedback(&mut self, feedback: FeedbackPunctuation) {
+        self.broadcast_feedback.push(feedback);
+    }
+
     /// Number of items emitted so far (all ports).
     pub fn emitted_len(&self) -> usize {
         self.emitted.len()
@@ -107,6 +132,16 @@ impl OperatorContext {
     pub fn take_result_requests(&mut self) -> Vec<usize> {
         std::mem::take(&mut self.request_results)
     }
+
+    /// Drains the broadcast punctuations (used by the executor).
+    pub fn take_broadcast_punctuations(&mut self) -> Vec<Punctuation> {
+        std::mem::take(&mut self.broadcast_punctuations)
+    }
+
+    /// Drains the broadcast feedback (used by the executor).
+    pub fn take_broadcast_feedback(&mut self) -> Vec<FeedbackPunctuation> {
+        std::mem::take(&mut self.broadcast_feedback)
+    }
 }
 
 /// A stream operator.
@@ -125,6 +160,17 @@ pub trait Operator: Send {
     /// Number of output ports.
     fn outputs(&self) -> usize {
         1
+    }
+
+    /// True when the plan is only valid if **every** output port of this
+    /// operator is connected.  Unconnected outputs are normally allowed
+    /// (their emissions are discarded), but an operator that *routes* its
+    /// input across its outputs — a hash partitioner fanning out to N
+    /// replicas — would silently lose a fixed slice of the stream if a port
+    /// were left dangling, so [`crate::QueryPlan::validate`] rejects such
+    /// plans with a descriptive error instead.
+    fn must_connect_all_outputs(&self) -> bool {
+        false
     }
 
     /// Called for every tuple arriving on `input`.
@@ -266,10 +312,28 @@ mod tests {
     }
 
     #[test]
+    fn context_buffers_broadcasts_separately() {
+        let mut ctx = OperatorContext::new();
+        ctx.broadcast_punctuation(
+            Punctuation::progress(schema(), "timestamp", Timestamp::EPOCH).unwrap(),
+        );
+        ctx.broadcast_feedback(FeedbackPunctuation::assumed(
+            Pattern::all_wildcards(schema()),
+            "merge",
+        ));
+        assert_eq!(ctx.emitted_len(), 0, "broadcasts are not per-port emissions");
+        assert_eq!(ctx.take_broadcast_punctuations().len(), 1);
+        assert_eq!(ctx.take_broadcast_feedback().len(), 1);
+        assert!(ctx.take_broadcast_punctuations().is_empty(), "drained");
+        assert!(ctx.take_broadcast_feedback().is_empty(), "drained");
+    }
+
+    #[test]
     fn trait_defaults_are_sensible() {
         let mut op = PassThrough;
         let mut ctx = OperatorContext::new();
         assert_eq!(op.outputs(), 1);
+        assert!(!op.must_connect_all_outputs());
         op.on_tuple(0, tuple(7), &mut ctx).unwrap();
         op.on_punctuation(
             0,

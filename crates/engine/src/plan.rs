@@ -50,6 +50,19 @@ impl Default for QueryPlan {
 
 impl QueryPlan {
     /// Creates an empty plan with default page and queue capacities.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dsms_engine::QueryPlan;
+    ///
+    /// let plan = QueryPlan::new().with_page_capacity(64).with_queue_capacity(8);
+    /// assert_eq!(plan.node_count(), 0);
+    /// assert_eq!(plan.page_capacity(), 64);
+    /// assert_eq!(plan.queue_capacity(), 8);
+    /// // `Default` is equivalent to `new()`.
+    /// assert_eq!(QueryPlan::default().page_capacity(), QueryPlan::new().page_capacity());
+    /// ```
     pub fn new() -> Self {
         QueryPlan {
             nodes: Vec::new(),
@@ -101,6 +114,39 @@ impl QueryPlan {
 
     /// Connects output port `from_port` of `from` to input port `to_port` of
     /// `to`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dsms_engine::{EngineResult, Operator, OperatorContext, QueryPlan};
+    /// use dsms_types::Tuple;
+    ///
+    /// /// A pass-through operator with one input and one output.
+    /// struct Pass;
+    ///
+    /// impl Operator for Pass {
+    ///     fn name(&self) -> &str {
+    ///         "pass"
+    ///     }
+    ///     fn inputs(&self) -> usize {
+    ///         1
+    ///     }
+    ///     fn on_tuple(&mut self, _: usize, t: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+    ///         ctx.emit(0, t);
+    ///         Ok(())
+    ///     }
+    /// }
+    ///
+    /// let mut plan = QueryPlan::new();
+    /// let a = plan.add(Pass);
+    /// let b = plan.add(Pass);
+    /// plan.connect(a, 0, b, 0)?; // equivalently: plan.connect_simple(a, b)?
+    /// assert_eq!(plan.edge_count(), 1);
+    /// // A second consumer on the same output port is rejected:
+    /// let c = plan.add(Pass);
+    /// assert!(plan.connect(a, 0, c, 0).is_err());
+    /// # Ok::<(), dsms_engine::EngineError>(())
+    /// ```
     pub fn connect(
         &mut self,
         from: NodeId,
@@ -175,7 +221,10 @@ impl QueryPlan {
     /// Validates the plan: every input port of every operator must be
     /// connected, and the graph must be acyclic.  (Unconnected *output* ports
     /// are allowed — their emissions are discarded — so sinks are simply
-    /// operators with zero outputs or unconnected outputs.)
+    /// operators with zero outputs or unconnected outputs.)  Operators that
+    /// declare [`Operator::must_connect_all_outputs`] — hash partitioners,
+    /// whose unconnected ports would silently drop whole partitions — are
+    /// additionally required to have every output port connected.
     pub fn validate(&self) -> EngineResult<()> {
         for (idx, node) in self.nodes.iter().enumerate() {
             for port in 0..node.inputs {
@@ -183,6 +232,19 @@ impl QueryPlan {
                 if !connected {
                     return Err(EngineError::InvalidPlan {
                         detail: format!("input port {port} of `{}` is not connected", node.name),
+                    });
+                }
+            }
+            if node.operator.must_connect_all_outputs() {
+                let connected = self.edges.iter().filter(|e| e.from == NodeId(idx)).count();
+                if connected != node.outputs {
+                    return Err(EngineError::InvalidPlan {
+                        detail: format!(
+                            "`{}` routes its input across {} output partitions but only {} are \
+                             connected — every partition must be wired to a replica, or tuples \
+                             hashed to the dangling ports would be lost",
+                            node.name, node.outputs, connected
+                        ),
                     });
                 }
             }
@@ -315,6 +377,63 @@ mod tests {
         assert!(plan.connect(src, 0, sink, 3).is_err());
         assert!(plan.connect(NodeId(99), 0, sink, 0).is_err());
         assert!(plan.connect(src, 0, NodeId(99), 0).is_err());
+    }
+
+    /// A dummy that routes across its outputs, so all must be connected.
+    struct Router {
+        outputs: usize,
+    }
+
+    impl Operator for Router {
+        fn name(&self) -> &str {
+            "router"
+        }
+        fn inputs(&self) -> usize {
+            1
+        }
+        fn outputs(&self) -> usize {
+            self.outputs
+        }
+        fn must_connect_all_outputs(&self) -> bool {
+            true
+        }
+        fn on_tuple(&mut self, _i: usize, _t: Tuple, _c: &mut OperatorContext) -> EngineResult<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn partitioner_with_dangling_outputs_is_rejected() {
+        let mut plan = QueryPlan::new();
+        let src = plan.add(Dummy::new("source", 0, 1));
+        let router = plan.add(Router { outputs: 3 });
+        let a = plan.add(Dummy::new("a", 1, 0));
+        let b = plan.add(Dummy::new("b", 1, 0));
+        plan.connect_simple(src, router).unwrap();
+        plan.connect(router, 0, a, 0).unwrap();
+        plan.connect(router, 1, b, 0).unwrap();
+        // Output port 2 dangles: a third of the hash space would be lost.
+        let err = plan.validate().unwrap_err();
+        let detail = err.to_string();
+        assert!(
+            detail.contains("router") && detail.contains('3') && detail.contains('2'),
+            "{detail}"
+        );
+
+        // Wiring the last partition makes the plan valid.
+        let c = plan.add(Dummy::new("c", 1, 0));
+        plan.connect(router, 2, c, 0).unwrap();
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn default_plan_matches_new() {
+        let default = QueryPlan::default();
+        let new = QueryPlan::new();
+        assert_eq!(default.page_capacity(), new.page_capacity());
+        assert_eq!(default.queue_capacity(), new.queue_capacity());
+        assert_eq!(default.node_count(), 0);
+        assert_eq!(default.edge_count(), 0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Shared helpers for operators.
 
-use dsms_types::Tuple;
+use dsms_engine::{EngineResult, Operator, OperatorContext, SourceState};
+use dsms_types::{Timestamp, Tuple};
 use std::time::{Duration, Instant};
 
 /// A predicate over tuples, usable as a select condition or a split condition.
@@ -58,6 +59,162 @@ pub fn simulate_cost(cost: Duration) {
     }
 }
 
+/// Combined progress-watermark tracker for N-input merge-style operators
+/// (UNION, the partition fan-in MERGE): a subset of the merged *output* is
+/// complete only once **every** input has declared it complete, so the
+/// combined watermark is the minimum of the per-input watermarks, emitted
+/// only when it advances.
+///
+/// Indexing is deliberately direct (panics on an out-of-range input):
+/// executors only deliver punctuation on connected ports, and silently
+/// folding a bad port onto another slot would corrupt the minimum.
+#[derive(Debug, Clone)]
+pub struct MinWatermark {
+    watermarks: Vec<Option<Timestamp>>,
+    emitted: Option<Timestamp>,
+}
+
+impl MinWatermark {
+    /// Creates a tracker over `inputs` input ports.
+    pub fn new(inputs: usize) -> Self {
+        MinWatermark { watermarks: vec![None; inputs], emitted: None }
+    }
+
+    /// Records watermark `w` observed on `input` and returns the new
+    /// combined minimum iff it advanced past the last returned value (a
+    /// per-input regression is ignored; the combined minimum never moves
+    /// backwards).
+    pub fn observe(&mut self, input: usize, w: Timestamp) -> Option<Timestamp> {
+        let slot = &mut self.watermarks[input];
+        *slot = Some(slot.map(|cur| cur.max(w)).unwrap_or(w));
+        let combined = self.combined()?;
+        match self.emitted {
+            Some(prev) if combined <= prev => None,
+            _ => {
+                self.emitted = Some(combined);
+                Some(combined)
+            }
+        }
+    }
+
+    /// The minimum across all inputs, once every input has punctuated.
+    pub fn combined(&self) -> Option<Timestamp> {
+        self.watermarks.iter().copied().collect::<Option<Vec<_>>>()?.into_iter().min()
+    }
+}
+
+/// Wraps an operator, charging a simulated per-tuple cost before each
+/// [`Operator::on_tuple`] — the knob the paper's experiments use to model
+/// expensive operators (archival lookups, imputation) without real I/O.
+///
+/// Two cost models are provided:
+///
+/// * [`Costed::spinning`] — busy-waits ([`simulate_cost`]), modelling CPU
+///   work.  Replicating a spinning operator only scales with physical cores.
+/// * [`Costed::blocking_io`] — sleeps, modelling blocking I/O such as the
+///   archive fetches of the imputation plan.  Replicas blocked on I/O
+///   overlap their waits, so a partitioned stage of blocking operators
+///   scales with the number of replicas even on a single core — the
+///   scenario the `partition_scaling` bench measures.
+///
+/// The wrapper intentionally routes pages through the default per-item
+/// [`Operator::on_page`] unpacking so the cost is charged per tuple; an
+/// inner operator's batched `on_page` fast path is bypassed.
+pub struct Costed<O> {
+    inner: O,
+    cost: Duration,
+    blocking: bool,
+}
+
+impl<O: Operator> Costed<O> {
+    /// Charges `cost` per tuple as spinning CPU work.
+    pub fn spinning(inner: O, cost: Duration) -> Self {
+        Costed { inner, cost, blocking: false }
+    }
+
+    /// Charges `cost` per tuple as blocking I/O (a sleep).
+    pub fn blocking_io(inner: O, cost: Duration) -> Self {
+        Costed { inner, cost, blocking: true }
+    }
+
+    /// The wrapped operator.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    fn charge(&self) {
+        if self.blocking {
+            if !self.cost.is_zero() {
+                std::thread::sleep(self.cost);
+            }
+        } else {
+            simulate_cost(self.cost);
+        }
+    }
+}
+
+impl<O: Operator> Operator for Costed<O> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn inputs(&self) -> usize {
+        self.inner.inputs()
+    }
+
+    fn outputs(&self) -> usize {
+        self.inner.outputs()
+    }
+
+    fn must_connect_all_outputs(&self) -> bool {
+        self.inner.must_connect_all_outputs()
+    }
+
+    fn on_tuple(
+        &mut self,
+        input: usize,
+        tuple: Tuple,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        self.charge();
+        self.inner.on_tuple(input, tuple, ctx)
+    }
+
+    fn on_punctuation(
+        &mut self,
+        input: usize,
+        punctuation: dsms_punctuation::Punctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        self.inner.on_punctuation(input, punctuation, ctx)
+    }
+
+    fn on_feedback(
+        &mut self,
+        output: usize,
+        feedback: dsms_feedback::FeedbackPunctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        self.inner.on_feedback(output, feedback, ctx)
+    }
+
+    fn on_request_results(&mut self, output: usize, ctx: &mut OperatorContext) -> EngineResult<()> {
+        self.inner.on_request_results(output, ctx)
+    }
+
+    fn on_flush(&mut self, ctx: &mut OperatorContext) -> EngineResult<()> {
+        self.inner.on_flush(ctx)
+    }
+
+    fn poll_source(&mut self, ctx: &mut OperatorContext) -> EngineResult<SourceState> {
+        self.inner.poll_source(ctx)
+    }
+
+    fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
+        self.inner.feedback_stats()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,6 +229,69 @@ mod tests {
         assert_eq!(p.description(), "v > 5");
         assert!(TuplePredicate::always().eval(&Tuple::new(schema, vec![Value::Int(0)])));
         assert!(format!("{p:?}").contains("v > 5"));
+    }
+
+    #[test]
+    fn min_watermark_emits_the_advancing_minimum() {
+        let mut tracker = MinWatermark::new(3);
+        let ts = Timestamp::from_secs;
+        assert_eq!(tracker.observe(0, ts(100)), None, "inputs 1 and 2 have not punctuated");
+        assert_eq!(tracker.combined(), None);
+        assert_eq!(tracker.observe(1, ts(80)), None);
+        assert_eq!(tracker.observe(2, ts(90)), Some(ts(80)), "all inputs in: min emitted");
+        // A per-input regression is absorbed; the combined minimum holds.
+        assert_eq!(tracker.observe(1, ts(70)), None);
+        assert_eq!(tracker.combined(), Some(ts(80)));
+        // The minimum only re-emits when it advances.
+        assert_eq!(tracker.observe(1, ts(85)), Some(ts(85)));
+        assert_eq!(tracker.observe(1, ts(200)), Some(ts(90)), "next-slowest input caps the min");
+    }
+
+    #[test]
+    fn costed_wrapper_delegates_and_charges() {
+        struct Pass;
+        impl Operator for Pass {
+            fn name(&self) -> &str {
+                "pass"
+            }
+            fn inputs(&self) -> usize {
+                1
+            }
+            fn on_tuple(
+                &mut self,
+                _i: usize,
+                t: Tuple,
+                ctx: &mut OperatorContext,
+            ) -> EngineResult<()> {
+                ctx.emit(0, t);
+                Ok(())
+            }
+        }
+
+        let schema = Schema::shared(&[("v", DataType::Int)]);
+        let mut ctx = OperatorContext::new();
+        for costed in [
+            Costed::spinning(Pass, Duration::from_micros(100)),
+            Costed::blocking_io(Pass, Duration::from_micros(100)),
+        ] {
+            let mut costed = costed;
+            assert_eq!(costed.name(), "pass");
+            assert_eq!(costed.inputs(), 1);
+            assert_eq!(costed.outputs(), 1);
+            assert!(!costed.must_connect_all_outputs());
+            assert!(costed.feedback_stats().is_none());
+            let start = Instant::now();
+            costed.on_tuple(0, Tuple::new(schema.clone(), vec![Value::Int(1)]), &mut ctx).unwrap();
+            assert!(start.elapsed() >= Duration::from_micros(100), "cost charged");
+            assert_eq!(ctx.take_emitted().len(), 1, "tuple delegated to the inner operator");
+            costed.on_flush(&mut ctx).unwrap();
+            assert_eq!(
+                costed.poll_source(&mut ctx).unwrap(),
+                SourceState::NotASource,
+                "delegated default"
+            );
+            let _ = costed.inner();
+        }
     }
 
     #[test]

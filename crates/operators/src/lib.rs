@@ -23,6 +23,13 @@
 //! | [`quality_filter::QualityFilter`] | σQ data-quality filter | exploits relayed feedback (scheme F3) |
 //! | [`prioritizer::Prioritizer`] | — | exploits desired punctuation by reordering |
 //! | [`demand::OnDemandGate`] | Example 4 | answers demanded punctuation / result requests |
+//! | [`shuffle::Shuffle`] | data-parallel fan-out | broadcasts punctuation to replicas; lattice-merges replica feedback before relaying |
+//! | [`merge::Merge`] | data-parallel fan-in | broadcasts consumer feedback to every replica; optionally *produces* disorder-bound feedback |
+//!
+//! [`partition::PartitionedExt`] extends [`dsms_engine::QueryPlan`] with a
+//! `partitioned(…)` rewrite that replicates a stateful operator N ways behind
+//! a shuffle/merge pair, and [`common::Costed`] models expensive (CPU- or
+//! I/O-bound) operators for scaling experiments.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,11 +41,14 @@ pub mod duplicate;
 pub mod impatient_join;
 pub mod impute;
 pub mod join;
+pub mod merge;
 pub mod pace;
+pub mod partition;
 pub mod prioritizer;
 pub mod project;
 pub mod quality_filter;
 pub mod select;
+pub mod shuffle;
 pub mod sink;
 pub mod source;
 pub mod split;
@@ -46,17 +56,20 @@ pub mod thrifty_join;
 pub mod union;
 
 pub use aggregate::{AggregateFunction, WindowAggregate};
-pub use common::{simulate_cost, TuplePredicate};
+pub use common::{simulate_cost, Costed, MinWatermark, TuplePredicate};
 pub use demand::OnDemandGate;
 pub use duplicate::Duplicate;
 pub use impatient_join::ImpatientJoin;
 pub use impute::{ArchivalStore, Impute};
 pub use join::{JoinSide, SymmetricHashJoin};
+pub use merge::Merge;
 pub use pace::Pace;
+pub use partition::{PartitionedExt, PartitionedStage};
 pub use prioritizer::Prioritizer;
 pub use project::Project;
 pub use quality_filter::QualityFilter;
 pub use select::Select;
+pub use shuffle::Shuffle;
 pub use sink::{CollectSink, SinkHandle, TimedSink, TimedSinkHandle};
 pub use source::{GeneratorSource, VecSource};
 pub use split::Split;

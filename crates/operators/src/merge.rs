@@ -1,0 +1,308 @@
+//! MERGE: order-insensitive union of N replica streams.
+//!
+//! The collect side of a partitioned stage: the hash route guarantees that
+//! any one group's tuples all arrive on the same input, so interleaving the
+//! inputs in arrival order reproduces the single-replica output as a
+//! multiset.  Punctuation follows the classic merge rule (a subset of the
+//! output is complete only once **every** input has declared it complete, so
+//! the merge emits the minimum of the per-input watermarks, as
+//! [`Union`](crate::union::Union) does).
+//!
+//! The merge point is where cross-partition feedback semantics live on the
+//! downstream side:
+//!
+//! * Feedback received from the merge's consumer is **broadcast** upstream to
+//!   all N inputs — the merged stream is the union of the replica streams, so
+//!   a subset disclaimed (or desired, or demanded) downstream applies to each
+//!   replica equally.
+//! * With a [disorder-bound policy](dsms_feedback::ExplicitPolicy) attached,
+//!   the merge also *originates* feedback (paper Section 3.3, explicit
+//!   source): replicas drain at different speeds, so a tuple can reach the
+//!   merge long after faster replicas moved the high-watermark past it.  When
+//!   an arrival violates the bound it is dropped and `¬[attribute < cutoff]`
+//!   is broadcast to every replica — the paper's PACE behaviour lifted to the
+//!   partition fan-in, and the counterpart of the shuffle's lattice merge on
+//!   the upstream side.
+
+use crate::common::MinWatermark;
+use dsms_engine::{EngineResult, Operator, OperatorContext};
+use dsms_feedback::{ExplicitPolicy, FeedbackPunctuation, FeedbackRegistry, GuardDecision};
+use dsms_punctuation::Punctuation;
+use dsms_types::{SchemaRef, StreamDuration, Timestamp, Tuple};
+
+/// Merges `inputs` replica streams of identical schema into one, with
+/// cross-partition feedback handling (see the module docs).
+pub struct Merge {
+    name: String,
+    schema: SchemaRef,
+    inputs: usize,
+    /// The attribute progress punctuation is tracked on (if any).
+    progress_attribute: Option<String>,
+    /// Combined per-input progress watermark (min across inputs).
+    progress: MinWatermark,
+    /// Optional disorder bound making the merge a feedback *source*.
+    disorder: Option<ExplicitPolicy>,
+    high_watermark: Option<Timestamp>,
+    last_feedback_cutoff: Option<Timestamp>,
+    feedback_granularity: StreamDuration,
+    late_dropped: u64,
+    registry: FeedbackRegistry,
+}
+
+impl Merge {
+    /// Creates a merge over `inputs` replica streams of the given schema
+    /// (clamped to at least 2 inputs).
+    pub fn new(name: impl Into<String>, schema: SchemaRef, inputs: usize) -> Self {
+        let name = name.into();
+        let inputs = inputs.max(2);
+        Merge {
+            registry: FeedbackRegistry::new(name.clone()),
+            name,
+            schema,
+            inputs,
+            progress_attribute: None,
+            progress: MinWatermark::new(inputs),
+            disorder: None,
+            high_watermark: None,
+            last_feedback_cutoff: None,
+            feedback_granularity: StreamDuration::from_secs(0),
+            late_dropped: 0,
+        }
+    }
+
+    /// Enables combined progress-punctuation handling on the named timestamp
+    /// attribute: the merge emits progress punctuation at the minimum of its
+    /// inputs' watermarks.
+    pub fn with_progress_on(mut self, attribute: impl Into<String>) -> Self {
+        self.progress_attribute = Some(attribute.into());
+        self
+    }
+
+    /// Attaches a disorder-bound policy: arrivals older than
+    /// `high_watermark − tolerance` are dropped and the too-late subset is
+    /// broadcast as assumed feedback to **every** input.  At most one
+    /// feedback message is issued per `granularity` of cutoff advance, so a
+    /// burst of late tuples does not flood the control channels.
+    pub fn with_disorder_policy(
+        mut self,
+        policy: ExplicitPolicy,
+        granularity: StreamDuration,
+    ) -> Self {
+        self.disorder = Some(policy);
+        self.feedback_granularity = granularity;
+        self
+    }
+
+    /// The stream schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Tuples dropped for violating the disorder bound.
+    pub fn late_dropped(&self) -> u64 {
+        self.late_dropped
+    }
+
+    /// Applies the disorder policy to one arrival.  Returns `true` when the
+    /// tuple is too late and was handled (dropped, feedback possibly sent).
+    fn enforce_disorder(&mut self, tuple: &Tuple, ctx: &mut OperatorContext) -> EngineResult<bool> {
+        let Some(policy) = self.disorder.as_ref() else {
+            return Ok(false);
+        };
+        let ts = tuple.timestamp(&policy.attribute)?;
+        let hw = self.high_watermark.map(|w| w.max(ts)).unwrap_or(ts);
+        self.high_watermark = Some(hw);
+        if !policy.violated(hw, ts) {
+            return Ok(false);
+        }
+        self.late_dropped += 1;
+        let cutoff = policy.cutoff(hw);
+        let due = match self.last_feedback_cutoff {
+            None => true,
+            Some(prev) => cutoff - prev >= self.feedback_granularity,
+        };
+        if due {
+            self.last_feedback_cutoff = Some(cutoff);
+            let feedback = policy.feedback(self.schema.clone(), hw, &self.name)?;
+            self.registry.stats_mut().issued.record(feedback.intent());
+            ctx.broadcast_feedback(feedback);
+        }
+        Ok(true)
+    }
+}
+
+impl Operator for Merge {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    fn on_tuple(
+        &mut self,
+        _input: usize,
+        tuple: Tuple,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        if self.registry.decide(&tuple) == GuardDecision::Suppress {
+            return Ok(());
+        }
+        if self.enforce_disorder(&tuple, ctx)? {
+            return Ok(());
+        }
+        ctx.emit(0, tuple);
+        Ok(())
+    }
+
+    fn on_punctuation(
+        &mut self,
+        input: usize,
+        punctuation: Punctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        let Some(attr) = &self.progress_attribute else {
+            // Without progress tracking a per-input punctuation cannot be
+            // forwarded (the other replicas may still produce matching
+            // tuples), so it is absorbed.
+            return Ok(());
+        };
+        if let Some(w) = punctuation.watermark_for(attr) {
+            if let Some(combined) = self.progress.observe(input, w) {
+                ctx.emit_punctuation(
+                    0,
+                    Punctuation::progress(self.schema.clone(), attr, combined)?,
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn on_feedback(
+        &mut self,
+        _output: usize,
+        feedback: FeedbackPunctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        // The merged stream is the union of the replica streams, so any
+        // feedback from the consumer applies to every replica: broadcast the
+        // relay upstream on all inputs.
+        self.registry.stats_mut().relayed.record(feedback.intent());
+        ctx.broadcast_feedback(feedback.relay(feedback.pattern().clone(), &self.name));
+        let _ = self.registry.register(feedback);
+        Ok(())
+    }
+
+    fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
+        Some(self.registry.stats().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_engine::StreamItem;
+    use dsms_punctuation::{Pattern, PatternItem};
+    use dsms_types::{DataType, Schema, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::shared(&[("timestamp", DataType::Timestamp), ("v", DataType::Int)])
+    }
+
+    fn tuple(ts: i64, v: i64) -> Tuple {
+        Tuple::new(schema(), vec![Value::Timestamp(Timestamp::from_secs(ts)), Value::Int(v)])
+    }
+
+    fn progress(ts: i64) -> Punctuation {
+        Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(ts)).unwrap()
+    }
+
+    #[test]
+    fn merge_interleaves_inputs_in_arrival_order() {
+        let mut op = Merge::new("merge", schema(), 3);
+        let mut ctx = OperatorContext::new();
+        op.on_tuple(0, tuple(1, 10), &mut ctx).unwrap();
+        op.on_tuple(2, tuple(2, 20), &mut ctx).unwrap();
+        op.on_tuple(1, tuple(3, 30), &mut ctx).unwrap();
+        let emitted = ctx.take_emitted();
+        assert_eq!(emitted.len(), 3);
+        assert!(emitted.iter().all(|(port, _)| *port == 0));
+    }
+
+    #[test]
+    fn progress_punctuation_is_the_minimum_across_inputs() {
+        let mut op = Merge::new("merge", schema(), 2).with_progress_on("timestamp");
+        let mut ctx = OperatorContext::new();
+        op.on_punctuation(0, progress(100), &mut ctx).unwrap();
+        assert!(ctx.take_emitted().is_empty(), "second input has not punctuated");
+        op.on_punctuation(1, progress(70), &mut ctx).unwrap();
+        let emitted = ctx.take_emitted();
+        assert_eq!(emitted.len(), 1);
+        match &emitted[0].1 {
+            StreamItem::Punctuation(p) => {
+                assert_eq!(p.watermark_for("timestamp"), Some(Timestamp::from_secs(70)))
+            }
+            other => panic!("expected punctuation, got {other:?}"),
+        }
+        // Without progress tracking, punctuation is absorbed.
+        let mut plain = Merge::new("merge", schema(), 2);
+        plain.on_punctuation(0, progress(10), &mut ctx).unwrap();
+        assert!(ctx.take_emitted().is_empty());
+    }
+
+    #[test]
+    fn downstream_feedback_is_broadcast_to_every_replica() {
+        let mut op = Merge::new("merge", schema(), 4);
+        let mut ctx = OperatorContext::new();
+        let fb = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(schema(), &[("v", PatternItem::Ge(Value::Int(100)))]).unwrap(),
+            "sink",
+        );
+        op.on_feedback(0, fb.clone(), &mut ctx).unwrap();
+        assert!(ctx.take_feedback().is_empty(), "not per-port feedback");
+        let broadcast = ctx.take_broadcast_feedback();
+        assert_eq!(broadcast.len(), 1, "one message, expanded by the executor to all inputs");
+        assert_eq!(broadcast[0].id(), fb.id(), "lineage preserved");
+        assert_eq!(broadcast[0].issuer(), "merge");
+
+        // The merge also guards its own output.
+        op.on_tuple(0, tuple(1, 150), &mut ctx).unwrap(); // suppressed
+        op.on_tuple(1, tuple(1, 50), &mut ctx).unwrap(); // passes
+        assert_eq!(ctx.take_emitted().len(), 1);
+    }
+
+    #[test]
+    fn disorder_policy_drops_late_arrivals_and_issues_feedback() {
+        let policy = ExplicitPolicy::disorder_bound("timestamp", StreamDuration::from_secs(60));
+        let mut op = Merge::new("merge", schema(), 2)
+            .with_disorder_policy(policy, StreamDuration::from_secs(30));
+        let mut ctx = OperatorContext::new();
+        op.on_tuple(0, tuple(600, 1), &mut ctx).unwrap(); // sets the watermark
+        op.on_tuple(1, tuple(590, 2), &mut ctx).unwrap(); // within tolerance
+        assert_eq!(ctx.take_emitted().len(), 2);
+        assert!(ctx.take_broadcast_feedback().is_empty());
+
+        op.on_tuple(1, tuple(100, 3), &mut ctx).unwrap(); // far too late
+        assert!(ctx.take_emitted().is_empty(), "late arrival dropped");
+        assert_eq!(op.late_dropped(), 1);
+        let feedback = ctx.take_broadcast_feedback();
+        assert_eq!(feedback.len(), 1, "too-late subset broadcast to every replica");
+        assert!(feedback[0].pattern().matches(&tuple(100, 3)));
+        assert!(!feedback[0].pattern().matches(&tuple(590, 0)));
+
+        // Cadence: another late tuple at the same cutoff is dropped silently.
+        op.on_tuple(0, tuple(101, 4), &mut ctx).unwrap();
+        assert_eq!(op.late_dropped(), 2);
+        assert!(ctx.take_broadcast_feedback().is_empty(), "within feedback granularity");
+        assert_eq!(op.feedback_stats().unwrap().issued.assumed, 1);
+    }
+
+    #[test]
+    fn construction_clamps_and_exposes_schema() {
+        let op = Merge::new("merge", schema(), 0);
+        assert_eq!(op.inputs(), 2, "clamped to two inputs");
+        assert_eq!(op.schema().arity(), 2);
+        assert_eq!(op.late_dropped(), 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! SHUFFLE: hash-partition a stream across N replica outputs.
+//!
+//! The data-parallel half of a partitioned stage (Röger & Mayer's operator
+//! replication): every tuple is routed to output `hash(key) mod N`, so all
+//! tuples sharing a key land on the same replica and a stateful operator
+//! partitioned on its group key computes exactly what its single-replica
+//! version would.
+//!
+//! Control flows treat the fan-out differently from data:
+//!
+//! * **Embedded punctuation is broadcast** to all N outputs.  A punctuation
+//!   asserts completeness of a subset of the whole stream; each partition is
+//!   a subset of that stream, so the assertion holds on every partition and
+//!   every replica needs it to close windows.
+//! * **Feedback punctuation is lattice-merged.**  A tuple routes to exactly
+//!   one replica and the pattern language cannot express the hash route, so
+//!   feedback from one replica must not cross toward the source alone: the
+//!   shuffle runs each assertion through a [`FeedbackMerge`] and relays
+//!   upstream only
+//!   once **every** replica has asserted it (exactly, or as a disorder-bound
+//!   meet).  The released subset is also mounted as an input guard, so the
+//!   shuffle stops routing tuples the whole replica group has disclaimed.
+
+use dsms_engine::{EngineError, EngineResult, Operator, OperatorContext};
+use dsms_feedback::{FeedbackMerge, FeedbackPunctuation, FeedbackRegistry, GuardDecision};
+use dsms_punctuation::Punctuation;
+use dsms_types::{SchemaRef, Tuple};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Hash-partitions one input stream across `partitions` outputs on a key.
+pub struct Shuffle {
+    name: String,
+    schema: SchemaRef,
+    key: Vec<String>,
+    key_indices: Vec<usize>,
+    partitions: usize,
+    merge: FeedbackMerge,
+    registry: FeedbackRegistry,
+}
+
+impl Shuffle {
+    /// Creates a shuffle routing on the named key attributes.  Fails if a key
+    /// attribute does not exist in `schema` or if `key` is empty.
+    pub fn new(
+        name: impl Into<String>,
+        schema: SchemaRef,
+        key: &[&str],
+        partitions: usize,
+    ) -> EngineResult<Self> {
+        let name = name.into();
+        if key.is_empty() {
+            return Err(EngineError::InvalidPlan {
+                detail: format!("shuffle `{name}` needs at least one key attribute"),
+            });
+        }
+        let key_indices =
+            key.iter().map(|attr| schema.index_of(attr)).collect::<Result<Vec<_>, _>>().map_err(
+                |err| EngineError::InvalidPlan { detail: format!("shuffle `{name}` key: {err}") },
+            )?;
+        let partitions = partitions.max(1);
+        Ok(Shuffle {
+            merge: FeedbackMerge::new(partitions),
+            registry: FeedbackRegistry::new(name.clone()),
+            name,
+            schema,
+            key: key.iter().map(|k| k.to_string()).collect(),
+            key_indices,
+            partitions,
+        })
+    }
+
+    /// The stream schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// The key attributes routing is hashed on.
+    pub fn key(&self) -> &[String] {
+        &self.key
+    }
+
+    /// Number of partitions (equals the number of output ports).
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// The output port (partition) the given tuple routes to.  Deterministic
+    /// across runs: the hasher is seeded with fixed keys.  Fails loudly on a
+    /// tuple narrower than the construction-time schema — silently hashing
+    /// fewer key values would break the same-key-same-replica guarantee the
+    /// whole rewrite rests on.
+    pub fn partition_of(&self, tuple: &Tuple) -> EngineResult<usize> {
+        let mut hasher = DefaultHasher::new();
+        for &index in &self.key_indices {
+            tuple.value(index).map_err(EngineError::from)?.hash(&mut hasher);
+        }
+        Ok((hasher.finish() % self.partitions as u64) as usize)
+    }
+}
+
+impl Operator for Shuffle {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> usize {
+        1
+    }
+
+    fn outputs(&self) -> usize {
+        self.partitions
+    }
+
+    fn must_connect_all_outputs(&self) -> bool {
+        // An unconnected partition would silently drop its slice of the hash
+        // space; `QueryPlan::validate` turns that into a plan error.
+        true
+    }
+
+    fn on_tuple(
+        &mut self,
+        _input: usize,
+        tuple: Tuple,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        if self.registry.decide(&tuple) == GuardDecision::Suppress {
+            return Ok(());
+        }
+        let partition = self.partition_of(&tuple)?;
+        ctx.emit(partition, tuple);
+        Ok(())
+    }
+
+    fn on_punctuation(
+        &mut self,
+        _input: usize,
+        punctuation: Punctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        ctx.broadcast_punctuation(punctuation);
+        Ok(())
+    }
+
+    fn on_feedback(
+        &mut self,
+        output: usize,
+        feedback: FeedbackPunctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        if let Some(merged) = self.merge.assert_from(output, feedback) {
+            self.registry.stats_mut().relayed.record(merged.intent());
+            let relayed = merged.relay(merged.pattern().clone(), &self.name);
+            // Guard our own input with the unanimously asserted subset, then
+            // relay it toward the source.
+            let _ = self.registry.register(merged);
+            ctx.send_feedback(0, relayed);
+        }
+        Ok(())
+    }
+
+    fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
+        Some(self.registry.stats().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_punctuation::{Pattern, PatternItem};
+    use dsms_types::{DataType, Schema, Timestamp, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::shared(&[
+            ("timestamp", DataType::Timestamp),
+            ("segment", DataType::Int),
+            ("speed", DataType::Float),
+        ])
+    }
+
+    fn tuple(ts: i64, seg: i64) -> Tuple {
+        Tuple::new(
+            schema(),
+            vec![Value::Timestamp(Timestamp::from_secs(ts)), Value::Int(seg), Value::Float(50.0)],
+        )
+    }
+
+    fn segment_eq(seg: i64) -> FeedbackPunctuation {
+        FeedbackPunctuation::assumed(
+            Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(seg)))])
+                .unwrap(),
+            "replica",
+        )
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_key_consistent() {
+        let op = Shuffle::new("shuffle", schema(), &["segment"], 4).unwrap();
+        for seg in 0..32 {
+            let p = op.partition_of(&tuple(0, seg)).unwrap();
+            assert!(p < 4);
+            assert_eq!(p, op.partition_of(&tuple(999, seg)).unwrap(), "same key, same partition");
+        }
+        let spread: std::collections::HashSet<usize> =
+            (0..32).map(|seg| op.partition_of(&tuple(0, seg)).unwrap()).collect();
+        assert!(spread.len() > 1, "keys spread across partitions");
+    }
+
+    #[test]
+    fn tuples_follow_the_hash_route() {
+        let mut op = Shuffle::new("shuffle", schema(), &["segment"], 3).unwrap();
+        assert_eq!(op.outputs(), 3);
+        assert!(op.must_connect_all_outputs());
+        let mut ctx = OperatorContext::new();
+        for seg in 0..30 {
+            op.on_tuple(0, tuple(seg, seg), &mut ctx).unwrap();
+        }
+        let emitted = ctx.take_emitted();
+        assert_eq!(emitted.len(), 30, "every tuple routed exactly once");
+        for (port, item) in emitted {
+            let t = item.as_tuple().expect("data, not punctuation");
+            assert_eq!(port, op.partition_of(t).unwrap());
+        }
+    }
+
+    #[test]
+    fn punctuation_is_broadcast_not_routed() {
+        let mut op = Shuffle::new("shuffle", schema(), &["segment"], 4).unwrap();
+        let mut ctx = OperatorContext::new();
+        let p = Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(60)).unwrap();
+        op.on_punctuation(0, p.clone(), &mut ctx).unwrap();
+        assert!(ctx.take_emitted().is_empty(), "not a per-port emission");
+        let broadcast = ctx.take_broadcast_punctuations();
+        assert_eq!(broadcast.len(), 1);
+        assert_eq!(broadcast[0].watermark_for("timestamp"), p.watermark_for("timestamp"));
+    }
+
+    #[test]
+    fn feedback_crosses_only_on_unanimity_and_guards_the_input() {
+        let mut op = Shuffle::new("shuffle", schema(), &["segment"], 3).unwrap();
+        let mut ctx = OperatorContext::new();
+        op.on_feedback(0, segment_eq(5), &mut ctx).unwrap();
+        op.on_feedback(2, segment_eq(5), &mut ctx).unwrap();
+        assert!(ctx.take_feedback().is_empty(), "two of three replicas is not unanimity");
+        // The subset is not yet guarded: segment-5 tuples still route.
+        op.on_tuple(0, tuple(0, 5), &mut ctx).unwrap();
+        assert_eq!(ctx.take_emitted().len(), 1);
+
+        op.on_feedback(1, segment_eq(5), &mut ctx).unwrap();
+        let relayed = ctx.take_feedback();
+        assert_eq!(relayed.len(), 1, "third replica completes the merge");
+        assert_eq!(relayed[0].0, 0, "relayed on the single input port");
+        assert_eq!(relayed[0].1.issuer(), "shuffle");
+
+        // Now guarded: the whole replica group disclaimed segment 5.
+        op.on_tuple(0, tuple(1, 5), &mut ctx).unwrap();
+        op.on_tuple(0, tuple(1, 6), &mut ctx).unwrap();
+        let emitted = ctx.take_emitted();
+        assert_eq!(emitted.len(), 1);
+        assert_eq!(emitted[0].1.as_tuple().unwrap().int("segment").unwrap(), 6);
+        assert_eq!(op.feedback_stats().unwrap().tuples_suppressed, 1);
+    }
+
+    #[test]
+    fn construction_rejects_bad_keys() {
+        assert!(Shuffle::new("s", schema(), &[], 2).is_err(), "empty key");
+        assert!(Shuffle::new("s", schema(), &["no_such"], 2).is_err(), "unknown attribute");
+        let s = Shuffle::new("s", schema(), &["segment"], 0).unwrap();
+        assert_eq!(s.partitions(), 1, "partition count clamped to 1");
+        assert_eq!(s.key(), &["segment".to_string()]);
+        assert_eq!(s.schema().arity(), 3);
+    }
+}

@@ -6,10 +6,11 @@
 //! per-input progress watermarks and emits the minimum.  Feedback received
 //! from downstream applies to all inputs equally and is relayed to each.
 
+use crate::common::MinWatermark;
 use dsms_engine::{EngineResult, Operator, OperatorContext};
 use dsms_feedback::{FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, GuardDecision};
 use dsms_punctuation::Punctuation;
-use dsms_types::{SchemaRef, Timestamp, Tuple};
+use dsms_types::{SchemaRef, Tuple};
 
 /// Merges `inputs` streams of identical schema into one.
 pub struct Union {
@@ -18,10 +19,8 @@ pub struct Union {
     inputs: usize,
     /// The attribute progress punctuation is tracked on (if any).
     progress_attribute: Option<String>,
-    /// Per-input progress watermark.
-    watermarks: Vec<Option<Timestamp>>,
-    /// Last combined watermark already emitted downstream.
-    emitted_watermark: Option<Timestamp>,
+    /// Combined per-input progress watermark (min across inputs).
+    progress: MinWatermark,
     registry: FeedbackRegistry,
 }
 
@@ -35,8 +34,7 @@ impl Union {
             schema,
             inputs: inputs.max(2),
             progress_attribute: None,
-            watermarks: vec![None; inputs.max(2)],
-            emitted_watermark: None,
+            progress: MinWatermark::new(inputs.max(2)),
         }
     }
 
@@ -51,22 +49,6 @@ impl Union {
     /// The stream schema.
     pub fn schema(&self) -> &SchemaRef {
         &self.schema
-    }
-
-    fn combined_watermark(&self) -> Option<Timestamp> {
-        let mut min: Option<Timestamp> = None;
-        for w in &self.watermarks {
-            match w {
-                None => return None, // some input has not punctuated yet
-                Some(ts) => {
-                    min = Some(match min {
-                        None => *ts,
-                        Some(cur) => cur.min(*ts),
-                    })
-                }
-            }
-        }
-        min
     }
 }
 
@@ -105,20 +87,11 @@ impl Operator for Union {
             return Ok(());
         };
         if let Some(w) = punctuation.watermark_for(attr) {
-            let slot = &mut self.watermarks[input.min(self.inputs - 1)];
-            *slot = Some(slot.map(|cur| cur.max(w)).unwrap_or(w));
-            if let Some(combined) = self.combined_watermark() {
-                let should_emit = match self.emitted_watermark {
-                    None => true,
-                    Some(prev) => combined > prev,
-                };
-                if should_emit {
-                    self.emitted_watermark = Some(combined);
-                    ctx.emit_punctuation(
-                        0,
-                        Punctuation::progress(self.schema.clone(), attr, combined)?,
-                    );
-                }
+            if let Some(combined) = self.progress.observe(input, w) {
+                ctx.emit_punctuation(
+                    0,
+                    Punctuation::progress(self.schema.clone(), attr, combined)?,
+                );
             }
         }
         Ok(())
@@ -153,7 +126,7 @@ mod tests {
     use super::*;
     use dsms_engine::StreamItem;
     use dsms_punctuation::{Pattern, PatternItem};
-    use dsms_types::{DataType, Schema, Value};
+    use dsms_types::{DataType, Schema, Timestamp, Value};
 
     fn schema() -> SchemaRef {
         Schema::shared(&[("timestamp", DataType::Timestamp), ("v", DataType::Int)])

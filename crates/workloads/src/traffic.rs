@@ -67,6 +67,21 @@ impl TrafficConfig {
         }
     }
 
+    /// Configuration for the partition-scaling experiment: many detectors
+    /// (16 segments × 24 detectors = 384 distinct `detector` keys) so a
+    /// hash partitioner spreads the stream near-evenly across up to 8
+    /// replicas, over a short duration that keeps a per-tuple-costed run
+    /// within a CI budget (≈6.9k tuples).
+    pub fn partition_scaling() -> Self {
+        TrafficConfig {
+            segments: 16,
+            detectors_per_segment: 24,
+            duration: StreamDuration::from_minutes(6),
+            congested_fraction: 0.25,
+            ..TrafficConfig::default()
+        }
+    }
+
     /// Expected number of tuples the generator will produce.
     pub fn expected_tuples(&self) -> u64 {
         let ticks = (self.duration.as_millis() / self.resolution.as_millis()) as u64;
@@ -263,6 +278,20 @@ mod tests {
         let nulls = tuples.iter().filter(|t| t.has_null()).count();
         assert!(nulls > 0);
         assert!(nulls < tuples.len());
+    }
+
+    #[test]
+    fn partition_scaling_config_has_many_keys_and_bounded_volume() {
+        let config = TrafficConfig::partition_scaling();
+        let keys = config.segments * config.detectors_per_segment;
+        assert!(keys >= 8 * 32, "enough distinct detector keys to balance 8 partitions");
+        let expected = config.expected_tuples();
+        assert!(
+            expected > 4_000 && expected < 16_000,
+            "bounded volume for per-tuple-costed CI runs (got {expected})"
+        );
+        let count = TrafficGenerator::new(config).count() as u64;
+        assert_eq!(count, expected);
     }
 
     #[test]

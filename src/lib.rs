@@ -33,17 +33,58 @@ pub use dsms_types as types;
 pub use dsms_workloads as workloads;
 
 /// Commonly used items, for glob import in examples and tests.
+///
+/// # Examples
+///
+/// A first end-to-end query: replay a small stream, filter it, collect the
+/// results, and run the same plan on both executors.
+///
+/// ```
+/// use feedback_dsms::prelude::*;
+///
+/// let schema = Schema::shared(&[("ts", DataType::Timestamp), ("v", DataType::Int)]);
+/// let tuples: Vec<Tuple> = (0..50)
+///     .map(|i| {
+///         Tuple::new(
+///             schema.clone(),
+///             vec![Value::Timestamp(Timestamp::from_secs(i)), Value::Int(i % 5)],
+///         )
+///     })
+///     .collect();
+///
+/// for threaded in [false, true] {
+///     let mut plan = QueryPlan::new().with_page_capacity(8);
+///     let source = plan.add(VecSource::new("source", tuples.clone()));
+///     let select = plan.add(Select::new(
+///         "select",
+///         schema.clone(),
+///         TuplePredicate::new("v != 0", |t| t.int("v").unwrap_or(0) != 0),
+///     ));
+///     let (sink, results) = CollectSink::new("sink");
+///     let sink = plan.add(sink);
+///     plan.connect_simple(source, select)?;
+///     plan.connect_simple(select, sink)?;
+///
+///     let report =
+///         if threaded { ThreadedExecutor::run(plan)? } else { SyncExecutor::run(plan)? };
+///     assert_eq!(results.lock().len(), 40);
+///     assert_eq!(report.total_feedback_dropped(), 0);
+/// }
+/// # Ok::<(), feedback_dsms::engine::EngineError>(())
+/// ```
 pub mod prelude {
     pub use dsms_engine::{
         ExecutionReport, Operator, OperatorContext, QueryPlan, SourceState, StreamItem,
         SyncExecutor, ThreadedExecutor,
     };
-    pub use dsms_feedback::{FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, GuardDecision};
+    pub use dsms_feedback::{
+        FeedbackIntent, FeedbackMerge, FeedbackPunctuation, FeedbackRegistry, GuardDecision,
+    };
     pub use dsms_operators::{
-        AggregateFunction, ArchivalStore, CollectSink, Duplicate, GeneratorSource, ImpatientJoin,
-        Impute, OnDemandGate, Pace, Prioritizer, Project, QualityFilter, Select, Split,
-        SymmetricHashJoin, ThriftyJoin, TimedSink, TuplePredicate, Union, VecSource,
-        WindowAggregate,
+        AggregateFunction, ArchivalStore, CollectSink, Costed, Duplicate, GeneratorSource,
+        ImpatientJoin, Impute, Merge, OnDemandGate, Pace, PartitionedExt, PartitionedStage,
+        Prioritizer, Project, QualityFilter, Select, Shuffle, Split, SymmetricHashJoin,
+        ThriftyJoin, TimedSink, TuplePredicate, Union, VecSource, WindowAggregate,
     };
     pub use dsms_punctuation::{Pattern, PatternItem, Punctuation, PunctuationScheme};
     pub use dsms_types::{
@@ -163,6 +204,26 @@ mod tests {
         )
         .unwrap();
         let _ = ArchivalStore::synthetic(std::time::Duration::from_micros(1), 40.0);
+        let shuffle = Shuffle::new("shuffle", schema.clone(), &["v"], 2).unwrap();
+        let merge = Merge::new("merge", schema.clone(), 2);
+        let _ = Costed::blocking_io(
+            Select::new("costed", schema.clone(), TuplePredicate::always()),
+            std::time::Duration::ZERO,
+        );
+        let mut fb_merge = FeedbackMerge::new(2);
+        assert!(fb_merge
+            .assert_from(
+                0,
+                FeedbackPunctuation::assumed(Pattern::all_wildcards(schema.clone()), "x")
+            )
+            .is_none());
+        let mut partitioned_plan = QueryPlan::new();
+        let stage: PartitionedStage = partitioned_plan
+            .partitioned_stage(shuffle, merge, |i| {
+                Select::new(format!("replica-{i}"), schema.clone(), TuplePredicate::always())
+            })
+            .unwrap();
+        assert_eq!(stage.partitions(), 2);
         let state: SourceState = SourceState::Exhausted;
         assert!(matches!(state, SourceState::Exhausted));
         let item = StreamItem::Tuple(tuple);
