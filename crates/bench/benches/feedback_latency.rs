@@ -22,7 +22,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dsms_engine::{
-    EngineResult, Operator, OperatorContext, QueryPlan, SourceState, SyncExecutor, ThreadedExecutor,
+    EngineResult, Operator, OperatorContext, SourceState, StreamBuilder, SyncExecutor,
+    ThreadedExecutor,
 };
 use dsms_feedback::FeedbackPunctuation;
 use dsms_punctuation::{Pattern, PatternItem};
@@ -149,10 +150,13 @@ impl Operator for ProbeSink {
 /// Runs one plan and returns the observed sink→source feedback latency.
 fn run_once(threaded: bool, at_flush: bool) -> Duration {
     let probe = Probe::default();
-    let mut plan = QueryPlan::new().with_page_capacity(64).with_queue_capacity(16);
-    let src = plan.add(ProbeSource { n: TUPLES, next: 0, probe: probe.clone() });
-    let sink = plan.add(ProbeSink { probe: probe.clone(), at_flush, seen: 0, sent: false });
-    plan.connect_simple(src, sink).unwrap();
+    let builder = StreamBuilder::new().with_page_capacity(64).with_queue_capacity(16);
+    builder
+        .source_as(ProbeSource { n: TUPLES, next: 0, probe: probe.clone() }, schema())
+        .unwrap()
+        .sink(ProbeSink { probe: probe.clone(), at_flush, seen: 0, sent: false })
+        .unwrap();
+    let plan = builder.build().unwrap();
     let report = if threaded {
         ThreadedExecutor::run(plan).expect("run failed")
     } else {

@@ -7,8 +7,8 @@
 //! the paper's engine design relies on.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dsms_engine::{QueryPlan, ThreadedExecutor};
-use dsms_operators::{CollectSink, Select, TuplePredicate, VecSource};
+use dsms_engine::{StreamBuilder, ThreadedExecutor};
+use dsms_operators::{StreamOps, TuplePredicate, VecSource};
 use dsms_types::{DataType, Schema, SchemaRef, StreamDuration, Timestamp, Tuple, Value};
 
 fn schema() -> SchemaRef {
@@ -24,22 +24,19 @@ fn stream(n: i64) -> Vec<Tuple> {
 }
 
 fn run_with_page_capacity(tuples: &[Tuple], page_capacity: usize) {
-    let mut plan = QueryPlan::new().with_page_capacity(page_capacity);
-    let source = plan.add(
-        VecSource::new("source", tuples.to_vec())
-            .with_punctuation("timestamp", StreamDuration::from_secs(100))
-            .with_batch_size(page_capacity.max(8)),
-    );
-    let filter = plan.add(Select::new(
-        "filter",
-        schema(),
-        TuplePredicate::new("v % 2 == 0", |t| t.int("v").unwrap_or(0) % 2 == 0),
-    ));
-    let (sink, _handle) = CollectSink::new("sink");
-    let sink = plan.add(sink);
-    plan.connect_simple(source, filter).unwrap();
-    plan.connect_simple(filter, sink).unwrap();
-    ThreadedExecutor::run(plan).expect("run failed");
+    let builder = StreamBuilder::new().with_page_capacity(page_capacity);
+    builder
+        .source(
+            VecSource::new("source", tuples.to_vec())
+                .with_punctuation("timestamp", StreamDuration::from_secs(100))
+                .with_batch_size(page_capacity.max(8)),
+        )
+        .unwrap()
+        .select("filter", TuplePredicate::new("v % 2 == 0", |t| t.int("v").unwrap_or(0) % 2 == 0))
+        .unwrap()
+        .sink_collect("sink")
+        .unwrap();
+    ThreadedExecutor::run(builder.build().unwrap()).expect("run failed");
 }
 
 fn paging(c: &mut Criterion) {

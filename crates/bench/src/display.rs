@@ -117,6 +117,21 @@ impl Operator for SpeedMapDisplay {
         1
     }
 
+    fn feedback_roles(&self) -> dsms_feedback::FeedbackRoles {
+        // Event-driven producer: the zoom schedule turns viewport changes
+        // into assumed feedback (Experiment 2) — unless feedback is disabled
+        // for the baseline runs.
+        if self.feedback_enabled {
+            dsms_feedback::FeedbackRoles::producer()
+        } else {
+            dsms_feedback::FeedbackRoles::NONE
+        }
+    }
+
+    fn schema_in(&self, _input: usize) -> Option<SchemaRef> {
+        Some(self.schema.clone())
+    }
+
     fn outputs(&self) -> usize {
         0
     }

@@ -1,4 +1,6 @@
-//! Builders for the two query plans of Figure 4.
+//! Builders for the two query plans of Figure 4, composed with the fluent
+//! [`StreamBuilder`] API (the raw `QueryPlan` IR stays available as the
+//! low-level escape hatch; see `dsms_engine::builder`).
 //!
 //! * [`imputation_plan`] — Figure 4(a): a stream of sensor readings is split
 //!   into a clean path and a dirty path; the dirty path goes through the
@@ -14,13 +16,13 @@
 
 use crate::display::{DisplayHandle, SpeedMapDisplay};
 use crate::experiments::{Experiment1Config, Experiment2Config, Scheme};
-use dsms_engine::{EngineResult, QueryPlan};
-use dsms_feedback::FeedbackPunctuation;
+use dsms_engine::{EngineResult, QueryPlan, StreamBuilder};
+use dsms_feedback::FeedbackSpec;
 use dsms_operators::aggregate::FeedbackMode;
 use dsms_operators::WindowAggregate;
 use dsms_operators::{
-    AggregateFunction, ArchivalStore, Costed, GeneratorSource, Impute, Merge, Pace, PartitionedExt,
-    QualityFilter, Shuffle, Split, TimedSink, TimedSinkHandle, TuplePredicate, Union, VecSource,
+    AggregateFunction, ArchivalStore, Costed, GeneratorSource, Impute, Merge, Pace, QualityFilter,
+    Shuffle, StreamOps, TimedSink, TimedSinkHandle, TuplePredicate, VecSource,
 };
 use dsms_punctuation::{Pattern, PatternItem};
 use dsms_types::{StreamDuration, Tuple, Value};
@@ -44,51 +46,42 @@ pub fn imputation_plan(
     feedback: bool,
 ) -> EngineResult<(QueryPlan, ImputationPlanHandles)> {
     let schema = ImputationGenerator::schema();
-    let mut plan = QueryPlan::new().with_page_capacity(config.page_capacity);
+    let builder = StreamBuilder::new().with_page_capacity(config.page_capacity);
 
     let generator = ImputationGenerator::new(config.stream.clone());
-    let source = plan.add(
+    let readings = builder.source_as(
         GeneratorSource::new("sensor-source", generator)
             .with_punctuation("timestamp", config.punctuation_period)
             .with_batch_size(config.source_batch)
             .with_pacing(config.speedup),
-    );
-
-    let split = plan.add(Split::new(
-        "split-dirty-clean",
         schema.clone(),
-        TuplePredicate::new("speed is null", |t| t.has_null()),
-    ));
+    )?;
 
-    let impute = plan.add(Impute::new(
-        "IMPUTE",
-        "speed",
-        "detector",
-        ArchivalStore::synthetic(config.lookup_cost, 45.0),
-    ));
+    let (dirty, clean) = readings
+        .split("split-dirty-clean", TuplePredicate::new("speed is null", |t| t.has_null()))?;
+    let imputed = dirty.apply_as(
+        Impute::new(
+            "IMPUTE",
+            "speed",
+            "detector",
+            ArchivalStore::synthetic(config.lookup_cost, 45.0),
+        ),
+        schema.clone(),
+    )?;
 
-    let (sink, output) = TimedSink::new("speed-map-feed");
-    let sink = plan.add(sink.with_watermark("timestamp"));
-
-    if feedback {
-        let pace = plan.add(
+    let merged = if feedback {
+        imputed.combine(
+            clean,
             Pace::new("PACE", schema, 2, "timestamp", config.tolerance)
                 .with_feedback_granularity(config.feedback_granularity),
-        );
-        plan.connect_simple(source, split)?;
-        plan.connect(split, 0, impute, 0)?; // dirty path
-        plan.connect(impute, 0, pace, 0)?;
-        plan.connect(split, 1, pace, 1)?; // clean path
-        plan.connect_simple(pace, sink)?;
+        )?
     } else {
-        let union = plan.add(Union::new("UNION", schema, 2));
-        plan.connect_simple(source, split)?;
-        plan.connect(split, 0, impute, 0)?;
-        plan.connect(impute, 0, union, 0)?;
-        plan.connect(split, 1, union, 1)?;
-        plan.connect_simple(union, sink)?;
-    }
-    Ok((plan, ImputationPlanHandles { output }))
+        imputed.union(clean, "UNION")?
+    };
+
+    let (sink, output) = TimedSink::new("speed-map-feed");
+    merged.sink(sink.with_watermark("timestamp"))?;
+    Ok((builder.build()?, ImputationPlanHandles { output }))
 }
 
 /// Handles needed to evaluate Experiment 2 after the plan has run.
@@ -105,16 +98,17 @@ pub fn speedmap_plan(
     zoom_frequency: StreamDuration,
 ) -> EngineResult<(QueryPlan, SpeedmapPlanHandles)> {
     let schema = TrafficGenerator::schema();
-    let mut plan = QueryPlan::new().with_page_capacity(config.page_capacity);
+    let builder = StreamBuilder::new().with_page_capacity(config.page_capacity);
 
     let generator = TrafficGenerator::new(config.stream.clone());
     let segments = config.stream.segments;
     let duration = config.stream.duration;
-    let source = plan.add(
+    let readings = builder.source_as(
         GeneratorSource::new("detector-source", generator)
             .with_punctuation("timestamp", config.punctuation_period)
             .with_batch_size(config.source_batch),
-    );
+        schema.clone(),
+    )?;
 
     // σQ — the data-quality filter at the bottom of the plan.  It exploits
     // (relayed) feedback only under scheme F3.
@@ -131,7 +125,6 @@ pub fn speedmap_plan(
     if scheme != Scheme::F3 {
         quality = quality.without_feedback();
     }
-    let quality = plan.add(quality);
 
     // AVERAGE per (window, segment).
     let feedback_mode = match scheme {
@@ -151,7 +144,6 @@ pub fn speedmap_plan(
     .map_err(dsms_engine::EngineError::from)?
     .with_feedback_mode(feedback_mode);
     let average_schema = average.output_schema().clone();
-    let average = plan.add(average);
 
     // The display: renders results and issues viewport feedback on zoom.
     let schedule = ZoomSchedule::new(
@@ -171,12 +163,9 @@ pub fn speedmap_plan(
         config.render_cost,
         true,
     );
-    let display = plan.add(display);
 
-    plan.connect_simple(source, quality)?;
-    plan.connect_simple(quality, average)?;
-    plan.connect_simple(average, display)?;
-    Ok((plan, SpeedmapPlanHandles { rendered }))
+    readings.apply(quality)?.apply(average)?.sink(display)?;
+    Ok((builder.build()?, SpeedmapPlanHandles { rendered }))
 }
 
 /// Handles needed to evaluate a partition-scaling run after the plan has run.
@@ -214,50 +203,48 @@ fn scaling_stage(name: String, lookup_cost: Duration) -> Costed<WindowAggregate>
 /// source ─ AVG ─ sink                                    (partitions = 1)
 /// ```
 ///
-/// The sink issues one (never-matching) assumed feedback mid-stream, so every
-/// run also exercises the merge→replica broadcast path under load without
-/// perturbing the output.  The single-replica and partitioned plans produce
-/// the same output multiset: the stage is grouped by `detector`, which is
-/// also the shuffle key.
+/// The sink subscribes one (never-matching) assumed feedback mid-stream —
+/// declared at composition time via [`FeedbackSpec`] — so every run also
+/// exercises the merge→replica broadcast path under load without perturbing
+/// the output.  The single-replica and partitioned plans produce the same
+/// output multiset: the stage is grouped by `detector`, which is also the
+/// shuffle key.
 pub fn partition_scaling_plan(
     tuples: Vec<Tuple>,
     partitions: usize,
     lookup_cost: Duration,
 ) -> EngineResult<(QueryPlan, PartitionScalingHandles)> {
     let schema = TrafficGenerator::schema();
-    let mut plan = QueryPlan::new().with_page_capacity(32).with_queue_capacity(8);
-    let source = plan.add(
+    let builder = StreamBuilder::new().with_page_capacity(32).with_queue_capacity(8);
+    let readings = builder.source_as(
         VecSource::new("traffic-source", tuples)
             .with_punctuation("timestamp", StreamDuration::from_secs(60))
             .with_batch_size(64),
-    );
+        schema.clone(),
+    )?;
 
     let output_schema = scaling_aggregate("probe".into()).output_schema().clone();
-    let harmless = FeedbackPunctuation::assumed(
+    let harmless = FeedbackSpec::assumed(
         Pattern::for_attributes(
             output_schema.clone(),
             &[("detector", PatternItem::Ge(Value::Int(i64::MAX / 2)))],
         )
         .map_err(dsms_engine::EngineError::from)?,
-        "scale-sink",
-    );
-    let (sink, output) = TimedSink::new("scale-sink");
-    let sink = plan.add(sink.with_scheduled_feedback(64, harmless));
+    )
+    .after_tuples(64);
 
-    if partitions <= 1 {
-        let stage = plan.add(scaling_stage("AVG".into(), lookup_cost));
-        plan.connect_simple(source, stage)?;
-        plan.connect_simple(stage, sink)?;
+    let aggregated = if partitions <= 1 {
+        readings.apply(scaling_stage("AVG".into(), lookup_cost))?
     } else {
         let shuffle = Shuffle::new("scale-shuffle", schema, &["detector"], partitions)?;
         let merge = Merge::new("scale-merge", output_schema, partitions);
-        let stage = plan.partitioned_stage(shuffle, merge, |i| {
-            scaling_stage(format!("AVG-{i}"), lookup_cost)
-        })?;
-        plan.connect_simple(source, stage.input())?;
-        plan.connect_simple(stage.output(), sink)?;
-    }
-    Ok((plan, PartitionScalingHandles { output }))
+        readings
+            .partitioned_stage(shuffle, merge, |i| scaling_stage(format!("AVG-{i}"), lookup_cost))?
+    };
+
+    let (sink, output) = TimedSink::new("scale-sink");
+    aggregated.with_feedback(harmless)?.sink(sink)?;
+    Ok((builder.build()?, PartitionScalingHandles { output }))
 }
 
 #[cfg(test)]

@@ -50,6 +50,7 @@ pub mod merge;
 pub mod policy;
 pub mod registry;
 pub mod roles;
+pub mod spec;
 pub mod stats;
 
 pub use characterization::{
@@ -66,5 +67,6 @@ pub use mapping::{AttributeMapping, PropagationOutcome};
 pub use merge::FeedbackMerge;
 pub use policy::{AdaptivePolicy, EventDrivenPolicy, ExplicitPolicy, FeedbackSource};
 pub use registry::{FeedbackRegistry, GuardDecision};
-pub use roles::{FeedbackExploiter, FeedbackProducer, FeedbackRelayer};
+pub use roles::{FeedbackExploiter, FeedbackProducer, FeedbackRelayer, FeedbackRoles};
+pub use spec::{FeedbackSpec, FeedbackTrigger};
 pub use stats::FeedbackStats;

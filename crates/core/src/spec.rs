@@ -1,0 +1,196 @@
+//! Composition-time feedback declarations.
+//!
+//! The paper treats feedback punctuation as a *plan-level contract*: a
+//! consumer declares, ahead of execution, which subset of the stream it will
+//! assume away (`¬`), would like early (`?`), or needs immediately (`!`).
+//! [`FeedbackSpec`] is that contract as a value — an intent, a pattern, and a
+//! *trigger* saying when the message fires — so a plan builder can attach the
+//! subscription to an edge at composition time and reject impossible
+//! subscriptions (wrong schema, no feedback port upstream) before anything
+//! runs.
+
+use crate::intent::{FeedbackIntent, FeedbackPunctuation};
+use dsms_punctuation::Pattern;
+use dsms_types::SchemaRef;
+use std::fmt;
+
+/// When a declared feedback subscription fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedbackTrigger {
+    /// Fire once the subscriber has observed this many tuples on the
+    /// subscribed edge (0 = as soon as anything flows).
+    AfterTuples(u64),
+    /// Fire when the subscriber's inputs flush (end of stream).
+    AtFlush,
+}
+
+impl fmt::Display for FeedbackTrigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeedbackTrigger::AfterTuples(n) => write!(f, "after {n} tuples"),
+            FeedbackTrigger::AtFlush => write!(f, "at flush"),
+        }
+    }
+}
+
+/// A declared feedback subscription: intent + pattern + trigger.
+///
+/// Build one with [`FeedbackSpec::assumed`] / [`desired`](FeedbackSpec::desired)
+/// / [`demanded`](FeedbackSpec::demanded), refine it fluently, and hand it to a
+/// plan builder (`Stream::with_feedback` in `dsms-engine`), which lowers it
+/// into a scheduled [`FeedbackPunctuation`] on the subscribed edge.
+///
+/// # Examples
+///
+/// ```
+/// use dsms_feedback::{FeedbackIntent, FeedbackSpec, FeedbackTrigger};
+/// use dsms_punctuation::{Pattern, PatternItem};
+/// use dsms_types::{DataType, Schema, Value};
+///
+/// let schema = Schema::shared(&[("segment", DataType::Int)]);
+/// let pattern =
+///     Pattern::for_attributes(schema, &[("segment", PatternItem::Eq(Value::Int(2)))]).unwrap();
+/// let spec = FeedbackSpec::assumed(pattern).after_tuples(50).from_issuer("map-display");
+/// assert_eq!(spec.intent(), FeedbackIntent::Assumed);
+/// assert_eq!(spec.trigger(), FeedbackTrigger::AfterTuples(50));
+/// let punctuation = spec.to_punctuation("fallback");
+/// assert_eq!(punctuation.issuer(), "map-display");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedbackSpec {
+    intent: FeedbackIntent,
+    pattern: Pattern,
+    trigger: FeedbackTrigger,
+    issuer: Option<String>,
+}
+
+impl FeedbackSpec {
+    /// Creates a spec with the given intent, firing as soon as data flows.
+    pub fn new(intent: FeedbackIntent, pattern: Pattern) -> Self {
+        FeedbackSpec { intent, pattern, trigger: FeedbackTrigger::AfterTuples(0), issuer: None }
+    }
+
+    /// An *assumed* (`¬[p]`) subscription: the consumer proceeds as if the
+    /// subset will never arrive.
+    pub fn assumed(pattern: Pattern) -> Self {
+        Self::new(FeedbackIntent::Assumed, pattern)
+    }
+
+    /// A *desired* (`?[p]`) subscription: the consumer wants the subset early.
+    pub fn desired(pattern: Pattern) -> Self {
+        Self::new(FeedbackIntent::Desired, pattern)
+    }
+
+    /// A *demanded* (`![p]`) subscription: the consumer needs the subset now.
+    pub fn demanded(pattern: Pattern) -> Self {
+        Self::new(FeedbackIntent::Demanded, pattern)
+    }
+
+    /// Fires once the subscriber has seen `n` tuples on the subscribed edge.
+    pub fn after_tuples(mut self, n: u64) -> Self {
+        self.trigger = FeedbackTrigger::AfterTuples(n);
+        self
+    }
+
+    /// Fires when the subscriber flushes (end of stream).
+    pub fn at_flush(mut self) -> Self {
+        self.trigger = FeedbackTrigger::AtFlush;
+        self
+    }
+
+    /// Overrides the issuer name stamped on the lowered punctuation (defaults
+    /// to the subscribing operator's name).
+    pub fn from_issuer(mut self, issuer: impl Into<String>) -> Self {
+        self.issuer = Some(issuer.into());
+        self
+    }
+
+    /// The intent.
+    pub fn intent(&self) -> FeedbackIntent {
+        self.intent
+    }
+
+    /// The pattern describing the subset of interest.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// The schema the pattern (and therefore the subscribed edge) is over.
+    pub fn schema(&self) -> &SchemaRef {
+        self.pattern.schema()
+    }
+
+    /// The trigger.
+    pub fn trigger(&self) -> FeedbackTrigger {
+        self.trigger
+    }
+
+    /// The explicit issuer override, if any.
+    pub fn issuer(&self) -> Option<&str> {
+        self.issuer.as_deref()
+    }
+
+    /// Lowers the spec into a concrete feedback punctuation, stamped with the
+    /// explicit issuer or `default_issuer`.
+    pub fn to_punctuation(&self, default_issuer: &str) -> FeedbackPunctuation {
+        let issuer = self.issuer.as_deref().unwrap_or(default_issuer);
+        FeedbackPunctuation::new(self.intent, self.pattern.clone(), issuer)
+    }
+}
+
+impl fmt::Display for FeedbackSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{} {}", self.intent.prefix(), self.pattern, self.trigger)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_punctuation::PatternItem;
+    use dsms_types::{DataType, Schema, Value};
+
+    fn pattern() -> Pattern {
+        let schema = Schema::shared(&[("segment", DataType::Int)]);
+        Pattern::for_attributes(schema, &[("segment", PatternItem::Eq(Value::Int(3)))]).unwrap()
+    }
+
+    #[test]
+    fn constructors_set_intent_and_default_trigger() {
+        assert_eq!(FeedbackSpec::assumed(pattern()).intent(), FeedbackIntent::Assumed);
+        assert_eq!(FeedbackSpec::desired(pattern()).intent(), FeedbackIntent::Desired);
+        assert_eq!(FeedbackSpec::demanded(pattern()).intent(), FeedbackIntent::Demanded);
+        assert_eq!(
+            FeedbackSpec::assumed(pattern()).trigger(),
+            FeedbackTrigger::AfterTuples(0),
+            "default: fire as soon as anything flows"
+        );
+    }
+
+    #[test]
+    fn fluent_refinements_apply() {
+        let spec = FeedbackSpec::desired(pattern()).after_tuples(7).from_issuer("display");
+        assert_eq!(spec.trigger(), FeedbackTrigger::AfterTuples(7));
+        assert_eq!(spec.issuer(), Some("display"));
+        let spec = spec.at_flush();
+        assert_eq!(spec.trigger(), FeedbackTrigger::AtFlush);
+    }
+
+    #[test]
+    fn lowering_stamps_the_right_issuer() {
+        let spec = FeedbackSpec::assumed(pattern());
+        assert_eq!(spec.to_punctuation("sink").issuer(), "sink");
+        let spec = spec.from_issuer("display");
+        assert_eq!(spec.to_punctuation("sink").issuer(), "display");
+        assert_eq!(spec.to_punctuation("sink").intent(), FeedbackIntent::Assumed);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = FeedbackSpec::assumed(pattern()).after_tuples(5).to_string();
+        assert!(s.starts_with('¬'), "{s}");
+        assert!(s.ends_with("after 5 tuples"), "{s}");
+        let s = FeedbackSpec::demanded(pattern()).at_flush().to_string();
+        assert!(s.ends_with("at flush"), "{s}");
+    }
+}

@@ -11,7 +11,9 @@
 //!   feedback punctuation and shutdown upstream ([`control`]);
 //! * a per-operator [`operator::Operator`] trait with explicit callbacks for
 //!   tuples, embedded punctuation, feedback punctuation and end-of-stream;
-//! * a [`plan::QueryPlan`] builder describing the operator graph; and
+//! * a [`plan::QueryPlan`] IR describing the operator graph, plus the fluent
+//!   schema-checked [`builder::StreamBuilder`] / [`builder::Stream`] layer
+//!   that lowers into it (with first-class feedback subscriptions); and
 //! * two executors: [`executor::ThreadedExecutor`] runs one OS thread per
 //!   operator (NiagaraST's model) event-driven — idle threads block on a
 //!   multi-receiver channel wait, and a sink→source drain protocol delivers
@@ -25,6 +27,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod control;
 pub mod error;
 pub mod executor;
@@ -34,6 +37,7 @@ pub mod page;
 pub mod plan;
 pub mod queue;
 
+pub use builder::{Stream, StreamBuilder};
 pub use control::ControlMessage;
 pub use error::{EngineError, EngineResult};
 pub use executor::{ExecutionReport, SyncExecutor, ThreadedExecutor};

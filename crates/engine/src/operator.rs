@@ -10,9 +10,9 @@
 
 use crate::error::EngineResult;
 use crate::page::Page;
-use dsms_feedback::FeedbackPunctuation;
+use dsms_feedback::{FeedbackPunctuation, FeedbackRoles};
 use dsms_punctuation::Punctuation;
-use dsms_types::Tuple;
+use dsms_types::{SchemaRef, Tuple};
 
 /// One element of a data stream: a tuple or an embedded punctuation.
 #[derive(Debug, Clone)]
@@ -171,6 +171,37 @@ pub trait Operator: Send {
     /// plans with a descriptive error instead.
     fn must_connect_all_outputs(&self) -> bool {
         false
+    }
+
+    /// The feedback roles this operator declares (paper Section 1: producer,
+    /// exploiter, relayer).  The default — [`FeedbackRoles::NONE`] — is the
+    /// feedback-unaware operator: it has no feedback port, so feedback sent to
+    /// it is silently ignored.  Plan builders use the declaration to reject
+    /// feedback subscriptions on unaware operators at composition time, and
+    /// [`crate::QueryPlan::dot`] uses it to draw the feedback (control)
+    /// edges.  Operators whose feedback behaviour is configurable (e.g. an
+    /// aggregate's F0–F3 mode) should declare the roles of their *current*
+    /// configuration.
+    fn feedback_roles(&self) -> FeedbackRoles {
+        FeedbackRoles::NONE
+    }
+
+    /// The schema this operator expects on input port `input`, if it declares
+    /// one.  `None` means "any schema" (the operator is schema-agnostic or
+    /// cannot know, e.g. a generic wrapper).  Plan builders compare declared
+    /// schemas across each edge and reject mismatched connections at
+    /// composition time instead of failing mid-run.
+    fn schema_in(&self, input: usize) -> Option<SchemaRef> {
+        let _ = input;
+        None
+    }
+
+    /// The schema this operator produces on output port `output`, if it
+    /// declares one.  Plan builders use it to thread schema metadata through
+    /// fluent composition without the caller restating it at every step.
+    fn schema_out(&self, output: usize) -> Option<SchemaRef> {
+        let _ = output;
+        None
     }
 
     /// Called for every tuple arriving on `input`.
@@ -334,6 +365,9 @@ mod tests {
         let mut ctx = OperatorContext::new();
         assert_eq!(op.outputs(), 1);
         assert!(!op.must_connect_all_outputs());
+        assert_eq!(op.feedback_roles(), FeedbackRoles::NONE, "unaware by default");
+        assert!(op.schema_in(0).is_none(), "schema-agnostic by default");
+        assert!(op.schema_out(0).is_none(), "schema-agnostic by default");
         op.on_tuple(0, tuple(7), &mut ctx).unwrap();
         op.on_punctuation(
             0,

@@ -35,6 +35,9 @@ pub(crate) struct Node {
 }
 
 /// A directed acyclic graph of operators, ready to be executed.
+///
+/// The `Debug` rendering summarizes shape only (operators are trait objects);
+/// use [`QueryPlan::dot`] for a full structural dump.
 pub struct QueryPlan {
     pub(crate) nodes: Vec<Node>,
     pub(crate) edges: Vec<Edge>,
@@ -45,6 +48,17 @@ pub struct QueryPlan {
 impl Default for QueryPlan {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl std::fmt::Debug for QueryPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryPlan")
+            .field("nodes", &self.nodes.iter().map(|n| n.name.as_str()).collect::<Vec<_>>())
+            .field("edges", &self.edges)
+            .field("page_capacity", &self.page_capacity)
+            .field("queue_capacity", &self.queue_capacity)
+            .finish()
     }
 }
 
@@ -154,11 +168,30 @@ impl QueryPlan {
         to: NodeId,
         to_port: usize,
     ) -> EngineResult<()> {
+        // Name both endpoints wherever possible: a connection error should
+        // read "`source` -> `sink`", not a pair of bare node ids.
+        let describe = |id: NodeId| match self.nodes.get(id.0) {
+            Some(node) => format!("`{}`", node.name),
+            None => format!("{id:?}"),
+        };
         let from_node = self.nodes.get(from.0).ok_or_else(|| EngineError::InvalidPlan {
-            detail: format!("unknown source node {:?}", from),
+            detail: format!(
+                "cannot connect {} -> {}: source node {:?} does not exist (the plan has {} nodes)",
+                describe(from),
+                describe(to),
+                from,
+                self.nodes.len()
+            ),
         })?;
         let to_node = self.nodes.get(to.0).ok_or_else(|| EngineError::InvalidPlan {
-            detail: format!("unknown target node {:?}", to),
+            detail: format!(
+                "cannot connect `{}` -> {}: target node {:?} does not exist (the plan has {} \
+                 nodes)",
+                from_node.name,
+                describe(to),
+                to,
+                self.nodes.len()
+            ),
         })?;
         if from_port >= from_node.outputs {
             return Err(EngineError::InvalidPlan {
@@ -266,9 +299,94 @@ impl QueryPlan {
             }
         }
         if visited != self.nodes.len() {
-            return Err(EngineError::InvalidPlan { detail: "plan contains a cycle".into() });
+            // Nodes with residual in-degree are on a cycle *or merely
+            // downstream of one; strip the innocent tail (repeatedly remove
+            // residual nodes with no successor left in the residual set) so
+            // the error names only nodes actually on a cycle.
+            let mut residual: Vec<bool> = in_degree.iter().map(|d| *d > 0).collect();
+            loop {
+                let removable: Vec<usize> = (0..self.nodes.len())
+                    .filter(|&i| {
+                        residual[i] && !self.edges.iter().any(|e| e.from.0 == i && residual[e.to.0])
+                    })
+                    .collect();
+                if removable.is_empty() {
+                    break;
+                }
+                for i in removable {
+                    residual[i] = false;
+                }
+            }
+            let trapped: Vec<String> = residual
+                .iter()
+                .enumerate()
+                .filter(|(_, on_cycle)| **on_cycle)
+                .map(|(i, _)| format!("`{}`", self.nodes[i].name))
+                .collect();
+            return Err(EngineError::InvalidPlan {
+                detail: format!("plan contains a cycle through {}", trapped.join(", ")),
+            });
         }
         Ok(())
+    }
+
+    /// Renders the plan as a Graphviz `dot` digraph for debugging — data
+    /// edges solid (labelled with their ports), feedback (control) edges
+    /// dashed and drawn *against* the data flow wherever the consumer side of
+    /// an edge declares it produces or relays feedback and the producer side
+    /// declares a feedback port to receive it.  Node labels carry the
+    /// operator's declared feedback roles.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dsms_engine::QueryPlan;
+    ///
+    /// let plan = QueryPlan::new();
+    /// let dot = plan.dot();
+    /// assert!(dot.starts_with("digraph plan {"));
+    /// assert!(dot.trim_end().ends_with('}'));
+    /// ```
+    pub fn dot(&self) -> String {
+        use std::fmt::Write as _;
+        let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut out = String::from("digraph plan {\n  rankdir=LR;\n  node [shape=box];\n");
+        for (i, node) in self.nodes.iter().enumerate() {
+            let roles = node.operator.feedback_roles();
+            if roles.is_none() {
+                let _ = writeln!(out, "  n{i} [label=\"{}\"];", escape(&node.name));
+            } else {
+                let _ = writeln!(out, "  n{i} [label=\"{}\\n[{roles}]\"];", escape(&node.name));
+            }
+        }
+        for e in &self.edges {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{}:{}\"];",
+                e.from.0, e.to.0, e.from_port, e.to_port
+            );
+        }
+        // One dashed control edge per node pair, even when parallel data
+        // edges connect the same operators (e.g. a split feeding both of a
+        // union's inputs): the control channel is per-connection, but the
+        // debug rendering reads better with one arrow per logical path.
+        let mut feedback_pairs = std::collections::HashSet::new();
+        for e in &self.edges {
+            let consumer = self.nodes[e.to.0].operator.feedback_roles();
+            let producer = self.nodes[e.from.0].operator.feedback_roles();
+            if (consumer.produces() || consumer.relays())
+                && producer.accepts_feedback()
+                && feedback_pairs.insert((e.to.0, e.from.0))
+            {
+                let _ = writeln!(
+                    out,
+                    "  n{} -> n{} [style=dashed, constraint=false, label=\"¬?!\"];",
+                    e.to.0, e.from.0
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
     }
 
     /// Returns the node ids in a topological order (sources first).  The plan
@@ -377,6 +495,140 @@ mod tests {
         assert!(plan.connect(src, 0, sink, 3).is_err());
         assert!(plan.connect(NodeId(99), 0, sink, 0).is_err());
         assert!(plan.connect(src, 0, NodeId(99), 0).is_err());
+    }
+
+    #[test]
+    fn unknown_node_errors_name_the_known_operator() {
+        let mut plan = QueryPlan::new();
+        let src = plan.add(Dummy::new("source", 0, 1));
+        let sink = plan.add(Dummy::new("sink", 1, 0));
+
+        let err = plan.connect_simple(src, NodeId(99)).unwrap_err().to_string();
+        assert_eq!(
+            err,
+            "invalid plan: cannot connect `source` -> NodeId(99): target node NodeId(99) does \
+             not exist (the plan has 2 nodes)"
+        );
+        let err = plan.connect_simple(NodeId(42), sink).unwrap_err().to_string();
+        assert_eq!(
+            err,
+            "invalid plan: cannot connect NodeId(42) -> `sink`: source node NodeId(42) does not \
+             exist (the plan has 2 nodes)"
+        );
+    }
+
+    #[test]
+    fn cycle_errors_name_the_trapped_operators() {
+        let mut plan = QueryPlan::new();
+        let a = plan.add(Dummy::new("alpha", 1, 1));
+        let b = plan.add(Dummy::new("beta", 1, 1));
+        plan.connect_simple(a, b).unwrap();
+        plan.connect_simple(b, a).unwrap();
+        let err = plan.validate().unwrap_err().to_string();
+        assert!(err.contains("cycle"), "{err}");
+        assert!(err.contains("`alpha`") && err.contains("`beta`"), "{err}");
+    }
+
+    #[test]
+    fn cycle_errors_exclude_innocent_downstream_operators() {
+        let mut plan = QueryPlan::new();
+        let a = plan.add(Dummy::new("alpha", 1, 2));
+        let b = plan.add(Dummy::new("beta", 1, 1));
+        let sink = plan.add(Dummy::new("innocent-sink", 1, 0));
+        plan.connect(a, 0, b, 0).unwrap();
+        plan.connect(b, 0, a, 0).unwrap();
+        // The sink hangs off the cycle but is not on it.
+        plan.connect(a, 1, sink, 0).unwrap();
+        let err = plan.validate().unwrap_err().to_string();
+        assert!(err.contains("`alpha`") && err.contains("`beta`"), "{err}");
+        assert!(!err.contains("innocent-sink"), "{err}");
+    }
+
+    #[test]
+    fn dot_export_renders_nodes_data_edges_and_dashed_feedback_edges() {
+        use dsms_feedback::FeedbackRoles;
+
+        /// Consumer that declares it produces feedback (so the dot export
+        /// draws a dashed control edge back to its producer).
+        struct FeedbackSink;
+        impl Operator for FeedbackSink {
+            fn name(&self) -> &str {
+                "display"
+            }
+            fn inputs(&self) -> usize {
+                1
+            }
+            fn outputs(&self) -> usize {
+                0
+            }
+            fn feedback_roles(&self) -> FeedbackRoles {
+                FeedbackRoles::producer()
+            }
+            fn on_tuple(
+                &mut self,
+                _i: usize,
+                _t: Tuple,
+                _c: &mut OperatorContext,
+            ) -> EngineResult<()> {
+                Ok(())
+            }
+        }
+
+        /// Producer that declares a feedback port (exploiter).
+        struct FeedbackSource;
+        impl Operator for FeedbackSource {
+            fn name(&self) -> &str {
+                "sensors"
+            }
+            fn inputs(&self) -> usize {
+                0
+            }
+            fn feedback_roles(&self) -> FeedbackRoles {
+                FeedbackRoles::exploiter()
+            }
+            fn on_tuple(
+                &mut self,
+                _i: usize,
+                _t: Tuple,
+                _c: &mut OperatorContext,
+            ) -> EngineResult<()> {
+                Ok(())
+            }
+            fn poll_source(&mut self, _c: &mut OperatorContext) -> EngineResult<SourceState> {
+                Ok(SourceState::Exhausted)
+            }
+        }
+
+        let mut plan = QueryPlan::new();
+        let src = plan.add(FeedbackSource);
+        let unaware = plan.add(Dummy::new("relay \"quoted\"", 1, 1));
+        let sink = plan.add(FeedbackSink);
+        plan.connect_simple(src, unaware).unwrap();
+        plan.connect_simple(unaware, sink).unwrap();
+
+        let dot = plan.dot();
+        assert!(dot.starts_with("digraph plan {"), "{dot}");
+        assert!(dot.contains("n0 [label=\"sensors\\n[exploiter]\"];"), "{dot}");
+        assert!(dot.contains("n1 [label=\"relay \\\"quoted\\\"\"];"), "{dot}");
+        assert!(dot.contains("n2 [label=\"display\\n[producer]\"];"), "{dot}");
+        assert!(dot.contains("n0 -> n1 [label=\"0:0\"];"), "{dot}");
+        assert!(dot.contains("n1 -> n2 [label=\"0:0\"];"), "{dot}");
+        // The display produces feedback, but its direct antecedent is
+        // feedback-unaware: no dashed edge display -> relay…
+        assert!(!dot.contains("n2 -> n1"), "{dot}");
+        // …and the unaware relay cannot send anything to the source either.
+        assert!(!dot.contains("n1 -> n0"), "{dot}");
+        assert!(!dot.contains("style=dashed"), "{dot}");
+
+        // Replace the unaware relay with a feedback-aware chain: now both
+        // hops carry dashed control edges against the data flow.
+        let mut plan = QueryPlan::new();
+        let src = plan.add(FeedbackSource);
+        let sink = plan.add(FeedbackSink);
+        plan.connect_simple(src, sink).unwrap();
+        let dot = plan.dot();
+        assert!(dot.contains("n1 -> n0 [style=dashed, constraint=false, label=\"¬?!\"];"), "{dot}");
+        assert!(dot.trim_end().ends_with('}'), "{dot}");
     }
 
     /// A dummy that routes across its outputs, so all must be connected.

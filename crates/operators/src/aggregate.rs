@@ -25,7 +25,7 @@
 use dsms_engine::{EngineResult, Operator, OperatorContext};
 use dsms_feedback::{
     characterize_aggregate, AggregateSpec, AttributeMapping, ExploitAction, FeedbackIntent,
-    FeedbackPunctuation, FeedbackRegistry, Monotonicity, PropagationRule,
+    FeedbackPunctuation, FeedbackRegistry, FeedbackRoles, Monotonicity, PropagationRule,
 };
 use dsms_punctuation::{Pattern, PatternItem, Punctuation};
 use dsms_types::{DataType, Schema, SchemaRef, StreamDuration, Timestamp, Tuple, Value};
@@ -350,6 +350,22 @@ impl WindowAggregate {
 }
 
 impl Operator for WindowAggregate {
+    fn feedback_roles(&self) -> FeedbackRoles {
+        match self.feedback_mode {
+            FeedbackMode::Ignore => FeedbackRoles::NONE,
+            FeedbackMode::GuardOutput | FeedbackMode::Exploit => FeedbackRoles::exploiter(),
+            FeedbackMode::ExploitAndPropagate => FeedbackRoles::exploiter().with_relayer(),
+        }
+    }
+
+    fn schema_in(&self, _input: usize) -> Option<SchemaRef> {
+        Some(self.input_schema.clone())
+    }
+
+    fn schema_out(&self, _output: usize) -> Option<SchemaRef> {
+        Some(self.output_schema.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

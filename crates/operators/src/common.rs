@@ -154,6 +154,18 @@ impl<O: Operator> Costed<O> {
 }
 
 impl<O: Operator> Operator for Costed<O> {
+    fn feedback_roles(&self) -> dsms_feedback::FeedbackRoles {
+        self.inner.feedback_roles()
+    }
+
+    fn schema_in(&self, input: usize) -> Option<dsms_types::SchemaRef> {
+        self.inner.schema_in(input)
+    }
+
+    fn schema_out(&self, output: usize) -> Option<dsms_types::SchemaRef> {
+        self.inner.schema_out(output)
+    }
+
     fn name(&self) -> &str {
         self.inner.name()
     }

@@ -9,7 +9,7 @@
 //! produce what they have.
 
 use dsms_engine::{EngineResult, Operator, OperatorContext};
-use dsms_feedback::{FeedbackIntent, FeedbackPunctuation, FeedbackRegistry};
+use dsms_feedback::{FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles};
 use dsms_punctuation::Punctuation;
 use dsms_types::{SchemaRef, Tuple};
 use std::collections::VecDeque;
@@ -81,6 +81,18 @@ impl OnDemandGate {
 }
 
 impl Operator for OnDemandGate {
+    fn feedback_roles(&self) -> FeedbackRoles {
+        FeedbackRoles::exploiter().with_relayer()
+    }
+
+    fn schema_in(&self, _input: usize) -> Option<SchemaRef> {
+        Some(self.schema.clone())
+    }
+
+    fn schema_out(&self, _output: usize) -> Option<SchemaRef> {
+        Some(self.schema.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -10,7 +10,8 @@
 
 use dsms_engine::{EngineResult, Operator, OperatorContext};
 use dsms_feedback::{
-    characterize_duplicate, FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, GuardDecision,
+    characterize_duplicate, FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles,
+    GuardDecision,
 };
 use dsms_punctuation::{Pattern, Punctuation};
 use dsms_types::{SchemaRef, Tuple};
@@ -46,6 +47,18 @@ impl Duplicate {
 }
 
 impl Operator for Duplicate {
+    fn feedback_roles(&self) -> FeedbackRoles {
+        FeedbackRoles::exploiter().with_relayer()
+    }
+
+    fn schema_in(&self, _input: usize) -> Option<SchemaRef> {
+        Some(self.schema.clone())
+    }
+
+    fn schema_out(&self, _output: usize) -> Option<SchemaRef> {
+        Some(self.schema.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -10,7 +10,7 @@
 
 use crate::join::SymmetricHashJoin;
 use dsms_engine::{EngineResult, Operator, OperatorContext};
-use dsms_feedback::{FeedbackPunctuation, FeedbackStats};
+use dsms_feedback::{FeedbackPunctuation, FeedbackRoles, FeedbackStats};
 use dsms_punctuation::{Pattern, PatternItem, Punctuation};
 use dsms_types::{SchemaRef, Tuple, Value};
 use std::collections::HashSet;
@@ -79,6 +79,18 @@ impl ImpatientJoin {
 }
 
 impl Operator for ImpatientJoin {
+    fn feedback_roles(&self) -> FeedbackRoles {
+        self.inner.feedback_roles().with_producer()
+    }
+
+    fn schema_in(&self, input: usize) -> Option<SchemaRef> {
+        self.inner.schema_in(input)
+    }
+
+    fn schema_out(&self, output: usize) -> Option<SchemaRef> {
+        self.inner.schema_out(output)
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

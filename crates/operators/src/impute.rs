@@ -21,7 +21,7 @@
 
 use crate::common::simulate_cost;
 use dsms_engine::{EngineResult, Operator, OperatorContext};
-use dsms_feedback::{FeedbackPunctuation, FeedbackRegistry, GuardDecision};
+use dsms_feedback::{FeedbackPunctuation, FeedbackRegistry, FeedbackRoles, GuardDecision};
 use dsms_punctuation::Punctuation;
 use dsms_types::{Tuple, Value};
 use std::collections::HashMap;
@@ -115,6 +115,10 @@ impl Impute {
 }
 
 impl Operator for Impute {
+    fn feedback_roles(&self) -> FeedbackRoles {
+        FeedbackRoles::exploiter()
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

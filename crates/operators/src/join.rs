@@ -18,7 +18,7 @@
 use dsms_engine::{EngineResult, Operator, OperatorContext};
 use dsms_feedback::{
     characterize_join, AttributeMapping, ExploitAction, FeedbackIntent, FeedbackPunctuation,
-    FeedbackRegistry, JoinSpec, PropagationRule,
+    FeedbackRegistry, FeedbackRoles, JoinSpec, PropagationRule,
 };
 use dsms_punctuation::{Pattern, Punctuation};
 use dsms_types::{Schema, SchemaRef, StreamDuration, Timestamp, Tuple, Value};
@@ -282,6 +282,18 @@ impl SymmetricHashJoin {
 }
 
 impl Operator for SymmetricHashJoin {
+    fn feedback_roles(&self) -> FeedbackRoles {
+        FeedbackRoles::exploiter().with_relayer()
+    }
+
+    fn schema_in(&self, input: usize) -> Option<SchemaRef> {
+        Some(if input == 0 { self.left_schema.clone() } else { self.right_schema.clone() })
+    }
+
+    fn schema_out(&self, _output: usize) -> Option<SchemaRef> {
+        Some(self.output_schema.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -30,6 +30,11 @@
 //! `partitioned(…)` rewrite that replicates a stateful operator N ways behind
 //! a shuffle/merge pair, and [`common::Costed`] models expensive (CPU- or
 //! I/O-bound) operators for scaling experiments.
+//!
+//! [`fluent::StreamOps`] extends the engine's fluent [`dsms_engine::Stream`]
+//! with combinators that construct these operators from the schema the stream
+//! carries — the recommended way to compose plans (`QueryPlan` stays public
+//! as the low-level escape hatch the builder lowers into).
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +43,7 @@ pub mod aggregate;
 pub mod common;
 pub mod demand;
 pub mod duplicate;
+pub mod fluent;
 pub mod impatient_join;
 pub mod impute;
 pub mod join;
@@ -59,6 +65,7 @@ pub use aggregate::{AggregateFunction, WindowAggregate};
 pub use common::{simulate_cost, Costed, MinWatermark, TuplePredicate};
 pub use demand::OnDemandGate;
 pub use duplicate::Duplicate;
+pub use fluent::StreamOps;
 pub use impatient_join::ImpatientJoin;
 pub use impute::{ArchivalStore, Impute};
 pub use join::{JoinSide, SymmetricHashJoin};

@@ -26,7 +26,9 @@
 
 use crate::common::MinWatermark;
 use dsms_engine::{EngineResult, Operator, OperatorContext};
-use dsms_feedback::{ExplicitPolicy, FeedbackPunctuation, FeedbackRegistry, GuardDecision};
+use dsms_feedback::{
+    ExplicitPolicy, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles, GuardDecision,
+};
 use dsms_punctuation::Punctuation;
 use dsms_types::{SchemaRef, StreamDuration, Timestamp, Tuple};
 
@@ -132,6 +134,22 @@ impl Merge {
 }
 
 impl Operator for Merge {
+    fn feedback_roles(&self) -> FeedbackRoles {
+        if self.disorder.is_some() {
+            FeedbackRoles::relayer().with_producer()
+        } else {
+            FeedbackRoles::relayer()
+        }
+    }
+
+    fn schema_in(&self, _input: usize) -> Option<SchemaRef> {
+        Some(self.schema.clone())
+    }
+
+    fn schema_out(&self, _output: usize) -> Option<SchemaRef> {
+        Some(self.schema.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -11,7 +11,7 @@
 //! operators (IMPUTE) stop wasting work on them.
 
 use dsms_engine::{EngineResult, Operator, OperatorContext};
-use dsms_feedback::{ExplicitPolicy, FeedbackPunctuation, FeedbackRegistry};
+use dsms_feedback::{ExplicitPolicy, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles};
 use dsms_punctuation::Punctuation;
 use dsms_types::{SchemaRef, StreamDuration, Timestamp, Tuple};
 
@@ -109,6 +109,22 @@ impl Pace {
 }
 
 impl Operator for Pace {
+    fn feedback_roles(&self) -> FeedbackRoles {
+        if self.feedback_enabled {
+            FeedbackRoles::producer()
+        } else {
+            FeedbackRoles::NONE
+        }
+    }
+
+    fn schema_in(&self, _input: usize) -> Option<SchemaRef> {
+        Some(self.schema.clone())
+    }
+
+    fn schema_out(&self, _output: usize) -> Option<SchemaRef> {
+        Some(self.schema.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

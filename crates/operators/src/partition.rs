@@ -58,6 +58,39 @@ impl PartitionedStage {
     }
 }
 
+/// Shared validation for partitioned-stage construction: at least two
+/// partitions.  Used by both the [`PartitionedExt`] plan rewrite and the
+/// fluent `StreamOps` combinators, so both paths report the identical error.
+pub(crate) fn check_partition_count(name: &str, partitions: usize) -> EngineResult<()> {
+    if partitions < 2 {
+        return Err(EngineError::InvalidPlan {
+            detail: format!(
+                "partitioned stage `{name}` needs at least 2 partitions (got {partitions}); use \
+                 the operator directly for a single-replica plan"
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Shared validation for caller-built stage endpoints: the shuffle's fan-out
+/// and the merge's fan-in must agree.
+pub(crate) fn check_stage_endpoints(shuffle: &Shuffle, merge: &Merge) -> EngineResult<()> {
+    if merge.inputs() != shuffle.partitions() {
+        return Err(EngineError::InvalidPlan {
+            detail: format!(
+                "shuffle `{}` fans out to {} partitions but merge `{}` collects {} inputs — the \
+                 replica counts must agree",
+                shuffle.name(),
+                shuffle.partitions(),
+                merge.name(),
+                merge.inputs()
+            ),
+        });
+    }
+    Ok(())
+}
+
 /// Plan-rewrite extension adding data-parallel stages to [`QueryPlan`].
 pub trait PartitionedExt {
     /// Adds a stage of `partitions` replicas built by `make` (called once per
@@ -159,14 +192,7 @@ impl PartitionedExt for QueryPlan {
         O: Operator + 'static,
         F: FnMut(usize) -> O,
     {
-        if partitions < 2 {
-            return Err(EngineError::InvalidPlan {
-                detail: format!(
-                    "partitioned stage `{name}` needs at least 2 partitions (got {partitions}); \
-                     use the operator directly for a single-replica plan"
-                ),
-            });
-        }
+        check_partition_count(name, partitions)?;
         let shuffle = Shuffle::new(format!("{name}-shuffle"), schema.clone(), key, partitions)?;
         let merge = Merge::new(format!("{name}-merge"), schema, partitions);
         self.partitioned_stage(shuffle, merge, make)
@@ -182,19 +208,8 @@ impl PartitionedExt for QueryPlan {
         O: Operator + 'static,
         F: FnMut(usize) -> O,
     {
+        check_stage_endpoints(&shuffle, &merge)?;
         let partitions = shuffle.partitions();
-        if merge.inputs() != partitions {
-            return Err(EngineError::InvalidPlan {
-                detail: format!(
-                    "shuffle `{}` fans out to {} partitions but merge `{}` collects {} inputs — \
-                     the replica counts must agree",
-                    shuffle.name(),
-                    partitions,
-                    merge.name(),
-                    merge.inputs()
-                ),
-            });
-        }
         let input = self.add(shuffle);
         let output = self.add(merge);
         let mut replicas = Vec::with_capacity(partitions);

@@ -9,7 +9,9 @@
 //! unaffected).
 
 use dsms_engine::{EngineResult, Operator, OperatorContext};
-use dsms_feedback::{FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, GuardDecision};
+use dsms_feedback::{
+    FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles, GuardDecision,
+};
 use dsms_punctuation::Punctuation;
 use dsms_types::{SchemaRef, Tuple};
 use std::collections::VecDeque;
@@ -73,6 +75,18 @@ impl Prioritizer {
 }
 
 impl Operator for Prioritizer {
+    fn feedback_roles(&self) -> FeedbackRoles {
+        FeedbackRoles::exploiter()
+    }
+
+    fn schema_in(&self, _input: usize) -> Option<SchemaRef> {
+        Some(self.schema.clone())
+    }
+
+    fn schema_out(&self, _output: usize) -> Option<SchemaRef> {
+        Some(self.schema.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -9,7 +9,7 @@
 use dsms_engine::{EngineResult, Operator, OperatorContext, Page, StreamItem};
 use dsms_feedback::{
     mapping::propagate_through, AttributeMapping, FeedbackIntent, FeedbackPunctuation,
-    FeedbackRegistry, GuardDecision, PropagationOutcome,
+    FeedbackRegistry, FeedbackRoles, GuardDecision, PropagationOutcome,
 };
 use dsms_punctuation::Punctuation;
 use dsms_types::{SchemaRef, Tuple};
@@ -55,6 +55,18 @@ impl Project {
 }
 
 impl Operator for Project {
+    fn feedback_roles(&self) -> FeedbackRoles {
+        FeedbackRoles::exploiter().with_relayer()
+    }
+
+    fn schema_in(&self, _input: usize) -> Option<SchemaRef> {
+        Some(self.input_schema.clone())
+    }
+
+    fn schema_out(&self, _output: usize) -> Option<SchemaRef> {
+        Some(self.output_schema.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -125,7 +137,6 @@ impl Operator for Project {
             }
         }
         let _ = self.registry.register(feedback);
-        let _ = &self.input_schema;
         Ok(())
     }
 

@@ -9,7 +9,9 @@
 
 use crate::common::{simulate_cost, TuplePredicate};
 use dsms_engine::{EngineResult, Operator, OperatorContext};
-use dsms_feedback::{FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, GuardDecision};
+use dsms_feedback::{
+    FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles, GuardDecision,
+};
 use dsms_punctuation::Punctuation;
 use dsms_types::{SchemaRef, Tuple};
 use std::time::Duration;
@@ -80,6 +82,24 @@ impl QualityFilter {
 }
 
 impl Operator for QualityFilter {
+    fn feedback_roles(&self) -> FeedbackRoles {
+        if !self.feedback_enabled {
+            FeedbackRoles::NONE
+        } else if self.relay {
+            FeedbackRoles::exploiter().with_relayer()
+        } else {
+            FeedbackRoles::exploiter()
+        }
+    }
+
+    fn schema_in(&self, _input: usize) -> Option<SchemaRef> {
+        Some(self.schema.clone())
+    }
+
+    fn schema_out(&self, _output: usize) -> Option<SchemaRef> {
+        Some(self.schema.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -10,7 +10,8 @@
 use crate::common::TuplePredicate;
 use dsms_engine::{EngineResult, Operator, OperatorContext, Page, StreamItem};
 use dsms_feedback::{
-    characterize_select, FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, GuardDecision,
+    characterize_select, FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles,
+    GuardDecision,
 };
 use dsms_types::{SchemaRef, Tuple};
 
@@ -50,6 +51,22 @@ impl Select {
 }
 
 impl Operator for Select {
+    fn feedback_roles(&self) -> FeedbackRoles {
+        if self.relay {
+            FeedbackRoles::exploiter().with_relayer()
+        } else {
+            FeedbackRoles::exploiter()
+        }
+    }
+
+    fn schema_in(&self, _input: usize) -> Option<SchemaRef> {
+        Some(self.schema.clone())
+    }
+
+    fn schema_out(&self, _output: usize) -> Option<SchemaRef> {
+        Some(self.schema.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -22,7 +22,9 @@
 //!   shuffle stops routing tuples the whole replica group has disclaimed.
 
 use dsms_engine::{EngineError, EngineResult, Operator, OperatorContext};
-use dsms_feedback::{FeedbackMerge, FeedbackPunctuation, FeedbackRegistry, GuardDecision};
+use dsms_feedback::{
+    FeedbackMerge, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles, GuardDecision,
+};
 use dsms_punctuation::Punctuation;
 use dsms_types::{SchemaRef, Tuple};
 use std::collections::hash_map::DefaultHasher;
@@ -100,6 +102,18 @@ impl Shuffle {
 }
 
 impl Operator for Shuffle {
+    fn feedback_roles(&self) -> FeedbackRoles {
+        FeedbackRoles::exploiter().with_relayer()
+    }
+
+    fn schema_in(&self, _input: usize) -> Option<SchemaRef> {
+        Some(self.schema.clone())
+    }
+
+    fn schema_out(&self, _output: usize) -> Option<SchemaRef> {
+        Some(self.schema.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

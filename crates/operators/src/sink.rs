@@ -9,7 +9,7 @@
 //! the sink emits as it observes the stream advance.
 
 use dsms_engine::{EngineResult, Operator, OperatorContext, Page, StreamItem};
-use dsms_feedback::FeedbackPunctuation;
+use dsms_feedback::{FeedbackPunctuation, FeedbackRoles};
 use dsms_punctuation::Punctuation;
 use dsms_types::{Timestamp, Tuple};
 use parking_lot::Mutex;
@@ -203,6 +203,14 @@ impl TimedSink {
 }
 
 impl Operator for TimedSink {
+    fn feedback_roles(&self) -> FeedbackRoles {
+        if self.schedule.is_empty() {
+            FeedbackRoles::NONE
+        } else {
+            FeedbackRoles::producer()
+        }
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

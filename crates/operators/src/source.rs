@@ -9,9 +9,9 @@
 //! possible exploitation.
 
 use dsms_engine::{EngineResult, Operator, OperatorContext, SourceState};
-use dsms_feedback::{FeedbackPunctuation, FeedbackRegistry, GuardDecision};
+use dsms_feedback::{FeedbackPunctuation, FeedbackRegistry, FeedbackRoles, GuardDecision};
 use dsms_punctuation::Punctuation;
-use dsms_types::{StreamDuration, Timestamp, Tuple};
+use dsms_types::{SchemaRef, StreamDuration, Timestamp, Tuple};
 
 /// A source that replays a pre-materialized vector of tuples in order,
 /// punctuating progress on a timestamp attribute.
@@ -28,8 +28,16 @@ pub struct VecSource {
 
 impl VecSource {
     /// Creates a source named `name` replaying `tuples`.
+    ///
+    /// All tuples must share one schema — [`Operator::schema_out`] declares
+    /// the first tuple's schema, and the builder checks every downstream edge
+    /// against it, so a stray differently-schemed tuple would flow unchecked.
     pub fn new(name: impl Into<String>, tuples: Vec<Tuple>) -> Self {
         let name = name.into();
+        debug_assert!(
+            tuples.windows(2).all(|w| w[0].schema() == w[1].schema()),
+            "VecSource `{name}`: all replayed tuples must share one schema"
+        );
         VecSource {
             registry: FeedbackRegistry::new(name.clone()),
             name,
@@ -86,6 +94,15 @@ impl VecSource {
 }
 
 impl Operator for VecSource {
+    fn feedback_roles(&self) -> FeedbackRoles {
+        FeedbackRoles::exploiter()
+    }
+
+    fn schema_out(&self, _output: usize) -> Option<SchemaRef> {
+        // All replayed tuples share one schema; peek at the first remaining.
+        self.tuples.as_slice().first().map(|t| t.schema().clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -230,6 +247,10 @@ impl GeneratorSource {
 }
 
 impl Operator for GeneratorSource {
+    fn feedback_roles(&self) -> FeedbackRoles {
+        FeedbackRoles::exploiter()
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

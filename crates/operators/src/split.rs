@@ -9,7 +9,7 @@
 
 use crate::common::TuplePredicate;
 use dsms_engine::{EngineResult, Operator, OperatorContext};
-use dsms_feedback::{FeedbackIntent, FeedbackPunctuation, FeedbackRegistry};
+use dsms_feedback::{FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles};
 use dsms_punctuation::{Pattern, Punctuation};
 use dsms_types::{SchemaRef, Tuple};
 
@@ -49,6 +49,18 @@ impl Split {
 }
 
 impl Operator for Split {
+    fn feedback_roles(&self) -> FeedbackRoles {
+        FeedbackRoles::exploiter().with_relayer()
+    }
+
+    fn schema_in(&self, _input: usize) -> Option<SchemaRef> {
+        Some(self.schema.clone())
+    }
+
+    fn schema_out(&self, _output: usize) -> Option<SchemaRef> {
+        Some(self.schema.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -8,7 +8,9 @@
 
 use crate::common::MinWatermark;
 use dsms_engine::{EngineResult, Operator, OperatorContext};
-use dsms_feedback::{FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, GuardDecision};
+use dsms_feedback::{
+    FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles, GuardDecision,
+};
 use dsms_punctuation::Punctuation;
 use dsms_types::{SchemaRef, Tuple};
 
@@ -53,6 +55,18 @@ impl Union {
 }
 
 impl Operator for Union {
+    fn feedback_roles(&self) -> FeedbackRoles {
+        FeedbackRoles::exploiter().with_relayer()
+    }
+
+    fn schema_in(&self, _input: usize) -> Option<SchemaRef> {
+        Some(self.schema.clone())
+    }
+
+    fn schema_out(&self, _output: usize) -> Option<SchemaRef> {
+        Some(self.schema.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

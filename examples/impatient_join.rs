@@ -54,18 +54,22 @@ fn main() {
         })
         .collect();
 
-    let mut plan = QueryPlan::new().with_page_capacity(16);
-    let vehicle_source = plan.add(
-        VecSource::new("vehicles", vehicles)
-            .with_punctuation("timestamp", StreamDuration::from_secs(10)),
-    );
-    let sensor_source = plan.add(
-        VecSource::new("sensors", sensors)
-            .with_punctuation("timestamp", StreamDuration::from_secs(10)),
-    );
-
+    let builder = StreamBuilder::new().with_page_capacity(16);
+    let vehicle_stream = builder
+        .source(
+            VecSource::new("vehicles", vehicles)
+                .with_punctuation("timestamp", StreamDuration::from_secs(10)),
+        )
+        .unwrap();
     // The prioritizer sits on the sensor path and honours desired punctuation.
-    let prioritizer = plan.add(Prioritizer::new("prioritizer", sensor_schema(), 64));
+    let sensor_stream = builder
+        .source(
+            VecSource::new("sensors", sensors)
+                .with_punctuation("timestamp", StreamDuration::from_secs(10)),
+        )
+        .unwrap()
+        .apply(Prioritizer::new("prioritizer", sensor_schema(), 64))
+        .unwrap();
 
     let inner = SymmetricHashJoin::new(
         "JOIN",
@@ -76,18 +80,12 @@ fn main() {
         StreamDuration::from_secs(60),
     )
     .expect("valid join");
-    let impatient = plan
-        .add(ImpatientJoin::new("IMPATIENT-JOIN", inner, sensor_schema(), "segment").with_batch(2));
+    let impatient =
+        ImpatientJoin::new("IMPATIENT-JOIN", inner, sensor_schema(), "segment").with_batch(2);
+    let results =
+        vehicle_stream.combine(sensor_stream, impatient).unwrap().sink_collect("results").unwrap();
 
-    let (sink, results) = CollectSink::new("results");
-    let sink = plan.add(sink);
-
-    plan.connect(vehicle_source, 0, impatient, 0).unwrap();
-    plan.connect_simple(sensor_source, prioritizer).unwrap();
-    plan.connect(prioritizer, 0, impatient, 1).unwrap();
-    plan.connect_simple(impatient, sink).unwrap();
-
-    let report = ThreadedExecutor::run(plan).expect("execution failed");
+    let report = ThreadedExecutor::run(builder.build().unwrap()).expect("execution failed");
 
     let results = results.lock();
     println!("join results produced ............ {}", results.len());

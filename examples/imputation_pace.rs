@@ -17,40 +17,40 @@ fn run(feedback: bool) -> (usize, usize) {
     let schema = ImputationGenerator::schema();
     let config = ImputationConfig { tuples: 800, ..ImputationConfig::experiment1() };
 
-    let mut plan = QueryPlan::new().with_page_capacity(4);
-    let source = plan.add(
-        GeneratorSource::new("sensors", ImputationGenerator::new(config))
-            .with_punctuation("timestamp", StreamDuration::from_secs(1))
-            .with_batch_size(8)
-            .with_pacing(20.0), // 20 stream seconds per wall-clock second
-    );
-    let split = plan.add(Split::new(
-        "split",
-        schema.clone(),
-        TuplePredicate::new("needs imputation", |t| t.has_null()),
-    ));
-    let impute = plan.add(Impute::new(
-        "IMPUTE",
-        "speed",
-        "detector",
-        // one simulated archival lookup per dirty tuple
-        ArchivalStore::synthetic(Duration::from_millis(6), 45.0),
-    ));
-    let pace = if feedback {
-        plan.add(Pace::new("PACE", schema, 2, "timestamp", StreamDuration::from_secs(2)))
+    let builder = StreamBuilder::new().with_page_capacity(4);
+    let readings = builder
+        .source_as(
+            GeneratorSource::new("sensors", ImputationGenerator::new(config))
+                .with_punctuation("timestamp", StreamDuration::from_secs(1))
+                .with_batch_size(8)
+                .with_pacing(20.0), // 20 stream seconds per wall-clock second
+            schema.clone(),
+        )
+        .unwrap();
+    let (dirty, clean) =
+        readings.split("split", TuplePredicate::new("needs imputation", |t| t.has_null())).unwrap();
+    let imputed = dirty
+        .apply_as(
+            Impute::new(
+                "IMPUTE",
+                "speed",
+                "detector",
+                // one simulated archival lookup per dirty tuple
+                ArchivalStore::synthetic(Duration::from_millis(6), 45.0),
+            ),
+            schema.clone(),
+        )
+        .unwrap();
+    let merged = if feedback {
+        imputed
+            .combine(clean, Pace::new("PACE", schema, 2, "timestamp", StreamDuration::from_secs(2)))
+            .unwrap()
     } else {
-        plan.add(Union::new("UNION", schema, 2))
+        imputed.union(clean, "UNION").unwrap()
     };
-    let (sink, out) = TimedSink::new("speed-map-feed");
-    let sink = plan.add(sink);
+    let out = merged.sink_timed("speed-map-feed").unwrap();
 
-    plan.connect_simple(source, split).unwrap();
-    plan.connect(split, 0, impute, 0).unwrap();
-    plan.connect(impute, 0, pace, 0).unwrap();
-    plan.connect(split, 1, pace, 1).unwrap();
-    plan.connect_simple(pace, sink).unwrap();
-
-    let _report = ThreadedExecutor::run(plan).expect("execution failed");
+    let _report = ThreadedExecutor::run(builder.build().unwrap()).expect("execution failed");
 
     let arrivals = out.lock();
     let mut watermark = Timestamp::MIN;

@@ -14,47 +14,41 @@ fn main() {
     let tick_schema = FinancialGenerator::schema();
     let config = FinancialConfig::default();
 
-    let mut plan = QueryPlan::new().with_page_capacity(32);
-    let source = plan.add(
-        GeneratorSource::new("ticks", FinancialGenerator::new(config))
-            .with_punctuation("timestamp", StreamDuration::from_secs(30)),
-    );
+    let builder = StreamBuilder::new().with_page_capacity(32);
+    // One-minute average rate per currency pair, held back by a gate until
+    // the client asks.
+    let gated = builder
+        .source_as(
+            GeneratorSource::new("ticks", FinancialGenerator::new(config))
+                .with_punctuation("timestamp", StreamDuration::from_secs(30)),
+            tick_schema,
+        )
+        .unwrap()
+        .window_avg("AVG-RATE", "timestamp", StreamDuration::from_secs(60), &["pair"], "rate")
+        .unwrap();
+    let avg_schema = gated.schema().clone();
+    let gated = gated.apply(OnDemandGate::new("GATE", avg_schema.clone(), 1_000)).unwrap();
 
-    // One-minute average rate per currency pair.
-    let average = WindowAggregate::new(
-        "AVG-RATE",
-        tick_schema,
-        "timestamp",
-        StreamDuration::from_secs(60),
-        &["pair"],
-        AggregateFunction::Avg("rate".into()),
-    )
-    .expect("valid aggregate");
-    let avg_schema = average.output_schema().clone();
-    let average = plan.add(average);
-
-    // The gate holds results until the client asks.
-    let gate = plan.add(OnDemandGate::new("GATE", avg_schema.clone(), 1_000));
-
-    // The client: asks for everything after 5 arrivals would be too late —
-    // instead it demands the EUR/USD subset immediately after 2 punctuations
-    // worth of stream progress, then polls for the rest at the end.
-    let demand_eur_usd = FeedbackPunctuation::demanded(
+    // The client's margin of action, declared at composition time: asking
+    // for everything after 5 arrivals would be too late — instead it demands
+    // the EUR/USD subset after 2 arrivals (`![pair = EUR/USD]`), then polls
+    // for the rest at the end.  The subscription would be rejected here if
+    // the gate declared no feedback port.
+    let demand_eur_usd = FeedbackSpec::demanded(
         Pattern::for_attributes(
-            avg_schema.clone(),
+            avg_schema,
             &[("pair", PatternItem::Eq(Value::Text("EUR/USD".into())))],
         )
         .expect("pair attribute exists"),
-        "speculator",
-    );
-    let (client, received) = TimedSink::new("speculator");
-    let client = plan.add(client.with_scheduled_feedback(2, demand_eur_usd));
+    )
+    .after_tuples(2);
+    let received = gated
+        .with_feedback(demand_eur_usd)
+        .expect("the gate declares a feedback port")
+        .sink_timed("speculator")
+        .unwrap();
 
-    plan.connect_simple(source, average).unwrap();
-    plan.connect_simple(average, gate).unwrap();
-    plan.connect_simple(gate, client).unwrap();
-
-    let report = ThreadedExecutor::run(plan).expect("execution failed");
+    let report = ThreadedExecutor::run(builder.build().unwrap()).expect("execution failed");
 
     let received = received.lock();
     let eur_usd: Vec<&TimedArrival> = received

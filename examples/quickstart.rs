@@ -31,32 +31,37 @@ fn main() {
         })
         .collect();
 
-    // 2. Build the plan: source -> select -> timed sink.
-    let mut plan = QueryPlan::new().with_page_capacity(16);
-    let source = plan.add(
-        VecSource::new("sensors", readings)
-            .with_punctuation("timestamp", StreamDuration::from_secs(30))
-            .with_batch_size(8),
-    );
-    let select = plan.add(Select::new(
-        "fast-enough",
-        schema.clone(),
-        TuplePredicate::new("speed >= 35", |t| t.float("speed").unwrap_or(0.0) >= 35.0),
-    ));
-
-    // The sink issues assumed feedback for segment 2 after 50 arrivals.
-    let ignore_segment_2 = FeedbackPunctuation::assumed(
+    // 2. Compose the plan fluently: source -> select -> timed sink, with the
+    //    feedback contract declared at composition time.  The subscription
+    //    would be rejected here — not silently ignored at run time — if the
+    //    upstream operator declared no feedback port.
+    let ignore_segment_2 = FeedbackSpec::assumed(
         Pattern::for_attributes(schema.clone(), &[("segment", PatternItem::Eq(Value::Int(2)))])
             .expect("segment is an attribute of the schema"),
-        "map-display",
-    );
-    let (sink, results) = TimedSink::new("map-display");
-    let sink = plan.add(sink.with_scheduled_feedback(50, ignore_segment_2));
+    )
+    .after_tuples(50)
+    .from_issuer("map-display");
 
-    plan.connect_simple(source, select).unwrap();
-    plan.connect_simple(select, sink).unwrap();
+    let builder = StreamBuilder::new().with_page_capacity(16);
+    let results = builder
+        .source(
+            VecSource::new("sensors", readings)
+                .with_punctuation("timestamp", StreamDuration::from_secs(30))
+                .with_batch_size(8),
+        )
+        .expect("sensors is a source")
+        .select(
+            "fast-enough",
+            TuplePredicate::new("speed >= 35", |t| t.float("speed").unwrap_or(0.0) >= 35.0),
+        )
+        .expect("select over the stream schema")
+        .with_feedback(ignore_segment_2)
+        .expect("select declares a feedback port")
+        .sink_timed("map-display")
+        .expect("sink consumes the stream");
 
-    // 3. Run it on the deterministic single-threaded executor.
+    // 3. Lower and run it on the deterministic single-threaded executor.
+    let plan = builder.build().expect("plan is valid");
     let report = SyncExecutor::run(plan).expect("execution failed");
 
     // 4. Inspect what happened.

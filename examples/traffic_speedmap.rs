@@ -27,59 +27,46 @@ fn main() {
     };
     let probe_schema = ProbeGenerator::schema();
 
-    let mut plan = QueryPlan::new().with_page_capacity(64);
+    let builder = StreamBuilder::new().with_page_capacity(64);
 
-    let sensor_source = plan.add(
-        GeneratorSource::new("fixed-sensors", TrafficGenerator::new(sensor_config))
-            .with_punctuation("timestamp", StreamDuration::from_secs(60)),
-    );
-    let probe_source = plan.add(
-        GeneratorSource::new("probe-vehicles", ProbeGenerator::new(probe_config))
-            .with_punctuation("timestamp", StreamDuration::from_secs(60)),
-    );
+    // The sensor side aggregates per (segment, 1-minute window).
+    let sensor_avg = builder
+        .source_as(
+            GeneratorSource::new("fixed-sensors", TrafficGenerator::new(sensor_config))
+                .with_punctuation("timestamp", StreamDuration::from_secs(60)),
+            sensor_schema,
+        )
+        .unwrap()
+        .window_avg("SENSOR-AVG", "timestamp", StreamDuration::from_secs(60), &["segment"], "speed")
+        .unwrap();
 
-    // CLEAN: drop implausible probe readings (GPS glitches), paying a small
-    // per-tuple validation cost.
-    let clean = plan.add(QualityFilter::new(
-        "CLEAN",
-        probe_schema.clone(),
-        TuplePredicate::new("speed <= 120", |t| t.float("speed").unwrap_or(999.0) <= 120.0),
-        Duration::from_micros(2),
-    ));
-
-    // AGGREGATE probe readings per (segment, 1-minute window).
-    let aggregate = WindowAggregate::new(
-        "AGGREGATE",
-        probe_schema,
-        "timestamp",
-        StreamDuration::from_secs(60),
-        &["segment"],
-        AggregateFunction::Avg("speed".into()),
-    )
-    .expect("valid aggregate");
-    let probe_avg_schema = aggregate.output_schema().clone();
-    let aggregate = plan.add(aggregate);
-
-    // The sensor side aggregates too (per segment, per minute), so both join
-    // inputs share the (window, segment) key.
-    let sensor_avg = WindowAggregate::new(
-        "SENSOR-AVG",
-        sensor_schema,
-        "timestamp",
-        StreamDuration::from_secs(60),
-        &["segment"],
-        AggregateFunction::Avg("speed".into()),
-    )
-    .expect("valid aggregate");
-    let sensor_avg_schema = sensor_avg.output_schema().clone();
-    let sensor_avg = plan.add(sensor_avg);
+    // The probe side: CLEAN drops implausible readings (GPS glitches) at a
+    // small per-tuple validation cost, then AGGREGATE averages per segment
+    // and minute so both join inputs share the (window, segment) key.
+    let probe_avg = builder
+        .source_as(
+            GeneratorSource::new("probe-vehicles", ProbeGenerator::new(probe_config))
+                .with_punctuation("timestamp", StreamDuration::from_secs(60)),
+            probe_schema.clone(),
+        )
+        .unwrap()
+        .apply(QualityFilter::new(
+            "CLEAN",
+            probe_schema,
+            TuplePredicate::new("speed <= 120", |t| t.float("speed").unwrap_or(999.0) <= 120.0),
+            Duration::from_micros(2),
+        ))
+        .unwrap()
+        .window_avg("AGGREGATE", "timestamp", StreamDuration::from_secs(60), &["segment"], "speed")
+        .unwrap();
 
     // Outer join on (window, segment): every sensor average appears; probe
-    // averages attach where available.
+    // averages attach where available.  The builder checks both input
+    // schemas against the join's declaration when the edges are drawn.
     let join = SymmetricHashJoin::new(
         "SPEEDMAP-JOIN",
-        sensor_avg_schema,
-        probe_avg_schema,
+        sensor_avg.schema().clone(),
+        probe_avg.schema().clone(),
         &["segment"],
         "window",
         StreamDuration::from_secs(60),
@@ -87,19 +74,9 @@ fn main() {
     .expect("valid join")
     .left_outer();
     let join_schema = join.output_schema().clone();
-    let join = plan.add(join);
+    let results = sensor_avg.combine(probe_avg, join).unwrap().sink_collect("speed-map").unwrap();
 
-    let (sink, results) = CollectSink::new("speed-map");
-    let sink = plan.add(sink);
-
-    plan.connect_simple(sensor_source, sensor_avg).unwrap();
-    plan.connect_simple(probe_source, clean).unwrap();
-    plan.connect_simple(clean, aggregate).unwrap();
-    plan.connect(sensor_avg, 0, join, 0).unwrap();
-    plan.connect(aggregate, 0, join, 1).unwrap();
-    plan.connect_simple(join, sink).unwrap();
-
-    let report = ThreadedExecutor::run(plan).expect("execution failed");
+    let report = ThreadedExecutor::run(builder.build().unwrap()).expect("execution failed");
 
     let results = results.lock();
     let with_probe =

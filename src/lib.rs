@@ -53,17 +53,12 @@ pub use dsms_workloads as workloads;
 ///     .collect();
 ///
 /// for threaded in [false, true] {
-///     let mut plan = QueryPlan::new().with_page_capacity(8);
-///     let source = plan.add(VecSource::new("source", tuples.clone()));
-///     let select = plan.add(Select::new(
-///         "select",
-///         schema.clone(),
-///         TuplePredicate::new("v != 0", |t| t.int("v").unwrap_or(0) != 0),
-///     ));
-///     let (sink, results) = CollectSink::new("sink");
-///     let sink = plan.add(sink);
-///     plan.connect_simple(source, select)?;
-///     plan.connect_simple(select, sink)?;
+///     let builder = StreamBuilder::new().with_page_capacity(8);
+///     let results = builder
+///         .source(VecSource::new("source", tuples.clone()))?
+///         .select("select", TuplePredicate::new("v != 0", |t| t.int("v").unwrap_or(0) != 0))?
+///         .sink_collect("sink")?;
+///     let plan = builder.build()?;
 ///
 ///     let report =
 ///         if threaded { ThreadedExecutor::run(plan)? } else { SyncExecutor::run(plan)? };
@@ -74,16 +69,17 @@ pub use dsms_workloads as workloads;
 /// ```
 pub mod prelude {
     pub use dsms_engine::{
-        ExecutionReport, Operator, OperatorContext, QueryPlan, SourceState, StreamItem,
-        SyncExecutor, ThreadedExecutor,
+        ExecutionReport, Operator, OperatorContext, QueryPlan, SourceState, Stream, StreamBuilder,
+        StreamItem, SyncExecutor, ThreadedExecutor,
     };
     pub use dsms_feedback::{
-        FeedbackIntent, FeedbackMerge, FeedbackPunctuation, FeedbackRegistry, GuardDecision,
+        FeedbackIntent, FeedbackMerge, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles,
+        FeedbackSpec, FeedbackTrigger, GuardDecision,
     };
     pub use dsms_operators::{
         AggregateFunction, ArchivalStore, CollectSink, Costed, Duplicate, GeneratorSource,
         ImpatientJoin, Impute, Merge, OnDemandGate, Pace, PartitionedExt, PartitionedStage,
-        Prioritizer, Project, QualityFilter, Select, Shuffle, Split, SymmetricHashJoin,
+        Prioritizer, Project, QualityFilter, Select, Shuffle, Split, StreamOps, SymmetricHashJoin,
         ThriftyJoin, TimedSink, TuplePredicate, Union, VecSource, WindowAggregate,
     };
     pub use dsms_punctuation::{Pattern, PatternItem, Punctuation, PunctuationScheme};
@@ -128,7 +124,8 @@ mod tests {
         let punctuation = Punctuation::progress(schema.clone(), "ts", Timestamp::EPOCH).unwrap();
         let _: &PatternItem = punctuation.pattern().item_for("ts").unwrap();
 
-        // A minimal source -> select -> sink plan, run on both executors.
+        // A minimal source -> select -> sink plan, composed with the fluent
+        // builder and run on both executors.
         let run = |threaded: bool| -> ExecutionReport {
             let tuples: Vec<Tuple> = (0..20)
                 .map(|i| {
@@ -138,21 +135,19 @@ mod tests {
                     )
                 })
                 .collect();
-            let mut plan = QueryPlan::new().with_page_capacity(4);
-            let source = plan.add(
-                VecSource::new("source", tuples)
-                    .with_punctuation("ts", StreamDuration::from_secs(5))
-                    .with_batch_size(4),
-            );
-            let select = plan.add(Select::new(
-                "select",
-                schema.clone(),
-                TuplePredicate::new("v >= 1", |t| t.int("v").unwrap_or(0) >= 1),
-            ));
-            let (sink, results) = CollectSink::new("sink");
-            let sink = plan.add(sink);
-            plan.connect_simple(source, select).unwrap();
-            plan.connect_simple(select, sink).unwrap();
+            let builder = StreamBuilder::new().with_page_capacity(4);
+            let results = builder
+                .source(
+                    VecSource::new("source", tuples)
+                        .with_punctuation("ts", StreamDuration::from_secs(5))
+                        .with_batch_size(4),
+                )
+                .unwrap()
+                .select("select", TuplePredicate::new("v >= 1", |t| t.int("v").unwrap_or(0) >= 1))
+                .unwrap()
+                .sink_collect("sink")
+                .unwrap();
+            let plan = builder.build().unwrap();
             let report = if threaded {
                 ThreadedExecutor::run(plan).unwrap()
             } else {
@@ -210,6 +205,17 @@ mod tests {
             Select::new("costed", schema.clone(), TuplePredicate::always()),
             std::time::Duration::ZERO,
         );
+        // Builder-layer re-exports: roles, specs, and the fluent types.
+        assert!(FeedbackRoles::exploiter().accepts_feedback());
+        let spec = FeedbackSpec::assumed(Pattern::all_wildcards(schema.clone())).after_tuples(3);
+        assert_eq!(spec.trigger(), FeedbackTrigger::AfterTuples(3));
+        let builder = StreamBuilder::new();
+        let stream: Stream =
+            builder.source_as(VecSource::new("probe", Vec::new()), schema.clone()).unwrap();
+        assert_eq!(stream.producer(), "probe");
+        drop(stream);
+        let _ = builder.build().unwrap();
+
         let mut fb_merge = FeedbackMerge::new(2);
         assert!(fb_merge
             .assert_from(

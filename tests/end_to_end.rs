@@ -32,32 +32,23 @@ fn readings(n: i64, segments: i64) -> Vec<Tuple> {
 #[test]
 fn executors_agree_on_windowed_aggregation() {
     let run = |threaded: bool| -> Vec<Tuple> {
-        let mut plan = QueryPlan::new().with_page_capacity(8);
-        let source = plan.add(
-            VecSource::new("sensors", readings(600, 3))
-                .with_punctuation("timestamp", StreamDuration::from_secs(60)),
-        );
-        let select = plan.add(Select::new(
-            "moving",
-            sensor_schema(),
-            TuplePredicate::new("speed > 0", |t| t.float("speed").unwrap_or(0.0) > 0.0),
-        ));
-        let aggregate = plan.add(
-            WindowAggregate::new(
-                "AVG",
-                sensor_schema(),
-                "timestamp",
-                StreamDuration::from_secs(60),
-                &["segment"],
-                AggregateFunction::Avg("speed".into()),
+        let builder = StreamBuilder::new().with_page_capacity(8);
+        let results = builder
+            .source(
+                VecSource::new("sensors", readings(600, 3))
+                    .with_punctuation("timestamp", StreamDuration::from_secs(60)),
             )
-            .unwrap(),
-        );
-        let (sink, results) = CollectSink::new("out");
-        let sink = plan.add(sink);
-        plan.connect_simple(source, select).unwrap();
-        plan.connect_simple(select, aggregate).unwrap();
-        plan.connect_simple(aggregate, sink).unwrap();
+            .unwrap()
+            .select(
+                "moving",
+                TuplePredicate::new("speed > 0", |t| t.float("speed").unwrap_or(0.0) > 0.0),
+            )
+            .unwrap()
+            .window_avg("AVG", "timestamp", StreamDuration::from_secs(60), &["segment"], "speed")
+            .unwrap()
+            .sink_collect("out")
+            .unwrap();
+        let plan = builder.build().unwrap();
         let report = if threaded {
             ThreadedExecutor::run(plan).unwrap()
         } else {
@@ -79,43 +70,35 @@ fn executors_agree_on_windowed_aggregation() {
 /// source.  The segment disappears from the results and from upstream work.
 #[test]
 fn assumed_feedback_propagates_from_sink_to_source() {
-    let mut plan = QueryPlan::new().with_page_capacity(8);
-    let source = plan.add(
-        VecSource::new("sensors", readings(3_000, 3))
-            .with_punctuation("timestamp", StreamDuration::from_secs(60))
-            .with_batch_size(16),
-    );
-    let select = plan.add(Select::new(
-        "moving",
-        sensor_schema(),
-        TuplePredicate::new("speed > 0", |t| t.float("speed").unwrap_or(0.0) > 0.0),
-    ));
-    let aggregate = WindowAggregate::new(
-        "AVG",
-        sensor_schema(),
-        "timestamp",
-        StreamDuration::from_secs(60),
-        &["segment"],
-        AggregateFunction::Avg("speed".into()),
+    let builder = StreamBuilder::new().with_page_capacity(8);
+    let averaged = builder
+        .source(
+            VecSource::new("sensors", readings(3_000, 3))
+                .with_punctuation("timestamp", StreamDuration::from_secs(60))
+                .with_batch_size(16),
+        )
+        .unwrap()
+        .select(
+            "moving",
+            TuplePredicate::new("speed > 0", |t| t.float("speed").unwrap_or(0.0) > 0.0),
+        )
+        .unwrap()
+        .window_avg("AVG", "timestamp", StreamDuration::from_secs(60), &["segment"], "speed")
+        .unwrap();
+
+    // After 5 results, the display stops caring about segment 1 — a contract
+    // declared at composition time.
+    let ignore_segment_1 = FeedbackSpec::assumed(
+        Pattern::for_attributes(
+            averaged.schema().clone(),
+            &[("segment", PatternItem::Eq(Value::Int(1)))],
+        )
+        .unwrap(),
     )
-    .unwrap();
-    let output_schema = aggregate.output_schema().clone();
-    let aggregate = plan.add(aggregate);
+    .after_tuples(5);
+    let results = averaged.with_feedback(ignore_segment_1).unwrap().sink_timed("display").unwrap();
 
-    // After 5 results, the display stops caring about segment 1.
-    let ignore_segment_1 = FeedbackPunctuation::assumed(
-        Pattern::for_attributes(output_schema, &[("segment", PatternItem::Eq(Value::Int(1)))])
-            .unwrap(),
-        "display",
-    );
-    let (sink, results) = TimedSink::new("display");
-    let sink = plan.add(sink.with_scheduled_feedback(5, ignore_segment_1));
-
-    plan.connect_simple(source, select).unwrap();
-    plan.connect_simple(select, aggregate).unwrap();
-    plan.connect_simple(aggregate, sink).unwrap();
-
-    let report = SyncExecutor::run(plan).unwrap();
+    let report = SyncExecutor::run(builder.build().unwrap()).unwrap();
 
     // Feedback travelled the whole chain.
     assert_eq!(report.operator("display").unwrap().feedback_out, 1);
@@ -142,40 +125,37 @@ fn assumed_feedback_propagates_from_sink_to_source() {
 #[test]
 fn feedback_exploitation_satisfies_definition_1() {
     let run = |with_feedback: bool| -> Vec<Tuple> {
-        let mut plan = QueryPlan::new();
-        let source = plan.add(
-            VecSource::new("sensors", readings(1_200, 4))
-                .with_punctuation("timestamp", StreamDuration::from_secs(60)),
-        );
-        let aggregate = WindowAggregate::new(
-            "COUNT",
-            sensor_schema(),
-            "timestamp",
-            StreamDuration::from_secs(60),
-            &["segment"],
-            AggregateFunction::Count,
-        )
-        .unwrap();
-        let output_schema = aggregate.output_schema().clone();
-        let aggregate = plan.add(aggregate);
-        let (sink, results) = if with_feedback {
-            let fb = FeedbackPunctuation::assumed(
+        let builder = StreamBuilder::new();
+        let counted = builder
+            .source(
+                VecSource::new("sensors", readings(1_200, 4))
+                    .with_punctuation("timestamp", StreamDuration::from_secs(60)),
+            )
+            .unwrap()
+            .aggregate(
+                "COUNT",
+                "timestamp",
+                StreamDuration::from_secs(60),
+                &["segment"],
+                AggregateFunction::Count,
+            )
+            .unwrap();
+        let counted = if with_feedback {
+            let fb = FeedbackSpec::assumed(
                 Pattern::for_attributes(
-                    output_schema,
+                    counted.schema().clone(),
                     &[("segment", PatternItem::Eq(Value::Int(2)))],
                 )
                 .unwrap(),
-                "display",
-            );
-            let (sink, results) = TimedSink::new("display");
-            (sink.with_scheduled_feedback(1, fb), results)
+            )
+            .after_tuples(1)
+            .from_issuer("display");
+            counted.with_feedback(fb).unwrap()
         } else {
-            TimedSink::new("display")
+            counted
         };
-        let sink = plan.add(sink);
-        plan.connect_simple(source, aggregate).unwrap();
-        plan.connect_simple(aggregate, sink).unwrap();
-        SyncExecutor::run(plan).unwrap();
+        let results = counted.sink_timed("display").unwrap();
+        SyncExecutor::run(builder.build().unwrap()).unwrap();
         let collected: Vec<Tuple> = results.lock().iter().map(|r| r.tuple.clone()).collect();
         collected
     };
@@ -210,37 +190,41 @@ fn pace_feedback_reduces_wasted_imputation_work() {
     let run = |with_feedback: bool| -> (u64, u64) {
         let schema = ImputationGenerator::schema();
         let config = ImputationConfig { tuples: 400, ..ImputationConfig::experiment1() };
-        let mut plan = QueryPlan::new().with_page_capacity(4);
-        let source = plan.add(
-            GeneratorSource::new("sensors", ImputationGenerator::new(config))
-                .with_punctuation("timestamp", StreamDuration::from_secs(1))
-                .with_batch_size(8)
-                .with_pacing(40.0),
-        );
-        let split = plan.add(Split::new(
-            "split",
-            schema.clone(),
-            TuplePredicate::new("dirty", |t| t.has_null()),
-        ));
-        let impute = plan.add(Impute::new(
-            "IMPUTE",
-            "speed",
-            "detector",
-            ArchivalStore::synthetic(Duration::from_millis(3), 45.0),
-        ));
-        let merge = if with_feedback {
-            plan.add(Pace::new("PACE", schema, 2, "timestamp", StreamDuration::from_secs(2)))
+        let builder = StreamBuilder::new().with_page_capacity(4);
+        let (dirty, clean) = builder
+            .source_as(
+                GeneratorSource::new("sensors", ImputationGenerator::new(config))
+                    .with_punctuation("timestamp", StreamDuration::from_secs(1))
+                    .with_batch_size(8)
+                    .with_pacing(40.0),
+                schema.clone(),
+            )
+            .unwrap()
+            .split("split", TuplePredicate::new("dirty", |t| t.has_null()))
+            .unwrap();
+        let imputed = dirty
+            .apply_as(
+                Impute::new(
+                    "IMPUTE",
+                    "speed",
+                    "detector",
+                    ArchivalStore::synthetic(Duration::from_millis(3), 45.0),
+                ),
+                schema.clone(),
+            )
+            .unwrap();
+        let merged = if with_feedback {
+            imputed
+                .combine(
+                    clean,
+                    Pace::new("PACE", schema, 2, "timestamp", StreamDuration::from_secs(2)),
+                )
+                .unwrap()
         } else {
-            plan.add(Union::new("UNION", schema, 2))
+            imputed.union(clean, "UNION").unwrap()
         };
-        let (sink, _out) = TimedSink::new("out");
-        let sink = plan.add(sink);
-        plan.connect_simple(source, split).unwrap();
-        plan.connect(split, 0, impute, 0).unwrap();
-        plan.connect(impute, 0, merge, 0).unwrap();
-        plan.connect(split, 1, merge, 1).unwrap();
-        plan.connect_simple(merge, sink).unwrap();
-        let report = ThreadedExecutor::run(plan).unwrap();
+        let _out = merged.sink_timed("out").unwrap();
+        let report = ThreadedExecutor::run(builder.build().unwrap()).unwrap();
         let impute_metrics = report.operator("IMPUTE").unwrap();
         (impute_metrics.tuples_out, impute_metrics.feedback.tuples_suppressed)
     };

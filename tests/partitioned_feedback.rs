@@ -56,16 +56,18 @@ fn make_aggregate(name: String) -> WindowAggregate {
 }
 
 fn run_single(threaded: bool) -> (ExecutionReport, Vec<Tuple>) {
-    let mut plan = QueryPlan::new().with_page_capacity(32).with_queue_capacity(8);
-    let source = plan.add(
-        VecSource::new("source", traffic_tuples())
-            .with_punctuation("timestamp", StreamDuration::from_secs(60)),
-    );
-    let aggregate = plan.add(make_aggregate("aggregate".into()));
-    let (sink, results) = CollectSink::new("sink");
-    let sink = plan.add(sink);
-    plan.connect_simple(source, aggregate).unwrap();
-    plan.connect_simple(aggregate, sink).unwrap();
+    let builder = StreamBuilder::new().with_page_capacity(32).with_queue_capacity(8);
+    let results = builder
+        .source(
+            VecSource::new("source", traffic_tuples())
+                .with_punctuation("timestamp", StreamDuration::from_secs(60)),
+        )
+        .unwrap()
+        .apply(make_aggregate("aggregate".into()))
+        .unwrap()
+        .sink_collect("sink")
+        .unwrap();
+    let plan = builder.build().unwrap();
     let report = if threaded {
         ThreadedExecutor::run(plan).unwrap()
     } else {
@@ -76,24 +78,24 @@ fn run_single(threaded: bool) -> (ExecutionReport, Vec<Tuple>) {
 }
 
 fn run_partitioned(threaded: bool, partitions: usize) -> (ExecutionReport, Vec<Tuple>) {
-    let mut plan = QueryPlan::new().with_page_capacity(32).with_queue_capacity(8);
-    let source = plan.add(
-        VecSource::new("source", traffic_tuples())
-            .with_punctuation("timestamp", StreamDuration::from_secs(60)),
-    );
+    let builder = StreamBuilder::new().with_page_capacity(32).with_queue_capacity(8);
     let shuffle =
         Shuffle::new("aggregate-shuffle", traffic_schema(), &["detector"], partitions).unwrap();
     // The aggregate changes the schema, so the merge is built over its
     // output schema.
     let output_schema = make_aggregate("probe".into()).output_schema().clone();
     let merge = Merge::new("aggregate-merge", output_schema, partitions);
-    let stage = plan
+    let results = builder
+        .source(
+            VecSource::new("source", traffic_tuples())
+                .with_punctuation("timestamp", StreamDuration::from_secs(60)),
+        )
+        .unwrap()
         .partitioned_stage(shuffle, merge, |i| make_aggregate(format!("aggregate-{i}")))
+        .unwrap()
+        .sink_collect("sink")
         .unwrap();
-    let (sink, results) = CollectSink::new("sink");
-    let sink = plan.add(sink);
-    plan.connect_simple(source, stage.input()).unwrap();
-    plan.connect_simple(stage.output(), sink).unwrap();
+    let plan = builder.build().unwrap();
     let report = if threaded {
         ThreadedExecutor::run(plan).unwrap()
     } else {
@@ -213,21 +215,21 @@ fn run_feedback_plan(
     tolerance_secs: i64,
 ) -> ExecutionReport {
     let schema = feedback_schema();
-    let mut plan = QueryPlan::new().with_page_capacity(2).with_queue_capacity(queue_capacity);
+    let builder = StreamBuilder::new().with_page_capacity(2).with_queue_capacity(queue_capacity);
     let keys = (partitions as i64) * 8; // plenty of keys per partition
-    let source = plan.add(VecSource::new("source", disordered_stream(n, keys, 4 * tolerance_secs)));
     let shuffle = Shuffle::new("shuffle", schema.clone(), &["key"], partitions).unwrap();
     let merge = Merge::new("merge", schema.clone(), partitions).with_disorder_policy(
         ExplicitPolicy::disorder_bound("ts", StreamDuration::from_secs(tolerance_secs)),
         StreamDuration::from_secs(tolerance_secs),
     );
-    let stage = plan
+    let _results = builder
+        .source(VecSource::new("source", disordered_stream(n, keys, 4 * tolerance_secs)))
+        .unwrap()
         .partitioned_stage(shuffle, merge, |i| RelayingReplica { name: format!("replica-{i}") })
+        .unwrap()
+        .sink_collect("sink")
         .unwrap();
-    let (sink, _results) = CollectSink::new("sink");
-    let sink = plan.add(sink);
-    plan.connect_simple(source, stage.input()).unwrap();
-    plan.connect_simple(stage.output(), sink).unwrap();
+    let plan = builder.build().unwrap();
     if threaded {
         ThreadedExecutor::run(plan).unwrap()
     } else {
