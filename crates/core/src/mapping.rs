@@ -125,7 +125,8 @@ impl AttributeMapping {
         let covered = self.covered_output_attributes();
         let uncovered_constrained: Vec<usize> = pattern
             .constrained_attributes()
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|idx| !covered.contains(idx))
             .collect();
         let rewritten = pattern.remap(self.input.clone(), &self.sources)?;

@@ -21,7 +21,7 @@
 use crate::error::{FeedbackError, FeedbackResult};
 use crate::intent::{FeedbackIntent, FeedbackPunctuation};
 use crate::stats::FeedbackStats;
-use dsms_punctuation::{Punctuation, PunctuationScheme};
+use dsms_punctuation::{CompiledPattern, Punctuation, PunctuationScheme};
 use dsms_types::Tuple;
 
 /// The decision a guard makes about one tuple.
@@ -37,13 +37,26 @@ pub enum GuardDecision {
 }
 
 /// Registry of active feedback for a single operator.
+///
+/// Guard patterns are compiled once, at registration time, into their
+/// constrained `(attribute, item)` pairs ([`CompiledPattern`]); the per-tuple
+/// [`decide`](FeedbackRegistry::decide) check then touches only the
+/// attributes each guard actually constrains — an all-wildcard guard is a
+/// constant, and a registry with no active guards short-circuits to
+/// [`GuardDecision::Pass`] without looking at the tuple at all.  This is what
+/// makes it affordable to run the guard check on *every* tuple at a source
+/// or a shuffle, which is the paper's whole premise.
 #[derive(Debug, Clone)]
 pub struct FeedbackRegistry {
     operator: String,
     scheme: Option<PunctuationScheme>,
     strict: bool,
     assumed: Vec<FeedbackPunctuation>,
+    /// Compiled guard index, parallel to `assumed`.
+    assumed_compiled: Vec<CompiledPattern>,
     desired: Vec<FeedbackPunctuation>,
+    /// Compiled priority index, parallel to `desired`.
+    desired_compiled: Vec<CompiledPattern>,
     demanded: Vec<FeedbackPunctuation>,
     stats: FeedbackStats,
 }
@@ -57,7 +70,9 @@ impl FeedbackRegistry {
             scheme: None,
             strict: false,
             assumed: Vec::new(),
+            assumed_compiled: Vec::new(),
             desired: Vec::new(),
+            desired_compiled: Vec::new(),
             demanded: Vec::new(),
             stats: FeedbackStats::default(),
         }
@@ -139,13 +154,13 @@ impl FeedbackRegistry {
                     self.stats.coalesced += 1;
                     return Ok(());
                 }
-                self.assumed.retain(|g| {
-                    let replaced = feedback.pattern().subsumes(g.pattern());
-                    if replaced {
-                        self.stats.coalesced += 1;
-                    }
-                    !replaced
+                let before = self.assumed.len();
+                let fresh = feedback.pattern();
+                retain_in_sync(&mut self.assumed, &mut self.assumed_compiled, |g| {
+                    !fresh.subsumes(g.pattern())
                 });
+                self.stats.coalesced += (before - self.assumed.len()) as u64;
+                self.assumed_compiled.push(feedback.pattern().compile());
                 self.assumed.push(feedback);
             }
             FeedbackIntent::Desired => {
@@ -153,6 +168,7 @@ impl FeedbackRegistry {
                     self.stats.coalesced += 1;
                     return Ok(());
                 }
+                self.desired_compiled.push(feedback.pattern().compile());
                 self.desired.push(feedback);
             }
             FeedbackIntent::Demanded => self.demanded.push(feedback),
@@ -168,13 +184,18 @@ impl FeedbackRegistry {
 
     /// Decides what to do with an input (or output) tuple under the active
     /// guards.  Assumed guards win over desired priorities: a tuple that is
-    /// both assumed-away and desired is suppressed.
+    /// both assumed-away and desired is suppressed.  Runs against the
+    /// compiled guard index: no guards means no work, and each guard checks
+    /// only its constrained attributes.
     pub fn decide(&mut self, tuple: &Tuple) -> GuardDecision {
-        if self.assumed.iter().any(|g| g.describes(tuple)) {
+        if self.assumed_compiled.is_empty() && self.desired_compiled.is_empty() {
+            return GuardDecision::Pass;
+        }
+        if self.assumed_compiled.iter().any(|g| g.matches(tuple)) {
             self.stats.tuples_suppressed += 1;
             return GuardDecision::Suppress;
         }
-        if self.desired.iter().any(|g| g.describes(tuple)) {
+        if self.desired_compiled.iter().any(|g| g.matches(tuple)) {
             self.stats.tuples_prioritized += 1;
             return GuardDecision::Prioritize;
         }
@@ -184,9 +205,9 @@ impl FeedbackRegistry {
     /// Like [`decide`](Self::decide) but without mutating statistics; useful
     /// for look-ahead checks.
     pub fn peek(&self, tuple: &Tuple) -> GuardDecision {
-        if self.assumed.iter().any(|g| g.describes(tuple)) {
+        if self.assumed_compiled.iter().any(|g| g.matches(tuple)) {
             GuardDecision::Suppress
-        } else if self.desired.iter().any(|g| g.describes(tuple)) {
+        } else if self.desired_compiled.iter().any(|g| g.matches(tuple)) {
             GuardDecision::Prioritize
         } else {
             GuardDecision::Pass
@@ -210,8 +231,12 @@ impl FeedbackRegistry {
         };
         let before = self.assumed.len() + self.desired.len();
         let pattern = punctuation.pattern();
-        self.assumed.retain(|g| !scheme.releases(pattern, g.pattern()));
-        self.desired.retain(|g| !scheme.releases(pattern, g.pattern()));
+        retain_in_sync(&mut self.assumed, &mut self.assumed_compiled, |g| {
+            !scheme.releases(pattern, g.pattern())
+        });
+        retain_in_sync(&mut self.desired, &mut self.desired_compiled, |g| {
+            !scheme.releases(pattern, g.pattern())
+        });
         let expired = before - (self.assumed.len() + self.desired.len());
         self.stats.guards_expired += expired as u64;
         expired
@@ -222,6 +247,30 @@ impl FeedbackRegistry {
     pub fn predicate_state_size(&self) -> usize {
         self.assumed.len() + self.desired.len() + self.demanded.len()
     }
+}
+
+/// Order-preserving retain over the parallel (feedback, compiled) vectors,
+/// keeping entries for which `keep` returns true.  The compiled index must
+/// stay aligned with its source feedback or guard decisions would consult
+/// the wrong pattern.
+fn retain_in_sync<F>(
+    feedback: &mut Vec<FeedbackPunctuation>,
+    compiled: &mut Vec<CompiledPattern>,
+    mut keep: F,
+) where
+    F: FnMut(&FeedbackPunctuation) -> bool,
+{
+    debug_assert_eq!(feedback.len(), compiled.len());
+    let mut kept = 0;
+    for i in 0..feedback.len() {
+        if keep(&feedback[i]) {
+            feedback.swap(kept, i);
+            compiled.swap(kept, i);
+            kept += 1;
+        }
+    }
+    feedback.truncate(kept);
+    compiled.truncate(kept);
 }
 
 #[cfg(test)]

@@ -397,7 +397,7 @@ fn route_sync(
     metrics: &mut [OperatorMetrics],
     done: &[bool],
 ) {
-    for (port, item) in ctx.take_emitted() {
+    ctx.drain_emitted(|port, item| {
         let deliverable = routes.out_edge(node, port).filter(|_| !done[node]);
         let Some(e) = deliverable else {
             // Unconnected output (sink side-channel) or post-flush emission:
@@ -406,7 +406,7 @@ fn route_sync(
                 StreamItem::Tuple(_) => metrics[node].tuples_out += 1,
                 StreamItem::Punctuation(_) => metrics[node].punctuations_out += 1,
             }
-            continue;
+            return;
         };
         let edge = &mut edges[e];
         match item {
@@ -424,7 +424,7 @@ fn route_sync(
                 edge.queue.push_back(page);
             }
         }
-    }
+    });
     for (input, fb) in ctx.take_feedback() {
         match routes.in_edge(node, input) {
             Some(e) => {
@@ -442,6 +442,8 @@ fn route_sync(
     // Broadcasts: control punctuation to every connected output (a
     // partitioner keeping its replicas punctuated) and feedback to every
     // connected input (a merge point fanning feedback out to its replicas).
+    // The final target receives the original by move — N targets cost N-1
+    // clones, and the single-target broadcast costs none.
     for punctuation in ctx.take_broadcast_punctuations() {
         let targets: Vec<usize> = if done[node] {
             Vec::new()
@@ -452,9 +454,16 @@ fn route_sync(
             metrics[node].punctuations_out += 1; // count-and-drop, as for port emissions
             continue;
         }
-        for e in targets {
+        let mut remaining = Some(punctuation);
+        let last = targets.len() - 1;
+        for (k, e) in targets.into_iter().enumerate() {
+            let copy = if k == last {
+                remaining.take().expect("one move per broadcast")
+            } else {
+                remaining.as_ref().expect("clones precede the move").clone()
+            };
             metrics[node].punctuations_out += 1;
-            let page = edges[e].builder.push_punctuation(punctuation.clone());
+            let page = edges[e].builder.push_punctuation(copy);
             metrics[node].pages_out += 1;
             edges[e].queue.push_back(page);
         }
@@ -465,9 +474,16 @@ fn route_sync(
             metrics[node].feedback_dropped += 1;
             continue;
         }
-        for e in targets {
+        let mut remaining = Some(fb);
+        let last = targets.len() - 1;
+        for (k, e) in targets.into_iter().enumerate() {
+            let copy = if k == last {
+                remaining.take().expect("one move per broadcast")
+            } else {
+                remaining.as_ref().expect("clones precede the move").clone()
+            };
             metrics[node].feedback_out += 1;
-            edges[e].control.push_back(ControlMessage::Feedback(fb.clone()));
+            edges[e].control.push_back(ControlMessage::Feedback(copy));
         }
     }
 }
@@ -865,7 +881,7 @@ fn route_threaded(
     metrics: &mut OperatorMetrics,
     after_eos: bool,
 ) {
-    for (port, item) in ctx.take_emitted() {
+    ctx.drain_emitted(|port, item| {
         let slot = node.out_route.get(port).copied().flatten();
         let deliverable = match slot {
             Some(s) if !after_eos && node.outputs[s].data_open => Some(s),
@@ -878,7 +894,7 @@ fn route_threaded(
                 StreamItem::Tuple(_) => metrics.tuples_out += 1,
                 StreamItem::Punctuation(_) => metrics.punctuations_out += 1,
             }
-            continue;
+            return;
         };
         let output = &mut node.outputs[s];
         match item {
@@ -900,7 +916,7 @@ fn route_threaded(
                 }
             }
         }
-    }
+    });
     for (input, fb) in ctx.take_feedback() {
         match node.in_route.get(input).copied().flatten() {
             Some(s) => {
@@ -919,26 +935,33 @@ fn route_threaded(
         }
     }
     // Broadcasts (see `route_sync`): `node.outputs` / `node.inputs` hold
-    // exactly the *connected* endpoints, so a broadcast is a walk over them.
+    // exactly the *connected* endpoints, so a broadcast is a walk over them,
+    // with the final endpoint receiving the original by move.
     for punctuation in ctx.take_broadcast_punctuations() {
-        let mut delivered = false;
-        if !after_eos {
-            for s in 0..node.outputs.len() {
-                if !node.outputs[s].data_open {
-                    continue;
-                }
-                delivered = true;
-                metrics.punctuations_out += 1;
-                let output = &mut node.outputs[s];
-                let page = output.builder.push_punctuation(punctuation.clone());
-                metrics.pages_out += 1;
-                if !output.producer.send_page(page) {
-                    output.data_open = false;
-                }
-            }
-        }
-        if !delivered {
+        let targets: Vec<usize> = if after_eos {
+            Vec::new()
+        } else {
+            (0..node.outputs.len()).filter(|&s| node.outputs[s].data_open).collect()
+        };
+        if targets.is_empty() {
             metrics.punctuations_out += 1; // count-and-drop, as for port emissions
+            continue;
+        }
+        let mut remaining = Some(punctuation);
+        let last = targets.len() - 1;
+        for (k, s) in targets.into_iter().enumerate() {
+            let copy = if k == last {
+                remaining.take().expect("one move per broadcast")
+            } else {
+                remaining.as_ref().expect("clones precede the move").clone()
+            };
+            metrics.punctuations_out += 1;
+            let output = &mut node.outputs[s];
+            let page = output.builder.push_punctuation(copy);
+            metrics.pages_out += 1;
+            if !output.producer.send_page(page) {
+                output.data_open = false;
+            }
         }
     }
     for fb in ctx.take_broadcast_feedback() {
@@ -946,8 +969,15 @@ fn route_threaded(
             metrics.feedback_dropped += 1;
             continue;
         }
-        for s in 0..node.inputs.len() {
-            if node.inputs[s].consumer.send_control(ControlMessage::Feedback(fb.clone())) {
+        let mut remaining = Some(fb);
+        let last = node.inputs.len() - 1;
+        for (s, input) in node.inputs.iter().enumerate() {
+            let copy = if s == last {
+                remaining.take().expect("one move per broadcast")
+            } else {
+                remaining.as_ref().expect("clones precede the move").clone()
+            };
+            if input.consumer.send_control(ControlMessage::Feedback(copy)) {
                 metrics.feedback_out += 1;
             } else {
                 metrics.feedback_dropped += 1;

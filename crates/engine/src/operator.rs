@@ -123,6 +123,17 @@ impl OperatorContext {
         std::mem::take(&mut self.emitted)
     }
 
+    /// Drains the emitted items in place, handing each to `f` and keeping the
+    /// buffer's capacity for the next operator callback.  The executors route
+    /// through this after *every* callback, so reallocating the buffer each
+    /// time (as [`take_emitted`](Self::take_emitted) does) would put an
+    /// alloc/free pair per callback on the hot path.
+    pub fn drain_emitted(&mut self, mut f: impl FnMut(usize, StreamItem)) {
+        for (port, item) in self.emitted.drain(..) {
+            f(port, item);
+        }
+    }
+
     /// Drains the outgoing feedback (used by the executor).
     pub fn take_feedback(&mut self) -> Vec<(usize, FeedbackPunctuation)> {
         std::mem::take(&mut self.feedback)

@@ -106,7 +106,17 @@ impl PageBuilder {
     }
 
     /// Appends a tuple.  Returns a full page when the append filled it.
+    ///
+    /// The first tuple into a fresh page reserves the full page capacity: one
+    /// allocation per data page rather than a doubling growth chain, while an
+    /// idle builder holds no buffer.  Punctuation pushes deliberately do
+    /// *not* reserve — punctuation flushes immediately, so a punctuation
+    /// landing on an empty page would turn a 1-item page into a
+    /// capacity-sized allocation.
     pub fn push_tuple(&mut self, tuple: Tuple) -> Option<Page> {
+        if self.current.items.capacity() == 0 {
+            self.current.items.reserve_exact(self.capacity);
+        }
         self.current.push(StreamItem::Tuple(tuple));
         if self.current.len() >= self.capacity {
             Some(self.take())

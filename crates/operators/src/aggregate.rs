@@ -184,6 +184,9 @@ pub struct WindowAggregate {
     input_schema: SchemaRef,
     output_schema: SchemaRef,
     timestamp_attribute: String,
+    /// Index of `timestamp_attribute` in the input schema, resolved once so
+    /// per-tuple windowing is a slice access instead of a name lookup.
+    timestamp_index: usize,
     window: StreamDuration,
     group_attributes: Vec<String>,
     group_indices: Vec<usize>,
@@ -217,6 +220,7 @@ impl WindowAggregate {
     ) -> dsms_types::TypeResult<Self> {
         let name = name.into();
         let timestamp_attribute = timestamp_attribute.into();
+        let timestamp_index = input_schema.index_of(&timestamp_attribute)?;
         let group_indices: Vec<usize> =
             group_attributes.iter().map(|a| input_schema.index_of(a)).collect::<Result<_, _>>()?;
         let value_index = match function.input_attribute() {
@@ -257,6 +261,7 @@ impl WindowAggregate {
             input_schema,
             output_schema,
             timestamp_attribute,
+            timestamp_index,
             window,
             group_attributes: group_attributes.iter().map(|s| s.to_string()).collect(),
             group_indices,
@@ -386,7 +391,7 @@ impl Operator for WindowAggregate {
             self.registry.stats_mut().tuples_suppressed += 1;
             return Ok(());
         }
-        let ts = tuple.timestamp(&self.timestamp_attribute)?;
+        let ts = tuple.timestamp_at(self.timestamp_index)?;
         let wid = ts.window_id(self.window);
         let value = self.value_index.and_then(|i| tuple.values()[i].numeric());
         let acc =

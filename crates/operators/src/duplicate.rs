@@ -80,9 +80,12 @@ impl Operator for Duplicate {
         if self.registry.decide(&tuple) == GuardDecision::Suppress {
             return Ok(());
         }
-        for port in 0..self.outputs {
+        // Tuple clones are O(1) (shared value buffer), and the final output
+        // receives the original by move: N outputs, N-1 refcount bumps.
+        for port in 0..self.outputs - 1 {
             ctx.emit(port, tuple.clone());
         }
+        ctx.emit(self.outputs - 1, tuple);
         Ok(())
     }
 
@@ -92,9 +95,10 @@ impl Operator for Duplicate {
         punctuation: Punctuation,
         ctx: &mut OperatorContext,
     ) -> EngineResult<()> {
-        for port in 0..self.outputs {
+        for port in 0..self.outputs - 1 {
             ctx.emit_punctuation(port, punctuation.clone());
         }
+        ctx.emit_punctuation(self.outputs - 1, punctuation);
         Ok(())
     }
 

@@ -22,6 +22,10 @@ pub struct ImpatientJoin {
     inner: SymmetricHashJoin,
     probe_schema: SchemaRef,
     key_attribute: String,
+    /// Index of `key_attribute` in the build side's (input 0) schema,
+    /// resolved once at construction so the per-tuple key extraction is a
+    /// slice access instead of a name lookup.
+    build_key_index: Option<usize>,
     /// Keys already requested, so each is asked for at most once.
     requested: HashSet<Value>,
     /// How many new keys to accumulate before sending one desired punctuation.
@@ -40,11 +44,15 @@ impl ImpatientJoin {
         probe_schema: SchemaRef,
         key_attribute: impl Into<String>,
     ) -> Self {
+        let key_attribute = key_attribute.into();
+        let build_key_index =
+            inner.schema_in(0).and_then(|schema| schema.index_of(&key_attribute).ok());
         ImpatientJoin {
             name: name.into(),
             inner,
             probe_schema,
-            key_attribute: key_attribute.into(),
+            key_attribute,
+            build_key_index,
             requested: HashSet::new(),
             batch: 1,
             pending: Vec::new(),
@@ -106,9 +114,10 @@ impl Operator for ImpatientJoin {
         ctx: &mut OperatorContext,
     ) -> EngineResult<()> {
         if input == 0 {
-            // Build side: note the key and, once a batch has accumulated, ask
-            // the probe side to prioritize those keys.
-            if let Ok(key) = tuple.value_by_name(&self.key_attribute).cloned() {
+            // Build side: note the key (by precomputed index) and, once a
+            // batch has accumulated, ask the probe side to prioritize those
+            // keys.
+            if let Some(key) = self.build_key_index.and_then(|i| tuple.values().get(i)).cloned() {
                 if !key.is_null() && self.requested.insert(key.clone()) {
                     self.pending.push(key);
                     if self.pending.len() >= self.batch {

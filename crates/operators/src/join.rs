@@ -56,6 +56,10 @@ pub struct SymmetricHashJoin {
     /// left tuple to form the output).
     right_payload_indices: Vec<usize>,
     timestamp_attribute: String,
+    /// Indices of the (shared) timestamp attribute per input, resolved once
+    /// so per-tuple windowing is a slice access instead of a name lookup.
+    left_ts_index: usize,
+    right_ts_index: usize,
     window: StreamDuration,
     left_outer: bool,
     left_state: HashMap<WindowKey, Vec<Buffered>>,
@@ -89,8 +93,8 @@ impl SymmetricHashJoin {
             key_attributes.iter().map(|a| left_schema.index_of(a)).collect::<Result<_, _>>()?;
         let right_key_indices: Vec<usize> =
             key_attributes.iter().map(|a| right_schema.index_of(a)).collect::<Result<_, _>>()?;
-        left_schema.index_of(&timestamp_attribute)?;
-        right_schema.index_of(&timestamp_attribute)?;
+        let left_ts_index = left_schema.index_of(&timestamp_attribute)?;
+        let right_ts_index = right_schema.index_of(&timestamp_attribute)?;
 
         // Output schema: every left attribute, then right attributes that are
         // neither join keys nor the (shared) timestamp attribute.
@@ -170,6 +174,8 @@ impl SymmetricHashJoin {
             right_key_indices,
             right_payload_indices,
             timestamp_attribute,
+            left_ts_index,
+            right_ts_index,
             window,
             left_outer: false,
             left_state: HashMap::new(),
@@ -313,7 +319,10 @@ impl Operator for SymmetricHashJoin {
             self.registry.stats_mut().tuples_suppressed += 1;
             return Ok(());
         }
-        let ts = tuple.timestamp(&self.timestamp_attribute)?;
+        let ts = tuple.timestamp_at(match side {
+            JoinSide::Left => self.left_ts_index,
+            JoinSide::Right => self.right_ts_index,
+        })?;
         let wid = ts.window_id(self.window);
         let key = self.key_of(side, &tuple);
         let window_key = (wid, key);

@@ -26,8 +26,7 @@ use dsms_feedback::{
     FeedbackMerge, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles, GuardDecision,
 };
 use dsms_punctuation::Punctuation;
-use dsms_types::{SchemaRef, Tuple};
-use std::collections::hash_map::DefaultHasher;
+use dsms_types::{FixedHasher, SchemaRef, Tuple};
 use std::hash::{Hash, Hasher};
 
 /// Hash-partitions one input stream across `partitions` outputs on a key.
@@ -87,13 +86,17 @@ impl Shuffle {
         self.partitions
     }
 
-    /// The output port (partition) the given tuple routes to.  Deterministic
-    /// across runs: the hasher is seeded with fixed keys.  Fails loudly on a
-    /// tuple narrower than the construction-time schema — silently hashing
-    /// fewer key values would break the same-key-same-replica guarantee the
-    /// whole rewrite rests on.
+    /// The output port (partition) the given tuple routes to.  Genuinely
+    /// deterministic across runs, machines, *and* Rust releases: routing uses
+    /// the crate-owned fixed-seed [`FixedHasher`], not the std
+    /// `DefaultHasher` (whose algorithm and keys carry no cross-release
+    /// stability guarantee).  The hasher has no per-instance key schedule,
+    /// so the per-tuple construction here is free.  Fails loudly on a tuple
+    /// narrower than the construction-time schema — silently hashing fewer
+    /// key values would break the same-key-same-replica guarantee the whole
+    /// rewrite rests on.
     pub fn partition_of(&self, tuple: &Tuple) -> EngineResult<usize> {
-        let mut hasher = DefaultHasher::new();
+        let mut hasher = FixedHasher::new();
         for &index in &self.key_indices {
             tuple.value(index).map_err(EngineError::from)?.hash(&mut hasher);
         }
@@ -218,6 +221,27 @@ mod tests {
         let spread: std::collections::HashSet<usize> =
             (0..32).map(|seg| op.partition_of(&tuple(0, seg)).unwrap()).collect();
         assert!(spread.len() > 1, "keys spread across partitions");
+    }
+
+    #[test]
+    fn routing_digest_is_pinned() {
+        // The hash route is an observable contract: replica state layout and
+        // recovery both depend on `partition_of` never silently changing.
+        // This vector was computed from the FixedHasher algorithm spec (seed,
+        // Fx accumulate, Murmur3 finalize); it must be identical on every
+        // machine, run, and Rust release.  If it changes, the routing hash
+        // changed — that is a breaking change to partitioned state, not a
+        // constant to refresh casually.
+        let op = Shuffle::new("shuffle", schema(), &["segment"], 4).unwrap();
+        let route: Vec<usize> =
+            (0..32).map(|seg| op.partition_of(&tuple(0, seg)).unwrap()).collect();
+        assert_eq!(
+            route,
+            vec![
+                1, 1, 3, 1, 1, 3, 2, 2, 0, 2, 2, 1, 3, 0, 0, 2, 2, 3, 0, 1, 1, 2, 1, 0, 1, 1, 0, 0,
+                3, 3, 1, 2
+            ]
+        );
     }
 
     #[test]

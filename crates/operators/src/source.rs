@@ -8,7 +8,7 @@
 //! from downstream suppresses matching tuples *at the source*, the cheapest
 //! possible exploitation.
 
-use dsms_engine::{EngineResult, Operator, OperatorContext, SourceState};
+use dsms_engine::{EngineError, EngineResult, Operator, OperatorContext, SourceState};
 use dsms_feedback::{FeedbackPunctuation, FeedbackRegistry, FeedbackRoles, GuardDecision};
 use dsms_punctuation::Punctuation;
 use dsms_types::{SchemaRef, StreamDuration, Timestamp, Tuple};
@@ -19,6 +19,10 @@ pub struct VecSource {
     name: String,
     tuples: std::vec::IntoIter<Tuple>,
     timestamp_attribute: Option<String>,
+    /// Index of `timestamp_attribute`, resolved from the first tuple's schema
+    /// so the per-tuple punctuation check is a slice access, not a name
+    /// lookup.
+    timestamp_index: Option<usize>,
     punctuation_period: StreamDuration,
     last_punctuated: Option<Timestamp>,
     batch_size: usize,
@@ -43,6 +47,7 @@ impl VecSource {
             name,
             tuples: tuples.into_iter(),
             timestamp_attribute: None,
+            timestamp_index: None,
             punctuation_period: StreamDuration::from_secs(60),
             last_punctuated: None,
             batch_size: 64,
@@ -71,10 +76,20 @@ impl VecSource {
     }
 
     fn maybe_punctuate(&mut self, tuple: &Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
-        let Some(attr) = &self.timestamp_attribute else {
+        if self.timestamp_attribute.is_none() {
             return Ok(());
+        }
+        let index = match self.timestamp_index {
+            Some(index) => index,
+            None => {
+                let attr = self.timestamp_attribute.as_deref().expect("checked above");
+                let index = tuple.schema().index_of(attr).map_err(EngineError::from)?;
+                self.timestamp_index = Some(index);
+                index
+            }
         };
-        let ts = tuple.timestamp(attr)?;
+        let ts = tuple.timestamp_at(index)?;
+        let attr = self.timestamp_attribute.as_deref().expect("checked above");
         let boundary = ts.align_down(self.punctuation_period);
         let due = match self.last_punctuated {
             None => true,
@@ -170,6 +185,9 @@ pub struct GeneratorSource {
     name: String,
     generator: Box<dyn Iterator<Item = Tuple> + Send>,
     timestamp_attribute: Option<String>,
+    /// Index of `timestamp_attribute`, resolved from the first tuple's schema
+    /// (see `VecSource::timestamp_index`).
+    timestamp_index: Option<usize>,
     punctuation_period: StreamDuration,
     last_punctuated: Option<Timestamp>,
     batch_size: usize,
@@ -193,6 +211,7 @@ impl GeneratorSource {
             name,
             generator: Box::new(generator),
             timestamp_attribute: None,
+            timestamp_index: None,
             punctuation_period: StreamDuration::from_secs(60),
             last_punctuated: None,
             batch_size: 64,
@@ -285,8 +304,19 @@ impl Operator for GeneratorSource {
         for _ in 0..self.batch_size {
             match self.pending.take().or_else(|| self.generator.next()) {
                 Some(tuple) => {
-                    if let Some(attr) = self.timestamp_attribute.clone() {
-                        let ts = tuple.timestamp(&attr)?;
+                    if self.timestamp_attribute.is_some() {
+                        let index = match self.timestamp_index {
+                            Some(index) => index,
+                            None => {
+                                let attr =
+                                    self.timestamp_attribute.as_deref().expect("checked above");
+                                let index =
+                                    tuple.schema().index_of(attr).map_err(EngineError::from)?;
+                                self.timestamp_index = Some(index);
+                                index
+                            }
+                        };
+                        let ts = tuple.timestamp_at(index)?;
                         if let Some(delay) = self.pacing_delay(ts) {
                             // Not yet due: hold the tuple, yield briefly so the
                             // executor keeps servicing control messages, and
@@ -301,9 +331,9 @@ impl Operator for GeneratorSource {
                             Some(prev) => boundary > prev,
                         };
                         if due {
+                            let attr = self.timestamp_attribute.as_deref().expect("checked above");
                             let watermark = boundary - StreamDuration::from_millis(1);
-                            let p =
-                                Punctuation::progress(tuple.schema().clone(), &attr, watermark)?;
+                            let p = Punctuation::progress(tuple.schema().clone(), attr, watermark)?;
                             ctx.emit_punctuation(0, p);
                             self.last_punctuated = Some(boundary);
                         }

@@ -163,13 +163,32 @@ impl fmt::Display for PatternItem {
 }
 
 /// A whole-tuple pattern: one [`PatternItem`] per attribute of a schema.
+///
+/// The indices of the non-wildcard items are precomputed at construction, so
+/// [`Pattern::matches`] and [`Pattern::constrained_attributes`] never scan
+/// (or allocate for) the wildcard positions — full-arity patterns with one
+/// constrained attribute, the common case for feedback guards, cost one item
+/// check per tuple.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Pattern {
     schema: SchemaRef,
     items: Vec<PatternItem>,
+    /// Indices of non-wildcard items; derived from `items`, so the derived
+    /// equality/hash over it stays consistent.
+    constrained: Vec<usize>,
 }
 
 impl Pattern {
+    fn assemble(schema: SchemaRef, items: Vec<PatternItem>) -> Self {
+        let constrained = items
+            .iter()
+            .enumerate()
+            .filter(|(_, item)| !item.is_wildcard())
+            .map(|(i, _)| i)
+            .collect();
+        Pattern { schema, items, constrained }
+    }
+
     /// Creates a pattern, checking that the item count matches the schema
     /// arity.
     pub fn try_new(schema: SchemaRef, items: Vec<PatternItem>) -> TypeResult<Self> {
@@ -179,7 +198,7 @@ impl Pattern {
                 attributes: schema.arity(),
             });
         }
-        Ok(Pattern { schema, items })
+        Ok(Pattern::assemble(schema, items))
     }
 
     /// Creates a pattern, panicking when the arity does not match.
@@ -190,7 +209,7 @@ impl Pattern {
     /// A pattern of all wildcards (matches every tuple of the schema).
     pub fn all_wildcards(schema: SchemaRef) -> Self {
         let items = vec![PatternItem::Wildcard; schema.arity()];
-        Pattern { schema, items }
+        Pattern::assemble(schema, items)
     }
 
     /// Builds a pattern that is wildcard everywhere except the named
@@ -204,7 +223,7 @@ impl Pattern {
             let idx = schema.index_of(name)?;
             items[idx] = item.clone();
         }
-        Ok(Pattern { schema, items })
+        Ok(Pattern::assemble(schema, items))
     }
 
     /// The schema this pattern is defined over.
@@ -229,27 +248,39 @@ impl Pattern {
     }
 
     /// Indices of attributes that are *not* wildcards — the attributes this
-    /// pattern actually constrains.
-    pub fn constrained_attributes(&self) -> Vec<usize> {
-        self.items
-            .iter()
-            .enumerate()
-            .filter(|(_, item)| !item.is_wildcard())
-            .map(|(i, _)| i)
-            .collect()
+    /// pattern actually constrains.  Precomputed at construction; calling
+    /// this never allocates.
+    pub fn constrained_attributes(&self) -> &[usize] {
+        &self.constrained
     }
 
     /// True when the pattern constrains nothing (all wildcards).
     pub fn is_unconstrained(&self) -> bool {
-        self.items.iter().all(PatternItem::is_wildcard)
+        self.constrained.is_empty()
     }
 
     /// True when this pattern matches the tuple.  The tuple must have the same
     /// arity; callers are expected to only apply patterns to tuples of the
-    /// pattern's stream.
+    /// pattern's stream.  Only constrained attributes are checked — wildcard
+    /// positions are skipped entirely.
     pub fn matches(&self, tuple: &Tuple) -> bool {
         debug_assert_eq!(tuple.arity(), self.items.len(), "pattern/tuple arity mismatch");
-        self.items.iter().zip(tuple.values()).all(|(item, value)| item.matches(value))
+        let values = tuple.values();
+        self.constrained
+            .iter()
+            .all(|&i| values.get(i).is_none_or(|value| self.items[i].matches(value)))
+    }
+
+    /// Compiles this pattern into a standalone matcher that owns just the
+    /// constrained `(index, item)` pairs — what per-tuple guard checks should
+    /// hold on to (see `dsms-feedback`'s registry), so matching a mostly
+    /// wildcard pattern touches only the attributes it constrains and the
+    /// pattern itself need not be kept alive.
+    pub fn compile(&self) -> CompiledPattern {
+        CompiledPattern {
+            arity: self.items.len(),
+            constrained: self.constrained.iter().map(|&i| (i, self.items[i].clone())).collect(),
+        }
     }
 
     /// True when every tuple matched by `other` is matched by `self`
@@ -291,7 +322,7 @@ impl Pattern {
                 None => items.push(PatternItem::Wildcard),
             }
         }
-        Ok(Pattern { schema: target, items })
+        Ok(Pattern::assemble(target, items))
     }
 
     /// Attribute-wise conjunction of two patterns over the same schema:
@@ -326,7 +357,47 @@ impl Pattern {
                 }
             })
             .collect();
-        Some(Pattern { schema: self.schema.clone(), items })
+        Some(Pattern::assemble(self.schema.clone(), items))
+    }
+}
+
+/// A pattern compiled down to its constrained `(attribute index, item)`
+/// pairs: wildcards are dropped at compile time, so matching costs exactly
+/// one [`PatternItem::matches`] per *constrained* attribute — O(1) for the
+/// typical single-attribute feedback guard regardless of stream arity, and a
+/// guaranteed-true constant for an all-wildcard pattern.
+///
+/// Compile once ([`Pattern::compile`]) where a pattern will be checked
+/// against many tuples (guard registries, routing); the compiled form is
+/// self-contained and `Send`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledPattern {
+    arity: usize,
+    constrained: Vec<(usize, PatternItem)>,
+}
+
+impl CompiledPattern {
+    /// Arity of the schema the source pattern was defined over.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The constrained `(attribute index, item)` pairs, in attribute order.
+    pub fn constrained(&self) -> &[(usize, PatternItem)] {
+        &self.constrained
+    }
+
+    /// True when the source pattern was all wildcards (matches everything).
+    pub fn is_unconstrained(&self) -> bool {
+        self.constrained.is_empty()
+    }
+
+    /// True when this compiled pattern matches the tuple; equivalent to
+    /// [`Pattern::matches`] on the source pattern.
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        debug_assert_eq!(tuple.arity(), self.arity, "pattern/tuple arity mismatch");
+        let values = tuple.values();
+        self.constrained.iter().all(|(i, item)| values.get(*i).is_none_or(|v| item.matches(v)))
     }
 }
 

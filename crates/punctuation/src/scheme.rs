@@ -94,10 +94,7 @@ impl PunctuationScheme {
     /// guard state the feedback induces is guaranteed to be discardable once
     /// embedded punctuation catches up (paper Section 4.4).
     pub fn supports(&self, pattern: &Pattern) -> bool {
-        pattern
-            .constrained_attributes()
-            .into_iter()
-            .all(|idx| self.delimitation(idx).is_delimited())
+        pattern.constrained_attributes().iter().all(|&idx| self.delimitation(idx).is_delimited())
     }
 
     /// Returns the (names of the) constrained attributes of `pattern` that are
@@ -106,9 +103,9 @@ impl PunctuationScheme {
     pub fn unsupportable_attributes(&self, pattern: &Pattern) -> Vec<String> {
         pattern
             .constrained_attributes()
-            .into_iter()
-            .filter(|idx| !self.delimitation(*idx).is_delimited())
-            .filter_map(|idx| self.schema.field(idx).ok().map(|f| f.name().to_string()))
+            .iter()
+            .filter(|&&idx| !self.delimitation(idx).is_delimited())
+            .filter_map(|&idx| self.schema.field(idx).ok().map(|f| f.name().to_string()))
             .collect()
     }
 
@@ -122,7 +119,7 @@ impl PunctuationScheme {
         if embedded.schema() != feedback.schema() {
             return false;
         }
-        feedback.constrained_attributes().into_iter().all(|idx| {
+        feedback.constrained_attributes().iter().all(|&idx| {
             let e = embedded.item(idx).unwrap_or(&PatternItem::Wildcard);
             let f = feedback.item(idx).unwrap_or(&PatternItem::Wildcard);
             e.subsumes(f)

@@ -17,6 +17,14 @@ use dsms_punctuation::{Pattern, PatternItem};
 use dsms_types::{DataType, Schema, SchemaRef, Timestamp, Tuple, Value};
 use proptest::prelude::*;
 
+/// The definitional whole-tuple match: every item checked against its
+/// attribute, wildcards included.  `Pattern::matches` and the compiled form
+/// skip wildcard positions; this reference implementation is what they must
+/// agree with.
+fn naive_matches(pattern: &Pattern, tuple: &Tuple) -> bool {
+    pattern.items().iter().zip(tuple.values()).all(|(item, value)| item.matches(value))
+}
+
 fn int_value() -> impl Strategy<Value = Value> {
     (-50i64..50).prop_map(Value::Int)
 }
@@ -118,6 +126,28 @@ proptest! {
         }
     }
 
+    /// The wildcard-skipping `Pattern::matches` and the precompiled
+    /// `CompiledPattern::matches` agree with the naive full-arity scan on
+    /// random patterns and tuples — including `Null` attribute values, which
+    /// match only the wildcard.
+    #[test]
+    fn compiled_and_naive_matching_agree(
+        items in proptest::collection::vec(pattern_item(), 3),
+        values in proptest::collection::vec(
+            prop_oneof![(-60i64..60).prop_map(Value::Int), Just(Value::Null)], 3),
+    ) {
+        let pattern = Pattern::new(schema3(), items);
+        let compiled = pattern.compile();
+        let tuple = Tuple::new(schema3(), values);
+        let reference = naive_matches(&pattern, &tuple);
+        prop_assert_eq!(pattern.matches(&tuple), reference,
+            "Pattern::matches diverged from the naive scan on {} vs {}", pattern, tuple);
+        prop_assert_eq!(compiled.matches(&tuple), reference,
+            "CompiledPattern::matches diverged from the naive scan on {} vs {}", pattern, tuple);
+        prop_assert_eq!(compiled.is_unconstrained(), pattern.is_unconstrained());
+        prop_assert_eq!(compiled.arity(), 3usize);
+    }
+
     /// Remapping with an identity mapping preserves matching; remapping that
     /// drops attributes only widens the matched set.
     #[test]
@@ -135,6 +165,38 @@ proptest! {
         if p.matches(&t) {
             prop_assert!(widened.matches(&t));
         }
+    }
+}
+
+/// The property above at its two extremes: an all-wildcard pattern compiles
+/// to a guaranteed match, an all-constrained pattern checks every attribute.
+#[test]
+fn compiled_matching_extremes() {
+    let all_wild = Pattern::all_wildcards(schema3());
+    let compiled = all_wild.compile();
+    assert!(compiled.is_unconstrained());
+    assert!(compiled.constrained().is_empty());
+    for t in [tuple3(0, 0, 0), tuple3(-60, 59, 7)] {
+        assert!(compiled.matches(&t) && all_wild.matches(&t));
+    }
+    assert!(compiled.matches(&Tuple::new(schema3(), vec![Value::Null; 3])));
+
+    let all_constrained = Pattern::new(
+        schema3(),
+        vec![
+            PatternItem::Eq(Value::Int(1)),
+            PatternItem::Ge(Value::Int(2)),
+            PatternItem::Lt(Value::Int(3)),
+        ],
+    );
+    let compiled = all_constrained.compile();
+    assert_eq!(compiled.constrained().len(), 3);
+    for (t, expected) in
+        [(tuple3(1, 2, 2), true), (tuple3(1, 2, 3), false), (tuple3(0, 2, 2), false)]
+    {
+        assert_eq!(compiled.matches(&t), expected, "{t}");
+        assert_eq!(all_constrained.matches(&t), expected, "{t}");
+        assert_eq!(naive_matches(&all_constrained, &t), expected, "{t}");
     }
 }
 

@@ -1,0 +1,204 @@
+//! A fixed-seed, Fx-style hasher for deterministic routing.
+//!
+//! `std::collections::hash_map::DefaultHasher::new()` happens to use fixed
+//! keys today, but the standard library documents neither that nor the hash
+//! algorithm itself as stable across releases — anything that must be
+//! *reproducibly* deterministic (hash-partition routing, pinned output
+//! digests) needs a hasher whose algorithm this crate owns.  [`FixedHasher`]
+//! is that hasher: the multiply-rotate-xor scheme popularised by Firefox's
+//! `FxHasher`, seeded with a compile-time constant.  It is also much cheaper
+//! per hash than the default SipHash — there is no per-hasher key schedule,
+//! so constructing one per tuple costs nothing — which is why the shuffle's
+//! per-tuple routing uses it.
+//!
+//! Not DoS-resistant by design; do not use it for maps keyed by untrusted
+//! input.
+
+use std::hash::{BuildHasher, Hash, Hasher};
+
+/// Initial state: an arbitrary odd constant (the 64-bit golden ratio), fixed
+/// forever so routing and pinned digests stay stable across releases.
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+/// Multiplier from the Fx scheme (also the 64-bit golden-ratio prime family).
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// Deterministic Fx-style [`Hasher`] with a fixed seed.
+#[derive(Debug, Clone)]
+pub struct FixedHasher {
+    hash: u64,
+}
+
+impl FixedHasher {
+    /// Creates a hasher in its (fixed) initial state.
+    pub fn new() -> Self {
+        FixedHasher { hash: SEED }
+    }
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Default for FixedHasher {
+    fn default() -> Self {
+        FixedHasher::new()
+    }
+}
+
+impl Hasher for FixedHasher {
+    /// Finishes with a Murmur3-style avalanche so *every* output bit depends
+    /// on every input bit.  The raw Fx accumulator propagates entropy only
+    /// upward (multiplication never lets high input bits influence low output
+    /// bits), which would make `finish() % n` — exactly how the shuffle picks
+    /// a partition — depend on just the low input bits.
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut h = self.hash;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccb);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        h ^= h >> 33;
+        h
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("exact 8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            // Fold the length into the top byte so "ab" and "ab\0" differ.
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf) ^ ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add(i as u64);
+        self.add((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add(i as u64);
+    }
+}
+
+/// [`BuildHasher`] for [`FixedHasher`], usable as the `S` parameter of
+/// `HashMap`/`HashSet` when iteration-independent, run-to-run-identical
+/// hashing is wanted.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FixedState;
+
+impl BuildHasher for FixedState {
+    type Hasher = FixedHasher;
+
+    fn build_hasher(&self) -> FixedHasher {
+        FixedHasher::new()
+    }
+}
+
+/// Hashes one value to completion with the fixed-seed hasher.  The stable
+/// building block for pinned digests and deterministic routing.
+pub fn fixed_hash(value: &impl Hash) -> u64 {
+    let mut hasher = FixedHasher::new();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_inputs_hash_identically_across_hashers() {
+        assert_eq!(fixed_hash(&42u64), fixed_hash(&42u64));
+        let mut a = FixedHasher::new();
+        let mut b = FixedHasher::new();
+        a.write(b"hello world");
+        b.write(b"hello world");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinct_inputs_disperse() {
+        let hashes: std::collections::HashSet<u64> = (0..1000i64).map(|i| fixed_hash(&i)).collect();
+        assert_eq!(hashes.len(), 1000, "no collisions on small sequential ints");
+    }
+
+    #[test]
+    fn low_bits_spread_under_modulo() {
+        // The shuffle routes with `finish() % partitions`: the avalanche
+        // finalizer must push entropy into the low bits or small sequential
+        // keys would all land in one partition.
+        let mut buckets = [0usize; 4];
+        for key in 0..32i64 {
+            buckets[(fixed_hash(&key) % 4) as usize] += 1;
+        }
+        assert!(buckets.iter().all(|&b| b > 0), "every bucket hit: {buckets:?}");
+    }
+
+    #[test]
+    fn trailing_bytes_and_length_matter() {
+        let mut a = FixedHasher::new();
+        let mut b = FixedHasher::new();
+        a.write(b"ab");
+        b.write(b"ab\0");
+        assert_ne!(a.finish(), b.finish(), "length is folded into the remainder word");
+    }
+
+    #[test]
+    fn algorithm_is_pinned() {
+        // These constants are the contract: shuffle routing and pinned output
+        // digests depend on them never changing.  If this test fails, the
+        // hashing algorithm changed — do not update the constants without
+        // understanding that every pinned digest in the repo moves with them.
+        assert_eq!(fixed_hash(&0u64), 0x832d_11e5_84eb_9411);
+        assert_eq!(fixed_hash(&42i64), 0x6015_5eb6_186c_17cb);
+        let mut h = FixedHasher::new();
+        h.write(b"hello world");
+        assert_eq!(h.finish(), 0x7a03_f0ee_6b5c_94d2);
+    }
+
+    #[test]
+    fn fixed_state_builds_equal_hashers() {
+        use std::hash::BuildHasher;
+        let s = FixedState;
+        let mut a = s.build_hasher();
+        let mut b = s.build_hasher();
+        a.write_u64(7);
+        b.write_u64(7);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -16,6 +16,9 @@
 //! * [`Timestamp`] and [`StreamDuration`] — millisecond-resolution stream
 //!   (application) time, used both for data timestamps and for window
 //!   arithmetic.
+//! * [`FixedHasher`] / [`fixed_hash`] — a fixed-seed Fx-style hasher whose
+//!   algorithm this crate owns, for reproducibly deterministic routing and
+//!   pinned digests (the std `DefaultHasher` guarantees neither).
 //!
 //! Everything in this crate is engine-agnostic: the punctuation algebra,
 //! the feedback framework and the operators are all layered on top of it.
@@ -24,12 +27,14 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod hash;
 pub mod schema;
 pub mod time;
 pub mod tuple;
 pub mod value;
 
 pub use error::{TypeError, TypeResult};
+pub use hash::{fixed_hash, FixedHasher, FixedState};
 pub use schema::{DataType, Field, Schema, SchemaBuilder, SchemaRef};
 pub use time::{StreamDuration, Timestamp};
 pub use tuple::{Tuple, TupleBuilder};

@@ -2,9 +2,12 @@
 //!
 //! A [`Tuple`] is a row of [`Value`]s tagged with its [`SchemaRef`].  Tuples
 //! are the unit of data flowing through inter-operator queues; the engine
-//! batches them into pages (see `dsms-engine`).  Tuples are cheap to clone for
-//! fan-out operators such as DUPLICATE: values are cloned but the schema is
-//! shared.
+//! batches them into pages (see `dsms-engine`).  Tuples are O(1) to clone:
+//! both the schema and the value buffer are reference-counted, so fan-out
+//! operators such as DUPLICATE and SHUFFLE share one buffer across every
+//! copy instead of deep-copying values.  The buffer is immutable; "updates"
+//! ([`Tuple::with_value`]) rebuild it copy-on-write, leaving every existing
+//! clone untouched.
 
 use crate::error::{TypeError, TypeResult};
 use crate::schema::SchemaRef;
@@ -13,11 +16,19 @@ use crate::value::Value;
 use std::fmt;
 use std::sync::Arc;
 
-/// A schema-tagged row of values.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct Tuple {
+/// The shared payload of a [`Tuple`]: the schema tag and the value row live
+/// in one allocation behind one reference count, so cloning a tuple is a
+/// single refcount bump (not one per component).
+#[derive(Debug, PartialEq, Eq, Hash)]
+struct TupleInner {
     schema: SchemaRef,
     values: Box<[Value]>,
+}
+
+/// A schema-tagged row of values; clone is a single reference-count bump.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    inner: Arc<TupleInner>,
 }
 
 impl Tuple {
@@ -39,7 +50,7 @@ impl Tuple {
                 });
             }
         }
-        Ok(Tuple { schema, values: values.into_boxed_slice() })
+        Ok(Tuple { inner: Arc::new(TupleInner { schema, values: values.into_boxed_slice() }) })
     }
 
     /// Creates a tuple, panicking if it does not conform to the schema.
@@ -50,27 +61,30 @@ impl Tuple {
 
     /// The tuple's schema.
     pub fn schema(&self) -> &SchemaRef {
-        &self.schema
+        &self.inner.schema
     }
 
     /// Number of attributes.
     pub fn arity(&self) -> usize {
-        self.values.len()
+        self.inner.values.len()
     }
 
     /// All values in attribute order.
     pub fn values(&self) -> &[Value] {
-        &self.values
+        &self.inner.values
     }
 
     /// The value at attribute `index`.
     pub fn value(&self, index: usize) -> TypeResult<&Value> {
-        self.values.get(index).ok_or(TypeError::IndexOutOfBounds { index, len: self.values.len() })
+        self.inner
+            .values
+            .get(index)
+            .ok_or(TypeError::IndexOutOfBounds { index, len: self.inner.values.len() })
     }
 
     /// The value of the attribute with the given name.
     pub fn value_by_name(&self, name: &str) -> TypeResult<&Value> {
-        let idx = self.schema.index_of(name)?;
+        let idx = self.inner.schema.index_of(name)?;
         self.value(idx)
     }
 
@@ -104,9 +118,29 @@ impl Tuple {
         })
     }
 
-    /// Returns a new tuple with the value at `index` replaced.
+    /// The timestamp value at attribute `index`, if it is a timestamp.  The
+    /// index-based twin of [`Tuple::timestamp`] for per-tuple hot paths that
+    /// resolve the attribute name once at operator construction.
+    pub fn timestamp_at(&self, index: usize) -> TypeResult<Timestamp> {
+        let v = self.value(index)?;
+        v.as_timestamp().ok_or_else(|| TypeError::TypeMismatch {
+            attribute: self
+                .inner
+                .schema
+                .field(index)
+                .map(|f| f.name().to_string())
+                .unwrap_or_else(|_| index.to_string()),
+            expected: "timestamp".into(),
+            actual: v.type_name().into(),
+        })
+    }
+
+    /// Returns a new tuple with the value at `index` replaced.  Copy-on-write:
+    /// the shared buffer is rebuilt for the new tuple (individual values are
+    /// still shared where they are reference-counted), and every existing
+    /// clone of `self` keeps observing the original values.
     pub fn with_value(&self, index: usize, value: Value) -> TypeResult<Tuple> {
-        let field = self.schema.field(index)?;
+        let field = self.inner.schema.field(index)?;
         if !field.data_type().admits(&value) {
             return Err(TypeError::TypeMismatch {
                 attribute: field.name().to_string(),
@@ -114,9 +148,21 @@ impl Tuple {
                 actual: value.type_name().to_string(),
             });
         }
-        let mut values = self.values.to_vec();
+        let mut values = self.inner.values.to_vec();
         values[index] = value;
-        Ok(Tuple { schema: Arc::clone(&self.schema), values: values.into_boxed_slice() })
+        Ok(Tuple {
+            inner: Arc::new(TupleInner {
+                schema: Arc::clone(&self.inner.schema),
+                values: values.into_boxed_slice(),
+            }),
+        })
+    }
+
+    /// True when `self` and `other` share one underlying value buffer — i.e.
+    /// one is an O(1) clone of the other and no deep copy has happened.
+    /// Diagnostic hook for the zero-copy regression tests.
+    pub fn shares_values_with(&self, other: &Tuple) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     /// Projects this tuple onto the attributes at `indices` (in that order),
@@ -133,8 +179,8 @@ impl Tuple {
     /// supplies the pre-computed joined schema.
     pub fn concat(&self, other: &Tuple, joined_schema: SchemaRef) -> TypeResult<Tuple> {
         let mut values = Vec::with_capacity(self.arity() + other.arity());
-        values.extend(self.values.iter().cloned());
-        values.extend(other.values.iter().cloned());
+        values.extend(self.inner.values.iter().cloned());
+        values.extend(other.values().iter().cloned());
         Tuple::try_new(joined_schema, values)
     }
 
@@ -151,13 +197,13 @@ impl Tuple {
     /// True if any attribute is `Null` (e.g. a failed sensor reading that
     /// requires imputation).
     pub fn has_null(&self) -> bool {
-        self.values.iter().any(Value::is_null)
+        self.inner.values.iter().any(Value::is_null)
     }
 }
 
 impl fmt::Display for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let cells: Vec<String> = self.values.iter().map(|v| v.to_string()).collect();
+        let cells: Vec<String> = self.inner.values.iter().map(|v| v.to_string()).collect();
         write!(f, "<{}>", cells.join(", "))
     }
 }

@@ -14,8 +14,15 @@ use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// A dynamically typed scalar value carried in a tuple attribute.
+///
+/// `Text` carries `Arc<str>` rather than `String`: cloning a value — which
+/// fan-out operators, joins, and key extractors do on every tuple — is then a
+/// reference-count bump for every variant, never a heap copy.  The payload is
+/// immutable either way (values are never edited in place, tuples are rebuilt
+/// via [`crate::Tuple::with_value`]), so sharing is invisible to callers.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Value {
     /// An absent value (e.g. a failed sensor reading awaiting imputation).
@@ -26,8 +33,8 @@ pub enum Value {
     Int(i64),
     /// A 64-bit float (speeds, averages).
     Float(f64),
-    /// A text value (freeway names, currency codes).
-    Text(String),
+    /// A text value (freeway names, currency codes); shared, clone is O(1).
+    Text(Arc<str>),
     /// A stream timestamp.
     Timestamp(Timestamp),
 }
@@ -79,7 +86,7 @@ impl Value {
     /// Returns the text payload, if this is a `Text`.
     pub fn as_text(&self) -> Option<&str> {
         match self {
-            Value::Text(s) => Some(s.as_str()),
+            Value::Text(s) => Some(s),
             _ => None,
         }
     }
@@ -185,7 +192,7 @@ impl Value {
             DataType::Bool => trimmed.parse::<bool>().map(Value::Bool).map_err(|_| err()),
             DataType::Int => trimmed.parse::<i64>().map(Value::Int).map_err(|_| err()),
             DataType::Float => trimmed.parse::<f64>().map(Value::Float).map_err(|_| err()),
-            DataType::Text => Ok(Value::Text(trimmed.to_string())),
+            DataType::Text => Ok(Value::Text(trimmed.into())),
             DataType::Timestamp => trimmed
                 .parse::<i64>()
                 .map(|ms| Value::Timestamp(Timestamp::from_millis(ms)))
@@ -283,12 +290,18 @@ impl From<bool> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Text(v.to_string())
+        Value::Text(v.into())
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
+        Value::Text(v.into())
+    }
+}
+
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
         Value::Text(v)
     }
 }

@@ -43,6 +43,9 @@ pub struct FinancialGenerator {
     schema: SchemaRef,
     rng: StdRng,
     rates: Vec<f64>,
+    /// Pair names as shared text, converted once: every generated tuple's
+    /// `pair` value is a reference-count bump on one of these.
+    pair_names: Vec<std::sync::Arc<str>>,
     tick: i64,
     pair: usize,
 }
@@ -61,7 +64,16 @@ impl FinancialGenerator {
     pub fn new(config: FinancialConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let rates = (0..config.pairs.len()).map(|_| rng.gen_range(0.5..150.0)).collect();
-        FinancialGenerator { config, schema: Self::schema(), rng, rates, tick: 0, pair: 0 }
+        let pair_names = config.pairs.iter().map(|p| p.as_str().into()).collect();
+        FinancialGenerator {
+            config,
+            schema: Self::schema(),
+            rng,
+            rates,
+            pair_names,
+            tick: 0,
+            pair: 0,
+        }
     }
 
     /// The configuration.
@@ -87,7 +99,7 @@ impl Iterator for FinancialGenerator {
             self.schema.clone(),
             vec![
                 Value::Timestamp(ts),
-                Value::Text(self.config.pairs[pair_idx].clone()),
+                Value::Text(self.pair_names[pair_idx].clone()),
                 Value::Float(self.rates[pair_idx]),
             ],
         );

@@ -82,9 +82,12 @@ pub mod prelude {
         Prioritizer, Project, QualityFilter, Select, Shuffle, Split, StreamOps, SymmetricHashJoin,
         ThriftyJoin, TimedSink, TuplePredicate, Union, VecSource, WindowAggregate,
     };
-    pub use dsms_punctuation::{Pattern, PatternItem, Punctuation, PunctuationScheme};
+    pub use dsms_punctuation::{
+        CompiledPattern, Pattern, PatternItem, Punctuation, PunctuationScheme,
+    };
     pub use dsms_types::{
-        DataType, Field, Schema, SchemaRef, StreamDuration, Timestamp, Tuple, TupleBuilder, Value,
+        fixed_hash, DataType, Field, FixedHasher, FixedState, Schema, SchemaRef, StreamDuration,
+        Timestamp, Tuple, TupleBuilder, Value,
     };
 }
 

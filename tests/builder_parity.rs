@@ -25,6 +25,14 @@ fn digest(tuples: &[Tuple]) -> String {
     rows.join("\n")
 }
 
+/// Fixed-seed hash of a digest string, for pinning against constants.
+fn digest_hash(digest: &str) -> u64 {
+    use std::hash::Hasher as _;
+    let mut h = dsms_types::FixedHasher::new();
+    h.write(digest.as_bytes());
+    h.finish()
+}
+
 fn make_source() -> VecSource {
     VecSource::new("source", traffic_tuples())
         .with_punctuation("timestamp", StreamDuration::from_secs(60))
@@ -94,7 +102,28 @@ fn pipeline_digests_match_hand_built_plans() {
         let fluent = digest(&fluent_results.lock());
 
         assert_eq!(hand, fluent, "threaded={threaded}: digests must be byte-identical");
+        assert_eq!(
+            digest_hash(&hand),
+            PIPELINE_DIGEST,
+            "threaded={threaded}: output diverged from the pinned pre-zero-copy digest"
+        );
     }
+}
+
+/// Pinned sink digests, captured on the `Box<[Value]>`/`String` tuple
+/// representation *before* the zero-copy change (`Arc<[Value]>`/`Arc<str>`),
+/// hashed with the stable `FixedHasher`.  The representation of tuples and
+/// text must be invisible in results: if either constant moves, a types-level
+/// change leaked into observable output.
+const PIPELINE_DIGEST: u64 = 0xad04_eeee_48ed_9117;
+const SOURCE_DIGEST: u64 = 0xb57f_ef8e_5a35_c2e9;
+
+/// The raw traffic stream itself digests identically to its pre-change value
+/// — the `Value`/`Tuple` representation change cannot alter a single rendered
+/// row.
+#[test]
+fn source_digest_matches_pre_representation_change_value() {
+    assert_eq!(digest_hash(&digest(&traffic_tuples())), SOURCE_DIGEST);
 }
 
 /// The hash-partitioned stage: fluent `partitioned_stage` against the
@@ -184,6 +213,14 @@ fn feedback_subscription_matches_hand_built_scheduled_feedback() {
             digest(&hand_rows),
             digest(&fluent_rows),
             "threaded={threaded}: digests must be byte-identical"
+        );
+        // The plausibility select passes every generated tuple and the
+        // scheduled feedback never matches, so this path must reproduce the
+        // source stream — pinned to its pre-zero-copy digest.
+        assert_eq!(
+            digest_hash(&digest(&hand_rows)),
+            SOURCE_DIGEST,
+            "threaded={threaded}: output diverged from the pinned pre-zero-copy digest"
         );
         for report in [&hand_report, &fluent_report] {
             assert_eq!(report.operator("sink").unwrap().feedback_out, 1);
