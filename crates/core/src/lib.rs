@@ -66,7 +66,7 @@ pub use intent::{FeedbackIntent, FeedbackPunctuation};
 pub use mapping::{AttributeMapping, PropagationOutcome};
 pub use merge::FeedbackMerge;
 pub use policy::{AdaptivePolicy, EventDrivenPolicy, ExplicitPolicy, FeedbackSource};
-pub use registry::{FeedbackRegistry, GuardDecision};
+pub use registry::{BatchGuardDecision, FeedbackRegistry, GuardDecision};
 pub use roles::{FeedbackExploiter, FeedbackProducer, FeedbackRelayer, FeedbackRoles};
 pub use spec::{FeedbackSpec, FeedbackTrigger};
 pub use stats::FeedbackStats;

@@ -21,8 +21,8 @@
 use crate::error::{FeedbackError, FeedbackResult};
 use crate::intent::{FeedbackIntent, FeedbackPunctuation};
 use crate::stats::FeedbackStats;
-use dsms_punctuation::{CompiledPattern, Punctuation, PunctuationScheme};
-use dsms_types::Tuple;
+use dsms_punctuation::{CompiledPattern, Punctuation, PunctuationScheme, SummaryMatch};
+use dsms_types::{ColumnSummary, Tuple};
 
 /// The decision a guard makes about one tuple.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +34,23 @@ pub enum GuardDecision {
     /// The tuple is described by an active *desired* pattern: process it with
     /// priority.
     Prioritize,
+}
+
+/// The decision guards make about a whole batch of tuples, derived from
+/// per-column summaries alone (see
+/// [`decide_batch`](FeedbackRegistry::decide_batch)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchGuardDecision {
+    /// No assumed guard can match any tuple of the batch and no desired
+    /// pattern can either: every tuple would get [`GuardDecision::Pass`], so
+    /// the per-tuple checks can be skipped wholesale.
+    PassAll,
+    /// An active assumed guard provably matches every tuple of the batch:
+    /// every tuple would get [`GuardDecision::Suppress`].
+    SuppressAll,
+    /// The summaries are inconclusive (or a desired pattern may match some
+    /// tuples): fall back to [`decide`](FeedbackRegistry::decide) per tuple.
+    Mixed,
 }
 
 /// Registry of active feedback for a single operator.
@@ -200,6 +217,79 @@ impl FeedbackRegistry {
             return GuardDecision::Prioritize;
         }
         GuardDecision::Pass
+    }
+
+    /// Batch-level twin of [`decide`](Self::decide): classifies a whole batch
+    /// of `rows` tuples against the active guards using per-column summaries,
+    /// without touching any tuple.
+    ///
+    /// `summary_of` maps an attribute index to that column's
+    /// [`ColumnSummary`] (or `None` when no sound summary exists); it is
+    /// consulted at most once per distinct column across all guards — the
+    /// common case of many guards over one attribute computes one summary.
+    ///
+    /// Statistics stay exactly per-tuple-equivalent: a
+    /// [`BatchGuardDecision::SuppressAll`] counts all `rows` as suppressed (as
+    /// `rows` individual [`decide`](Self::decide) calls would), a
+    /// [`BatchGuardDecision::PassAll`] counts nothing, and a
+    /// [`BatchGuardDecision::Mixed`] counts nothing here because the caller
+    /// re-runs `decide` per tuple.  Conclusive and fallback batches are
+    /// tallied in [`FeedbackStats::batches_summary_conclusive`] and
+    /// [`FeedbackStats::batches_summary_fallback`]; an empty registry
+    /// short-circuits to `PassAll` without counting a batch, mirroring the
+    /// per-tuple short-circuit.
+    ///
+    /// Desired patterns are deliberately conservative: prioritization is
+    /// per-tuple by nature, so any possibly-matching desired pattern forces
+    /// [`BatchGuardDecision::Mixed`]; only a provably-never-matching desired
+    /// set allows `PassAll`.
+    pub fn decide_batch<F>(&mut self, rows: usize, mut summary_of: F) -> BatchGuardDecision
+    where
+        F: FnMut(usize) -> Option<ColumnSummary>,
+    {
+        if rows == 0 || (self.assumed_compiled.is_empty() && self.desired_compiled.is_empty()) {
+            return BatchGuardDecision::PassAll;
+        }
+        // Summaries are cached per column for the duration of the call:
+        // several guards typically constrain the same attribute.
+        let mut cache: Vec<(usize, Option<ColumnSummary>)> = Vec::new();
+        let mut lookup = |column: usize| -> Option<ColumnSummary> {
+            if let Some((_, summary)) = cache.iter().find(|(c, _)| *c == column) {
+                return summary.clone();
+            }
+            let summary = summary_of(column);
+            cache.push((column, summary.clone()));
+            summary
+        };
+        let mut suppress_all = false;
+        let mut every_assumed_none = true;
+        for guard in &self.assumed_compiled {
+            match guard.matches_summaries(&mut lookup) {
+                SummaryMatch::All => {
+                    suppress_all = true;
+                    break;
+                }
+                SummaryMatch::None => {}
+                SummaryMatch::Unknown => every_assumed_none = false,
+            }
+        }
+        if suppress_all {
+            self.stats.tuples_suppressed += rows as u64;
+            self.stats.batches_summary_conclusive += 1;
+            return BatchGuardDecision::SuppressAll;
+        }
+        if every_assumed_none {
+            let every_desired_none = self
+                .desired_compiled
+                .iter()
+                .all(|p| p.matches_summaries(&mut lookup) == SummaryMatch::None);
+            if every_desired_none {
+                self.stats.batches_summary_conclusive += 1;
+                return BatchGuardDecision::PassAll;
+            }
+        }
+        self.stats.batches_summary_fallback += 1;
+        BatchGuardDecision::Mixed
     }
 
     /// Like [`decide`](Self::decide) but without mutating statistics; useful
@@ -426,5 +516,80 @@ mod tests {
         reg.register(FeedbackPunctuation::desired(segment(3), "b")).unwrap();
         assert_eq!(reg.active_desired(), 1);
         assert_eq!(reg.stats().coalesced, 1);
+    }
+
+    /// Summary lookup over a concrete batch of tuples, as a page would offer.
+    fn summaries_of(rows: &[Tuple]) -> impl FnMut(usize) -> Option<ColumnSummary> + '_ {
+        move |column| ColumnSummary::over_column(rows, column)
+    }
+
+    #[test]
+    fn batch_decision_without_guards_short_circuits_without_stats() {
+        let mut reg = FeedbackRegistry::new("AVG");
+        assert_eq!(reg.decide_batch(64, |_| None), BatchGuardDecision::PassAll);
+        assert_eq!(reg.stats().batches_summary_conclusive, 0);
+        assert_eq!(reg.stats().batches_summary_fallback, 0);
+    }
+
+    #[test]
+    fn batch_decision_suppresses_wholesale_when_a_guard_covers_the_batch() {
+        let mut reg = FeedbackRegistry::new("IMPUTE");
+        reg.register(FeedbackPunctuation::assumed(before(100), "PACE")).unwrap();
+        let rows: Vec<Tuple> = (0..8).map(|i| tuple(10 + i, 1, 40.0)).collect();
+        assert_eq!(
+            reg.decide_batch(rows.len(), summaries_of(&rows)),
+            BatchGuardDecision::SuppressAll
+        );
+        assert_eq!(reg.stats().tuples_suppressed, 8, "counts as 8 per-tuple suppressions");
+        assert_eq!(reg.stats().batches_summary_conclusive, 1);
+        assert_eq!(reg.stats().batches_summary_fallback, 0);
+    }
+
+    #[test]
+    fn batch_decision_passes_wholesale_when_no_guard_can_match() {
+        let mut reg = FeedbackRegistry::new("IMPUTE");
+        reg.register(FeedbackPunctuation::assumed(before(100), "PACE")).unwrap();
+        reg.register(FeedbackPunctuation::assumed(segment(9), "JOIN")).unwrap();
+        let rows: Vec<Tuple> = (0..8).map(|i| tuple(200 + i, 1, 40.0)).collect();
+        assert_eq!(reg.decide_batch(rows.len(), summaries_of(&rows)), BatchGuardDecision::PassAll);
+        assert_eq!(reg.stats().tuples_suppressed, 0);
+        assert_eq!(reg.stats().batches_summary_conclusive, 1);
+    }
+
+    #[test]
+    fn batch_decision_falls_back_when_summaries_are_inconclusive() {
+        let mut reg = FeedbackRegistry::new("IMPUTE");
+        reg.register(FeedbackPunctuation::assumed(before(100), "PACE")).unwrap();
+        // Timestamps straddle the guard boundary: some rows match, some don't.
+        let rows: Vec<Tuple> = (0..8).map(|i| tuple(96 + i, 1, 40.0)).collect();
+        assert_eq!(reg.decide_batch(rows.len(), summaries_of(&rows)), BatchGuardDecision::Mixed);
+        assert_eq!(reg.stats().tuples_suppressed, 0, "fallback leaves tuple stats to decide()");
+        assert_eq!(reg.stats().batches_summary_fallback, 1);
+        // Per-tuple fallback then reaches the same verdicts decide() always did.
+        let suppressed = rows.iter().filter(|t| reg.decide(t) == GuardDecision::Suppress).count();
+        assert_eq!(suppressed, 4);
+    }
+
+    #[test]
+    fn batch_decision_is_conservative_about_desired_patterns() {
+        let mut reg = FeedbackRegistry::new("CLEAN");
+        reg.register(FeedbackPunctuation::desired(segment(3), "IMPATIENT")).unwrap();
+        // The batch contains segment 3: prioritization is per-tuple, so the
+        // batch cannot pass wholesale.
+        let hit: Vec<Tuple> = vec![tuple(10, 3, 1.0), tuple(11, 4, 1.0)];
+        assert_eq!(reg.decide_batch(hit.len(), summaries_of(&hit)), BatchGuardDecision::Mixed);
+        // A batch provably outside every desired pattern passes wholesale.
+        let miss: Vec<Tuple> = vec![tuple(10, 7, 1.0), tuple(11, 8, 1.0)];
+        assert_eq!(reg.decide_batch(miss.len(), summaries_of(&miss)), BatchGuardDecision::PassAll);
+        assert_eq!(reg.stats().batches_summary_conclusive, 1);
+        assert_eq!(reg.stats().batches_summary_fallback, 1);
+    }
+
+    #[test]
+    fn batch_decision_with_unavailable_summaries_falls_back() {
+        let mut reg = FeedbackRegistry::new("IMPUTE");
+        reg.register(FeedbackPunctuation::assumed(before(100), "PACE")).unwrap();
+        assert_eq!(reg.decide_batch(8, |_| None), BatchGuardDecision::Mixed);
+        assert_eq!(reg.stats().batches_summary_fallback, 1);
     }
 }

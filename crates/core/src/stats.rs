@@ -62,6 +62,12 @@ pub struct FeedbackStats {
     /// Feedback messages coalesced because an equivalent/subsuming guard was
     /// already active.
     pub coalesced: u64,
+    /// Batches (pages) whose guard outcome was decided wholesale from column
+    /// summaries — no per-tuple guard checks ran.
+    pub batches_summary_conclusive: u64,
+    /// Batches (pages) whose column summaries were inconclusive, falling back
+    /// to per-tuple guard checks.
+    pub batches_summary_fallback: u64,
 }
 
 impl FeedbackStats {
@@ -85,6 +91,8 @@ impl FeedbackStats {
         self.rejected_unsupportable += other.rejected_unsupportable;
         self.unexpirable_guards += other.unexpirable_guards;
         self.coalesced += other.coalesced;
+        self.batches_summary_conclusive += other.batches_summary_conclusive;
+        self.batches_summary_fallback += other.batches_summary_fallback;
     }
 }
 
@@ -92,7 +100,7 @@ impl fmt::Display for FeedbackStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "issued={} received={} relayed={} suppressed={} prioritized={} purged={} partial={} expired={}",
+            "issued={} received={} relayed={} suppressed={} prioritized={} purged={} partial={} expired={} batch_guards={}/{}",
             self.issued.total(),
             self.received.total(),
             self.relayed.total(),
@@ -101,6 +109,8 @@ impl fmt::Display for FeedbackStats {
             self.state_purged,
             self.partial_results,
             self.guards_expired,
+            self.batches_summary_conclusive,
+            self.batches_summary_fallback,
         )
     }
 }
@@ -124,15 +134,28 @@ mod tests {
 
     #[test]
     fn merge_accumulates_every_counter() {
-        let mut a = FeedbackStats { tuples_suppressed: 5, state_purged: 2, ..Default::default() };
+        let mut a = FeedbackStats {
+            tuples_suppressed: 5,
+            state_purged: 2,
+            batches_summary_conclusive: 3,
+            ..Default::default()
+        };
         a.issued.record(FeedbackIntent::Assumed);
-        let mut b = FeedbackStats { tuples_suppressed: 7, guards_expired: 1, ..Default::default() };
+        let mut b = FeedbackStats {
+            tuples_suppressed: 7,
+            guards_expired: 1,
+            batches_summary_conclusive: 4,
+            batches_summary_fallback: 2,
+            ..Default::default()
+        };
         b.issued.record(FeedbackIntent::Desired);
         a.merge(&b);
         assert_eq!(a.tuples_suppressed, 12);
         assert_eq!(a.state_purged, 2);
         assert_eq!(a.guards_expired, 1);
         assert_eq!(a.issued.total(), 2);
+        assert_eq!(a.batches_summary_conclusive, 7);
+        assert_eq!(a.batches_summary_fallback, 2);
     }
 
     #[test]

@@ -3,9 +3,12 @@
 //! The push-based stream-engine substrate modelled on NiagaraST's query
 //! execution architecture (paper Section 5):
 //!
-//! * operators connected by **inter-operator queues of pages of tuples** —
-//!   batching limits context switching; a page is flushed when it is full *or*
-//!   when a punctuation is written to it ([`page`], [`queue`]);
+//! * operators connected by **inter-operator queues of columnar pages** —
+//!   batching limits context switching; a page separates a row lane of
+//!   zero-copy tuple handles from a punctuation lane and serves per-column
+//!   min/max/null summaries for batch-level guard evaluation; it is flushed
+//!   when it is full *or* when a punctuation is written to it ([`page`],
+//!   [`queue`], and `docs/DATA_LAYOUT.md` for the layout contract);
 //! * an out-of-band **control channel** per connection carrying high-priority
 //!   messages in both directions — shutdown and end-of-stream downstream,
 //!   feedback punctuation and shutdown upstream ([`control`]);
@@ -43,6 +46,6 @@ pub use error::{EngineError, EngineResult};
 pub use executor::{ExecutionReport, SyncExecutor, ThreadedExecutor};
 pub use metrics::OperatorMetrics;
 pub use operator::{Operator, OperatorContext, SourceState, StreamItem};
-pub use page::{Page, PageBuilder};
+pub use page::{ColumnarPage, Page, PageBuilder, PageIter};
 pub use plan::{NodeId, QueryPlan};
 pub use queue::DataQueue;

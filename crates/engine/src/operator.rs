@@ -225,14 +225,15 @@ pub trait Operator: Send {
 
     /// Called with a whole page of stream items arriving on `input`.  Both
     /// executors move data between operators page-at-a-time and dispatch
-    /// through this hook; the default unpacks the page and forwards each item
-    /// to [`Operator::on_tuple`] / [`Operator::on_punctuation`], which is
-    /// correct for every operator.  Cheap stateless operators (select,
-    /// project, sinks) override it to process the batch in one tight loop —
-    /// one virtual call and, for sinks, one lock per page instead of per
-    /// item.
+    /// through this hook; the default replays the page in arrival order and
+    /// forwards each item to [`Operator::on_tuple`] /
+    /// [`Operator::on_punctuation`], which is correct for every operator.
+    /// Operators with columnar kernels (select, project, shuffle, aggregate,
+    /// the sinks) override it to classify the whole batch against feedback
+    /// guards via [`Page::column_summary`] and process the row lane in one
+    /// tight loop — see `docs/DATA_LAYOUT.md` for the kernel protocol.
     fn on_page(&mut self, input: usize, page: Page, ctx: &mut OperatorContext) -> EngineResult<()> {
-        for item in page.into_items() {
+        for item in page {
             match item {
                 StreamItem::Tuple(tuple) => self.on_tuple(input, tuple, ctx)?,
                 StreamItem::Punctuation(punctuation) => {

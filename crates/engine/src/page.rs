@@ -1,4 +1,4 @@
-//! Pages of tuples.
+//! Columnar pages of tuples.
 //!
 //! NiagaraST's inter-operator queues carry *pages* of tuples rather than
 //! individual tuples: batching limits context switching between operator
@@ -6,84 +6,212 @@
 //! page — is resolved by having punctuation flush pages: a page is handed to
 //! the queue when it is full *or* when a punctuation is appended
 //! (paper Section 5, "Inter-Operator Communication").
+//!
+//! Since the columnar re-layout, a page is no longer an append-only vector of
+//! interleaved stream items.  A [`ColumnarPage`] separates the data lane from
+//! the punctuation lane: tuples sit contiguously in `rows`, punctuation in a
+//! side lane annotated with its position among the rows, so arrival order is
+//! reconstructed exactly on iteration.  Column access goes through
+//! [`ColumnarPage::column`] (per-attribute value iterator) and
+//! [`ColumnarPage::column_summary`] (min/max/null summary) — the hooks that
+//! let punctuation guards classify a whole page without visiting any tuple.
+//! The full contract, including why rows stay whole [`Tuple`] handles
+//! (zero-copy: a clone is a refcount bump, never a value copy), is documented
+//! in `docs/DATA_LAYOUT.md`.
 
 use crate::operator::StreamItem;
 use dsms_punctuation::Punctuation;
-use dsms_types::Tuple;
+use dsms_types::{ColumnSummary, Tuple, Value};
 
-/// A batch of stream items (tuples and embedded punctuation, in order).
+/// A batch of stream items in columnar layout: a contiguous row lane of
+/// tuples plus a punctuation side lane that remembers where each punctuation
+/// fell among the rows.
 ///
-/// Tuple and punctuation counts are maintained incrementally as items are
-/// appended, so [`Page::tuple_count`] and [`Page::punctuation_count`] are
-/// O(1) — executors consult them for every page they move.
+/// Tuple and punctuation counts are the lane lengths, so
+/// [`ColumnarPage::tuple_count`] and [`ColumnarPage::punctuation_count`] are
+/// O(1) — executors consult them for every page they move.  Iterating the
+/// page (via [`IntoIterator`]) replays tuples and punctuation in exact
+/// arrival order.
+///
+/// ```
+/// use dsms_engine::PageBuilder;
+/// use dsms_types::{DataType, Schema, Tuple, Value};
+///
+/// let schema = Schema::shared(&[("speed", DataType::Float)]);
+/// let mut builder = PageBuilder::new(8);
+/// for s in [48.0, 52.0, 45.5] {
+///     builder.push_tuple(Tuple::new(schema.clone(), vec![Value::Float(s)]));
+/// }
+/// let page = builder.flush().unwrap();
+/// assert_eq!(page.tuple_count(), 3);
+///
+/// // Column access: iterate one attribute without touching the others.
+/// let speeds: Vec<&Value> = page.column(0).unwrap().collect();
+/// assert_eq!(speeds.len(), 3);
+///
+/// // Summary access: classify the whole page in O(rows) once, then O(1).
+/// let summary = page.column_summary(0).unwrap();
+/// assert_eq!(summary.min(), Some(&Value::Float(45.5)));
+/// assert_eq!(summary.max(), Some(&Value::Float(52.0)));
+/// ```
 #[derive(Debug, Clone, Default)]
-pub struct Page {
-    items: Vec<StreamItem>,
-    tuples: usize,
-    punctuations: usize,
+pub struct ColumnarPage {
+    /// The data lane: tuples in arrival order.
+    rows: Vec<Tuple>,
+    /// The punctuation lane: each entry records how many rows preceded the
+    /// punctuation, so interleaved arrival order can be replayed exactly.
+    puncts: Vec<(u32, Punctuation)>,
 }
 
-impl Page {
+/// The page type flowing through inter-operator queues.
+///
+/// `Page` has been an alias for [`ColumnarPage`] since the columnar
+/// re-layout; existing `Page`-based code compiles unchanged.
+pub type Page = ColumnarPage;
+
+impl ColumnarPage {
     /// Creates an empty page.
     pub fn new() -> Self {
-        Page::default()
+        ColumnarPage::default()
     }
 
-    /// Creates a page from items (used by tests).
+    /// Creates a page from interleaved items (used by tests).
     pub fn from_items(items: Vec<StreamItem>) -> Self {
-        let tuples = items.iter().filter(|i| matches!(i, StreamItem::Tuple(_))).count();
-        let punctuations = items.len() - tuples;
-        Page { items, tuples, punctuations }
-    }
-
-    fn push(&mut self, item: StreamItem) {
-        match &item {
-            StreamItem::Tuple(_) => self.tuples += 1,
-            StreamItem::Punctuation(_) => self.punctuations += 1,
+        let mut page = ColumnarPage::new();
+        for item in items {
+            match item {
+                StreamItem::Tuple(t) => page.push_tuple(t),
+                StreamItem::Punctuation(p) => page.push_punctuation(p),
+            }
         }
-        self.items.push(item);
+        page
     }
 
-    /// The items in arrival order.
-    pub fn items(&self) -> &[StreamItem] {
-        &self.items
+    fn push_tuple(&mut self, tuple: Tuple) {
+        self.rows.push(tuple);
     }
 
-    /// Consumes the page, yielding its items.
+    fn push_punctuation(&mut self, punctuation: Punctuation) {
+        self.puncts.push((self.rows.len() as u32, punctuation));
+    }
+
+    /// The row lane: every tuple on the page, in arrival order, as whole
+    /// zero-copy [`Tuple`] handles.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// The punctuation lane, in arrival order.
+    pub fn punctuations(&self) -> impl Iterator<Item = &Punctuation> {
+        self.puncts.iter().map(|(_, p)| p)
+    }
+
+    /// Iterates the values of one column (attribute index) across all rows.
+    ///
+    /// Returns `None` when the page has no rows or any row lacks the column —
+    /// the same condition under which [`ColumnarPage::column_summary`]
+    /// declines to summarize.
+    pub fn column(&self, index: usize) -> Option<impl Iterator<Item = &Value>> {
+        if self.rows.is_empty() || self.rows.iter().any(|r| r.values().get(index).is_none()) {
+            return None;
+        }
+        Some(self.rows.iter().map(move |r| &r.values()[index]))
+    }
+
+    /// Min/max/null summary of one column, computed on demand.
+    ///
+    /// Returns `None` when no sound summary exists (empty page, or a row
+    /// lacks the column) — callers must then fall back to per-tuple
+    /// evaluation.  See [`ColumnSummary::over_column`] for the soundness
+    /// argument.
+    ///
+    /// ```
+    /// use dsms_engine::PageBuilder;
+    /// use dsms_types::{DataType, Schema, Tuple, Value};
+    ///
+    /// let schema = Schema::shared(&[("segment", DataType::Int)]);
+    /// let mut builder = PageBuilder::new(4);
+    /// for seg in [3, 1, 2] {
+    ///     builder.push_tuple(Tuple::new(schema.clone(), vec![Value::Int(seg)]));
+    /// }
+    /// let page = builder.flush().unwrap();
+    /// let summary = page.column_summary(0).unwrap();
+    /// assert_eq!((summary.min(), summary.max()), (Some(&Value::Int(1)), Some(&Value::Int(3))));
+    /// assert!(page.column_summary(7).is_none(), "no such column");
+    /// ```
+    pub fn column_summary(&self, index: usize) -> Option<ColumnSummary> {
+        ColumnSummary::over_column(&self.rows, index)
+    }
+
+    /// Consumes the page, yielding interleaved items in arrival order.
     pub fn into_items(self) -> Vec<StreamItem> {
-        self.items
+        self.into_iter().collect()
     }
 
     /// Number of items (tuples + punctuations).
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.rows.len() + self.puncts.len()
     }
 
     /// True when the page holds no items.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.rows.is_empty() && self.puncts.is_empty()
     }
 
-    /// Number of tuples on the page (maintained incrementally; O(1)).
+    /// Number of tuples on the page (row-lane length; O(1)).
     pub fn tuple_count(&self) -> usize {
-        self.tuples
+        self.rows.len()
     }
 
-    /// Number of punctuations on the page (maintained incrementally; O(1)).
+    /// Number of punctuations on the page (punctuation-lane length; O(1)).
     pub fn punctuation_count(&self) -> usize {
-        self.punctuations
-    }
-
-    /// Iterates over just the tuples.
-    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> {
-        self.items.iter().filter_map(|i| match i {
-            StreamItem::Tuple(t) => Some(t),
-            StreamItem::Punctuation(_) => None,
-        })
+        self.puncts.len()
     }
 }
 
-/// Accumulates stream items into pages, flushing on capacity or punctuation.
+/// Order-preserving iterator over a page's items: merges the row lane and
+/// the punctuation lane back into arrival order.
+#[derive(Debug)]
+pub struct PageIter {
+    rows: std::vec::IntoIter<Tuple>,
+    puncts: std::vec::IntoIter<(u32, Punctuation)>,
+    emitted_rows: u32,
+}
+
+impl Iterator for PageIter {
+    type Item = StreamItem;
+
+    fn next(&mut self) -> Option<StreamItem> {
+        if let Some((position, _)) = self.puncts.as_slice().first() {
+            if *position <= self.emitted_rows {
+                let (_, p) = self.puncts.next().expect("peeked punctuation");
+                return Some(StreamItem::Punctuation(p));
+            }
+        }
+        if let Some(tuple) = self.rows.next() {
+            self.emitted_rows += 1;
+            return Some(StreamItem::Tuple(tuple));
+        }
+        self.puncts.next().map(|(_, p)| StreamItem::Punctuation(p))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.rows.len() + self.puncts.len();
+        (remaining, Some(remaining))
+    }
+}
+
+impl IntoIterator for ColumnarPage {
+    type Item = StreamItem;
+    type IntoIter = PageIter;
+
+    fn into_iter(self) -> PageIter {
+        PageIter { rows: self.rows.into_iter(), puncts: self.puncts.into_iter(), emitted_rows: 0 }
+    }
+}
+
+/// Accumulates stream items into columnar pages, flushing on capacity or
+/// punctuation.
 #[derive(Debug)]
 pub struct PageBuilder {
     capacity: usize,
@@ -105,19 +233,20 @@ impl PageBuilder {
         self.capacity
     }
 
-    /// Appends a tuple.  Returns a full page when the append filled it.
+    /// Appends a tuple to the row lane.  Returns a full page when the append
+    /// filled it.
     ///
-    /// The first tuple into a fresh page reserves the full page capacity: one
-    /// allocation per data page rather than a doubling growth chain, while an
-    /// idle builder holds no buffer.  Punctuation pushes deliberately do
-    /// *not* reserve — punctuation flushes immediately, so a punctuation
-    /// landing on an empty page would turn a 1-item page into a
+    /// The first tuple into a fresh page reserves the full row-lane capacity:
+    /// one allocation per data page rather than a doubling growth chain,
+    /// while an idle builder holds no buffer.  Punctuation pushes
+    /// deliberately do *not* reserve — punctuation flushes immediately, so a
+    /// punctuation landing on an empty page would turn a 1-item page into a
     /// capacity-sized allocation.
     pub fn push_tuple(&mut self, tuple: Tuple) -> Option<Page> {
-        if self.current.items.capacity() == 0 {
-            self.current.items.reserve_exact(self.capacity);
+        if self.current.rows.capacity() == 0 {
+            self.current.rows.reserve_exact(self.capacity);
         }
-        self.current.push(StreamItem::Tuple(tuple));
+        self.current.push_tuple(tuple);
         if self.current.len() >= self.capacity {
             Some(self.take())
         } else {
@@ -128,7 +257,7 @@ impl PageBuilder {
     /// Appends a punctuation.  Punctuation always flushes the page
     /// (NiagaraST's rule), so this always returns a page.
     pub fn push_punctuation(&mut self, punctuation: Punctuation) -> Page {
-        self.current.push(StreamItem::Punctuation(punctuation));
+        self.current.push_punctuation(punctuation);
         self.take()
     }
 
@@ -234,9 +363,61 @@ mod tests {
         ]);
         assert_eq!(page.tuple_count(), 2);
         assert_eq!(page.punctuation_count(), 1);
-        let values: Vec<i64> = page.tuples().map(|t| t.int("v").unwrap()).collect();
+        let values: Vec<i64> = page.tuples().iter().map(|t| t.int("v").unwrap()).collect();
         assert_eq!(values, vec![10, 20]);
         assert!(!page.is_empty());
         assert_eq!(page.into_items().len(), 3);
+    }
+
+    #[test]
+    fn iteration_replays_exact_arrival_order() {
+        // Punctuation before any row, between rows, and trailing — all
+        // positions round-trip through the two-lane layout.
+        let items = vec![
+            StreamItem::Punctuation(punct(0)),
+            StreamItem::Tuple(tuple(1, 10)),
+            StreamItem::Tuple(tuple(2, 20)),
+            StreamItem::Punctuation(punct(2)),
+            StreamItem::Tuple(tuple(3, 30)),
+            StreamItem::Punctuation(punct(3)),
+            StreamItem::Punctuation(punct(4)),
+        ];
+        let shape: Vec<bool> = items.iter().map(|i| matches!(i, StreamItem::Tuple(_))).collect();
+        let page = Page::from_items(items);
+        let replayed: Vec<bool> =
+            page.into_items().iter().map(|i| matches!(i, StreamItem::Tuple(_))).collect();
+        assert_eq!(replayed, shape);
+    }
+
+    #[test]
+    fn column_access_and_summaries() {
+        let mut b = PageBuilder::new(8);
+        b.push_tuple(tuple(5, 40));
+        b.push_tuple(tuple(7, 20));
+        b.push_tuple(tuple(6, 60));
+        let page = b.flush().unwrap();
+        let vs: Vec<&Value> = page.column(1).unwrap().collect();
+        assert_eq!(vs, vec![&Value::Int(40), &Value::Int(20), &Value::Int(60)]);
+        let summary = page.column_summary(1).unwrap();
+        assert_eq!(summary.min(), Some(&Value::Int(20)));
+        assert_eq!(summary.max(), Some(&Value::Int(60)));
+        assert_eq!(summary.nulls(), 0);
+        assert!(page.column(2).is_none(), "out-of-range column");
+        assert!(page.column_summary(2).is_none());
+        assert!(Page::new().column(0).is_none(), "empty page has no columns");
+    }
+
+    #[test]
+    fn column_handles_short_rows_soundly() {
+        // Rows of different arity: no sound per-column view exists.
+        let wide = Schema::shared(&[("a", DataType::Int), ("b", DataType::Int)]);
+        let narrow = Schema::shared(&[("a", DataType::Int)]);
+        let page = Page::from_items(vec![
+            StreamItem::Tuple(Tuple::new(wide, vec![Value::Int(1), Value::Int(2)])),
+            StreamItem::Tuple(Tuple::new(narrow, vec![Value::Int(3)])),
+        ]);
+        assert!(page.column(0).is_some(), "column 0 exists in every row");
+        assert!(page.column(1).is_none(), "column 1 is missing from one row");
+        assert!(page.column_summary(1).is_none());
     }
 }

@@ -27,7 +27,7 @@ use dsms_feedback::{
     characterize_aggregate, AggregateSpec, AttributeMapping, ExploitAction, FeedbackIntent,
     FeedbackPunctuation, FeedbackRegistry, FeedbackRoles, Monotonicity, PropagationRule,
 };
-use dsms_punctuation::{Pattern, PatternItem, Punctuation};
+use dsms_punctuation::{CompiledPattern, Pattern, PatternItem, Punctuation, SummaryMatch};
 use dsms_types::{DataType, Schema, SchemaRef, StreamDuration, Timestamp, Tuple, Value};
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
@@ -199,6 +199,9 @@ pub struct WindowAggregate {
     output_guards: Vec<Pattern>,
     /// Input guards (patterns over the input schema).
     input_guards: Vec<Pattern>,
+    /// The same input guards compiled for batch-level summary evaluation,
+    /// kept index-parallel with `input_guards`.
+    input_guards_compiled: Vec<CompiledPattern>,
     /// Group keys suppressed by PurgeAndGuardMatchingGroups.
     guarded_groups: HashSet<Vec<Value>>,
     registry: FeedbackRegistry,
@@ -272,6 +275,7 @@ impl WindowAggregate {
             state: BTreeMap::new(),
             output_guards: Vec::new(),
             input_guards: Vec::new(),
+            input_guards_compiled: Vec::new(),
             guarded_groups: HashSet::new(),
             emitted_watermark: None,
         })
@@ -307,6 +311,42 @@ impl WindowAggregate {
 
     fn input_guarded(&self, tuple: &Tuple, group: &[Value]) -> bool {
         self.guarded_groups.contains(group) || self.input_guards.iter().any(|p| p.matches(tuple))
+    }
+
+    /// Folds one tuple into its `(window, group)` partial aggregate.  Guard
+    /// checks have already happened (or were proven unnecessary for the whole
+    /// batch).
+    fn accumulate(&mut self, tuple: &Tuple, group: Vec<Value>) -> EngineResult<()> {
+        let ts = tuple.timestamp_at(self.timestamp_index)?;
+        let wid = ts.window_id(self.window);
+        let value = self.value_index.and_then(|i| tuple.values()[i].numeric());
+        let acc =
+            self.state.entry((wid, group)).or_insert_with(|| Accumulator::new(&self.function));
+        acc.fold(value);
+        Ok(())
+    }
+
+    /// True when the purged-group guard set provably misses every row of the
+    /// page: the single group column's summary range excludes every guarded
+    /// group key.  Conservative — multi-attribute groups and pages with null
+    /// group values return `false` (per-tuple fallback).
+    fn groups_provably_unguarded(&self, page: &dsms_engine::Page) -> bool {
+        if self.guarded_groups.is_empty() {
+            return true;
+        }
+        if self.group_indices.len() != 1 {
+            return false;
+        }
+        let Some(summary) = page.column_summary(self.group_indices[0]) else {
+            return false;
+        };
+        if summary.has_nulls() {
+            return false;
+        }
+        let (Some(min), Some(max)) = (summary.min(), summary.max()) else {
+            return false;
+        };
+        self.guarded_groups.iter().all(|g| g.first().is_some_and(|v| v < min || v > max))
     }
 
     fn emit_window(&self, key: &StateKey, acc: &Accumulator, ctx: &mut OperatorContext) -> bool {
@@ -391,12 +431,138 @@ impl Operator for WindowAggregate {
             self.registry.stats_mut().tuples_suppressed += 1;
             return Ok(());
         }
-        let ts = tuple.timestamp_at(self.timestamp_index)?;
-        let wid = ts.window_id(self.window);
-        let value = self.value_index.and_then(|i| tuple.values()[i].numeric());
-        let acc =
-            self.state.entry((wid, group)).or_insert_with(|| Accumulator::new(&self.function));
-        acc.fold(value);
+        self.accumulate(&tuple, group)
+    }
+
+    /// Columnar kernel: classifies the whole page against the input guards
+    /// (both pattern guards and purged-group guards) via column summaries.
+    /// A page the guards provably cover is suppressed wholesale; a page they
+    /// provably miss folds into the window state without any per-tuple guard
+    /// probe; anything inconclusive falls back to the exact per-tuple path.
+    ///
+    /// ```
+    /// use dsms_engine::{Operator, OperatorContext, Page, StreamItem};
+    /// use dsms_feedback::FeedbackPunctuation;
+    /// use dsms_operators::{AggregateFunction, WindowAggregate};
+    /// use dsms_punctuation::{Pattern, PatternItem};
+    /// use dsms_types::{DataType, Schema, StreamDuration, Timestamp, Tuple, Value};
+    ///
+    /// let schema = Schema::shared(&[
+    ///     ("timestamp", DataType::Timestamp),
+    ///     ("segment", DataType::Int),
+    ///     ("speed", DataType::Float),
+    /// ]);
+    /// let mut avg = WindowAggregate::new(
+    ///     "AVERAGE",
+    ///     schema.clone(),
+    ///     "timestamp",
+    ///     StreamDuration::from_secs(60),
+    ///     &["segment"],
+    ///     AggregateFunction::Avg("speed".into()),
+    /// )
+    /// .unwrap();
+    /// let mut ctx = OperatorContext::new();
+    /// // An assumed guard over the output schema purges and guards segment 3.
+    /// let guard = Pattern::for_attributes(
+    ///     avg.output_schema().clone(),
+    ///     &[("segment", PatternItem::Eq(Value::Int(3)))],
+    /// )
+    /// .unwrap();
+    /// avg.on_feedback(0, FeedbackPunctuation::assumed(guard, "MAP"), &mut ctx).unwrap();
+    ///
+    /// let row = |seg, speed| {
+    ///     StreamItem::Tuple(Tuple::new(
+    ///         schema.clone(),
+    ///         vec![Value::Timestamp(Timestamp::from_secs(10)), Value::Int(seg), Value::Float(speed)],
+    ///     ))
+    /// };
+    /// // The group column's summary proves this page is entirely guarded …
+    /// avg.on_page(0, Page::from_items(vec![row(3, 40.0), row(3, 50.0)]), &mut ctx).unwrap();
+    /// assert_eq!(avg.open_groups(), 0);
+    /// // … and this one entirely clear: folded with no per-tuple probes.
+    /// avg.on_page(0, Page::from_items(vec![row(5, 40.0), row(6, 60.0)]), &mut ctx).unwrap();
+    /// assert_eq!(avg.open_groups(), 2);
+    /// assert_eq!(avg.feedback_stats().unwrap().batches_summary_conclusive, 2);
+    /// ```
+    fn on_page(
+        &mut self,
+        input: usize,
+        page: dsms_engine::Page,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        let unguarded = self.feedback_mode == FeedbackMode::Ignore
+            || (self.input_guards.is_empty() && self.guarded_groups.is_empty());
+        if unguarded && page.tuple_count() > 0 {
+            // No guards mounted: fold the row lane directly, mirroring the
+            // registry's no-guard short-circuit (no batch counters).
+            for item in page {
+                match item {
+                    dsms_engine::StreamItem::Tuple(tuple) => {
+                        let group: Vec<Value> =
+                            self.group_indices.iter().map(|i| tuple.values()[*i].clone()).collect();
+                        self.accumulate(&tuple, group)?;
+                    }
+                    dsms_engine::StreamItem::Punctuation(punctuation) => {
+                        self.on_punctuation(input, punctuation, ctx)?
+                    }
+                }
+            }
+            return Ok(());
+        }
+        if !unguarded && page.tuple_count() > 0 {
+            let mut covered = false;
+            let mut every_guard_misses = true;
+            for guard in &self.input_guards_compiled {
+                match guard.matches_summaries(|c| page.column_summary(c)) {
+                    SummaryMatch::All => {
+                        covered = true;
+                        break;
+                    }
+                    SummaryMatch::None => {}
+                    SummaryMatch::Unknown => every_guard_misses = false,
+                }
+            }
+            if covered {
+                // Every row matches an input guard: suppress the data lane.
+                let stats = self.registry.stats_mut();
+                stats.tuples_suppressed += page.tuple_count() as u64;
+                stats.batches_summary_conclusive += 1;
+                for item in page {
+                    if let dsms_engine::StreamItem::Punctuation(punctuation) = item {
+                        self.on_punctuation(input, punctuation, ctx)?;
+                    }
+                }
+                return Ok(());
+            }
+            if every_guard_misses && self.groups_provably_unguarded(&page) {
+                self.registry.stats_mut().batches_summary_conclusive += 1;
+                for item in page {
+                    match item {
+                        dsms_engine::StreamItem::Tuple(tuple) => {
+                            let group: Vec<Value> = self
+                                .group_indices
+                                .iter()
+                                .map(|i| tuple.values()[*i].clone())
+                                .collect();
+                            self.accumulate(&tuple, group)?;
+                        }
+                        dsms_engine::StreamItem::Punctuation(punctuation) => {
+                            self.on_punctuation(input, punctuation, ctx)?
+                        }
+                    }
+                }
+                return Ok(());
+            }
+            self.registry.stats_mut().batches_summary_fallback += 1;
+        }
+        for item in page {
+            match item {
+                dsms_engine::StreamItem::Tuple(tuple) => self.on_tuple(input, tuple, ctx)?,
+                dsms_engine::StreamItem::Punctuation(punctuation) => {
+                    self.on_punctuation(input, punctuation, ctx)?
+                }
+            }
+        }
         Ok(())
     }
 
@@ -525,6 +691,7 @@ impl WindowAggregate {
                 ExploitAction::GuardOutput(pattern) => self.output_guards.push(pattern.clone()),
                 ExploitAction::GuardInput { pattern, .. } => {
                     if !guard_output_only {
+                        self.input_guards_compiled.push(pattern.compile());
                         self.input_guards.push(pattern.clone());
                     }
                 }
@@ -856,6 +1023,53 @@ mod tests {
         op.on_tuple(0, tuple(11, 2, 80.0), &mut ctx).unwrap();
         op.on_request_results(0, &mut ctx).unwrap();
         assert_eq!(emitted_tuples(&mut ctx).len(), 2);
+    }
+
+    #[test]
+    fn on_page_classifies_batches_against_input_guards() {
+        use dsms_engine::Page;
+        let mut op = avg_per_segment();
+        let mut ctx = OperatorContext::new();
+        // Mount a group guard on segment 3 (purges state, guards input).
+        let fb = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(
+                op.output_schema().clone(),
+                &[("segment", PatternItem::Eq(Value::Int(3)))],
+            )
+            .unwrap(),
+            "MAP",
+        );
+        op.on_feedback(0, fb, &mut ctx).unwrap();
+        ctx.take_feedback();
+        // A page entirely of segment 3 is suppressed wholesale: no state.
+        let covered = Page::from_items(vec![
+            StreamItem::Tuple(tuple(10, 3, 40.0)),
+            StreamItem::Tuple(tuple(11, 3, 50.0)),
+        ]);
+        op.on_page(0, covered, &mut ctx).unwrap();
+        assert_eq!(op.open_groups(), 0);
+        let stats = op.feedback_stats().unwrap();
+        assert_eq!(stats.tuples_suppressed, 2);
+        assert_eq!(stats.batches_summary_conclusive, 1);
+        // A page provably clear of the guard folds without per-tuple probes.
+        let clear = Page::from_items(vec![
+            StreamItem::Tuple(tuple(10, 5, 40.0)),
+            StreamItem::Tuple(tuple(11, 6, 60.0)),
+        ]);
+        op.on_page(0, clear, &mut ctx).unwrap();
+        assert_eq!(op.open_groups(), 2);
+        let stats = op.feedback_stats().unwrap();
+        assert_eq!(stats.tuples_suppressed, 2, "nothing new suppressed");
+        assert_eq!(stats.batches_summary_conclusive, 2);
+        // A straddling page falls back to the exact per-tuple path.
+        let straddling = Page::from_items(vec![
+            StreamItem::Tuple(tuple(12, 3, 40.0)),
+            StreamItem::Tuple(tuple(12, 5, 80.0)),
+        ]);
+        op.on_page(0, straddling, &mut ctx).unwrap();
+        let stats = op.feedback_stats().unwrap();
+        assert_eq!(stats.tuples_suppressed, 3, "per-tuple fallback suppressed segment 3");
+        assert_eq!(stats.batches_summary_fallback, 1);
     }
 
     #[test]

@@ -8,8 +8,8 @@
 
 use dsms_engine::{EngineResult, Operator, OperatorContext, Page, StreamItem};
 use dsms_feedback::{
-    mapping::propagate_through, AttributeMapping, FeedbackIntent, FeedbackPunctuation,
-    FeedbackRegistry, FeedbackRoles, GuardDecision, PropagationOutcome,
+    mapping::propagate_through, AttributeMapping, BatchGuardDecision, FeedbackIntent,
+    FeedbackPunctuation, FeedbackRegistry, FeedbackRoles, GuardDecision, PropagationOutcome,
 };
 use dsms_punctuation::Punctuation;
 use dsms_types::{SchemaRef, Tuple};
@@ -89,15 +89,86 @@ impl Operator for Project {
         Ok(())
     }
 
+    /// Columnar kernel: projection is a column *take* — the output columns
+    /// are a subset of the input columns — so guards over the output schema
+    /// can be tested against the corresponding *input* column summaries
+    /// before any row is projected.
+    ///
+    /// * [`BatchGuardDecision::SuppressAll`] — no row is even projected
+    ///   (punctuation still flows, remapped).
+    /// * [`BatchGuardDecision::PassAll`] — project each row without
+    ///   per-projected-tuple guard probes.
+    /// * [`BatchGuardDecision::Mixed`] — fall back to the exact per-tuple
+    ///   path.
+    ///
+    /// ```
+    /// use dsms_engine::{Operator, OperatorContext, Page, StreamItem};
+    /// use dsms_feedback::FeedbackPunctuation;
+    /// use dsms_operators::Project;
+    /// use dsms_punctuation::{Pattern, PatternItem};
+    /// use dsms_types::{DataType, Schema, Tuple, Value};
+    ///
+    /// let schema = Schema::shared(&[("segment", DataType::Int), ("speed", DataType::Float)]);
+    /// let mut project = Project::new("narrow", schema.clone(), &["speed"]).unwrap();
+    /// let mut ctx = OperatorContext::new();
+    /// // The guard is expressed over the *output* schema; the kernel remaps
+    /// // it to the corresponding input column's summary.
+    /// let covered = Pattern::for_attributes(
+    ///     project.output_schema().clone(),
+    ///     &[("speed", PatternItem::Ge(Value::Float(100.0)))],
+    /// )
+    /// .unwrap();
+    /// project.on_feedback(0, FeedbackPunctuation::assumed(covered, "sink"), &mut ctx).unwrap();
+    ///
+    /// let row = |s: f64| {
+    ///     StreamItem::Tuple(Tuple::new(schema.clone(), vec![Value::Int(1), Value::Float(s)]))
+    /// };
+    /// // Every input row has speed >= 100: no row is even projected.
+    /// project.on_page(0, Page::from_items(vec![row(120.0), row(130.0)]), &mut ctx).unwrap();
+    /// assert_eq!(ctx.take_emitted().len(), 0);
+    /// // Every input row is provably clear: projected with no guard probes.
+    /// project.on_page(0, Page::from_items(vec![row(40.0), row(50.0)]), &mut ctx).unwrap();
+    /// assert_eq!(ctx.take_emitted().len(), 2);
+    /// assert_eq!(project.feedback_stats().unwrap().batches_summary_conclusive, 2);
+    /// ```
     fn on_page(&mut self, input: usize, page: Page, ctx: &mut OperatorContext) -> EngineResult<()> {
-        // Batch fast path: the executor makes one virtual call per page, and
-        // the per-item calls below dispatch statically (`self` is `Project`
-        // here, not `dyn Operator`).
-        for item in page.into_items() {
-            match item {
-                StreamItem::Tuple(tuple) => self.on_tuple(input, tuple, ctx)?,
-                StreamItem::Punctuation(punctuation) => {
-                    self.on_punctuation(input, punctuation, ctx)?
+        // Guards are registered over the output schema; output column `c` is
+        // input column `indices[c]`, so the take mapping doubles as the
+        // summary remap.
+        let indices = &self.indices;
+        let decision = self.registry.decide_batch(page.tuple_count(), |c| {
+            indices.get(c).and_then(|&src| page.column_summary(src))
+        });
+        match decision {
+            BatchGuardDecision::SuppressAll => {
+                for item in page {
+                    if let StreamItem::Punctuation(punctuation) = item {
+                        self.on_punctuation(input, punctuation, ctx)?;
+                    }
+                }
+            }
+            BatchGuardDecision::PassAll => {
+                for item in page {
+                    match item {
+                        StreamItem::Tuple(tuple) => {
+                            let projected =
+                                tuple.project(&self.indices, self.output_schema.clone())?;
+                            ctx.emit(0, projected);
+                        }
+                        StreamItem::Punctuation(punctuation) => {
+                            self.on_punctuation(input, punctuation, ctx)?
+                        }
+                    }
+                }
+            }
+            BatchGuardDecision::Mixed => {
+                for item in page {
+                    match item {
+                        StreamItem::Tuple(tuple) => self.on_tuple(input, tuple, ctx)?,
+                        StreamItem::Punctuation(punctuation) => {
+                            self.on_punctuation(input, punctuation, ctx)?
+                        }
+                    }
                 }
             }
         }
@@ -227,6 +298,41 @@ mod tests {
         assert_eq!(out.len(), 3);
         assert_eq!(out[0].1.as_tuple().unwrap().arity(), 2);
         assert_eq!(out[1].1.as_punctuation().unwrap().to_string(), "[1, *]");
+    }
+
+    #[test]
+    fn on_page_suppresses_covered_batches_via_input_summaries() {
+        let mut op = Project::new("proj", schema(), &["segment", "speed"]).unwrap();
+        let mut ctx = OperatorContext::new();
+        let fb = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(
+                op.output_schema().clone(),
+                &[("segment", PatternItem::Eq(Value::Int(3)))],
+            )
+            .unwrap(),
+            "downstream",
+        );
+        op.on_feedback(0, fb, &mut ctx).unwrap();
+        ctx.take_feedback();
+        // The guard constrains output column 0 (= input column 1, segment).
+        // A page entirely within the guard is dropped without projecting.
+        let covered = Page::from_items(vec![
+            StreamItem::Tuple(tuple(3, 40.0)),
+            StreamItem::Tuple(tuple(3, 50.0)),
+        ]);
+        op.on_page(0, covered, &mut ctx).unwrap();
+        assert!(ctx.take_emitted().is_empty());
+        // A page provably outside the guard projects without per-tuple probes.
+        let clear = Page::from_items(vec![
+            StreamItem::Tuple(tuple(5, 40.0)),
+            StreamItem::Tuple(tuple(6, 50.0)),
+        ]);
+        op.on_page(0, clear, &mut ctx).unwrap();
+        assert_eq!(ctx.take_emitted().len(), 2);
+        let stats = op.feedback_stats().unwrap();
+        assert_eq!(stats.tuples_suppressed, 2);
+        assert_eq!(stats.batches_summary_conclusive, 2);
+        assert_eq!(stats.batches_summary_fallback, 0);
     }
 
     #[test]

@@ -10,8 +10,8 @@
 use crate::common::TuplePredicate;
 use dsms_engine::{EngineResult, Operator, OperatorContext, Page, StreamItem};
 use dsms_feedback::{
-    characterize_select, FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles,
-    GuardDecision,
+    characterize_select, BatchGuardDecision, FeedbackIntent, FeedbackPunctuation, FeedbackRegistry,
+    FeedbackRoles, GuardDecision,
 };
 use dsms_types::{SchemaRef, Tuple};
 
@@ -91,15 +91,75 @@ impl Operator for Select {
         Ok(())
     }
 
+    /// Columnar kernel: classifies the whole page against the feedback
+    /// guards via the page's column summaries, then evaluates the predicate
+    /// over the row lane in one tight loop.
+    ///
+    /// * [`BatchGuardDecision::SuppressAll`] — skip every row wholesale
+    ///   (punctuation still flows).
+    /// * [`BatchGuardDecision::PassAll`] — evaluate only the select
+    ///   predicate; no per-tuple guard probes run.
+    /// * [`BatchGuardDecision::Mixed`] — fall back to the exact per-tuple
+    ///   path.
+    ///
+    /// ```
+    /// use dsms_engine::{Operator, OperatorContext, Page, StreamItem};
+    /// use dsms_feedback::FeedbackPunctuation;
+    /// use dsms_operators::{Select, TuplePredicate};
+    /// use dsms_punctuation::{Pattern, PatternItem};
+    /// use dsms_types::{DataType, Schema, Tuple, Value};
+    ///
+    /// let schema = Schema::shared(&[("segment", DataType::Int)]);
+    /// let mut select = Select::new("keep", schema.clone(), TuplePredicate::always());
+    /// let mut ctx = OperatorContext::new();
+    /// let covered = Pattern::for_attributes(
+    ///     schema.clone(),
+    ///     &[("segment", PatternItem::Eq(Value::Int(3)))],
+    /// )
+    /// .unwrap();
+    /// select.on_feedback(0, FeedbackPunctuation::assumed(covered, "sink"), &mut ctx).unwrap();
+    ///
+    /// let row = |seg| StreamItem::Tuple(Tuple::new(schema.clone(), vec![Value::Int(seg)]));
+    /// // Column summaries prove this page is entirely assumed away …
+    /// select.on_page(0, Page::from_items(vec![row(3), row(3)]), &mut ctx).unwrap();
+    /// assert_eq!(ctx.take_emitted().len(), 0);
+    /// // … and this one entirely clear — both decided without per-tuple probes.
+    /// select.on_page(0, Page::from_items(vec![row(5), row(6)]), &mut ctx).unwrap();
+    /// assert_eq!(ctx.take_emitted().len(), 2);
+    /// assert_eq!(select.feedback_stats().unwrap().batches_summary_conclusive, 2);
+    /// ```
     fn on_page(&mut self, input: usize, page: Page, ctx: &mut OperatorContext) -> EngineResult<()> {
-        // Batch fast path: the executor makes one virtual call per page, and
-        // the per-item calls below dispatch statically (`self` is `Select`
-        // here, not `dyn Operator`).
-        for item in page.into_items() {
-            match item {
-                StreamItem::Tuple(tuple) => self.on_tuple(input, tuple, ctx)?,
-                StreamItem::Punctuation(punctuation) => {
-                    self.on_punctuation(input, punctuation, ctx)?
+        let decision = self.registry.decide_batch(page.tuple_count(), |c| page.column_summary(c));
+        match decision {
+            BatchGuardDecision::SuppressAll => {
+                for item in page {
+                    if let StreamItem::Punctuation(punctuation) = item {
+                        self.on_punctuation(input, punctuation, ctx)?;
+                    }
+                }
+            }
+            BatchGuardDecision::PassAll => {
+                for item in page {
+                    match item {
+                        StreamItem::Tuple(tuple) => {
+                            if self.predicate.eval(&tuple) {
+                                ctx.emit(0, tuple);
+                            }
+                        }
+                        StreamItem::Punctuation(punctuation) => {
+                            self.on_punctuation(input, punctuation, ctx)?
+                        }
+                    }
+                }
+            }
+            BatchGuardDecision::Mixed => {
+                for item in page {
+                    match item {
+                        StreamItem::Tuple(tuple) => self.on_tuple(input, tuple, ctx)?,
+                        StreamItem::Punctuation(punctuation) => {
+                            self.on_punctuation(input, punctuation, ctx)?
+                        }
+                    }
                 }
             }
         }
@@ -216,6 +276,46 @@ mod tests {
         let emitted = ctx.take_emitted();
         assert_eq!(emitted.len(), 2, "one surviving tuple + forwarded punctuation");
         assert_eq!(op.feedback_stats().unwrap().tuples_suppressed, 1);
+    }
+
+    #[test]
+    fn on_page_decides_conclusive_batches_from_summaries() {
+        use dsms_punctuation::Punctuation;
+        let mut op = fast_only();
+        let mut ctx = OperatorContext::new();
+        let fb = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(3)))])
+                .unwrap(),
+            "downstream",
+        );
+        op.on_feedback(0, fb, &mut ctx).unwrap();
+        ctx.take_feedback();
+        // Every row is segment 3: the summary proves the guard covers the
+        // page, so it is suppressed wholesale — punctuation still flows.
+        let covered = Page::from_items(vec![
+            StreamItem::Tuple(tuple(3, 60.0)),
+            StreamItem::Tuple(tuple(3, 80.0)),
+            StreamItem::Punctuation(
+                Punctuation::progress(schema(), "timestamp", Timestamp::EPOCH).unwrap(),
+            ),
+        ]);
+        op.on_page(0, covered, &mut ctx).unwrap();
+        assert_eq!(ctx.take_emitted().len(), 1, "only the punctuation survives");
+        let stats = op.feedback_stats().unwrap();
+        assert_eq!(stats.tuples_suppressed, 2);
+        assert_eq!(stats.batches_summary_conclusive, 1);
+        // Every row is segment 5: the summary proves the guard misses, so the
+        // predicate runs without any per-tuple guard probe.
+        let clear = Page::from_items(vec![
+            StreamItem::Tuple(tuple(5, 60.0)),
+            StreamItem::Tuple(tuple(5, 10.0)),
+        ]);
+        op.on_page(0, clear, &mut ctx).unwrap();
+        assert_eq!(ctx.take_emitted().len(), 1, "predicate still filters");
+        let stats = op.feedback_stats().unwrap();
+        assert_eq!(stats.tuples_suppressed, 2, "no additional suppression");
+        assert_eq!(stats.batches_summary_conclusive, 2);
+        assert_eq!(stats.batches_summary_fallback, 0);
     }
 
     #[test]

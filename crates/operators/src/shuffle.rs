@@ -21,9 +21,10 @@
 //!   meet).  The released subset is also mounted as an input guard, so the
 //!   shuffle stops routing tuples the whole replica group has disclaimed.
 
-use dsms_engine::{EngineError, EngineResult, Operator, OperatorContext};
+use dsms_engine::{EngineError, EngineResult, Operator, OperatorContext, StreamItem};
 use dsms_feedback::{
-    FeedbackMerge, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles, GuardDecision,
+    BatchGuardDecision, FeedbackMerge, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles,
+    GuardDecision,
 };
 use dsms_punctuation::Punctuation;
 use dsms_types::{FixedHasher, SchemaRef, Tuple};
@@ -146,6 +147,85 @@ impl Operator for Shuffle {
         }
         let partition = self.partition_of(&tuple)?;
         ctx.emit(partition, tuple);
+        Ok(())
+    }
+
+    /// Columnar kernel: hash-routing reads only the key columns, so the
+    /// whole page is first classified against the input guards via column
+    /// summaries; a guard-free (or provably clear) page then routes its row
+    /// lane in one tight loop with no per-tuple guard probes.  Routing itself
+    /// stays per-row [`Shuffle::partition_of`] — the pinned routing digest
+    /// must not change.
+    ///
+    /// ```
+    /// use dsms_engine::{Operator, OperatorContext, Page, StreamItem};
+    /// use dsms_feedback::FeedbackPunctuation;
+    /// use dsms_operators::Shuffle;
+    /// use dsms_punctuation::{Pattern, PatternItem};
+    /// use dsms_types::{DataType, Schema, Tuple, Value};
+    ///
+    /// let schema = Schema::shared(&[("segment", DataType::Int)]);
+    /// let mut shuffle = Shuffle::new("route", schema.clone(), &["segment"], 2).unwrap();
+    /// let mut ctx = OperatorContext::new();
+    /// // A shuffle guard activates only once *every* partition asserts it.
+    /// for port in 0..2 {
+    ///     let guard = Pattern::for_attributes(
+    ///         schema.clone(),
+    ///         &[("segment", PatternItem::Eq(Value::Int(5)))],
+    ///     )
+    ///     .unwrap();
+    ///     shuffle.on_feedback(port, FeedbackPunctuation::assumed(guard, "sink"), &mut ctx).unwrap();
+    /// }
+    ///
+    /// let row = |seg| StreamItem::Tuple(Tuple::new(schema.clone(), vec![Value::Int(seg)]));
+    /// // A page entirely of segment 5 is dropped before any hashing.
+    /// shuffle.on_page(0, Page::from_items(vec![row(5), row(5)]), &mut ctx).unwrap();
+    /// assert_eq!(ctx.take_emitted().len(), 0);
+    /// // A provably clear page routes each row via `partition_of`.
+    /// shuffle.on_page(0, Page::from_items(vec![row(7), row(8)]), &mut ctx).unwrap();
+    /// for (port, item) in ctx.take_emitted() {
+    ///     assert_eq!(port, shuffle.partition_of(item.as_tuple().unwrap()).unwrap());
+    /// }
+    /// ```
+    fn on_page(
+        &mut self,
+        input: usize,
+        page: dsms_engine::Page,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        let decision = self.registry.decide_batch(page.tuple_count(), |c| page.column_summary(c));
+        match decision {
+            BatchGuardDecision::SuppressAll => {
+                for item in page {
+                    if let StreamItem::Punctuation(punctuation) = item {
+                        self.on_punctuation(input, punctuation, ctx)?;
+                    }
+                }
+            }
+            BatchGuardDecision::PassAll => {
+                for item in page {
+                    match item {
+                        StreamItem::Tuple(tuple) => {
+                            let partition = self.partition_of(&tuple)?;
+                            ctx.emit(partition, tuple);
+                        }
+                        StreamItem::Punctuation(punctuation) => {
+                            self.on_punctuation(input, punctuation, ctx)?
+                        }
+                    }
+                }
+            }
+            BatchGuardDecision::Mixed => {
+                for item in page {
+                    match item {
+                        StreamItem::Tuple(tuple) => self.on_tuple(input, tuple, ctx)?,
+                        StreamItem::Punctuation(punctuation) => {
+                            self.on_punctuation(input, punctuation, ctx)?
+                        }
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -297,6 +377,46 @@ mod tests {
         assert_eq!(emitted.len(), 1);
         assert_eq!(emitted[0].1.as_tuple().unwrap().int("segment").unwrap(), 6);
         assert_eq!(op.feedback_stats().unwrap().tuples_suppressed, 1);
+    }
+
+    #[test]
+    fn on_page_routes_clear_batches_and_drops_covered_ones() {
+        use dsms_engine::Page;
+        let mut op = Shuffle::new("shuffle", schema(), &["segment"], 3).unwrap();
+        let mut ctx = OperatorContext::new();
+        // Mount a unanimous guard on segment 5.
+        for port in 0..3 {
+            op.on_feedback(port, segment_eq(5), &mut ctx).unwrap();
+        }
+        ctx.take_feedback();
+        // A page entirely of segment 5 is dropped wholesale; the punctuation
+        // is still broadcast.
+        let covered = Page::from_items(vec![
+            StreamItem::Tuple(tuple(0, 5)),
+            StreamItem::Tuple(tuple(1, 5)),
+            StreamItem::Punctuation(
+                Punctuation::progress(schema(), "timestamp", Timestamp::from_secs(60)).unwrap(),
+            ),
+        ]);
+        op.on_page(0, covered, &mut ctx).unwrap();
+        assert!(ctx.take_emitted().is_empty());
+        assert_eq!(ctx.take_broadcast_punctuations().len(), 1);
+        // A page provably clear of the guard routes every row on the same
+        // route `partition_of` computes.
+        let clear = Page::from_items(vec![
+            StreamItem::Tuple(tuple(0, 6)),
+            StreamItem::Tuple(tuple(1, 7)),
+            StreamItem::Tuple(tuple(2, 8)),
+        ]);
+        op.on_page(0, clear, &mut ctx).unwrap();
+        let emitted = ctx.take_emitted();
+        assert_eq!(emitted.len(), 3);
+        for (port, item) in emitted {
+            assert_eq!(port, op.partition_of(item.as_tuple().unwrap()).unwrap());
+        }
+        let stats = op.feedback_stats().unwrap();
+        assert_eq!(stats.tuples_suppressed, 2);
+        assert_eq!(stats.batches_summary_conclusive, 2);
     }
 
     #[test]

@@ -78,7 +78,7 @@ impl Operator for CollectSink {
         // Batch fast path: take each result lock once per page, not per item.
         let mut collected = self.collected.lock();
         let mut punctuations = None;
-        for item in page.into_items() {
+        for item in page {
             match item {
                 StreamItem::Tuple(tuple) => collected.push(tuple),
                 StreamItem::Punctuation(punctuation) => {
@@ -240,7 +240,7 @@ impl Operator for TimedSink {
         // exact arrival count it names.
         let arrivals = self.arrivals.clone();
         let mut arrivals = arrivals.lock();
-        for item in page.into_items() {
+        for item in page {
             match item {
                 StreamItem::Tuple(tuple) => self.record_arrival(tuple, &mut arrivals, ctx),
                 StreamItem::Punctuation(punctuation) => {

@@ -9,9 +9,11 @@
 //! possible exploitation.
 
 use dsms_engine::{EngineError, EngineResult, Operator, OperatorContext, SourceState};
-use dsms_feedback::{FeedbackPunctuation, FeedbackRegistry, FeedbackRoles, GuardDecision};
+use dsms_feedback::{
+    BatchGuardDecision, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles, GuardDecision,
+};
 use dsms_punctuation::Punctuation;
-use dsms_types::{SchemaRef, StreamDuration, Timestamp, Tuple};
+use dsms_types::{ColumnSummary, SchemaRef, StreamDuration, Timestamp, Tuple};
 
 /// A source that replays a pre-materialized vector of tuples in order,
 /// punctuating progress on a timestamp attribute.
@@ -26,6 +28,9 @@ pub struct VecSource {
     punctuation_period: StreamDuration,
     last_punctuated: Option<Timestamp>,
     batch_size: usize,
+    /// Whether each poll batch is first classified wholesale against the
+    /// feedback guards via column summaries (see `poll_source`).
+    batch_guards: bool,
     registry: FeedbackRegistry,
     exhausted: bool,
 }
@@ -51,6 +56,7 @@ impl VecSource {
             punctuation_period: StreamDuration::from_secs(60),
             last_punctuated: None,
             batch_size: 64,
+            batch_guards: true,
             exhausted: false,
         }
     }
@@ -72,6 +78,17 @@ impl VecSource {
     /// Sets how many tuples are emitted per `poll_source` call.
     pub fn with_batch_size(mut self, batch: usize) -> Self {
         self.batch_size = batch.max(1);
+        self
+    }
+
+    /// Enables or disables batch-level guard evaluation (default enabled):
+    /// when enabled, each poll batch is classified wholesale against the
+    /// feedback guards from per-column summaries, and per-tuple guard checks
+    /// run only when the summaries are inconclusive.  Disabling forces the
+    /// per-tuple path for every batch — useful as a scalar baseline in
+    /// benches and parity tests.
+    pub fn with_batch_guards(mut self, enabled: bool) -> Self {
+        self.batch_guards = enabled;
         self
     }
 
@@ -148,24 +165,84 @@ impl Operator for VecSource {
         Ok(())
     }
 
+    /// Emits one batch of tuples.  With batch guards enabled (the default),
+    /// the whole batch is first classified against the feedback guards from
+    /// per-column summaries of the *pending* tuples: a conclusive verdict
+    /// skips every per-tuple guard check in the batch (the common case when
+    /// guards constrain ranges the stream has moved past, or never enters);
+    /// only inconclusive batches fall back to per-tuple `decide`.
     fn poll_source(&mut self, ctx: &mut OperatorContext) -> EngineResult<SourceState> {
         if self.exhausted {
             return Ok(SourceState::Exhausted);
         }
-        for _ in 0..self.batch_size {
-            match self.tuples.next() {
-                Some(tuple) => {
-                    self.maybe_punctuate(&tuple, ctx)?;
+        if self.tuples.as_slice().is_empty() {
+            self.exhausted = true;
+            return Ok(SourceState::Exhausted);
+        }
+        let batch = self.batch_size.min(self.tuples.as_slice().len());
+        let decision = if self.batch_guards {
+            // Disjoint field borrows: the registry mutates stats while the
+            // summaries read the not-yet-drained tail of the replay vector.
+            let registry = &mut self.registry;
+            let pending = &self.tuples.as_slice()[..batch];
+            registry.decide_batch(batch, |c| ColumnSummary::over_column(pending, c))
+        } else {
+            BatchGuardDecision::Mixed
+        };
+        // Batch-level punctuation check, same spirit as the batch guard:
+        // tuples are timestamp-ordered (a documented precondition of
+        // `with_punctuation`), so if even the *last* tuple of the batch stays
+        // within the already-punctuated period, no tuple in the batch can be
+        // due — the per-tuple boundary check is skipped wholesale.
+        let punctuation_skip = self.batch_guards
+            && match (&self.timestamp_attribute, self.timestamp_index, self.last_punctuated) {
+                (None, _, _) => true,
+                (Some(_), Some(index), Some(prev)) => self.tuples.as_slice()[batch - 1]
+                    .timestamp_at(index)
+                    .map(|ts| ts.align_down(self.punctuation_period) <= prev)
+                    .unwrap_or(false),
+                _ => false,
+            };
+        match decision {
+            BatchGuardDecision::PassAll => {
+                for _ in 0..batch {
+                    let tuple = self.tuples.next().expect("batch is within bounds");
+                    if !punctuation_skip {
+                        self.maybe_punctuate(&tuple, ctx)?;
+                    }
+                    ctx.emit(0, tuple);
+                }
+            }
+            BatchGuardDecision::SuppressAll => {
+                // Punctuation still derives from suppressed tuples: progress
+                // is a property of the stream, not of what survives guards.
+                if !punctuation_skip {
+                    for _ in 0..batch {
+                        let tuple = self.tuples.next().expect("batch is within bounds");
+                        self.maybe_punctuate(&tuple, ctx)?;
+                    }
+                } else {
+                    for _ in 0..batch {
+                        self.tuples.next().expect("batch is within bounds");
+                    }
+                }
+            }
+            BatchGuardDecision::Mixed => {
+                for _ in 0..batch {
+                    let tuple = self.tuples.next().expect("batch is within bounds");
+                    if !punctuation_skip {
+                        self.maybe_punctuate(&tuple, ctx)?;
+                    }
                     if self.registry.decide(&tuple) == GuardDecision::Suppress {
                         continue;
                     }
                     ctx.emit(0, tuple);
                 }
-                None => {
-                    self.exhausted = true;
-                    return Ok(SourceState::Exhausted);
-                }
             }
+        }
+        if self.tuples.as_slice().is_empty() {
+            self.exhausted = true;
+            return Ok(SourceState::Exhausted);
         }
         Ok(SourceState::Producing)
     }
@@ -433,6 +510,35 @@ mod tests {
             "segments 0..9 cycle over 100 tuples; 11 fall on segment 3"
         );
         assert_eq!(src.feedback_stats().unwrap().tuples_suppressed, 11);
+    }
+
+    #[test]
+    fn batch_guards_match_the_scalar_path_and_count_conclusive_batches() {
+        // Segment stays constant per batch, so every batch is conclusive:
+        // the segment-3 batches suppress wholesale, the rest pass wholesale.
+        let data: Vec<Tuple> = (0..96).map(|i| tuple(i, i / 16)).collect(); // 16-tuple runs of segments 0..=5
+        let guard = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(3)))])
+                .unwrap(),
+            "sink",
+        );
+        let mut batched = VecSource::new("sensors", data.clone()).with_batch_size(16);
+        let mut scalar =
+            VecSource::new("sensors", data).with_batch_size(16).with_batch_guards(false);
+        let mut ctx = OperatorContext::new();
+        batched.on_feedback(0, guard.clone(), &mut ctx).unwrap();
+        scalar.on_feedback(0, guard, &mut ctx).unwrap();
+        let (batched_tuples, _) = drain(&mut batched);
+        let (scalar_tuples, _) = drain(&mut scalar);
+        assert_eq!(batched_tuples, scalar_tuples, "summaries change nothing observable");
+        assert_eq!(batched_tuples.len(), 80);
+        let batched_stats = batched.feedback_stats().unwrap();
+        let scalar_stats = scalar.feedback_stats().unwrap();
+        assert_eq!(batched_stats.tuples_suppressed, 16);
+        assert_eq!(scalar_stats.tuples_suppressed, 16);
+        assert_eq!(batched_stats.batches_summary_conclusive, 6, "every batch was conclusive");
+        assert_eq!(batched_stats.batches_summary_fallback, 0);
+        assert_eq!(scalar_stats.batches_summary_conclusive, 0, "scalar path never classifies");
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod progress;
 pub mod punctuation;
 pub mod scheme;
 
-pub use pattern::{CompiledPattern, Pattern, PatternItem};
+pub use pattern::{CompiledPattern, Pattern, PatternItem, SummaryMatch};
 pub use progress::ProgressTracker;
 pub use punctuation::Punctuation;
 pub use scheme::PunctuationScheme;

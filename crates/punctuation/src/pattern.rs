@@ -7,9 +7,26 @@
 //! the same pattern language but typically punctuates a wider variety of
 //! attributes (e.g. `[*, ≥50]` for "all tuples whose value is at least 50").
 
-use dsms_types::{SchemaRef, Tuple, TypeError, TypeResult, Value};
+use dsms_types::{ColumnSummary, SchemaRef, Tuple, TypeError, TypeResult, Value};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// What a pattern (or pattern item) can conclude about a whole batch of
+/// tuples from column summaries alone.
+///
+/// The three-valued answer is what makes batch-level guard evaluation sound:
+/// a conclusive answer (`All` / `None`) lets the caller skip per-tuple
+/// matching entirely, and `Unknown` forces the per-tuple fallback — there is
+/// no case in which a summary verdict and per-tuple evaluation disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SummaryMatch {
+    /// Every tuple of the summarized batch matches.
+    All,
+    /// No tuple of the summarized batch matches.
+    None,
+    /// The summary cannot decide; evaluate per tuple.
+    Unknown,
+}
 
 /// The match specification for a single attribute of a pattern.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -56,6 +73,115 @@ impl PatternItem {
     /// True when this item is the wildcard.
     pub fn is_wildcard(&self) -> bool {
         matches!(self, PatternItem::Wildcard)
+    }
+
+    /// Classifies a whole batch against this item from its [`ColumnSummary`]
+    /// alone.
+    ///
+    /// The summary's min/max use the same total order as
+    /// [`PatternItem::matches`], so every conclusive verdict is exact:
+    ///
+    /// * [`SummaryMatch::None`] needs only the range of the *non-null* values
+    ///   to lie outside the item (nulls never match a non-wildcard item);
+    /// * [`SummaryMatch::All`] additionally requires a null-free column,
+    ///   because a null row would fail the item even inside the range.
+    ///
+    /// An empty summary yields [`SummaryMatch::Unknown`] — there is nothing
+    /// to conclude about.
+    ///
+    /// ```
+    /// use dsms_punctuation::{PatternItem, SummaryMatch};
+    /// use dsms_types::{ColumnSummary, Value};
+    ///
+    /// let speeds =
+    ///     ColumnSummary::over_values([Value::Float(40.0), Value::Float(48.5)].iter());
+    /// let fast = PatternItem::Ge(Value::Float(50.0));
+    /// assert_eq!(fast.matches_summary(&speeds), SummaryMatch::None);
+    /// let slow = PatternItem::Lt(Value::Float(50.0));
+    /// assert_eq!(slow.matches_summary(&speeds), SummaryMatch::All);
+    /// let mid = PatternItem::Ge(Value::Float(45.0));
+    /// assert_eq!(mid.matches_summary(&speeds), SummaryMatch::Unknown);
+    /// ```
+    pub fn matches_summary(&self, summary: &ColumnSummary) -> SummaryMatch {
+        if summary.is_empty() {
+            return SummaryMatch::Unknown;
+        }
+        if self.is_wildcard() {
+            return SummaryMatch::All;
+        }
+        if summary.all_null() {
+            // Null matches only the wildcard, so a non-wildcard item matches
+            // nothing in an all-null column.
+            return SummaryMatch::None;
+        }
+        let (Some(min), Some(max)) = (summary.min(), summary.max()) else {
+            return SummaryMatch::Unknown;
+        };
+        // An `All` claim must also cover the null rows, which never match a
+        // non-wildcard item; a `None` claim only concerns the non-null rows
+        // the range describes.
+        let can_claim_all = !summary.has_nulls();
+        let all_or_unknown = |every_value_matches: bool| {
+            if every_value_matches && can_claim_all {
+                SummaryMatch::All
+            } else {
+                SummaryMatch::Unknown
+            }
+        };
+        match self {
+            PatternItem::Wildcard => SummaryMatch::All,
+            PatternItem::Eq(v) => {
+                if v < min || v > max {
+                    SummaryMatch::None
+                } else {
+                    all_or_unknown(min == max && min == v)
+                }
+            }
+            PatternItem::Lt(v) => {
+                if min >= v {
+                    SummaryMatch::None
+                } else {
+                    all_or_unknown(max < v)
+                }
+            }
+            PatternItem::Le(v) => {
+                if min > v {
+                    SummaryMatch::None
+                } else {
+                    all_or_unknown(max <= v)
+                }
+            }
+            PatternItem::Gt(v) => {
+                if max <= v {
+                    SummaryMatch::None
+                } else {
+                    all_or_unknown(min > v)
+                }
+            }
+            PatternItem::Ge(v) => {
+                if max < v {
+                    SummaryMatch::None
+                } else {
+                    all_or_unknown(min >= v)
+                }
+            }
+            PatternItem::Between(lo, hi) => {
+                if max < lo || min > hi {
+                    SummaryMatch::None
+                } else {
+                    all_or_unknown(min >= lo && max <= hi)
+                }
+            }
+            PatternItem::InSet(vs) => {
+                if vs.iter().all(|v| v < min || v > max) {
+                    SummaryMatch::None
+                } else {
+                    // Conclusive-all only for a constant column whose single
+                    // value is in the set.
+                    all_or_unknown(min == max && vs.contains(min))
+                }
+            }
+        }
     }
 
     /// True when every value matched by `other` is also matched by `self`
@@ -399,6 +525,60 @@ impl CompiledPattern {
         let values = tuple.values();
         self.constrained.iter().all(|(i, item)| values.get(*i).is_none_or(|v| item.matches(v)))
     }
+
+    /// Classifies a whole batch against this pattern from per-column
+    /// summaries alone — the batch-level twin of [`CompiledPattern::matches`].
+    ///
+    /// `summary_of` maps an attribute index to that column's summary, or
+    /// `None` when no sound summary exists for it (e.g. some rows lack the
+    /// attribute).  The pattern is a conjunction over its constrained items,
+    /// so the verdicts combine as: any item [`SummaryMatch::None`] makes the
+    /// whole pattern `None`; all items [`SummaryMatch::All`] (the vacuous
+    /// case for an unconstrained pattern) make it `All`; anything else —
+    /// including an unavailable summary — is [`SummaryMatch::Unknown`], and
+    /// callers fall back to per-tuple matching.
+    ///
+    /// ```
+    /// use dsms_punctuation::{Pattern, PatternItem, SummaryMatch};
+    /// use dsms_types::{ColumnSummary, DataType, Schema, Value};
+    ///
+    /// let schema = Schema::shared(&[("segment", DataType::Int)]);
+    /// let guard = Pattern::for_attributes(
+    ///     schema,
+    ///     &[("segment", PatternItem::Eq(Value::Int(7)))],
+    /// )
+    /// .unwrap()
+    /// .compile();
+    /// let segments = ColumnSummary::over_values([Value::Int(1), Value::Int(3)].iter());
+    /// let verdict = guard.matches_summaries(|column| {
+    ///     (column == 0).then(|| segments.clone())
+    /// });
+    /// assert_eq!(verdict, SummaryMatch::None, "no row can be segment 7");
+    /// ```
+    pub fn matches_summaries<F>(&self, mut summary_of: F) -> SummaryMatch
+    where
+        F: FnMut(usize) -> Option<ColumnSummary>,
+    {
+        let mut all = true;
+        for (index, item) in &self.constrained {
+            match summary_of(*index) {
+                Some(summary) => match item.matches_summary(&summary) {
+                    SummaryMatch::None => return SummaryMatch::None,
+                    SummaryMatch::All => {}
+                    SummaryMatch::Unknown => all = false,
+                },
+                // No sound summary for this column: this conjunct stays
+                // undecided, but keep scanning — another conjunct may still
+                // prove the whole pattern matches nothing.
+                None => all = false,
+            }
+        }
+        if all {
+            SummaryMatch::All
+        } else {
+            SummaryMatch::Unknown
+        }
+    }
 }
 
 impl fmt::Display for Pattern {
@@ -560,6 +740,101 @@ mod tests {
             Pattern::for_attributes(schema(), &[("segment", PatternItem::Eq(Value::Int(4)))])
                 .unwrap();
         assert!(seg3.tighten(&seg4).is_none(), "disjoint patterns have no tightening");
+    }
+
+    #[test]
+    fn summary_matching_is_exact_for_ranges() {
+        use SummaryMatch::{All, None as NoneMatch, Unknown};
+        // speeds span [40, 60], no nulls
+        let speeds = ColumnSummary::over_values(
+            [Value::Float(40.0), Value::Float(55.0), Value::Float(60.0)].iter(),
+        );
+        let cases: Vec<(PatternItem, SummaryMatch)> = vec![
+            (PatternItem::Wildcard, All),
+            (PatternItem::Eq(Value::Float(70.0)), NoneMatch),
+            (PatternItem::Eq(Value::Float(55.0)), Unknown),
+            (PatternItem::Lt(Value::Float(40.0)), NoneMatch),
+            (PatternItem::Lt(Value::Float(61.0)), All),
+            (PatternItem::Lt(Value::Float(50.0)), Unknown),
+            (PatternItem::Le(Value::Float(39.0)), NoneMatch),
+            (PatternItem::Le(Value::Float(60.0)), All),
+            (PatternItem::Gt(Value::Float(60.0)), NoneMatch),
+            (PatternItem::Gt(Value::Float(39.0)), All),
+            (PatternItem::Ge(Value::Float(61.0)), NoneMatch),
+            (PatternItem::Ge(Value::Float(40.0)), All),
+            (PatternItem::Ge(Value::Float(50.0)), Unknown),
+            (PatternItem::Between(Value::Float(61.0), Value::Float(99.0)), NoneMatch),
+            (PatternItem::Between(Value::Float(40.0), Value::Float(60.0)), All),
+            (PatternItem::Between(Value::Float(50.0), Value::Float(99.0)), Unknown),
+            (PatternItem::InSet(vec![Value::Float(10.0), Value::Float(70.0)]), NoneMatch),
+            (PatternItem::InSet(vec![Value::Float(55.0)]), Unknown),
+        ];
+        for (item, expected) in cases {
+            assert_eq!(item.matches_summary(&speeds), expected, "{item}");
+        }
+        // A constant column decides Eq and InSet conclusively.
+        let constant = ColumnSummary::over_values([Value::Int(7), Value::Int(7)].iter());
+        assert_eq!(PatternItem::Eq(Value::Int(7)).matches_summary(&constant), All);
+        assert_eq!(PatternItem::InSet(vec![Value::Int(7)]).matches_summary(&constant), All);
+    }
+
+    #[test]
+    fn summary_matching_respects_nulls() {
+        use SummaryMatch::{All, None as NoneMatch, Unknown};
+        // One null: the non-null range would say "all match", but the null
+        // row does not, so the verdict degrades to Unknown — never a wrong
+        // All.  The None verdict is unaffected by nulls.
+        let with_null =
+            ColumnSummary::over_values([Value::Int(5), Value::Null, Value::Int(6)].iter());
+        assert_eq!(PatternItem::Ge(Value::Int(0)).matches_summary(&with_null), Unknown);
+        assert_eq!(PatternItem::Ge(Value::Int(10)).matches_summary(&with_null), NoneMatch);
+        assert_eq!(PatternItem::Wildcard.matches_summary(&with_null), All);
+        // All nulls: nothing matches a non-wildcard item.
+        let nulls = ColumnSummary::over_values([Value::Null, Value::Null].iter());
+        assert_eq!(PatternItem::Ge(Value::Int(0)).matches_summary(&nulls), NoneMatch);
+        assert_eq!(PatternItem::Wildcard.matches_summary(&nulls), All);
+        // Empty: no claim either way.
+        assert_eq!(PatternItem::Ge(Value::Int(0)).matches_summary(&ColumnSummary::new()), Unknown);
+    }
+
+    #[test]
+    fn compiled_summary_matching_combines_conjuncts() {
+        use SummaryMatch::{All, None as NoneMatch, Unknown};
+        let seg_and_speed = Pattern::for_attributes(
+            schema(),
+            &[
+                ("segment", PatternItem::Eq(Value::Int(3))),
+                ("speed", PatternItem::Ge(Value::Float(50.0))),
+            ],
+        )
+        .unwrap()
+        .compile();
+        let segments = ColumnSummary::over_values([Value::Int(3), Value::Int(3)].iter());
+        let fast = ColumnSummary::over_values([Value::Float(60.0), Value::Float(70.0)].iter());
+        let slow = ColumnSummary::over_values([Value::Float(10.0), Value::Float(20.0)].iter());
+        let mixed = ColumnSummary::over_values([Value::Float(10.0), Value::Float(70.0)].iter());
+        let with = |speeds: &ColumnSummary| {
+            let speeds = speeds.clone();
+            let segments = segments.clone();
+            seg_and_speed.matches_summaries(move |col| match col {
+                0 => Some(segments.clone()),
+                2 => Some(speeds.clone()),
+                _ => None,
+            })
+        };
+        assert_eq!(with(&fast), All);
+        assert_eq!(with(&slow), NoneMatch, "speed conjunct matches nothing");
+        assert_eq!(with(&mixed), Unknown);
+        // An unavailable summary degrades All to Unknown but still lets a
+        // conclusive None from another conjunct win.
+        assert_eq!(seg_and_speed.matches_summaries(|_| None), Unknown);
+        let slow2 = slow.clone();
+        assert_eq!(
+            seg_and_speed.matches_summaries(move |col| (col == 2).then(|| slow2.clone())),
+            NoneMatch
+        );
+        // Unconstrained patterns match everything, summaries or not.
+        assert_eq!(Pattern::all_wildcards(schema()).compile().matches_summaries(|_| None), All);
     }
 
     #[test]

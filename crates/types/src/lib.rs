@@ -13,6 +13,8 @@
 //! * [`DataType`], [`Field`] and [`Schema`] — stream schemas, shared between
 //!   operators via [`SchemaRef`] (an `Arc`).
 //! * [`Tuple`] — a schema-tagged row of values.
+//! * [`ColumnSummary`] — per-column min/max/null summaries over batches of
+//!   tuples, the basis for batch-level punctuation-guard evaluation.
 //! * [`Timestamp`] and [`StreamDuration`] — millisecond-resolution stream
 //!   (application) time, used both for data timestamps and for window
 //!   arithmetic.
@@ -26,6 +28,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod column;
 pub mod error;
 pub mod hash;
 pub mod schema;
@@ -33,6 +36,7 @@ pub mod time;
 pub mod tuple;
 pub mod value;
 
+pub use column::ColumnSummary;
 pub use error::{TypeError, TypeResult};
 pub use hash::{fixed_hash, FixedHasher, FixedState};
 pub use schema::{DataType, Field, Schema, SchemaBuilder, SchemaRef};
