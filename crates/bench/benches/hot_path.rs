@@ -21,6 +21,11 @@
 //! * **partitioned4** — source → SHUFFLE(detector)×4 → SELECT replicas →
 //!   MERGE → null sink.  Stresses per-tuple hash routing and the
 //!   shuffle/merge control path.
+//! * **many_operators** — source → 64 chained pass-through SELECTs → null
+//!   sink, with the worker pool pinned to 4.  A plan far wider than the
+//!   machine: thread-per-operator pays 66 stacks and the context switches
+//!   between them, while the pooled executor multiplexes the chain onto 4
+//!   workers and same-worker hand-offs never park a thread.
 //!
 //! Every run asserts `feedback_dropped == 0` and that no tuple was lost.
 //! Throughput (tuples/sec, measured from the executor's own elapsed time,
@@ -35,11 +40,16 @@
 //! `HOT_PATH_MIN_FANOUT_SPEEDUP` additionally gates the fan-out
 //! configuration (the zero-copy change was verified with a pre-change
 //! baseline at `2.0`, recording 2.72×/2.18× sync/threaded).
+//! `HOT_PATH_MIN_POOLED_SPEEDUP` gates *within* the run: on the
+//! `guarded_source` and `fanout4` configurations the pooled executor's
+//! throughput must be at least the given multiple of the threaded
+//! executor's (CI sets `1.0` — pooled must not lose to thread-per-operator
+//! on plans where it has no width advantage).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dsms_engine::{
-    EngineResult, ExecutionReport, Operator, OperatorContext, StreamBuilder, SyncExecutor,
-    ThreadedExecutor,
+    EngineResult, ExecutionReport, Operator, OperatorContext, PooledExecutor, StreamBuilder,
+    SyncExecutor, ThreadedExecutor,
 };
 use dsms_feedback::FeedbackPunctuation;
 use dsms_operators::{Duplicate, Merge, Select, Shuffle, StreamOps, TuplePredicate, VecSource};
@@ -51,6 +61,9 @@ use std::time::Duration;
 const FAN_OUT: usize = 4;
 const PARTITIONS: usize = 4;
 const GUARDS: i64 = 8;
+/// Chain length and pool size of the `many_operators` configuration.
+const CHAIN: usize = 64;
+const CHAIN_WORKERS: usize = 4;
 
 /// Traffic schema plus a text attribute, so every tuple carries a string and
 /// a copying hot path pays for it.
@@ -148,11 +161,17 @@ enum Config {
     GuardedSource,
     GuardedScalar,
     Partitioned,
+    ManyOperators,
 }
 
 impl Config {
-    const ALL: [Config; 4] =
-        [Config::Fanout, Config::GuardedSource, Config::GuardedScalar, Config::Partitioned];
+    const ALL: [Config; 5] = [
+        Config::Fanout,
+        Config::GuardedSource,
+        Config::GuardedScalar,
+        Config::Partitioned,
+        Config::ManyOperators,
+    ];
 
     fn label(self) -> &'static str {
         match self {
@@ -160,6 +179,26 @@ impl Config {
             Config::GuardedSource => "guarded_source",
             Config::GuardedScalar => "guarded_scalar",
             Config::Partitioned => "partitioned4",
+            Config::ManyOperators => "many_operators",
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Exec {
+    Sync,
+    Threaded,
+    Pooled,
+}
+
+impl Exec {
+    const ALL: [Exec; 3] = [Exec::Sync, Exec::Threaded, Exec::Pooled];
+
+    fn label(self) -> &'static str {
+        match self {
+            Exec::Sync => "sync",
+            Exec::Threaded => "threaded",
+            Exec::Pooled => "pooled",
         }
     }
 }
@@ -175,8 +214,11 @@ struct RunResult {
     batches_fallback: u64,
 }
 
-fn run_once(tuples: &[Tuple], config: Config, threaded: bool) -> RunResult {
-    let builder = StreamBuilder::new().with_page_capacity(64).with_queue_capacity(8);
+fn run_once(tuples: &[Tuple], config: Config, exec: Exec) -> RunResult {
+    let mut builder = StreamBuilder::new().with_page_capacity(64).with_queue_capacity(8);
+    if config == Config::ManyOperators {
+        builder = builder.with_worker_pool(CHAIN_WORKERS);
+    }
     match config {
         Config::Fanout => {
             let stream = builder.source_as(make_source(tuples.to_vec()), hot_schema()).unwrap();
@@ -209,12 +251,21 @@ fn run_once(tuples: &[Tuple], config: Config, threaded: bool) -> RunResult {
                 .sink(NullSink { name: "sink-0".into() })
                 .unwrap();
         }
+        Config::ManyOperators => {
+            let mut stream = builder.source_as(make_source(tuples.to_vec()), hot_schema()).unwrap();
+            for i in 0..CHAIN {
+                stream = stream
+                    .apply(Select::new(format!("pass-{i}"), hot_schema(), TuplePredicate::always()))
+                    .unwrap();
+            }
+            stream.sink(NullSink { name: "sink-0".into() }).unwrap();
+        }
     }
     let plan = builder.build().expect("valid plan");
-    let report: ExecutionReport = if threaded {
-        ThreadedExecutor::run(plan).expect("run failed")
-    } else {
-        SyncExecutor::run(plan).expect("run failed")
+    let report: ExecutionReport = match exec {
+        Exec::Sync => SyncExecutor::run(plan).expect("run failed"),
+        Exec::Threaded => ThreadedExecutor::run(plan).expect("run failed"),
+        Exec::Pooled => PooledExecutor::run(plan).expect("run failed"),
     };
 
     let source = report.operator("source").expect("source metrics");
@@ -243,7 +294,7 @@ fn run_once(tuples: &[Tuple], config: Config, threaded: bool) -> RunResult {
 
     RunResult {
         config,
-        executor: if threaded { "threaded" } else { "sync" },
+        executor: exec.label(),
         elapsed: report.elapsed,
         tuples: source.tuples_out,
         tuples_per_sec: source.tuples_out as f64 / report.elapsed.as_secs_f64().max(1e-9),
@@ -310,12 +361,11 @@ fn hot_path(c: &mut Criterion) {
 
     let mut best: Vec<RunResult> = Vec::new();
     for &config in &Config::ALL {
-        for threaded in [false, true] {
+        for &exec in &Exec::ALL {
             let mut local: Option<RunResult> = None;
-            let executor = if threaded { "threaded" } else { "sync" };
-            group.bench_function(format!("{}/{executor}", config.label()), |b| {
+            group.bench_function(format!("{}/{}", config.label(), exec.label()), |b| {
                 b.iter(|| {
-                    let result = run_once(&tuples, config, threaded);
+                    let result = run_once(&tuples, config, exec);
                     assert_eq!(result.feedback_dropped, 0, "feedback must not be dropped");
                     if local.as_ref().map(|l| result.elapsed < l.elapsed).unwrap_or(true) {
                         local = Some(result);
@@ -380,6 +430,29 @@ fn hot_path(c: &mut Criterion) {
         }
     }
 
+    // Intra-run gate: the pooled scheduler must not lose to
+    // thread-per-operator on the narrow plans where threading is at its best
+    // (one hot chain, no width advantage for the pool).
+    let min_pooled_speedup =
+        std::env::var("HOT_PATH_MIN_POOLED_SPEEDUP").ok().and_then(|v| v.parse::<f64>().ok());
+    for config in [Config::GuardedSource, Config::Fanout] {
+        let tps = |executor: &str| {
+            best.iter()
+                .find(|r| r.config == config && r.executor == executor)
+                .map(|r| r.tuples_per_sec)
+                .expect("all executors ran")
+        };
+        let ratio = tps("pooled") / tps("threaded");
+        println!("hot_path: {:>14} pooled vs threaded: {ratio:.2}x", config.label());
+        if let Some(min) = min_pooled_speedup {
+            assert!(
+                ratio >= min,
+                "{}: pooled must be >={min}x of threaded (got {ratio:.2}x)",
+                config.label()
+            );
+        }
+    }
+
     // Default to a path the `BENCH_*.json` ignore rule keeps untracked: the
     // repo commits a `BENCH_hot_path.json` recording the zero-copy
     // before/after measurement, and a casual local run must not clobber it.
@@ -406,13 +479,15 @@ fn hot_path(c: &mut Criterion) {
     let json = format!(
         concat!(
             "{{\"bench\":\"hot_path\",\"workload\":\"traffic+text\",\"tuples\":{},",
-            "\"fan_out\":{},\"partitions\":{},\"guards\":{},",
-            "\"before\":{},\"after\":[{}]}}\n"
+            "\"fan_out\":{},\"partitions\":{},\"guards\":{},\"chain\":{},",
+            "\"chain_workers\":{},\"before\":{},\"after\":[{}]}}\n"
         ),
         tuples.len(),
         FAN_OUT,
         PARTITIONS,
         GUARDS,
+        CHAIN,
+        CHAIN_WORKERS,
         before,
         after.join(",")
     );

@@ -193,6 +193,16 @@ impl StreamBuilder {
         self
     }
 
+    /// Sets the worker-pool size the pooled executor should use for this
+    /// plan (clamped to at least one; see [`QueryPlan::with_worker_pool`]).
+    pub fn with_worker_pool(self, workers: usize) -> Self {
+        {
+            let mut state = self.state.borrow_mut();
+            state.plan = std::mem::take(&mut state.plan).with_worker_pool(workers);
+        }
+        self
+    }
+
     /// Adds a source operator (zero inputs) and returns the stream it
     /// produces on output port 0.
     ///
@@ -375,6 +385,19 @@ impl Stream {
         };
         self.pending_feedback.push((record, spec));
         Ok(self)
+    }
+
+    /// Pins this stream's producing operator to `worker` when the plan runs
+    /// on the pooled executor (a placement hint, taken modulo the pool size;
+    /// the other executors ignore it).  Useful for keeping a partition chain
+    /// on one worker so its pages never cross a queue hand-off.
+    pub fn pin_to_worker(self, worker: usize) -> Stream {
+        self.state
+            .borrow_mut()
+            .plan
+            .pin_to_worker(self.node, worker)
+            .expect("a stream's node always exists in its own plan");
+        self
     }
 
     /// Sugar for [`with_feedback`](Stream::with_feedback): issue `feedback`
@@ -909,6 +932,28 @@ mod tests {
             assert_eq!(seen.lock().len(), 20, "threaded={threaded}");
             assert_eq!(report.operator("unaware-pass").unwrap().tuples_in, 20);
         }
+    }
+
+    #[test]
+    fn worker_pool_and_pins_flow_through_to_the_pooled_executor() {
+        let builder = StreamBuilder::new().with_page_capacity(4).with_worker_pool(2);
+        let (sink, seen) = TestSink::new(schema());
+        builder
+            .source(TestSource::new(20))
+            .unwrap()
+            .pin_to_worker(1)
+            .apply(UnawarePass)
+            .unwrap()
+            .pin_to_worker(1)
+            .sink(sink)
+            .unwrap();
+        let plan = builder.build().unwrap();
+        assert_eq!(plan.worker_pool(), Some(2));
+        assert_eq!(plan.worker_pin(crate::NodeId(0)), Some(1));
+        assert_eq!(plan.worker_pin(crate::NodeId(1)), Some(1));
+        let report = crate::PooledExecutor::run(plan).unwrap();
+        assert_eq!(seen.lock().len(), 20);
+        assert_eq!(report.scheduler.unwrap().workers, 2);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Plan execution.
 //!
-//! Two executors run the same [`QueryPlan`]s and the same operator code:
+//! Three executors run the same [`QueryPlan`]s and the same operator code,
+//! all driving every operator through the one lifecycle state machine in
+//! the private `lifecycle` module:
 //!
 //! * [`ThreadedExecutor`] — NiagaraST's model made event-driven: one OS
 //!   thread per operator, bounded page queues between them (back-pressure),
@@ -10,11 +12,18 @@
 //!   every downstream control channel — there is no sleep-polling anywhere in
 //!   the runtime, so an idle operator costs zero CPU and reacts to the next
 //!   page or feedback message the moment it arrives.
+//! * [`crate::pooled::PooledExecutor`] — the whole plan on a fixed pool of
+//!   worker threads with per-worker run queues and work stealing.  Operators
+//!   become scheduler *tasks* rather than threads: readiness is driven by
+//!   queue notifications (data available, credit regained, control pending),
+//!   and a worker runs an operator until it exhausts its step budget or goes
+//!   idle, so plans much wider than the machine (64 operators on 4 cores)
+//!   run without 64 stacks and the attendant context-switch storm.
 //! * [`SyncExecutor`] — a deterministic single-threaded scheduler that
 //!   round-robins operators in topological order.  It produces bit-identical
 //!   results run-to-run and is what most unit and integration tests use.
 //!
-//! Both deliver feedback punctuation *against* the data flow: an operator
+//! All deliver feedback punctuation *against* the data flow: an operator
 //! calls [`OperatorContext::send_feedback`] naming one of its *input* ports,
 //! and the executor hands the message to the operator attached upstream of
 //! that port, invoking its [`Operator::on_feedback`] callback with high
@@ -26,37 +35,37 @@
 //!
 //! Feedback is often produced exactly at end-of-stream — a sink's
 //! [`Operator::on_flush`] summarising what it no longer needs — which is the
-//! moment a naive runtime has already torn down the upstream threads.  The
-//! threaded executor therefore ends every operator in three phases:
+//! moment a naive runtime has already torn down the upstream operators.
+//! Every executor therefore ends every operator in three phases:
 //!
 //! 1. **flush** — `on_flush`, remaining partial pages, then data
 //!    end-of-stream to every consumer;
-//! 2. **drain** — the thread stays alive, blocked on its downstream control
-//!    channels, processing feedback and result requests (and relaying
-//!    feedback further upstream) until *every* consumer has sent its control
-//!    end-of-stream handshake (or hung up);
+//! 2. **drain** — the operator stays alive, waiting on its downstream
+//!    control channels, processing feedback and result requests (and
+//!    relaying feedback further upstream) until *every* consumer has sent
+//!    its control end-of-stream handshake (or hung up);
 //! 3. **release** — it sends the control end-of-stream handshake on each of
 //!    its own input connections, releasing its upstream producers from their
-//!    drain phases in turn, and exits.
+//!    drain phases in turn.
 //!
 //! Teardown therefore propagates sink → source, and feedback sent at or
-//! after end-of-stream still reaches a live upstream operator.  The sync
-//! executor keeps every operator alive for the whole run and delivers queued
-//! control even to operators that have already flushed, giving the same
-//! guarantee.  Anything *genuinely* undeliverable (e.g. feedback named on an
-//! unconnected input port, or a connection whose upstream thread died after
-//! a failure) is counted in [`OperatorMetrics::feedback_dropped`] rather
-//! than dropped silently.  When an operator fails, the threaded executor
-//! sends [`ControlMessage::Shutdown`] upstream so producers stop generating
-//! data nobody will read; the shutdown relays source-ward and the query
-//! tears down promptly.
+//! after end-of-stream still reaches a live upstream operator.  Anything
+//! *genuinely* undeliverable (e.g. feedback named on an unconnected input
+//! port, or a connection whose upstream operator died after a failure) is
+//! counted in [`OperatorMetrics::feedback_dropped`] rather than dropped
+//! silently.  When an operator fails, [`ControlMessage::Shutdown`] relays
+//! upstream so producers stop generating data nobody will read and the
+//! query tears down promptly.  The full protocol, shared verbatim by all
+//! three executors, lives in the `lifecycle` module and is documented in
+//! `docs/SCHEDULER.md`.
 
 use crate::control::ControlMessage;
 use crate::error::{EngineError, EngineResult};
-use crate::metrics::OperatorMetrics;
-use crate::operator::{Operator, OperatorContext, SourceState, StreamItem};
+use crate::lifecycle::{LifecyclePorts, NodeMachine, StepOutcome};
+use crate::metrics::{OperatorMetrics, SchedulerSummary};
+use crate::operator::{Operator, OperatorContext, StreamItem};
 use crate::page::{Page, PageBuilder};
-use crate::plan::{Edge, Node, NodeId, QueryPlan};
+use crate::plan::{NodeId, QueryPlan};
 use crate::queue::{
     wait_any, ConsumerEnd, ControlPoll, DataPoll, DataQueue, ProducerEnd, QueueMessage,
 };
@@ -70,6 +79,9 @@ pub struct ExecutionReport {
     pub elapsed: Duration,
     /// Per-operator metrics, in plan node order.
     pub metrics: Vec<OperatorMetrics>,
+    /// Pool-wide scheduler counters.  `Some` for pooled runs, `None` for the
+    /// sync and threaded executors (which have no scheduler).
+    pub scheduler: Option<SchedulerSummary>,
 }
 
 impl ExecutionReport {
@@ -96,60 +108,141 @@ impl ExecutionReport {
 }
 
 // ---------------------------------------------------------------------------
-// Routing tables
-// ---------------------------------------------------------------------------
-
-/// Precomputed port → edge lookup tables, replacing the O(edges) scans the
-/// routers previously performed for every emitted item.
-struct RoutingTable {
-    /// node → output port → edge index.
-    outputs: Vec<Vec<Option<usize>>>,
-    /// node → input port → edge index.
-    inputs: Vec<Vec<Option<usize>>>,
-}
-
-impl RoutingTable {
-    fn build(nodes: &[Node], edges: &[Edge]) -> Self {
-        let mut outputs: Vec<Vec<Option<usize>>> =
-            nodes.iter().map(|n| vec![None; n.outputs]).collect();
-        let mut inputs: Vec<Vec<Option<usize>>> =
-            nodes.iter().map(|n| vec![None; n.inputs]).collect();
-        for (idx, e) in edges.iter().enumerate() {
-            if let Some(slot) = outputs[e.from.0].get_mut(e.from_port) {
-                *slot = Some(idx);
-            }
-            if let Some(slot) = inputs[e.to.0].get_mut(e.to_port) {
-                *slot = Some(idx);
-            }
-        }
-        RoutingTable { outputs, inputs }
-    }
-
-    /// The edge attached to an output port, if any (out-of-range ports —
-    /// possible at runtime, operators name ports freely — map to `None`).
-    fn out_edge(&self, node: usize, port: usize) -> Option<usize> {
-        self.outputs[node].get(port).copied().flatten()
-    }
-
-    /// The edge attached to an input port, if any.
-    fn in_edge(&self, node: usize, port: usize) -> Option<usize> {
-        self.inputs[node].get(port).copied().flatten()
-    }
-}
-
-// ---------------------------------------------------------------------------
 // Synchronous (deterministic) executor
 // ---------------------------------------------------------------------------
 
 /// Deterministic single-threaded executor.
 pub struct SyncExecutor;
 
+/// Shared state of one plan edge under the sync executor: an unbounded page
+/// queue with a page builder on the producer side, plus the out-of-band
+/// control queue flowing the other way.
 struct SyncEdgeState {
-    edge: Edge,
     builder: PageBuilder,
     queue: VecDeque<Page>,
     eos: bool,
     control: VecDeque<ControlMessage>,
+}
+
+/// One node's view of its connected edges (dense slot arrays plus
+/// port → slot routing tables).
+struct SyncNodeState {
+    ins: Vec<SyncIn>,
+    outs: Vec<SyncOut>,
+    in_route: Vec<Option<usize>>,
+    out_route: Vec<Option<usize>>,
+}
+
+struct SyncIn {
+    port: usize,
+    edge: usize,
+    open: bool,
+}
+
+struct SyncOut {
+    port: usize,
+    edge: usize,
+    control_open: bool,
+}
+
+/// Per-step [`LifecyclePorts`] adapter: one node's slot state over the shared
+/// edge array.
+struct SyncPorts<'a> {
+    state: &'a mut SyncNodeState,
+    edges: &'a mut [SyncEdgeState],
+}
+
+impl LifecyclePorts for SyncPorts<'_> {
+    fn in_count(&self) -> usize {
+        self.state.ins.len()
+    }
+    fn in_port(&self, slot: usize) -> usize {
+        self.state.ins[slot].port
+    }
+    fn in_open(&self, slot: usize) -> bool {
+        self.state.ins[slot].open
+    }
+    fn close_in(&mut self, slot: usize) {
+        self.state.ins[slot].open = false;
+    }
+    fn poll_in(&mut self, slot: usize) -> DataPoll {
+        let edge = &mut self.edges[self.state.ins[slot].edge];
+        if let Some(page) = edge.queue.pop_front() {
+            DataPoll::Message(QueueMessage::Page(page))
+        } else if edge.eos {
+            DataPoll::Closed
+        } else {
+            DataPoll::Empty
+        }
+    }
+    fn in_slot(&self, port: usize) -> Option<usize> {
+        self.state.in_route.get(port).copied().flatten()
+    }
+    fn send_control(&mut self, slot: usize, message: ControlMessage) -> bool {
+        // Sync edges live for the whole run: control is always deliverable.
+        self.edges[self.state.ins[slot].edge].control.push_back(message);
+        true
+    }
+
+    fn out_count(&self) -> usize {
+        self.state.outs.len()
+    }
+    fn out_port(&self, slot: usize) -> usize {
+        self.state.outs[slot].port
+    }
+    fn out_slot(&self, port: usize) -> Option<usize> {
+        self.state.out_route.get(port).copied().flatten()
+    }
+    fn out_data_open(&self, _slot: usize) -> bool {
+        true
+    }
+    fn push_item(&mut self, slot: usize, item: StreamItem, metrics: &mut OperatorMetrics) {
+        let edge = &mut self.edges[self.state.outs[slot].edge];
+        match item {
+            StreamItem::Tuple(t) => {
+                if let Some(page) = edge.builder.push_tuple(t) {
+                    metrics.pages_out += 1;
+                    edge.queue.push_back(page);
+                }
+            }
+            StreamItem::Punctuation(p) => {
+                let page = edge.builder.push_punctuation(p);
+                metrics.pages_out += 1;
+                edge.queue.push_back(page);
+            }
+        }
+    }
+    fn push_page(&mut self, slot: usize, page: Page, metrics: &mut OperatorMetrics) {
+        let edge = &mut self.edges[self.state.outs[slot].edge];
+        if let Some(partial) = edge.builder.flush() {
+            metrics.pages_out += 1;
+            edge.queue.push_back(partial);
+        }
+        metrics.pages_out += 1;
+        edge.queue.push_back(page);
+    }
+    fn flush_out(&mut self, slot: usize, metrics: &mut OperatorMetrics) {
+        let edge = &mut self.edges[self.state.outs[slot].edge];
+        if let Some(page) = edge.builder.flush() {
+            metrics.pages_out += 1;
+            edge.queue.push_back(page);
+        }
+    }
+    fn send_eos(&mut self, slot: usize) {
+        self.edges[self.state.outs[slot].edge].eos = true;
+    }
+    fn control_open(&self, slot: usize) -> bool {
+        self.state.outs[slot].control_open
+    }
+    fn close_control(&mut self, slot: usize) {
+        self.state.outs[slot].control_open = false;
+    }
+    fn poll_control(&mut self, slot: usize) -> ControlPoll {
+        match self.edges[self.state.outs[slot].edge].control.pop_front() {
+            Some(message) => ControlPoll::Message(message),
+            None => ControlPoll::Empty,
+        }
+    }
 }
 
 impl SyncExecutor {
@@ -202,13 +295,11 @@ impl SyncExecutor {
         let started = Instant::now();
         let order = plan.topological_order();
         let page_capacity = plan.page_capacity;
-        let routes = RoutingTable::build(&plan.nodes, &plan.edges);
 
         let mut edges: Vec<SyncEdgeState> = plan
             .edges
             .iter()
-            .map(|e| SyncEdgeState {
-                edge: *e,
+            .map(|_| SyncEdgeState {
                 builder: PageBuilder::new(page_capacity),
                 queue: VecDeque::new(),
                 eos: false,
@@ -217,105 +308,54 @@ impl SyncExecutor {
             .collect();
 
         let node_count = plan.nodes.len();
-        let mut metrics: Vec<OperatorMetrics> =
-            plan.nodes.iter().map(|n| OperatorMetrics::new(n.name.clone())).collect();
-        let mut done = vec![false; node_count];
-        let mut exhausted = vec![false; node_count];
-        let mut ctx = OperatorContext::new();
-
-        loop {
-            // 1. Deliver pending upstream control messages (high priority).
-            let mut activity = deliver_control_sync(
-                &mut plan,
-                &routes,
-                &mut edges,
-                &mut metrics,
-                &mut ctx,
-                &done,
-            )?;
-
-            // 2. Step every node once, in topological order.
-            for &NodeId(n) in &order {
-                if done[n] {
-                    continue;
+        let mut states: Vec<SyncNodeState> = Vec::with_capacity(node_count);
+        for (idx, node) in plan.nodes.iter().enumerate() {
+            let mut ins = Vec::new();
+            let mut outs = Vec::new();
+            let mut in_route = vec![None; node.inputs];
+            let mut out_route = vec![None; node.outputs];
+            for (e_idx, e) in plan.edges.iter().enumerate() {
+                if e.to.0 == idx {
+                    in_route[e.to_port] = Some(ins.len());
+                    ins.push(SyncIn { port: e.to_port, edge: e_idx, open: true });
                 }
-                let is_source = plan.nodes[n].inputs == 0;
-                if is_source {
-                    if !exhausted[n] {
-                        let timer = Instant::now();
-                        let state = plan.nodes[n]
-                            .operator
-                            .poll_source(&mut ctx)
-                            .map_err(|err| wrap(&plan, n, err))?;
-                        metrics[n].busy += timer.elapsed();
-                        route_sync(&mut ctx, n, &routes, &mut edges, &mut metrics, &done);
-                        match state {
-                            SourceState::Producing => activity = true,
-                            SourceState::Exhausted | SourceState::NotASource => {
-                                exhausted[n] = true;
-                                activity = true;
-                            }
-                        }
-                    }
-                    if exhausted[n] {
-                        finish_sync(
-                            &mut plan,
-                            n,
-                            &routes,
-                            &mut edges,
-                            &mut metrics,
-                            &mut ctx,
-                            &mut done,
-                        )?;
-                        activity = true;
-                    }
-                    continue;
-                }
-
-                // Consume at most one page per input this round.
-                let mut consumed = false;
-                for port in 0..plan.nodes[n].inputs {
-                    let Some(e) = routes.in_edge(n, port) else { continue };
-                    if let Some(page) = edges[e].queue.pop_front() {
-                        consumed = true;
-                        activity = true;
-                        metrics[n].pages_in += 1;
-                        metrics[n].tuples_in += page.tuple_count() as u64;
-                        metrics[n].punctuations_in += page.punctuation_count() as u64;
-                        let timer = Instant::now();
-                        plan.nodes[n]
-                            .operator
-                            .on_page(port, page, &mut ctx)
-                            .map_err(|err| wrap(&plan, n, err))?;
-                        metrics[n].busy += timer.elapsed();
-                        route_sync(&mut ctx, n, &routes, &mut edges, &mut metrics, &done);
-                    }
-                }
-
-                // End-of-stream: all incoming edges exhausted and drained.
-                if !consumed {
-                    let inputs_done = (0..plan.nodes[n].inputs).all(|port| {
-                        routes
-                            .in_edge(n, port)
-                            .map(|e| edges[e].eos && edges[e].queue.is_empty())
-                            .unwrap_or(true)
-                    });
-                    if inputs_done {
-                        finish_sync(
-                            &mut plan,
-                            n,
-                            &routes,
-                            &mut edges,
-                            &mut metrics,
-                            &mut ctx,
-                            &mut done,
-                        )?;
-                        activity = true;
-                    }
+                if e.from.0 == idx {
+                    out_route[e.from_port] = Some(outs.len());
+                    outs.push(SyncOut { port: e.from_port, edge: e_idx, control_open: true });
                 }
             }
+            states.push(SyncNodeState { ins, outs, in_route, out_route });
+        }
 
-            if done.iter().all(|d| *d) {
+        let mut machines: Vec<NodeMachine> =
+            plan.nodes.iter().map(|n| NodeMachine::new(n.inputs == 0)).collect();
+        let mut metrics: Vec<OperatorMetrics> =
+            plan.nodes.iter().map(|n| OperatorMetrics::new(n.name.clone())).collect();
+        let mut ctx = OperatorContext::new();
+
+        // Round-robin in topological order, one lifecycle step (budget 1) per
+        // node per round, until every machine has released.  The machine runs
+        // pending control before data within each step, so feedback crosses
+        // one plan hop per round — exactly the cadence the previous
+        // hand-rolled scheduler had — and the drain handshake (flush → drain
+        // → release, propagating sink → source) rides the same loop instead
+        // of needing a separate post-run delivery pass.
+        loop {
+            let mut activity = false;
+            for &NodeId(n) in &order {
+                if machines[n].is_done() {
+                    continue;
+                }
+                let mut ports = SyncPorts { state: &mut states[n], edges: &mut edges };
+                let outcome = machines[n]
+                    .step(plan.nodes[n].operator.as_mut(), &mut ports, &mut metrics[n], &mut ctx, 1)
+                    .map_err(|err| wrap(&plan, n, err))?;
+                match outcome {
+                    StepOutcome::Yield | StepOutcome::Done => activity = true,
+                    StepOutcome::Idle => {}
+                }
+            }
+            if machines.iter().all(|m| m.is_done()) {
                 break;
             }
             if !activity {
@@ -325,14 +365,6 @@ impl SyncExecutor {
             }
         }
 
-        // 3. Post-run drain: the last operators to finish (typically sinks)
-        // may have sent feedback from `on_flush` after every producer was
-        // already stepped; keep delivering — feedback can relay further
-        // upstream — until the control queues are quiescent.  This is the
-        // sync analogue of the threaded executor's drain phase.
-        while deliver_control_sync(&mut plan, &routes, &mut edges, &mut metrics, &mut ctx, &done)? {
-        }
-
         // Fold in feedback stats.
         for (n, node) in plan.nodes.iter().enumerate() {
             if let Some(stats) = node.operator.feedback_stats() {
@@ -340,7 +372,7 @@ impl SyncExecutor {
             }
         }
 
-        Ok(ExecutionReport { elapsed: started.elapsed(), metrics })
+        Ok(ExecutionReport { elapsed: started.elapsed(), metrics, scheduler: None })
     }
 }
 
@@ -348,174 +380,16 @@ fn wrap(plan: &QueryPlan, node: usize, err: EngineError) -> EngineError {
     EngineError::OperatorFailed { operator: plan.nodes[node].name.clone(), detail: err.to_string() }
 }
 
-/// Delivers every queued control message to its producer.  Producers receive
-/// control even after they have flushed — operators stay alive for the whole
-/// run, so flush-time feedback from downstream is never silently lost (the
-/// paper's delivery guarantee; the threaded executor's drain phase provides
-/// the same property).  Returns whether anything was delivered.
-fn deliver_control_sync(
-    plan: &mut QueryPlan,
-    routes: &RoutingTable,
-    edges: &mut [SyncEdgeState],
-    metrics: &mut [OperatorMetrics],
-    ctx: &mut OperatorContext,
-    done: &[bool],
-) -> EngineResult<bool> {
-    let mut delivered = false;
-    for e in 0..edges.len() {
-        while let Some(msg) = edges[e].control.pop_front() {
-            delivered = true;
-            let producer = edges[e].edge.from.0;
-            let port = edges[e].edge.from_port;
-            let op = &mut plan.nodes[producer].operator;
-            match msg {
-                ControlMessage::Feedback(fb) => {
-                    metrics[producer].feedback_in += 1;
-                    op.on_feedback(port, fb, ctx).map_err(|err| wrap(plan, producer, err))?;
-                }
-                ControlMessage::RequestResults => {
-                    op.on_request_results(port, ctx).map_err(|err| wrap(plan, producer, err))?;
-                }
-                ControlMessage::Shutdown | ControlMessage::EndOfStream => {}
-            }
-            route_sync(ctx, producer, routes, edges, metrics, done);
-        }
+/// Human-readable form of a panic payload (`&str` and `String` payloads are
+/// the common cases from `panic!`).
+pub(crate) fn panic_detail(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
-    Ok(delivered)
-}
-
-/// Routes one node's buffered emissions and feedback into the sync edge
-/// state.  Data emitted by a node that has already flushed (possible when a
-/// post-flush feedback callback emits) is counted but not enqueued —
-/// end-of-stream has already been signalled on its edges.  Feedback named on
-/// a port with no connected edge is counted as dropped.
-fn route_sync(
-    ctx: &mut OperatorContext,
-    node: usize,
-    routes: &RoutingTable,
-    edges: &mut [SyncEdgeState],
-    metrics: &mut [OperatorMetrics],
-    done: &[bool],
-) {
-    ctx.drain_emitted(|port, item| {
-        let deliverable = routes.out_edge(node, port).filter(|_| !done[node]);
-        let Some(e) = deliverable else {
-            // Unconnected output (sink side-channel) or post-flush emission:
-            // count and drop.
-            match item {
-                StreamItem::Tuple(_) => metrics[node].tuples_out += 1,
-                StreamItem::Punctuation(_) => metrics[node].punctuations_out += 1,
-            }
-            return;
-        };
-        let edge = &mut edges[e];
-        match item {
-            StreamItem::Tuple(t) => {
-                metrics[node].tuples_out += 1;
-                if let Some(page) = edge.builder.push_tuple(t) {
-                    metrics[node].pages_out += 1;
-                    edge.queue.push_back(page);
-                }
-            }
-            StreamItem::Punctuation(p) => {
-                metrics[node].punctuations_out += 1;
-                let page = edge.builder.push_punctuation(p);
-                metrics[node].pages_out += 1;
-                edge.queue.push_back(page);
-            }
-        }
-    });
-    for (input, fb) in ctx.take_feedback() {
-        match routes.in_edge(node, input) {
-            Some(e) => {
-                metrics[node].feedback_out += 1;
-                edges[e].control.push_back(ControlMessage::Feedback(fb));
-            }
-            None => metrics[node].feedback_dropped += 1,
-        }
-    }
-    for input in ctx.take_result_requests() {
-        if let Some(e) = routes.in_edge(node, input) {
-            edges[e].control.push_back(ControlMessage::RequestResults);
-        }
-    }
-    // Broadcasts: control punctuation to every connected output (a
-    // partitioner keeping its replicas punctuated) and feedback to every
-    // connected input (a merge point fanning feedback out to its replicas).
-    // The final target receives the original by move — N targets cost N-1
-    // clones, and the single-target broadcast costs none.
-    for punctuation in ctx.take_broadcast_punctuations() {
-        let targets: Vec<usize> = if done[node] {
-            Vec::new()
-        } else {
-            routes.outputs[node].iter().copied().flatten().collect()
-        };
-        if targets.is_empty() {
-            metrics[node].punctuations_out += 1; // count-and-drop, as for port emissions
-            continue;
-        }
-        let mut remaining = Some(punctuation);
-        let last = targets.len() - 1;
-        for (k, e) in targets.into_iter().enumerate() {
-            let copy = if k == last {
-                remaining.take().expect("one move per broadcast")
-            } else {
-                remaining.as_ref().expect("clones precede the move").clone()
-            };
-            metrics[node].punctuations_out += 1;
-            let page = edges[e].builder.push_punctuation(copy);
-            metrics[node].pages_out += 1;
-            edges[e].queue.push_back(page);
-        }
-    }
-    for fb in ctx.take_broadcast_feedback() {
-        let targets: Vec<usize> = routes.inputs[node].iter().copied().flatten().collect();
-        if targets.is_empty() {
-            metrics[node].feedback_dropped += 1;
-            continue;
-        }
-        let mut remaining = Some(fb);
-        let last = targets.len() - 1;
-        for (k, e) in targets.into_iter().enumerate() {
-            let copy = if k == last {
-                remaining.take().expect("one move per broadcast")
-            } else {
-                remaining.as_ref().expect("clones precede the move").clone()
-            };
-            metrics[node].feedback_out += 1;
-            edges[e].control.push_back(ControlMessage::Feedback(copy));
-        }
-    }
-}
-
-/// Flushes a finished node and marks end-of-stream on its outgoing edges.
-fn finish_sync(
-    plan: &mut QueryPlan,
-    node: usize,
-    routes: &RoutingTable,
-    edges: &mut [SyncEdgeState],
-    metrics: &mut [OperatorMetrics],
-    ctx: &mut OperatorContext,
-    done: &mut [bool],
-) -> EngineResult<()> {
-    if done[node] {
-        return Ok(());
-    }
-    let timer = Instant::now();
-    plan.nodes[node].operator.on_flush(ctx).map_err(|err| wrap(plan, node, err))?;
-    metrics[node].busy += timer.elapsed();
-    route_sync(ctx, node, routes, edges, metrics, done);
-    for port in 0..plan.nodes[node].outputs {
-        if let Some(e) = routes.out_edge(node, port) {
-            if let Some(page) = edges[e].builder.flush() {
-                metrics[node].pages_out += 1;
-                edges[e].queue.push_back(page);
-            }
-            edges[e].eos = true;
-        }
-    }
-    done[node] = true;
-    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -550,15 +424,128 @@ struct ThreadedOutput {
     data_open: bool,
 }
 
-struct ThreadedNode {
-    name: String,
-    operator: Box<dyn Operator>,
+/// [`LifecyclePorts`] over a node's blocking channel endpoints.
+struct ThreadedPorts {
     inputs: Vec<ThreadedInput>,
     outputs: Vec<ThreadedOutput>,
     /// input port → index into `inputs` (dense routing table).
     in_route: Vec<Option<usize>>,
     /// output port → index into `outputs` (dense routing table).
     out_route: Vec<Option<usize>>,
+}
+
+struct ThreadedNode {
+    name: String,
+    operator: Box<dyn Operator>,
+    ports: ThreadedPorts,
+}
+
+impl ThreadedPorts {
+    /// Parks the thread until any open input has data or any open downstream
+    /// control channel has traffic (or an endpoint hangs up).  Event-driven:
+    /// the multi-receiver wait is condvar-based, so an idle operator consumes
+    /// no CPU.
+    fn block_on_events(&self, include_inputs: bool) {
+        let inputs: Vec<&ConsumerEnd> = if include_inputs {
+            self.inputs.iter().filter(|i| i.open).map(|i| &i.consumer).collect()
+        } else {
+            Vec::new()
+        };
+        let outputs: Vec<&ProducerEnd> =
+            self.outputs.iter().filter(|o| o.control_open).map(|o| &o.producer).collect();
+        wait_any(&inputs, &outputs);
+    }
+}
+
+impl LifecyclePorts for ThreadedPorts {
+    fn in_count(&self) -> usize {
+        self.inputs.len()
+    }
+    fn in_port(&self, slot: usize) -> usize {
+        self.inputs[slot].port
+    }
+    fn in_open(&self, slot: usize) -> bool {
+        self.inputs[slot].open
+    }
+    fn close_in(&mut self, slot: usize) {
+        self.inputs[slot].open = false;
+    }
+    fn poll_in(&mut self, slot: usize) -> DataPoll {
+        self.inputs[slot].consumer.poll_data()
+    }
+    fn in_slot(&self, port: usize) -> Option<usize> {
+        self.in_route.get(port).copied().flatten()
+    }
+    fn send_control(&mut self, slot: usize, message: ControlMessage) -> bool {
+        self.inputs[slot].consumer.send_control(message)
+    }
+
+    fn out_count(&self) -> usize {
+        self.outputs.len()
+    }
+    fn out_port(&self, slot: usize) -> usize {
+        self.outputs[slot].port
+    }
+    fn out_slot(&self, port: usize) -> Option<usize> {
+        self.out_route.get(port).copied().flatten()
+    }
+    fn out_data_open(&self, slot: usize) -> bool {
+        self.outputs[slot].data_open
+    }
+    fn push_item(&mut self, slot: usize, item: StreamItem, metrics: &mut OperatorMetrics) {
+        let output = &mut self.outputs[slot];
+        match item {
+            StreamItem::Tuple(t) => {
+                if let Some(page) = output.builder.push_tuple(t) {
+                    metrics.pages_out += 1;
+                    if !output.producer.send_page(page) {
+                        output.data_open = false;
+                    }
+                }
+            }
+            StreamItem::Punctuation(p) => {
+                let page = output.builder.push_punctuation(p);
+                metrics.pages_out += 1;
+                if !output.producer.send_page(page) {
+                    output.data_open = false;
+                }
+            }
+        }
+    }
+    fn push_page(&mut self, slot: usize, page: Page, metrics: &mut OperatorMetrics) {
+        let output = &mut self.outputs[slot];
+        if let Some(partial) = output.builder.flush() {
+            metrics.pages_out += 1;
+            if output.data_open && !output.producer.send_page(partial) {
+                output.data_open = false;
+            }
+        }
+        metrics.pages_out += 1;
+        if output.data_open && !output.producer.send_page(page) {
+            output.data_open = false;
+        }
+    }
+    fn flush_out(&mut self, slot: usize, metrics: &mut OperatorMetrics) {
+        let output = &mut self.outputs[slot];
+        if let Some(page) = output.builder.flush() {
+            metrics.pages_out += 1;
+            if output.data_open && !output.producer.send_page(page) {
+                output.data_open = false;
+            }
+        }
+    }
+    fn send_eos(&mut self, slot: usize) {
+        self.outputs[slot].producer.send_end_of_stream();
+    }
+    fn control_open(&self, slot: usize) -> bool {
+        self.outputs[slot].control_open
+    }
+    fn close_control(&mut self, slot: usize) {
+        self.outputs[slot].control_open = false;
+    }
+    fn poll_control(&mut self, slot: usize) -> ControlPoll {
+        self.outputs[slot].producer.poll_control()
+    }
 }
 
 impl ThreadedExecutor {
@@ -652,28 +639,33 @@ impl ThreadedExecutor {
             runtimes.push(ThreadedNode {
                 name: node.name,
                 operator: node.operator,
-                inputs,
-                outputs,
-                in_route,
-                out_route,
+                ports: ThreadedPorts { inputs, outputs, in_route, out_route },
             });
         }
 
-        // Run each node on its own thread.
+        // Run each node on its own thread; remember each node's name so a
+        // panicking operator can be identified at join time.
         let handles: Vec<_> = runtimes
             .into_iter()
-            .map(|node| std::thread::spawn(move || run_threaded_node(node)))
+            .map(|node| {
+                let name = node.name.clone();
+                (name, std::thread::spawn(move || run_threaded_node(node)))
+            })
             .collect();
 
         let mut metrics = Vec::with_capacity(handles.len());
         let mut first_error: Option<EngineError> = None;
-        for handle in handles {
+        for (name, handle) in handles {
             match handle.join() {
                 Ok(Ok(m)) => metrics.push(m),
                 Ok(Err(e)) => first_error = first_error.or(Some(e)),
-                Err(_) => {
-                    first_error = first_error.or(Some(EngineError::ExecutionFailed {
-                        detail: "operator thread panicked".into(),
+                Err(payload) => {
+                    first_error = first_error.or(Some(EngineError::OperatorFailed {
+                        operator: name,
+                        detail: format!(
+                            "operator thread panicked: {}",
+                            panic_detail(payload.as_ref())
+                        ),
                     }))
                 }
             }
@@ -681,14 +673,32 @@ impl ThreadedExecutor {
         if let Some(e) = first_error {
             return Err(e);
         }
-        Ok(ExecutionReport { elapsed: started.elapsed(), metrics })
+        Ok(ExecutionReport { elapsed: started.elapsed(), metrics, scheduler: None })
     }
 }
 
+/// The per-thread operator loop: drive the shared lifecycle machine with an
+/// unlimited step budget (the thread owns the operator), parking on channel
+/// events whenever the machine goes idle.
 fn run_threaded_node(mut node: ThreadedNode) -> Result<OperatorMetrics, EngineError> {
     let mut metrics = OperatorMetrics::new(node.name.clone());
     let mut ctx = OperatorContext::new();
-    match drive_node(&mut node, &mut metrics, &mut ctx) {
+    let mut machine = NodeMachine::new(node.ports.inputs.is_empty());
+    let result = loop {
+        match machine.step(
+            node.operator.as_mut(),
+            &mut node.ports,
+            &mut metrics,
+            &mut ctx,
+            usize::MAX,
+        ) {
+            Ok(StepOutcome::Done) => break Ok(()),
+            Ok(StepOutcome::Yield) => {}
+            Ok(StepOutcome::Idle) => node.ports.block_on_events(machine.waiting_on_inputs()),
+            Err(err) => break Err(err),
+        }
+    };
+    match result {
         Ok(()) => {
             if let Some(stats) = node.operator.feedback_stats() {
                 metrics.feedback = stats;
@@ -700,294 +710,17 @@ fn run_threaded_node(mut node: ThreadedNode) -> Result<OperatorMetrics, EngineEr
             // data nobody will read.  Downstream learns from the dropped
             // endpoints (its polls report `Closed`), so the whole query
             // unwinds promptly.
-            for input in &node.inputs {
+            for input in &node.ports.inputs {
                 input.consumer.send_control(ControlMessage::Shutdown);
             }
             Err(EngineError::OperatorFailed { operator: node.name, detail: err.to_string() })
         }
     }
 }
-
-/// The per-thread operator loop: active phase, then flush, drain, release
-/// (see the module docs for the protocol).
-fn drive_node(
-    node: &mut ThreadedNode,
-    metrics: &mut OperatorMetrics,
-    ctx: &mut OperatorContext,
-) -> EngineResult<()> {
-    let is_source = node.inputs.is_empty();
-    let mut shutdown = false;
-
-    // Phase 1 — active: control first (with priority), then data; block on
-    // channel events when there is nothing to do.
-    loop {
-        process_control(node, metrics, ctx, false, &mut shutdown)?;
-        if shutdown {
-            // Downstream is tearing the query down: relay source-ward and
-            // stop producing.
-            for input in &node.inputs {
-                input.consumer.send_control(ControlMessage::Shutdown);
-            }
-            break;
-        }
-
-        if is_source {
-            let timer = Instant::now();
-            let state = node.operator.poll_source(ctx)?;
-            metrics.busy += timer.elapsed();
-            route_threaded(ctx, node, metrics, false);
-            if !node.outputs.is_empty() && node.outputs.iter().all(|o| !o.data_open) {
-                // Every consumer hung up; nothing downstream will read
-                // further output.
-                break;
-            }
-            match state {
-                SourceState::Producing => continue,
-                SourceState::Exhausted | SourceState::NotASource => break,
-            }
-        }
-
-        let mut progressed = false;
-        for i in 0..node.inputs.len() {
-            if !node.inputs[i].open {
-                continue;
-            }
-            let port = node.inputs[i].port;
-            match node.inputs[i].consumer.poll_data() {
-                DataPoll::Message(QueueMessage::Page(page)) => {
-                    progressed = true;
-                    metrics.pages_in += 1;
-                    metrics.tuples_in += page.tuple_count() as u64;
-                    metrics.punctuations_in += page.punctuation_count() as u64;
-                    let timer = Instant::now();
-                    node.operator.on_page(port, page, ctx)?;
-                    metrics.busy += timer.elapsed();
-                    route_threaded(ctx, node, metrics, false);
-                }
-                DataPoll::Message(QueueMessage::EndOfStream) | DataPoll::Closed => {
-                    progressed = true;
-                    node.inputs[i].open = false;
-                }
-                DataPoll::Empty => {}
-            }
-        }
-        if node.inputs.iter().all(|i| !i.open) {
-            break;
-        }
-        if !progressed {
-            block_on_events(node, true);
-        }
-    }
-
-    // Phase 2 — flush: emit remaining state and close the data streams.
-    let timer = Instant::now();
-    node.operator.on_flush(ctx)?;
-    metrics.busy += timer.elapsed();
-    route_threaded(ctx, node, metrics, false);
-    for output in &mut node.outputs {
-        if let Some(page) = output.builder.flush() {
-            metrics.pages_out += 1;
-            if output.data_open && !output.producer.send_page(page) {
-                output.data_open = false;
-            }
-        }
-        output.producer.send_end_of_stream();
-    }
-
-    // Phase 3 — drain: downstream consumers may still send feedback
-    // (including from their own `on_flush`).  Stay alive, blocked on the
-    // control channels, until each has sent its control end-of-stream
-    // handshake or hung up.
-    while node.outputs.iter().any(|o| o.control_open) {
-        let progressed = process_control(node, metrics, ctx, true, &mut shutdown)?;
-        if !progressed && node.outputs.iter().any(|o| o.control_open) {
-            block_on_events(node, false);
-        }
-    }
-
-    // Release: promise our upstream producers that no further control will
-    // arrive on these connections, ending their drain phases in turn.
-    for input in &node.inputs {
-        input.consumer.send_control(ControlMessage::EndOfStream);
-    }
-    Ok(())
-}
-
-/// Parks the thread until any open input has data or any open downstream
-/// control channel has traffic (or an endpoint hangs up).  Event-driven: the
-/// multi-receiver wait is condvar-based, so an idle operator consumes no CPU.
-fn block_on_events(node: &ThreadedNode, include_inputs: bool) {
-    let inputs: Vec<&ConsumerEnd> = if include_inputs {
-        node.inputs.iter().filter(|i| i.open).map(|i| &i.consumer).collect()
-    } else {
-        Vec::new()
-    };
-    let outputs: Vec<&ProducerEnd> =
-        node.outputs.iter().filter(|o| o.control_open).map(|o| &o.producer).collect();
-    wait_any(&inputs, &outputs);
-}
-
-/// Drains every pending control message from downstream, dispatching
-/// feedback and result requests to the operator with priority.  Returns
-/// whether anything was processed.
-fn process_control(
-    node: &mut ThreadedNode,
-    metrics: &mut OperatorMetrics,
-    ctx: &mut OperatorContext,
-    after_eos: bool,
-    shutdown: &mut bool,
-) -> EngineResult<bool> {
-    let mut progressed = false;
-    for o in 0..node.outputs.len() {
-        while node.outputs[o].control_open {
-            match node.outputs[o].producer.poll_control() {
-                ControlPoll::Message(ControlMessage::Feedback(fb)) => {
-                    progressed = true;
-                    metrics.feedback_in += 1;
-                    let port = node.outputs[o].port;
-                    node.operator.on_feedback(port, fb, ctx)?;
-                    route_threaded(ctx, node, metrics, after_eos);
-                }
-                ControlPoll::Message(ControlMessage::RequestResults) => {
-                    progressed = true;
-                    let port = node.outputs[o].port;
-                    node.operator.on_request_results(port, ctx)?;
-                    route_threaded(ctx, node, metrics, after_eos);
-                }
-                ControlPoll::Message(ControlMessage::Shutdown) => {
-                    progressed = true;
-                    *shutdown = true;
-                }
-                ControlPoll::Message(ControlMessage::EndOfStream) | ControlPoll::Closed => {
-                    progressed = true;
-                    node.outputs[o].control_open = false;
-                }
-                ControlPoll::Empty => break,
-            }
-        }
-    }
-    Ok(progressed)
-}
-
-/// Routes buffered emissions and feedback through the node's dense port
-/// tables.  `after_eos` marks routing performed during the drain phase: data
-/// end-of-stream has already been sent, so late data emissions (from
-/// post-flush feedback callbacks) are counted but cannot be delivered.
-/// Undeliverable feedback — unconnected port, or upstream thread gone — is
-/// counted in `feedback_dropped`.
-fn route_threaded(
-    ctx: &mut OperatorContext,
-    node: &mut ThreadedNode,
-    metrics: &mut OperatorMetrics,
-    after_eos: bool,
-) {
-    ctx.drain_emitted(|port, item| {
-        let slot = node.out_route.get(port).copied().flatten();
-        let deliverable = match slot {
-            Some(s) if !after_eos && node.outputs[s].data_open => Some(s),
-            _ => None,
-        };
-        let Some(s) = deliverable else {
-            // Unconnected output, hung-up consumer, or post-EOS emission:
-            // count and drop.
-            match item {
-                StreamItem::Tuple(_) => metrics.tuples_out += 1,
-                StreamItem::Punctuation(_) => metrics.punctuations_out += 1,
-            }
-            return;
-        };
-        let output = &mut node.outputs[s];
-        match item {
-            StreamItem::Tuple(t) => {
-                metrics.tuples_out += 1;
-                if let Some(page) = output.builder.push_tuple(t) {
-                    metrics.pages_out += 1;
-                    if !output.producer.send_page(page) {
-                        output.data_open = false;
-                    }
-                }
-            }
-            StreamItem::Punctuation(p) => {
-                metrics.punctuations_out += 1;
-                let page = output.builder.push_punctuation(p);
-                metrics.pages_out += 1;
-                if !output.producer.send_page(page) {
-                    output.data_open = false;
-                }
-            }
-        }
-    });
-    for (input, fb) in ctx.take_feedback() {
-        match node.in_route.get(input).copied().flatten() {
-            Some(s) => {
-                if node.inputs[s].consumer.send_control(ControlMessage::Feedback(fb)) {
-                    metrics.feedback_out += 1;
-                } else {
-                    metrics.feedback_dropped += 1;
-                }
-            }
-            None => metrics.feedback_dropped += 1,
-        }
-    }
-    for input in ctx.take_result_requests() {
-        if let Some(s) = node.in_route.get(input).copied().flatten() {
-            node.inputs[s].consumer.send_control(ControlMessage::RequestResults);
-        }
-    }
-    // Broadcasts (see `route_sync`): `node.outputs` / `node.inputs` hold
-    // exactly the *connected* endpoints, so a broadcast is a walk over them,
-    // with the final endpoint receiving the original by move.
-    for punctuation in ctx.take_broadcast_punctuations() {
-        let targets: Vec<usize> = if after_eos {
-            Vec::new()
-        } else {
-            (0..node.outputs.len()).filter(|&s| node.outputs[s].data_open).collect()
-        };
-        if targets.is_empty() {
-            metrics.punctuations_out += 1; // count-and-drop, as for port emissions
-            continue;
-        }
-        let mut remaining = Some(punctuation);
-        let last = targets.len() - 1;
-        for (k, s) in targets.into_iter().enumerate() {
-            let copy = if k == last {
-                remaining.take().expect("one move per broadcast")
-            } else {
-                remaining.as_ref().expect("clones precede the move").clone()
-            };
-            metrics.punctuations_out += 1;
-            let output = &mut node.outputs[s];
-            let page = output.builder.push_punctuation(copy);
-            metrics.pages_out += 1;
-            if !output.producer.send_page(page) {
-                output.data_open = false;
-            }
-        }
-    }
-    for fb in ctx.take_broadcast_feedback() {
-        if node.inputs.is_empty() {
-            metrics.feedback_dropped += 1;
-            continue;
-        }
-        let mut remaining = Some(fb);
-        let last = node.inputs.len() - 1;
-        for (s, input) in node.inputs.iter().enumerate() {
-            let copy = if s == last {
-                remaining.take().expect("one move per broadcast")
-            } else {
-                remaining.as_ref().expect("clones precede the move").clone()
-            };
-            if input.consumer.send_control(ControlMessage::Feedback(copy)) {
-                metrics.feedback_out += 1;
-            } else {
-                metrics.feedback_dropped += 1;
-            }
-        }
-    }
-}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::operator::SourceState;
     use dsms_feedback::FeedbackPunctuation;
     use dsms_punctuation::{Pattern, PatternItem, Punctuation};
     use dsms_types::{DataType, Schema, SchemaRef, Timestamp, Tuple, Value};
@@ -1400,6 +1133,53 @@ mod tests {
                 matches!(err, EngineError::OperatorFailed { ref operator, .. } if operator == "failing"),
                 "threaded={threaded}: {err}"
             );
+        }
+    }
+
+    /// Filter that panics (rather than returning an error) after a fixed
+    /// number of tuples.
+    struct PanickingFilter {
+        after: u64,
+        seen: u64,
+    }
+
+    impl Operator for PanickingFilter {
+        fn name(&self) -> &str {
+            "panicky"
+        }
+        fn inputs(&self) -> usize {
+            1
+        }
+        fn on_tuple(&mut self, _i: usize, t: Tuple, ctx: &mut OperatorContext) -> EngineResult<()> {
+            self.seen += 1;
+            assert!(self.seen <= self.after, "injected panic");
+            ctx.emit(0, t);
+            Ok(())
+        }
+    }
+
+    /// A panicking operator must surface as `OperatorFailed` *naming the
+    /// operator* and carrying the panic message — not as an anonymous
+    /// "operator thread panicked" execution failure (regression: the join
+    /// loop used to discard the panic payload and the thread's identity).
+    #[test]
+    fn panicking_operator_is_named_in_the_error() {
+        let mut plan = QueryPlan::new().with_page_capacity(2).with_queue_capacity(2);
+        let src = plan.add(CountingSource::new(100_000, 0));
+        let bad = plan.add(PanickingFilter { after: 10, seen: 0 });
+        let (sink, _collected) = CollectingSink::new();
+        let sink = plan.add(sink);
+        plan.connect_simple(src, bad).unwrap();
+        plan.connect_simple(bad, sink).unwrap();
+
+        let err = ThreadedExecutor::run(plan).unwrap_err();
+        match err {
+            EngineError::OperatorFailed { operator, detail } => {
+                assert_eq!(operator, "panicky");
+                assert!(detail.contains("panicked"), "detail: {detail}");
+                assert!(detail.contains("injected panic"), "payload must survive: {detail}");
+            }
+            other => panic!("expected OperatorFailed, got {other}"),
         }
     }
 

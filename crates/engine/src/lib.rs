@@ -17,10 +17,16 @@
 //! * a [`plan::QueryPlan`] IR describing the operator graph, plus the fluent
 //!   schema-checked [`builder::StreamBuilder`] / [`builder::Stream`] layer
 //!   that lowers into it (with first-class feedback subscriptions); and
-//! * two executors: [`executor::ThreadedExecutor`] runs one OS thread per
-//!   operator (NiagaraST's model) event-driven — idle threads block on a
+//! * three executors sharing one operator lifecycle (the `lifecycle`
+//!   module's active → flush → drain → release machine):
+//!   [`executor::ThreadedExecutor`] runs one OS thread per operator
+//!   (NiagaraST's model) event-driven — idle threads block on a
 //!   multi-receiver channel wait, and a sink→source drain protocol delivers
-//!   even flush-time feedback before threads exit — while
+//!   even flush-time feedback before threads exit;
+//!   [`pooled::PooledExecutor`] runs the whole plan on a fixed worker pool
+//!   with per-worker run queues and work stealing, scheduling operators as
+//!   tasks woken by queue readiness events, so plans far wider than the
+//!   machine still run without a thread per operator; and
 //!   [`executor::SyncExecutor`] runs the same plans deterministically on a
 //!   single thread for reproducible tests.
 //!
@@ -34,18 +40,21 @@ pub mod builder;
 pub mod control;
 pub mod error;
 pub mod executor;
+mod lifecycle;
 pub mod metrics;
 pub mod operator;
 pub mod page;
 pub mod plan;
+pub mod pooled;
 pub mod queue;
 
 pub use builder::{Stream, StreamBuilder};
 pub use control::ControlMessage;
 pub use error::{EngineError, EngineResult};
 pub use executor::{ExecutionReport, SyncExecutor, ThreadedExecutor};
-pub use metrics::OperatorMetrics;
-pub use operator::{Operator, OperatorContext, SourceState, StreamItem};
+pub use metrics::{OperatorMetrics, SchedulerSummary};
+pub use operator::{Emission, Operator, OperatorContext, SourceState, StreamItem};
 pub use page::{ColumnarPage, Page, PageBuilder, PageIter};
 pub use plan::{NodeId, QueryPlan};
+pub use pooled::PooledExecutor;
 pub use queue::DataQueue;

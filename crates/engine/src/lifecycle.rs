@@ -1,0 +1,441 @@
+//! The executor-agnostic operator lifecycle.
+//!
+//! All three executors (sync, threaded, pooled) drive every operator through
+//! the same **active → flush → drain → release** protocol, and the loss-free
+//! feedback guarantee hangs on its details — so the protocol is implemented
+//! exactly once, here, as a per-operator state machine ([`NodeMachine`]) over
+//! an abstract endpoint surface ([`LifecyclePorts`]):
+//!
+//! * **Active** — drain pending control (with priority), then do one unit of
+//!   data work: a source poll, or one sweep over the open inputs consuming at
+//!   most one page each.  A bounded `budget` of data units per
+//!   [`NodeMachine::step`] call lets the callers shape scheduling: the sync
+//!   executor steps with budget 1 (deterministic round-robin), the threaded
+//!   executor with an unlimited budget (the thread owns the operator), the
+//!   pooled executor with a medium budget (cooperative time-slicing across a
+//!   worker pool).
+//! * **flush** — when every input has closed (or the source is exhausted, or
+//!   shutdown arrived): `on_flush`, remaining partial pages, then data
+//!   end-of-stream to every consumer.  Flushing is a transition, not a
+//!   phase — it never suspends, and its sends ignore back-pressure credit.
+//! * **Draining** — keep servicing downstream control (feedback sent from a
+//!   consumer's own flush!) until every consumer has sent its control
+//!   end-of-stream handshake or hung up.
+//! * **Released** — send the control end-of-stream handshake upstream,
+//!   releasing the producers from *their* drain phases in turn, and finish.
+//!
+//! [`NodeMachine::step`] reports one of three outcomes: `Yield` (made
+//! progress or ran out of budget; step again when convenient), `Idle` (no
+//! progress possible until an external event: data, credit, or control), and
+//! `Done` (released).  What "wait for an external event" means is the
+//! executor's business — the threaded executor parks the thread, the pooled
+//! executor parks the *task* and relies on queue notifications, the sync
+//! executor uses `Idle` for stall detection.
+
+use crate::control::ControlMessage;
+use crate::error::EngineResult;
+use crate::metrics::OperatorMetrics;
+use crate::operator::{Emission, Operator, OperatorContext, SourceState, StreamItem};
+use crate::page::Page;
+use crate::queue::{ControlPoll, DataPoll, QueueMessage};
+use std::time::Instant;
+
+/// The endpoint surface a [`NodeMachine`] drives an operator through.
+///
+/// Implementations view a node's *connected* connections as dense slot
+/// arrays: input slots `0..in_count()` and output slots `0..out_count()`,
+/// each mapped to the operator-declared port it serves.  The three executors
+/// provide adapters over their native endpoints (sync: shared edge state;
+/// threaded: blocking channel endpoints; pooled: notification-driven
+/// queues).
+pub(crate) trait LifecyclePorts {
+    /// Number of connected input slots.
+    fn in_count(&self) -> usize;
+    /// The declared input port an input slot serves.
+    fn in_port(&self, slot: usize) -> usize;
+    /// Whether the input slot still expects data (no end-of-stream seen).
+    fn in_open(&self, slot: usize) -> bool;
+    /// Marks an input slot as closed (end-of-stream or producer gone).
+    fn close_in(&mut self, slot: usize);
+    /// Non-blocking receive of one data message on an input slot.
+    fn poll_in(&mut self, slot: usize) -> DataPoll;
+    /// Maps a declared input port to its slot, if connected.
+    fn in_slot(&self, port: usize) -> Option<usize>;
+    /// Sends a control message upstream on an input slot.  Returns `false`
+    /// when the producer is gone (the message is undeliverable).
+    fn send_control(&mut self, slot: usize, message: ControlMessage) -> bool;
+
+    /// Number of connected output slots.
+    fn out_count(&self) -> usize;
+    /// The declared output port an output slot serves.
+    fn out_port(&self, slot: usize) -> usize;
+    /// Maps a declared output port to its slot, if connected.
+    fn out_slot(&self, port: usize) -> Option<usize>;
+    /// Whether the output slot's consumer is still reading data.
+    fn out_data_open(&self, slot: usize) -> bool;
+    /// Pushes one stream item through the slot's page builder, delivering
+    /// any page it completes.
+    fn push_item(&mut self, slot: usize, item: StreamItem, metrics: &mut OperatorMetrics);
+    /// Delivers a whole page intact (flushing the slot's partial builder
+    /// first so emission order is preserved).
+    fn push_page(&mut self, slot: usize, page: Page, metrics: &mut OperatorMetrics);
+    /// Flushes the slot's partial page builder, delivering the remnant.
+    fn flush_out(&mut self, slot: usize, metrics: &mut OperatorMetrics);
+    /// Signals data end-of-stream on the slot.
+    fn send_eos(&mut self, slot: usize);
+    /// Whether the slot's consumer may still send control messages (its
+    /// control end-of-stream handshake has not arrived, and it is alive).
+    fn control_open(&self, slot: usize) -> bool;
+    /// Marks the slot's control channel as closed.
+    fn close_control(&mut self, slot: usize);
+    /// Non-blocking receive of one control message on an output slot.
+    fn poll_control(&mut self, slot: usize) -> ControlPoll;
+
+    /// Back-pressure credit: whether the slot can absorb more data without
+    /// exceeding its bound.  Blocking executors keep the default (`true`) —
+    /// their sends block instead; the pooled executor gates data steps on it.
+    fn has_credit(&self, slot: usize) -> bool {
+        let _ = slot;
+        true
+    }
+}
+
+/// Lifecycle phase (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Active,
+    Draining,
+    Released,
+}
+
+/// What a [`NodeMachine::step`] call accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StepOutcome {
+    /// Nothing to do until an external event (data, credit, or control)
+    /// arrives.
+    Idle,
+    /// Progress was made (or the budget ran out) and more work may remain;
+    /// step again when convenient.
+    Yield,
+    /// The operator has released; it will never need stepping again.
+    Done,
+}
+
+/// Per-operator lifecycle state machine, shared by all three executors.
+#[derive(Debug)]
+pub(crate) struct NodeMachine {
+    phase: Phase,
+    is_source: bool,
+    shutdown: bool,
+}
+
+impl NodeMachine {
+    /// Creates the machine for an operator; `is_source` when it has no
+    /// inputs.
+    pub(crate) fn new(is_source: bool) -> Self {
+        NodeMachine { phase: Phase::Active, is_source, shutdown: false }
+    }
+
+    /// True once the operator has released.
+    pub(crate) fn is_done(&self) -> bool {
+        self.phase == Phase::Released
+    }
+
+    /// True while the machine still consumes data — the caller's idle wait
+    /// should include the input queues.  During the drain phase only the
+    /// downstream control channels matter.
+    pub(crate) fn waiting_on_inputs(&self) -> bool {
+        self.phase == Phase::Active
+    }
+
+    /// Advances the operator: control first (with priority), then up to
+    /// `budget` units of data work (a source poll, or one sweep over the open
+    /// inputs).  Returns how the call ended; errors propagate unwrapped (the
+    /// caller attaches the operator name).
+    pub(crate) fn step<P: LifecyclePorts>(
+        &mut self,
+        op: &mut dyn Operator,
+        ports: &mut P,
+        metrics: &mut OperatorMetrics,
+        ctx: &mut OperatorContext,
+        budget: usize,
+    ) -> EngineResult<StepOutcome> {
+        let mut spent = 0usize;
+        let mut acted = false;
+        loop {
+            match self.phase {
+                Phase::Active => {
+                    if process_control(op, ports, metrics, ctx, false, &mut self.shutdown)? {
+                        acted = true;
+                    }
+                    if self.shutdown {
+                        // Downstream is tearing the query down: relay
+                        // source-ward, then wind down through the normal
+                        // flush → drain → release path.
+                        for slot in 0..ports.in_count() {
+                            ports.send_control(slot, ControlMessage::Shutdown);
+                        }
+                        self.flush(op, ports, metrics, ctx)?;
+                        acted = true;
+                        continue;
+                    }
+                    if spent >= budget {
+                        return Ok(StepOutcome::Yield);
+                    }
+                    // Cooperative back-pressure (pooled executor): produce
+                    // nothing while any live output lacks credit.
+                    let credit = (0..ports.out_count())
+                        .all(|s| !ports.out_data_open(s) || ports.has_credit(s));
+                    if !credit {
+                        return Ok(if acted { StepOutcome::Yield } else { StepOutcome::Idle });
+                    }
+
+                    if self.is_source {
+                        let timer = Instant::now();
+                        let state = op.poll_source(ctx)?;
+                        metrics.busy += timer.elapsed();
+                        route_node(ctx, ports, metrics, false);
+                        spent += 1;
+                        acted = true;
+                        if ports.out_count() > 0
+                            && (0..ports.out_count()).all(|s| !ports.out_data_open(s))
+                        {
+                            // Every consumer hung up; nothing downstream
+                            // will read further output.
+                            self.flush(op, ports, metrics, ctx)?;
+                            continue;
+                        }
+                        match state {
+                            SourceState::Producing => continue,
+                            SourceState::Exhausted | SourceState::NotASource => {
+                                self.flush(op, ports, metrics, ctx)?;
+                                continue;
+                            }
+                        }
+                    }
+
+                    // Non-source: sweep the open inputs, consuming at most
+                    // one page each.
+                    let mut progressed = false;
+                    for slot in 0..ports.in_count() {
+                        if !ports.in_open(slot) {
+                            continue;
+                        }
+                        match ports.poll_in(slot) {
+                            DataPoll::Message(QueueMessage::Page(page)) => {
+                                progressed = true;
+                                metrics.pages_in += 1;
+                                metrics.tuples_in += page.tuple_count() as u64;
+                                metrics.punctuations_in += page.punctuation_count() as u64;
+                                let port = ports.in_port(slot);
+                                let timer = Instant::now();
+                                op.on_page(port, page, ctx)?;
+                                metrics.busy += timer.elapsed();
+                                route_node(ctx, ports, metrics, false);
+                            }
+                            DataPoll::Message(QueueMessage::EndOfStream) | DataPoll::Closed => {
+                                progressed = true;
+                                ports.close_in(slot);
+                            }
+                            DataPoll::Empty => {}
+                        }
+                    }
+                    if (0..ports.in_count()).all(|s| !ports.in_open(s)) {
+                        self.flush(op, ports, metrics, ctx)?;
+                        acted = true;
+                        continue;
+                    }
+                    if !progressed {
+                        return Ok(if acted { StepOutcome::Yield } else { StepOutcome::Idle });
+                    }
+                    acted = true;
+                    spent += 1;
+                }
+                Phase::Draining => {
+                    if process_control(op, ports, metrics, ctx, true, &mut self.shutdown)? {
+                        acted = true;
+                        continue;
+                    }
+                    if (0..ports.out_count()).all(|s| !ports.control_open(s)) {
+                        // Release: promise the upstream producers that no
+                        // further control will arrive on these connections,
+                        // ending their drain phases in turn.
+                        for slot in 0..ports.in_count() {
+                            ports.send_control(slot, ControlMessage::EndOfStream);
+                        }
+                        self.phase = Phase::Released;
+                        return Ok(StepOutcome::Done);
+                    }
+                    return Ok(if acted { StepOutcome::Yield } else { StepOutcome::Idle });
+                }
+                Phase::Released => return Ok(StepOutcome::Done),
+            }
+        }
+    }
+
+    /// The flush transition: `on_flush`, remaining partial pages, data
+    /// end-of-stream everywhere, then enter the drain phase.  Never
+    /// suspends; its sends ignore credit.
+    fn flush<P: LifecyclePorts>(
+        &mut self,
+        op: &mut dyn Operator,
+        ports: &mut P,
+        metrics: &mut OperatorMetrics,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        let timer = Instant::now();
+        op.on_flush(ctx)?;
+        metrics.busy += timer.elapsed();
+        route_node(ctx, ports, metrics, false);
+        for slot in 0..ports.out_count() {
+            ports.flush_out(slot, metrics);
+            ports.send_eos(slot);
+        }
+        self.phase = Phase::Draining;
+        Ok(())
+    }
+}
+
+/// Drains every pending control message from downstream, dispatching
+/// feedback and result requests to the operator with priority.  Returns
+/// whether anything was processed.
+pub(crate) fn process_control<P: LifecyclePorts>(
+    op: &mut dyn Operator,
+    ports: &mut P,
+    metrics: &mut OperatorMetrics,
+    ctx: &mut OperatorContext,
+    after_eos: bool,
+    shutdown: &mut bool,
+) -> EngineResult<bool> {
+    let mut progressed = false;
+    for slot in 0..ports.out_count() {
+        while ports.control_open(slot) {
+            match ports.poll_control(slot) {
+                ControlPoll::Message(ControlMessage::Feedback(fb)) => {
+                    progressed = true;
+                    metrics.feedback_in += 1;
+                    let port = ports.out_port(slot);
+                    op.on_feedback(port, fb, ctx)?;
+                    route_node(ctx, ports, metrics, after_eos);
+                }
+                ControlPoll::Message(ControlMessage::RequestResults) => {
+                    progressed = true;
+                    let port = ports.out_port(slot);
+                    op.on_request_results(port, ctx)?;
+                    route_node(ctx, ports, metrics, after_eos);
+                }
+                ControlPoll::Message(ControlMessage::Shutdown) => {
+                    progressed = true;
+                    *shutdown = true;
+                }
+                ControlPoll::Message(ControlMessage::EndOfStream) | ControlPoll::Closed => {
+                    progressed = true;
+                    ports.close_control(slot);
+                }
+                ControlPoll::Empty => break,
+            }
+        }
+    }
+    Ok(progressed)
+}
+
+/// Routes one operator's buffered emissions and feedback through its ports.
+/// `after_eos` marks routing performed during the drain phase: data
+/// end-of-stream has already been sent, so late data emissions (from
+/// post-flush feedback callbacks) are counted but cannot be delivered.
+/// Undeliverable feedback — unconnected port, or upstream gone — is counted
+/// in `feedback_dropped`, never silently lost.
+pub(crate) fn route_node<P: LifecyclePorts>(
+    ctx: &mut OperatorContext,
+    ports: &mut P,
+    metrics: &mut OperatorMetrics,
+    after_eos: bool,
+) {
+    ctx.drain_emissions(|port, emission| {
+        let deliverable = ports.out_slot(port).filter(|&s| !after_eos && ports.out_data_open(s));
+        match emission {
+            Emission::Item(item) => {
+                match &item {
+                    StreamItem::Tuple(_) => metrics.tuples_out += 1,
+                    StreamItem::Punctuation(_) => metrics.punctuations_out += 1,
+                }
+                // Unconnected output (sink side-channel), hung-up consumer,
+                // or post-EOS emission: count and drop.
+                if let Some(slot) = deliverable {
+                    ports.push_item(slot, item, metrics);
+                }
+            }
+            Emission::Page(page) => {
+                metrics.tuples_out += page.tuple_count() as u64;
+                metrics.punctuations_out += page.punctuation_count() as u64;
+                if let Some(slot) = deliverable {
+                    ports.push_page(slot, page, metrics);
+                }
+            }
+        }
+    });
+    for (input, fb) in ctx.take_feedback() {
+        match ports.in_slot(input) {
+            Some(slot) => {
+                if ports.send_control(slot, ControlMessage::Feedback(fb)) {
+                    metrics.feedback_out += 1;
+                } else {
+                    metrics.feedback_dropped += 1;
+                }
+            }
+            None => metrics.feedback_dropped += 1,
+        }
+    }
+    for input in ctx.take_result_requests() {
+        if let Some(slot) = ports.in_slot(input) {
+            ports.send_control(slot, ControlMessage::RequestResults);
+        }
+    }
+    // Broadcasts: control punctuation to every connected output (a
+    // partitioner keeping its replicas punctuated) and feedback to every
+    // connected input (a merge point fanning feedback out to its replicas).
+    // The final target receives the original by move — N targets cost N-1
+    // clones, and the single-target broadcast costs none.
+    for punctuation in ctx.take_broadcast_punctuations() {
+        let targets: Vec<usize> = if after_eos {
+            Vec::new()
+        } else {
+            (0..ports.out_count()).filter(|&s| ports.out_data_open(s)).collect()
+        };
+        if targets.is_empty() {
+            metrics.punctuations_out += 1; // count-and-drop, as for port emissions
+            continue;
+        }
+        let mut remaining = Some(punctuation);
+        let last = targets.len() - 1;
+        for (k, slot) in targets.into_iter().enumerate() {
+            let copy = if k == last {
+                remaining.take().expect("one move per broadcast")
+            } else {
+                remaining.as_ref().expect("clones precede the move").clone()
+            };
+            metrics.punctuations_out += 1;
+            ports.push_item(slot, StreamItem::Punctuation(copy), metrics);
+        }
+    }
+    for fb in ctx.take_broadcast_feedback() {
+        if ports.in_count() == 0 {
+            metrics.feedback_dropped += 1;
+            continue;
+        }
+        let mut remaining = Some(fb);
+        let last = ports.in_count() - 1;
+        for slot in 0..ports.in_count() {
+            let copy = if slot == last {
+                remaining.take().expect("one move per broadcast")
+            } else {
+                remaining.as_ref().expect("clones precede the move").clone()
+            };
+            if ports.send_control(slot, ControlMessage::Feedback(copy)) {
+                metrics.feedback_out += 1;
+            } else {
+                metrics.feedback_dropped += 1;
+            }
+        }
+    }
+}

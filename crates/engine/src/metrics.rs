@@ -35,8 +35,30 @@ pub struct OperatorMetrics {
     pub feedback_dropped: u64,
     /// Time spent inside operator callbacks.
     pub busy: Duration,
+    /// Scheduler steps executed for this operator (pooled executor): each
+    /// step runs the operator's lifecycle machine until it yields its budget,
+    /// goes idle, or finishes.  Sync/threaded runs leave this 0.
+    pub sched_steps: u64,
+    /// Steps executed on a worker other than the operator's home worker
+    /// (pooled executor work stealing).  Sync/threaded runs leave this 0.
+    pub sched_steals: u64,
+    /// Largest number of pages observed waiting on any of this operator's
+    /// input queues (pooled executor).  Sync/threaded runs leave this 0.
+    pub max_queue_depth: u64,
     /// Feedback-layer statistics reported by the operator, if any.
     pub feedback: FeedbackStats,
+}
+
+/// Pool-wide scheduler counters, reported by the pooled executor (see
+/// [`crate::executor::ExecutionReport::scheduler`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerSummary {
+    /// Number of worker threads the pool ran with.
+    pub workers: usize,
+    /// Task steps executed on a worker other than the task's home worker.
+    pub steals: u64,
+    /// Times a worker parked because no runnable task was available.
+    pub parks: u64,
 }
 
 impl OperatorMetrics {

@@ -41,6 +41,23 @@ impl StreamItem {
     }
 }
 
+/// One unit an operator can emit on an output port: a single stream item, or
+/// a whole page passed through intact.
+///
+/// Routing a page as a page (rather than re-pushing its items one by one
+/// through the output's [`crate::page::PageBuilder`]) preserves batching
+/// across fan-out hops: a `Duplicate` or `Union` that classified an entire
+/// input page as pass-through forwards it without per-item work, so the
+/// downstream operator still sees full pages and batch-level guard
+/// evaluation keeps working.
+#[derive(Debug, Clone)]
+pub enum Emission {
+    /// A single tuple or embedded punctuation.
+    Item(StreamItem),
+    /// A whole page, forwarded intact.
+    Page(Page),
+}
+
 /// Whether a source operator has more data to produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SourceState {
@@ -56,7 +73,7 @@ pub enum SourceState {
 /// its outputs here and the executor routes them afterwards.
 #[derive(Debug, Default)]
 pub struct OperatorContext {
-    emitted: Vec<(usize, StreamItem)>,
+    emitted: Vec<(usize, Emission)>,
     feedback: Vec<(usize, FeedbackPunctuation)>,
     request_results: Vec<usize>,
     broadcast_punctuations: Vec<Punctuation>,
@@ -71,12 +88,24 @@ impl OperatorContext {
 
     /// Emits a tuple on the given output port.
     pub fn emit(&mut self, output: usize, tuple: Tuple) {
-        self.emitted.push((output, StreamItem::Tuple(tuple)));
+        self.emitted.push((output, Emission::Item(StreamItem::Tuple(tuple))));
     }
 
     /// Emits an embedded punctuation on the given output port.
     pub fn emit_punctuation(&mut self, output: usize, punctuation: Punctuation) {
-        self.emitted.push((output, StreamItem::Punctuation(punctuation)));
+        self.emitted.push((output, Emission::Item(StreamItem::Punctuation(punctuation))));
+    }
+
+    /// Emits a whole page on the given output port, to be forwarded intact.
+    ///
+    /// Pass-through operators (duplicate, union) use this from
+    /// [`Operator::on_page`] when an entire input page survives their guard
+    /// check unchanged: the executor routes the page without re-batching it,
+    /// so batching is preserved across the hop.  Emission order relative to
+    /// [`OperatorContext::emit`] / [`OperatorContext::emit_punctuation`] is
+    /// preserved.
+    pub fn emit_page(&mut self, output: usize, page: Page) {
+        self.emitted.push((output, Emission::Page(page)));
     }
 
     /// Sends feedback punctuation upstream on the given *input* port (against
@@ -113,24 +142,56 @@ impl OperatorContext {
         self.broadcast_feedback.push(feedback);
     }
 
-    /// Number of items emitted so far (all ports).
+    /// Number of stream items emitted so far (all ports).  A page emitted via
+    /// [`OperatorContext::emit_page`] counts as the number of items it holds.
     pub fn emitted_len(&self) -> usize {
-        self.emitted.len()
+        self.emitted
+            .iter()
+            .map(|(_, e)| match e {
+                Emission::Item(_) => 1,
+                Emission::Page(p) => p.tuple_count() + p.punctuation_count(),
+            })
+            .sum()
     }
 
-    /// Drains the emitted items (used by the executor).
+    /// Drains the emitted items (used by the executor and by tests), exploding
+    /// pages emitted via [`OperatorContext::emit_page`] into their items.
     pub fn take_emitted(&mut self) -> Vec<(usize, StreamItem)> {
-        std::mem::take(&mut self.emitted)
+        let mut out = Vec::with_capacity(self.emitted.len());
+        for (port, emission) in self.emitted.drain(..) {
+            match emission {
+                Emission::Item(item) => out.push((port, item)),
+                Emission::Page(page) => out.extend(page.into_iter().map(|item| (port, item))),
+            }
+        }
+        out
     }
 
     /// Drains the emitted items in place, handing each to `f` and keeping the
-    /// buffer's capacity for the next operator callback.  The executors route
-    /// through this after *every* callback, so reallocating the buffer each
-    /// time (as [`take_emitted`](Self::take_emitted) does) would put an
-    /// alloc/free pair per callback on the hot path.
+    /// buffer's capacity for the next operator callback, exploding pages into
+    /// their items.  Routers that can forward whole pages use
+    /// [`OperatorContext::drain_emissions`] instead.
     pub fn drain_emitted(&mut self, mut f: impl FnMut(usize, StreamItem)) {
-        for (port, item) in self.emitted.drain(..) {
-            f(port, item);
+        for (port, emission) in self.emitted.drain(..) {
+            match emission {
+                Emission::Item(item) => f(port, item),
+                Emission::Page(page) => {
+                    for item in page {
+                        f(port, item);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains the raw emissions in place — items *and* intact pages — keeping
+    /// the buffer's capacity for the next operator callback.  The executors
+    /// route through this after *every* callback, so reallocating the buffer
+    /// each time (as [`take_emitted`](Self::take_emitted) does) would put an
+    /// alloc/free pair per callback on the hot path.
+    pub fn drain_emissions(&mut self, mut f: impl FnMut(usize, Emission)) {
+        for (port, emission) in self.emitted.drain(..) {
+            f(port, emission);
         }
     }
 
@@ -414,6 +475,42 @@ mod tests {
         ]);
         op.on_page(0, page, &mut ctx).unwrap();
         assert_eq!(ctx.take_emitted().len(), 3, "two tuples + forwarded punctuation");
+    }
+
+    #[test]
+    fn emitted_pages_count_and_explode_like_items() {
+        let mut ctx = OperatorContext::new();
+        ctx.emit(0, tuple(1));
+        ctx.emit_page(
+            1,
+            Page::from_items(vec![
+                StreamItem::Tuple(tuple(2)),
+                StreamItem::Punctuation(
+                    Punctuation::progress(schema(), "timestamp", Timestamp::EPOCH).unwrap(),
+                ),
+            ]),
+        );
+        assert_eq!(ctx.emitted_len(), 3, "page contributes its item count");
+        let mut pages = 0;
+        let mut items = 0;
+        ctx.drain_emissions(|port, emission| match emission {
+            Emission::Item(_) => {
+                assert_eq!(port, 0);
+                items += 1;
+            }
+            Emission::Page(p) => {
+                assert_eq!(port, 1);
+                assert_eq!(p.tuple_count(), 1);
+                pages += 1;
+            }
+        });
+        assert_eq!((items, pages), (1, 1));
+
+        ctx.emit_page(2, Page::from_items(vec![StreamItem::Tuple(tuple(3))]));
+        let exploded = ctx.take_emitted();
+        assert_eq!(exploded.len(), 1);
+        assert_eq!(exploded[0].0, 2, "explosion preserves the port");
+        assert_eq!(ctx.emitted_len(), 0, "drained");
     }
 
     #[test]

@@ -43,6 +43,10 @@ pub struct QueryPlan {
     pub(crate) edges: Vec<Edge>,
     pub(crate) page_capacity: usize,
     pub(crate) queue_capacity: usize,
+    pub(crate) pool_size: Option<usize>,
+    /// node index → preferred pooled-executor worker (hint, taken modulo the
+    /// actual pool size).  Kept in lockstep with `nodes` by `add_boxed`.
+    pub(crate) pins: Vec<Option<usize>>,
 }
 
 impl Default for QueryPlan {
@@ -58,6 +62,7 @@ impl std::fmt::Debug for QueryPlan {
             .field("edges", &self.edges)
             .field("page_capacity", &self.page_capacity)
             .field("queue_capacity", &self.queue_capacity)
+            .field("pool_size", &self.pool_size)
             .finish()
     }
 }
@@ -83,6 +88,8 @@ impl QueryPlan {
             edges: Vec::new(),
             page_capacity: PageBuilder::DEFAULT_CAPACITY,
             queue_capacity: DataQueue::DEFAULT_CAPACITY,
+            pool_size: None,
+            pins: Vec::new(),
         }
     }
 
@@ -109,6 +116,46 @@ impl QueryPlan {
         self.queue_capacity
     }
 
+    /// Sets the number of worker threads the pooled executor should run this
+    /// plan with.  Clamped to at least 1; the sync and threaded executors
+    /// ignore it.  When unset, [`crate::pooled::PooledExecutor`] defaults to
+    /// the machine's available parallelism.
+    pub fn with_worker_pool(mut self, workers: usize) -> Self {
+        self.pool_size = Some(workers.max(1));
+        self
+    }
+
+    /// The configured pooled-executor worker count, if any.
+    pub fn worker_pool(&self) -> Option<usize> {
+        self.pool_size
+    }
+
+    /// Pins an operator to a preferred pooled-executor worker.  A *hint*, not
+    /// an assignment: the pin picks the operator's home run queue (modulo the
+    /// actual pool size), but idle workers may still steal the task.  Useful
+    /// to co-locate a chain of operators so pages flow between them without
+    /// crossing workers, or to spread known-heavy operators apart.
+    pub fn pin_to_worker(&mut self, node: NodeId, worker: usize) -> EngineResult<()> {
+        match self.pins.get_mut(node.0) {
+            Some(slot) => {
+                *slot = Some(worker);
+                Ok(())
+            }
+            None => Err(EngineError::InvalidPlan {
+                detail: format!(
+                    "cannot pin {node:?} to worker {worker}: the node does not exist (the plan \
+                     has {} nodes)",
+                    self.nodes.len()
+                ),
+            }),
+        }
+    }
+
+    /// The worker an operator is pinned to, if any.
+    pub fn worker_pin(&self, node: NodeId) -> Option<usize> {
+        self.pins.get(node.0).copied().flatten()
+    }
+
     /// Adds an operator to the plan, returning its node id.
     pub fn add(&mut self, operator: impl Operator + 'static) -> NodeId {
         self.add_boxed(Box::new(operator))
@@ -123,6 +170,7 @@ impl QueryPlan {
             outputs: operator.outputs(),
             operator,
         });
+        self.pins.push(None);
         id
     }
 
@@ -696,6 +744,19 @@ mod tests {
         plan.connect_simple(a, b).unwrap();
         plan.connect_simple(b, a).unwrap();
         assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn worker_pool_and_pins_are_configurable() {
+        assert_eq!(QueryPlan::new().worker_pool(), None);
+        assert_eq!(QueryPlan::new().with_worker_pool(0).worker_pool(), Some(1), "clamped");
+        let mut plan = QueryPlan::new().with_worker_pool(4);
+        assert_eq!(plan.worker_pool(), Some(4));
+        let a = plan.add(Dummy::new("a", 0, 1));
+        assert_eq!(plan.worker_pin(a), None);
+        plan.pin_to_worker(a, 3).unwrap();
+        assert_eq!(plan.worker_pin(a), Some(3));
+        assert!(plan.pin_to_worker(NodeId(9), 0).is_err(), "unknown node");
     }
 
     #[test]

@@ -1,0 +1,638 @@
+//! Work-stealing worker-pool executor.
+//!
+//! [`PooledExecutor`] runs a whole [`QueryPlan`] on a fixed pool of worker
+//! threads.  Each operator becomes a scheduler *task* — its
+//! lifecycle state machine (`lifecycle::NodeMachine`) plus non-blocking
+//! queue endpoints —
+//! rather than a dedicated OS thread, so a plan with 64 operators runs
+//! comfortably on 4 cores without 64 stacks and the attendant
+//! context-switch storm.
+//!
+//! # Scheduling model
+//!
+//! * **Per-worker run queues with stealing.**  Every task has a *home*
+//!   worker (its plan pin, or round-robin by node index).  A worker pops its
+//!   own queue front-first (FIFO — pages flow through a chain of
+//!   same-worker operators in submission order, without parking between
+//!   hops) and steals from the *back* of other workers' queues when its own
+//!   is empty.
+//! * **Event-driven readiness.**  Tasks are scheduled by queue notification
+//!   hooks (see [`crate::queue::ReadyNotify`]): data arriving on an input
+//!   wakes the consumer, credit regained on an output (or a control message)
+//!   wakes the producer.  An idle worker parks on its
+//!   [`crossbeam_channel::Waker`] and costs zero CPU.
+//! * **Lost-wakeup safety.**  Each task carries an atomic state (idle /
+//!   queued / running / rerun / done).  A notification for a *running* task
+//!   marks it rerun; when the worker finishes the step it observes the mark
+//!   and requeues instead of idling, so a wakeup arriving mid-step is never
+//!   lost.
+//! * **Cooperative back-pressure.**  Data queues are soft-bounded: sends
+//!   never block, but the lifecycle machine checks producer *credit* before
+//!   each data step and goes idle when a downstream queue is full, to be
+//!   woken by the consumer's next pop.  Flush/drain traffic ignores credit,
+//!   so teardown cannot deadlock even at `queue_capacity = 1`.
+//!
+//! A worker executes a task's lifecycle step with a bounded budget
+//! (`STEP_BUDGET` input sweeps or source polls), then requeues it if it
+//! still has work — long-running operators time-slice instead of starving
+//! the pool.  Scheduler observability lands in the per-operator metrics
+//! (`sched_steps`, `sched_steals`, `max_queue_depth`) and the report-level
+//! [`SchedulerSummary`].  The full task lifecycle and steal protocol are
+//! documented in `docs/SCHEDULER.md`.
+
+use crate::control::ControlMessage;
+use crate::error::{EngineError, EngineResult};
+use crate::executor::{panic_detail, ExecutionReport};
+use crate::lifecycle::{LifecyclePorts, NodeMachine, StepOutcome};
+use crate::metrics::{OperatorMetrics, SchedulerSummary};
+use crate::operator::{Operator, OperatorContext, StreamItem};
+use crate::page::{Page, PageBuilder};
+use crate::plan::QueryPlan;
+use crate::queue::{ControlPoll, DataPoll, DataQueue, PooledConsumer, PooledProducer, ReadyNotify};
+use crossbeam_channel::Waker;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Instant;
+
+/// Data-work budget per scheduler step: how many input sweeps (or source
+/// polls) a task may run before yielding the worker.
+const STEP_BUDGET: usize = 64;
+
+// Task states (atomic u8).  Transitions:
+//   IDLE    --schedule-->  QUEUED   (pushed to home run queue)
+//   QUEUED  --pop-------->  RUNNING
+//   RUNNING --schedule-->  RERUN    (wakeup while stepping: don't lose it)
+//   RUNNING --step Yield-> QUEUED   (requeued on the current worker)
+//   RUNNING --step Idle--> IDLE     (unless RERUN intervened: then QUEUED)
+//   RUNNING --step Done--> DONE
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const RERUN: u8 = 3;
+const DONE: u8 = 4;
+
+/// Fixed worker pool running every operator of a plan as a stealable task.
+pub struct PooledExecutor;
+
+/// A task's view of one incoming connection.
+struct PooledIn {
+    /// Input port the connection is attached to.
+    port: usize,
+    consumer: PooledConsumer,
+    /// Still expecting data: no end-of-stream (or hang-up) observed yet.
+    open: bool,
+}
+
+/// A task's view of one outgoing connection.
+struct PooledOut {
+    /// Output port the connection is attached to.
+    port: usize,
+    producer: PooledProducer,
+    builder: PageBuilder,
+    /// The downstream consumer may still send control messages.
+    control_open: bool,
+    /// The data queue still has a live consumer (no send has failed).
+    data_open: bool,
+}
+
+/// [`LifecyclePorts`] over a task's notification-driven queue endpoints.
+struct PooledPorts {
+    inputs: Vec<PooledIn>,
+    outputs: Vec<PooledOut>,
+    /// input port → index into `inputs` (dense routing table).
+    in_route: Vec<Option<usize>>,
+    /// output port → index into `outputs` (dense routing table).
+    out_route: Vec<Option<usize>>,
+    /// Largest number of pages observed waiting on any input queue.
+    max_depth: u64,
+}
+
+impl PooledPorts {
+    /// Failure teardown: relay shutdown upstream and drop all endpoints so
+    /// neighbours unblock via their `Closed` polls.
+    fn abort(&mut self) {
+        for input in &self.inputs {
+            input.consumer.send_control(ControlMessage::Shutdown);
+            input.consumer.close();
+        }
+        for output in &self.outputs {
+            output.producer.close();
+        }
+    }
+}
+
+impl LifecyclePorts for PooledPorts {
+    fn in_count(&self) -> usize {
+        self.inputs.len()
+    }
+    fn in_port(&self, slot: usize) -> usize {
+        self.inputs[slot].port
+    }
+    fn in_open(&self, slot: usize) -> bool {
+        self.inputs[slot].open
+    }
+    fn close_in(&mut self, slot: usize) {
+        self.inputs[slot].open = false;
+    }
+    fn poll_in(&mut self, slot: usize) -> DataPoll {
+        let depth = self.inputs[slot].consumer.pending() as u64;
+        if depth > self.max_depth {
+            self.max_depth = depth;
+        }
+        self.inputs[slot].consumer.poll_data()
+    }
+    fn in_slot(&self, port: usize) -> Option<usize> {
+        self.in_route.get(port).copied().flatten()
+    }
+    fn send_control(&mut self, slot: usize, message: ControlMessage) -> bool {
+        self.inputs[slot].consumer.send_control(message)
+    }
+
+    fn out_count(&self) -> usize {
+        self.outputs.len()
+    }
+    fn out_port(&self, slot: usize) -> usize {
+        self.outputs[slot].port
+    }
+    fn out_slot(&self, port: usize) -> Option<usize> {
+        self.out_route.get(port).copied().flatten()
+    }
+    fn out_data_open(&self, slot: usize) -> bool {
+        self.outputs[slot].data_open
+    }
+    fn push_item(&mut self, slot: usize, item: StreamItem, metrics: &mut OperatorMetrics) {
+        let output = &mut self.outputs[slot];
+        match item {
+            StreamItem::Tuple(t) => {
+                if let Some(page) = output.builder.push_tuple(t) {
+                    metrics.pages_out += 1;
+                    if !output.producer.send_page(page) {
+                        output.data_open = false;
+                    }
+                }
+            }
+            StreamItem::Punctuation(p) => {
+                let page = output.builder.push_punctuation(p);
+                metrics.pages_out += 1;
+                if !output.producer.send_page(page) {
+                    output.data_open = false;
+                }
+            }
+        }
+    }
+    fn push_page(&mut self, slot: usize, page: Page, metrics: &mut OperatorMetrics) {
+        let output = &mut self.outputs[slot];
+        if let Some(partial) = output.builder.flush() {
+            metrics.pages_out += 1;
+            if output.data_open && !output.producer.send_page(partial) {
+                output.data_open = false;
+            }
+        }
+        metrics.pages_out += 1;
+        if output.data_open && !output.producer.send_page(page) {
+            output.data_open = false;
+        }
+    }
+    fn flush_out(&mut self, slot: usize, metrics: &mut OperatorMetrics) {
+        let output = &mut self.outputs[slot];
+        if let Some(page) = output.builder.flush() {
+            metrics.pages_out += 1;
+            if output.data_open && !output.producer.send_page(page) {
+                output.data_open = false;
+            }
+        }
+    }
+    fn send_eos(&mut self, slot: usize) {
+        self.outputs[slot].producer.send_end_of_stream();
+    }
+    fn control_open(&self, slot: usize) -> bool {
+        self.outputs[slot].control_open
+    }
+    fn close_control(&mut self, slot: usize) {
+        self.outputs[slot].control_open = false;
+    }
+    fn poll_control(&mut self, slot: usize) -> ControlPoll {
+        self.outputs[slot].producer.poll_control()
+    }
+    fn has_credit(&self, slot: usize) -> bool {
+        self.outputs[slot].producer.has_credit()
+    }
+}
+
+/// The mutable half of a task, owned by whichever worker is stepping it.
+struct TaskBody {
+    operator: Box<dyn Operator>,
+    ports: PooledPorts,
+    machine: NodeMachine,
+    metrics: OperatorMetrics,
+    ctx: OperatorContext,
+}
+
+struct Task {
+    state: AtomicU8,
+    /// Preferred worker: schedule() pushes to this worker's run queue.
+    home: usize,
+    body: Mutex<TaskBody>,
+}
+
+struct WorkerState {
+    queue: Mutex<VecDeque<usize>>,
+    waker: Waker,
+    parked: std::sync::atomic::AtomicBool,
+}
+
+/// Pool state shared by all workers and every notification hook.
+struct Shared {
+    tasks: Vec<Task>,
+    workers: Vec<WorkerState>,
+    /// Tasks not yet DONE; the pool exits when this reaches zero.
+    live: AtomicUsize,
+    steals: AtomicU64,
+    parks: AtomicU64,
+    first_error: Mutex<Option<EngineError>>,
+}
+
+/// Queue-event hook: wakes (schedules) one task.  Holds the pool weakly so
+/// the hooks retained inside queue endpoints cannot keep the pool — and the
+/// operators inside it — alive after the run.
+struct TaskNotify {
+    shared: Weak<Shared>,
+    task: usize,
+}
+
+impl ReadyNotify for TaskNotify {
+    fn notify(&self) {
+        if let Some(shared) = self.shared.upgrade() {
+            schedule(&shared, self.task);
+        }
+    }
+}
+
+/// Marks a task runnable and makes sure a worker will see it.  Safe against
+/// every race with a concurrent step: a task mid-step is marked RERUN (the
+/// stepping worker requeues it), a task already queued is left alone.
+fn schedule(shared: &Shared, task: usize) {
+    let t = &shared.tasks[task];
+    loop {
+        match t.state.compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => {
+                let home = &shared.workers[t.home];
+                home.queue.lock().push_back(task);
+                home.waker.notify();
+                // If the home worker is busy, rouse one parked helper so the
+                // task can be stolen promptly.
+                if !home.parked.load(Ordering::Acquire) {
+                    if let Some(w) =
+                        shared.workers.iter().find(|w| w.parked.load(Ordering::Acquire))
+                    {
+                        w.waker.notify();
+                    }
+                }
+                return;
+            }
+            Err(RUNNING) => {
+                if t.state
+                    .compare_exchange(RUNNING, RERUN, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return;
+                }
+                // The step ended (or another notifier won) between the two
+                // exchanges; retry from the top.
+            }
+            Err(_) => return, // QUEUED, RERUN, or DONE: nothing to do
+        }
+    }
+}
+
+/// Counts one task down and, at zero, wakes every worker so the pool exits.
+fn finish_one(shared: &Shared) {
+    if shared.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+        for w in &shared.workers {
+            w.waker.notify();
+        }
+    }
+}
+
+/// Pops the next runnable task: own queue front-first, then steal from the
+/// back of the other workers' queues.
+fn pop_task(shared: &Shared, me: usize) -> Option<usize> {
+    if let Some(t) = shared.workers[me].queue.lock().pop_front() {
+        return Some(t);
+    }
+    let n = shared.workers.len();
+    for k in 1..n {
+        let victim = (me + k) % n;
+        if let Some(t) = shared.workers[victim].queue.lock().pop_back() {
+            shared.steals.fetch_add(1, Ordering::Relaxed);
+            return Some(t);
+        }
+    }
+    None
+}
+
+fn worker_loop(shared: &Shared, me: usize) {
+    loop {
+        match pop_task(shared, me) {
+            Some(task) => run_task(shared, me, task),
+            None => {
+                if shared.live.load(Ordering::Acquire) == 0 {
+                    return;
+                }
+                let w = &shared.workers[me];
+                w.parked.store(true, Ordering::Release);
+                let token = w.waker.token();
+                // Recheck under the token: a task pushed (or the last task
+                // finishing) between our failed pop and the token grab would
+                // otherwise have notified nobody.
+                if shared.live.load(Ordering::Acquire) == 0
+                    || shared.workers.iter().any(|w| !w.queue.lock().is_empty())
+                {
+                    w.parked.store(false, Ordering::Release);
+                    continue;
+                }
+                shared.parks.fetch_add(1, Ordering::Relaxed);
+                w.waker.wait(token);
+                w.parked.store(false, Ordering::Release);
+            }
+        }
+    }
+}
+
+/// Runs one lifecycle step of `task` on worker `me` and disposes of the
+/// outcome (requeue, idle, finish, or fail).
+fn run_task(shared: &Shared, me: usize, task_id: usize) {
+    let task = &shared.tasks[task_id];
+    task.state.store(RUNNING, Ordering::Release);
+    let mut body = task.body.lock();
+    let TaskBody { operator, ports, machine, metrics, ctx } = &mut *body;
+    metrics.sched_steps += 1;
+    if task.home != me {
+        metrics.sched_steals += 1;
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        machine.step(operator.as_mut(), ports, metrics, ctx, STEP_BUDGET)
+    }));
+    match outcome {
+        Ok(Ok(StepOutcome::Yield)) => {
+            drop(body);
+            // Requeue on the *current* worker: a page chain keeps flowing
+            // through same-worker operators without a park in between.
+            task.state.store(QUEUED, Ordering::Release);
+            shared.workers[me].queue.lock().push_back(task_id);
+        }
+        Ok(Ok(StepOutcome::Idle)) => {
+            drop(body);
+            if task
+                .state
+                .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                // A wakeup arrived mid-step (RERUN): requeue instead of
+                // idling, so the event is not lost.
+                task.state.store(QUEUED, Ordering::Release);
+                shared.workers[me].queue.lock().push_back(task_id);
+            }
+        }
+        Ok(Ok(StepOutcome::Done)) => {
+            drop(body);
+            task.state.store(DONE, Ordering::Release);
+            finish_one(shared);
+        }
+        Ok(Err(err)) => {
+            let named = EngineError::OperatorFailed {
+                operator: metrics.operator.clone(),
+                detail: err.to_string(),
+            };
+            fail_task(shared, ports, named);
+            drop(body);
+            task.state.store(DONE, Ordering::Release);
+            finish_one(shared);
+        }
+        Err(payload) => {
+            let named = EngineError::OperatorFailed {
+                operator: metrics.operator.clone(),
+                detail: format!("operator panicked: {}", panic_detail(payload.as_ref())),
+            };
+            fail_task(shared, ports, named);
+            drop(body);
+            task.state.store(DONE, Ordering::Release);
+            finish_one(shared);
+        }
+    }
+}
+
+/// Records the first error and tears the failed task's connections down so
+/// the rest of the query unwinds promptly.
+fn fail_task(shared: &Shared, ports: &mut PooledPorts, err: EngineError) {
+    let mut slot = shared.first_error.lock();
+    if slot.is_none() {
+        *slot = Some(err);
+    }
+    drop(slot);
+    ports.abort();
+}
+
+impl PooledExecutor {
+    /// Runs the plan on the configured worker pool
+    /// ([`QueryPlan::with_worker_pool`]), defaulting to the machine's
+    /// available parallelism.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dsms_engine::pooled::PooledExecutor;
+    /// use dsms_engine::{Operator, OperatorContext, QueryPlan, SourceState};
+    /// # use dsms_engine::EngineResult;
+    /// # use dsms_types::{DataType, Schema, Tuple, Value};
+    /// # struct Nums(i64);
+    /// # impl Operator for Nums {
+    /// #     fn name(&self) -> &str { "nums" }
+    /// #     fn inputs(&self) -> usize { 0 }
+    /// #     fn on_tuple(&mut self, _: usize, _: Tuple, _: &mut OperatorContext) -> EngineResult<()> { Ok(()) }
+    /// #     fn poll_source(&mut self, ctx: &mut OperatorContext) -> EngineResult<SourceState> {
+    /// #         if self.0 >= 100 { return Ok(SourceState::Exhausted); }
+    /// #         let schema = Schema::shared(&[("v", DataType::Int)]);
+    /// #         ctx.emit(0, Tuple::new(schema, vec![Value::Int(self.0)]));
+    /// #         self.0 += 1;
+    /// #         Ok(SourceState::Producing)
+    /// #     }
+    /// # }
+    /// # struct Count(u64);
+    /// # impl Operator for Count {
+    /// #     fn name(&self) -> &str { "count" }
+    /// #     fn inputs(&self) -> usize { 1 }
+    /// #     fn outputs(&self) -> usize { 0 }
+    /// #     fn on_tuple(&mut self, _: usize, _: Tuple, _: &mut OperatorContext) -> EngineResult<()> {
+    /// #         self.0 += 1;
+    /// #         Ok(())
+    /// #     }
+    /// # }
+    ///
+    /// // Same operator code as the other executors, now scheduled as tasks
+    /// // on a 2-worker pool.
+    /// let mut plan = QueryPlan::new().with_worker_pool(2);
+    /// let source = plan.add(Nums(0));
+    /// let sink = plan.add(Count(0));
+    /// plan.connect_simple(source, sink)?;
+    ///
+    /// let report = PooledExecutor::run(plan)?;
+    /// assert_eq!(report.operator("nums").unwrap().tuples_out, 100);
+    /// assert_eq!(report.scheduler.unwrap().workers, 2);
+    /// assert_eq!(report.total_feedback_dropped(), 0);
+    /// # Ok::<(), dsms_engine::EngineError>(())
+    /// ```
+    pub fn run(plan: QueryPlan) -> EngineResult<ExecutionReport> {
+        let workers = plan
+            .worker_pool()
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        Self::run_with_workers(plan, workers)
+    }
+
+    /// Runs the plan on exactly `workers` pool threads (clamped to at least
+    /// one), overriding any plan-level setting.
+    pub fn run_with_workers(mut plan: QueryPlan, workers: usize) -> EngineResult<ExecutionReport> {
+        plan.validate()?;
+        let started = Instant::now();
+        let workers = workers.max(1);
+        let page_capacity = plan.page_capacity;
+        let queue_capacity = plan.queue_capacity;
+
+        // Build one notification-driven connection per edge.
+        let mut producer_ends: Vec<Option<PooledProducer>> = Vec::new();
+        let mut consumer_ends: Vec<Option<PooledConsumer>> = Vec::new();
+        for _ in &plan.edges {
+            let (p, c) = DataQueue::pooled_connection(queue_capacity);
+            producer_ends.push(Some(p));
+            consumer_ends.push(Some(c));
+        }
+
+        // Assemble one task per node.
+        let node_count = plan.nodes.len();
+        let pins = std::mem::take(&mut plan.pins);
+        let edges = plan.edges.clone();
+        let mut tasks: Vec<Task> = Vec::with_capacity(node_count);
+        for (idx, node) in plan.nodes.drain(..).enumerate() {
+            let mut inputs = Vec::new();
+            let mut outputs = Vec::new();
+            let mut in_route = vec![None; node.inputs];
+            let mut out_route = vec![None; node.outputs];
+            for (e_idx, e) in edges.iter().enumerate() {
+                if e.to.0 == idx {
+                    in_route[e.to_port] = Some(inputs.len());
+                    inputs.push(PooledIn {
+                        port: e.to_port,
+                        consumer: consumer_ends[e_idx].take().expect("consumer end taken once"),
+                        open: true,
+                    });
+                }
+                if e.from.0 == idx {
+                    out_route[e.from_port] = Some(outputs.len());
+                    outputs.push(PooledOut {
+                        port: e.from_port,
+                        producer: producer_ends[e_idx].take().expect("producer end taken once"),
+                        builder: PageBuilder::new(page_capacity),
+                        control_open: true,
+                        data_open: true,
+                    });
+                }
+            }
+            let is_source = inputs.is_empty();
+            let home = pins.get(idx).copied().flatten().unwrap_or(idx) % workers;
+            tasks.push(Task {
+                state: AtomicU8::new(IDLE),
+                home,
+                body: Mutex::new(TaskBody {
+                    metrics: OperatorMetrics::new(node.name),
+                    operator: node.operator,
+                    ports: PooledPorts { inputs, outputs, in_route, out_route, max_depth: 0 },
+                    machine: NodeMachine::new(is_source),
+                    ctx: OperatorContext::new(),
+                }),
+            });
+        }
+
+        let shared = Arc::new(Shared {
+            tasks,
+            workers: (0..workers)
+                .map(|_| WorkerState {
+                    queue: Mutex::new(VecDeque::new()),
+                    waker: Waker::new(),
+                    parked: std::sync::atomic::AtomicBool::new(false),
+                })
+                .collect(),
+            live: AtomicUsize::new(node_count),
+            steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            first_error: Mutex::new(None),
+        });
+
+        // Register the readiness hooks: each endpoint wakes the task that
+        // owns it (weakly, so dropping the pool defuses them).
+        for (i, task) in shared.tasks.iter().enumerate() {
+            let body = task.body.lock();
+            for input in &body.ports.inputs {
+                input
+                    .consumer
+                    .set_on_data(Arc::new(TaskNotify { shared: Arc::downgrade(&shared), task: i }));
+            }
+            for output in &body.ports.outputs {
+                output.producer.set_on_credit(Arc::new(TaskNotify {
+                    shared: Arc::downgrade(&shared),
+                    task: i,
+                }));
+                output.producer.set_on_control(Arc::new(TaskNotify {
+                    shared: Arc::downgrade(&shared),
+                    task: i,
+                }));
+            }
+        }
+
+        // Seed every task once, then let readiness events drive the rest.
+        for i in 0..node_count {
+            schedule(&shared, i);
+        }
+
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, w))
+            })
+            .collect();
+        let mut worker_panic = false;
+        for handle in handles {
+            worker_panic |= handle.join().is_err();
+        }
+
+        if let Some(err) = shared.first_error.lock().take() {
+            return Err(err);
+        }
+        if worker_panic {
+            return Err(EngineError::ExecutionFailed {
+                detail: "pool worker thread panicked".into(),
+            });
+        }
+
+        let mut metrics = Vec::with_capacity(node_count);
+        for task in &shared.tasks {
+            let mut body = task.body.lock();
+            if let Some(stats) = body.operator.feedback_stats() {
+                body.metrics.feedback = stats;
+            }
+            body.metrics.max_queue_depth = body.ports.max_depth;
+            metrics.push(std::mem::take(&mut body.metrics));
+        }
+        Ok(ExecutionReport {
+            elapsed: started.elapsed(),
+            metrics,
+            scheduler: Some(SchedulerSummary {
+                workers,
+                steals: shared.steals.load(Ordering::Relaxed),
+                parks: shared.parks.load(Ordering::Relaxed),
+            }),
+        })
+    }
+}

@@ -8,10 +8,10 @@
 //! from **every** output; until then the correct response is the null
 //! response (and no propagation).
 
-use dsms_engine::{EngineResult, Operator, OperatorContext};
+use dsms_engine::{EngineResult, Operator, OperatorContext, Page, StreamItem};
 use dsms_feedback::{
-    characterize_duplicate, FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles,
-    GuardDecision,
+    characterize_duplicate, BatchGuardDecision, FeedbackIntent, FeedbackPunctuation,
+    FeedbackRegistry, FeedbackRoles, GuardDecision,
 };
 use dsms_punctuation::{Pattern, Punctuation};
 use dsms_types::{SchemaRef, Tuple};
@@ -86,6 +86,46 @@ impl Operator for Duplicate {
             ctx.emit(port, tuple.clone());
         }
         ctx.emit(self.outputs - 1, tuple);
+        Ok(())
+    }
+
+    /// Batch fast path: a page whose column summaries prove every row clear
+    /// of the active guards is copied to each output *as a page* (O(1) clones
+    /// of the shared lanes), keeping upstream batching intact across the
+    /// fan-out instead of exploding it into per-tuple routing.  A page proven
+    /// entirely covered drops its row lane wholesale; its punctuation lane
+    /// still reaches every output.  Inconclusive summaries fall back to the
+    /// exact per-item path.
+    fn on_page(&mut self, input: usize, page: Page, ctx: &mut OperatorContext) -> EngineResult<()> {
+        let decision = self.registry.decide_batch(page.tuple_count(), |c| page.column_summary(c));
+        match decision {
+            BatchGuardDecision::PassAll => {
+                // Page clones share the row/punctuation lanes, so this is N-1
+                // refcount bumps plus one move — identical item order on every
+                // output, exactly like the per-tuple path.
+                for port in 0..self.outputs - 1 {
+                    ctx.emit_page(port, page.clone());
+                }
+                ctx.emit_page(self.outputs - 1, page);
+            }
+            BatchGuardDecision::SuppressAll => {
+                for item in page {
+                    if let StreamItem::Punctuation(punctuation) = item {
+                        self.on_punctuation(input, punctuation, ctx)?;
+                    }
+                }
+            }
+            BatchGuardDecision::Mixed => {
+                for item in page {
+                    match item {
+                        StreamItem::Tuple(tuple) => self.on_tuple(input, tuple, ctx)?,
+                        StreamItem::Punctuation(punctuation) => {
+                            self.on_punctuation(input, punctuation, ctx)?
+                        }
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -213,6 +253,69 @@ mod tests {
         assert!(ctx.take_emitted().is_empty(), "segment 5 suppressed");
         op.on_tuple(0, tuple(6), &mut ctx).unwrap();
         assert_eq!(ctx.take_emitted().len(), 2, "segment 6 unaffected");
+    }
+
+    #[test]
+    fn clear_pages_are_copied_to_every_output_as_pages() {
+        use dsms_engine::Emission;
+        let mut op = Duplicate::new("dup", schema(), 3);
+        let mut ctx = OperatorContext::new();
+        let page = Page::from_items(vec![
+            StreamItem::Tuple(tuple(1)),
+            StreamItem::Tuple(tuple(2)),
+            StreamItem::Punctuation(
+                Punctuation::progress(schema(), "timestamp", Timestamp::EPOCH).unwrap(),
+            ),
+        ]);
+        op.on_page(0, page, &mut ctx).unwrap();
+        let mut pages = Vec::new();
+        ctx.drain_emissions(|port, emission| match emission {
+            Emission::Page(p) => pages.push((port, p)),
+            Emission::Item(item) => panic!("expected whole pages, got item {item:?}"),
+        });
+        let ports: Vec<usize> = pages.iter().map(|(p, _)| *p).collect();
+        assert_eq!(ports, vec![0, 1, 2], "one intact page per output");
+        for (_, p) in &pages {
+            assert_eq!(p.tuple_count(), 2);
+            assert_eq!(p.punctuation_count(), 1, "punctuation still reaches every copy");
+        }
+    }
+
+    #[test]
+    fn covered_pages_drop_rows_but_copy_punctuation_to_all_outputs() {
+        let mut op = Duplicate::new("dup", schema(), 2);
+        let mut ctx = OperatorContext::new();
+        // Unanimous assumed feedback on segment 3 activates the guard.
+        op.on_feedback(0, FeedbackPunctuation::assumed(seg_pattern(3), "left"), &mut ctx).unwrap();
+        op.on_feedback(1, FeedbackPunctuation::assumed(seg_pattern(3), "right"), &mut ctx).unwrap();
+        let _ = ctx.take_feedback();
+        let page = Page::from_items(vec![
+            StreamItem::Tuple(tuple(3)),
+            StreamItem::Tuple(tuple(3)),
+            StreamItem::Punctuation(
+                Punctuation::progress(schema(), "timestamp", Timestamp::EPOCH).unwrap(),
+            ),
+        ]);
+        op.on_page(0, page, &mut ctx).unwrap();
+        let emitted = ctx.take_emitted();
+        assert_eq!(emitted.len(), 2, "only the punctuation survives, copied to both outputs");
+        assert!(emitted.iter().all(|(_, i)| matches!(i, StreamItem::Punctuation(_))));
+    }
+
+    #[test]
+    fn mixed_pages_fall_back_to_the_exact_per_item_path() {
+        let mut op = Duplicate::new("dup", schema(), 2);
+        let mut ctx = OperatorContext::new();
+        op.on_feedback(0, FeedbackPunctuation::assumed(seg_pattern(3), "left"), &mut ctx).unwrap();
+        op.on_feedback(1, FeedbackPunctuation::assumed(seg_pattern(3), "right"), &mut ctx).unwrap();
+        let _ = ctx.take_feedback();
+        // Segments 3 and 4 on one page: summaries span the guard, so the
+        // per-tuple path must suppress 3 and copy 4.
+        let page = Page::from_items(vec![StreamItem::Tuple(tuple(3)), StreamItem::Tuple(tuple(4))]);
+        op.on_page(0, page, &mut ctx).unwrap();
+        let emitted = ctx.take_emitted();
+        assert_eq!(emitted.len(), 2, "segment 4 copied to both outputs, segment 3 suppressed");
+        assert!(emitted.iter().all(|(_, i)| i.as_tuple().unwrap().int("segment").unwrap() == 4));
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! from downstream applies to all inputs equally and is relayed to each.
 
 use crate::common::MinWatermark;
-use dsms_engine::{EngineResult, Operator, OperatorContext};
+use dsms_engine::{EngineResult, Operator, OperatorContext, Page, StreamItem};
 use dsms_feedback::{
-    FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles, GuardDecision,
+    BatchGuardDecision, FeedbackIntent, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles,
+    GuardDecision,
 };
 use dsms_punctuation::Punctuation;
 use dsms_types::{SchemaRef, Tuple};
@@ -85,6 +86,40 @@ impl Operator for Union {
             return Ok(());
         }
         ctx.emit(0, tuple);
+        Ok(())
+    }
+
+    /// Batch fast path: a punctuation-free page whose column summaries prove
+    /// every row clear of the active guards is forwarded intact (one move, no
+    /// per-tuple probes or re-batching), so fan-in plans keep upstream
+    /// batching across the merge.  Pages carrying punctuation always take the
+    /// per-item path — per-input punctuation must go through the min-watermark
+    /// combine, never straight to the output — as do pages the summaries
+    /// cannot decide; a page proven entirely covered is dropped wholesale.
+    fn on_page(&mut self, input: usize, page: Page, ctx: &mut OperatorContext) -> EngineResult<()> {
+        let decision = self.registry.decide_batch(page.tuple_count(), |c| page.column_summary(c));
+        match decision {
+            BatchGuardDecision::PassAll if page.punctuation_count() == 0 => {
+                ctx.emit_page(0, page);
+            }
+            BatchGuardDecision::SuppressAll => {
+                for item in page {
+                    if let StreamItem::Punctuation(punctuation) = item {
+                        self.on_punctuation(input, punctuation, ctx)?;
+                    }
+                }
+            }
+            _ => {
+                for item in page {
+                    match item {
+                        StreamItem::Tuple(tuple) => self.on_tuple(input, tuple, ctx)?,
+                        StreamItem::Punctuation(punctuation) => {
+                            self.on_punctuation(input, punctuation, ctx)?
+                        }
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -197,6 +232,68 @@ mod tests {
         let mut ctx = OperatorContext::new();
         op.on_punctuation(0, progress(100), &mut ctx).unwrap();
         assert!(ctx.take_emitted().is_empty());
+    }
+
+    #[test]
+    fn clear_punctuation_free_pages_pass_through_intact() {
+        use dsms_engine::Emission;
+        let mut op = Union::new("union", schema(), 2);
+        let mut ctx = OperatorContext::new();
+        let page = Page::from_items(vec![
+            StreamItem::Tuple(tuple(1, 10)),
+            StreamItem::Tuple(tuple(2, 20)),
+        ]);
+        op.on_page(0, page, &mut ctx).unwrap();
+        let mut pages = Vec::new();
+        ctx.drain_emissions(|port, emission| match emission {
+            Emission::Page(p) => pages.push((port, p)),
+            Emission::Item(item) => panic!("expected a whole page, got item {item:?}"),
+        });
+        assert_eq!(pages.len(), 1);
+        assert_eq!(pages[0].0, 0);
+        assert_eq!(pages[0].1.tuple_count(), 2);
+    }
+
+    #[test]
+    fn pages_carrying_punctuation_take_the_per_item_path() {
+        let mut op = Union::new("union", schema(), 2).with_progress_on("timestamp");
+        let mut ctx = OperatorContext::new();
+        // Input 1 has already punctuated to ts=50; input 0's page carries a
+        // punctuation at ts=100, so the combined minimum (50) must be emitted —
+        // forwarding the page intact would leak input 0's watermark.
+        op.on_punctuation(1, progress(50), &mut ctx).unwrap();
+        assert!(ctx.take_emitted().is_empty());
+        let page = Page::from_items(vec![
+            StreamItem::Tuple(tuple(1, 10)),
+            StreamItem::Punctuation(progress(100)),
+        ]);
+        op.on_page(0, page, &mut ctx).unwrap();
+        let emitted = ctx.take_emitted();
+        assert_eq!(emitted.len(), 2, "tuple plus the *combined* punctuation");
+        match &emitted[1].1 {
+            StreamItem::Punctuation(p) => {
+                assert_eq!(p.watermark_for("timestamp"), Some(Timestamp::from_secs(50)))
+            }
+            other => panic!("expected combined punctuation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn covered_pages_are_dropped_wholesale() {
+        let mut op = Union::new("union", schema(), 2);
+        let mut ctx = OperatorContext::new();
+        let fb = FeedbackPunctuation::assumed(
+            Pattern::for_attributes(schema(), &[("v", PatternItem::Ge(Value::Int(100)))]).unwrap(),
+            "sink",
+        );
+        op.on_feedback(0, fb, &mut ctx).unwrap();
+        let _ = ctx.take_feedback();
+        let page = Page::from_items(vec![
+            StreamItem::Tuple(tuple(1, 150)),
+            StreamItem::Tuple(tuple(2, 200)),
+        ]);
+        op.on_page(0, page, &mut ctx).unwrap();
+        assert!(ctx.take_emitted().is_empty(), "summaries prove the whole page assumed away");
     }
 
     #[test]

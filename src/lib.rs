@@ -69,8 +69,8 @@ pub use dsms_workloads as workloads;
 /// ```
 pub mod prelude {
     pub use dsms_engine::{
-        ExecutionReport, Operator, OperatorContext, QueryPlan, SourceState, Stream, StreamBuilder,
-        StreamItem, SyncExecutor, ThreadedExecutor,
+        ExecutionReport, Operator, OperatorContext, PooledExecutor, QueryPlan, SourceState, Stream,
+        StreamBuilder, StreamItem, SyncExecutor, ThreadedExecutor,
     };
     pub use dsms_feedback::{
         FeedbackIntent, FeedbackMerge, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles,
@@ -128,8 +128,8 @@ mod tests {
         let _: &PatternItem = punctuation.pattern().item_for("ts").unwrap();
 
         // A minimal source -> select -> sink plan, composed with the fluent
-        // builder and run on both executors.
-        let run = |threaded: bool| -> ExecutionReport {
+        // builder and run on all three executors.
+        let run = |executor: usize| -> ExecutionReport {
             let tuples: Vec<Tuple> = (0..20)
                 .map(|i| {
                     Tuple::new(
@@ -151,16 +151,16 @@ mod tests {
                 .sink_collect("sink")
                 .unwrap();
             let plan = builder.build().unwrap();
-            let report = if threaded {
-                ThreadedExecutor::run(plan).unwrap()
-            } else {
-                SyncExecutor::run(plan).unwrap()
+            let report = match executor {
+                0 => SyncExecutor::run(plan).unwrap(),
+                1 => ThreadedExecutor::run(plan).unwrap(),
+                _ => PooledExecutor::run(plan).unwrap(),
             };
-            assert_eq!(results.lock().len(), 15, "threaded={threaded}");
+            assert_eq!(results.lock().len(), 15, "executor={executor}");
             report
         };
-        for threaded in [false, true] {
-            let report = run(threaded);
+        for executor in 0..3 {
+            let report = run(executor);
             let source_metrics = report.operator("source").unwrap();
             assert_eq!(source_metrics.tuples_out, 20);
         }

@@ -1,8 +1,9 @@
 //! Parity: plans composed with the fluent `StreamBuilder` must lower to
 //! exactly the behaviour of the equivalent hand-wired `QueryPlan` — on the
 //! traffic workload, builder-built and hand-built plans produce
-//! **byte-identical sorted sink digests** on both executors, for the plain
-//! pipeline, the hash-partitioned stage, and the scheduled-feedback path.
+//! **byte-identical sorted sink digests** on all three executors, for the
+//! plain pipeline, the hash-partitioned stage, and the scheduled-feedback
+//! path.
 
 use feedback_dsms::prelude::*;
 
@@ -60,19 +61,29 @@ fn make_aggregate(name: String) -> WindowAggregate {
     .expect("valid aggregate spec")
 }
 
-fn run(plan: QueryPlan, threaded: bool) -> ExecutionReport {
-    if threaded {
-        ThreadedExecutor::run(plan).unwrap()
-    } else {
-        SyncExecutor::run(plan).unwrap()
+/// The executor dimension every parity case runs over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Exec {
+    Sync,
+    Threaded,
+    Pooled,
+}
+
+const EXECUTORS: [Exec; 3] = [Exec::Sync, Exec::Threaded, Exec::Pooled];
+
+fn run(plan: QueryPlan, exec: Exec) -> ExecutionReport {
+    match exec {
+        Exec::Sync => SyncExecutor::run(plan).unwrap(),
+        Exec::Threaded => ThreadedExecutor::run(plan).unwrap(),
+        Exec::Pooled => PooledExecutor::run(plan).unwrap(),
     }
 }
 
 /// source -> select -> aggregate -> sink: builder and hand-wired plans are
-/// digest-identical on both executors.
+/// digest-identical on all three executors.
 #[test]
 fn pipeline_digests_match_hand_built_plans() {
-    for threaded in [false, true] {
+    for exec in EXECUTORS {
         // Hand-wired through the low-level IR.
         let mut plan = QueryPlan::new().with_page_capacity(16);
         let source = plan.add(make_source());
@@ -83,7 +94,7 @@ fn pipeline_digests_match_hand_built_plans() {
         plan.connect_simple(source, select).unwrap();
         plan.connect_simple(select, aggregate).unwrap();
         plan.connect_simple(aggregate, sink).unwrap();
-        run(plan, threaded);
+        run(plan, exec);
         let hand = digest(&hand_results.lock());
         assert!(!hand.is_empty());
 
@@ -98,14 +109,14 @@ fn pipeline_digests_match_hand_built_plans() {
             .unwrap()
             .sink_collect("sink")
             .unwrap();
-        run(builder.build().unwrap(), threaded);
+        run(builder.build().unwrap(), exec);
         let fluent = digest(&fluent_results.lock());
 
-        assert_eq!(hand, fluent, "threaded={threaded}: digests must be byte-identical");
+        assert_eq!(hand, fluent, "exec={exec:?}: digests must be byte-identical");
         assert_eq!(
             digest_hash(&hand),
             PIPELINE_DIGEST,
-            "threaded={threaded}: output diverged from the pinned pre-zero-copy digest"
+            "exec={exec:?}: output diverged from the pinned pre-zero-copy digest"
         );
     }
 }
@@ -127,12 +138,12 @@ fn source_digest_matches_pre_representation_change_value() {
 }
 
 /// The hash-partitioned stage: fluent `partitioned_stage` against the
-/// `PartitionedExt` plan rewrite, digest-identical on both executors with no
-/// feedback dropped.
+/// `PartitionedExt` plan rewrite, digest-identical on all three executors
+/// with no feedback dropped.
 #[test]
 fn partitioned_stage_digests_match_hand_built_plans() {
     let partitions = 4;
-    for threaded in [false, true] {
+    for exec in EXECUTORS {
         let output_schema = make_aggregate("probe".into()).output_schema().clone();
 
         let mut plan = QueryPlan::new().with_page_capacity(16).with_queue_capacity(8);
@@ -146,7 +157,7 @@ fn partitioned_stage_digests_match_hand_built_plans() {
         let sink = plan.add(sink);
         plan.connect_simple(source, stage.input()).unwrap();
         plan.connect_simple(stage.output(), sink).unwrap();
-        let hand_report = run(plan, threaded);
+        let hand_report = run(plan, exec);
         let hand = digest(&hand_results.lock());
 
         let builder = StreamBuilder::new().with_page_capacity(16).with_queue_capacity(8);
@@ -160,10 +171,10 @@ fn partitioned_stage_digests_match_hand_built_plans() {
             .unwrap()
             .sink_collect("sink")
             .unwrap();
-        let fluent_report = run(builder.build().unwrap(), threaded);
+        let fluent_report = run(builder.build().unwrap(), exec);
         let fluent = digest(&fluent_results.lock());
 
-        assert_eq!(hand, fluent, "threaded={threaded}: digests must be byte-identical");
+        assert_eq!(hand, fluent, "exec={exec:?}: digests must be byte-identical");
         assert_eq!(hand_report.total_feedback_dropped(), 0);
         assert_eq!(fluent_report.total_feedback_dropped(), 0);
     }
@@ -172,7 +183,7 @@ fn partitioned_stage_digests_match_hand_built_plans() {
 /// Scheduled feedback: a composition-time `FeedbackSpec` subscription lowers
 /// to the same observable behaviour as a hand-wired
 /// `TimedSink::with_scheduled_feedback` — the feedback reaches the source on
-/// both executors and (with a never-matching pattern) the digests stay
+/// all three executors and (with a never-matching pattern) the digests stay
 /// byte-identical.
 #[test]
 fn feedback_subscription_matches_hand_built_scheduled_feedback() {
@@ -183,7 +194,7 @@ fn feedback_subscription_matches_hand_built_scheduled_feedback() {
         )
         .unwrap()
     };
-    for threaded in [false, true] {
+    for exec in EXECUTORS {
         let mut plan = QueryPlan::new().with_page_capacity(16);
         let source = plan.add(make_source());
         let select = plan.add(make_select());
@@ -192,7 +203,7 @@ fn feedback_subscription_matches_hand_built_scheduled_feedback() {
         let sink = plan.add(sink.with_scheduled_feedback(32, feedback));
         plan.connect_simple(source, select).unwrap();
         plan.connect_simple(select, sink).unwrap();
-        let hand_report = run(plan, threaded);
+        let hand_report = run(plan, exec);
         let hand_rows: Vec<Tuple> = hand_results.lock().iter().map(|r| r.tuple.clone()).collect();
 
         let builder = StreamBuilder::new().with_page_capacity(16);
@@ -205,14 +216,14 @@ fn feedback_subscription_matches_hand_built_scheduled_feedback() {
             .unwrap()
             .sink_timed("sink")
             .unwrap();
-        let fluent_report = run(builder.build().unwrap(), threaded);
+        let fluent_report = run(builder.build().unwrap(), exec);
         let fluent_rows: Vec<Tuple> =
             fluent_results.lock().iter().map(|r| r.tuple.clone()).collect();
 
         assert_eq!(
             digest(&hand_rows),
             digest(&fluent_rows),
-            "threaded={threaded}: digests must be byte-identical"
+            "exec={exec:?}: digests must be byte-identical"
         );
         // The plausibility select passes every generated tuple and the
         // scheduled feedback never matches, so this path must reproduce the
@@ -220,7 +231,7 @@ fn feedback_subscription_matches_hand_built_scheduled_feedback() {
         assert_eq!(
             digest_hash(&digest(&hand_rows)),
             SOURCE_DIGEST,
-            "threaded={threaded}: output diverged from the pinned pre-zero-copy digest"
+            "exec={exec:?}: output diverged from the pinned pre-zero-copy digest"
         );
         for report in [&hand_report, &fluent_report] {
             assert_eq!(report.operator("sink").unwrap().feedback_out, 1);

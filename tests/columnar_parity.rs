@@ -3,8 +3,8 @@
 //! (`VecSource` batch guards plus the `on_page` overrides of `Select`,
 //! `Project`, `Shuffle` and `WindowAggregate`) produces byte-identical sorted
 //! sink digests to the same pipeline forced onto the per-tuple fallback path
-//! — for arbitrary page capacities and guard patterns, on both executors,
-//! with `feedback_dropped == 0` throughout.
+//! — for arbitrary page capacities and guard patterns, on all three
+//! executors, with `feedback_dropped == 0` throughout.
 //!
 //! The fallback pipeline is built from the *same* operators wrapped in
 //! [`Costed::spinning`] with zero cost: `Costed` deliberately does not
@@ -17,6 +17,16 @@ use proptest::prelude::*;
 use std::time::Duration;
 
 const PARTITIONS: usize = 4;
+
+/// The executor dimension every parity case runs over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Exec {
+    Sync,
+    Threaded,
+    Pooled,
+}
+
+const EXECUTORS: [Exec; 3] = [Exec::Sync, Exec::Threaded, Exec::Pooled];
 
 fn traffic_tuples() -> Vec<Tuple> {
     use feedback_dsms::workloads::{TrafficConfig, TrafficGenerator};
@@ -89,7 +99,7 @@ fn run_pipeline(
     ge: bool,
     cut: i64,
     columnar: bool,
-    threaded: bool,
+    exec: Exec,
 ) -> (String, ExecutionReport) {
     let input_guard = guard(&traffic_schema(), ge, cut);
     let narrow_schema = make_project().output_schema().clone();
@@ -146,10 +156,10 @@ fn run_pipeline(
     }
     plan.connect_simple(merge, sink).unwrap();
 
-    let report = if threaded {
-        ThreadedExecutor::run(plan).unwrap()
-    } else {
-        SyncExecutor::run(plan).unwrap()
+    let report = match exec {
+        Exec::Sync => SyncExecutor::run(plan).unwrap(),
+        Exec::Threaded => ThreadedExecutor::run(plan).unwrap(),
+        Exec::Pooled => PooledExecutor::run(plan).unwrap(),
     };
     let digest = digest(&results.lock());
     (digest, report)
@@ -161,8 +171,8 @@ proptest! {
     /// For arbitrary page capacities and assumed `detector` guards — equality
     /// and range patterns, including cuts that make whole batches conclusive
     /// and cuts that straddle batches — the columnar kernels and the
-    /// per-tuple fallback produce byte-identical sorted sink digests on both
-    /// executors, and no feedback is dropped.
+    /// per-tuple fallback produce byte-identical sorted sink digests on all
+    /// three executors, and no feedback is dropped.
     #[test]
     fn columnar_kernels_match_per_tuple_fallback(
         page_capacity in 1usize..24,
@@ -171,16 +181,16 @@ proptest! {
     ) {
         let ge = ge_bit == 1;
         let tuples = traffic_tuples();
-        for threaded in [false, true] {
+        for exec in EXECUTORS {
             let (columnar, columnar_report) =
-                run_pipeline(&tuples, page_capacity, ge, cut, true, threaded);
+                run_pipeline(&tuples, page_capacity, ge, cut, true, exec);
             let (fallback, fallback_report) =
-                run_pipeline(&tuples, page_capacity, ge, cut, false, threaded);
+                run_pipeline(&tuples, page_capacity, ge, cut, false, exec);
             prop_assert_eq!(
                 &columnar,
                 &fallback,
-                "threaded={} page_capacity={} ge={} cut={}: digests must be byte-identical",
-                threaded,
+                "exec={:?} page_capacity={} ge={} cut={}: digests must be byte-identical",
+                exec,
                 page_capacity,
                 ge,
                 cut
@@ -198,13 +208,13 @@ proptest! {
 fn columnar_runs_decide_batches_from_summaries() {
     let tuples = traffic_tuples();
 
-    let (passed, report) = run_pipeline(&tuples, 16, true, 1_000, true, false);
+    let (passed, report) = run_pipeline(&tuples, 16, true, 1_000, true, Exec::Sync);
     let conclusive: u64 =
         report.metrics.iter().map(|m| m.feedback.batches_summary_conclusive).sum();
     assert!(!passed.is_empty(), "a never-matching guard must not suppress anything");
     assert!(conclusive > 0, "summary-conclusive batches must be counted");
 
-    let (suppressed, report) = run_pipeline(&tuples, 16, true, 0, true, false);
+    let (suppressed, report) = run_pipeline(&tuples, 16, true, 0, true, Exec::Sync);
     let conclusive: u64 =
         report.metrics.iter().map(|m| m.feedback.batches_summary_conclusive).sum();
     assert!(suppressed.is_empty(), "a guard covering every detector suppresses the stream");

@@ -12,11 +12,29 @@
 //!    point is broadcast to *every* upstream replica, relays across the
 //!    replicas, lattice-merges at the shuffle, and reaches the source — with
 //!    `feedback_dropped == 0` even under maximal back-pressure
-//!    (`queue_capacity = 1`), on both executors.
+//!    (`queue_capacity = 1`), on all three executors.
 
 use feedback_dsms::feedback::ExplicitPolicy;
 use feedback_dsms::prelude::*;
 use proptest::prelude::*;
+
+/// The executor dimension every parity case runs over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Exec {
+    Sync,
+    Threaded,
+    Pooled,
+}
+
+const EXECUTORS: [Exec; 3] = [Exec::Sync, Exec::Threaded, Exec::Pooled];
+
+fn run_plan(plan: QueryPlan, exec: Exec) -> ExecutionReport {
+    match exec {
+        Exec::Sync => SyncExecutor::run(plan).unwrap(),
+        Exec::Threaded => ThreadedExecutor::run(plan).unwrap(),
+        Exec::Pooled => PooledExecutor::run(plan).unwrap(),
+    }
+}
 
 /// Canonical rendering of a sink's output: value rows, sorted.  The merge is
 /// an order-insensitive union, so two runs are equivalent iff their sorted
@@ -55,7 +73,7 @@ fn make_aggregate(name: String) -> WindowAggregate {
     .expect("valid aggregate spec")
 }
 
-fn run_single(threaded: bool) -> (ExecutionReport, Vec<Tuple>) {
+fn run_single(exec: Exec) -> (ExecutionReport, Vec<Tuple>) {
     let builder = StreamBuilder::new().with_page_capacity(32).with_queue_capacity(8);
     let results = builder
         .source(
@@ -68,16 +86,12 @@ fn run_single(threaded: bool) -> (ExecutionReport, Vec<Tuple>) {
         .sink_collect("sink")
         .unwrap();
     let plan = builder.build().unwrap();
-    let report = if threaded {
-        ThreadedExecutor::run(plan).unwrap()
-    } else {
-        SyncExecutor::run(plan).unwrap()
-    };
+    let report = run_plan(plan, exec);
     let collected = results.lock().clone();
     (report, collected)
 }
 
-fn run_partitioned(threaded: bool, partitions: usize) -> (ExecutionReport, Vec<Tuple>) {
+fn run_partitioned(exec: Exec, partitions: usize) -> (ExecutionReport, Vec<Tuple>) {
     let builder = StreamBuilder::new().with_page_capacity(32).with_queue_capacity(8);
     let shuffle =
         Shuffle::new("aggregate-shuffle", traffic_schema(), &["detector"], partitions).unwrap();
@@ -96,41 +110,34 @@ fn run_partitioned(threaded: bool, partitions: usize) -> (ExecutionReport, Vec<T
         .sink_collect("sink")
         .unwrap();
     let plan = builder.build().unwrap();
-    let report = if threaded {
-        ThreadedExecutor::run(plan).unwrap()
-    } else {
-        SyncExecutor::run(plan).unwrap()
-    };
+    let report = run_plan(plan, exec);
     let collected = results.lock().clone();
     (report, collected)
 }
 
-/// The headline equivalence: for 2, 4 and 8 partitions, on both executors,
+/// The headline equivalence: for 2, 4 and 8 partitions, on all three
+/// executors,
 /// the partitioned aggregate's sink output is byte-identical (canonically
 /// sorted) to the single-replica plan's, and no feedback is dropped.
 #[test]
 fn partitioned_aggregate_output_matches_single_replica() {
-    for threaded in [false, true] {
-        let (single_report, single_out) = run_single(threaded);
+    for exec in EXECUTORS {
+        let (single_report, single_out) = run_single(exec);
         assert!(!single_out.is_empty());
         let expected = canonical(&single_out);
         for partitions in [2, 4, 8] {
-            let (report, out) = run_partitioned(threaded, partitions);
+            let (report, out) = run_partitioned(exec, partitions);
             assert_eq!(
                 canonical(&out),
                 expected,
-                "partitions={partitions} threaded={threaded}: outputs must be byte-identical \
-                 after canonical sorting"
+                "partitions={partitions} exec={exec:?}: outputs must be byte-identical after \
+                 canonical sorting"
             );
-            assert_eq!(
-                report.total_feedback_dropped(),
-                0,
-                "partitions={partitions} threaded={threaded}"
-            );
+            assert_eq!(report.total_feedback_dropped(), 0, "partitions={partitions} exec={exec:?}");
             assert_eq!(
                 report.operator("sink").unwrap().tuples_in,
                 single_report.operator("sink").unwrap().tuples_in,
-                "partitions={partitions} threaded={threaded}"
+                "partitions={partitions} exec={exec:?}"
             );
         }
     }
@@ -208,7 +215,7 @@ fn disordered_stream(n: i64, keys: i64, late_by: i64) -> Vec<Tuple> {
 /// sink and returns the execution report, with replica names
 /// `replica-0..replica-N`.
 fn run_feedback_plan(
-    threaded: bool,
+    exec: Exec,
     partitions: usize,
     queue_capacity: usize,
     n: i64,
@@ -230,11 +237,7 @@ fn run_feedback_plan(
         .sink_collect("sink")
         .unwrap();
     let plan = builder.build().unwrap();
-    if threaded {
-        ThreadedExecutor::run(plan).unwrap()
-    } else {
-        SyncExecutor::run(plan).unwrap()
-    }
+    run_plan(plan, exec)
 }
 
 proptest! {
@@ -243,15 +246,15 @@ proptest! {
     /// An FP emitted by the merge reaches **every** upstream replica,
     /// lattice-merges at the shuffle, and arrives at the source — with
     /// nothing dropped, under maximal back-pressure (queue_capacity = 1),
-    /// on both executors.
+    /// on all three executors.
     #[test]
     fn merge_feedback_reaches_every_replica_and_the_source(
         partitions in 2usize..9,
         n in 200i64..600,
-        threaded in (0u8..2).prop_map(|b| b == 1),
+        exec in (0usize..EXECUTORS.len()).prop_map(|i| EXECUTORS[i]),
     ) {
         let tolerance = 10;
-        let report = run_feedback_plan(threaded, partitions, 1, n, tolerance);
+        let report = run_feedback_plan(exec, partitions, 1, n, tolerance);
 
         let merge = report.operator("merge").unwrap();
         prop_assert!(
@@ -284,12 +287,12 @@ proptest! {
 }
 
 /// Deterministic version of the back-pressure case for quick failure
-/// localization: 4 partitions, queue capacity 1, both executors.
+/// localization: 4 partitions, queue capacity 1, all three executors.
 #[test]
 fn backpressured_partitioned_plan_drops_no_feedback() {
-    for threaded in [false, true] {
-        let report = run_feedback_plan(threaded, 4, 1, 400, 10);
-        assert_eq!(report.total_feedback_dropped(), 0, "threaded={threaded}");
-        assert!(report.operator("source").unwrap().feedback_in >= 1, "threaded={threaded}");
+    for exec in EXECUTORS {
+        let report = run_feedback_plan(exec, 4, 1, 400, 10);
+        assert_eq!(report.total_feedback_dropped(), 0, "exec={exec:?}");
+        assert!(report.operator("source").unwrap().feedback_in >= 1, "exec={exec:?}");
     }
 }

@@ -1,0 +1,147 @@
+//! Scheduler stress: the work-stealing [`PooledExecutor`] must be
+//! **semantically invisible** relative to the deterministic [`SyncExecutor`]
+//! even under maximal back-pressure.
+//!
+//! Every case here runs with `queue_capacity = 1` — each connection admits a
+//! single page in flight, so producers lose credit constantly, tasks bounce
+//! between ready and blocked, and any lost-wakeup or credit-accounting bug in
+//! the scheduler deadlocks or drops data.  The partitioned plan is checked on
+//! pools of 1 worker (pure cooperative multiplexing), 2 workers (stealing
+//! across queues), and `available_parallelism` workers, with both midstream
+//! (tuple-count-triggered) and at-flush feedback in flight:
+//!
+//! * sink digests are byte-identical to the sync run (sorted canonical form);
+//! * `feedback_dropped == 0` everywhere;
+//! * the at-flush feedback still reaches the live source (delivered during
+//!   the drain phase, before control channels close);
+//! * the scheduler summary is present and consistent (`workers` echoes the
+//!   requested pool).
+
+use feedback_dsms::prelude::*;
+
+fn schema() -> SchemaRef {
+    Schema::shared(&[("ts", DataType::Timestamp), ("key", DataType::Int)])
+}
+
+fn tuples(n: i64, keys: i64) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| {
+            Tuple::new(
+                schema(),
+                vec![Value::Timestamp(Timestamp::from_secs(i)), Value::Int(i % keys)],
+            )
+        })
+        .collect()
+}
+
+/// Canonical digest of a sink's output: debug-rendered value rows, sorted and
+/// joined — two runs are equivalent iff their digests are byte-identical.
+fn digest(tuples: &[Tuple]) -> String {
+    let mut rows: Vec<String> = tuples.iter().map(|t| format!("{:?}", t.values())).collect();
+    rows.sort_unstable();
+    rows.join("\n")
+}
+
+/// A never-matching pattern so feedback flows through the whole control path
+/// without perturbing the data digest.  Distinct `salt`s keep the two
+/// subscriptions from lattice-merging into one message along the way.
+fn never_matching(salt: i64) -> Pattern {
+    Pattern::for_attributes(schema(), &[("key", PatternItem::Ge(Value::Int(i64::MAX / 2 + salt)))])
+        .unwrap()
+}
+
+/// source → shuffle → N replicas → merge → sink at `queue_capacity = 1`, with
+/// a midstream subscription (fires after 64 tuples) and an at-flush
+/// subscription riding on the sink's input.  Returns the report and the sink
+/// digest.
+fn run_stressed(plan_workers: Option<usize>, partitions: usize) -> (ExecutionReport, String) {
+    let builder = StreamBuilder::new().with_page_capacity(2).with_queue_capacity(1);
+    let builder = match plan_workers {
+        Some(w) => builder.with_worker_pool(w),
+        None => builder,
+    };
+    let shuffle = Shuffle::new("shuffle", schema(), &["key"], partitions).unwrap();
+    let merge = Merge::new("merge", schema(), partitions);
+    let results = builder
+        .source(VecSource::new("source", tuples(600, partitions as i64 * 8)))
+        .unwrap()
+        .partitioned_stage(shuffle, merge, |i| {
+            Select::new(format!("replica-{i}"), schema(), TuplePredicate::always())
+        })
+        .unwrap()
+        .with_feedback(FeedbackSpec::assumed(never_matching(0)).after_tuples(64))
+        .unwrap()
+        .with_feedback(FeedbackSpec::assumed(never_matching(1)).at_flush())
+        .unwrap()
+        .sink_collect("sink")
+        .unwrap();
+    let plan = builder.build().unwrap();
+    let report = if plan_workers.is_some() {
+        PooledExecutor::run(plan).unwrap()
+    } else {
+        SyncExecutor::run(plan).unwrap()
+    };
+    let collected = results.lock().clone();
+    (report, digest(&collected))
+}
+
+#[test]
+fn pooled_matches_sync_under_maximal_backpressure() {
+    let (sync_report, expected) = run_stressed(None, 4);
+    assert!(!expected.is_empty());
+    assert_eq!(sync_report.total_feedback_dropped(), 0);
+    assert!(sync_report.scheduler.is_none(), "sync runs carry no scheduler summary");
+    // Both subscriptions reached the source through the full control path.
+    assert!(sync_report.operator("source").unwrap().feedback_in >= 2);
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    for workers in [1, 2, cores] {
+        let (report, got) = run_stressed(Some(workers), 4);
+        assert_eq!(
+            got, expected,
+            "workers={workers}: pooled digest must be byte-identical to sync"
+        );
+        assert_eq!(report.total_feedback_dropped(), 0, "workers={workers}");
+        let summary = report.scheduler.expect("pooled runs report a scheduler summary");
+        assert_eq!(summary.workers, workers);
+        // The at-flush feedback is born during the sink's flush, after the
+        // source has gone quiescent — it must still arrive via the drain
+        // phase while the control channels are open.
+        assert!(
+            report.operator("source").unwrap().feedback_in >= 2,
+            "workers={workers}: midstream and at-flush feedback must both reach the source"
+        );
+    }
+}
+
+/// Pinning every operator onto one worker of a two-worker pool exercises the
+/// stealing path: the idle worker must pull queued tasks over, and the run
+/// must stay digest-identical.
+#[test]
+fn pinned_plans_steal_and_stay_correct() {
+    let (_, expected) = run_stressed(None, 2);
+
+    let builder =
+        StreamBuilder::new().with_page_capacity(2).with_queue_capacity(1).with_worker_pool(2);
+    let shuffle = Shuffle::new("shuffle", schema(), &["key"], 2).unwrap();
+    let merge = Merge::new("merge", schema(), 2);
+    let results = builder
+        .source(VecSource::new("source", tuples(600, 16)))
+        .unwrap()
+        .pin_to_worker(0)
+        .partitioned_stage(shuffle, merge, |i| {
+            Select::new(format!("replica-{i}"), schema(), TuplePredicate::always())
+        })
+        .unwrap()
+        .pin_to_worker(0)
+        .with_feedback(FeedbackSpec::assumed(never_matching(0)).after_tuples(64))
+        .unwrap()
+        .with_feedback(FeedbackSpec::assumed(never_matching(1)).at_flush())
+        .unwrap()
+        .sink_collect("sink")
+        .unwrap();
+    let report = PooledExecutor::run(builder.build().unwrap()).unwrap();
+    assert_eq!(digest(&results.lock()), expected);
+    assert_eq!(report.total_feedback_dropped(), 0);
+    assert_eq!(report.scheduler.unwrap().workers, 2);
+}
