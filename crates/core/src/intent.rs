@@ -5,7 +5,7 @@
 //! control channel, not in the data stream), and it carries an *intent*
 //! describing what the issuer wants done about the described subset.
 
-use dsms_punctuation::Pattern;
+use dsms_punctuation::{Pattern, StageDirective};
 use dsms_types::SchemaRef;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -77,6 +77,10 @@ pub struct FeedbackPunctuation {
     /// the issuer).  Useful for diagnostics and for bounding propagation depth
     /// in experiments.
     hops: u32,
+    /// Optional elastic-stage directive riding on the control channel (resize
+    /// requests and migration acknowledgements).  Only elastic-aware
+    /// operators interpret it; everyone else relays it untouched.
+    directive: Option<StageDirective>,
 }
 
 impl FeedbackPunctuation {
@@ -88,7 +92,19 @@ impl FeedbackPunctuation {
             pattern,
             issuer: issuer.into(),
             hops: 0,
+            directive: None,
         }
+    }
+
+    /// Attaches an elastic-stage directive to this feedback message.
+    pub fn with_directive(mut self, directive: StageDirective) -> Self {
+        self.directive = Some(directive);
+        self
+    }
+
+    /// The elastic-stage directive riding on this feedback, if any.
+    pub fn stage_directive(&self) -> Option<StageDirective> {
+        self.directive
     }
 
     /// Creates an *assumed* (`¬[p]`) feedback punctuation.
@@ -148,6 +164,7 @@ impl FeedbackPunctuation {
             pattern,
             issuer: relayer.into(),
             hops: self.hops + 1,
+            directive: self.directive,
         }
     }
 

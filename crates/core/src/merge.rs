@@ -41,6 +41,12 @@ struct ExactPending {
     pattern: Pattern,
     /// Which replicas have asserted this pair so far.
     asserted: Vec<bool>,
+    /// Membership snapshot at entry creation: only replicas active when the
+    /// round started owe a vote.  A replica scaled *out* mid-round must not
+    /// be waited on (it never saw the data), and one scaled *in* mid-round
+    /// stops being waited on via the intersection with the current
+    /// membership (see [`FeedbackMerge::set_active`]).
+    required: Vec<bool>,
     /// The most recent assertion, returned (unchanged, lineage intact) on
     /// release.
     latest: FeedbackPunctuation,
@@ -54,6 +60,8 @@ struct BoundPending {
     /// Latest bound asserted by each replica (a replica's newer bound
     /// supersedes its older one).
     bounds: Vec<Option<Value>>,
+    /// Membership snapshot at entry creation (see [`ExactPending::required`]).
+    required: Vec<bool>,
     /// The bound most recently released downstream of the merge; releases are
     /// monotone, so an unchanged meet is not re-released.
     released: Option<Value>,
@@ -71,6 +79,9 @@ struct BoundPending {
 /// toward the source.
 pub struct FeedbackMerge {
     replicas: usize,
+    /// Current replica membership (elastic stages scale replicas in and out;
+    /// fixed stages leave every slot active forever).
+    active: Vec<bool>,
     exact: Vec<ExactPending>,
     bounds: Vec<BoundPending>,
     released: u64,
@@ -87,10 +98,13 @@ impl FeedbackMerge {
     /// release if the evicted pattern is asserted again later.
     pub const MAX_PENDING: usize = 1024;
 
-    /// Creates a merge point over `replicas` replicas (clamped to at least 1).
+    /// Creates a merge point over `replicas` replicas (clamped to at least 1),
+    /// all initially active.
     pub fn new(replicas: usize) -> Self {
+        let replicas = replicas.max(1);
         FeedbackMerge {
-            replicas: replicas.max(1),
+            replicas,
+            active: vec![true; replicas],
             exact: Vec::new(),
             bounds: Vec::new(),
             released: 0,
@@ -101,6 +115,43 @@ impl FeedbackMerge {
     /// Number of replicas feeding this merge point.
     pub fn replicas(&self) -> usize {
         self.replicas
+    }
+
+    /// Current membership flags (one per replica slot).
+    pub fn active(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// Replaces the replica membership (missing trailing flags deactivate
+    /// their slots) and re-evaluates every pending assertion under the new
+    /// set, returning any newly released messages.
+    ///
+    /// Unanimity is always over the *current* replica set intersected with
+    /// the membership at round start: a replica scaled out mid-round stops
+    /// blocking rounds it already owed a vote to, and a replica scaled in
+    /// mid-round is not retroactively owed votes for rounds that predate it.
+    /// A release still requires at least one assertion from a currently
+    /// active replica, so an all-dormant round never releases on its own.
+    pub fn set_active(&mut self, flags: &[bool]) -> Vec<FeedbackPunctuation> {
+        self.active = (0..self.replicas).map(|i| flags.get(i).copied().unwrap_or(false)).collect();
+        let mut out = Vec::new();
+        let mut index = 0;
+        while index < self.exact.len() {
+            if exact_complete(&self.exact[index], &self.active) {
+                let entry = self.exact.remove(index);
+                self.released += 1;
+                out.push(entry.latest);
+            } else {
+                index += 1;
+            }
+        }
+        for index in 0..self.bounds.len() {
+            if let Some(released) = self.release_bound(index) {
+                self.released += 1;
+                out.push(released);
+            }
+        }
+        out
     }
 
     /// Number of distinct assertions still awaiting unanimity.
@@ -159,6 +210,7 @@ impl FeedbackMerge {
                     intent: feedback.intent(),
                     pattern: feedback.pattern().clone(),
                     asserted: vec![false; self.replicas],
+                    required: self.active.clone(),
                     latest: feedback.clone(),
                 });
                 self.exact.len() - 1
@@ -167,7 +219,7 @@ impl FeedbackMerge {
         let entry = &mut self.exact[index];
         entry.asserted[replica] = true;
         entry.latest = feedback;
-        if entry.asserted.iter().all(|a| *a) {
+        if exact_complete(entry, &self.active) {
             // `remove`, not `swap_remove`: insertion order doubles as age
             // order for the oldest-first eviction above.
             let entry = self.exact.remove(index);
@@ -195,6 +247,7 @@ impl FeedbackMerge {
                     intent: feedback.intent(),
                     attribute,
                     bounds: vec![None; self.replicas],
+                    required: self.active.clone(),
                     released: None,
                     latest: feedback.clone(),
                 });
@@ -209,14 +262,14 @@ impl FeedbackMerge {
             _ => bound,
         });
         entry.latest = feedback;
-        let meet = entry
-            .bounds
-            .iter()
-            .map(|b| b.as_ref())
-            .collect::<Option<Vec<&Value>>>()?
-            .into_iter()
-            .min_by(|a, b| a.total_cmp(b))?
-            .clone();
+        self.release_bound(index)
+    }
+
+    /// Recomputes the meet of bound entry `index` under the current
+    /// membership, releasing the merged cutoff if it advanced.
+    fn release_bound(&mut self, index: usize) -> Option<FeedbackPunctuation> {
+        let entry = &mut self.bounds[index];
+        let meet = bound_meet(entry, &self.active)?;
         let advanced = match &entry.released {
             None => true,
             Some(prev) => meet.total_cmp(prev).is_gt(),
@@ -236,6 +289,44 @@ impl FeedbackMerge {
         let issuer = entry.latest.issuer().to_string();
         Some(entry.latest.relay(pattern, issuer))
     }
+}
+
+/// Unanimity over the current replica set: every replica that owed a vote
+/// when the round started *and* is still active has asserted, and at least
+/// one currently active replica has asserted.
+fn exact_complete(entry: &ExactPending, active: &[bool]) -> bool {
+    let mut any_active_vote = false;
+    for (slot, is_active) in active.iter().enumerate() {
+        if entry.required[slot] && *is_active && !entry.asserted[slot] {
+            return false;
+        }
+        if *is_active && entry.asserted[slot] {
+            any_active_vote = true;
+        }
+    }
+    any_active_vote
+}
+
+/// The minimum bound over currently active replicas, once every replica that
+/// owed one (required at round start and still active) has reported — or
+/// `None` while the round is incomplete or no active replica has a bound.
+/// Bounds volunteered by replicas outside the required set still tighten the
+/// meet (taking the minimum is always conservative).
+fn bound_meet(entry: &BoundPending, active: &[bool]) -> Option<Value> {
+    let mut meet: Option<Value> = None;
+    for (slot, is_active) in active.iter().enumerate() {
+        match (&entry.bounds[slot], is_active) {
+            (None, true) if entry.required[slot] => return None,
+            (Some(bound), true) => {
+                meet = Some(match meet.take() {
+                    Some(current) if current.total_cmp(bound).is_le() => current,
+                    _ => bound.clone(),
+                });
+            }
+            _ => {}
+        }
+    }
+    meet
 }
 
 impl std::fmt::Debug for FeedbackMerge {
@@ -389,6 +480,78 @@ mod tests {
         let released = merge.assert_from(0, fb.clone()).expect("one replica is unanimity");
         assert_eq!(released.id(), fb.id());
         assert_eq!(FeedbackMerge::new(0).replicas(), 1, "clamped");
+    }
+
+    #[test]
+    fn scaled_out_replica_owes_no_vote() {
+        // 4 slots, only 0 and 1 active: unanimity is over the active pair —
+        // the dormant replicas never see data and must not block the merge.
+        let mut merge = FeedbackMerge::new(4);
+        assert!(merge.set_active(&[true, true, false, false]).is_empty());
+        assert_eq!(merge.active(), &[true, true, false, false]);
+        let fb = FeedbackPunctuation::assumed(segment_eq(7), "sink");
+        assert!(merge.assert_from(0, fb.clone()).is_none());
+        let released = merge.assert_from(1, fb.clone()).expect("dormant slots owe no vote");
+        assert_eq!(released.id(), fb.id());
+    }
+
+    #[test]
+    fn deactivating_a_straggler_releases_the_round_it_was_blocking() {
+        let mut merge = FeedbackMerge::new(3);
+        let fb = FeedbackPunctuation::assumed(segment_eq(2), "sink");
+        assert!(merge.assert_from(0, fb.clone()).is_none());
+        assert!(merge.assert_from(1, fb.clone()).is_none());
+        // Replica 2 scales out mid-round without ever voting: the round it
+        // was blocking releases at the membership switch.
+        let released = merge.set_active(&[true, true, false]);
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].id(), fb.id());
+        assert_eq!(merge.pending(), 0);
+        assert_eq!(merge.released(), 1);
+    }
+
+    #[test]
+    fn stale_bound_of_scaled_out_replica_stops_capping_the_meet() {
+        let mut merge = FeedbackMerge::new(3);
+        assert!(merge.assert_from(0, FeedbackPunctuation::assumed(before(100), "r0")).is_none());
+        assert!(merge.assert_from(1, FeedbackPunctuation::assumed(before(80), "r1")).is_none());
+        // Replica 2 never reported a cutoff; scaling it out releases the meet
+        // of the remaining members instead of waiting forever.
+        let released = merge.set_active(&[true, true, false]);
+        assert_eq!(released.len(), 1);
+        assert_eq!(
+            released[0].pattern().item_for("timestamp").unwrap(),
+            &PatternItem::Lt(Value::Timestamp(Timestamp::from_secs(80)))
+        );
+    }
+
+    #[test]
+    fn newly_activated_replica_is_not_owed_votes_for_old_rounds() {
+        let mut merge = FeedbackMerge::new(3);
+        merge.set_active(&[true, true, false]);
+        let fb = FeedbackPunctuation::assumed(segment_eq(9), "sink");
+        assert!(merge.assert_from(0, fb.clone()).is_none());
+        // Scale-out happens mid-round: slot 2 joins the membership but the
+        // round started without it, so only slots 0 and 1 owe votes.
+        assert!(merge.set_active(&[true, true, true]).is_empty());
+        assert!(merge.assert_from(1, fb.clone()).is_some(), "old round completes without slot 2");
+        // A round started *after* the scale-out owes all three votes.
+        let fb2 = FeedbackPunctuation::assumed(segment_eq(10), "sink");
+        assert!(merge.assert_from(0, fb2.clone()).is_none());
+        assert!(merge.assert_from(1, fb2.clone()).is_none());
+        assert!(merge.assert_from(2, fb2.clone()).is_some());
+    }
+
+    #[test]
+    fn a_release_requires_at_least_one_active_vote() {
+        let mut merge = FeedbackMerge::new(2);
+        let fb = FeedbackPunctuation::assumed(segment_eq(3), "sink");
+        assert!(merge.assert_from(0, fb.clone()).is_none());
+        // Slot 0 (the only voter) goes dormant: the pending round must not
+        // release on the strength of dormant votes alone.
+        assert!(merge.set_active(&[false, true]).is_empty());
+        assert_eq!(merge.pending(), 1, "round stays pending for the active slot");
+        assert!(merge.assert_from(1, fb.clone()).is_some(), "the active slot completes it");
     }
 
     #[test]

@@ -777,6 +777,18 @@ impl Operator for FeedbackSubscriber {
     fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
         self.inner.feedback_stats()
     }
+
+    fn export_state(&mut self) -> Vec<crate::operator::StateEntry> {
+        self.inner.export_state()
+    }
+
+    fn import_state(&mut self, entries: Vec<crate::operator::StateEntry>) -> EngineResult<()> {
+        self.inner.import_state(entries)
+    }
+
+    fn elastic_stats(&self) -> Option<crate::metrics::ElasticStats> {
+        self.inner.elastic_stats()
+    }
 }
 
 #[cfg(test)]

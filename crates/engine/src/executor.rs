@@ -175,6 +175,9 @@ impl LifecyclePorts for SyncPorts<'_> {
             DataPoll::Empty
         }
     }
+    fn in_depth(&self, slot: usize) -> usize {
+        self.edges[self.state.ins[slot].edge].queue.len()
+    }
     fn in_slot(&self, port: usize) -> Option<usize> {
         self.state.in_route.get(port).copied().flatten()
     }
@@ -365,11 +368,12 @@ impl SyncExecutor {
             }
         }
 
-        // Fold in feedback stats.
+        // Fold in feedback and elastic stats.
         for (n, node) in plan.nodes.iter().enumerate() {
             if let Some(stats) = node.operator.feedback_stats() {
                 metrics[n].feedback = stats;
             }
+            metrics[n].elastic = node.operator.elastic_stats();
         }
 
         Ok(ExecutionReport { elapsed: started.elapsed(), metrics, scheduler: None })
@@ -472,6 +476,9 @@ impl LifecyclePorts for ThreadedPorts {
     }
     fn poll_in(&mut self, slot: usize) -> DataPoll {
         self.inputs[slot].consumer.poll_data()
+    }
+    fn in_depth(&self, slot: usize) -> usize {
+        self.inputs[slot].consumer.pending()
     }
     fn in_slot(&self, port: usize) -> Option<usize> {
         self.in_route.get(port).copied().flatten()
@@ -703,6 +710,7 @@ fn run_threaded_node(mut node: ThreadedNode) -> Result<OperatorMetrics, EngineEr
             if let Some(stats) = node.operator.feedback_stats() {
                 metrics.feedback = stats;
             }
+            metrics.elastic = node.operator.elastic_stats();
             Ok(metrics)
         }
         Err(err) => {
@@ -1084,6 +1092,51 @@ mod tests {
         assert_eq!(report.operator("source").unwrap().feedback_in, sent);
         assert_eq!(feedback_seen.lock().len(), sent as usize);
         assert_eq!(report.total_feedback_dropped(), 0);
+    }
+
+    /// Sink that burns time per tuple so its input queue backs up.
+    struct SlowSink {
+        collected: Arc<Mutex<Vec<Tuple>>>,
+    }
+
+    impl Operator for SlowSink {
+        fn name(&self) -> &str {
+            "slow"
+        }
+        fn inputs(&self) -> usize {
+            1
+        }
+        fn outputs(&self) -> usize {
+            0
+        }
+        fn on_tuple(&mut self, _i: usize, t: Tuple, _c: &mut OperatorContext) -> EngineResult<()> {
+            std::thread::sleep(Duration::from_micros(200));
+            self.collected.lock().push(t);
+            Ok(())
+        }
+    }
+
+    /// Regression: `max_queue_depth` used to be populated only by the pooled
+    /// executor.  The lifecycle sweep now samples every executor's input
+    /// queues, so a threaded run with a single-page queue bound and a slow
+    /// consumer must observe a nonzero depth at the sink.
+    #[test]
+    fn threaded_executor_reports_queue_depth_under_backpressure() {
+        let mut plan = QueryPlan::new().with_page_capacity(1).with_queue_capacity(1);
+        let src = plan.add(CountingSource::new(300, 0));
+        let sink = plan.add(SlowSink { collected: Arc::new(Mutex::new(Vec::new())) });
+        plan.connect_simple(src, sink).unwrap();
+
+        let report = ThreadedExecutor::run(plan).unwrap();
+        let sink = report.operator("slow").unwrap();
+        assert_eq!(sink.tuples_in, 300);
+        assert!(
+            sink.max_queue_depth >= 1,
+            "a slow consumer behind a bounded queue must see queued pages \
+             (got {})",
+            sink.max_queue_depth
+        );
+        assert_eq!(report.operator("source").unwrap().max_queue_depth, 0, "sources have no inputs");
     }
 
     /// Filter that fails after a fixed number of tuples.

@@ -52,8 +52,8 @@ pub use builder::{Stream, StreamBuilder};
 pub use control::ControlMessage;
 pub use error::{EngineError, EngineResult};
 pub use executor::{ExecutionReport, SyncExecutor, ThreadedExecutor};
-pub use metrics::{OperatorMetrics, SchedulerSummary};
-pub use operator::{Emission, Operator, OperatorContext, SourceState, StreamItem};
+pub use metrics::{ElasticStats, OperatorMetrics, SchedulerSummary};
+pub use operator::{Emission, Operator, OperatorContext, SourceState, StateEntry, StreamItem};
 pub use page::{ColumnarPage, Page, PageBuilder, PageIter};
 pub use plan::{NodeId, QueryPlan};
 pub use pooled::PooledExecutor;

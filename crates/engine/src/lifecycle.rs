@@ -59,6 +59,13 @@ pub(crate) trait LifecyclePorts {
     fn close_in(&mut self, slot: usize);
     /// Non-blocking receive of one data message on an input slot.
     fn poll_in(&mut self, slot: usize) -> DataPoll;
+    /// Pages currently waiting on an input slot's queue, sampled without
+    /// consuming.  Feeds the `max_queue_depth` metric and the per-callback
+    /// [`OperatorContext::queue_depth`] backlog signal on every executor.
+    fn in_depth(&self, slot: usize) -> usize {
+        let _ = slot;
+        0
+    }
     /// Maps a declared input port to its slot, if connected.
     fn in_slot(&self, port: usize) -> Option<usize>;
     /// Sends a control message upstream on an input slot.  Returns `false`
@@ -221,6 +228,12 @@ impl NodeMachine {
                         if !ports.in_open(slot) {
                             continue;
                         }
+                        // Sample the backlog before consuming from it: the
+                        // high-watermark metric and the operator-visible
+                        // back-pressure signal, on every executor.
+                        let depth = ports.in_depth(slot) as u64;
+                        metrics.max_queue_depth = metrics.max_queue_depth.max(depth);
+                        ctx.set_queue_depth(depth);
                         match ports.poll_in(slot) {
                             DataPoll::Message(QueueMessage::Page(page)) => {
                                 progressed = true;

@@ -43,10 +43,31 @@ pub struct OperatorMetrics {
     /// (pooled executor work stealing).  Sync/threaded runs leave this 0.
     pub sched_steals: u64,
     /// Largest number of pages observed waiting on any of this operator's
-    /// input queues (pooled executor).  Sync/threaded runs leave this 0.
+    /// input queues, sampled by the executor's lifecycle sweep just before
+    /// each input poll.  Populated by all three executors; sources (no
+    /// inputs) report 0.
     pub max_queue_depth: u64,
     /// Feedback-layer statistics reported by the operator, if any.
     pub feedback: FeedbackStats,
+    /// Elastic-stage statistics, reported by the operator coordinating an
+    /// elastic partitioned stage (its shuffle).  `None` everywhere else.
+    pub elastic: Option<ElasticStats>,
+}
+
+/// Counters for one elastic partitioned stage, kept by its controller and
+/// folded into the coordinating operator's [`OperatorMetrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ElasticStats {
+    /// Resizes committed (routing actually switched width).
+    pub resizes: u64,
+    /// Resizes cancelled because the stream ended mid-handshake (the commit
+    /// marker re-installed the old width).
+    pub cancelled: u64,
+    /// Keyed state units that changed replica across all committed resizes.
+    pub migrated_groups: u64,
+    /// Committed `(epoch, partitions)` pairs, in commit order — the stage's
+    /// width history.
+    pub epochs: Vec<(u64, usize)>,
 }
 
 /// Pool-wide scheduler counters, reported by the pooled executor (see

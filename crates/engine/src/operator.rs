@@ -69,6 +69,27 @@ pub enum SourceState {
     Exhausted,
 }
 
+/// One unit of keyed operator state extracted at a migration boundary.
+///
+/// `key` is the operator's partitioning key for this unit (the values the
+/// stage's shuffle hashes on), so the elastic-stage machinery can re-route
+/// the unit to its new owner after a resize without understanding the
+/// payload.  `payload` is opaque to everyone but the operator type that
+/// exported it; [`Operator::import_state`] downcasts it back.
+pub struct StateEntry {
+    /// The partitioning-key values this state unit belongs to, in the
+    /// stage's shuffle-key order.
+    pub key: Vec<dsms_types::Value>,
+    /// Operator-private state, reinstalled via [`Operator::import_state`].
+    pub payload: Box<dyn std::any::Any + Send>,
+}
+
+impl std::fmt::Debug for StateEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StateEntry").field("key", &self.key).finish_non_exhaustive()
+    }
+}
+
 /// Buffer the executor hands to every operator callback; the operator records
 /// its outputs here and the executor routes them afterwards.
 #[derive(Debug, Default)]
@@ -78,12 +99,27 @@ pub struct OperatorContext {
     request_results: Vec<usize>,
     broadcast_punctuations: Vec<Punctuation>,
     broadcast_feedback: Vec<FeedbackPunctuation>,
+    queue_depth: u64,
 }
 
 impl OperatorContext {
     /// Creates an empty context.
     pub fn new() -> Self {
         OperatorContext::default()
+    }
+
+    /// Pages currently waiting on this operator's input queues, as observed
+    /// by the executor just before the current callback batch.  Adaptive
+    /// operators (an elastic shuffle reporting its backlog) read this;
+    /// everyone else can ignore it.  Zero in unit tests and for sources.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth
+    }
+
+    /// Records the observed input-queue depth for the next callbacks (called
+    /// by the executors' lifecycle sweep).
+    pub fn set_queue_depth(&mut self, depth: u64) {
+        self.queue_depth = depth;
     }
 
     /// Emits a tuple on the given output port.
@@ -359,6 +395,41 @@ pub trait Operator: Send {
     /// Feedback statistics to fold into the operator's metrics at the end of
     /// the run, if the operator keeps any.
     fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
+        None
+    }
+
+    /// Extracts this operator's keyed state at a migration boundary,
+    /// draining it: after this call the operator holds no keyed state and
+    /// behaves like a fresh instance.  Each returned [`StateEntry`] carries
+    /// the partitioning-key values of one state unit so the elastic-stage
+    /// machinery can re-route it; the payload is reinstalled (possibly on a
+    /// different replica) via [`Operator::import_state`].  The default — for
+    /// stateless operators — exports nothing.
+    fn export_state(&mut self) -> Vec<StateEntry> {
+        Vec::new()
+    }
+
+    /// Reinstalls state units previously drained by
+    /// [`Operator::export_state`] from a same-typed replica.  Entries whose
+    /// payload the operator does not recognize are an error (the migration
+    /// must not silently drop state).  The default accepts only an empty set.
+    fn import_state(&mut self, entries: Vec<StateEntry>) -> EngineResult<()> {
+        if entries.is_empty() {
+            Ok(())
+        } else {
+            Err(crate::error::EngineError::OperatorFailed {
+                operator: self.name().to_string(),
+                detail: format!(
+                    "operator cannot import {} migrated state entries (no import_state impl)",
+                    entries.len()
+                ),
+            })
+        }
+    }
+
+    /// Elastic-stage statistics to fold into the operator's metrics at the
+    /// end of the run, if this operator coordinates an elastic stage.
+    fn elastic_stats(&self) -> Option<crate::metrics::ElasticStats> {
         None
     }
 }

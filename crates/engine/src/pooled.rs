@@ -106,8 +106,6 @@ struct PooledPorts {
     in_route: Vec<Option<usize>>,
     /// output port → index into `outputs` (dense routing table).
     out_route: Vec<Option<usize>>,
-    /// Largest number of pages observed waiting on any input queue.
-    max_depth: u64,
 }
 
 impl PooledPorts {
@@ -138,11 +136,10 @@ impl LifecyclePorts for PooledPorts {
         self.inputs[slot].open = false;
     }
     fn poll_in(&mut self, slot: usize) -> DataPoll {
-        let depth = self.inputs[slot].consumer.pending() as u64;
-        if depth > self.max_depth {
-            self.max_depth = depth;
-        }
         self.inputs[slot].consumer.poll_data()
+    }
+    fn in_depth(&self, slot: usize) -> usize {
+        self.inputs[slot].consumer.pending()
     }
     fn in_slot(&self, port: usize) -> Option<usize> {
         self.in_route.get(port).copied().flatten()
@@ -548,7 +545,7 @@ impl PooledExecutor {
                 body: Mutex::new(TaskBody {
                     metrics: OperatorMetrics::new(node.name),
                     operator: node.operator,
-                    ports: PooledPorts { inputs, outputs, in_route, out_route, max_depth: 0 },
+                    ports: PooledPorts { inputs, outputs, in_route, out_route },
                     machine: NodeMachine::new(is_source),
                     ctx: OperatorContext::new(),
                 }),
@@ -622,7 +619,7 @@ impl PooledExecutor {
             if let Some(stats) = body.operator.feedback_stats() {
                 body.metrics.feedback = stats;
             }
-            body.metrics.max_queue_depth = body.ports.max_depth;
+            body.metrics.elastic = body.operator.elastic_stats();
             metrics.push(std::mem::take(&mut body.metrics));
         }
         Ok(ExecutionReport {

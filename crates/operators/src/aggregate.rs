@@ -22,7 +22,7 @@
 //! the current partial aggregates for matching groups (a partial result is
 //! better than no result within the issuer's margin of action).
 
-use dsms_engine::{EngineResult, Operator, OperatorContext};
+use dsms_engine::{EngineError, EngineResult, Operator, OperatorContext, StateEntry};
 use dsms_feedback::{
     characterize_aggregate, AggregateSpec, AttributeMapping, ExploitAction, FeedbackIntent,
     FeedbackPunctuation, FeedbackRegistry, FeedbackRoles, Monotonicity, PropagationRule,
@@ -662,6 +662,34 @@ impl Operator for WindowAggregate {
         Ok(())
     }
 
+    /// One entry per open `(window, group)` partial aggregate.  The entry key
+    /// is the group values in group-attribute order — an elastic stage must
+    /// therefore shuffle on those same attributes in that same order for
+    /// [`route_values`](crate::elastic::route_values) to agree with the hash
+    /// route.  Exporting drains the state: partials move whole, never split.
+    fn export_state(&mut self) -> Vec<StateEntry> {
+        std::mem::take(&mut self.state)
+            .into_iter()
+            .map(|((wid, group), acc)| StateEntry { key: group, payload: Box::new((wid, acc)) })
+            .collect()
+    }
+
+    fn import_state(&mut self, entries: Vec<StateEntry>) -> EngineResult<()> {
+        for entry in entries {
+            let payload = entry.payload.downcast::<(i64, Accumulator)>().map_err(|_| {
+                EngineError::OperatorFailed {
+                    operator: self.name.clone(),
+                    detail: "imported state entry is not a window aggregate partial".into(),
+                }
+            })?;
+            let (wid, acc) = *payload;
+            // Routing keeps partitions disjoint and export drains local state,
+            // so an entry never lands on an existing key.
+            self.state.insert((wid, entry.key), acc);
+        }
+        Ok(())
+    }
+
     fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
         Some(self.registry.stats().clone())
     }
@@ -1070,6 +1098,41 @@ mod tests {
         let stats = op.feedback_stats().unwrap();
         assert_eq!(stats.tuples_suppressed, 3, "per-tuple fallback suppressed segment 3");
         assert_eq!(stats.batches_summary_fallback, 1);
+    }
+
+    #[test]
+    fn state_export_import_round_trips_partial_aggregates() {
+        let mut source = avg_per_segment();
+        let mut ctx = OperatorContext::new();
+        source.on_tuple(0, tuple(10, 1, 40.0), &mut ctx).unwrap();
+        source.on_tuple(0, tuple(20, 1, 60.0), &mut ctx).unwrap();
+        source.on_tuple(0, tuple(70, 2, 30.0), &mut ctx).unwrap();
+        let entries = source.export_state();
+        assert_eq!(entries.len(), 2, "one entry per open (window, group)");
+        assert_eq!(source.open_groups(), 0, "export drains the state");
+
+        // Split the entries by hash route and reinstall on two fresh replicas.
+        let mut replicas = [avg_per_segment(), avg_per_segment()];
+        for entry in entries {
+            let route = crate::elastic::route_values(&entry.key, 2);
+            replicas[route].import_state(vec![entry]).unwrap();
+        }
+        let mut merged: Vec<Tuple> = Vec::new();
+        for replica in &mut replicas {
+            replica.on_flush(&mut ctx).unwrap();
+            merged.extend(emitted_tuples(&mut ctx));
+        }
+        merged.sort_by_key(|t| t.int("segment").unwrap());
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].float("avg").unwrap(), 50.0, "segment 1 partial moved whole");
+        assert_eq!(merged[1].float("avg").unwrap(), 30.0);
+    }
+
+    #[test]
+    fn importing_foreign_state_fails_loudly() {
+        let mut op = avg_per_segment();
+        let entry = StateEntry { key: vec![Value::Int(1)], payload: Box::new("not a partial") };
+        assert!(op.import_state(vec![entry]).is_err());
     }
 
     #[test]

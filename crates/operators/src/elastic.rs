@@ -1,0 +1,483 @@
+//! Elastic repartitioning for the shuffle→replicas→merge sandwich.
+//!
+//! A partitioned stage built by
+//! [`elastic_stage`](crate::fluent::StreamOps::elastic_stage) can change its
+//! *active* replica count at runtime without changing the query result.  The
+//! stage is built at its maximum width; at any moment only replicas
+//! `0..active` receive data, and a four-step handshake — riding entirely on
+//! the existing punctuation and feedback channels — moves the keyed state of
+//! stateful replicas when the width changes:
+//!
+//! 1. **Resize** — the merge watches the shuffle-reported input queue depth
+//!    (via the shared [`ElasticController`]) and, at a punctuation boundary,
+//!    decides a new width against its [`ElasticPolicy`].  The decision
+//!    travels *upstream* as a feedback punctuation carrying
+//!    [`StageDirective::Resize`] — inter-operator feedback exactly as the
+//!    paper frames it, here carrying a scheduling intent instead of a
+//!    subset description.
+//! 2. **Migrate** — the shuffle emits a [`StageDirective::Migrate`] marker
+//!    punctuation to *every* replica (a consistent cut: each replica sees it
+//!    after all earlier tuples and before all later ones) and starts
+//!    buffering its input.  Each [`ElasticReplica`] exports its keyed state
+//!    into the controller's migration pool, acknowledges upstream with
+//!    [`StageDirective::Ack`], and forwards the marker downstream.
+//! 3. **Commit** — once every replica has acknowledged, the shuffle switches
+//!    its routing width, emits a [`StageDirective::Commit`] marker, and
+//!    replays the buffered input under the new routing.  Each replica
+//!    reclaims from the pool exactly the keys that now hash to it; the merge
+//!    counts the commit markers and switches its watermark membership.
+//! 4. **Cancel** — if the stream ends mid-handshake the shuffle commits the
+//!    *old* width instead: every key reclaims its own exporter's state, the
+//!    replay uses the old routing, and the run is byte-identical to one with
+//!    no resize at all.
+//!
+//! Because the cut is aligned with the stream (markers are ordinary
+//! punctuations in the data channel) and state moves whole groups at the
+//! cut, a resized run produces exactly the multiset of tuples a
+//! fixed-partition run produces — the property `tests/elastic_parity.rs`
+//! pins across all three executors.
+
+use dsms_engine::{ElasticStats, EngineResult, Operator, OperatorContext, SourceState, StateEntry};
+use dsms_feedback::{FeedbackPunctuation, FeedbackRoles};
+use dsms_punctuation::{Pattern, Punctuation, StageDirective};
+use dsms_types::{FixedHasher, Tuple, Value};
+use parking_lot::Mutex;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The partition a key routes to at the given width.  Must agree with
+/// [`Shuffle::partition_of`](crate::Shuffle::partition_of): the same
+/// fixed-seed hash over the key values **in shuffle key order**, reduced
+/// modulo the width — stateful replicas must therefore export
+/// [`StateEntry::key`] values in that same order.
+pub fn route_values(values: &[Value], partitions: usize) -> usize {
+    let mut hasher = FixedHasher::new();
+    for value in values {
+        value.hash(&mut hasher);
+    }
+    (hasher.finish() % partitions.max(1) as u64) as usize
+}
+
+/// The membership flags for a stage running `active` of `partitions`
+/// replicas: the active ones are always the prefix `0..active`.  Both the
+/// shuffle's [`FeedbackMerge`](dsms_feedback::FeedbackMerge) and the merge's
+/// [`MinWatermark`](crate::MinWatermark) take membership in this shape.
+pub fn membership(active: usize, partitions: usize) -> Vec<bool> {
+    (0..partitions).map(|replica| replica < active).collect()
+}
+
+/// Shared coordination state of one elastic stage: the migration pool keyed
+/// state parks in between Migrate and Commit, the load signal the shuffle
+/// reports and the merge reads, and the stage's [`ElasticStats`].
+///
+/// One controller serves exactly one stage; share it via
+/// [`ElasticController::shared`].
+#[derive(Default)]
+pub struct ElasticController {
+    /// State exported at the Migrate cut, tagged with the exporting replica.
+    pool: Mutex<Vec<(usize, StateEntry)>>,
+    /// Most recent input queue depth observed by the shuffle.
+    load: AtomicU64,
+    stats: Mutex<ElasticStats>,
+}
+
+impl ElasticController {
+    /// Creates a controller behind an [`Arc`] for sharing across the stage.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Records the shuffle's current input queue depth (the scale signal).
+    pub fn report_load(&self, depth: u64) {
+        self.load.store(depth, Ordering::Relaxed);
+    }
+
+    /// The most recently reported queue depth.
+    pub fn load(&self) -> u64 {
+        self.load.load(Ordering::Relaxed)
+    }
+
+    /// Parks a replica's exported state in the migration pool.
+    pub fn park(&self, from: usize, entries: Vec<StateEntry>) {
+        let mut pool = self.pool.lock();
+        pool.extend(entries.into_iter().map(|entry| (from, entry)));
+    }
+
+    /// Drains from the pool every entry that routes to `replica` at the
+    /// committed width, returning the entries and how many of them *moved*
+    /// (were exported by a different replica).
+    pub fn reclaim(&self, replica: usize, partitions: usize) -> (Vec<StateEntry>, u64) {
+        let mut pool = self.pool.lock();
+        let mut mine = Vec::new();
+        let mut migrated = 0;
+        let mut index = 0;
+        while index < pool.len() {
+            if route_values(&pool[index].1.key, partitions) == replica {
+                let (from, entry) = pool.swap_remove(index);
+                if from != replica {
+                    migrated += 1;
+                }
+                mine.push(entry);
+            } else {
+                index += 1;
+            }
+        }
+        (mine, migrated)
+    }
+
+    /// Adds to the stage-wide migrated-groups counter.
+    pub fn record_migrated(&self, groups: u64) {
+        self.stats.lock().migrated_groups += groups;
+    }
+
+    /// Records a committed resize to the given width.
+    pub fn record_resize(&self, epoch: u64, partitions: usize) {
+        let mut stats = self.stats.lock();
+        stats.resizes += 1;
+        stats.epochs.push((epoch, partitions));
+    }
+
+    /// Records a resize cancelled by end-of-stream.
+    pub fn record_cancel(&self) {
+        self.stats.lock().cancelled += 1;
+    }
+
+    /// A snapshot of the stage's statistics.
+    pub fn stats(&self) -> ElasticStats {
+        self.stats.lock().clone()
+    }
+}
+
+/// When and how far an elastic merge resizes its stage.
+#[derive(Debug, Clone)]
+pub enum ElasticPolicy {
+    /// Resize to the given widths after the merge has seen the given numbers
+    /// of progress punctuations on input 0 (a deterministic schedule, used by
+    /// the parity tests).  Entries must be in ascending punctuation order.
+    Scripted(Vec<(u64, usize)>),
+    /// Watch the shuffle-reported queue depth at every punctuation boundary:
+    /// at or above `high` pages, scale out to `spike_width`; at or below
+    /// `low`, scale in to `idle_width`.
+    Adaptive {
+        /// Queue depth at or above which the stage scales out.
+        high: u64,
+        /// Queue depth at or below which the stage scales in.
+        low: u64,
+        /// Width used under load spikes.
+        spike_width: usize,
+        /// Width used when the queue drains.
+        idle_width: usize,
+    },
+}
+
+impl ElasticPolicy {
+    /// The width the stage should run at, given the punctuations seen so far
+    /// on input 0, the current load signal, and the current width.  Returns
+    /// `None` when no change is called for.  `&mut` because a scripted
+    /// schedule consumes its entries.
+    pub fn decide(&mut self, punctuations: u64, load: u64, active: usize) -> Option<usize> {
+        match self {
+            ElasticPolicy::Scripted(schedule) => {
+                if schedule.first().is_some_and(|(at, _)| punctuations >= *at) {
+                    let (_, target) = schedule.remove(0);
+                    (target != active).then_some(target)
+                } else {
+                    None
+                }
+            }
+            ElasticPolicy::Adaptive { high, low, spike_width, idle_width } => {
+                if load >= *high && active != *spike_width {
+                    Some(*spike_width)
+                } else if load <= *low && active != *idle_width {
+                    Some(*idle_width)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Wraps one replica of an elastic stage, handling migration markers on its
+/// behalf: [`Migrate`](StageDirective::Migrate) exports the inner operator's
+/// keyed state into the controller pool and acknowledges upstream;
+/// [`Commit`](StageDirective::Commit) reclaims and re-imports the keys that
+/// hash to this replica at the committed width.  Everything else is
+/// delegated untouched.
+pub struct ElasticReplica<O> {
+    inner: O,
+    index: usize,
+    controller: Arc<ElasticController>,
+}
+
+impl<O: Operator> ElasticReplica<O> {
+    /// Wraps replica `index` of a stage coordinated by `controller`.
+    pub fn new(inner: O, index: usize, controller: Arc<ElasticController>) -> Self {
+        ElasticReplica { inner, index, controller }
+    }
+
+    /// The wrapped replica.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    fn handle_directive(
+        &mut self,
+        directive: StageDirective,
+        marker: Punctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        match directive {
+            StageDirective::Migrate { epoch, .. } => {
+                let exported = self.inner.export_state();
+                self.controller.park(self.index, exported);
+                let pattern = self
+                    .inner
+                    .schema_in(0)
+                    .map(Pattern::all_wildcards)
+                    .unwrap_or_else(|| marker.pattern().clone());
+                ctx.send_feedback(
+                    0,
+                    FeedbackPunctuation::desired(pattern, self.inner.name())
+                        .with_directive(StageDirective::Ack { epoch, replica: self.index }),
+                );
+            }
+            StageDirective::Commit { partitions, .. } => {
+                let (entries, migrated) = self.controller.reclaim(self.index, partitions);
+                self.controller.record_migrated(migrated);
+                if !entries.is_empty() {
+                    self.inner.import_state(entries)?;
+                }
+            }
+            // Resize and Ack ride the feedback channel, never the data
+            // channel; an arrival here is a no-op.
+            StageDirective::Resize { .. } | StageDirective::Ack { .. } => {}
+        }
+        // Forward the marker so the cut stays consistent through the stage
+        // (the merge counts Commit markers to switch its membership).
+        ctx.emit_punctuation(0, marker);
+        Ok(())
+    }
+}
+
+impl<O: Operator> Operator for ElasticReplica<O> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn inputs(&self) -> usize {
+        self.inner.inputs()
+    }
+
+    fn outputs(&self) -> usize {
+        self.inner.outputs()
+    }
+
+    fn must_connect_all_outputs(&self) -> bool {
+        self.inner.must_connect_all_outputs()
+    }
+
+    fn feedback_roles(&self) -> FeedbackRoles {
+        self.inner.feedback_roles().union(FeedbackRoles::relayer())
+    }
+
+    fn schema_in(&self, input: usize) -> Option<dsms_types::SchemaRef> {
+        self.inner.schema_in(input)
+    }
+
+    fn schema_out(&self, output: usize) -> Option<dsms_types::SchemaRef> {
+        self.inner.schema_out(output)
+    }
+
+    fn on_tuple(
+        &mut self,
+        input: usize,
+        tuple: Tuple,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        self.inner.on_tuple(input, tuple, ctx)
+    }
+
+    fn on_page(
+        &mut self,
+        input: usize,
+        page: dsms_engine::Page,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        // Migration markers must not reach the inner operator's batched
+        // fast path (it would forward them blindly without exporting).
+        // Pages carrying one are unpacked item by item; everything else
+        // takes the inner fast path untouched.
+        let items: Vec<dsms_engine::StreamItem> = page.into_iter().collect();
+        let has_marker = items.iter().any(|item| match item {
+            dsms_engine::StreamItem::Punctuation(p) => p.stage_directive().is_some(),
+            dsms_engine::StreamItem::Tuple(_) => false,
+        });
+        if !has_marker {
+            return self.inner.on_page(input, dsms_engine::Page::from_items(items), ctx);
+        }
+        for item in items {
+            match item {
+                dsms_engine::StreamItem::Tuple(tuple) => self.inner.on_tuple(input, tuple, ctx)?,
+                dsms_engine::StreamItem::Punctuation(p) => self.on_punctuation(input, p, ctx)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn on_punctuation(
+        &mut self,
+        input: usize,
+        punctuation: Punctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        match punctuation.stage_directive() {
+            Some(directive) => self.handle_directive(directive, punctuation, ctx),
+            None => self.inner.on_punctuation(input, punctuation, ctx),
+        }
+    }
+
+    fn on_feedback(
+        &mut self,
+        output: usize,
+        feedback: FeedbackPunctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        if feedback.stage_directive().is_some() {
+            // A stage directive from the merge is addressed to the shuffle;
+            // relay it upstream without involving the inner operator (whose
+            // schema the pattern may not match).
+            let pattern = self
+                .inner
+                .schema_in(0)
+                .map(Pattern::all_wildcards)
+                .unwrap_or_else(|| feedback.pattern().clone());
+            ctx.send_feedback(0, feedback.relay(pattern, self.inner.name()));
+            return Ok(());
+        }
+        self.inner.on_feedback(output, feedback, ctx)
+    }
+
+    fn on_request_results(&mut self, output: usize, ctx: &mut OperatorContext) -> EngineResult<()> {
+        self.inner.on_request_results(output, ctx)
+    }
+
+    fn on_flush(&mut self, ctx: &mut OperatorContext) -> EngineResult<()> {
+        self.inner.on_flush(ctx)
+    }
+
+    fn poll_source(&mut self, ctx: &mut OperatorContext) -> EngineResult<SourceState> {
+        self.inner.poll_source(ctx)
+    }
+
+    fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
+        self.inner.feedback_stats()
+    }
+
+    fn export_state(&mut self) -> Vec<StateEntry> {
+        self.inner.export_state()
+    }
+
+    fn import_state(&mut self, entries: Vec<StateEntry>) -> EngineResult<()> {
+        self.inner.import_state(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_types::{DataType, Schema, SchemaRef};
+
+    fn schema() -> SchemaRef {
+        Schema::shared(&[("ts", DataType::Timestamp), ("key", DataType::Int)])
+    }
+
+    fn entry(key: i64) -> StateEntry {
+        StateEntry { key: vec![Value::Int(key)], payload: Box::new(key) }
+    }
+
+    #[test]
+    fn route_values_matches_the_shuffle_route() {
+        let shuffle = crate::Shuffle::new("s", schema(), &["key"], 4).unwrap();
+        for key in 0..64 {
+            let tuple = Tuple::new(
+                schema(),
+                vec![Value::Timestamp(dsms_types::Timestamp::from_secs(0)), Value::Int(key)],
+            );
+            assert_eq!(
+                route_values(&[Value::Int(key)], 4),
+                shuffle.partition_of(&tuple).unwrap(),
+                "key {key}: replica reclaim must agree with shuffle routing"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_reclaim_partitions_the_parked_state_exactly() {
+        let controller = ElasticController::shared();
+        controller.park(0, (0..40).map(entry).collect());
+        let mut total = 0;
+        let mut migrated_total = 0;
+        for replica in 0..4 {
+            let (mine, migrated) = controller.reclaim(replica, 4);
+            for e in &mine {
+                assert_eq!(route_values(&e.key, 4), replica);
+            }
+            total += mine.len();
+            migrated_total += migrated;
+        }
+        assert_eq!(total, 40, "every parked entry reclaimed exactly once");
+        assert!(migrated_total > 0, "widening from one exporter moves groups");
+        assert_eq!(controller.reclaim(0, 1).0.len(), 0, "pool fully drained");
+    }
+
+    #[test]
+    fn reclaim_at_the_old_width_returns_state_to_its_exporter() {
+        let controller = ElasticController::shared();
+        // Two replicas each export the keys they own at width 2.
+        for key in 0..20 {
+            let owner = route_values(&[Value::Int(key)], 2);
+            controller.park(owner, vec![entry(key)]);
+        }
+        for replica in 0..2 {
+            let (_, migrated) = controller.reclaim(replica, 2);
+            assert_eq!(migrated, 0, "cancelled resize moves nothing");
+        }
+    }
+
+    #[test]
+    fn scripted_policy_fires_in_order_and_consumes_entries() {
+        let mut policy = ElasticPolicy::Scripted(vec![(2, 4), (5, 1)]);
+        assert_eq!(policy.decide(1, 0, 1), None, "before the first mark");
+        assert_eq!(policy.decide(2, 0, 1), Some(4));
+        assert_eq!(policy.decide(3, 0, 4), None, "entry consumed");
+        assert_eq!(policy.decide(7, 0, 4), Some(1), "late is fine: at-or-after");
+        assert_eq!(policy.decide(100, 0, 1), None, "schedule exhausted");
+    }
+
+    #[test]
+    fn adaptive_policy_tracks_the_watermarks() {
+        let mut policy = ElasticPolicy::Adaptive { high: 8, low: 1, spike_width: 4, idle_width: 1 };
+        assert_eq!(policy.decide(0, 3, 1), None, "between the watermarks");
+        assert_eq!(policy.decide(0, 9, 1), Some(4), "spike scales out");
+        assert_eq!(policy.decide(0, 9, 4), None, "already wide");
+        assert_eq!(policy.decide(0, 0, 4), Some(1), "drain scales in");
+    }
+
+    #[test]
+    fn controller_stats_accumulate() {
+        let controller = ElasticController::shared();
+        controller.record_resize(1, 4);
+        controller.record_resize(2, 1);
+        controller.record_cancel();
+        controller.record_migrated(7);
+        controller.report_load(42);
+        let stats = controller.stats();
+        assert_eq!(stats.resizes, 2);
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.migrated_groups, 7);
+        assert_eq!(stats.epochs, vec![(1, 4), (2, 1)]);
+        assert_eq!(controller.load(), 42);
+    }
+}

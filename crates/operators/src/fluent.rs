@@ -16,6 +16,7 @@
 
 use crate::aggregate::{AggregateFunction, WindowAggregate};
 use crate::common::TuplePredicate;
+use crate::elastic::{ElasticController, ElasticPolicy, ElasticReplica};
 use crate::merge::Merge;
 use crate::project::Project;
 use crate::select::Select;
@@ -140,6 +141,26 @@ pub trait StreamOps: Sized {
         O: Operator + 'static,
         F: FnMut(usize) -> O;
 
+    /// [`partitioned_stage`](StreamOps::partitioned_stage) made resizable at
+    /// runtime: the stage is built at the shuffle's full width, starts with
+    /// `initial` active replicas, and grows or shrinks when `policy` decides
+    /// at a punctuation boundary — the merge sends the decision upstream as a
+    /// feedback directive and keyed replica state migrates at the resulting
+    /// consistent cut (see [`crate::elastic`] for the protocol).  Replicas
+    /// must implement [`Operator::export_state`] /
+    /// [`Operator::import_state`] if they hold keyed state.
+    fn elastic_stage<O, F>(
+        self,
+        shuffle: Shuffle,
+        merge: Merge,
+        initial: usize,
+        policy: ElasticPolicy,
+        make: F,
+    ) -> EngineResult<Stream>
+    where
+        O: Operator + 'static,
+        F: FnMut(usize) -> O;
+
     /// Terminates the stream in a [`CollectSink`], returning the handle to
     /// its collected results.
     fn sink_collect(self, name: impl Into<String>) -> EngineResult<SinkHandle>;
@@ -251,6 +272,33 @@ impl StreamOps for Stream {
         let mut replica_streams = Vec::with_capacity(partitions);
         for (partition, stream) in partition_streams.into_iter().enumerate() {
             replica_streams.push(stream.apply_as(make(partition), replica_output.clone())?);
+        }
+        Stream::merge(replica_streams, merge)
+    }
+
+    fn elastic_stage<O, F>(
+        self,
+        shuffle: Shuffle,
+        merge: Merge,
+        initial: usize,
+        policy: ElasticPolicy,
+        mut make: F,
+    ) -> EngineResult<Stream>
+    where
+        O: Operator + 'static,
+        F: FnMut(usize) -> O,
+    {
+        crate::partition::check_stage_endpoints(&shuffle, &merge)?;
+        let controller = ElasticController::shared();
+        let shuffle = shuffle.with_elastic(controller.clone(), initial);
+        let merge = merge.with_elastic(controller.clone(), policy, initial);
+        let partitions = shuffle.partitions();
+        let replica_output = merge.schema().clone();
+        let partition_streams = self.apply_multi(shuffle)?;
+        let mut replica_streams = Vec::with_capacity(partitions);
+        for (partition, stream) in partition_streams.into_iter().enumerate() {
+            let replica = ElasticReplica::new(make(partition), partition, controller.clone());
+            replica_streams.push(stream.apply_as(replica, replica_output.clone())?);
         }
         Stream::merge(replica_streams, merge)
     }
@@ -375,6 +423,65 @@ mod tests {
         let report = SyncExecutor::run(plan).unwrap();
         assert_eq!(results.lock().len(), 200);
         assert_eq!(report.total_feedback_dropped(), 0);
+    }
+
+    #[test]
+    fn elastic_stage_matches_the_fixed_partition_digest() {
+        fn agg(i: usize) -> WindowAggregate {
+            WindowAggregate::new(
+                format!("replica-{i}"),
+                schema(),
+                "ts",
+                StreamDuration::from_secs(60),
+                &["seg"],
+                AggregateFunction::Avg("speed".into()),
+            )
+            .unwrap()
+        }
+        fn digest(tuples: &[Tuple]) -> String {
+            let mut lines: Vec<String> =
+                tuples.iter().map(|t| format!("{:?}", t.values())).collect();
+            lines.sort();
+            lines.join("\n")
+        }
+        let out_schema = agg(0).output_schema().clone();
+        let source = || {
+            VecSource::new("sensors", readings(300))
+                .with_punctuation("ts", StreamDuration::from_secs(30))
+        };
+
+        // Fixed-width baseline: all four replicas active for the whole run.
+        let builder = StreamBuilder::new().with_page_capacity(2).with_queue_capacity(1);
+        let shuffle = Shuffle::new("stage-shuffle", schema(), &["seg"], 4).unwrap();
+        let merge = Merge::new("stage-merge", out_schema.clone(), 4);
+        let fixed = builder
+            .source(source())
+            .unwrap()
+            .partitioned_stage(shuffle, merge, agg)
+            .unwrap()
+            .sink_collect("out")
+            .unwrap();
+        SyncExecutor::run(builder.build().unwrap()).unwrap();
+        let expected = digest(&fixed.lock());
+
+        // Elastic run: 1 replica, scale out to 3, then in to 2, mid-stream.
+        let builder = StreamBuilder::new().with_page_capacity(2).with_queue_capacity(1);
+        let shuffle = Shuffle::new("stage-shuffle", schema(), &["seg"], 4).unwrap();
+        let merge = Merge::new("stage-merge", out_schema, 4);
+        let elastic = builder
+            .source(source())
+            .unwrap()
+            .elastic_stage(shuffle, merge, 1, ElasticPolicy::Scripted(vec![(2, 3), (4, 2)]), agg)
+            .unwrap()
+            .sink_collect("out")
+            .unwrap();
+        let report = SyncExecutor::run(builder.build().unwrap()).unwrap();
+        assert_eq!(digest(&elastic.lock()), expected, "resizes must not change the result");
+        assert_eq!(report.total_feedback_dropped(), 0);
+        let stats = report.operator("stage-shuffle").unwrap().elastic.clone().unwrap();
+        assert_eq!(stats.resizes, 2, "scale-out and scale-in both committed");
+        assert_eq!(stats.epochs, vec![(1, 3), (2, 2)]);
+        assert!(stats.migrated_groups > 0, "open groups moved at the first cut");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! propagates to both antecedents; feedback on attributes of one input only
 //! goes to that side; feedback coupling both sides can only guard the output.
 
-use dsms_engine::{EngineResult, Operator, OperatorContext};
+use dsms_engine::{EngineError, EngineResult, Operator, OperatorContext, StateEntry};
 use dsms_feedback::{
     characterize_join, AttributeMapping, ExploitAction, FeedbackIntent, FeedbackPunctuation,
     FeedbackRegistry, FeedbackRoles, JoinSpec, PropagationRule,
@@ -460,6 +460,47 @@ impl Operator for SymmetricHashJoin {
         Ok(())
     }
 
+    /// One entry per `(side, window, key)` hash bucket.  The entry key is the
+    /// join-key values in key-attribute order — an elastic stage must shuffle
+    /// on those same attributes in that order for
+    /// [`route_values`](crate::elastic::route_values) to agree with the hash
+    /// route.  Buckets move whole (with their outer-join match flags), so no
+    /// pairing is lost or duplicated across the cut.  Watermarks are *not*
+    /// exported: the importer re-learns progress from the punctuation that
+    /// follows the migration marker, which can only delay purging, never
+    /// purge early.
+    fn export_state(&mut self) -> Vec<StateEntry> {
+        let mut entries = Vec::new();
+        for (side, state) in [
+            (JoinSide::Left, std::mem::take(&mut self.left_state)),
+            (JoinSide::Right, std::mem::take(&mut self.right_state)),
+        ] {
+            for ((wid, key), bucket) in state {
+                entries.push(StateEntry { key, payload: Box::new((side, wid, bucket)) });
+            }
+        }
+        entries
+    }
+
+    fn import_state(&mut self, entries: Vec<StateEntry>) -> EngineResult<()> {
+        for entry in entries {
+            let payload =
+                entry.payload.downcast::<(JoinSide, i64, Vec<Buffered>)>().map_err(|_| {
+                    EngineError::OperatorFailed {
+                        operator: self.name.clone(),
+                        detail: "imported state entry is not a join hash bucket".into(),
+                    }
+                })?;
+            let (side, wid, bucket) = *payload;
+            let state = match side {
+                JoinSide::Left => &mut self.left_state,
+                JoinSide::Right => &mut self.right_state,
+            };
+            state.entry((wid, entry.key)).or_default().extend(bucket);
+        }
+        Ok(())
+    }
+
     fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
         Some(self.registry.stats().clone())
     }
@@ -633,6 +674,30 @@ mod tests {
         assert_eq!(relayed.len(), 1);
         assert_eq!(relayed[0].0, 0, "relayed to the left input only");
         assert_eq!(j.buffered(), 1, "fast sensor purged, probe tuple untouched");
+    }
+
+    #[test]
+    fn state_export_import_round_trips_hash_buckets() {
+        let mut source = join().left_outer();
+        let mut ctx = OperatorContext::new();
+        source.on_tuple(0, sensor(10, 3, 42.0), &mut ctx).unwrap();
+        source.on_tuple(0, sensor(11, 4, 55.0), &mut ctx).unwrap();
+        source.on_tuple(1, probe(20, 3, 38.0), &mut ctx).unwrap();
+        let _ = emitted_tuples(&mut ctx);
+        let entries = source.export_state();
+        assert_eq!(entries.len(), 3, "one entry per (side, window, key) bucket");
+        assert_eq!(source.buffered(), 0, "export drains both hash tables");
+
+        let mut target = join().left_outer();
+        target.import_state(entries).unwrap();
+        assert_eq!(target.buffered(), 3);
+        // The segment-3 pair is already matched (flags moved with the bucket),
+        // so only the unmatched segment-4 sensor pads out at flush.
+        target.on_flush(&mut ctx).unwrap();
+        let out = emitted_tuples(&mut ctx);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].int("segment").unwrap(), 4);
+        assert!(out[0].value_by_name("avg").unwrap().is_null());
     }
 
     #[test]

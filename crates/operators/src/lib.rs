@@ -43,6 +43,7 @@ pub mod aggregate;
 pub mod common;
 pub mod demand;
 pub mod duplicate;
+pub mod elastic;
 pub mod fluent;
 pub mod impatient_join;
 pub mod impute;
@@ -65,6 +66,7 @@ pub use aggregate::{AggregateFunction, WindowAggregate};
 pub use common::{simulate_cost, Costed, MinWatermark, TuplePredicate};
 pub use demand::OnDemandGate;
 pub use duplicate::Duplicate;
+pub use elastic::{membership, route_values, ElasticController, ElasticPolicy, ElasticReplica};
 pub use fluent::StreamOps;
 pub use impatient_join::ImpatientJoin;
 pub use impute::{ArchivalStore, Impute};

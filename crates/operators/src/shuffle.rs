@@ -21,14 +21,39 @@
 //!   meet).  The released subset is also mounted as an input guard, so the
 //!   shuffle stops routing tuples the whole replica group has disclaimed.
 
+use crate::elastic::ElasticController;
 use dsms_engine::{EngineError, EngineResult, Operator, OperatorContext, StreamItem};
 use dsms_feedback::{
     BatchGuardDecision, FeedbackMerge, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles,
     GuardDecision,
 };
-use dsms_punctuation::Punctuation;
+use dsms_punctuation::{Punctuation, StageDirective};
 use dsms_types::{FixedHasher, SchemaRef, Tuple};
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A resize handshake in flight: the shuffle has cut the stream with Migrate
+/// markers and is buffering its input until every replica acknowledges.
+struct PendingResize {
+    epoch: u64,
+    target: usize,
+    acks: Vec<bool>,
+    buffer: Vec<StreamItem>,
+}
+
+/// Elastic-mode state: the stage coordinator role of the shuffle (see
+/// [`crate::elastic`] for the protocol).
+struct ElasticShuffle {
+    controller: Arc<ElasticController>,
+    /// Current routing width: tuples route to outputs `0..active`.
+    active: usize,
+    pending: Option<PendingResize>,
+    /// Highest epoch a handshake was started for (dedupes relayed copies of
+    /// the same Resize directive).
+    last_epoch: u64,
+    /// End-of-stream reached: no new handshake may start.
+    flushed: bool,
+}
 
 /// Hash-partitions one input stream across `partitions` outputs on a key.
 pub struct Shuffle {
@@ -39,6 +64,7 @@ pub struct Shuffle {
     partitions: usize,
     merge: FeedbackMerge,
     registry: FeedbackRegistry,
+    elastic: Option<ElasticShuffle>,
 }
 
 impl Shuffle {
@@ -69,7 +95,32 @@ impl Shuffle {
             key: key.iter().map(|k| k.to_string()).collect(),
             key_indices,
             partitions,
+            elastic: None,
         })
+    }
+
+    /// Makes the shuffle the coordinator of an elastic stage: `partitions`
+    /// becomes the *maximum* width, routing starts at `initial` active
+    /// replicas (clamped to `1..=partitions`), and resize directives arriving
+    /// as feedback drive the migration handshake (see [`crate::elastic`]).
+    /// Dormant replicas stay connected but receive only migration markers.
+    pub fn with_elastic(mut self, controller: Arc<ElasticController>, initial: usize) -> Self {
+        let active = initial.clamp(1, self.partitions);
+        self.merge.set_active(&crate::elastic::membership(active, self.partitions));
+        self.elastic = Some(ElasticShuffle {
+            controller,
+            active,
+            pending: None,
+            last_epoch: 0,
+            flushed: false,
+        });
+        self
+    }
+
+    /// The number of replicas currently receiving data (`partitions` when the
+    /// shuffle is not elastic).
+    pub fn active(&self) -> usize {
+        self.elastic.as_ref().map(|e| e.active).unwrap_or(self.partitions)
     }
 
     /// The stream schema.
@@ -97,11 +148,147 @@ impl Shuffle {
     /// key values would break the same-key-same-replica guarantee the whole
     /// rewrite rests on.
     pub fn partition_of(&self, tuple: &Tuple) -> EngineResult<usize> {
+        Ok((self.key_hash(tuple)? % self.partitions as u64) as usize)
+    }
+
+    /// The fixed-seed hash of the tuple's key values, in key order.
+    fn key_hash(&self, tuple: &Tuple) -> EngineResult<u64> {
         let mut hasher = FixedHasher::new();
         for &index in &self.key_indices {
             tuple.value(index).map_err(EngineError::from)?.hash(&mut hasher);
         }
-        Ok((hasher.finish() % self.partitions as u64) as usize)
+        Ok(hasher.finish())
+    }
+
+    /// The output port the tuple routes to *right now*: the key hash reduced
+    /// modulo the active width.  Identical to [`Shuffle::partition_of`] when
+    /// the shuffle is not elastic (or running at full width).
+    fn route_of(&self, tuple: &Tuple) -> EngineResult<usize> {
+        Ok((self.key_hash(tuple)? % self.active() as u64) as usize)
+    }
+
+    /// Reacts to a stage directive arriving on the feedback channel: Resize
+    /// opens a handshake (Migrate markers out, input buffering on), Ack
+    /// progress-tracks it, and the last Ack commits.
+    fn on_stage_directive(
+        &mut self,
+        directive: StageDirective,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        let Shuffle { elastic, partitions, schema, .. } = self;
+        let Some(elastic) = elastic.as_mut() else {
+            return Ok(());
+        };
+        match directive {
+            StageDirective::Resize { epoch, partitions: requested } => {
+                if elastic.flushed || elastic.pending.is_some() || epoch <= elastic.last_epoch {
+                    return Ok(());
+                }
+                elastic.last_epoch = epoch;
+                let target = requested.clamp(1, *partitions);
+                if target == elastic.active {
+                    return Ok(());
+                }
+                elastic.pending = Some(PendingResize {
+                    epoch,
+                    target,
+                    acks: vec![false; *partitions],
+                    buffer: Vec::new(),
+                });
+                // The cut: every replica (dormant ones included) sees the
+                // marker after all earlier routed tuples.
+                for port in 0..*partitions {
+                    ctx.emit_punctuation(
+                        port,
+                        Punctuation::directive(
+                            schema.clone(),
+                            StageDirective::Migrate { epoch, partitions: target },
+                        ),
+                    );
+                }
+            }
+            StageDirective::Ack { epoch, replica } => {
+                let Some(pending) = elastic.pending.as_mut() else {
+                    return Ok(());
+                };
+                if pending.epoch != epoch || replica >= pending.acks.len() {
+                    return Ok(());
+                }
+                pending.acks[replica] = true;
+                if pending.acks.iter().all(|acked| *acked) {
+                    let target = pending.target;
+                    self.finish_resize(target, false, ctx)?;
+                }
+            }
+            // Migrate and Commit are data-channel markers the shuffle emits,
+            // never receives.
+            StageDirective::Migrate { .. } | StageDirective::Commit { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Ends the in-flight handshake at `width` (the target on commit, the
+    /// old width on an end-of-stream cancel): emits Commit markers, replays
+    /// the buffered input under the new routing, and switches the feedback
+    /// lattice's membership.
+    fn finish_resize(
+        &mut self,
+        width: usize,
+        cancelled: bool,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        let (epoch, buffer) = {
+            let elastic = self.elastic.as_mut().expect("finish_resize requires elastic mode");
+            let pending = elastic.pending.take().expect("a handshake is in flight");
+            elastic.active = width;
+            (pending.epoch, pending.buffer)
+        };
+        for port in 0..self.partitions {
+            ctx.emit_punctuation(
+                port,
+                Punctuation::directive(
+                    self.schema.clone(),
+                    StageDirective::Commit { epoch, partitions: width },
+                ),
+            );
+        }
+        // Replay the input held back during the handshake: per-key order is
+        // preserved (the buffer is FIFO), only the route changes.
+        for item in buffer {
+            match item {
+                StreamItem::Tuple(tuple) => {
+                    let route = self.route_of(&tuple)?;
+                    ctx.emit(route, tuple);
+                }
+                StreamItem::Punctuation(punctuation) => {
+                    for port in 0..width {
+                        ctx.emit_punctuation(port, punctuation.clone());
+                    }
+                }
+            }
+        }
+        // Unanimity is now over the new replica set; release any lattice
+        // rounds a retired replica was blocking.
+        let released = self.merge.set_active(&crate::elastic::membership(width, self.partitions));
+        for merged in released {
+            self.release_merged(merged, ctx);
+        }
+        let controller = &self.elastic.as_ref().expect("elastic mode").controller;
+        if cancelled {
+            controller.record_cancel();
+        } else {
+            controller.record_resize(epoch, width);
+        }
+        Ok(())
+    }
+
+    /// Relays a unanimously asserted subset upstream and guards the input
+    /// with it.
+    fn release_merged(&mut self, merged: FeedbackPunctuation, ctx: &mut OperatorContext) {
+        self.registry.stats_mut().relayed.record(merged.intent());
+        let relayed = merged.relay(merged.pattern().clone(), &self.name);
+        let _ = self.registry.register(merged);
+        ctx.send_feedback(0, relayed);
     }
 }
 
@@ -145,8 +332,15 @@ impl Operator for Shuffle {
         if self.registry.decide(&tuple) == GuardDecision::Suppress {
             return Ok(());
         }
-        let partition = self.partition_of(&tuple)?;
-        ctx.emit(partition, tuple);
+        if let Some(elastic) = self.elastic.as_mut() {
+            elastic.controller.report_load(ctx.queue_depth());
+            if let Some(pending) = elastic.pending.as_mut() {
+                pending.buffer.push(StreamItem::Tuple(tuple));
+                return Ok(());
+            }
+        }
+        let route = self.route_of(&tuple)?;
+        ctx.emit(route, tuple);
         Ok(())
     }
 
@@ -193,6 +387,23 @@ impl Operator for Shuffle {
         page: dsms_engine::Page,
         ctx: &mut OperatorContext,
     ) -> EngineResult<()> {
+        if let Some(elastic) = self.elastic.as_mut() {
+            elastic.controller.report_load(ctx.queue_depth());
+            if elastic.pending.is_some() {
+                // Mid-handshake: everything funnels through the buffering
+                // per-item paths (migration is short; the columnar fast path
+                // resumes at commit).
+                for item in page {
+                    match item {
+                        StreamItem::Tuple(tuple) => self.on_tuple(input, tuple, ctx)?,
+                        StreamItem::Punctuation(punctuation) => {
+                            self.on_punctuation(input, punctuation, ctx)?
+                        }
+                    }
+                }
+                return Ok(());
+            }
+        }
         let decision = self.registry.decide_batch(page.tuple_count(), |c| page.column_summary(c));
         match decision {
             BatchGuardDecision::SuppressAll => {
@@ -206,8 +417,8 @@ impl Operator for Shuffle {
                 for item in page {
                     match item {
                         StreamItem::Tuple(tuple) => {
-                            let partition = self.partition_of(&tuple)?;
-                            ctx.emit(partition, tuple);
+                            let route = self.route_of(&tuple)?;
+                            ctx.emit(route, tuple);
                         }
                         StreamItem::Punctuation(punctuation) => {
                             self.on_punctuation(input, punctuation, ctx)?
@@ -235,6 +446,21 @@ impl Operator for Shuffle {
         punctuation: Punctuation,
         ctx: &mut OperatorContext,
     ) -> EngineResult<()> {
+        if let Some(elastic) = self.elastic.as_mut() {
+            if let Some(pending) = elastic.pending.as_mut() {
+                // Hold punctuation back with the tuples so the replayed
+                // stream preserves its original interleaving.
+                pending.buffer.push(StreamItem::Punctuation(punctuation));
+                return Ok(());
+            }
+            // Elastic mode fans punctuation out per active port: a dormant
+            // replica receives no assertions, so the merge's membership-aware
+            // watermark must not wait on it.
+            for port in 0..elastic.active {
+                ctx.emit_punctuation(port, punctuation.clone());
+            }
+            return Ok(());
+        }
         ctx.broadcast_punctuation(punctuation);
         Ok(())
     }
@@ -245,19 +471,39 @@ impl Operator for Shuffle {
         feedback: FeedbackPunctuation,
         ctx: &mut OperatorContext,
     ) -> EngineResult<()> {
+        if let Some(directive) = feedback.stage_directive() {
+            // Stage directives steer the handshake; they never enter the
+            // assertion lattice (a wildcard "vote" from the controller would
+            // corrupt unanimity rounds).
+            return self.on_stage_directive(directive, ctx);
+        }
         if let Some(merged) = self.merge.assert_from(output, feedback) {
-            self.registry.stats_mut().relayed.record(merged.intent());
-            let relayed = merged.relay(merged.pattern().clone(), &self.name);
-            // Guard our own input with the unanimously asserted subset, then
-            // relay it toward the source.
-            let _ = self.registry.register(merged);
-            ctx.send_feedback(0, relayed);
+            self.release_merged(merged, ctx);
+        }
+        Ok(())
+    }
+
+    fn on_flush(&mut self, ctx: &mut OperatorContext) -> EngineResult<()> {
+        // End-of-stream inside a handshake: cancel rather than commit.  The
+        // Commit marker re-installs the *old* width, the replay uses the old
+        // routing, and every parked group reclaims to its exporter — the run
+        // is indistinguishable from one where the resize never happened.
+        let cancel_at = self.elastic.as_mut().and_then(|elastic| {
+            elastic.flushed = true;
+            elastic.pending.is_some().then_some(elastic.active)
+        });
+        if let Some(old_width) = cancel_at {
+            self.finish_resize(old_width, true, ctx)?;
         }
         Ok(())
     }
 
     fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
         Some(self.registry.stats().clone())
+    }
+
+    fn elastic_stats(&self) -> Option<dsms_engine::ElasticStats> {
+        self.elastic.as_ref().map(|elastic| elastic.controller.stats())
     }
 }
 

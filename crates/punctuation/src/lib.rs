@@ -35,5 +35,5 @@ pub mod scheme;
 
 pub use pattern::{CompiledPattern, Pattern, PatternItem, SummaryMatch};
 pub use progress::ProgressTracker;
-pub use punctuation::Punctuation;
+pub use punctuation::{Punctuation, StageDirective};
 pub use scheme::PunctuationScheme;

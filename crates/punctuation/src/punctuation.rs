@@ -11,16 +11,79 @@ use crate::pattern::{Pattern, PatternItem};
 use dsms_types::{SchemaRef, Timestamp, Tuple, TypeResult, Value};
 use std::fmt;
 
+/// A control verb for elastic repartitioning of a shuffle→replicas→merge
+/// stage, carried piggyback on a punctuation (the consistent-cut marker) or
+/// on a feedback punctuation (the upstream control channel).
+///
+/// The protocol is a four-step handshake per `epoch` (one resize):
+///
+/// 1. [`Resize`](StageDirective::Resize) — the merge decides a new partition
+///    count and sends it upstream as feedback.
+/// 2. [`Migrate`](StageDirective::Migrate) — the shuffle embeds a migration
+///    marker on every replica stream; each replica exports its keyed state at
+///    that boundary.
+/// 3. [`Ack`](StageDirective::Ack) — each replica acknowledges the cut
+///    upstream after exporting.
+/// 4. [`Commit`](StageDirective::Commit) — once every replica has
+///    acknowledged, the shuffle switches routing and embeds a commit marker;
+///    replicas reinstall their share of the exported state behind it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageDirective {
+    /// Merge → shuffle (feedback): change the active partition count.
+    Resize {
+        /// Monotone resize-round identifier.
+        epoch: u64,
+        /// Requested number of active partitions.
+        partitions: usize,
+    },
+    /// Shuffle → replicas (embedded marker): export keyed state at this cut.
+    Migrate {
+        /// Resize round this cut belongs to.
+        epoch: u64,
+        /// Partition count the stage is migrating toward.
+        partitions: usize,
+    },
+    /// Replica → shuffle (feedback): state exported, the cut is clean here.
+    Ack {
+        /// Resize round being acknowledged.
+        epoch: u64,
+        /// Index of the acknowledging replica.
+        replica: usize,
+    },
+    /// Shuffle → replicas (embedded marker): routing switched; reinstall
+    /// state for the new width.  A commit carrying the *old* width cancels
+    /// the resize (used when the stream ends mid-handshake).
+    Commit {
+        /// Resize round being committed.
+        epoch: u64,
+        /// Partition count now in effect.
+        partitions: usize,
+    },
+}
+
 /// An embedded punctuation: "no more tuples matching this pattern".
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Punctuation {
     pattern: Pattern,
+    directive: Option<StageDirective>,
 }
 
 impl Punctuation {
     /// Wraps a pattern as an embedded punctuation.
     pub fn new(pattern: Pattern) -> Self {
-        Punctuation { pattern }
+        Punctuation { pattern, directive: None }
+    }
+
+    /// An all-wildcard punctuation carrying an elastic-stage directive —
+    /// asserts nothing about the stream (the empty subset is complete) and
+    /// exists purely as an in-band consistent-cut marker.
+    pub fn directive(schema: SchemaRef, directive: StageDirective) -> Self {
+        Punctuation { pattern: Pattern::all_wildcards(schema), directive: Some(directive) }
+    }
+
+    /// The elastic-stage directive riding on this punctuation, if any.
+    pub fn stage_directive(&self) -> Option<StageDirective> {
+        self.directive
     }
 
     /// The canonical stream-progress punctuation: "all tuples with
@@ -31,14 +94,14 @@ impl Punctuation {
             schema,
             &[(attribute, PatternItem::Le(Value::Timestamp(watermark)))],
         )?;
-        Ok(Punctuation { pattern })
+        Ok(Punctuation { pattern, directive: None })
     }
 
     /// A punctuation asserting that a whole group (e.g. a window id or a
     /// segment) is complete: `attribute = value`.
     pub fn group_complete(schema: SchemaRef, attribute: &str, value: Value) -> TypeResult<Self> {
         let pattern = Pattern::for_attributes(schema, &[(attribute, PatternItem::Eq(value))])?;
-        Ok(Punctuation { pattern })
+        Ok(Punctuation { pattern, directive: None })
     }
 
     /// The underlying pattern.

@@ -77,10 +77,11 @@ pub mod prelude {
         FeedbackSpec, FeedbackTrigger, GuardDecision,
     };
     pub use dsms_operators::{
-        AggregateFunction, ArchivalStore, CollectSink, Costed, Duplicate, GeneratorSource,
-        ImpatientJoin, Impute, Merge, OnDemandGate, Pace, PartitionedExt, PartitionedStage,
-        Prioritizer, Project, QualityFilter, Select, Shuffle, Split, StreamOps, SymmetricHashJoin,
-        ThriftyJoin, TimedSink, TuplePredicate, Union, VecSource, WindowAggregate,
+        AggregateFunction, ArchivalStore, CollectSink, Costed, Duplicate, ElasticController,
+        ElasticPolicy, ElasticReplica, GeneratorSource, ImpatientJoin, Impute, Merge, OnDemandGate,
+        Pace, PartitionedExt, PartitionedStage, Prioritizer, Project, QualityFilter, Select,
+        Shuffle, Split, StreamOps, SymmetricHashJoin, ThriftyJoin, TimedSink, TuplePredicate,
+        Union, VecSource, WindowAggregate,
     };
     pub use dsms_punctuation::{
         CompiledPattern, Pattern, PatternItem, Punctuation, PunctuationScheme,

@@ -1,0 +1,86 @@
+//! NEXMark-style integration smoke: the bid/auction workload generator
+//! (paper Section 4.4) drives an *adaptive* elastic stage end to end.
+//!
+//! A [`GeneratorSource`] streams `(timestamp, auction, bidder, amount)` bids
+//! in timestamp order with periodic progress punctuation; the stage computes
+//! the per-auction windowed MAX bid behind a shuffle keyed on `auction`.  The
+//! elastic policy here is [`ElasticPolicy::Adaptive`] — scale decisions come
+//! from the live queue-depth signal the shuffle reports, not a script — so
+//! this exercises the metrics → decision → feedback-directive → migration
+//! loop the scripted parity suite bypasses.  The digest must still be
+//! byte-identical to a fixed-width run, with no feedback dropped.
+
+use feedback_dsms::prelude::*;
+use feedback_dsms::workloads::{AuctionConfig, AuctionGenerator};
+
+const MAX_WIDTH: usize = 4;
+
+fn bids() -> GeneratorSource {
+    GeneratorSource::new("bids", AuctionGenerator::new(AuctionConfig::default()))
+        .with_punctuation("timestamp", StreamDuration::from_secs(30))
+}
+
+fn replica(i: usize) -> WindowAggregate {
+    WindowAggregate::new(
+        format!("max-bid-{i}"),
+        AuctionGenerator::schema(),
+        "timestamp",
+        StreamDuration::from_secs(120),
+        &["auction"],
+        AggregateFunction::Max("amount".into()),
+    )
+    .unwrap()
+}
+
+fn digest(tuples: &[Tuple]) -> String {
+    let mut rows: Vec<String> = tuples.iter().map(|t| format!("{:?}", t.values())).collect();
+    rows.sort_unstable();
+    rows.join("\n")
+}
+
+fn run_stage(adaptive: bool, threaded: bool) -> (ExecutionReport, String) {
+    let builder = StreamBuilder::new().with_page_capacity(2).with_queue_capacity(1);
+    let out_schema = replica(0).output_schema().clone();
+    let shuffle =
+        Shuffle::new("shuffle", AuctionGenerator::schema(), &["auction"], MAX_WIDTH).unwrap();
+    let merge = Merge::new("merge", out_schema, MAX_WIDTH);
+    let source = builder.source_as(bids(), AuctionGenerator::schema()).unwrap();
+    let staged = if adaptive {
+        // Any backlog at a punctuation boundary spreads the stage to full
+        // width; an idle boundary folds it back to one replica.
+        let policy =
+            ElasticPolicy::Adaptive { high: 1, low: 0, spike_width: MAX_WIDTH, idle_width: 1 };
+        source.elastic_stage(shuffle, merge, 1, policy, replica).unwrap()
+    } else {
+        source.partitioned_stage(shuffle, merge, replica).unwrap()
+    };
+    let results = staged.sink_collect("sink").unwrap();
+    let plan = builder.build().unwrap();
+    let report = if threaded {
+        ThreadedExecutor::run(plan).unwrap()
+    } else {
+        SyncExecutor::run(plan).unwrap()
+    };
+    let collected = results.lock().clone();
+    (report, digest(&collected))
+}
+
+#[test]
+fn adaptive_elastic_stage_runs_the_auction_workload_unchanged() {
+    let (fixed_report, expected) = run_stage(false, false);
+    assert!(!expected.is_empty());
+    assert_eq!(fixed_report.operator("shuffle").unwrap().tuples_in, 600, "20 auctions × 30 bids");
+
+    for threaded in [false, true] {
+        let (report, got) = run_stage(true, threaded);
+        assert_eq!(got, expected, "threaded={threaded}: adaptive resizing must be invisible");
+        assert_eq!(report.total_feedback_dropped(), 0, "threaded={threaded}");
+        let stats = report.operator("shuffle").unwrap().elastic.clone().unwrap();
+        assert_eq!(stats.cancelled + stats.resizes, stats.epochs.len() as u64 + stats.cancelled);
+        if !threaded {
+            // Under queue_capacity = 1 the deterministic sync schedule always
+            // finds backlog at some boundary: the stage must actually move.
+            assert!(stats.resizes >= 1, "adaptive policy never fired: {stats:?}");
+        }
+    }
+}
