@@ -74,6 +74,7 @@ struct RunResult {
     feedback_dropped: u64,
     digest: u64,
     outputs: u64,
+    report: ExecutionReport,
 }
 
 /// Runs the stage with the given policy on the threaded executor.  The stage
@@ -122,6 +123,7 @@ fn run_once(policy: ElasticPolicy, config: &'static str) -> RunResult {
         feedback_dropped: report.total_feedback_dropped(),
         digest: hasher.finish(),
         outputs: collected.len() as u64,
+        report,
     }
 }
 
@@ -184,6 +186,10 @@ fn elastic(c: &mut Criterion) {
     let elastic = &best[1];
     assert_eq!(fixed.resizes, 0, "the fixed run must never leave one replica");
     assert_eq!(elastic.digest, fixed.digest, "scale-out must not change the result multiset");
+
+    // One folded per-operator table (tuples, feedback, batch guards and the
+    // stage's elastic counters) for the winning elastic run.
+    println!("{}", dsms_bench::display::metrics_table(&elastic.report));
 
     let speedup = elastic.throughput_tps / fixed.throughput_tps;
     println!(

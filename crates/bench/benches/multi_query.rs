@@ -1,0 +1,292 @@
+//! Multi-query sharing throughput: one `PipelineManager` run versus N
+//! independent single-query runs over the same traffic feed.
+//!
+//! N ∈ {1, 4, 16, 64} standing queries are registered against one shared
+//! traffic source.  Each query is `source → select(viewport) → sink` where
+//! the viewport predicate is drawn from a pool of `PREFIXES` distinct
+//! filters, so the manager deduplicates both the source (instantiated once
+//! instead of N times) and each distinct filter prefix (instantiated once per
+//! group instead of once per query).  The unshared baseline runs the same N
+//! plans as N independent executions, each with its own copy of the source —
+//! what a DSMS without multi-query sharing would do.
+//!
+//! Every shared run asserts `feedback_dropped == 0`, and at N = 16 the
+//! per-query sink digests are checked byte-identical to solo runs on both
+//! executors.  Results (shared vs unshared elapsed, speedup, prefix hit
+//! rate) are written as JSON to `MULTI_QUERY_JSON` (default
+//! `BENCH_multi_query.local.json`, untracked — the committed
+//! `BENCH_multi_query.json` records the reference measurement; CI points the
+//! env var at the canonical name for its artifact upload).
+//! `MULTI_QUERY_MIN_SHARED_SPEEDUP` gates the N = 16 configurations: the
+//! shared run must be at least the given multiple faster than N independent
+//! runs (CI sets `1.0` — sharing must never lose).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsms_engine::StreamBuilder;
+use dsms_manager::{ExecutorKind, ManagerOutcome, PipelineManager};
+use dsms_operators::{SinkHandle, StreamOps, TuplePredicate, VecSource};
+use dsms_types::{StreamDuration, Tuple};
+use dsms_workloads::{TrafficConfig, TrafficGenerator};
+use std::time::Duration;
+
+const QUERY_COUNTS: [usize; 4] = [1, 4, 16, 64];
+/// Distinct filter prefixes the queries draw from (query i uses i % PREFIXES).
+const PREFIXES: usize = 4;
+const PAGE_CAPACITY: usize = 64;
+const QUEUE_CAPACITY: usize = 8;
+/// The N at which the shared-vs-unshared gate and digest checks apply.
+const GATED_N: usize = 16;
+
+fn dataset() -> Vec<Tuple> {
+    TrafficGenerator::new(TrafficConfig::multi_query()).collect()
+}
+
+fn punctuated_source(tuples: Vec<Tuple>) -> VecSource {
+    VecSource::new("traffic", tuples)
+        .with_punctuation("timestamp", StreamDuration::from_secs(60))
+        .with_batch_size(64)
+}
+
+/// The viewport predicate pool: distinct segment prefixes with distinct
+/// fingerprints, all time-independent so selectivity does not drift across
+/// the stream.
+fn viewport(prefix: usize) -> TuplePredicate {
+    let bound = 3 * (prefix as i64 + 1);
+    TuplePredicate::new(format!("segment < {bound}"), move |t| {
+        t.int("segment").map(|s| s < bound).unwrap_or(false)
+    })
+}
+
+fn digest(handle: &SinkHandle) -> String {
+    let mut rows: Vec<String> = handle.lock().iter().map(|t| format!("{:?}", t.values())).collect();
+    rows.sort_unstable();
+    rows.join("\n")
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Exec {
+    Sync,
+    Pooled,
+}
+
+impl Exec {
+    const ALL: [Exec; 2] = [Exec::Sync, Exec::Pooled];
+
+    fn label(self) -> &'static str {
+        match self {
+            Exec::Sync => "sync",
+            Exec::Pooled => "pooled",
+        }
+    }
+
+    fn kind(self) -> ExecutorKind {
+        match self {
+            Exec::Sync => ExecutorKind::Sync,
+            Exec::Pooled => ExecutorKind::Pooled,
+        }
+    }
+}
+
+/// One shared run: a manager with `n` queries over one source.  Returns the
+/// outcome and the per-query sink handles (registration order).
+fn run_shared(tuples: &[Tuple], n: usize, exec: Exec) -> (ManagerOutcome, Vec<SinkHandle>) {
+    let mut manager = PipelineManager::new()
+        .with_page_capacity(PAGE_CAPACITY)
+        .with_queue_capacity(QUEUE_CAPACITY);
+    manager.add_source("traffic", punctuated_source(tuples.to_vec())).expect("valid source");
+    let mut handles = Vec::with_capacity(n);
+    for i in 0..n {
+        let builder = StreamBuilder::new();
+        let handle = builder
+            .source(manager.source_ref("traffic").expect("source registered"))
+            .expect("source ref")
+            .select("filter", viewport(i % PREFIXES))
+            .expect("select")
+            .sink_collect("sink")
+            .expect("sink");
+        manager.register(format!("q{i}"), builder.build().expect("plan")).expect("register");
+        handles.push(handle);
+    }
+    let outcome = manager.run(exec.kind()).expect("shared run");
+    assert_eq!(outcome.master.total_feedback_dropped(), 0, "no feedback may be dropped");
+    (outcome, handles)
+}
+
+/// The unshared baseline: the same `n` plans run independently, each scanning
+/// its own copy of the feed.  Returns the summed executor-reported elapsed
+/// time and the sink handles.
+fn run_unshared(tuples: &[Tuple], n: usize, exec: Exec) -> (Duration, Vec<SinkHandle>) {
+    let mut total = Duration::ZERO;
+    let mut handles = Vec::with_capacity(n);
+    for i in 0..n {
+        let builder = StreamBuilder::new()
+            .with_page_capacity(PAGE_CAPACITY)
+            .with_queue_capacity(QUEUE_CAPACITY);
+        let handle = builder
+            .source(punctuated_source(tuples.to_vec()))
+            .expect("source")
+            .select("filter", viewport(i % PREFIXES))
+            .expect("select")
+            .sink_collect("sink")
+            .expect("sink");
+        let plan = builder.build().expect("plan");
+        let report = match exec {
+            Exec::Sync => dsms_engine::SyncExecutor::run(plan).expect("solo run"),
+            Exec::Pooled => dsms_engine::PooledExecutor::run(plan).expect("solo run"),
+        };
+        total += report.elapsed;
+        handles.push(handle);
+    }
+    (total, handles)
+}
+
+struct RunResult {
+    queries: usize,
+    executor: &'static str,
+    shared: Duration,
+    unshared: Duration,
+    speedup: f64,
+    hit_rate: f64,
+    shared_ops: usize,
+    unshared_ops: usize,
+}
+
+impl RunResult {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"queries\":{},\"executor\":\"{}\",\"shared_ms\":{:.3},",
+                "\"unshared_ms\":{:.3},\"speedup\":{:.3},\"prefix_hit_rate\":{:.3},",
+                "\"shared_operators\":{},\"unshared_operators\":{}}}"
+            ),
+            self.queries,
+            self.executor,
+            self.shared.as_secs_f64() * 1_000.0,
+            self.unshared.as_secs_f64() * 1_000.0,
+            self.speedup,
+            self.hit_rate,
+            self.shared_ops,
+            self.unshared_ops,
+        )
+    }
+}
+
+fn multi_query(c: &mut Criterion) {
+    let tuples = dataset();
+    let mut group = c.benchmark_group("multi_query");
+    group.sample_size(10);
+
+    let mut results: Vec<RunResult> = Vec::new();
+    for &n in &QUERY_COUNTS {
+        for &exec in &Exec::ALL {
+            // Best-of over criterion's samples for the shared run.
+            let mut shared_best: Option<ManagerOutcome> = None;
+            group.bench_function(format!("shared/{}q/{}", n, exec.label()), |b| {
+                b.iter(|| {
+                    let (outcome, _handles) = run_shared(&tuples, n, exec);
+                    if shared_best
+                        .as_ref()
+                        .map(|best| outcome.master.elapsed < best.master.elapsed)
+                        .unwrap_or(true)
+                    {
+                        shared_best = Some(outcome);
+                    }
+                })
+            });
+            let shared_best = shared_best.expect("at least one sample");
+
+            // Unshared baseline: best-of-3 outside criterion (N independent
+            // executions per sample are too coarse for its timing loop).
+            let unshared_best = (0..3)
+                .map(|_| run_unshared(&tuples, n, exec).0)
+                .min()
+                .expect("three baseline samples");
+
+            if n == GATED_N {
+                // Byte-identical digests: every managed query must match the
+                // solo run of the same plan.
+                let (_, shared_handles) = run_shared(&tuples, n, exec);
+                let (_, solo_handles) = run_unshared(&tuples, n, exec);
+                for (i, (shared, solo)) in shared_handles.iter().zip(&solo_handles).enumerate() {
+                    assert_eq!(
+                        digest(shared),
+                        digest(solo),
+                        "{}q/{}: query q{i} digest must be byte-identical to its solo run",
+                        n,
+                        exec.label()
+                    );
+                }
+            }
+
+            let summary = &shared_best.summary;
+            assert_eq!(summary.queries_active, n, "all queries must finish attached");
+            // N queries × (source + filter), minus one source and PREFIXES
+            // filters actually instantiated.
+            let unshared_ops = 2 * n;
+            let shared_ops = unshared_ops - summary.shared_prefix_hits;
+            results.push(RunResult {
+                queries: n,
+                executor: exec.label(),
+                shared: shared_best.master.elapsed,
+                unshared: unshared_best,
+                speedup: unshared_best.as_secs_f64()
+                    / shared_best.master.elapsed.as_secs_f64().max(1e-9),
+                hit_rate: summary.hit_rate(),
+                shared_ops,
+                unshared_ops,
+            });
+        }
+    }
+    group.finish();
+
+    for run in &results {
+        println!(
+            "multi_query: {:>3}q/{:<6} shared {:>8.2} ms vs unshared {:>8.2} ms \
+             ({:.2}x, prefix hit rate {:.0}%)",
+            run.queries,
+            run.executor,
+            run.shared.as_secs_f64() * 1_000.0,
+            run.unshared.as_secs_f64() * 1_000.0,
+            run.speedup,
+            run.hit_rate * 100.0
+        );
+    }
+
+    // The CI gate: at N = 16, sharing must beat N independent runs by the
+    // configured factor on every executor (1.0 in CI — never lose).
+    if let Some(min) =
+        std::env::var("MULTI_QUERY_MIN_SHARED_SPEEDUP").ok().and_then(|v| v.parse::<f64>().ok())
+    {
+        for run in results.iter().filter(|r| r.queries == GATED_N) {
+            assert!(
+                run.speedup >= min,
+                "{}q/{}: shared must be >={min}x of {} independent runs (got {:.2}x)",
+                run.queries,
+                run.executor,
+                run.queries,
+                run.speedup
+            );
+        }
+    }
+
+    let path = std::env::var("MULTI_QUERY_JSON")
+        .unwrap_or_else(|_| "BENCH_multi_query.local.json".to_string());
+    let after: Vec<String> = results.iter().map(RunResult::json).collect();
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"multi_query\",\"workload\":\"traffic\",\"tuples\":{},",
+            "\"prefixes\":{},\"after\":[{}]}}\n"
+        ),
+        tuples.len(),
+        PREFIXES,
+        after.join(",")
+    );
+    if let Err(err) = std::fs::write(&path, &json) {
+        eprintln!("multi_query: could not write {path}: {err}");
+    } else {
+        println!("multi_query: JSON report written to {path}");
+    }
+}
+
+criterion_group!(benches, multi_query);
+criterion_main!(benches);

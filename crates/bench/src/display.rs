@@ -10,8 +10,12 @@
 //! The display is also where result *rendering* cost is paid — constructing
 //! and drawing a map update per aggregate result — which is why mounting a
 //! guard on AVERAGE's output (scheme F1) already saves substantial time.
+//!
+//! This module also hosts [`metrics_table`], the one renderer examples and
+//! benches share for per-operator [`dsms_engine::ExecutionReport`] metrics
+//! (tuple counts, feedback traffic, batch-guard outcomes, elastic resizes).
 
-use dsms_engine::{EngineResult, Operator, OperatorContext};
+use dsms_engine::{EngineResult, ExecutionReport, Operator, OperatorContext};
 use dsms_feedback::{EventDrivenPolicy, FeedbackPunctuation};
 use dsms_operators::simulate_cost;
 use dsms_types::{SchemaRef, Timestamp, Tuple};
@@ -170,6 +174,77 @@ impl Operator for SpeedMapDisplay {
     }
 }
 
+/// Renders a report's per-operator metrics as one aligned table, folding the
+/// feedback counters (`suppressed`, `batch_guards=conclusive/fallback`) and
+/// [`dsms_engine::ElasticStats`] into the same row as the tuple counts, so
+/// examples and benches stop printing three disjoint metric dumps.
+///
+/// Columns: `operator | in | out | fb_in | fb_out | drop | suppressed |
+/// guards c/f | elastic`.  The elastic column shows
+/// `resizes=N migrated=G width=W` for the operator coordinating an elastic
+/// stage and `-` everywhere else.
+pub fn metrics_table(report: &ExecutionReport) -> String {
+    let header = [
+        "operator".to_string(),
+        "in".into(),
+        "out".into(),
+        "fb_in".into(),
+        "fb_out".into(),
+        "drop".into(),
+        "suppressed".into(),
+        "guards c/f".into(),
+        "elastic".into(),
+    ];
+    let mut rows: Vec<[String; 9]> = vec![header];
+    for m in &report.metrics {
+        let elastic = match &m.elastic {
+            Some(e) => {
+                let width = e.epochs.last().map(|&(_, w)| w).unwrap_or(1);
+                format!("resizes={} migrated={} width={width}", e.resizes, e.migrated_groups)
+            }
+            None => "-".into(),
+        };
+        rows.push([
+            m.operator.clone(),
+            m.tuples_in.to_string(),
+            m.tuples_out.to_string(),
+            m.feedback_in.to_string(),
+            m.feedback_out.to_string(),
+            m.feedback_dropped.to_string(),
+            m.feedback.tuples_suppressed.to_string(),
+            format!(
+                "{}/{}",
+                m.feedback.batches_summary_conclusive, m.feedback.batches_summary_fallback
+            ),
+            elastic,
+        ]);
+    }
+    let mut widths = [0usize; 9];
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for row in rows {
+        let mut line = String::new();
+        for (col, (cell, width)) in row.iter().zip(widths).enumerate() {
+            if col > 0 {
+                line.push_str("  ");
+            }
+            if col == 0 || col == 8 {
+                // Text columns left-aligned, counters right-aligned.
+                line.push_str(&format!("{cell:<width$}"));
+            } else {
+                line.push_str(&format!("{cell:>width$}"));
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
 /// A feedback punctuation constructor reused by tests: the assumed pattern a
 /// display would send for a given visible set (exposed for unit testing the
 /// plan wiring without running a whole experiment).
@@ -260,6 +335,41 @@ mod tests {
         display.on_tuple(0, result(600, 1), &mut ctx).unwrap();
         assert_eq!(display.feedback_sent(), 0);
         assert!(ctx.take_feedback().is_empty());
+    }
+
+    #[test]
+    fn metrics_table_folds_feedback_and_elastic_counters_into_one_view() {
+        use dsms_engine::{ElasticStats, OperatorMetrics};
+        let mut select = OperatorMetrics::new("select");
+        select.tuples_in = 100;
+        select.tuples_out = 40;
+        select.feedback_in = 2;
+        select.feedback_out = 1;
+        select.feedback.tuples_suppressed = 60;
+        select.feedback.batches_summary_conclusive = 7;
+        select.feedback.batches_summary_fallback = 3;
+        let mut shuffle = OperatorMetrics::new("shuffle");
+        shuffle.tuples_in = 40;
+        shuffle.tuples_out = 40;
+        shuffle.elastic = Some(ElasticStats {
+            resizes: 2,
+            cancelled: 0,
+            migrated_groups: 5,
+            epochs: vec![(1, 2), (2, 4)],
+        });
+        let report = ExecutionReport {
+            elapsed: Duration::from_millis(1),
+            metrics: vec![select, shuffle],
+            scheduler: None,
+        };
+        let table = metrics_table(&report);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3, "header plus one row per operator:\n{table}");
+        assert!(lines[0].contains("guards c/f") && lines[0].contains("elastic"), "{table}");
+        assert!(lines[1].contains("7/3") && lines[1].contains("60"), "{table}");
+        assert!(lines[2].contains("resizes=2 migrated=5 width=4"), "{table}");
+        // Aligned: every line is equally wide once the elastic column pads.
+        assert!(lines[1].starts_with("select"), "{table}");
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //!   results: [`experiments::run_experiment1`] (Figures 5 and 6) and
 //!   [`experiments::run_experiment2`] (Figure 7).
 //! * [`display`] — the speed-map viewport operator that turns zoom events into
-//!   event-driven assumed feedback.
+//!   event-driven assumed feedback, plus [`display::metrics_table`], the
+//!   shared per-operator metrics renderer (tuple counts, feedback traffic,
+//!   batch-guard outcomes and elastic resizes in a single table).
 //! * [`report`] — plain-text/CSV rendering of the results in the same shape as
 //!   the paper's figures.
 //!

@@ -95,6 +95,18 @@ impl FeedbackRegistry {
         }
     }
 
+    /// Creates a registry scoped to one of the named operator's output ports.
+    ///
+    /// A fan-out operator serving several independent consumers (a shared
+    /// source fanned out to N standing queries) keeps one registry *per
+    /// output* so that a guard asserted by one consumer suppresses tuples on
+    /// that consumer's branch only — per-query feedback isolation.  The
+    /// registry's owner name carries the scope (`"fanout#2"`), so relayed
+    /// feedback lineage and statistics stay attributable to the port.
+    pub fn scoped(operator: impl Into<String>, port: usize) -> Self {
+        Self::new(format!("{}#{port}", operator.into()))
+    }
+
     /// Attaches the punctuation scheme of the stream the guards apply to.
     /// With `strict` set, [`register`](Self::register) rejects feedback whose
     /// pattern constrains undelimited attributes (it would accumulate state

@@ -55,6 +55,6 @@ pub use executor::{ExecutionReport, SyncExecutor, ThreadedExecutor};
 pub use metrics::{ElasticStats, OperatorMetrics, SchedulerSummary};
 pub use operator::{Emission, Operator, OperatorContext, SourceState, StateEntry, StreamItem};
 pub use page::{ColumnarPage, Page, PageBuilder, PageIter};
-pub use plan::{NodeId, QueryPlan};
+pub use plan::{Edge, NodeId, PlanNode, PlanParts, QueryPlan};
 pub use pooled::PooledExecutor;
 pub use queue::DataQueue;

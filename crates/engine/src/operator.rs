@@ -432,6 +432,35 @@ pub trait Operator: Send {
     fn elastic_stats(&self) -> Option<crate::metrics::ElasticStats> {
         None
     }
+
+    /// A structural fingerprint for plan-prefix deduplication, if this
+    /// operator supports it.
+    ///
+    /// Two operator instances with equal fingerprints must be observably
+    /// interchangeable: same name, same configuration, same output for the
+    /// same input.  A multi-query manager uses the fingerprints to recognize
+    /// identical `source → select → project` prefixes across independently
+    /// built plans and execute them once behind a shared fan-out.  The
+    /// default — `None` — marks the operator as not dedupe-able, which is
+    /// always safe: a prefix chain simply ends at the first unfingerprinted
+    /// operator.  Stateless operators whose behaviour is fully determined by
+    /// their constructor arguments (select, project) should hash those
+    /// arguments with [`dsms_types::FixedHasher`] so fingerprints are stable
+    /// across processes.
+    fn fingerprint(&self) -> Option<u64> {
+        None
+    }
+
+    /// The name of the shared managed source this operator stands in for, if
+    /// it is a placeholder rather than a real source.
+    ///
+    /// A multi-query manager lets plans reference long-lived named sources it
+    /// owns; at splice time the placeholder node is replaced by the actual
+    /// source operator (executed once for all sharers).  Real operators keep
+    /// the default `None`.
+    fn shared_source(&self) -> Option<&str> {
+        None
+    }
 }
 
 #[cfg(test)]

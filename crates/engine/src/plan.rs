@@ -14,6 +14,41 @@ use crate::queue::DataQueue;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub(crate) usize);
 
+impl NodeId {
+    /// The node's position in the plan's node list (also its index into the
+    /// [`PlanParts::nodes`] vector after [`QueryPlan::into_parts`]).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One node of a dismantled plan — see [`QueryPlan::into_parts`].
+pub struct PlanNode {
+    /// The operator's display name at the time the plan was dismantled.
+    pub name: String,
+    /// The operator itself, ready to be re-added to another plan.
+    pub operator: Box<dyn Operator>,
+}
+
+/// A [`QueryPlan`] broken into its parts for re-composition.
+///
+/// A multi-query manager consumes registered plans this way: it takes each
+/// plan apart, drops the nodes that duplicate an already-instantiated shared
+/// prefix, and re-adds the rest to one master plan with the edges remapped.
+/// [`Edge`] endpoints index into `nodes` via [`NodeId::index`].
+pub struct PlanParts {
+    /// The operators, in their original node-id order.
+    pub nodes: Vec<PlanNode>,
+    /// The connections between them (endpoints index into `nodes`).
+    pub edges: Vec<Edge>,
+    /// The plan's tuples-per-page capacity.
+    pub page_capacity: usize,
+    /// The plan's pages-in-flight bound.
+    pub queue_capacity: usize,
+    /// The plan's pooled-executor worker count, if configured.
+    pub pool_size: Option<usize>,
+}
+
 /// A connection between two operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Edge {
@@ -435,6 +470,71 @@ impl QueryPlan {
         }
         out.push_str("}\n");
         out
+    }
+
+    /// The nodes with zero input ports (the plan's sources), in node order.
+    pub fn source_nodes(&self) -> Vec<NodeId> {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].inputs == 0).map(NodeId).collect()
+    }
+
+    /// The maximal dedupe-able prefix chain starting at `from`, as
+    /// `(node, cumulative fingerprint)` pairs.
+    ///
+    /// The chain begins at `from` (usually a source) and extends through
+    /// single-input/single-output operators that declare an
+    /// [`Operator::fingerprint`], following the unique data edge out of each
+    /// node.  Each entry's hash folds the node's own fingerprint into the
+    /// hash of everything before it, so two plans whose chains end in equal
+    /// hashes at equal depths have **identical** prefixes and can share one
+    /// execution of them.  The chain ends — and the returned vector stops —
+    /// at the first operator that is unfingerprinted (subscription wrappers,
+    /// sinks, stateful operators), has more than one input or output (joins,
+    /// splits), or feeds more than one consumer.  Returns an empty vector
+    /// when `from` itself declares no fingerprint.
+    pub fn prefix_chain(&self, from: NodeId) -> Vec<(NodeId, u64)> {
+        use std::hash::{Hash, Hasher};
+        let mut chain = Vec::new();
+        let mut hash = 0u64;
+        let mut current = from;
+        while let Some(node) = self.nodes.get(current.0) {
+            let fingerprint = match node.operator.fingerprint() {
+                Some(f) => f,
+                None => break,
+            };
+            // Chains are linear: one output port feeding exactly one consumer
+            // (the first link may be a source; later links are 1-in/1-out).
+            if node.outputs != 1 || (!chain.is_empty() && node.inputs != 1) {
+                break;
+            }
+            let mut hasher = dsms_types::FixedHasher::new();
+            hash.hash(&mut hasher);
+            fingerprint.hash(&mut hasher);
+            hash = hasher.finish();
+            chain.push((current, hash));
+            let mut consumers = self.edges.iter().filter(|e| e.from == current);
+            match (consumers.next(), consumers.next()) {
+                (Some(edge), None) => current = edge.to,
+                _ => break,
+            }
+        }
+        chain
+    }
+
+    /// Dismantles the plan into its [`PlanParts`] for re-composition into
+    /// another plan (see the `PlanParts` docs).  The plan is consumed; edges
+    /// keep indexing the returned node vector via [`NodeId::index`].
+    pub fn into_parts(self) -> PlanParts {
+        PlanParts {
+            nodes: self
+                .nodes
+                .into_iter()
+                .map(|n| PlanNode { name: n.name, operator: n.operator })
+                .collect(),
+            edges: self.edges,
+            page_capacity: self.page_capacity,
+            queue_capacity: self.queue_capacity,
+            pool_size: self.pool_size,
+        }
     }
 
     /// Returns the node ids in a topological order (sources first).  The plan

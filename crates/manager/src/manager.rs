@@ -1,0 +1,1062 @@
+//! The multi-query pipeline manager.
+
+use crate::scoped::ScopedOperator;
+use crate::source_ref::SourceRef;
+use dsms_engine::{Edge, NodeId};
+use dsms_engine::{
+    EngineError, EngineResult, ExecutionReport, Operator, PlanNode, PooledExecutor, QueryPlan,
+    SyncExecutor, ThreadedExecutor,
+};
+use dsms_feedback::FeedbackStats;
+use dsms_operators::{FanoutController, FanoutDirective, SharedFanout};
+use dsms_types::SchemaRef;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+fn invalid(detail: impl Into<String>) -> EngineError {
+    EngineError::InvalidPlan { detail: detail.into() }
+}
+
+/// Which executor a [`PipelineManager`] drives the spliced master plan with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// Deterministic single-threaded round-robin ([`SyncExecutor`]).
+    Sync,
+    /// One OS thread per operator ([`ThreadedExecutor`]).
+    Threaded,
+    /// Work-stealing worker pool ([`PooledExecutor`]).
+    Pooled,
+}
+
+/// A registered query's membership state, as far as the manager knows it.
+///
+/// Before [`PipelineManager::start`] this is the initial membership the
+/// splice will install; while running it reflects the directives the query's
+/// fan-out has *committed* so far (a posted directive takes effect at the
+/// next punctuation boundary, so the state lags the request by design).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryState {
+    /// The query receives (or will receive) data from its shared source.
+    Attached,
+    /// The query is registered but dormant: its operators are spliced into
+    /// the master plan, but its fan-out port forwards nothing.
+    Detached,
+}
+
+/// One query's slice of a finished run.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// The query's registered name.
+    pub name: String,
+    /// The query's per-operator metrics, with the manager's scoping prefix
+    /// stripped, so `report.operator("sink")` works exactly as it would for
+    /// a solo run.  `elapsed` and `scheduler` are those of the shared run.
+    pub report: ExecutionReport,
+}
+
+/// Manager-level summary of a finished multi-query run.
+#[derive(Debug, Clone, Default)]
+pub struct ManagerSummary {
+    /// Queries registered when the run started.
+    pub queries_registered: usize,
+    /// Queries that were attached at any point (initially or by a committed
+    /// attach).
+    pub queries_started: usize,
+    /// Queries that committed at least one detach during the run.
+    pub queries_stopped: usize,
+    /// Queries attached when the run drained.
+    pub queries_active: usize,
+    /// Prefix operator instances (sources included) that were *not*
+    /// instantiated because an identical already-spliced prefix was reused.
+    pub shared_prefix_hits: usize,
+    /// Total prefix operator instances the registered plans asked for.
+    pub prefix_ops_total: usize,
+    /// Per-query feedback statistics, aggregated over each query's private
+    /// operators, in registration order.
+    pub per_query_feedback: Vec<(String, FeedbackStats)>,
+}
+
+impl ManagerSummary {
+    /// Fraction of requested prefix operator instances served by sharing.
+    pub fn hit_rate(&self) -> f64 {
+        if self.prefix_ops_total == 0 {
+            0.0
+        } else {
+            self.shared_prefix_hits as f64 / self.prefix_ops_total as f64
+        }
+    }
+}
+
+impl fmt::Display for ManagerSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipeline manager: {} registered, {} started, {} stopped, {} active",
+            self.queries_registered,
+            self.queries_started,
+            self.queries_stopped,
+            self.queries_active
+        )?;
+        writeln!(
+            f,
+            "shared-prefix dedup: {}/{} operator instances saved ({:.1}% hit rate)",
+            self.shared_prefix_hits,
+            self.prefix_ops_total,
+            self.hit_rate() * 100.0
+        )?;
+        for (name, stats) in &self.per_query_feedback {
+            writeln!(f, "  {name}: {stats}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything a finished multi-query run produced.
+#[derive(Debug, Clone)]
+pub struct ManagerOutcome {
+    /// The raw report of the master plan (scoped operator names intact) —
+    /// the shared spine's metrics live here.
+    pub master: ExecutionReport,
+    /// Per-query reports, in registration order.
+    pub queries: Vec<QueryReport>,
+    /// The manager-level summary.
+    pub summary: ManagerSummary,
+}
+
+impl ManagerOutcome {
+    /// The report of the named query, if it was registered.
+    pub fn query(&self, name: &str) -> Option<&ExecutionReport> {
+        self.queries.iter().find(|q| q.name == name).map(|q| &q.report)
+    }
+}
+
+/// One registered query, dismantled and waiting for the splice.
+struct Registered {
+    name: String,
+    source: String,
+    /// The dismantled plan; taken (consumed) by [`PipelineManager::start`].
+    parts: Option<dsms_engine::PlanParts>,
+    /// Node index of the [`SourceRef`] placeholder within `parts`.
+    source_idx: usize,
+    /// The maximal fingerprinted prefix chain — `(node index, cumulative
+    /// hash)`, first entry the placeholder itself.
+    chain: Vec<(usize, u64)>,
+    /// Initial fan-out membership installed at splice time.
+    attached: bool,
+    /// Scripted `(attach, boundary)` directives posted at splice time.
+    schedule: Vec<(bool, u64)>,
+}
+
+struct Running {
+    handle: JoinHandle<EngineResult<ExecutionReport>>,
+    /// Per query (registration order): the fan-out controller owning its
+    /// port, and the port number.
+    controls: Vec<(Arc<FanoutController>, usize)>,
+}
+
+/// Runs many standing queries against shared named sources in one engine
+/// execution: identical plan prefixes are deduplicated behind
+/// [`SharedFanout`]s, feedback stays per-query, and queries attach/detach at
+/// punctuation boundaries while the stream runs.  See the crate docs for the
+/// architecture and `docs/PIPELINES.md` for the lifecycle contract.
+///
+/// A manager instance drives **one** run: `add_source` → `register`… →
+/// [`start`](Self::start) → (runtime [`attach`](Self::attach) /
+/// [`detach`](Self::detach)) → [`drain`](Self::drain).
+#[derive(Default)]
+pub struct PipelineManager {
+    /// `(name, operator)`; the operator slot is taken at start.
+    sources: Vec<(String, Option<Box<dyn Operator>>)>,
+    queries: Vec<Registered>,
+    page_capacity: Option<usize>,
+    queue_capacity: Option<usize>,
+    pool_size: Option<usize>,
+    running: Option<Running>,
+}
+
+impl PipelineManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the tuples-per-page capacity of the master plan's connections.
+    pub fn with_page_capacity(mut self, capacity: usize) -> Self {
+        self.page_capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the pages-in-flight bound of the master plan's connections.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the worker count used when the run executes on the pooled
+    /// executor.
+    pub fn with_worker_pool(mut self, workers: usize) -> Self {
+        self.pool_size = Some(workers);
+        self
+    }
+
+    /// Registers a named long-lived source all queries may reference via
+    /// [`SourceRef`].  The operator must be a real source — zero inputs, one
+    /// output — and must declare its output schema, which is what
+    /// [`Self::source_ref`] hands to query builders for composition-time
+    /// type checking.
+    pub fn add_source(
+        &mut self,
+        name: impl Into<String>,
+        operator: impl Operator + 'static,
+    ) -> EngineResult<()> {
+        let name = name.into();
+        if self.running.is_some() {
+            return Err(invalid("cannot add a source while the manager is running"));
+        }
+        if name.is_empty() || name.contains('/') {
+            return Err(invalid(format!(
+                "source name `{name}` is invalid: names must be non-empty and must not contain '/'"
+            )));
+        }
+        if self.sources.iter().any(|(n, _)| *n == name) {
+            return Err(invalid(format!("a source named `{name}` is already registered")));
+        }
+        if operator.inputs() != 0 || operator.outputs() != 1 {
+            return Err(invalid(format!(
+                "source `{name}` must have 0 inputs and 1 output, has {} and {}",
+                operator.inputs(),
+                operator.outputs()
+            )));
+        }
+        if operator.schema_out(0).is_none() {
+            return Err(invalid(format!(
+                "source `{name}` does not declare its output schema; managed sources must, so \
+                 queries can be type-checked against them"
+            )));
+        }
+        self.sources.push((name, Some(Box::new(operator))));
+        Ok(())
+    }
+
+    /// A [`SourceRef`] placeholder for the named source, carrying the schema
+    /// the source declared — the way query plans reference managed sources.
+    pub fn source_ref(&self, name: &str) -> EngineResult<SourceRef> {
+        match self.source_schema(name) {
+            Some(schema) => Ok(SourceRef::new(name, schema)),
+            None => Err(invalid(format!(
+                "unknown source `{name}` (known: {})",
+                self.source_names().join(", ")
+            ))),
+        }
+    }
+
+    /// The declared output schema of the named source, if it is registered
+    /// and not yet consumed by a start.
+    pub fn source_schema(&self, name: &str) -> Option<SchemaRef> {
+        self.sources
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, op)| op.as_ref())
+            .and_then(|op| op.schema_out(0))
+    }
+
+    /// The names of the registered sources, in registration order.
+    pub fn source_names(&self) -> Vec<String> {
+        self.sources.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// The names of the registered queries, in registration order.
+    pub fn query_names(&self) -> Vec<String> {
+        self.queries.iter().map(|q| q.name.clone()).collect()
+    }
+
+    /// Whether [`Self::start`] has been called and [`Self::drain`] has not.
+    pub fn is_running(&self) -> bool {
+        self.running.is_some()
+    }
+
+    /// The named query's membership state: the initial membership before the
+    /// run starts, the last *committed* membership while it runs.
+    pub fn query_state(&self, name: &str) -> Option<QueryState> {
+        let (idx, query) = self.queries.iter().enumerate().find(|(_, q)| q.name == name)?;
+        let attached = match &self.running {
+            Some(running) => {
+                let (controller, port) = &running.controls[idx];
+                controller
+                    .commits()
+                    .iter()
+                    .rfind(|c| c.port == *port)
+                    .map(|c| c.attached)
+                    .unwrap_or(query.attached)
+            }
+            None => query.attached,
+        };
+        Some(if attached { QueryState::Attached } else { QueryState::Detached })
+    }
+
+    /// Registers a query plan under `name`, attached from the start.
+    ///
+    /// The plan must read exactly one source node, and that node must be a
+    /// [`SourceRef`] to a source this manager owns.  The plan is dismantled
+    /// immediately; at [`Self::start`] its maximal fingerprinted prefix is
+    /// deduplicated against the other registered queries.
+    pub fn register(&mut self, name: impl Into<String>, plan: QueryPlan) -> EngineResult<()> {
+        self.register_with(name.into(), plan, true)
+    }
+
+    /// Registers a query plan under `name` with its fan-out port initially
+    /// **detached**: the plan is spliced like any other, but receives no data
+    /// until an [`Self::attach`] / [`Self::attach_at`] commits — the way to
+    /// stage a query that should join the stream mid-run.
+    pub fn register_detached(
+        &mut self,
+        name: impl Into<String>,
+        plan: QueryPlan,
+    ) -> EngineResult<()> {
+        self.register_with(name.into(), plan, false)
+    }
+
+    fn register_with(&mut self, name: String, plan: QueryPlan, attached: bool) -> EngineResult<()> {
+        if self.running.is_some() {
+            return Err(invalid("cannot register a query while the manager is running"));
+        }
+        if name.is_empty() || name.contains('/') || name == "shared" || name == "fanout" {
+            return Err(invalid(format!(
+                "query name `{name}` is invalid: names must be non-empty, must not contain '/', \
+                 and must not be the reserved words `shared` or `fanout`"
+            )));
+        }
+        if self.queries.iter().any(|q| q.name == name) {
+            return Err(invalid(format!("a query named `{name}` is already registered")));
+        }
+        plan.validate()?;
+        let sources = plan.source_nodes();
+        if sources.len() != 1 {
+            return Err(invalid(format!(
+                "query `{name}` must read exactly one managed source, found {} source nodes",
+                sources.len()
+            )));
+        }
+        let source_node = sources[0];
+        let chain: Vec<(usize, u64)> =
+            plan.prefix_chain(source_node).into_iter().map(|(id, h)| (id.index(), h)).collect();
+        let parts = plan.into_parts();
+        let source_idx = source_node.index();
+        let source = match parts.nodes[source_idx].operator.shared_source() {
+            Some(s) => s.to_string(),
+            None => {
+                return Err(invalid(format!(
+                    "query `{name}`'s source node `{}` is not a SourceRef: managed queries \
+                     reference manager-owned sources by name instead of instantiating their own",
+                    parts.nodes[source_idx].name
+                )))
+            }
+        };
+        for (idx, node) in parts.nodes.iter().enumerate() {
+            if idx != source_idx && node.operator.shared_source().is_some() {
+                return Err(invalid(format!(
+                    "query `{name}` has a second source reference at non-source node `{}`",
+                    node.name
+                )));
+            }
+        }
+        let declared = self.source_schema(&source).ok_or_else(|| {
+            invalid(format!(
+                "query `{name}` references unknown source `{source}` (known: {})",
+                self.source_names().join(", ")
+            ))
+        })?;
+        if let Some(plan_schema) = parts.nodes[source_idx].operator.schema_out(0) {
+            if plan_schema != declared {
+                return Err(invalid(format!(
+                    "query `{name}` expects schema {} from source `{source}`, which produces {}",
+                    plan_schema.describe(),
+                    declared.describe()
+                )));
+            }
+        }
+        self.queries.push(Registered {
+            name,
+            source,
+            parts: Some(parts),
+            source_idx,
+            chain,
+            attached,
+            schedule: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// Removes a registered query before the run starts.
+    pub fn unregister(&mut self, name: &str) -> EngineResult<()> {
+        if self.running.is_some() {
+            return Err(invalid(
+                "cannot unregister while running: detach the query instead — its operators are \
+                 spliced into the live plan, but a committed detach stops all data flow to them",
+            ));
+        }
+        match self.queries.iter().position(|q| q.name == name) {
+            Some(idx) => {
+                self.queries.remove(idx);
+                Ok(())
+            }
+            None => Err(invalid(format!("no query named `{name}` is registered"))),
+        }
+    }
+
+    /// Attaches the named query at the next punctuation boundary (while
+    /// running), or flips its initial membership to attached (before start).
+    pub fn attach(&mut self, name: &str) -> EngineResult<()> {
+        self.lifecycle(name, true, None)
+    }
+
+    /// Detaches the named query at the next punctuation boundary (while
+    /// running), or flips its initial membership to detached (before start).
+    pub fn detach(&mut self, name: &str) -> EngineResult<()> {
+        self.lifecycle(name, false, None)
+    }
+
+    /// Schedules an attach of the named query once its fan-out has seen
+    /// `boundary` punctuations — a deterministic consistent cut, used by
+    /// parity tests and reproducible experiments.
+    pub fn attach_at(&mut self, name: &str, boundary: u64) -> EngineResult<()> {
+        self.lifecycle(name, true, Some(boundary))
+    }
+
+    /// Schedules a detach of the named query once its fan-out has seen
+    /// `boundary` punctuations.
+    pub fn detach_at(&mut self, name: &str, boundary: u64) -> EngineResult<()> {
+        self.lifecycle(name, false, Some(boundary))
+    }
+
+    fn lifecycle(&mut self, name: &str, attach: bool, boundary: Option<u64>) -> EngineResult<()> {
+        let idx = self
+            .queries
+            .iter()
+            .position(|q| q.name == name)
+            .ok_or_else(|| invalid(format!("no query named `{name}` is registered")))?;
+        match (&self.running, boundary) {
+            (Some(running), _) => {
+                let (controller, port) = &running.controls[idx];
+                controller.post(FanoutDirective { port: *port, attach, at_boundary: boundary });
+            }
+            (None, Some(boundary)) => self.queries[idx].schedule.push((attach, boundary)),
+            (None, None) => self.queries[idx].attached = attach,
+        }
+        Ok(())
+    }
+
+    /// Splices the registered queries into one master plan — shared sources
+    /// instantiated once, identical fingerprinted prefixes deduplicated
+    /// behind [`SharedFanout`]s — and starts executing it on a background
+    /// thread.  Returns once execution has started; use [`Self::attach`] /
+    /// [`Self::detach`] to steer membership while it runs and
+    /// [`Self::drain`] to wait for completion and collect the reports.
+    pub fn start(&mut self, kind: ExecutorKind) -> EngineResult<()> {
+        if self.running.is_some() {
+            return Err(invalid("the manager is already running"));
+        }
+        if self.queries.is_empty() {
+            return Err(invalid("no queries are registered"));
+        }
+        if self.queries.iter().any(|q| q.parts.is_none()) {
+            return Err(invalid("a manager instance drives one run and this one already ran"));
+        }
+
+        let mut master = QueryPlan::new();
+        if let Some(c) = self.page_capacity {
+            master = master.with_page_capacity(c);
+        }
+        if let Some(c) = self.queue_capacity {
+            master = master.with_queue_capacity(c);
+        }
+        if let Some(w) = self.pool_size {
+            master = master.with_worker_pool(w);
+        }
+
+        let mut controls: Vec<Option<(Arc<FanoutController>, usize)>> =
+            (0..self.queries.len()).map(|_| None).collect();
+
+        for source_pos in 0..self.sources.len() {
+            let source_name = self.sources[source_pos].0.clone();
+            let members_all: Vec<usize> = (0..self.queries.len())
+                .filter(|&qi| self.queries[qi].source == source_name)
+                .collect();
+            if members_all.is_empty() {
+                continue;
+            }
+            let source_op = self.sources[source_pos]
+                .1
+                .take()
+                .expect("sources are consumed exactly once per run");
+            let source_schema = source_op
+                .schema_out(0)
+                .expect("add_source requires sources to declare their schema");
+
+            // Group the sharers by their maximal identical prefix: equal
+            // chain length + equal cumulative hash ⇒ identical operator
+            // sequences (partial overlaps share only the source — the dedup
+            // unit is the *maximal* chain, documented in docs/PIPELINES.md).
+            let mut groups: Vec<((usize, u64), Vec<usize>)> = Vec::new();
+            for &qi in &members_all {
+                let q = &self.queries[qi];
+                let key = match q.chain.last() {
+                    Some(&(_, hash)) => (q.chain.len(), hash),
+                    // Unfingerprinted source node: not dedupe-able, so give
+                    // the query a group of its own.
+                    None => (0, qi as u64),
+                };
+                match groups.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, members)) => members.push(qi),
+                    None => groups.push((key, vec![qi])),
+                }
+            }
+
+            let source_id = master.add_boxed(source_op);
+            let controller0 = FanoutController::shared();
+            let port_flags: Vec<bool> = groups
+                .iter()
+                .map(|(_, members)| {
+                    // A singleton's F0 port is the query's own membership; a
+                    // shared group's port stays attached so the spine keeps
+                    // serving whichever members are.
+                    members.len() > 1 || self.queries[members[0]].attached
+                })
+                .collect();
+            let fanout0_id = master.add(
+                SharedFanout::new(
+                    format!("fanout/{source_name}"),
+                    source_schema.clone(),
+                    groups.len(),
+                )
+                .with_controller(controller0.clone())
+                .with_initial(&port_flags),
+            );
+            master.connect(source_id, 0, fanout0_id, 0)?;
+
+            for (group_no, (_, members)) in groups.iter().enumerate() {
+                if members.len() == 1 {
+                    // Shares the source only: the whole plan minus the
+                    // placeholder hangs off this query's private F0 port.
+                    let qi = members[0];
+                    let (query_name, parts, source_idx, schedule) = {
+                        let q = &mut self.queries[qi];
+                        (
+                            q.name.clone(),
+                            q.parts.take().expect("checked above"),
+                            q.source_idx,
+                            q.schedule.clone(),
+                        )
+                    };
+                    let mut slots: Vec<Option<PlanNode>> =
+                        parts.nodes.into_iter().map(Some).collect();
+                    slots[source_idx] = None;
+                    splice_suffix(
+                        &mut master,
+                        &query_name,
+                        slots,
+                        parts.edges,
+                        source_idx,
+                        (fanout0_id, group_no),
+                    )?;
+                    controls[qi] = Some((controller0.clone(), group_no));
+                    for (attach, boundary) in schedule {
+                        controller0.post(FanoutDirective {
+                            port: group_no,
+                            attach,
+                            at_boundary: Some(boundary),
+                        });
+                    }
+                } else {
+                    // ≥ 2 identical prefixes: instantiate the chain once
+                    // (from the first member's parts) as a shared spine, and
+                    // fan out per member behind it.
+                    let owner = members[0];
+                    let chain_idx: Vec<usize> =
+                        self.queries[owner].chain.iter().skip(1).map(|&(i, _)| i).collect();
+                    let member_flags: Vec<bool> =
+                        members.iter().map(|&qi| self.queries[qi].attached).collect();
+                    let (owner_name, owner_parts, owner_source_idx, owner_schedule) = {
+                        let q = &mut self.queries[owner];
+                        (
+                            q.name.clone(),
+                            q.parts.take().expect("checked above"),
+                            q.source_idx,
+                            q.schedule.clone(),
+                        )
+                    };
+                    let mut slots: Vec<Option<PlanNode>> =
+                        owner_parts.nodes.into_iter().map(Some).collect();
+                    slots[owner_source_idx] = None;
+                    let mut spine: Vec<NodeId> = Vec::new();
+                    let mut spine_schema = source_schema.clone();
+                    for &chain_node in &chain_idx {
+                        let node = slots[chain_node].take().expect("chain nodes are distinct");
+                        if let Some(schema) = node.operator.schema_out(0) {
+                            spine_schema = schema;
+                        }
+                        let id = master.add_boxed(Box::new(ScopedOperator::new(
+                            format!("shared/{source_name}/{group_no}/{}", node.name),
+                            node.operator,
+                        )));
+                        match spine.last() {
+                            Some(&prev) => master.connect(prev, 0, id, 0)?,
+                            None => master.connect(fanout0_id, group_no, id, 0)?,
+                        }
+                        spine.push(id);
+                    }
+                    let group_controller = FanoutController::shared();
+                    let group_fanout_id = master.add(
+                        SharedFanout::new(
+                            format!("fanout/{source_name}/{group_no}"),
+                            spine_schema,
+                            members.len(),
+                        )
+                        .with_controller(group_controller.clone())
+                        .with_initial(&member_flags),
+                    );
+                    match spine.last() {
+                        Some(&tail) => master.connect(tail, 0, group_fanout_id, 0)?,
+                        None => master.connect(fanout0_id, group_no, group_fanout_id, 0)?,
+                    }
+                    let owner_boundary = chain_idx.last().copied().unwrap_or(owner_source_idx);
+                    splice_suffix(
+                        &mut master,
+                        &owner_name,
+                        slots,
+                        owner_parts.edges,
+                        owner_boundary,
+                        (group_fanout_id, 0),
+                    )?;
+                    controls[owner] = Some((group_controller.clone(), 0));
+                    for (attach, boundary) in owner_schedule {
+                        group_controller.post(FanoutDirective {
+                            port: 0,
+                            attach,
+                            at_boundary: Some(boundary),
+                        });
+                    }
+                    for (port, &qi) in members.iter().enumerate().skip(1) {
+                        let (query_name, parts, own_chain, schedule) = {
+                            let q = &mut self.queries[qi];
+                            (
+                                q.name.clone(),
+                                q.parts.take().expect("checked above"),
+                                q.chain.iter().map(|&(i, _)| i).collect::<Vec<usize>>(),
+                                q.schedule.clone(),
+                            )
+                        };
+                        let mut slots: Vec<Option<PlanNode>> =
+                            parts.nodes.into_iter().map(Some).collect();
+                        for &chain_node in &own_chain {
+                            slots[chain_node] = None;
+                        }
+                        let boundary =
+                            own_chain.last().copied().unwrap_or(self.queries[qi].source_idx);
+                        splice_suffix(
+                            &mut master,
+                            &query_name,
+                            slots,
+                            parts.edges,
+                            boundary,
+                            (group_fanout_id, port),
+                        )?;
+                        controls[qi] = Some((group_controller.clone(), port));
+                        for (attach, boundary) in schedule {
+                            group_controller.post(FanoutDirective {
+                                port,
+                                attach,
+                                at_boundary: Some(boundary),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        master.validate()?;
+        let handle = std::thread::Builder::new()
+            .name("dsms-manager".into())
+            .spawn(move || match kind {
+                ExecutorKind::Sync => SyncExecutor::run(master),
+                ExecutorKind::Threaded => ThreadedExecutor::run(master),
+                ExecutorKind::Pooled => PooledExecutor::run(master),
+            })
+            .map_err(|e| EngineError::ExecutionFailed {
+                detail: format!("failed to spawn the manager's execution thread: {e}"),
+            })?;
+        self.running = Some(Running {
+            handle,
+            controls: controls
+                .into_iter()
+                .map(|c| c.expect("every registered query is spliced"))
+                .collect(),
+        });
+        Ok(())
+    }
+
+    /// Waits for the running master plan to finish and splits the result into
+    /// per-query reports plus the manager-level summary.
+    pub fn drain(&mut self) -> EngineResult<ManagerOutcome> {
+        let running = self
+            .running
+            .take()
+            .ok_or_else(|| invalid("the manager is not running (call start first)"))?;
+        let master = running.handle.join().map_err(|_| EngineError::ExecutionFailed {
+            detail: "the manager's execution thread panicked".into(),
+        })??;
+
+        let mut reports = Vec::with_capacity(self.queries.len());
+        let mut per_query_feedback = Vec::with_capacity(self.queries.len());
+        let mut started = 0;
+        let mut stopped = 0;
+        let mut active = 0;
+        for (idx, query) in self.queries.iter().enumerate() {
+            let prefix = format!("{}/", query.name);
+            let mut report = ExecutionReport {
+                elapsed: master.elapsed,
+                metrics: Vec::new(),
+                scheduler: master.scheduler,
+            };
+            let mut feedback = FeedbackStats::default();
+            for metric in &master.metrics {
+                if let Some(stripped) = metric.operator.strip_prefix(&prefix) {
+                    let mut m = metric.clone();
+                    m.operator = stripped.to_string();
+                    feedback.merge(&m.feedback);
+                    report.metrics.push(m);
+                }
+            }
+            per_query_feedback.push((query.name.clone(), feedback));
+            reports.push(QueryReport { name: query.name.clone(), report });
+
+            let (controller, port) = &running.controls[idx];
+            let commits: Vec<bool> = controller
+                .commits()
+                .iter()
+                .filter(|c| c.port == *port)
+                .map(|c| c.attached)
+                .collect();
+            let ever_attached = query.attached || commits.iter().any(|&a| a);
+            let ever_detached = commits.iter().any(|&a| !a);
+            let final_state = commits.last().copied().unwrap_or(query.attached);
+            started += usize::from(ever_attached);
+            stopped += usize::from(ever_detached);
+            active += usize::from(final_state);
+        }
+
+        let (hits, total) = self.prefix_accounting();
+        let summary = ManagerSummary {
+            queries_registered: self.queries.len(),
+            queries_started: started,
+            queries_stopped: stopped,
+            queries_active: active,
+            shared_prefix_hits: hits,
+            prefix_ops_total: total,
+            per_query_feedback,
+        };
+        Ok(ManagerOutcome { master, queries: reports, summary })
+    }
+
+    /// Convenience: [`Self::start`] then [`Self::drain`].  Scripted
+    /// attach/detach boundaries still apply; runtime steering is obviously
+    /// unavailable since the call blocks until the stream ends.
+    pub fn run(&mut self, kind: ExecutorKind) -> EngineResult<ManagerOutcome> {
+        self.start(kind)?;
+        self.drain()
+    }
+
+    /// Shared-prefix accounting over the registered queries: `(instances
+    /// saved by sharing, instances requested)`.
+    fn prefix_accounting(&self) -> (usize, usize) {
+        let total: usize = self.queries.iter().map(|q| q.chain.len().max(1)).sum();
+        let mut hits = 0;
+        for (source_name, _) in &self.sources {
+            let members: Vec<&Registered> =
+                self.queries.iter().filter(|q| q.source == *source_name).collect();
+            if members.is_empty() {
+                continue;
+            }
+            // One source instance serves all sharers…
+            hits += members.len() - 1;
+            // …and each group of identical chains instantiates the ops
+            // beyond the source once.
+            let mut groups: HashMap<(usize, u64), usize> = HashMap::new();
+            for query in &members {
+                if let Some(&(_, hash)) = query.chain.last() {
+                    *groups.entry((query.chain.len(), hash)).or_insert(0) += 1;
+                }
+            }
+            for ((len, _), count) in groups {
+                if count > 1 && len > 1 {
+                    hits += (count - 1) * (len - 1);
+                }
+            }
+        }
+        (hits, total)
+    }
+}
+
+/// Adds the remaining (non-`None`) nodes of a dismantled plan to the master
+/// plan under `query`-scoped names and re-creates their edges, with every
+/// edge leaving `boundary` re-anchored to the given fan-out port.
+fn splice_suffix(
+    master: &mut QueryPlan,
+    query: &str,
+    slots: Vec<Option<PlanNode>>,
+    edges: Vec<Edge>,
+    boundary: usize,
+    fanout: (NodeId, usize),
+) -> EngineResult<()> {
+    let mut map: HashMap<usize, NodeId> = HashMap::new();
+    for (idx, slot) in slots.into_iter().enumerate() {
+        if let Some(node) = slot {
+            let id = master.add_boxed(Box::new(ScopedOperator::new(
+                format!("{query}/{}", node.name),
+                node.operator,
+            )));
+            map.insert(idx, id);
+        }
+    }
+    for edge in edges {
+        let Some(&to) = map.get(&edge.to.index()) else {
+            // Both endpoints inside the replaced prefix: nothing to wire.
+            continue;
+        };
+        if edge.from.index() == boundary {
+            master.connect(fanout.0, fanout.1, to, edge.to_port)?;
+        } else if let Some(&from) = map.get(&edge.from.index()) {
+            master.connect(from, edge.from_port, to, edge.to_port)?;
+        } else {
+            // An edge from a dropped non-boundary prefix node into a kept
+            // node would silently lose a data path; prefix chains are linear
+            // so this cannot happen unless the fingerprint contract is
+            // violated.
+            return Err(invalid(format!(
+                "splice of query `{query}` hit an edge leaving the deduplicated prefix at a \
+                 non-boundary node — the prefix chain was not linear"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_engine::StreamBuilder;
+    use dsms_operators::{SinkHandle, StreamOps, TuplePredicate, VecSource};
+    use dsms_types::{DataType, Schema, StreamDuration, Timestamp, Tuple, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::shared(&[("timestamp", DataType::Timestamp), ("v", DataType::Int)])
+    }
+
+    fn feed(n: i64) -> Vec<Tuple> {
+        (0..n)
+            .map(|v| {
+                Tuple::new(schema(), vec![Value::Timestamp(Timestamp::from_secs(v)), Value::Int(v)])
+            })
+            .collect()
+    }
+
+    fn source(n: i64) -> VecSource {
+        VecSource::new("feed", feed(n)).with_punctuation("timestamp", StreamDuration::from_secs(4))
+    }
+
+    fn evens() -> TuplePredicate {
+        TuplePredicate::new("v is even", |t| t.int("v").map(|v| v % 2 == 0).unwrap_or(false))
+    }
+
+    fn odds() -> TuplePredicate {
+        TuplePredicate::new("v is odd", |t| t.int("v").map(|v| v % 2 != 0).unwrap_or(false))
+    }
+
+    fn digest(handle: &SinkHandle) -> String {
+        let mut rows: Vec<String> =
+            handle.lock().iter().map(|t| format!("{:?}", t.values())).collect();
+        rows.sort();
+        rows.join("\n")
+    }
+
+    /// A solo (manager-less) run of `source → select(pred) → sink`.
+    fn solo_digest(n: i64, pred: TuplePredicate) -> String {
+        let builder = StreamBuilder::new();
+        let handle = builder
+            .source(source(n))
+            .unwrap()
+            .select("filter", pred)
+            .unwrap()
+            .sink_collect("sink")
+            .unwrap();
+        SyncExecutor::run(builder.build().unwrap()).unwrap();
+        digest(&handle)
+    }
+
+    fn managed_query(manager: &PipelineManager, pred: TuplePredicate) -> (QueryPlan, SinkHandle) {
+        let builder = StreamBuilder::new();
+        let handle = builder
+            .source(manager.source_ref("feed").unwrap())
+            .unwrap()
+            .select("filter", pred)
+            .unwrap()
+            .sink_collect("sink")
+            .unwrap();
+        (builder.build().unwrap(), handle)
+    }
+
+    #[test]
+    fn identical_prefixes_are_deduplicated_and_results_match_solo_runs() {
+        let mut manager = PipelineManager::new();
+        manager.add_source("feed", source(16)).unwrap();
+        let (plan_a, sink_a) = managed_query(&manager, evens());
+        let (plan_b, sink_b) = managed_query(&manager, evens());
+        manager.register("qa", plan_a).unwrap();
+        manager.register("qb", plan_b).unwrap();
+
+        let outcome = manager.run(ExecutorKind::Sync).unwrap();
+        let solo = solo_digest(16, evens());
+        assert_eq!(digest(&sink_a), solo);
+        assert_eq!(digest(&sink_b), solo);
+        // source + select each requested twice, instantiated once.
+        assert_eq!(outcome.summary.shared_prefix_hits, 2);
+        assert_eq!(outcome.summary.prefix_ops_total, 4);
+        assert_eq!(outcome.summary.queries_active, 2);
+        assert_eq!(outcome.summary.queries_started, 2);
+        assert_eq!(outcome.summary.queries_stopped, 0);
+        assert_eq!(outcome.master.total_feedback_dropped(), 0);
+        // The shared spine exists exactly once in the master plan.
+        let shared_selects = outcome
+            .master
+            .metrics
+            .iter()
+            .filter(|m| m.operator.starts_with("shared/feed/") && m.operator.ends_with("/filter"))
+            .count();
+        assert_eq!(shared_selects, 1);
+        // Per-query reports resolve unscoped operator names.
+        let qa = outcome.query("qa").unwrap();
+        assert!(qa.operator("sink").is_some());
+        assert!(qa.operator("filter").is_none(), "the filter is shared, not query-private");
+    }
+
+    #[test]
+    fn different_filters_share_only_the_source() {
+        let mut manager = PipelineManager::new();
+        manager.add_source("feed", source(16)).unwrap();
+        let (plan_a, sink_a) = managed_query(&manager, evens());
+        let (plan_b, sink_b) = managed_query(&manager, odds());
+        manager.register("qa", plan_a).unwrap();
+        manager.register("qb", plan_b).unwrap();
+
+        let outcome = manager.run(ExecutorKind::Sync).unwrap();
+        assert_eq!(digest(&sink_a), solo_digest(16, evens()));
+        assert_eq!(digest(&sink_b), solo_digest(16, odds()));
+        assert_eq!(outcome.summary.shared_prefix_hits, 1, "only the source is shared");
+        assert_eq!(outcome.summary.prefix_ops_total, 4);
+        // Each query keeps its private filter.
+        assert!(outcome.query("qa").unwrap().operator("filter").is_some());
+        assert!(outcome.query("qb").unwrap().operator("filter").is_some());
+    }
+
+    #[test]
+    fn scripted_detach_stops_one_query_without_disturbing_its_sibling() {
+        let mut manager = PipelineManager::new();
+        manager.add_source("feed", source(32)).unwrap();
+        let (plan_a, sink_a) = managed_query(&manager, evens());
+        let (plan_b, sink_b) = managed_query(&manager, evens());
+        manager.register("qa", plan_a).unwrap();
+        manager.register("qb", plan_b).unwrap();
+        manager.detach_at("qb", 2).unwrap();
+
+        let outcome = manager.run(ExecutorKind::Sync).unwrap();
+        let solo = solo_digest(32, evens());
+        assert_eq!(digest(&sink_a), solo, "the sibling is untouched");
+        let partial = digest(&sink_b);
+        assert_ne!(partial, solo, "the detached query stopped mid-stream");
+        assert!(!partial.is_empty(), "the detached query ran until the scripted boundary");
+        let solo_rows: Vec<&str> = solo.lines().collect();
+        assert!(
+            partial.lines().all(|row| solo_rows.contains(&row)),
+            "every tuple the detached query saw belongs to the solo result"
+        );
+        assert_eq!(outcome.summary.queries_started, 2);
+        assert_eq!(outcome.summary.queries_stopped, 1);
+        assert_eq!(outcome.summary.queries_active, 1);
+    }
+
+    #[test]
+    fn detached_registration_attaches_mid_stream_at_a_boundary() {
+        let mut manager = PipelineManager::new();
+        manager.add_source("feed", source(32)).unwrap();
+        let (plan_a, sink_a) = managed_query(&manager, evens());
+        let (plan_b, sink_b) = managed_query(&manager, evens());
+        manager.register("qa", plan_a).unwrap();
+        manager.register_detached("qb", plan_b).unwrap();
+        assert_eq!(manager.query_state("qb"), Some(QueryState::Detached));
+        manager.attach_at("qb", 2).unwrap();
+
+        let outcome = manager.run(ExecutorKind::Sync).unwrap();
+        let solo = solo_digest(32, evens());
+        assert_eq!(digest(&sink_a), solo, "the sibling is untouched");
+        let suffix = digest(&sink_b);
+        assert_ne!(suffix, solo, "the late query missed the head of the stream");
+        assert!(!suffix.is_empty(), "…but joined before the end");
+        assert_eq!(outcome.summary.queries_started, 2);
+        assert_eq!(outcome.summary.queries_active, 2);
+    }
+
+    #[test]
+    fn registration_is_validated() {
+        let mut manager = PipelineManager::new();
+        manager.add_source("feed", source(4)).unwrap();
+        assert!(manager.add_source("feed", source(4)).is_err(), "duplicate source");
+        assert!(manager.add_source("a/b", source(4)).is_err(), "invalid name");
+        assert!(manager.source_ref("nope").is_err(), "unknown source");
+
+        // A plan that instantiates its own source is rejected.
+        let builder = StreamBuilder::new();
+        builder.source(source(4)).unwrap().sink_collect("sink").unwrap();
+        let err = manager.register("raw", builder.build().unwrap()).unwrap_err().to_string();
+        assert!(err.contains("not a SourceRef"), "{err}");
+
+        // Unknown source reference.
+        let builder = StreamBuilder::new();
+        builder.source(SourceRef::new("nope", schema())).unwrap().sink_collect("sink").unwrap();
+        let err = manager.register("ghost", builder.build().unwrap()).unwrap_err().to_string();
+        assert!(err.contains("unknown source `nope`"), "{err}");
+
+        // Schema mismatch against the declared source.
+        let other = Schema::shared(&[("x", DataType::Int)]);
+        let builder = StreamBuilder::new();
+        builder.source(SourceRef::new("feed", other)).unwrap().sink_collect("sink").unwrap();
+        let err = manager.register("skewed", builder.build().unwrap()).unwrap_err().to_string();
+        assert!(err.contains("expects schema"), "{err}");
+
+        // Reserved and duplicate query names.
+        let (plan, _) = managed_query(&manager, evens());
+        assert!(manager.register("shared", plan).is_err(), "reserved name");
+        let (plan, _) = managed_query(&manager, evens());
+        manager.register("qa", plan).unwrap();
+        let (plan, _) = managed_query(&manager, evens());
+        assert!(manager.register("qa", plan).is_err(), "duplicate query name");
+
+        // Lifecycle calls on unknown queries fail.
+        assert!(manager.attach("nope").is_err());
+        assert!(manager.unregister("nope").is_err());
+        manager.unregister("qa").unwrap();
+        assert!(manager.run(ExecutorKind::Sync).is_err(), "no queries left");
+    }
+
+    #[test]
+    fn a_manager_instance_drives_exactly_one_run() {
+        let mut manager = PipelineManager::new();
+        manager.add_source("feed", source(8)).unwrap();
+        let (plan, _) = managed_query(&manager, evens());
+        manager.register("qa", plan).unwrap();
+        manager.run(ExecutorKind::Sync).unwrap();
+        assert!(manager.drain().is_err(), "already drained");
+        assert!(manager.start(ExecutorKind::Sync).is_err(), "plans were consumed");
+    }
+}

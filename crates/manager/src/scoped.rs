@@ -1,0 +1,115 @@
+//! Per-query operator scoping for spliced master plans.
+
+use dsms_engine::{EngineResult, Operator, OperatorContext, Page, SourceState, StateEntry};
+use dsms_feedback::{FeedbackPunctuation, FeedbackRoles, FeedbackStats};
+use dsms_punctuation::Punctuation;
+use dsms_types::{SchemaRef, Tuple};
+
+/// Wraps an operator under a scoped display name (`<query>/<operator>` or
+/// `shared/<source>/<group>/<operator>`) so that the master plan's metrics
+/// can be split back into per-query [`dsms_engine::ExecutionReport`]s after
+/// the run.  Every callback delegates to the wrapped operator; only the name
+/// changes.
+///
+/// The wrapper deliberately does **not** forward
+/// [`Operator::fingerprint`] / [`Operator::shared_source`]: a spliced node
+/// belongs to exactly one master plan and must never be deduplicated again.
+pub(crate) struct ScopedOperator {
+    scoped_name: String,
+    inner: Box<dyn Operator>,
+}
+
+impl ScopedOperator {
+    pub(crate) fn new(scoped_name: String, inner: Box<dyn Operator>) -> Self {
+        ScopedOperator { scoped_name, inner }
+    }
+}
+
+impl Operator for ScopedOperator {
+    fn name(&self) -> &str {
+        &self.scoped_name
+    }
+
+    fn inputs(&self) -> usize {
+        self.inner.inputs()
+    }
+
+    fn outputs(&self) -> usize {
+        self.inner.outputs()
+    }
+
+    fn must_connect_all_outputs(&self) -> bool {
+        self.inner.must_connect_all_outputs()
+    }
+
+    fn feedback_roles(&self) -> FeedbackRoles {
+        self.inner.feedback_roles()
+    }
+
+    fn schema_in(&self, input: usize) -> Option<SchemaRef> {
+        self.inner.schema_in(input)
+    }
+
+    fn schema_out(&self, output: usize) -> Option<SchemaRef> {
+        self.inner.schema_out(output)
+    }
+
+    fn on_tuple(
+        &mut self,
+        input: usize,
+        tuple: Tuple,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        self.inner.on_tuple(input, tuple, ctx)
+    }
+
+    fn on_page(&mut self, input: usize, page: Page, ctx: &mut OperatorContext) -> EngineResult<()> {
+        self.inner.on_page(input, page, ctx)
+    }
+
+    fn on_punctuation(
+        &mut self,
+        input: usize,
+        punctuation: Punctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        self.inner.on_punctuation(input, punctuation, ctx)
+    }
+
+    fn on_feedback(
+        &mut self,
+        output: usize,
+        feedback: FeedbackPunctuation,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        self.inner.on_feedback(output, feedback, ctx)
+    }
+
+    fn on_request_results(&mut self, output: usize, ctx: &mut OperatorContext) -> EngineResult<()> {
+        self.inner.on_request_results(output, ctx)
+    }
+
+    fn on_flush(&mut self, ctx: &mut OperatorContext) -> EngineResult<()> {
+        self.inner.on_flush(ctx)
+    }
+
+    fn poll_source(&mut self, ctx: &mut OperatorContext) -> EngineResult<SourceState> {
+        self.inner.poll_source(ctx)
+    }
+
+    fn feedback_stats(&self) -> Option<FeedbackStats> {
+        self.inner.feedback_stats()
+    }
+
+    fn export_state(&mut self) -> Vec<StateEntry> {
+        self.inner.export_state()
+    }
+
+    fn import_state(&mut self, entries: Vec<StateEntry>) -> EngineResult<()> {
+        self.inner.import_state(entries)
+    }
+
+    fn elastic_stats(&self) -> Option<dsms_engine::ElasticStats> {
+        self.inner.elastic_stats()
+    }
+}

@@ -1,0 +1,105 @@
+//! Named references to manager-owned sources.
+
+use dsms_engine::{EngineResult, Operator, OperatorContext, SourceState};
+use dsms_feedback::FeedbackRoles;
+use dsms_types::SchemaRef;
+use std::hash::{Hash, Hasher};
+
+/// A placeholder standing in for a manager-owned long-lived source.
+///
+/// Queries registered with a [`crate::PipelineManager`] do not instantiate
+/// their own sources; they reference a named source the manager owns.  At
+/// splice time the manager replaces the placeholder with the actual source
+/// operator — executed **once** no matter how many queries reference it —
+/// and a [`dsms_operators::SharedFanout`] distributing its output.
+///
+/// The placeholder declares the schema the named source produces so the
+/// fluent builder can type-check the rest of the plan at composition time,
+/// and it declares itself a feedback exploiter so feedback subscriptions
+/// aimed at the source pass the builder's composition-time role check (the
+/// real source receives them after the splice).  Executing a `SourceRef`
+/// directly produces nothing: outside a manager it is an empty stream.
+pub struct SourceRef {
+    source: String,
+    schema: SchemaRef,
+}
+
+impl SourceRef {
+    /// Creates a reference to the managed source `source`, which produces
+    /// tuples of `schema`.  [`crate::PipelineManager::source_ref`] builds one
+    /// with the schema the registered source declares.
+    pub fn new(source: impl Into<String>, schema: SchemaRef) -> Self {
+        SourceRef { source: source.into(), schema }
+    }
+}
+
+impl Operator for SourceRef {
+    fn name(&self) -> &str {
+        &self.source
+    }
+
+    fn inputs(&self) -> usize {
+        0
+    }
+
+    fn outputs(&self) -> usize {
+        1
+    }
+
+    fn feedback_roles(&self) -> FeedbackRoles {
+        FeedbackRoles::exploiter()
+    }
+
+    fn schema_out(&self, _output: usize) -> Option<SchemaRef> {
+        Some(self.schema.clone())
+    }
+
+    fn on_tuple(
+        &mut self,
+        _input: usize,
+        _tuple: dsms_types::Tuple,
+        _ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        Ok(())
+    }
+
+    /// Outside a manager the placeholder is an empty, already-exhausted
+    /// stream; inside one it never executes (the splice replaces it).
+    fn poll_source(&mut self, _ctx: &mut OperatorContext) -> EngineResult<SourceState> {
+        Ok(SourceState::Exhausted)
+    }
+
+    /// References to the same named source are interchangeable by
+    /// construction, so the fingerprint hashes only the source name: every
+    /// sharer's prefix chain starts from the same value.
+    fn fingerprint(&self) -> Option<u64> {
+        let mut hasher = dsms_types::FixedHasher::new();
+        "source-ref".hash(&mut hasher);
+        self.source.hash(&mut hasher);
+        Some(hasher.finish())
+    }
+
+    fn shared_source(&self) -> Option<&str> {
+        Some(&self.source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsms_types::{DataType, Schema};
+
+    #[test]
+    fn source_ref_declares_its_identity() {
+        let schema = Schema::shared(&[("v", DataType::Int)]);
+        let mut sref = SourceRef::new("traffic", schema.clone());
+        assert_eq!(sref.name(), "traffic");
+        assert_eq!(sref.shared_source(), Some("traffic"));
+        assert_eq!(sref.schema_out(0), Some(schema.clone()));
+        assert_eq!(sref.fingerprint(), SourceRef::new("traffic", schema.clone()).fingerprint());
+        assert_ne!(sref.fingerprint(), SourceRef::new("other", schema).fingerprint());
+        let mut ctx = OperatorContext::new();
+        assert_eq!(sref.poll_source(&mut ctx).unwrap(), SourceState::Exhausted);
+        assert_eq!(ctx.emitted_len(), 0, "a bare reference is an empty stream");
+    }
+}

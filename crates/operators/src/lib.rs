@@ -24,6 +24,7 @@
 //! | [`prioritizer::Prioritizer`] | — | exploits desired punctuation by reordering |
 //! | [`demand::OnDemandGate`] | Example 4 | answers demanded punctuation / result requests |
 //! | [`shuffle::Shuffle`] | data-parallel fan-out | broadcasts punctuation to replicas; lattice-merges replica feedback before relaying |
+//! | [`fanout::SharedFanout`] | multi-query fan-out | per-port guard isolation; lattice-merges sharer feedback; attach/detach at punctuation boundaries |
 //! | [`merge::Merge`] | data-parallel fan-in | broadcasts consumer feedback to every replica; optionally *produces* disorder-bound feedback |
 //!
 //! [`partition::PartitionedExt`] extends [`dsms_engine::QueryPlan`] with a
@@ -44,6 +45,7 @@ pub mod common;
 pub mod demand;
 pub mod duplicate;
 pub mod elastic;
+pub mod fanout;
 pub mod fluent;
 pub mod impatient_join;
 pub mod impute;
@@ -67,6 +69,7 @@ pub use common::{simulate_cost, Costed, MinWatermark, TuplePredicate};
 pub use demand::OnDemandGate;
 pub use duplicate::Duplicate;
 pub use elastic::{membership, route_values, ElasticController, ElasticPolicy, ElasticReplica};
+pub use fanout::{FanoutCommit, FanoutController, FanoutDirective, SharedFanout};
 pub use fluent::StreamOps;
 pub use impatient_join::ImpatientJoin;
 pub use impute::{ArchivalStore, Impute};

@@ -214,6 +214,20 @@ impl Operator for Project {
     fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
         Some(self.registry.stats().clone())
     }
+
+    /// PROJECT is dedupe-able: its behaviour is fully determined by its name,
+    /// input schema, and the kept column indices.
+    fn fingerprint(&self) -> Option<u64> {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = dsms_types::FixedHasher::new();
+        "project".hash(&mut hasher);
+        self.name.hash(&mut hasher);
+        for name in self.input_schema.names() {
+            name.hash(&mut hasher);
+        }
+        self.indices.hash(&mut hasher);
+        Some(hasher.finish())
+    }
 }
 
 #[cfg(test)]

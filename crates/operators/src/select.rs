@@ -192,6 +192,24 @@ impl Operator for Select {
     fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
         Some(self.registry.stats().clone())
     }
+
+    /// SELECT is dedupe-able: its behaviour is fully determined by its name,
+    /// schema, predicate *description*, and relay flag.  The description
+    /// stands in for the closure (closures cannot be compared), so two
+    /// selections claiming the same description must implement the same
+    /// condition — the usual contract for [`TuplePredicate::new`] callers.
+    fn fingerprint(&self) -> Option<u64> {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = dsms_types::FixedHasher::new();
+        "select".hash(&mut hasher);
+        self.name.hash(&mut hasher);
+        self.predicate.description().hash(&mut hasher);
+        self.relay.hash(&mut hasher);
+        for name in self.schema.names() {
+            name.hash(&mut hasher);
+        }
+        Some(hasher.finish())
+    }
 }
 
 #[cfg(test)]

@@ -82,6 +82,22 @@ impl TrafficConfig {
         }
     }
 
+    /// Configuration for the multi-query sharing experiment: one shared
+    /// source serving up to 64 standing queries.  Sized so that 64 spliced
+    /// query suffixes at N=64 still finish quickly under a CI budget
+    /// (12 segments × 6 detectors × 45 ticks ≈ 3.2k tuples), while enough
+    /// punctuation boundaries (one per resolution tick) exist for scripted
+    /// attach/detach cuts to land mid-stream.
+    pub fn multi_query() -> Self {
+        TrafficConfig {
+            segments: 12,
+            detectors_per_segment: 6,
+            duration: StreamDuration::from_minutes(15),
+            congested_fraction: 0.5,
+            ..TrafficConfig::default()
+        }
+    }
+
     /// Expected number of tuples the generator will produce.
     pub fn expected_tuples(&self) -> u64 {
         let ticks = (self.duration.as_millis() / self.resolution.as_millis()) as u64;

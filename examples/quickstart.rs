@@ -69,17 +69,7 @@ fn main() {
     let segment2_results = results.iter().filter(|r| r.tuple.int("segment").unwrap() == 2).count();
     println!("results delivered ................ {}", results.len());
     println!("results for the ignored segment .. {segment2_results}");
-    for metrics in &report.metrics {
-        println!(
-            "operator {:<12} in={:<4} out={:<4} feedback_in={} feedback_out={} suppressed={}",
-            metrics.operator,
-            metrics.tuples_in,
-            metrics.tuples_out,
-            metrics.feedback_in,
-            metrics.feedback_out,
-            metrics.feedback.tuples_suppressed,
-        );
-    }
+    print!("{}", dsms_bench::display::metrics_table(&report));
     println!(
         "\nThe sink sent ¬[*, 2, *]; SELECT added it to its condition and relayed it;\n\
          the source then suppressed segment-2 readings at the cheapest possible point."

@@ -17,6 +17,9 @@
 //! * [`engine`] — the NiagaraST-style push engine (pages, control channels,
 //!   executors);
 //! * [`operators`] — the feedback-aware operator library;
+//! * [`manager`] — the multi-query [`prelude::PipelineManager`]: shared
+//!   named sources, prefix deduplication, runtime query lifecycle with
+//!   per-query feedback isolation (see `docs/PIPELINES.md`);
 //! * [`workloads`] — deterministic synthetic workload generators.
 //!
 //! See `examples/quickstart.rs` for a first end-to-end query and DESIGN.md /
@@ -27,6 +30,7 @@
 
 pub use dsms_engine as engine;
 pub use dsms_feedback as feedback;
+pub use dsms_manager as manager;
 pub use dsms_operators as operators;
 pub use dsms_punctuation as punctuation;
 pub use dsms_types as types;
@@ -76,12 +80,16 @@ pub mod prelude {
         FeedbackIntent, FeedbackMerge, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles,
         FeedbackSpec, FeedbackTrigger, GuardDecision,
     };
+    pub use dsms_manager::{
+        ExecutorKind, ManagerOutcome, ManagerSummary, PipelineManager, QueryReport, QueryState,
+        SourceRef,
+    };
     pub use dsms_operators::{
         AggregateFunction, ArchivalStore, CollectSink, Costed, Duplicate, ElasticController,
-        ElasticPolicy, ElasticReplica, GeneratorSource, ImpatientJoin, Impute, Merge, OnDemandGate,
-        Pace, PartitionedExt, PartitionedStage, Prioritizer, Project, QualityFilter, Select,
-        Shuffle, Split, StreamOps, SymmetricHashJoin, ThriftyJoin, TimedSink, TuplePredicate,
-        Union, VecSource, WindowAggregate,
+        ElasticPolicy, ElasticReplica, FanoutController, GeneratorSource, ImpatientJoin, Impute,
+        Merge, OnDemandGate, Pace, PartitionedExt, PartitionedStage, Prioritizer, Project,
+        QualityFilter, Select, SharedFanout, Shuffle, Split, StreamOps, SymmetricHashJoin,
+        ThriftyJoin, TimedSink, TuplePredicate, Union, VecSource, WindowAggregate,
     };
     pub use dsms_punctuation::{
         CompiledPattern, Pattern, PatternItem, Punctuation, PunctuationScheme,
@@ -238,6 +246,40 @@ mod tests {
         assert!(matches!(state, SourceState::Exhausted));
         let item = StreamItem::Tuple(tuple);
         assert!(matches!(item, StreamItem::Tuple(_)));
+
+        // Manager-layer re-exports: a two-query run over one shared source.
+        let tuples: Vec<Tuple> = (0..8)
+            .map(|i| {
+                Tuple::new(
+                    schema.clone(),
+                    vec![Value::Timestamp(Timestamp::from_secs(i)), Value::Int(i)],
+                )
+            })
+            .collect();
+        let mut pipeline_manager = PipelineManager::new();
+        pipeline_manager.add_source("feed", VecSource::new("feed", tuples)).unwrap();
+        let source_ref: SourceRef = pipeline_manager.source_ref("feed").unwrap();
+        drop(source_ref);
+        for name in ["qa", "qb"] {
+            let builder = StreamBuilder::new();
+            builder
+                .source(pipeline_manager.source_ref("feed").unwrap())
+                .unwrap()
+                .select("evens", TuplePredicate::new("even", |t| t.int("v").unwrap_or(0) % 2 == 0))
+                .unwrap()
+                .sink_collect("sink")
+                .unwrap();
+            pipeline_manager.register(name, builder.build().unwrap()).unwrap();
+        }
+        assert_eq!(pipeline_manager.query_state("qa"), Some(QueryState::Attached));
+        let outcome: ManagerOutcome = pipeline_manager.run(ExecutorKind::Sync).unwrap();
+        let summary: &ManagerSummary = &outcome.summary;
+        assert_eq!(summary.queries_active, 2);
+        assert!(summary.shared_prefix_hits > 0);
+        let query_report: &QueryReport = &outcome.queries[0];
+        assert_eq!(query_report.name, "qa");
+        let _ = SharedFanout::new("fanout", schema.clone(), 2);
+        let _ = FanoutController::shared();
     }
 
     /// Every public module re-export (`types`, `punctuation`, `feedback`,
