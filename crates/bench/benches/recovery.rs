@@ -1,0 +1,334 @@
+//! Steady-state cost of punctuation-epoch checkpointing on the guard-checking
+//! hot path.
+//!
+//! Supervision is only worth declaring if a healthy run barely pays for it.
+//! Its cost has two parts: a fixed *supervision* cost (pages are retained for
+//! replay before dispatch, deliveries are counted for post-restart
+//! suppression) paid by every operator under a `Restart` policy, and a
+//! *checkpoint* cost (state snapshots at punctuation-epoch boundaries) that
+//! scales with the checkpoint interval.  This bench reuses the
+//! `guarded_source` configuration from `hot_path` — a source carrying eight
+//! active never-matching assumed guards feeding a supervised pass-through
+//! SELECT into a null sink — and sweeps the checkpoint interval:
+//!
+//! * **failfast** — the SELECT keeps the default fail-fast policy: no
+//!   supervision machinery at all.  Context for the fixed supervision cost.
+//! * **disabled** — the SELECT declares `Restart` recovery but the plan sets
+//!   checkpoint interval 0: checkpointing disabled (only the retention
+//!   backstop can force a snapshot).  This is the baseline the acceptance
+//!   gate compares against.
+//! * **interval1 / interval4 / interval16** — epoch checkpoints every 1 / 4
+//!   / 16 punctuations (4 is the plan default).
+//!
+//! Runs execute on the sync executor so the measurement is the checkpoint
+//! machinery itself, not scheduler noise.  Every run asserts the sink saw
+//! every tuple, `feedback_dropped == 0`, no restarts happened, and that
+//! epoch-checkpointed runs actually took checkpoints.  Throughput is written
+//! as JSON to the path named by `RECOVERY_JSON` (default
+//! `BENCH_recovery.local.json`, untracked — the committed
+//! `BENCH_recovery.json` records the acceptance measurement; CI points the
+//! env var at the canonical name for its artifact upload).
+//! `RECOVERY_MAX_DEFAULT_OVERHEAD` gates the sweep: the default interval's
+//! throughput must be at least `1 - overhead` of the checkpointing-disabled
+//! baseline (CI sets `0.10` — epoch checkpointing at the default interval
+//! may cost at most 10%).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsms_engine::{
+    EngineResult, ExecutionReport, Operator, OperatorContext, RecoveryPolicy, StreamBuilder,
+    SyncExecutor,
+};
+use dsms_feedback::FeedbackPunctuation;
+use dsms_operators::{Select, TuplePredicate, VecSource};
+use dsms_punctuation::{Pattern, PatternItem};
+use dsms_types::{DataType, Schema, SchemaRef, StreamDuration, Tuple, Value};
+use dsms_workloads::{TrafficConfig, TrafficGenerator};
+use std::time::Duration;
+
+const GUARDS: i64 = 8;
+
+/// Traffic schema plus a text attribute, matching `hot_path`'s
+/// `guarded_source` configuration, so retained pages carry strings and
+/// retention is not accidentally free.
+fn hot_schema() -> SchemaRef {
+    Schema::shared(&[
+        ("timestamp", DataType::Timestamp),
+        ("segment", DataType::Int),
+        ("detector", DataType::Int),
+        ("speed", DataType::Float),
+        ("volume", DataType::Int),
+        ("freeway", DataType::Text),
+    ])
+}
+
+fn dataset() -> Vec<Tuple> {
+    let config = TrafficConfig {
+        segments: 16,
+        detectors_per_segment: 24,
+        duration: StreamDuration::from_minutes(30),
+        ..TrafficConfig::default()
+    };
+    let schema = hot_schema();
+    TrafficGenerator::new(config)
+        .map(|t| {
+            let seg = t.int("segment").unwrap_or(0);
+            let mut values = t.values().to_vec();
+            values.push(Value::from(format!(
+                "Interstate-{:02} northbound near milepost {:03}",
+                5 + seg % 3,
+                seg * 7 + 1
+            )));
+            Tuple::new(schema.clone(), values)
+        })
+        .collect()
+}
+
+/// Sink that discards its input; arrivals are still counted by the
+/// executor's per-operator metrics, so the bench can verify nothing was lost
+/// without the sink itself costing anything.
+struct NullSink {
+    name: String,
+}
+
+impl Operator for NullSink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn inputs(&self) -> usize {
+        1
+    }
+    fn outputs(&self) -> usize {
+        0
+    }
+    fn on_tuple(&mut self, _i: usize, _t: Tuple, _c: &mut OperatorContext) -> EngineResult<()> {
+        Ok(())
+    }
+    fn on_page(
+        &mut self,
+        _input: usize,
+        _page: dsms_engine::Page,
+        _ctx: &mut OperatorContext,
+    ) -> EngineResult<()> {
+        Ok(())
+    }
+}
+
+/// A source with `GUARDS` distinct active assumed guards, none of which ever
+/// matches a traffic tuple — every batch pays the guard classification and
+/// still flows through, and the punctuation cadence drives checkpoints.
+fn make_guarded_source(tuples: Vec<Tuple>) -> VecSource {
+    let mut source = VecSource::new("source", tuples)
+        .with_punctuation("timestamp", StreamDuration::from_secs(60))
+        .with_batch_size(64);
+    let mut ctx = OperatorContext::new();
+    for i in 0..GUARDS {
+        let pattern = Pattern::for_attributes(
+            hot_schema(),
+            &[("detector", PatternItem::Eq(Value::Int(-1 - i)))],
+        )
+        .expect("valid guard pattern");
+        source
+            .on_feedback(0, FeedbackPunctuation::assumed(pattern, "bench"), &mut ctx)
+            .expect("guard registration");
+    }
+    source
+}
+
+/// Sweep point: no supervision at all, or a supervised SELECT with the given
+/// checkpoint interval (0 = checkpointing disabled, the gate's baseline).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Config {
+    FailFast,
+    Supervised { interval: u64 },
+}
+
+impl Config {
+    const ALL: [Config; 5] = [
+        Config::FailFast,
+        Config::Supervised { interval: 0 },
+        Config::Supervised { interval: 1 },
+        Config::Supervised { interval: 4 },
+        Config::Supervised { interval: 16 },
+    ];
+
+    fn label(self) -> String {
+        match self {
+            Config::FailFast => "failfast".to_string(),
+            Config::Supervised { interval: 0 } => "disabled".to_string(),
+            Config::Supervised { interval } => format!("interval{interval}"),
+        }
+    }
+}
+
+struct RunResult {
+    config: Config,
+    elapsed: Duration,
+    tuples: u64,
+    tuples_per_sec: f64,
+    checkpoints_taken: u64,
+    feedback_dropped: u64,
+}
+
+fn run_once(tuples: &[Tuple], config: Config) -> RunResult {
+    let mut builder = StreamBuilder::new().with_page_capacity(64).with_queue_capacity(8);
+    if let Config::Supervised { interval } = config {
+        builder = builder.with_checkpoint_interval(interval);
+    }
+    let stream = builder.source_as(make_guarded_source(tuples.to_vec()), hot_schema()).unwrap();
+    let mut select =
+        stream.apply(Select::new("pass", hot_schema(), TuplePredicate::always())).unwrap();
+    if matches!(config, Config::Supervised { .. }) {
+        select = select
+            .with_recovery(RecoveryPolicy::Restart { max_restarts: 1, backoff: Duration::ZERO });
+    }
+    select.sink(NullSink { name: "sink-0".into() }).unwrap();
+    let plan = builder.build().expect("valid plan");
+    let report: ExecutionReport = SyncExecutor::run(plan).expect("run failed");
+
+    let source = report.operator("source").expect("source metrics");
+    assert_eq!(source.tuples_out, tuples.len() as u64, "guards must not suppress anything");
+    let sink = report.operator("sink-0").expect("sink metrics");
+    assert_eq!(sink.tuples_in, tuples.len() as u64, "{}: tuples lost in flight", config.label());
+    let recovery = report.recovery();
+    assert_eq!(recovery.restarts, 0, "a healthy run must never restart");
+    match config {
+        Config::FailFast => {
+            assert_eq!(recovery.checkpoints_taken, 0, "fail-fast runs must not checkpoint");
+        }
+        Config::Supervised { interval: 0 } => {
+            // Only priming / the retention backstop may snapshot here; epoch
+            // checkpointing is off.
+        }
+        Config::Supervised { .. } => {
+            assert!(
+                recovery.checkpoints_taken > 0,
+                "{}: epoch-checkpointed runs must take checkpoints",
+                config.label()
+            );
+        }
+    }
+
+    RunResult {
+        config,
+        elapsed: report.elapsed,
+        tuples: source.tuples_out,
+        tuples_per_sec: source.tuples_out as f64 / report.elapsed.as_secs_f64().max(1e-9),
+        checkpoints_taken: recovery.checkpoints_taken,
+        feedback_dropped: report.total_feedback_dropped(),
+    }
+}
+
+impl RunResult {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"config\":\"{}\",\"executor\":\"sync\",\"elapsed_ms\":{:.3},",
+                "\"tuples\":{},\"tuples_per_sec\":{:.1},\"checkpoints_taken\":{},",
+                "\"feedback_dropped\":{}}}"
+            ),
+            self.config.label(),
+            self.elapsed.as_secs_f64() * 1_000.0,
+            self.tuples,
+            self.tuples_per_sec,
+            self.checkpoints_taken,
+            self.feedback_dropped,
+        )
+    }
+}
+
+fn recovery(c: &mut Criterion) {
+    let tuples = dataset();
+    let mut group = c.benchmark_group("recovery");
+    // Best-of estimation: each configuration keeps its fastest sample, so a
+    // larger sample count mostly buys robustness against scheduler noise.
+    // The acceptance gate is a ratio of two such best-of runs, so this bench
+    // samples more than `hot_path` does to keep the ratio stable.
+    group.sample_size(40);
+
+    let mut best: Vec<RunResult> = Vec::new();
+    for &config in &Config::ALL {
+        let mut local: Option<RunResult> = None;
+        group.bench_function(format!("guarded_source/{}", config.label()), |b| {
+            b.iter(|| {
+                let result = run_once(&tuples, config);
+                assert_eq!(result.feedback_dropped, 0, "feedback must not be dropped");
+                if local.as_ref().map(|l| result.elapsed < l.elapsed).unwrap_or(true) {
+                    local = Some(result);
+                }
+            })
+        });
+        best.push(local.expect("at least one sample"));
+    }
+    group.finish();
+
+    for run in &best {
+        println!(
+            "recovery: guarded_source/{:<10} {:>10.0} tuples/sec  ({:.2} ms, {} checkpoints)",
+            run.config.label(),
+            run.tuples_per_sec,
+            run.elapsed.as_secs_f64() * 1_000.0,
+            run.checkpoints_taken
+        );
+    }
+
+    let tps = |config: Config| {
+        best.iter()
+            .find(|r| r.config == config)
+            .map(|r| r.tuples_per_sec)
+            .expect("all sweep points ran")
+    };
+    let baseline = tps(Config::Supervised { interval: 0 });
+    for run in &best {
+        if matches!(run.config, Config::Supervised { interval } if interval > 0) {
+            println!(
+                "recovery: guarded_source/{:<10} checkpoint overhead vs disabled: {:+.1}%",
+                run.config.label(),
+                (1.0 - run.tuples_per_sec / baseline) * 100.0
+            );
+        }
+    }
+    println!(
+        "recovery: guarded_source supervision cost (disabled vs failfast): {:+.1}%",
+        (1.0 - baseline / tps(Config::FailFast)) * 100.0
+    );
+
+    // Acceptance gate: epoch checkpointing at the plan's default interval
+    // must cost at most RECOVERY_MAX_DEFAULT_OVERHEAD (CI sets 0.10) of the
+    // checkpointing-disabled baseline's throughput.
+    let max_overhead =
+        std::env::var("RECOVERY_MAX_DEFAULT_OVERHEAD").ok().and_then(|v| v.parse::<f64>().ok());
+    if let Some(max) = max_overhead {
+        let ratio = tps(Config::Supervised { interval: 4 }) / baseline;
+        assert!(
+            ratio >= 1.0 - max,
+            "interval4 must retain >={:.0}% of checkpointing-disabled throughput (got {:.1}%)",
+            (1.0 - max) * 100.0,
+            ratio * 100.0
+        );
+    }
+
+    // Default to a path the `BENCH_*.json` ignore rule keeps untracked: the
+    // repo commits a `BENCH_recovery.json` recording the acceptance
+    // measurement, and a casual local run must not clobber it.  CI points
+    // RECOVERY_JSON at the canonical name for its artifact upload.
+    let path =
+        std::env::var("RECOVERY_JSON").unwrap_or_else(|_| "BENCH_recovery.local.json".to_string());
+    let runs: Vec<String> = best.iter().map(RunResult::json).collect();
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"recovery\",\"workload\":\"traffic+text\",\"tuples\":{},",
+            "\"guards\":{},\"default_interval\":4,\"runs\":[{}]}}\n"
+        ),
+        tuples.len(),
+        GUARDS,
+        runs.join(",")
+    );
+    if let Err(err) = std::fs::write(&path, &json) {
+        eprintln!("recovery: could not write {path}: {err}");
+    } else {
+        println!("recovery: JSON report written to {path}");
+    }
+}
+
+criterion_group!(benches, recovery);
+criterion_main!(benches);

@@ -36,6 +36,7 @@ use dsms_punctuation::{Pattern, PatternItem};
 use dsms_types::Value;
 
 /// One exact `(intent, pattern)` pair awaiting unanimity.
+#[derive(Clone)]
 struct ExactPending {
     intent: FeedbackIntent,
     pattern: Pattern,
@@ -54,6 +55,7 @@ struct ExactPending {
 
 /// Per-replica strict upper bounds on one `(intent, attribute)`, merged by
 /// minimum.
+#[derive(Clone)]
 struct BoundPending {
     intent: FeedbackIntent,
     attribute: String,
@@ -77,6 +79,7 @@ struct BoundPending {
 /// [`assert_from`](FeedbackMerge::assert_from) with the replica index a
 /// feedback message arrived from, and relays the returned message (if any)
 /// toward the source.
+#[derive(Clone)]
 pub struct FeedbackMerge {
     replicas: usize,
     /// Current replica membership (elastic stages scale replicas in and out;

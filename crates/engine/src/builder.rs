@@ -203,6 +203,19 @@ impl StreamBuilder {
         self
     }
 
+    /// Sets the checkpoint interval, in punctuations consumed (sources:
+    /// emitted), at which operators under a `Restart` recovery policy
+    /// snapshot their state (see [`QueryPlan::with_checkpoint_interval`]).
+    /// `0` disables epoch-triggered checkpoints (the retention backstop
+    /// still forces one eventually).
+    pub fn with_checkpoint_interval(self, interval: u64) -> Self {
+        {
+            let mut state = self.state.borrow_mut();
+            state.plan = std::mem::take(&mut state.plan).with_checkpoint_interval(interval);
+        }
+        self
+    }
+
     /// Adds a source operator (zero inputs) and returns the stream it
     /// produces on output port 0.
     ///
@@ -417,6 +430,35 @@ impl Stream {
             .borrow_mut()
             .plan
             .pin_to_worker(self.node, worker)
+            .expect("a stream's node always exists in its own plan");
+        self
+    }
+
+    /// Declares the recovery policy for this stream's producing operator.
+    /// [`crate::RecoveryPolicy::Restart`] puts it under supervision:
+    /// punctuation-epoch checkpoints, in-place restart with suffix replay on
+    /// failure.  Validation (at run time) rejects `Restart` on an operator
+    /// that is not [`Operator::restartable`].
+    pub fn with_recovery(self, policy: crate::plan::RecoveryPolicy) -> Stream {
+        self.state
+            .borrow_mut()
+            .plan
+            .set_recovery(self.node, policy)
+            .expect("a stream's node always exists in its own plan");
+        self
+    }
+
+    /// Quarantine this stream's producing operator instead of failing the
+    /// whole run when it exhausts its restart budget (or fails under
+    /// [`crate::RecoveryPolicy::FailFast`]): its stream is tombstoned —
+    /// flushed, end-of-stream'd, and detached — while the rest of the plan
+    /// keeps running.  The failure is reported on the operator's metrics and
+    /// in [`crate::RecoverySummary::quarantined`].
+    pub fn quarantine_on_failure(self) -> Stream {
+        self.state
+            .borrow_mut()
+            .plan
+            .set_quarantine(self.node, true)
             .expect("a stream's node always exists in its own plan");
         self
     }
@@ -809,6 +851,27 @@ impl Operator for FeedbackSubscriber {
 
     fn elastic_stats(&self) -> Option<crate::metrics::ElasticStats> {
         self.inner.elastic_stats()
+    }
+
+    // The wrapper's own obligations (`seen` counters, un-fired
+    // subscriptions) are not checkpointed and a replay would re-fire
+    // feedback the upstream operator already consumed, so a subscribing
+    // wrapper is never restartable.  (With no subscriptions the wrapper is
+    // not even constructed, so the expression below is belt-and-braces.)
+    fn restartable(&self) -> bool {
+        self.subscriptions.is_empty() && self.inner.restartable()
+    }
+
+    fn checkpoint(&self) -> EngineResult<Vec<crate::operator::StateEntry>> {
+        self.inner.checkpoint()
+    }
+
+    fn restore(&mut self, entries: Vec<crate::operator::StateEntry>) -> EngineResult<()> {
+        self.inner.restore(entries)
+    }
+
+    fn absorb_shutdown(&mut self, output: usize, ctx: &mut OperatorContext) -> bool {
+        self.inner.absorb_shutdown(output, ctx)
     }
 }
 

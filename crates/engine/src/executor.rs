@@ -62,7 +62,7 @@
 use crate::control::ControlMessage;
 use crate::error::{EngineError, EngineResult};
 use crate::lifecycle::{LifecyclePorts, NodeMachine, StepOutcome};
-use crate::metrics::{OperatorMetrics, SchedulerSummary};
+use crate::metrics::{OperatorMetrics, RecoverySummary, SchedulerSummary};
 use crate::operator::{Operator, OperatorContext, StreamItem};
 use crate::page::{Page, PageBuilder};
 use crate::plan::{NodeId, QueryPlan};
@@ -104,6 +104,22 @@ impl ExecutionReport {
     /// [`OperatorMetrics::feedback_dropped`]).  A healthy run reports 0.
     pub fn total_feedback_dropped(&self) -> u64 {
         self.metrics.iter().map(|m| m.feedback_dropped).sum()
+    }
+
+    /// Run-wide recovery summary, aggregated from the per-operator counters:
+    /// supervised restarts, checkpoints taken, tuples replayed, and the
+    /// operators tombstoned under quarantine (with their terminal failures).
+    pub fn recovery(&self) -> RecoverySummary {
+        let mut summary = RecoverySummary::default();
+        for m in &self.metrics {
+            summary.restarts += m.restarts;
+            summary.checkpoints_taken += m.checkpoints_taken;
+            summary.tuples_replayed += m.tuples_replayed;
+            if let Some(failure) = &m.failure {
+                summary.quarantined.push((m.operator.clone(), failure.clone()));
+            }
+        }
+        summary
     }
 }
 
@@ -330,8 +346,19 @@ impl SyncExecutor {
             states.push(SyncNodeState { ins, outs, in_route, out_route });
         }
 
-        let mut machines: Vec<NodeMachine> =
-            plan.nodes.iter().map(|n| NodeMachine::new(n.inputs == 0)).collect();
+        let mut machines: Vec<NodeMachine> = plan
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(idx, n)| {
+                NodeMachine::supervised(
+                    n.inputs == 0,
+                    plan.recovery[idx],
+                    plan.quarantine[idx],
+                    plan.checkpoint_interval,
+                )
+            })
+            .collect();
         let mut metrics: Vec<OperatorMetrics> =
             plan.nodes.iter().map(|n| OperatorMetrics::new(n.name.clone())).collect();
         let mut ctx = OperatorContext::new();
@@ -381,7 +408,15 @@ impl SyncExecutor {
 }
 
 fn wrap(plan: &QueryPlan, node: usize, err: EngineError) -> EngineError {
-    EngineError::OperatorFailed { operator: plan.nodes[node].name.clone(), detail: err.to_string() }
+    match err {
+        // The lifecycle's guarded dispatch already attributed the failure —
+        // keep its text identical across all three executors.
+        named @ EngineError::OperatorFailed { .. } => named,
+        other => EngineError::OperatorFailed {
+            operator: plan.nodes[node].name.clone(),
+            detail: other.to_string(),
+        },
+    }
 }
 
 /// Human-readable form of a panic payload (`&str` and `String` payloads are
@@ -442,6 +477,9 @@ struct ThreadedNode {
     name: String,
     operator: Box<dyn Operator>,
     ports: ThreadedPorts,
+    recovery: crate::plan::RecoveryPolicy,
+    quarantine: bool,
+    checkpoint_interval: u64,
 }
 
 impl ThreadedPorts {
@@ -618,6 +656,9 @@ impl ThreadedExecutor {
         // Assemble per-node runtimes with dense port routing tables.
         let mut runtimes: Vec<ThreadedNode> = Vec::with_capacity(plan.nodes.len());
         let edges = plan.edges.clone();
+        let recovery_policies = plan.recovery.clone();
+        let quarantines = plan.quarantine.clone();
+        let checkpoint_interval = plan.checkpoint_interval;
         for (idx, node) in plan.nodes.drain(..).enumerate() {
             let mut inputs = Vec::new();
             let mut outputs = Vec::new();
@@ -647,6 +688,9 @@ impl ThreadedExecutor {
                 name: node.name,
                 operator: node.operator,
                 ports: ThreadedPorts { inputs, outputs, in_route, out_route },
+                recovery: recovery_policies[idx],
+                quarantine: quarantines[idx],
+                checkpoint_interval,
             });
         }
 
@@ -690,7 +734,12 @@ impl ThreadedExecutor {
 fn run_threaded_node(mut node: ThreadedNode) -> Result<OperatorMetrics, EngineError> {
     let mut metrics = OperatorMetrics::new(node.name.clone());
     let mut ctx = OperatorContext::new();
-    let mut machine = NodeMachine::new(node.ports.inputs.is_empty());
+    let mut machine = NodeMachine::supervised(
+        node.ports.inputs.is_empty(),
+        node.recovery,
+        node.quarantine,
+        node.checkpoint_interval,
+    );
     let result = loop {
         match machine.step(
             node.operator.as_mut(),
@@ -721,7 +770,14 @@ fn run_threaded_node(mut node: ThreadedNode) -> Result<OperatorMetrics, EngineEr
             for input in &node.ports.inputs {
                 input.consumer.send_control(ControlMessage::Shutdown);
             }
-            Err(EngineError::OperatorFailed { operator: node.name, detail: err.to_string() })
+            Err(match err {
+                // The lifecycle's guarded dispatch already attributed the
+                // failure — keep its text identical across executors.
+                named @ EngineError::OperatorFailed { .. } => named,
+                other => {
+                    EngineError::OperatorFailed { operator: node.name, detail: other.to_string() }
+                }
+            })
         }
     }
 }

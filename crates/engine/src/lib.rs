@@ -52,9 +52,9 @@ pub use builder::{Stream, StreamBuilder};
 pub use control::ControlMessage;
 pub use error::{EngineError, EngineResult};
 pub use executor::{ExecutionReport, SyncExecutor, ThreadedExecutor};
-pub use metrics::{ElasticStats, OperatorMetrics, SchedulerSummary};
+pub use metrics::{ElasticStats, OperatorMetrics, RecoverySummary, SchedulerSummary};
 pub use operator::{Emission, Operator, OperatorContext, SourceState, StateEntry, StreamItem};
 pub use page::{ColumnarPage, Page, PageBuilder, PageIter};
-pub use plan::{Edge, NodeId, PlanNode, PlanParts, QueryPlan};
+pub use plan::{Edge, NodeId, PlanNode, PlanParts, QueryPlan, RecoveryPolicy};
 pub use pooled::PooledExecutor;
 pub use queue::DataQueue;

@@ -31,14 +31,73 @@
 //! executor's business — the threaded executor parks the thread, the pooled
 //! executor parks the *task* and relies on queue notifications, the sync
 //! executor uses `Idle` for stall detection.
+//!
+//! # Supervised recovery
+//!
+//! Because the lifecycle is implemented once, fault tolerance is too.  Every
+//! operator callback is dispatched through [`guarded`], which catches both
+//! `Err` returns and panics and names them after the operator — so all three
+//! executors report the identical `OperatorFailed` text.  An operator whose
+//! plan declares [`RecoveryPolicy::Restart`] additionally runs under a
+//! [`RecoveryState`]: checkpoints of [`crate::Operator::checkpoint`] are
+//! taken at punctuation-epoch boundaries, input pages since the last
+//! checkpoint are retained, and a failure triggers restore-and-replay *in
+//! place* — the machine stays `Active`, its neighbours never notice.
+//! Emissions regenerated during replay that were already delivered before the
+//! crash are suppressed by per-slot counters, so downstream sees each page
+//! exactly once.  A failure past the restart budget either aborts the run
+//! (default) or — under quarantine, used by the multi-query manager —
+//! tombstones the operator: its branch is drained (EOS downstream, Shutdown
+//! upstream) while the rest of the plan keeps running.  See
+//! `docs/RECOVERY.md` for the full protocol.
 
 use crate::control::ControlMessage;
-use crate::error::EngineResult;
+use crate::error::{EngineError, EngineResult};
+use crate::executor::panic_detail;
 use crate::metrics::OperatorMetrics;
-use crate::operator::{Emission, Operator, OperatorContext, SourceState, StreamItem};
+use crate::operator::{Emission, Operator, OperatorContext, SourceState, StateEntry, StreamItem};
 use crate::page::Page;
+use crate::plan::RecoveryPolicy;
 use crate::queue::{ControlPoll, DataPoll, QueueMessage};
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// Retention-buffer backstop: a checkpoint is forced once this many pages
+/// accumulate since the last one, bounding replay memory even when the
+/// punctuation interval is large (or the stream carries no punctuation).
+const MAX_RETAINED_PAGES: usize = 512;
+
+/// Runs one operator callback under supervision: catches panics as well as
+/// `Err` returns, accounts the time as busy, and names the failure after the
+/// operator so every executor reports identical error text.
+fn guarded<T>(
+    metrics: &mut OperatorMetrics,
+    body: impl FnOnce() -> EngineResult<T>,
+) -> EngineResult<T> {
+    let timer = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(body));
+    metrics.busy += timer.elapsed();
+    match outcome {
+        Ok(Ok(value)) => Ok(value),
+        Ok(Err(err)) => Err(name_failure(&metrics.operator, err)),
+        Err(payload) => Err(EngineError::OperatorFailed {
+            operator: metrics.operator.clone(),
+            detail: format!("operator panicked: {}", panic_detail(payload.as_ref())),
+        }),
+    }
+}
+
+/// Attributes an error to the operator unless it already carries a name
+/// (nested failures keep the innermost attribution).
+fn name_failure(operator: &str, err: EngineError) -> EngineError {
+    match err {
+        named @ EngineError::OperatorFailed { .. } => named,
+        other => EngineError::OperatorFailed {
+            operator: operator.to_string(),
+            detail: other.to_string(),
+        },
+    }
+}
 
 /// The endpoint surface a [`NodeMachine`] drives an operator through.
 ///
@@ -128,19 +187,185 @@ pub(crate) enum StepOutcome {
     Done,
 }
 
+/// How a data-path failure was resolved (both variants mean the run itself
+/// continues; an exhausted budget without quarantine propagates `Err`
+/// instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FailureOutcome {
+    /// The operator restored its last checkpoint and will replay the
+    /// retained suffix.
+    Restored,
+    /// The operator was tombstoned: its branch drains, the run continues.
+    Tombstoned,
+}
+
+/// Supervision state for one operator under a `Restart` recovery policy.
+pub(crate) struct RecoveryState {
+    max_restarts: u32,
+    backoff: Duration,
+    checkpoint_interval: u64,
+    /// Restarts performed so far.
+    attempts: u32,
+    /// The last checkpoint (empty before the first one = initial state).
+    snapshot: Vec<StateEntry>,
+    /// Input pages consumed since the last checkpoint, in arrival order,
+    /// keyed by input slot — the replay suffix.
+    retained: Vec<(usize, Page)>,
+    /// `Some(next index into retained)` while a replay is in progress.
+    replay_cursor: Option<usize>,
+    /// Whether the initial checkpoint (taken before any work) exists yet.
+    /// Priming guarantees `restore` always receives a real snapshot — an
+    /// operator that cannot reconstruct its initial state (a source whose
+    /// input iterator is consumed) would otherwise be unrecoverable before
+    /// its first epoch boundary.
+    primed: bool,
+    /// Punctuations consumed (sources: emitted) since the last checkpoint —
+    /// the epoch trigger.
+    puncts_since_checkpoint: u64,
+    /// Per-output-slot count of data deliveries since the last checkpoint.
+    pushed_out: Vec<u64>,
+    /// Per-output-slot suppression credit: deliveries regenerated by replay
+    /// that downstream already received and must not see again.
+    skip_out: Vec<u64>,
+    /// Per-input-slot count of upstream control sends since the last
+    /// checkpoint (feedback and result requests share one ordered sequence).
+    pushed_ctl: Vec<u64>,
+    /// Per-input-slot suppression credit for regenerated control sends.
+    skip_ctl: Vec<u64>,
+    /// Fast-path summary of the credit vectors: true while any `skip_out` /
+    /// `skip_ctl` credit is outstanding.  Steady state (no restart in
+    /// progress) answers every per-emission suppression probe with this one
+    /// branch instead of a vector lookup.
+    skipping: bool,
+}
+
+impl std::fmt::Debug for RecoveryState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecoveryState")
+            .field("max_restarts", &self.max_restarts)
+            .field("backoff", &self.backoff)
+            .field("checkpoint_interval", &self.checkpoint_interval)
+            .field("attempts", &self.attempts)
+            .field("snapshot_entries", &self.snapshot.len())
+            .field("retained_pages", &self.retained.len())
+            .field("replay_cursor", &self.replay_cursor)
+            .field("puncts_since_checkpoint", &self.puncts_since_checkpoint)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RecoveryState {
+    fn new(max_restarts: u32, backoff: Duration, checkpoint_interval: u64) -> Self {
+        RecoveryState {
+            max_restarts,
+            backoff,
+            checkpoint_interval,
+            attempts: 0,
+            snapshot: Vec::new(),
+            retained: Vec::new(),
+            replay_cursor: None,
+            primed: false,
+            puncts_since_checkpoint: 0,
+            pushed_out: Vec::new(),
+            skip_out: Vec::new(),
+            pushed_ctl: Vec::new(),
+            skip_ctl: Vec::new(),
+            skipping: false,
+        }
+    }
+
+    fn replaying(&self) -> bool {
+        self.replay_cursor.is_some()
+    }
+
+    /// Consumes one unit of output-slot suppression credit, if any.
+    #[inline]
+    fn suppress_out(&mut self, slot: usize) -> bool {
+        if !self.skipping {
+            return false;
+        }
+        match self.skip_out.get_mut(slot) {
+            Some(credit) if *credit > 0 => {
+                *credit -= 1;
+                if *credit == 0 {
+                    self.refresh_skipping();
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Records one delivered data push on an output slot.
+    #[inline]
+    fn record_out(&mut self, slot: usize) {
+        if self.pushed_out.len() <= slot {
+            self.pushed_out.resize(slot + 1, 0);
+        }
+        self.pushed_out[slot] += 1;
+    }
+
+    /// Consumes one unit of control-send suppression credit, if any.
+    fn suppress_ctl(&mut self, slot: usize) -> bool {
+        if !self.skipping {
+            return false;
+        }
+        match self.skip_ctl.get_mut(slot) {
+            Some(credit) if *credit > 0 => {
+                *credit -= 1;
+                if *credit == 0 {
+                    self.refresh_skipping();
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Records one delivered upstream control send on an input slot.
+    fn record_ctl(&mut self, slot: usize) {
+        if self.pushed_ctl.len() <= slot {
+            self.pushed_ctl.resize(slot + 1, 0);
+        }
+        self.pushed_ctl[slot] += 1;
+    }
+
+    /// Recomputes the `skipping` summary after the credit vectors change.
+    fn refresh_skipping(&mut self) {
+        self.skipping =
+            self.skip_out.iter().any(|c| *c > 0) || self.skip_ctl.iter().any(|c| *c > 0);
+    }
+}
+
 /// Per-operator lifecycle state machine, shared by all three executors.
 #[derive(Debug)]
 pub(crate) struct NodeMachine {
     phase: Phase,
     is_source: bool,
     shutdown: bool,
+    /// Whether a failure past the restart budget tombstones this operator
+    /// (draining its branch) instead of aborting the run.
+    quarantine: bool,
+    recovery: Option<RecoveryState>,
 }
 
 impl NodeMachine {
-    /// Creates the machine for an operator; `is_source` when it has no
-    /// inputs.
-    pub(crate) fn new(is_source: bool) -> Self {
-        NodeMachine { phase: Phase::Active, is_source, shutdown: false }
+    /// Creates the machine with a recovery policy: `Restart` arms
+    /// checkpoint-and-replay supervision, `quarantine` turns budget
+    /// exhaustion into a branch tombstone instead of a run abort.
+    pub(crate) fn supervised(
+        is_source: bool,
+        policy: RecoveryPolicy,
+        quarantine: bool,
+        checkpoint_interval: u64,
+    ) -> Self {
+        let recovery = match policy {
+            RecoveryPolicy::FailFast => None,
+            RecoveryPolicy::Restart { max_restarts, backoff } => {
+                Some(RecoveryState::new(max_restarts, backoff, checkpoint_interval))
+            }
+        };
+        NodeMachine { phase: Phase::Active, is_source, shutdown: false, quarantine, recovery }
     }
 
     /// True once the operator has released.
@@ -156,9 +381,9 @@ impl NodeMachine {
     }
 
     /// Advances the operator: control first (with priority), then up to
-    /// `budget` units of data work (a source poll, or one sweep over the open
-    /// inputs).  Returns how the call ended; errors propagate unwrapped (the
-    /// caller attaches the operator name).
+    /// `budget` units of data work (a source poll, one sweep over the open
+    /// inputs, or one replayed page during recovery).  Returns how the call
+    /// ended; errors arrive already named after the operator.
     pub(crate) fn step<P: LifecyclePorts>(
         &mut self,
         op: &mut dyn Operator,
@@ -172,6 +397,12 @@ impl NodeMachine {
         loop {
             match self.phase {
                 Phase::Active => {
+                    if let Some(rec) = self.recovery.as_mut() {
+                        if !rec.primed {
+                            rec.primed = true;
+                            rec.snapshot = guarded(metrics, || op.checkpoint())?;
+                        }
+                    }
                     if process_control(op, ports, metrics, ctx, false, &mut self.shutdown)? {
                         acted = true;
                     }
@@ -197,11 +428,37 @@ impl NodeMachine {
                         return Ok(if acted { StepOutcome::Yield } else { StepOutcome::Idle });
                     }
 
+                    // Recovery replay has priority over fresh input: the
+                    // operator must re-reach its pre-failure position before
+                    // consuming anything new, or ordering breaks.
+                    if self.recovery.as_ref().is_some_and(RecoveryState::replaying)
+                        && self.replay_one(op, ports, metrics, ctx)?
+                    {
+                        spent += 1;
+                        acted = true;
+                        continue;
+                    }
+                    // Falls through here once the replay suffix is exhausted,
+                    // resuming normal work.
+
                     if self.is_source {
-                        let timer = Instant::now();
-                        let state = op.poll_source(ctx)?;
-                        metrics.busy += timer.elapsed();
-                        route_node(ctx, ports, metrics, false);
+                        let before_puncts = metrics.punctuations_out;
+                        let state = match guarded(metrics, || op.poll_source(ctx)) {
+                            Ok(state) => state,
+                            Err(err) => {
+                                self.handle_data_failure(err, op, ports, metrics, ctx)?;
+                                spent += 1;
+                                acted = true;
+                                continue;
+                            }
+                        };
+                        route_node(ctx, ports, metrics, false, self.recovery.as_mut());
+                        if let Some(rec) = self.recovery.as_mut() {
+                            // Sources have no input punctuation; their epoch
+                            // trigger is the punctuation they emit.
+                            rec.puncts_since_checkpoint += metrics.punctuations_out - before_puncts;
+                        }
+                        self.maybe_checkpoint(op, metrics)?;
                         spent += 1;
                         acted = true;
                         if ports.out_count() > 0
@@ -224,6 +481,7 @@ impl NodeMachine {
                     // Non-source: sweep the open inputs, consuming at most
                     // one page each.
                     let mut progressed = false;
+                    let mut interrupted = false;
                     for slot in 0..ports.in_count() {
                         if !ports.in_open(slot) {
                             continue;
@@ -235,16 +493,45 @@ impl NodeMachine {
                         metrics.max_queue_depth = metrics.max_queue_depth.max(depth);
                         ctx.set_queue_depth(depth);
                         match ports.poll_in(slot) {
-                            DataPoll::Message(QueueMessage::Page(page)) => {
+                            DataPoll::Message(QueueMessage::Page(mut page)) => {
                                 progressed = true;
                                 metrics.pages_in += 1;
                                 metrics.tuples_in += page.tuple_count() as u64;
-                                metrics.punctuations_in += page.punctuation_count() as u64;
+                                let punctuations = page.punctuation_count() as u64;
+                                metrics.punctuations_in += punctuations;
                                 let port = ports.in_port(slot);
-                                let timer = Instant::now();
-                                op.on_page(port, page, ctx)?;
-                                metrics.busy += timer.elapsed();
-                                route_node(ctx, ports, metrics, false);
+                                if let Some(rec) = self.recovery.as_mut() {
+                                    // Retain before dispatch: a crash inside
+                                    // the callback must still replay this
+                                    // page.  `share` keeps retention O(1)
+                                    // per page — the retained copy and the
+                                    // dispatched page reference one row
+                                    // allocation.
+                                    rec.retained.push((slot, page.share()));
+                                }
+                                match guarded(metrics, || op.on_page(port, page, ctx)) {
+                                    Ok(()) => {
+                                        route_node(
+                                            ctx,
+                                            ports,
+                                            metrics,
+                                            false,
+                                            self.recovery.as_mut(),
+                                        );
+                                        if let Some(rec) = self.recovery.as_mut() {
+                                            rec.puncts_since_checkpoint += punctuations;
+                                        }
+                                        self.maybe_checkpoint(op, metrics)?;
+                                    }
+                                    Err(err) => {
+                                        self.handle_data_failure(err, op, ports, metrics, ctx)?;
+                                        // Whether restored (replay pending)
+                                        // or tombstoned (now draining), the
+                                        // sweep must not continue.
+                                        interrupted = true;
+                                        break;
+                                    }
+                                }
                             }
                             DataPoll::Message(QueueMessage::EndOfStream) | DataPoll::Closed => {
                                 progressed = true;
@@ -252,6 +539,11 @@ impl NodeMachine {
                             }
                             DataPoll::Empty => {}
                         }
+                    }
+                    if interrupted {
+                        spent += 1;
+                        acted = true;
+                        continue;
                     }
                     if (0..ports.in_count()).all(|s| !ports.in_open(s)) {
                         self.flush(op, ports, metrics, ctx)?;
@@ -286,6 +578,159 @@ impl NodeMachine {
         }
     }
 
+    /// Re-dispatches one retained page during recovery replay.  Returns
+    /// `false` when the replay suffix is exhausted (the cursor is cleared and
+    /// normal consumption may resume).
+    fn replay_one<P: LifecyclePorts>(
+        &mut self,
+        op: &mut dyn Operator,
+        ports: &mut P,
+        metrics: &mut OperatorMetrics,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<bool> {
+        let rec = self.recovery.as_mut().expect("replay requires a recovery state");
+        let cursor = rec.replay_cursor.expect("replay_one requires an active cursor");
+        if cursor >= rec.retained.len() {
+            rec.replay_cursor = None;
+            return Ok(false);
+        }
+        let (slot, page) = {
+            let (slot, page) = &rec.retained[cursor];
+            (*slot, page.clone())
+        };
+        rec.replay_cursor = Some(cursor + 1);
+        // Replayed pages count as replay work, not fresh input — the
+        // pages_in / tuples_in counters already saw them.
+        metrics.tuples_replayed += page.tuple_count() as u64;
+        let port = ports.in_port(slot);
+        match guarded(metrics, || op.on_page(port, page, ctx)) {
+            Ok(()) => {
+                route_node(ctx, ports, metrics, false, self.recovery.as_mut());
+                Ok(true)
+            }
+            Err(err) => {
+                // Crashing again mid-replay burns another restart (or the
+                // budget): restore rewinds the cursor to 0.
+                self.handle_data_failure(err, op, ports, metrics, ctx)?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Resolves a data-path failure: restart in place when the budget allows,
+    /// tombstone under quarantine, abort otherwise.
+    fn handle_data_failure<P: LifecyclePorts>(
+        &mut self,
+        err: EngineError,
+        op: &mut dyn Operator,
+        ports: &mut P,
+        metrics: &mut OperatorMetrics,
+        ctx: &mut OperatorContext,
+    ) -> EngineResult<FailureOutcome> {
+        // Whatever the failed callback half-emitted must never reach
+        // downstream: the replay will regenerate it deterministically.
+        ctx.clear();
+        let can_restart = self.recovery.as_ref().is_some_and(|r| r.attempts < r.max_restarts);
+        if !can_restart {
+            if self.quarantine {
+                self.tombstone(err, ports, metrics, ctx);
+                return Ok(FailureOutcome::Tombstoned);
+            }
+            return Err(err);
+        }
+        let rec = self.recovery.as_mut().expect("can_restart implies a recovery state");
+        rec.attempts += 1;
+        metrics.restarts += 1;
+        if !rec.backoff.is_zero() {
+            std::thread::sleep(rec.backoff * rec.attempts);
+        }
+        // `StateEntry` payloads are not clonable, so restoring consumes the
+        // snapshot; a fresh checkpoint of the just-restored operator refills
+        // it for the *next* failure.
+        let snapshot = std::mem::take(&mut rec.snapshot);
+        let restored = guarded(metrics, || op.restore(snapshot))
+            .and_then(|()| guarded(metrics, || op.checkpoint()));
+        match restored {
+            Ok(refreshed) => {
+                let rec = self.recovery.as_mut().expect("recovery state persists");
+                rec.snapshot = refreshed;
+                // Everything delivered since the checkpoint will be
+                // regenerated by the replay and must be suppressed.  The
+                // pushed counters keep accumulating across nested restarts
+                // (they reset only at a checkpoint).
+                rec.skip_out = rec.pushed_out.clone();
+                rec.skip_ctl = rec.pushed_ctl.clone();
+                rec.refresh_skipping();
+                rec.replay_cursor = Some(0);
+                Ok(FailureOutcome::Restored)
+            }
+            Err(restore_err) => {
+                // A broken restore path is unrecoverable regardless of the
+                // remaining budget.
+                if self.quarantine {
+                    self.tombstone(restore_err, ports, metrics, ctx);
+                    Ok(FailureOutcome::Tombstoned)
+                } else {
+                    Err(restore_err)
+                }
+            }
+        }
+    }
+
+    /// Tombstones a failed operator: records the terminal failure, drains
+    /// its branch (EOS downstream, Shutdown upstream) and enters the drain
+    /// phase, letting the rest of the plan finish normally.  The operator's
+    /// callbacks are never invoked again (no `on_flush` — it is broken).
+    fn tombstone<P: LifecyclePorts>(
+        &mut self,
+        err: EngineError,
+        ports: &mut P,
+        metrics: &mut OperatorMetrics,
+        ctx: &mut OperatorContext,
+    ) {
+        metrics.failure = Some(err.to_string());
+        ctx.clear();
+        for slot in 0..ports.out_count() {
+            ports.flush_out(slot, metrics);
+            ports.send_eos(slot);
+        }
+        for slot in 0..ports.in_count() {
+            ports.send_control(slot, ControlMessage::Shutdown);
+            ports.close_in(slot);
+        }
+        self.phase = Phase::Draining;
+    }
+
+    /// Takes a checkpoint when the punctuation epoch (or the retention
+    /// backstop) says one is due.  Never fires mid-replay — the snapshot
+    /// must correspond to a fully caught-up operator.
+    fn maybe_checkpoint(
+        &mut self,
+        op: &mut dyn Operator,
+        metrics: &mut OperatorMetrics,
+    ) -> EngineResult<()> {
+        let Some(rec) = self.recovery.as_mut() else { return Ok(()) };
+        if rec.replay_cursor.is_some() {
+            return Ok(());
+        }
+        let due = (rec.checkpoint_interval > 0
+            && rec.puncts_since_checkpoint >= rec.checkpoint_interval)
+            || rec.retained.len() >= MAX_RETAINED_PAGES;
+        if !due {
+            return Ok(());
+        }
+        rec.snapshot = guarded(metrics, || op.checkpoint())?;
+        rec.retained.clear();
+        rec.puncts_since_checkpoint = 0;
+        rec.pushed_out.iter_mut().for_each(|c| *c = 0);
+        rec.skip_out.iter_mut().for_each(|c| *c = 0);
+        rec.pushed_ctl.iter_mut().for_each(|c| *c = 0);
+        rec.skip_ctl.iter_mut().for_each(|c| *c = 0);
+        rec.skipping = false;
+        metrics.checkpoints_taken += 1;
+        Ok(())
+    }
+
     /// The flush transition: `on_flush`, remaining partial pages, data
     /// end-of-stream everywhere, then enter the drain phase.  Never
     /// suspends; its sends ignore credit.
@@ -296,10 +741,8 @@ impl NodeMachine {
         metrics: &mut OperatorMetrics,
         ctx: &mut OperatorContext,
     ) -> EngineResult<()> {
-        let timer = Instant::now();
-        op.on_flush(ctx)?;
-        metrics.busy += timer.elapsed();
-        route_node(ctx, ports, metrics, false);
+        guarded(metrics, || op.on_flush(ctx))?;
+        route_node(ctx, ports, metrics, false, self.recovery.as_mut());
         for slot in 0..ports.out_count() {
             ports.flush_out(slot, metrics);
             ports.send_eos(slot);
@@ -312,6 +755,13 @@ impl NodeMachine {
 /// Drains every pending control message from downstream, dispatching
 /// feedback and result requests to the operator with priority.  Returns
 /// whether anything was processed.
+///
+/// Control-path emissions route without recovery suppression: they are not
+/// part of the retained-page replay, so feedback-receiving operators cannot
+/// be restarted (see [`crate::Operator::restartable`]).  A `Shutdown` is
+/// offered to [`crate::Operator::absorb_shutdown`] first — a shared fan-out
+/// absorbs it per-port (detaching one quarantined consumer) instead of
+/// tearing the whole operator down.
 pub(crate) fn process_control<P: LifecyclePorts>(
     op: &mut dyn Operator,
     ports: &mut P,
@@ -328,18 +778,26 @@ pub(crate) fn process_control<P: LifecyclePorts>(
                     progressed = true;
                     metrics.feedback_in += 1;
                     let port = ports.out_port(slot);
-                    op.on_feedback(port, fb, ctx)?;
-                    route_node(ctx, ports, metrics, after_eos);
+                    guarded(metrics, || op.on_feedback(port, fb, ctx))?;
+                    route_node(ctx, ports, metrics, after_eos, None);
                 }
                 ControlPoll::Message(ControlMessage::RequestResults) => {
                     progressed = true;
                     let port = ports.out_port(slot);
-                    op.on_request_results(port, ctx)?;
-                    route_node(ctx, ports, metrics, after_eos);
+                    guarded(metrics, || op.on_request_results(port, ctx))?;
+                    route_node(ctx, ports, metrics, after_eos, None);
                 }
                 ControlPoll::Message(ControlMessage::Shutdown) => {
                     progressed = true;
-                    *shutdown = true;
+                    let port = ports.out_port(slot);
+                    let absorbed = guarded(metrics, || Ok(op.absorb_shutdown(port, ctx)))?;
+                    // Absorbing may release pending feedback to relay (a
+                    // fan-out detach re-evaluates its unanimity lattice) —
+                    // route it even when the shutdown still propagates.
+                    route_node(ctx, ports, metrics, after_eos, None);
+                    if !absorbed {
+                        *shutdown = true;
+                    }
                 }
                 ControlPoll::Message(ControlMessage::EndOfStream) | ControlPoll::Closed => {
                     progressed = true;
@@ -358,50 +816,122 @@ pub(crate) fn process_control<P: LifecyclePorts>(
 /// post-flush feedback callbacks) are counted but cannot be delivered.
 /// Undeliverable feedback — unconnected port, or upstream gone — is counted
 /// in `feedback_dropped`, never silently lost.
+///
+/// With a `recovery` state attached, deliveries the replay regenerates are
+/// suppressed against the per-slot skip credits (without re-counting them in
+/// the metrics), and fresh deliveries are recorded so a later restart knows
+/// what downstream has already seen.
 pub(crate) fn route_node<P: LifecyclePorts>(
     ctx: &mut OperatorContext,
     ports: &mut P,
     metrics: &mut OperatorMetrics,
     after_eos: bool,
+    mut recovery: Option<&mut RecoveryState>,
 ) {
-    ctx.drain_emissions(|port, emission| {
-        let deliverable = ports.out_slot(port).filter(|&s| !after_eos && ports.out_data_open(s));
-        match emission {
-            Emission::Item(item) => {
-                match &item {
-                    StreamItem::Tuple(_) => metrics.tuples_out += 1,
-                    StreamItem::Punctuation(_) => metrics.punctuations_out += 1,
+    let replaying = recovery.as_deref().is_some_and(RecoveryState::replaying);
+    // The emission drain is the per-tuple hot path (operators like SELECT
+    // emit item-by-item), so it is specialized on the recovery state once
+    // per call rather than re-testing the `Option` on every emission: the
+    // fail-fast arm is the pre-supervision path unchanged, and the
+    // supervised arm borrows the state directly.
+    match recovery.as_deref_mut() {
+        None => ctx.drain_emissions(|port, emission| {
+            let deliverable =
+                ports.out_slot(port).filter(|&s| !after_eos && ports.out_data_open(s));
+            match emission {
+                Emission::Item(item) => {
+                    match &item {
+                        StreamItem::Tuple(_) => metrics.tuples_out += 1,
+                        StreamItem::Punctuation(_) => metrics.punctuations_out += 1,
+                    }
+                    if let Some(slot) = deliverable {
+                        ports.push_item(slot, item, metrics);
+                    }
+                    // Undeliverable (unconnected sink side-channel, hung-up
+                    // consumer, post-EOS emission): counted and dropped.
                 }
-                // Unconnected output (sink side-channel), hung-up consumer,
-                // or post-EOS emission: count and drop.
-                if let Some(slot) = deliverable {
-                    ports.push_item(slot, item, metrics);
+                Emission::Page(page) => {
+                    metrics.tuples_out += page.tuple_count() as u64;
+                    metrics.punctuations_out += page.punctuation_count() as u64;
+                    if let Some(slot) = deliverable {
+                        ports.push_page(slot, page, metrics);
+                    }
                 }
             }
-            Emission::Page(page) => {
-                metrics.tuples_out += page.tuple_count() as u64;
-                metrics.punctuations_out += page.punctuation_count() as u64;
-                if let Some(slot) = deliverable {
-                    ports.push_page(slot, page, metrics);
+        }),
+        Some(rec) => ctx.drain_emissions(|port, emission| {
+            let deliverable =
+                ports.out_slot(port).filter(|&s| !after_eos && ports.out_data_open(s));
+            match emission {
+                Emission::Item(item) => {
+                    if let Some(slot) = deliverable {
+                        if rec.suppress_out(slot) {
+                            return;
+                        }
+                        match &item {
+                            StreamItem::Tuple(_) => metrics.tuples_out += 1,
+                            StreamItem::Punctuation(_) => metrics.punctuations_out += 1,
+                        }
+                        ports.push_item(slot, item, metrics);
+                        rec.record_out(slot);
+                    } else if !replaying {
+                        // Count and drop — but only once, not again when a
+                        // replay regenerates the emission.
+                        match &item {
+                            StreamItem::Tuple(_) => metrics.tuples_out += 1,
+                            StreamItem::Punctuation(_) => metrics.punctuations_out += 1,
+                        }
+                    }
+                }
+                Emission::Page(page) => {
+                    if let Some(slot) = deliverable {
+                        if rec.suppress_out(slot) {
+                            return;
+                        }
+                        metrics.tuples_out += page.tuple_count() as u64;
+                        metrics.punctuations_out += page.punctuation_count() as u64;
+                        ports.push_page(slot, page, metrics);
+                        rec.record_out(slot);
+                    } else if !replaying {
+                        metrics.tuples_out += page.tuple_count() as u64;
+                        metrics.punctuations_out += page.punctuation_count() as u64;
+                    }
                 }
             }
-        }
-    });
+        }),
+    }
     for (input, fb) in ctx.take_feedback() {
         match ports.in_slot(input) {
             Some(slot) => {
+                if recovery.as_deref_mut().is_some_and(|r| r.suppress_ctl(slot)) {
+                    continue;
+                }
                 if ports.send_control(slot, ControlMessage::Feedback(fb)) {
                     metrics.feedback_out += 1;
+                    if let Some(rec) = recovery.as_deref_mut() {
+                        rec.record_ctl(slot);
+                    }
                 } else {
                     metrics.feedback_dropped += 1;
                 }
             }
-            None => metrics.feedback_dropped += 1,
+            None => {
+                if !replaying {
+                    metrics.feedback_dropped += 1;
+                }
+            }
         }
     }
     for input in ctx.take_result_requests() {
         if let Some(slot) = ports.in_slot(input) {
-            ports.send_control(slot, ControlMessage::RequestResults);
+            if recovery.as_deref_mut().is_some_and(|r| r.suppress_ctl(slot)) {
+                continue;
+            }
+            if ports.send_control(slot, ControlMessage::RequestResults) {
+                if let Some(rec) = recovery.as_deref_mut() {
+                    rec.record_ctl(slot);
+                }
+            }
         }
     }
     // Broadcasts: control punctuation to every connected output (a
@@ -416,7 +946,9 @@ pub(crate) fn route_node<P: LifecyclePorts>(
             (0..ports.out_count()).filter(|&s| ports.out_data_open(s)).collect()
         };
         if targets.is_empty() {
-            metrics.punctuations_out += 1; // count-and-drop, as for port emissions
+            if !replaying {
+                metrics.punctuations_out += 1; // count-and-drop, as for port emissions
+            }
             continue;
         }
         let mut remaining = Some(punctuation);
@@ -427,13 +959,21 @@ pub(crate) fn route_node<P: LifecyclePorts>(
             } else {
                 remaining.as_ref().expect("clones precede the move").clone()
             };
+            if recovery.as_deref_mut().is_some_and(|r| r.suppress_out(slot)) {
+                continue;
+            }
             metrics.punctuations_out += 1;
             ports.push_item(slot, StreamItem::Punctuation(copy), metrics);
+            if let Some(rec) = recovery.as_deref_mut() {
+                rec.record_out(slot);
+            }
         }
     }
     for fb in ctx.take_broadcast_feedback() {
         if ports.in_count() == 0 {
-            metrics.feedback_dropped += 1;
+            if !replaying {
+                metrics.feedback_dropped += 1;
+            }
             continue;
         }
         let mut remaining = Some(fb);
@@ -444,8 +984,14 @@ pub(crate) fn route_node<P: LifecyclePorts>(
             } else {
                 remaining.as_ref().expect("clones precede the move").clone()
             };
+            if recovery.as_deref_mut().is_some_and(|r| r.suppress_ctl(slot)) {
+                continue;
+            }
             if ports.send_control(slot, ControlMessage::Feedback(copy)) {
                 metrics.feedback_out += 1;
+                if let Some(rec) = recovery.as_deref_mut() {
+                    rec.record_ctl(slot);
+                }
             } else {
                 metrics.feedback_dropped += 1;
             }

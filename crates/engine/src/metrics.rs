@@ -47,6 +47,21 @@ pub struct OperatorMetrics {
     /// each input poll.  Populated by all three executors; sources (no
     /// inputs) report 0.
     pub max_queue_depth: u64,
+    /// Supervised restarts performed for this operator: each one restored
+    /// the last punctuation-epoch checkpoint and replayed the retained
+    /// post-checkpoint suffix.  0 for fail-fast operators (the default).
+    pub restarts: u64,
+    /// Checkpoints taken at punctuation-epoch boundaries (only operators
+    /// under a `Restart` recovery policy take checkpoints).
+    pub checkpoints_taken: u64,
+    /// Tuples re-dispatched from the retention buffer during restarts.
+    pub tuples_replayed: u64,
+    /// Terminal failure detail for a quarantined operator: set when the
+    /// operator exhausted its restart budget under quarantine mode and was
+    /// tombstoned (its branch drained) instead of aborting the run.  `None`
+    /// for healthy operators and for fail-fast aborts (those surface as the
+    /// run's error instead).
+    pub failure: Option<String>,
     /// Feedback-layer statistics reported by the operator, if any.
     pub feedback: FeedbackStats,
     /// Elastic-stage statistics, reported by the operator coordinating an
@@ -68,6 +83,21 @@ pub struct ElasticStats {
     /// Committed `(epoch, partitions)` pairs, in commit order — the stage's
     /// width history.
     pub epochs: Vec<(u64, usize)>,
+}
+
+/// Run-wide recovery counters, aggregated over every operator's metrics —
+/// see [`crate::executor::ExecutionReport::recovery`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Total supervised restarts across all operators.
+    pub restarts: u64,
+    /// Total punctuation-epoch checkpoints taken.
+    pub checkpoints_taken: u64,
+    /// Total tuples re-dispatched from retention buffers during restarts.
+    pub tuples_replayed: u64,
+    /// Names of operators tombstoned after exhausting their restart budget
+    /// (quarantine mode), with their terminal failure details.
+    pub quarantined: Vec<(String, String)>,
 }
 
 /// Pool-wide scheduler counters, reported by the pooled executor (see

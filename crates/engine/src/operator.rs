@@ -250,6 +250,19 @@ impl OperatorContext {
     pub fn take_broadcast_feedback(&mut self) -> Vec<FeedbackPunctuation> {
         std::mem::take(&mut self.broadcast_feedback)
     }
+
+    /// Discards every buffered output — emissions, feedback, result requests
+    /// and broadcasts — keeping the buffers' capacity.  The recovery path
+    /// uses this after a failed callback so half-produced output from the
+    /// failed dispatch never reaches downstream; the replayed suffix
+    /// regenerates it.
+    pub fn clear(&mut self) {
+        self.emitted.clear();
+        self.feedback.clear();
+        self.request_results.clear();
+        self.broadcast_punctuations.clear();
+        self.broadcast_feedback.clear();
+    }
 }
 
 /// A stream operator.
@@ -431,6 +444,61 @@ pub trait Operator: Send {
     /// end of the run, if this operator coordinates an elastic stage.
     fn elastic_stats(&self) -> Option<crate::metrics::ElasticStats> {
         None
+    }
+
+    /// Whether this operator supports supervised restart: its
+    /// [`Operator::checkpoint`] / [`Operator::restore`] pair round-trips its
+    /// entire observable state, and it holds no obligations the recovery
+    /// replay cannot regenerate.  [`crate::QueryPlan::validate`] rejects a
+    /// [`crate::RecoveryPolicy::Restart`] policy on a non-restartable
+    /// operator.  The default is `false`; stateless operators and those with
+    /// a full checkpoint implementation opt in.
+    fn restartable(&self) -> bool {
+        false
+    }
+
+    /// Snapshots this operator's state for supervised recovery, *without*
+    /// draining it (unlike [`Operator::export_state`], which is a migration
+    /// hand-off).  Called at punctuation-epoch boundaries; the snapshot must
+    /// capture everything [`Operator::restore`] needs to make a failed
+    /// instance behave as if it had just consumed the checkpointed prefix.
+    /// Recovery snapshots need no per-key routing, so a single entry holding
+    /// the whole state (with an empty key) is fine.  The default — for
+    /// stateless operators — snapshots nothing.
+    fn checkpoint(&self) -> EngineResult<Vec<StateEntry>> {
+        Ok(Vec::new())
+    }
+
+    /// Resets this operator to its initial state and reinstalls a
+    /// [`Operator::checkpoint`] snapshot.  Called with an empty set when the
+    /// failure predates the first checkpoint (full reset).  The default
+    /// accepts only the empty set.
+    fn restore(&mut self, entries: Vec<StateEntry>) -> EngineResult<()> {
+        if entries.is_empty() {
+            Ok(())
+        } else {
+            Err(crate::error::EngineError::OperatorFailed {
+                operator: self.name().to_string(),
+                detail: format!(
+                    "operator cannot restore {} checkpointed state entries (no restore impl)",
+                    entries.len()
+                ),
+            })
+        }
+    }
+
+    /// Whether this operator absorbs a sourceward
+    /// [`crate::ControlMessage::Shutdown`] arriving on the given output
+    /// port's control channel instead of shutting down itself.
+    ///
+    /// A shared fan-out absorbs per-port shutdowns — a failed (quarantined)
+    /// query branch tears itself down toward the fan-out, which detaches
+    /// that port (relaying any feedback the detach releases via `ctx`) and
+    /// keeps serving its siblings.  The default `false` keeps the
+    /// pre-recovery behaviour: any Shutdown stops the whole operator.
+    fn absorb_shutdown(&mut self, output: usize, ctx: &mut OperatorContext) -> bool {
+        let _ = (output, ctx);
+        false
     }
 
     /// A structural fingerprint for plan-prefix deduplication, if this

@@ -22,6 +22,55 @@
 use crate::operator::StreamItem;
 use dsms_punctuation::Punctuation;
 use dsms_types::{ColumnSummary, Tuple, Value};
+use std::sync::Arc;
+
+/// The row lane's representation: exclusively owned while a page is being
+/// built (the common case — no indirection, no refcount), or shared after
+/// [`ColumnarPage::share`] split off a second handle (supervised recovery
+/// retains each input page this way: the retained copy and the dispatched
+/// page reference one row allocation, so retention is O(1) per page instead
+/// of a refcount bump per tuple).
+#[derive(Debug, Clone)]
+enum Rows {
+    Owned(Vec<Tuple>),
+    Shared(Arc<Vec<Tuple>>),
+}
+
+impl Default for Rows {
+    fn default() -> Self {
+        Rows::Owned(Vec::new())
+    }
+}
+
+impl Rows {
+    fn as_slice(&self) -> &[Tuple] {
+        match self {
+            Rows::Owned(rows) => rows,
+            Rows::Shared(rows) => rows,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// Mutable access, unsharing first if a second handle exists (only the
+    /// builder mutates rows, and it never shares, so the unshare path is a
+    /// defensive fallback rather than a hot path).
+    fn to_mut(&mut self) -> &mut Vec<Tuple> {
+        if let Rows::Shared(rows) = self {
+            *self = Rows::Owned(rows.to_vec());
+        }
+        match self {
+            Rows::Owned(rows) => rows,
+            Rows::Shared(_) => unreachable!("unshared above"),
+        }
+    }
+}
 
 /// A batch of stream items in columnar layout: a contiguous row lane of
 /// tuples plus a punctuation side lane that remembers where each punctuation
@@ -57,7 +106,7 @@ use dsms_types::{ColumnSummary, Tuple, Value};
 #[derive(Debug, Clone, Default)]
 pub struct ColumnarPage {
     /// The data lane: tuples in arrival order.
-    rows: Vec<Tuple>,
+    rows: Rows,
     /// The punctuation lane: each entry records how many rows preceded the
     /// punctuation, so interleaved arrival order can be replayed exactly.
     puncts: Vec<(u32, Punctuation)>,
@@ -88,17 +137,33 @@ impl ColumnarPage {
     }
 
     fn push_tuple(&mut self, tuple: Tuple) {
-        self.rows.push(tuple);
+        self.rows.to_mut().push(tuple);
     }
 
     fn push_punctuation(&mut self, punctuation: Punctuation) {
         self.puncts.push((self.rows.len() as u32, punctuation));
     }
 
+    /// Splits off a second handle to this page: the returned page holds the
+    /// same content, and both handles reference **one** row allocation (the
+    /// row lane switches to its shared representation; the small punctuation
+    /// lane is cloned).  Supervised recovery retains each input page this
+    /// way before dispatching it — O(1) per page, where a `clone()` of an
+    /// owned page costs a refcount bump per tuple.
+    pub(crate) fn share(&mut self) -> ColumnarPage {
+        let rows = match std::mem::take(&mut self.rows) {
+            Rows::Owned(rows) => Arc::new(rows),
+            Rows::Shared(rows) => rows,
+        };
+        let copy = ColumnarPage { rows: Rows::Shared(rows.clone()), puncts: self.puncts.clone() };
+        self.rows = Rows::Shared(rows);
+        copy
+    }
+
     /// The row lane: every tuple on the page, in arrival order, as whole
     /// zero-copy [`Tuple`] handles.
     pub fn tuples(&self) -> &[Tuple] {
-        &self.rows
+        self.rows.as_slice()
     }
 
     /// The punctuation lane, in arrival order.
@@ -112,10 +177,11 @@ impl ColumnarPage {
     /// the same condition under which [`ColumnarPage::column_summary`]
     /// declines to summarize.
     pub fn column(&self, index: usize) -> Option<impl Iterator<Item = &Value>> {
-        if self.rows.is_empty() || self.rows.iter().any(|r| r.values().get(index).is_none()) {
+        let rows = self.rows.as_slice();
+        if rows.is_empty() || rows.iter().any(|r| r.values().get(index).is_none()) {
             return None;
         }
-        Some(self.rows.iter().map(move |r| &r.values()[index]))
+        Some(rows.iter().map(move |r| &r.values()[index]))
     }
 
     /// Min/max/null summary of one column, computed on demand.
@@ -140,7 +206,7 @@ impl ColumnarPage {
     /// assert!(page.column_summary(7).is_none(), "no such column");
     /// ```
     pub fn column_summary(&self, index: usize) -> Option<ColumnSummary> {
-        ColumnSummary::over_column(&self.rows, index)
+        ColumnSummary::over_column(self.rows.as_slice(), index)
     }
 
     /// Consumes the page, yielding interleaved items in arrival order.
@@ -169,11 +235,40 @@ impl ColumnarPage {
     }
 }
 
+/// Row-lane iterator backing [`PageIter`]: moves handles out of an
+/// exclusively owned lane, or clones them out of a shared one (a retained
+/// recovery copy still references the allocation).
+#[derive(Debug)]
+enum RowsIter {
+    Owned(std::vec::IntoIter<Tuple>),
+    Shared { rows: Arc<Vec<Tuple>>, next: usize },
+}
+
+impl RowsIter {
+    fn next(&mut self) -> Option<Tuple> {
+        match self {
+            RowsIter::Owned(rows) => rows.next(),
+            RowsIter::Shared { rows, next } => {
+                let tuple = rows.get(*next)?.clone();
+                *next += 1;
+                Some(tuple)
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            RowsIter::Owned(rows) => rows.len(),
+            RowsIter::Shared { rows, next } => rows.len() - next,
+        }
+    }
+}
+
 /// Order-preserving iterator over a page's items: merges the row lane and
 /// the punctuation lane back into arrival order.
 #[derive(Debug)]
 pub struct PageIter {
-    rows: std::vec::IntoIter<Tuple>,
+    rows: RowsIter,
     puncts: std::vec::IntoIter<(u32, Punctuation)>,
     emitted_rows: u32,
 }
@@ -206,7 +301,16 @@ impl IntoIterator for ColumnarPage {
     type IntoIter = PageIter;
 
     fn into_iter(self) -> PageIter {
-        PageIter { rows: self.rows.into_iter(), puncts: self.puncts.into_iter(), emitted_rows: 0 }
+        let rows = match self.rows {
+            Rows::Owned(rows) => RowsIter::Owned(rows.into_iter()),
+            // A uniquely held shared lane (the peer handle is gone) still
+            // moves its handles out; only a live peer forces clone-out.
+            Rows::Shared(rows) => match Arc::try_unwrap(rows) {
+                Ok(rows) => RowsIter::Owned(rows.into_iter()),
+                Err(rows) => RowsIter::Shared { rows, next: 0 },
+            },
+        };
+        PageIter { rows, puncts: self.puncts.into_iter(), emitted_rows: 0 }
     }
 }
 
@@ -243,10 +347,11 @@ impl PageBuilder {
     /// punctuation landing on an empty page would turn a 1-item page into a
     /// capacity-sized allocation.
     pub fn push_tuple(&mut self, tuple: Tuple) -> Option<Page> {
-        if self.current.rows.capacity() == 0 {
-            self.current.rows.reserve_exact(self.capacity);
+        let rows = self.current.rows.to_mut();
+        if rows.capacity() == 0 {
+            rows.reserve_exact(self.capacity);
         }
-        self.current.push_tuple(tuple);
+        rows.push(tuple);
         if self.current.len() >= self.capacity {
             Some(self.take())
         } else {
@@ -405,6 +510,50 @@ mod tests {
         assert!(page.column(2).is_none(), "out-of-range column");
         assert!(page.column_summary(2).is_none());
         assert!(Page::new().column(0).is_none(), "empty page has no columns");
+    }
+
+    #[test]
+    fn share_splits_one_row_allocation_between_two_handles() {
+        let mut b = PageBuilder::new(8);
+        b.push_tuple(tuple(1, 10));
+        b.push_tuple(tuple(2, 20));
+        let mut page = b.push_punctuation(punct(2));
+        let copy = page.share();
+        assert_eq!(copy.tuple_count(), page.tuple_count());
+        assert_eq!(copy.punctuation_count(), page.punctuation_count());
+        // Both handles iterate the full content even while the peer lives.
+        let values: Vec<i64> = copy.tuples().iter().map(|t| t.int("v").unwrap()).collect();
+        assert_eq!(values, vec![10, 20]);
+        assert_eq!(page.clone().into_items().len(), 3, "clone-out path under a live peer");
+        drop(page);
+        // With the peer gone, into_iter moves handles out again.
+        assert_eq!(copy.into_items().len(), 3);
+    }
+
+    #[test]
+    fn shared_page_iterates_in_arrival_order() {
+        let mut page = Page::from_items(vec![
+            StreamItem::Punctuation(punct(0)),
+            StreamItem::Tuple(tuple(1, 10)),
+            StreamItem::Punctuation(punct(1)),
+            StreamItem::Tuple(tuple(2, 20)),
+        ]);
+        let retained = page.share();
+        let shape = |p: Page| -> Vec<bool> {
+            p.into_items().iter().map(|i| matches!(i, StreamItem::Tuple(_))).collect()
+        };
+        let expected = vec![false, true, false, true];
+        assert_eq!(shape(page), expected, "clone-out iteration preserves arrival order");
+        assert_eq!(shape(retained), expected, "the retained copy replays identically");
+    }
+
+    #[test]
+    fn mutating_a_shared_page_unshares_it_first() {
+        let mut page = Page::from_items(vec![StreamItem::Tuple(tuple(1, 10))]);
+        let retained = page.share();
+        page.push_tuple(tuple(2, 20));
+        assert_eq!(page.tuple_count(), 2);
+        assert_eq!(retained.tuple_count(), 1, "the retained copy is unaffected");
     }
 
     #[test]

@@ -47,6 +47,33 @@ pub struct PlanParts {
     pub queue_capacity: usize,
     /// The plan's pooled-executor worker count, if configured.
     pub pool_size: Option<usize>,
+    /// Per-node recovery policies, in node-id order.
+    pub recovery: Vec<RecoveryPolicy>,
+    /// Per-node quarantine flags, in node-id order.
+    pub quarantine: Vec<bool>,
+}
+
+/// What the executor does when an operator's data-path callback fails
+/// (returns an error or panics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Abort the run with a named [`EngineError::OperatorFailed`] (the
+    /// default, and the only behaviour before supervised recovery existed).
+    #[default]
+    FailFast,
+    /// Restore the operator's last punctuation-epoch checkpoint and replay
+    /// the retained post-checkpoint input suffix, up to `max_restarts` times.
+    /// Each retry sleeps `backoff × attempt` first (attempt counting from 1;
+    /// `Duration::ZERO` retries immediately — the right choice for the sync
+    /// executor and for tests).  An operator under this policy must declare
+    /// [`Operator::restartable`].
+    Restart {
+        /// Restart budget; once exhausted the failure becomes terminal
+        /// (fail-fast abort, or a tombstone when the node is quarantined).
+        max_restarts: u32,
+        /// Base delay between attempts, scaled linearly by attempt number.
+        backoff: std::time::Duration,
+    },
 }
 
 /// A connection between two operators.
@@ -82,6 +109,17 @@ pub struct QueryPlan {
     /// node index → preferred pooled-executor worker (hint, taken modulo the
     /// actual pool size).  Kept in lockstep with `nodes` by `add_boxed`.
     pub(crate) pins: Vec<Option<usize>>,
+    /// node index → recovery policy.  Kept in lockstep with `nodes`.
+    pub(crate) recovery: Vec<RecoveryPolicy>,
+    /// node index → quarantine flag: when set, a terminal failure of the
+    /// node tombstones it (drains its branch, records the failure in its
+    /// metrics) instead of aborting the whole run.  Kept in lockstep with
+    /// `nodes`.
+    pub(crate) quarantine: Vec<bool>,
+    /// Punctuation-epoch length between checkpoints for operators under a
+    /// `Restart` policy; 0 disables checkpointing (restarts restore the
+    /// initial state and replay everything retained).
+    pub(crate) checkpoint_interval: u64,
 }
 
 impl Default for QueryPlan {
@@ -125,8 +163,15 @@ impl QueryPlan {
             queue_capacity: DataQueue::DEFAULT_CAPACITY,
             pool_size: None,
             pins: Vec::new(),
+            recovery: Vec::new(),
+            quarantine: Vec::new(),
+            checkpoint_interval: Self::DEFAULT_CHECKPOINT_INTERVAL,
         }
     }
+
+    /// Default punctuation-epoch length between checkpoints (see
+    /// [`QueryPlan::with_checkpoint_interval`]).
+    pub const DEFAULT_CHECKPOINT_INTERVAL: u64 = 4;
 
     /// Sets the tuples-per-page capacity used on every connection.
     pub fn with_page_capacity(mut self, capacity: usize) -> Self {
@@ -191,6 +236,75 @@ impl QueryPlan {
         self.pins.get(node.0).copied().flatten()
     }
 
+    /// Sets the recovery policy for an operator (the default is
+    /// [`RecoveryPolicy::FailFast`]).  [`QueryPlan::validate`] rejects a
+    /// `Restart` policy on an operator that does not declare
+    /// [`Operator::restartable`].
+    pub fn set_recovery(&mut self, node: NodeId, policy: RecoveryPolicy) -> EngineResult<()> {
+        match self.recovery.get_mut(node.0) {
+            Some(slot) => {
+                *slot = policy;
+                Ok(())
+            }
+            None => Err(EngineError::InvalidPlan {
+                detail: format!(
+                    "cannot set a recovery policy on {node:?}: the node does not exist (the plan \
+                     has {} nodes)",
+                    self.nodes.len()
+                ),
+            }),
+        }
+    }
+
+    /// The recovery policy of an operator ([`RecoveryPolicy::FailFast`] when
+    /// never set).
+    pub fn recovery_policy(&self, node: NodeId) -> RecoveryPolicy {
+        self.recovery.get(node.0).copied().unwrap_or_default()
+    }
+
+    /// Marks an operator as quarantinable: a terminal failure (fail-fast, or
+    /// a `Restart` budget exhausted) tombstones the node — its branch is
+    /// drained cleanly and the failure recorded in the node's metrics
+    /// ([`crate::OperatorMetrics::failure`]) — instead of aborting the whole
+    /// run.  A multi-query manager sets this on every private node of a
+    /// registered query so one query's failure cannot take down its
+    /// siblings.
+    pub fn set_quarantine(&mut self, node: NodeId, quarantine: bool) -> EngineResult<()> {
+        match self.quarantine.get_mut(node.0) {
+            Some(slot) => {
+                *slot = quarantine;
+                Ok(())
+            }
+            None => Err(EngineError::InvalidPlan {
+                detail: format!(
+                    "cannot quarantine {node:?}: the node does not exist (the plan has {} nodes)",
+                    self.nodes.len()
+                ),
+            }),
+        }
+    }
+
+    /// Whether an operator is quarantinable.
+    pub fn quarantined_on_failure(&self, node: NodeId) -> bool {
+        self.quarantine.get(node.0).copied().unwrap_or(false)
+    }
+
+    /// Sets the punctuation-epoch length between checkpoints for operators
+    /// under a [`RecoveryPolicy::Restart`] policy: a checkpoint is taken once
+    /// an operator has consumed `interval` punctuations since its last one,
+    /// aligning snapshots with the stream's punctuation epochs (the same
+    /// consistent-cut idea the elastic repartitioning handshake uses).  0
+    /// disables checkpointing entirely.
+    pub fn with_checkpoint_interval(mut self, interval: u64) -> Self {
+        self.checkpoint_interval = interval;
+        self
+    }
+
+    /// The punctuation-epoch checkpoint interval (0 = disabled).
+    pub fn checkpoint_interval(&self) -> u64 {
+        self.checkpoint_interval
+    }
+
     /// Adds an operator to the plan, returning its node id.
     pub fn add(&mut self, operator: impl Operator + 'static) -> NodeId {
         self.add_boxed(Box::new(operator))
@@ -206,6 +320,8 @@ impl QueryPlan {
             operator,
         });
         self.pins.push(None);
+        self.recovery.push(RecoveryPolicy::FailFast);
+        self.quarantine.push(false);
         id
     }
 
@@ -350,6 +466,19 @@ impl QueryPlan {
                         detail: format!("input port {port} of `{}` is not connected", node.name),
                     });
                 }
+            }
+            if matches!(self.recovery.get(idx), Some(RecoveryPolicy::Restart { .. }))
+                && !node.operator.restartable()
+            {
+                return Err(EngineError::InvalidPlan {
+                    detail: format!(
+                        "`{}` has a Restart recovery policy but is not restartable — the \
+                         operator must implement checkpoint/restore (and must not hold \
+                         unreplayable obligations such as builder-level feedback \
+                         subscriptions) to be supervised",
+                        node.name
+                    ),
+                });
             }
             if node.operator.must_connect_all_outputs() {
                 let connected = self.edges.iter().filter(|e| e.from == NodeId(idx)).count();
@@ -534,6 +663,8 @@ impl QueryPlan {
             page_capacity: self.page_capacity,
             queue_capacity: self.queue_capacity,
             pool_size: self.pool_size,
+            recovery: self.recovery,
+            quarantine: self.quarantine,
         }
     }
 

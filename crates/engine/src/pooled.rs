@@ -239,17 +239,34 @@ struct WorkerState {
     queue: Mutex<VecDeque<usize>>,
     waker: Waker,
     parked: std::sync::atomic::AtomicBool,
+    /// Task index this worker is currently stepping (`usize::MAX` = none).
+    /// Left in place if the worker thread dies, so the join path can report
+    /// which operator it was running.
+    current: AtomicUsize,
 }
 
 /// Pool state shared by all workers and every notification hook.
 struct Shared {
     tasks: Vec<Task>,
     workers: Vec<WorkerState>,
+    /// Operator names in task order, for worker-crash attribution.
+    names: Vec<String>,
     /// Tasks not yet DONE; the pool exits when this reaches zero.
     live: AtomicUsize,
     steals: AtomicU64,
     parks: AtomicU64,
     first_error: Mutex<Option<EngineError>>,
+}
+
+/// Error detail for a dead pool worker: which worker, and — when it died
+/// mid-step — which operator it was running.
+fn worker_panic_report(worker: usize, operator: Option<&str>) -> String {
+    match operator {
+        Some(name) => {
+            format!("pool worker {worker} panicked while running operator `{name}`")
+        }
+        None => format!("pool worker {worker} panicked between tasks"),
+    }
 }
 
 /// Queue-event hook: wakes (schedules) one task.  Holds the pool weakly so
@@ -364,6 +381,9 @@ fn worker_loop(shared: &Shared, me: usize) {
 fn run_task(shared: &Shared, me: usize, task_id: usize) {
     let task = &shared.tasks[task_id];
     task.state.store(RUNNING, Ordering::Release);
+    // Record what this worker is about to run; cleared on the way out.  A
+    // worker thread that dies leaves the marker behind for the join path.
+    shared.workers[me].current.store(task_id, Ordering::Release);
     let mut body = task.body.lock();
     let TaskBody { operator, ports, machine, metrics, ctx } = &mut *body;
     metrics.sched_steps += 1;
@@ -400,9 +420,14 @@ fn run_task(shared: &Shared, me: usize, task_id: usize) {
             finish_one(shared);
         }
         Ok(Err(err)) => {
-            let named = EngineError::OperatorFailed {
-                operator: metrics.operator.clone(),
-                detail: err.to_string(),
+            // The lifecycle's guarded dispatch already attributed the
+            // failure — keep its text identical across executors.
+            let named = match err {
+                named @ EngineError::OperatorFailed { .. } => named,
+                other => EngineError::OperatorFailed {
+                    operator: metrics.operator.clone(),
+                    detail: other.to_string(),
+                },
             };
             fail_task(shared, ports, named);
             drop(body);
@@ -420,6 +445,7 @@ fn run_task(shared: &Shared, me: usize, task_id: usize) {
             finish_one(shared);
         }
     }
+    shared.workers[me].current.store(usize::MAX, Ordering::Release);
 }
 
 /// Records the first error and tears the failed task's connections down so
@@ -511,6 +537,10 @@ impl PooledExecutor {
         let node_count = plan.nodes.len();
         let pins = std::mem::take(&mut plan.pins);
         let edges = plan.edges.clone();
+        let recovery_policies = plan.recovery.clone();
+        let quarantines = plan.quarantine.clone();
+        let checkpoint_interval = plan.checkpoint_interval;
+        let names: Vec<String> = plan.nodes.iter().map(|n| n.name.clone()).collect();
         let mut tasks: Vec<Task> = Vec::with_capacity(node_count);
         for (idx, node) in plan.nodes.drain(..).enumerate() {
             let mut inputs = Vec::new();
@@ -546,7 +576,12 @@ impl PooledExecutor {
                     metrics: OperatorMetrics::new(node.name),
                     operator: node.operator,
                     ports: PooledPorts { inputs, outputs, in_route, out_route },
-                    machine: NodeMachine::new(is_source),
+                    machine: NodeMachine::supervised(
+                        is_source,
+                        recovery_policies[idx],
+                        quarantines[idx],
+                        checkpoint_interval,
+                    ),
                     ctx: OperatorContext::new(),
                 }),
             });
@@ -559,8 +594,10 @@ impl PooledExecutor {
                     queue: Mutex::new(VecDeque::new()),
                     waker: Waker::new(),
                     parked: std::sync::atomic::AtomicBool::new(false),
+                    current: AtomicUsize::new(usize::MAX),
                 })
                 .collect(),
+            names,
             live: AtomicUsize::new(node_count),
             steals: AtomicU64::new(0),
             parks: AtomicU64::new(0),
@@ -599,18 +636,20 @@ impl PooledExecutor {
                 std::thread::spawn(move || worker_loop(&shared, w))
             })
             .collect();
-        let mut worker_panic = false;
-        for handle in handles {
-            worker_panic |= handle.join().is_err();
+        let mut worker_panic: Option<String> = None;
+        for (w, handle) in handles.into_iter().enumerate() {
+            if handle.join().is_err() && worker_panic.is_none() {
+                let at = shared.workers[w].current.load(Ordering::Acquire);
+                let operator = shared.names.get(at).map(String::as_str);
+                worker_panic = Some(worker_panic_report(w, operator));
+            }
         }
 
         if let Some(err) = shared.first_error.lock().take() {
             return Err(err);
         }
-        if worker_panic {
-            return Err(EngineError::ExecutionFailed {
-                detail: "pool worker thread panicked".into(),
-            });
+        if let Some(detail) = worker_panic {
+            return Err(EngineError::ExecutionFailed { detail });
         }
 
         let mut metrics = Vec::with_capacity(node_count);
@@ -631,5 +670,19 @@ impl PooledExecutor {
                 parks: shared.parks.load(Ordering::Relaxed),
             }),
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_panic_report_names_worker_and_operator() {
+        assert_eq!(
+            worker_panic_report(3, Some("join")),
+            "pool worker 3 panicked while running operator `join`"
+        );
+        assert_eq!(worker_panic_report(0, None), "pool worker 0 panicked between tasks");
     }
 }

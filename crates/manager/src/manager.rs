@@ -76,6 +76,10 @@ pub struct ManagerSummary {
     /// Per-query feedback statistics, aggregated over each query's private
     /// operators, in registration order.
     pub per_query_feedback: Vec<(String, FeedbackStats)>,
+    /// Queries whose private operators exhausted their restart budget and
+    /// were quarantined (detached, stream tombstoned) instead of failing the
+    /// shared run: `(query name, failure detail)` in registration order.
+    pub quarantined: Vec<(String, String)>,
 }
 
 impl ManagerSummary {
@@ -108,6 +112,9 @@ impl fmt::Display for ManagerSummary {
         )?;
         for (name, stats) in &self.per_query_feedback {
             writeln!(f, "  {name}: {stats}")?;
+        }
+        for (name, detail) in &self.quarantined {
+            writeln!(f, "  quarantined {name}: {detail}")?;
         }
         Ok(())
     }
@@ -558,6 +565,8 @@ impl PipelineManager {
                         &query_name,
                         slots,
                         parts.edges,
+                        &parts.recovery,
+                        &parts.quarantine,
                         source_idx,
                         (fanout0_id, group_no),
                     )?;
@@ -627,6 +636,8 @@ impl PipelineManager {
                         &owner_name,
                         slots,
                         owner_parts.edges,
+                        &owner_parts.recovery,
+                        &owner_parts.quarantine,
                         owner_boundary,
                         (group_fanout_id, 0),
                     )?;
@@ -660,6 +671,8 @@ impl PipelineManager {
                             &query_name,
                             slots,
                             parts.edges,
+                            &parts.recovery,
+                            &parts.quarantine,
                             boundary,
                             (group_fanout_id, port),
                         )?;
@@ -710,6 +723,7 @@ impl PipelineManager {
 
         let mut reports = Vec::with_capacity(self.queries.len());
         let mut per_query_feedback = Vec::with_capacity(self.queries.len());
+        let mut quarantined = Vec::new();
         let mut started = 0;
         let mut stopped = 0;
         let mut active = 0;
@@ -726,6 +740,10 @@ impl PipelineManager {
                     let mut m = metric.clone();
                     m.operator = stripped.to_string();
                     feedback.merge(&m.feedback);
+                    if let Some(failure) = &m.failure {
+                        quarantined
+                            .push((query.name.clone(), format!("{}: {failure}", m.operator)));
+                    }
                     report.metrics.push(m);
                 }
             }
@@ -756,6 +774,7 @@ impl PipelineManager {
             shared_prefix_hits: hits,
             prefix_ops_total: total,
             per_query_feedback,
+            quarantined,
         };
         Ok(ManagerOutcome { master, queries: reports, summary })
     }
@@ -801,12 +820,19 @@ impl PipelineManager {
 
 /// Adds the remaining (non-`None`) nodes of a dismantled plan to the master
 /// plan under `query`-scoped names and re-creates their edges, with every
-/// edge leaving `boundary` re-anchored to the given fan-out port.
+/// edge leaving `boundary` re-anchored to the given fan-out port.  Each
+/// spliced node keeps the recovery policy and quarantine flag its query
+/// declared (`recovery`/`quarantine` are index-parallel with the original
+/// plan's nodes); shared spine nodes, spliced elsewhere, stay fail-fast —
+/// a restart there would replay into every sharer at once.
+#[allow(clippy::too_many_arguments)]
 fn splice_suffix(
     master: &mut QueryPlan,
     query: &str,
     slots: Vec<Option<PlanNode>>,
     edges: Vec<Edge>,
+    recovery: &[dsms_engine::RecoveryPolicy],
+    quarantine: &[bool],
     boundary: usize,
     fanout: (NodeId, usize),
 ) -> EngineResult<()> {
@@ -817,6 +843,12 @@ fn splice_suffix(
                 format!("{query}/{}", node.name),
                 node.operator,
             )));
+            if let Some(&policy) = recovery.get(idx) {
+                master.set_recovery(id, policy)?;
+            }
+            if quarantine.get(idx).copied().unwrap_or(false) {
+                master.set_quarantine(id, true)?;
+            }
             map.insert(idx, id);
         }
     }

@@ -112,4 +112,20 @@ impl Operator for ScopedOperator {
     fn elastic_stats(&self) -> Option<dsms_engine::ElasticStats> {
         self.inner.elastic_stats()
     }
+
+    fn restartable(&self) -> bool {
+        self.inner.restartable()
+    }
+
+    fn checkpoint(&self) -> EngineResult<Vec<StateEntry>> {
+        self.inner.checkpoint()
+    }
+
+    fn restore(&mut self, entries: Vec<StateEntry>) -> EngineResult<()> {
+        self.inner.restore(entries)
+    }
+
+    fn absorb_shutdown(&mut self, output: usize, ctx: &mut OperatorContext) -> bool {
+        self.inner.absorb_shutdown(output, ctx)
+    }
 }

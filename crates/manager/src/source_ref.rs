@@ -82,6 +82,13 @@ impl Operator for SourceRef {
     fn shared_source(&self) -> Option<&str> {
         Some(&self.source)
     }
+
+    /// The placeholder is stateless, so a Restart policy declared on it
+    /// validates at composition time; whether the *spliced* source is
+    /// restartable is checked again when the master plan validates.
+    fn restartable(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -693,6 +693,68 @@ impl Operator for WindowAggregate {
     fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
         Some(self.registry.stats().clone())
     }
+
+    fn restartable(&self) -> bool {
+        true
+    }
+
+    fn checkpoint(&self) -> EngineResult<Vec<StateEntry>> {
+        Ok(vec![StateEntry {
+            key: Vec::new(),
+            payload: Box::new(AggregateSnapshot {
+                state: self.state.clone(),
+                output_guards: self.output_guards.clone(),
+                input_guards: self.input_guards.clone(),
+                input_guards_compiled: self.input_guards_compiled.clone(),
+                guarded_groups: self.guarded_groups.clone(),
+                registry: self.registry.clone(),
+                emitted_watermark: self.emitted_watermark,
+            }),
+        }])
+    }
+
+    fn restore(&mut self, entries: Vec<StateEntry>) -> EngineResult<()> {
+        self.state = BTreeMap::new();
+        self.output_guards = Vec::new();
+        self.input_guards = Vec::new();
+        self.input_guards_compiled = Vec::new();
+        self.guarded_groups = HashSet::new();
+        self.registry = FeedbackRegistry::new(self.name.clone());
+        self.emitted_watermark = None;
+        for entry in entries {
+            match entry.payload.downcast::<AggregateSnapshot>() {
+                Ok(snapshot) => {
+                    self.state = snapshot.state;
+                    self.output_guards = snapshot.output_guards;
+                    self.input_guards = snapshot.input_guards;
+                    self.input_guards_compiled = snapshot.input_guards_compiled;
+                    self.guarded_groups = snapshot.guarded_groups;
+                    self.registry = snapshot.registry;
+                    self.emitted_watermark = snapshot.emitted_watermark;
+                }
+                Err(_) => {
+                    return Err(EngineError::OperatorFailed {
+                        operator: self.name.clone(),
+                        detail: "checkpoint entry is not a window aggregate snapshot".into(),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Open partials, guard state, and the emission watermark captured together
+/// at a checkpoint so a restarted [`WindowAggregate`] neither re-emits nor
+/// loses a window.
+struct AggregateSnapshot {
+    state: BTreeMap<StateKey, Accumulator>,
+    output_guards: Vec<Pattern>,
+    input_guards: Vec<Pattern>,
+    input_guards_compiled: Vec<CompiledPattern>,
+    guarded_groups: HashSet<Vec<Value>>,
+    registry: FeedbackRegistry,
+    emitted_watermark: Option<Timestamp>,
 }
 
 impl WindowAggregate {

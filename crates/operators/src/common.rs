@@ -284,6 +284,22 @@ impl<O: Operator> Operator for Costed<O> {
     fn elastic_stats(&self) -> Option<dsms_engine::ElasticStats> {
         self.inner.elastic_stats()
     }
+
+    fn restartable(&self) -> bool {
+        self.inner.restartable()
+    }
+
+    fn checkpoint(&self) -> EngineResult<Vec<dsms_engine::StateEntry>> {
+        self.inner.checkpoint()
+    }
+
+    fn restore(&mut self, entries: Vec<dsms_engine::StateEntry>) -> EngineResult<()> {
+        self.inner.restore(entries)
+    }
+
+    fn absorb_shutdown(&mut self, output: usize, ctx: &mut OperatorContext) -> bool {
+        self.inner.absorb_shutdown(output, ctx)
+    }
 }
 
 #[cfg(test)]

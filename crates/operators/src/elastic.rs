@@ -382,6 +382,18 @@ impl<O: Operator> Operator for ElasticReplica<O> {
     fn import_state(&mut self, entries: Vec<StateEntry>) -> EngineResult<()> {
         self.inner.import_state(entries)
     }
+
+    /// Never restartable, even over a restartable inner operator: migration
+    /// directives mutate the *shared* [`ElasticController`], so replaying the
+    /// punctuation that carried them would double-apply handoffs against
+    /// sibling replicas.
+    fn restartable(&self) -> bool {
+        false
+    }
+
+    fn absorb_shutdown(&mut self, output: usize, ctx: &mut OperatorContext) -> bool {
+        self.inner.absorb_shutdown(output, ctx)
+    }
 }
 
 #[cfg(test)]

@@ -390,6 +390,30 @@ impl Operator for SharedFanout {
         }
         Some(total)
     }
+
+    /// A shutdown arriving from one sharer detaches that port only — the
+    /// siblings keep the shared scan.  The detach is recorded like any other
+    /// membership commit, and feedback rounds that were waiting on the dead
+    /// port's vote are re-evaluated and relayed.  Only when the *last*
+    /// attached sharer leaves does the shutdown propagate upstream, so a
+    /// shared scan with no remaining consumers still tears down.
+    fn absorb_shutdown(&mut self, output: usize, ctx: &mut OperatorContext) -> bool {
+        if output < self.outputs && self.attached[output] {
+            self.attached[output] = false;
+            if let Some(controller) = &self.controller {
+                controller.record_commit(FanoutCommit {
+                    port: output,
+                    attached: false,
+                    boundary: self.boundaries,
+                });
+            }
+            let released = self.merge.set_active(&self.attached.clone());
+            for feedback in released {
+                self.relay_upstream(feedback, ctx);
+            }
+        }
+        self.attached.iter().any(|&a| a)
+    }
 }
 
 #[cfg(test)]

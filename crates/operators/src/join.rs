@@ -504,6 +504,76 @@ impl Operator for SymmetricHashJoin {
     fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
         Some(self.registry.stats().clone())
     }
+
+    fn restartable(&self) -> bool {
+        true
+    }
+
+    fn checkpoint(&self) -> EngineResult<Vec<StateEntry>> {
+        Ok(vec![StateEntry {
+            key: Vec::new(),
+            payload: Box::new(JoinSnapshot {
+                left_state: self.left_state.clone(),
+                right_state: self.right_state.clone(),
+                left_watermark: self.left_watermark,
+                right_watermark: self.right_watermark,
+                purged_watermark: self.purged_watermark,
+                output_guards: self.output_guards.clone(),
+                left_input_guards: self.left_input_guards.clone(),
+                right_input_guards: self.right_input_guards.clone(),
+                registry: self.registry.clone(),
+            }),
+        }])
+    }
+
+    fn restore(&mut self, entries: Vec<StateEntry>) -> EngineResult<()> {
+        self.left_state = HashMap::new();
+        self.right_state = HashMap::new();
+        self.left_watermark = None;
+        self.right_watermark = None;
+        self.purged_watermark = None;
+        self.output_guards = Vec::new();
+        self.left_input_guards = Vec::new();
+        self.right_input_guards = Vec::new();
+        self.registry = FeedbackRegistry::new(self.name.clone());
+        for entry in entries {
+            match entry.payload.downcast::<JoinSnapshot>() {
+                Ok(snapshot) => {
+                    self.left_state = snapshot.left_state;
+                    self.right_state = snapshot.right_state;
+                    self.left_watermark = snapshot.left_watermark;
+                    self.right_watermark = snapshot.right_watermark;
+                    self.purged_watermark = snapshot.purged_watermark;
+                    self.output_guards = snapshot.output_guards;
+                    self.left_input_guards = snapshot.left_input_guards;
+                    self.right_input_guards = snapshot.right_input_guards;
+                    self.registry = snapshot.registry;
+                }
+                Err(_) => {
+                    return Err(EngineError::OperatorFailed {
+                        operator: self.name.clone(),
+                        detail: "checkpoint entry is not a join snapshot".into(),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Both hash-table sides, the watermark pair, and the guard state captured
+/// together at a checkpoint so a restarted [`SymmetricHashJoin`] resumes
+/// with exactly the windows that were open at the epoch boundary.
+struct JoinSnapshot {
+    left_state: HashMap<WindowKey, Vec<Buffered>>,
+    right_state: HashMap<WindowKey, Vec<Buffered>>,
+    left_watermark: Option<Timestamp>,
+    right_watermark: Option<Timestamp>,
+    purged_watermark: Option<Timestamp>,
+    output_guards: Vec<Pattern>,
+    left_input_guards: Vec<Pattern>,
+    right_input_guards: Vec<Pattern>,
+    registry: FeedbackRegistry,
 }
 
 #[cfg(test)]

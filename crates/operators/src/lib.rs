@@ -26,6 +26,7 @@
 //! | [`shuffle::Shuffle`] | data-parallel fan-out | broadcasts punctuation to replicas; lattice-merges replica feedback before relaying |
 //! | [`fanout::SharedFanout`] | multi-query fan-out | per-port guard isolation; lattice-merges sharer feedback; attach/detach at punctuation boundaries |
 //! | [`merge::Merge`] | data-parallel fan-in | broadcasts consumer feedback to every replica; optionally *produces* disorder-bound feedback |
+//! | [`chaos::Chaos`] | — | deterministic fault-injection wrapper (panic / transient error / stall) for supervised-recovery tests |
 //!
 //! [`partition::PartitionedExt`] extends [`dsms_engine::QueryPlan`] with a
 //! `partitioned(…)` rewrite that replicates a stateful operator N ways behind
@@ -41,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod chaos;
 pub mod common;
 pub mod demand;
 pub mod duplicate;
@@ -65,6 +67,7 @@ pub mod thrifty_join;
 pub mod union;
 
 pub use aggregate::{AggregateFunction, WindowAggregate};
+pub use chaos::{Chaos, FaultSpec};
 pub use common::{simulate_cost, Costed, MinWatermark, TuplePredicate};
 pub use demand::OnDemandGate;
 pub use duplicate::Duplicate;

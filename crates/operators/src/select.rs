@@ -8,7 +8,9 @@
 //! identical, safe propagation is the identity rewrite.
 
 use crate::common::TuplePredicate;
-use dsms_engine::{EngineResult, Operator, OperatorContext, Page, StreamItem};
+use dsms_engine::{
+    EngineError, EngineResult, Operator, OperatorContext, Page, StateEntry, StreamItem,
+};
 use dsms_feedback::{
     characterize_select, BatchGuardDecision, FeedbackIntent, FeedbackPunctuation, FeedbackRegistry,
     FeedbackRoles, GuardDecision,
@@ -191,6 +193,33 @@ impl Operator for Select {
 
     fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
         Some(self.registry.stats().clone())
+    }
+
+    /// SELECT's only mutable state is its feedback registry, which the
+    /// snapshot captures wholesale — a restored SELECT keeps every guard it
+    /// had at the checkpoint.
+    fn restartable(&self) -> bool {
+        true
+    }
+
+    fn checkpoint(&self) -> EngineResult<Vec<StateEntry>> {
+        Ok(vec![StateEntry { key: Vec::new(), payload: Box::new(self.registry.clone()) }])
+    }
+
+    fn restore(&mut self, entries: Vec<StateEntry>) -> EngineResult<()> {
+        self.registry = FeedbackRegistry::new(self.name.clone());
+        for entry in entries {
+            match entry.payload.downcast::<FeedbackRegistry>() {
+                Ok(registry) => self.registry = *registry,
+                Err(_) => {
+                    return Err(EngineError::OperatorFailed {
+                        operator: self.name.clone(),
+                        detail: "checkpoint entry is not a select registry snapshot".into(),
+                    })
+                }
+            }
+        }
+        Ok(())
     }
 
     /// SELECT is dedupe-able: its behaviour is fully determined by its name,

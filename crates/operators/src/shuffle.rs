@@ -22,7 +22,7 @@
 //!   shuffle stops routing tuples the whole replica group has disclaimed.
 
 use crate::elastic::ElasticController;
-use dsms_engine::{EngineError, EngineResult, Operator, OperatorContext, StreamItem};
+use dsms_engine::{EngineError, EngineResult, Operator, OperatorContext, StateEntry, StreamItem};
 use dsms_feedback::{
     BatchGuardDecision, FeedbackMerge, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles,
     GuardDecision,
@@ -505,6 +505,51 @@ impl Operator for Shuffle {
     fn elastic_stats(&self) -> Option<dsms_engine::ElasticStats> {
         self.elastic.as_ref().map(|elastic| elastic.controller.stats())
     }
+
+    /// Restartable only in fixed-width mode: an elastic shuffle's resize
+    /// handshake mutates the shared [`ElasticController`], so replaying the
+    /// directives that drove it would double-apply membership changes.
+    fn restartable(&self) -> bool {
+        self.elastic.is_none()
+    }
+
+    fn checkpoint(&self) -> EngineResult<Vec<StateEntry>> {
+        Ok(vec![StateEntry {
+            key: Vec::new(),
+            payload: Box::new(ShuffleSnapshot {
+                merge: self.merge.clone(),
+                registry: self.registry.clone(),
+            }),
+        }])
+    }
+
+    fn restore(&mut self, entries: Vec<StateEntry>) -> EngineResult<()> {
+        self.merge = FeedbackMerge::new(self.partitions);
+        self.registry = FeedbackRegistry::new(self.name.clone());
+        for entry in entries {
+            match entry.payload.downcast::<ShuffleSnapshot>() {
+                Ok(snapshot) => {
+                    self.merge = snapshot.merge;
+                    self.registry = snapshot.registry;
+                }
+                Err(_) => {
+                    return Err(EngineError::OperatorFailed {
+                        operator: self.name.clone(),
+                        detail: "checkpoint entry is not a shuffle snapshot".into(),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The feedback lattice and guard state captured at a checkpoint so a
+/// restarted fixed-width [`Shuffle`] keeps the replica assertions it had
+/// already collected.
+struct ShuffleSnapshot {
+    merge: FeedbackMerge,
+    registry: FeedbackRegistry,
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! from downstream suppresses matching tuples *at the source*, the cheapest
 //! possible exploitation.
 
-use dsms_engine::{EngineError, EngineResult, Operator, OperatorContext, SourceState};
+use dsms_engine::{EngineError, EngineResult, Operator, OperatorContext, SourceState, StateEntry};
 use dsms_feedback::{
     BatchGuardDecision, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles, GuardDecision,
 };
@@ -250,6 +250,56 @@ impl Operator for VecSource {
     fn feedback_stats(&self) -> Option<dsms_feedback::FeedbackStats> {
         Some(self.registry.stats().clone())
     }
+
+    fn restartable(&self) -> bool {
+        true
+    }
+
+    fn checkpoint(&self) -> EngineResult<Vec<StateEntry>> {
+        Ok(vec![StateEntry {
+            key: Vec::new(),
+            payload: Box::new(VecSourceSnapshot {
+                tuples: self.tuples.clone(),
+                timestamp_index: self.timestamp_index,
+                last_punctuated: self.last_punctuated,
+                exhausted: self.exhausted,
+                registry: self.registry.clone(),
+            }),
+        }])
+    }
+
+    fn restore(&mut self, entries: Vec<StateEntry>) -> EngineResult<()> {
+        // The supervisor primes an initial checkpoint before the first poll,
+        // so a restore without a snapshot means the replay position is lost.
+        let entry = entries.into_iter().next().ok_or_else(|| EngineError::OperatorFailed {
+            operator: self.name.clone(),
+            detail: "source restore requires a replay-position snapshot".into(),
+        })?;
+        match entry.payload.downcast::<VecSourceSnapshot>() {
+            Ok(snapshot) => {
+                self.tuples = snapshot.tuples;
+                self.timestamp_index = snapshot.timestamp_index;
+                self.last_punctuated = snapshot.last_punctuated;
+                self.exhausted = snapshot.exhausted;
+                self.registry = snapshot.registry;
+                Ok(())
+            }
+            Err(_) => Err(EngineError::OperatorFailed {
+                operator: self.name.clone(),
+                detail: "checkpoint entry is not a source snapshot".into(),
+            }),
+        }
+    }
+}
+
+/// Replay position and guard state captured at a checkpoint so a restarted
+/// [`VecSource`] resumes exactly where the epoch boundary left it.
+struct VecSourceSnapshot {
+    tuples: std::vec::IntoIter<Tuple>,
+    timestamp_index: Option<usize>,
+    last_punctuated: Option<Timestamp>,
+    exhausted: bool,
+    registry: FeedbackRegistry,
 }
 
 /// A source driven by an arbitrary iterator of [`Tuple`]s (possibly lazily

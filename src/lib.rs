@@ -73,8 +73,9 @@ pub use dsms_workloads as workloads;
 /// ```
 pub mod prelude {
     pub use dsms_engine::{
-        ExecutionReport, Operator, OperatorContext, PooledExecutor, QueryPlan, SourceState, Stream,
-        StreamBuilder, StreamItem, SyncExecutor, ThreadedExecutor,
+        ExecutionReport, Operator, OperatorContext, PooledExecutor, QueryPlan, RecoveryPolicy,
+        RecoverySummary, SourceState, Stream, StreamBuilder, StreamItem, SyncExecutor,
+        ThreadedExecutor,
     };
     pub use dsms_feedback::{
         FeedbackIntent, FeedbackMerge, FeedbackPunctuation, FeedbackRegistry, FeedbackRoles,
@@ -85,9 +86,9 @@ pub mod prelude {
         SourceRef,
     };
     pub use dsms_operators::{
-        AggregateFunction, ArchivalStore, CollectSink, Costed, Duplicate, ElasticController,
-        ElasticPolicy, ElasticReplica, FanoutController, GeneratorSource, ImpatientJoin, Impute,
-        Merge, OnDemandGate, Pace, PartitionedExt, PartitionedStage, Prioritizer, Project,
+        AggregateFunction, ArchivalStore, Chaos, CollectSink, Costed, Duplicate, ElasticController,
+        ElasticPolicy, ElasticReplica, FanoutController, FaultSpec, GeneratorSource, ImpatientJoin,
+        Impute, Merge, OnDemandGate, Pace, PartitionedExt, PartitionedStage, Prioritizer, Project,
         QualityFilter, Select, SharedFanout, Shuffle, Split, StreamOps, SymmetricHashJoin,
         ThriftyJoin, TimedSink, TuplePredicate, Union, VecSource, WindowAggregate,
     };
